@@ -1,0 +1,110 @@
+(* Reproduction harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's experiment index).
+
+   Usage:
+     bench/main.exe                 run everything (t1 t2 fig6 fig7 t3 t4
+                                    nobal fig9 t5)
+     bench/main.exe fig6 t3 ...     run a subset
+     bench/main.exe bechamel        Bechamel timing of each experiment
+                                    harness (one Test.make per artifact) *)
+
+module M = Vliw_arch.Machine
+module E = Vliw_harness.Experiments
+module Render = Vliw_harness.Render
+
+let experiments : (string * string * (unit -> string)) list =
+  [
+    ("t1", "Table 1 - benchmarks and inputs", fun () -> Render.table1 ());
+    ("t2", "Table 2 - configuration parameters", fun () -> Render.table2 M.table2);
+    ( "fig6",
+      "Figure 6 - memory access classification (PrefClus)",
+      fun () -> Render.fig6 (E.fig6 ()) );
+    ( "fig7",
+      "Figure 7 - execution time",
+      fun () ->
+        Render.fig7 ~title:"Figure 7. Execution cycles"
+          ~baseline_label:"free MinComs" (E.fig7 ()) );
+    ("t3", "Table 3 - analyzing the MDC solution", fun () -> Render.table3 (E.table3 ()));
+    ("t4", "Table 4 - analyzing the DDGT solution", fun () -> Render.table4 (E.table4 ()));
+    ( "nobal",
+      "Section 4.2 - unbalanced bus configurations",
+      fun () -> Render.nobal (E.nobal ()) );
+    ( "fig9",
+      "Figure 9 - execution time with Attraction Buffers",
+      fun () ->
+        Render.fig7 ~title:"Figure 9. Execution cycles with 16-entry 2-way ABs"
+          ~baseline_label:"free MinComs with ABs" (E.fig9 ()) );
+    ("t5", "Table 5 - code specialization", fun () -> Render.table5 (E.table5 ()));
+    ( "hybrid",
+      "Ablation (Section 6) - per-loop hybrid MDC/DDGT",
+      fun () -> Render.hybrid (Vliw_harness.Ablations.hybrid ()) );
+    ( "ablations",
+      "Ablations - latency policy, AB capacity, bus count, interleaving",
+      fun () ->
+        String.concat "\n"
+          [
+            Render.latency_policies (Vliw_harness.Ablations.latency_policies ());
+            Render.ab_sizes (Vliw_harness.Ablations.ab_sizes ());
+            Render.bus_sweep (Vliw_harness.Ablations.bus_sweep ());
+            Render.specialization (Vliw_harness.Ablations.specialization ());
+            Render.unrolling (Vliw_harness.Ablations.unrolling ());
+            Render.reg_pressure (Vliw_harness.Ablations.reg_pressure ());
+            Render.orderings (Vliw_harness.Ablations.orderings ());
+            Render.interleave_sweep (Vliw_harness.Ablations.interleave_sweep ());
+          ] );
+  ]
+
+let run_one (key, title, render) =
+  Printf.printf "==================== %s: %s ====================\n%!" key title;
+  print_string (render ());
+  print_newline ()
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    Test.make_grouped ~name:"experiments"
+      (List.map
+         (fun (key, _, render) ->
+           Test.make ~name:key
+             (Staged.stage (fun () ->
+                  E.clear_cache ();
+                  ignore (Sys.opaque_identity (render ())))))
+         experiments)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 1.0) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure tbl ->
+      if measure = Measure.label Instance.monotonic_clock then
+        Hashtbl.iter
+          (fun name ols ->
+            match Analyze.OLS.estimates ols with
+            | Some [ est ] -> Printf.printf "%-30s %12.0f ns/run\n" name est
+            | _ -> Printf.printf "%-30s (no estimate)\n" name)
+          tbl)
+    results
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "bechamel" ] -> run_bechamel ()
+  | [] | [ "all" ] -> List.iter run_one experiments
+  | keys ->
+    List.iter
+      (fun key ->
+        match List.find_opt (fun (k, _, _) -> k = key) experiments with
+        | Some e -> run_one e
+        | None ->
+          Printf.eprintf "unknown experiment %S (known: %s, all, bechamel)\n" key
+            (String.concat " " (List.map (fun (k, _, _) -> k) experiments));
+          exit 2)
+      keys

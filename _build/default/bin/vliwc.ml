@@ -1,0 +1,427 @@
+(* vliwc — compile, transform, schedule and simulate .lk loop kernels for
+   the word-interleaved cache clustered VLIW machine.
+
+   Examples:
+     vliwc kernel.lk                         # free scheduling, simulate
+     vliwc kernel.lk -t mdc -H prefclus      # MDC chains, PrefClus
+     vliwc kernel.lk -t ddgt --dot out.dot   # DDGT, dump transformed DDG
+     vliwc kernel.lk --machine nobal-reg --ab --interleave 2
+     vliwc --workload gsmdec                 # run a built-in benchmark *)
+
+open Cmdliner
+
+module M = Vliw_arch.Machine
+module G = Vliw_ddg.Graph
+module S = Vliw_sched.Schedule
+module Driver = Vliw_sched.Driver
+module Chains = Vliw_core.Chains
+module Ddgt = Vliw_core.Ddgt
+module Lower = Vliw_lower.Lower
+module Ir = Vliw_ir
+module Sim = Vliw_sim.Sim
+module W = Vliw_workloads.Workloads
+
+type technique = Free | Mdc | Ddgt | Hybrid
+
+let run_kernel ~machine ~technique ~heuristic ~ordering ~pad ~unroll ~cse
+    ~lint ~dump_ddg ~dot ~dump_sched ~execution kernel =
+  (match Ir.Typecheck.check kernel with
+  | Ok _ -> ()
+  | Error e ->
+    Printf.eprintf "type error: %s\n" e;
+    exit 1);
+  if lint then
+    List.iter
+      (fun d -> Format.printf "%a@." Vliw_lower.Lint.pp d)
+      (Vliw_lower.Lint.check kernel);
+  let kernel =
+    if cse then (
+      let kernel', removed = Ir.Cse.eliminate kernel in
+      if removed > 0 then Printf.printf "cse: %d redundant loads removed\n" removed;
+      kernel')
+    else kernel
+  in
+  let kernel =
+    match unroll with
+    | None -> kernel
+    | Some 0 ->
+      (* auto: the Section 2.2 objective *)
+      let nxi = machine.M.clusters * machine.M.interleave_bytes in
+      let f = Lower.best_unroll_factor ~nxi_bytes:nxi ~max_factor:8 kernel in
+      if f > 1 then Printf.printf "unrolling by %d (NxI = %d bytes)\n" f nxi;
+      Ir.Unroll.unroll ~factor:f kernel
+    | Some f -> Ir.Unroll.unroll ~factor:f kernel
+  in
+  let layout = Ir.Layout.make ~pad kernel in
+  let low = Lower.lower kernel in
+  let prof = Vliw_profile.Profile.run ~machine ~layout kernel in
+  let pref = Vliw_profile.Profile.node_pref prof low.Lower.graph in
+  let graph, constraints =
+    match technique with
+    | Free | Hybrid -> (low.Lower.graph, Chains.no_constraints ())
+    | Mdc ->
+      ( low.Lower.graph,
+        (match heuristic with
+        | S.Pref_clus -> Chains.prefclus low.Lower.graph ~pref
+        | S.Min_coms -> Chains.mincoms low.Lower.graph) )
+    | Ddgt ->
+      (Ddgt.transform ~clusters:machine.M.clusters low.Lower.graph).Ddgt.graph
+      |> fun g -> (g, Chains.no_constraints ())
+  in
+  (* the hybrid replaces graph/constraints wholesale with its choice *)
+  let hybrid_result =
+    match technique with
+    | Hybrid -> (
+      match
+        Vliw_sched.Hybrid.choose ~machine ~heuristic
+          ~pref_for:(Vliw_profile.Profile.node_pref prof)
+          ~trip:kernel.Ir.Ast.k_trip low.Lower.graph
+      with
+      | Ok h ->
+        Printf.printf
+          "hybrid choice: %s (estimates: MDC %d cycles, DDGT %d cycles)\n"
+          (Vliw_sched.Hybrid.choice_name h.Vliw_sched.Hybrid.choice)
+          h.Vliw_sched.Hybrid.mdc_estimate h.Vliw_sched.Hybrid.ddgt_estimate;
+        Some h
+      | Error e ->
+        Printf.eprintf "hybrid selection failed: %s\n" e;
+        exit 1)
+    | _ -> None
+  in
+  let graph =
+    match hybrid_result with Some h -> h.Vliw_sched.Hybrid.graph | None -> graph
+  in
+  if dump_ddg then Format.printf "%a@." G.pp graph;
+  (match dot with
+  | Some path ->
+    Vliw_ddg.Dot.write_file path graph;
+    Printf.printf "wrote %s\n" path
+  | None -> ());
+  let pref_g = Vliw_profile.Profile.node_pref prof graph in
+  let scheduled =
+    match hybrid_result with
+    | Some h -> Ok h.Vliw_sched.Hybrid.schedule
+    | None ->
+      Driver.run
+        (Driver.request ~heuristic ~constraints ~pref:pref_g ~ordering machine)
+        graph
+  in
+  match scheduled with
+  | Error e ->
+    Printf.eprintf "scheduling failed: %s\n" e;
+    exit 1
+  | Ok schedule ->
+    if dump_sched then Format.printf "%a@." S.pp schedule;
+    let chains = Chains.chains low.Lower.graph in
+    let biggest = List.length (Chains.biggest low.Lower.graph) in
+    Printf.printf "kernel %s: %d ops, %d memory ops, %d chains (biggest %d)\n"
+      kernel.Ir.Ast.k_name
+      (G.node_count low.Lower.graph)
+      (List.length (G.mem_refs low.Lower.graph))
+      (List.length chains) biggest;
+    Printf.printf "schedule: II=%d length=%d stages=%d copies/iter=%d\n"
+      schedule.S.ii schedule.S.length (S.stage_count schedule)
+      (S.comm_ops schedule);
+    let ml = Vliw_sched.Regpressure.max_live graph schedule in
+    Printf.printf "register pressure (MaxLive per cluster): %s\n"
+      (String.concat " " (Array.to_list (Array.map string_of_int ml)));
+    let oracle = Ir.Interp.run ~layout kernel in
+    let mode = if execution then Sim.Execution else Sim.Oracle oracle in
+    let warm = not execution in
+    let st = Sim.run ~lowered:low ~graph ~schedule ~layout ~mode ~warm () in
+    let total = max 1 (Sim.accesses_total st) in
+    let pct n = 100. *. float_of_int n /. float_of_int total in
+    Printf.printf "simulated %d iterations (%s, %s caches):\n"
+      kernel.Ir.Ast.k_trip
+      (if execution then "execution-driven" else "trace-driven")
+      (if warm then "warm" else "cold");
+    Printf.printf "  cycles %d = compute %d + stall %d\n" st.Sim.total_cycles
+      st.Sim.compute_cycles st.Sim.stall_cycles;
+    Printf.printf
+      "  accesses: %.1f%% local hit, %.1f%% remote hit, %.1f%% local miss, \
+       %.1f%% remote miss, %.1f%% combined\n"
+      (pct st.Sim.local_hits) (pct st.Sim.remote_hits) (pct st.Sim.local_misses)
+      (pct st.Sim.remote_misses) (pct st.Sim.combined);
+    if st.Sim.ab_hits > 0 || machine.M.attraction <> None then
+      Printf.printf "  attraction buffers: %d hits, %d entries flushed\n"
+        st.Sim.ab_hits st.Sim.ab_flushed;
+    if st.Sim.nullified > 0 then
+      Printf.printf "  nullified store instances: %d\n" st.Sim.nullified;
+    Printf.printf "  coherence violations: %d\n" st.Sim.violations;
+    if execution then
+      if Bytes.equal st.Sim.memory oracle.Ir.Interp.memory then
+        print_endline "  final memory matches the reference interpreter"
+      else print_endline "  final memory CORRUPTED (differs from the reference)"
+
+
+(* --compare: all four techniques side by side for one kernel *)
+let compare_kernel ~machine ~heuristic ~pad ~unroll kernel =
+  (match Ir.Typecheck.check kernel with
+  | Ok _ -> ()
+  | Error e ->
+    Printf.eprintf "type error: %s\n" e;
+    exit 1);
+  let kernel =
+    match unroll with
+    | None -> kernel
+    | Some 0 ->
+      let nxi = machine.M.clusters * machine.M.interleave_bytes in
+      Ir.Unroll.unroll
+        ~factor:(Lower.best_unroll_factor ~nxi_bytes:nxi ~max_factor:8 kernel)
+        kernel
+    | Some f -> Ir.Unroll.unroll ~factor:f kernel
+  in
+  let layout = Ir.Layout.make ~pad kernel in
+  let low = Lower.lower kernel in
+  let prof = Vliw_profile.Profile.run ~machine ~layout kernel in
+  let oracle = Ir.Interp.run ~layout kernel in
+  let module T = Vliw_util.Table in
+  let t =
+    T.create
+      ~title:(Printf.sprintf "kernel %s (%s)" kernel.Ir.Ast.k_name
+                (S.heuristic_name heuristic))
+      [ ("technique", T.Left); ("II", T.Right); ("cycles", T.Right);
+        ("compute", T.Right); ("stall", T.Right); ("local hit", T.Right);
+        ("copies/iter", T.Right); ("MaxLive", T.Right) ]
+  in
+  List.iter
+    (fun (name, technique) ->
+      let pref = Vliw_profile.Profile.node_pref prof low.Lower.graph in
+      let compiled =
+        match technique with
+        | Hybrid -> (
+          match
+            Vliw_sched.Hybrid.choose ~machine ~heuristic
+              ~pref_for:(Vliw_profile.Profile.node_pref prof)
+              ~trip:kernel.Ir.Ast.k_trip low.Lower.graph
+          with
+          | Ok h -> Some (h.Vliw_sched.Hybrid.graph, h.Vliw_sched.Hybrid.schedule)
+          | Error _ -> None)
+        | _ -> (
+          let graph, constraints =
+            match technique with
+            | Free | Hybrid -> (low.Lower.graph, Chains.no_constraints ())
+            | Mdc ->
+              ( low.Lower.graph,
+                (match heuristic with
+                | S.Pref_clus -> Chains.prefclus low.Lower.graph ~pref
+                | S.Min_coms -> Chains.mincoms low.Lower.graph) )
+            | Ddgt ->
+              ( (Ddgt.transform ~clusters:machine.M.clusters low.Lower.graph)
+                  .Ddgt.graph,
+                Chains.no_constraints () )
+          in
+          let pref_g = Vliw_profile.Profile.node_pref prof graph in
+          match
+            Driver.run (Driver.request ~heuristic ~constraints ~pref:pref_g machine)
+              graph
+          with
+          | Ok s -> Some (graph, s)
+          | Error _ -> None)
+      in
+      match compiled with
+      | None -> T.add_row t [ name; "-"; "(no schedule)" ]
+      | Some (graph, schedule) ->
+        let st =
+          Sim.run ~lowered:low ~graph ~schedule ~layout
+            ~mode:(Sim.Oracle oracle) ~warm:true ()
+        in
+        let total = max 1 (Sim.accesses_total st) in
+        let ml = Vliw_sched.Regpressure.max_live graph schedule in
+        T.add_row t
+          [
+            name;
+            string_of_int schedule.S.ii;
+            string_of_int st.Sim.total_cycles;
+            string_of_int st.Sim.compute_cycles;
+            string_of_int st.Sim.stall_cycles;
+            Printf.sprintf "%.1f%%"
+              (100. *. float_of_int st.Sim.local_hits /. float_of_int total);
+            string_of_int (S.comm_ops schedule);
+            string_of_int (Array.fold_left max 0 ml);
+          ])
+    [ ("free", Free); ("MDC", Mdc); ("DDGT", Ddgt); ("hybrid", Hybrid) ];
+  T.print t
+
+let main file workload technique heuristic ordering machine_name interleave
+    ab pad unroll cse lint dump_ddg dot dump_sched execution compare =
+  let base =
+    match machine_name with
+    | "bal" -> M.table2
+    | "nobal-mem" -> M.nobal_mem
+    | "nobal-reg" -> M.nobal_reg
+    | other ->
+      Printf.eprintf "unknown machine %S (bal, nobal-mem, nobal-reg)\n" other;
+      exit 2
+  in
+  let base = if ab then M.with_attraction base (Some M.default_attraction) else base in
+  match (file, workload) with
+  | None, None | Some _, Some _ ->
+    Printf.eprintf "pass exactly one of a .lk FILE or --workload NAME\n";
+    exit 2
+  | Some path, None ->
+    let src =
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let machine = M.with_interleave base interleave in
+    (match M.validate machine with
+    | Ok () -> ()
+    | Error e ->
+      Printf.eprintf "invalid machine configuration: %s\n" e;
+      exit 2);
+    (try
+       List.iter
+         (fun kernel ->
+           if compare then compare_kernel ~machine ~heuristic ~pad ~unroll kernel
+           else
+             run_kernel ~machine ~technique ~heuristic ~ordering ~pad ~unroll
+               ~cse ~lint ~dump_ddg ~dot ~dump_sched ~execution kernel)
+         (Ir.Parser.parse_kernels src)
+     with
+    | Ir.Parser.Error (msg, pos) ->
+      Printf.eprintf "%s:%d:%d: %s\n" path pos.Ir.Lexer.line pos.Ir.Lexer.col msg;
+      exit 1
+    | Ir.Lexer.Error (msg, pos) ->
+      Printf.eprintf "%s:%d:%d: %s\n" path pos.Ir.Lexer.line pos.Ir.Lexer.col msg;
+      exit 1)
+  | None, Some name ->
+    let bench =
+      try W.find name
+      with Not_found ->
+        Printf.eprintf "unknown workload %S; known: %s\n" name
+          (String.concat " " (List.map (fun b -> b.W.b_name) W.all));
+        exit 2
+    in
+    let machine = M.with_interleave base bench.W.b_interleave in
+    List.iter
+      (fun (l : W.loop) ->
+        Printf.printf "=== %s/%s ===\n" bench.W.b_name l.W.l_name;
+        let kernel = W.parse_loop l ~seed:bench.W.b_exec_seed in
+        if compare then compare_kernel ~machine ~heuristic ~pad ~unroll kernel
+        else
+          run_kernel ~machine ~technique ~heuristic ~ordering ~pad ~unroll
+            ~cse ~lint ~dump_ddg ~dot ~dump_sched ~execution kernel)
+      bench.W.b_loops
+
+(* --- cmdliner wiring --- *)
+
+let file =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:".lk kernel file")
+
+let workload =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Run a built-in benchmark instead of a file.")
+
+let technique =
+  let tconv =
+    Arg.enum [ ("free", Free); ("mdc", Mdc); ("ddgt", Ddgt); ("hybrid", Hybrid) ]
+  in
+  Arg.(
+    value & opt tconv Free
+    & info [ "t"; "technique" ] ~docv:"TECH"
+        ~doc:
+          "Coherence technique: $(b,free) (unrestricted baseline), $(b,mdc), \
+           $(b,ddgt) or $(b,hybrid) (per-loop compile-time choice).")
+
+let heuristic =
+  let hconv = Arg.enum [ ("prefclus", S.Pref_clus); ("mincoms", S.Min_coms) ] in
+  Arg.(
+    value & opt hconv S.Min_coms
+    & info [ "H"; "heuristic" ] ~docv:"HEUR"
+        ~doc:"Cluster assignment heuristic: $(b,prefclus) or $(b,mincoms).")
+
+let machine_name =
+  Arg.(
+    value & opt string "bal"
+    & info [ "machine" ] ~docv:"CONF"
+        ~doc:"Machine configuration: $(b,bal) (Table 2), $(b,nobal-mem) or $(b,nobal-reg).")
+
+let interleave =
+  Arg.(
+    value & opt int 4
+    & info [ "interleave" ] ~docv:"BYTES" ~doc:"Cache interleaving factor in bytes.")
+
+let ab =
+  Arg.(value & flag & info [ "ab" ] ~doc:"Enable 16-entry 2-way Attraction Buffers.")
+
+let pad =
+  Arg.(value & opt int 0 & info [ "pad" ] ~docv:"BYTES" ~doc:"Inter-array padding.")
+
+let unroll =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "unroll" ] ~docv:"N"
+        ~doc:
+          "Unroll each kernel by $(docv) before compiling (0 = pick the \
+           factor that maximizes NxI-strided accesses, Section 2.2).")
+
+let dump_ddg = Arg.(value & flag & info [ "dump-ddg" ] ~doc:"Print the (transformed) DDG.")
+
+let dot =
+  Arg.(
+    value & opt (some string) None
+    & info [ "dot" ] ~docv:"PATH" ~doc:"Write the (transformed) DDG as Graphviz.")
+
+let dump_sched = Arg.(value & flag & info [ "dump-schedule" ] ~doc:"Print the schedule.")
+
+let ordering =
+  let oconv =
+    Arg.enum
+      [ ("height", Vliw_sched.Ims.Height); ("swing", Vliw_sched.Ims.Swing) ]
+  in
+  Arg.(
+    value & opt oconv Vliw_sched.Ims.Height
+    & info [ "ordering" ] ~docv:"ORD"
+        ~doc:"Scheduler node ordering: $(b,height) (classic IMS) or $(b,swing).")
+
+let cse_flag =
+  Arg.(
+    value & flag
+    & info [ "cse" ] ~doc:"Eliminate redundant loads before compiling.")
+
+let lint_flag =
+  Arg.(
+    value & flag & info [ "lint" ] ~doc:"Print kernel diagnostics before compiling.")
+
+let compare_flag =
+  Arg.(
+    value & flag
+    & info [ "compare" ]
+        ~doc:"Run all four techniques and print a side-by-side table.")
+
+let execution =
+  Arg.(
+    value & flag
+    & info [ "execution" ]
+        ~doc:
+          "Execution-driven simulation with cold caches (default: trace-driven \
+           with warm caches, like the paper's simulator). Detects actual data \
+           corruption.")
+
+let cmd =
+  let doc = "clustered-VLIW memory-coherence scheduling playground" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Compiles .lk loop kernels for a word-interleaved cache clustered \
+         VLIW processor, applying the coherence scheduling techniques of \
+         Gibert, Sanchez and Gonzalez (CGO 2003): memory dependent chains \
+         (MDC) or DDG transformations (DDGT), then modulo-schedules and \
+         simulates the result.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "vliwc" ~version:"1.0.0" ~doc ~man)
+    Term.(
+      const main $ file $ workload $ technique $ heuristic $ ordering
+      $ machine_name $ interleave $ ab $ pad $ unroll $ cse_flag $ lint_flag
+      $ dump_ddg $ dot $ dump_sched $ execution $ compare_flag)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/attraction_buffers.ml: List Printf Vliw_arch Vliw_harness Vliw_sched Vliw_sim Vliw_workloads

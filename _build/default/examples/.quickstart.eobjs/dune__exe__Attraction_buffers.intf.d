@@ -1,0 +1,1 @@
+examples/attraction_buffers.mli:

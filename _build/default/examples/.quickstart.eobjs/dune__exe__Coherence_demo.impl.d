@@ -1,0 +1,1 @@
+examples/coherence_demo.ml: Bytes Hashtbl List Printf Vliw_arch Vliw_core Vliw_ddg Vliw_ir Vliw_lower Vliw_sched Vliw_sim Vliw_util

@@ -1,0 +1,1 @@
+examples/compiler_playbook.ml: Format List Printf Vliw_arch Vliw_ir Vliw_lower Vliw_profile Vliw_sched Vliw_sim

@@ -1,0 +1,1 @@
+examples/media_pipeline.ml: List Printf String Vliw_arch Vliw_harness Vliw_sched Vliw_sim Vliw_workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hashtbl List Printf String Vliw_arch Vliw_core Vliw_ddg Vliw_sched

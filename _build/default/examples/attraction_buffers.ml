@@ -1,0 +1,52 @@
+(* Attraction Buffers and the epicdec exception (paper Section 5.4).
+
+   The epicdec "pyramid" loop is one huge memory dependent chain with real
+   temporal reuse across four coefficient tables. Under MDC the whole chain
+   runs from a single cluster, so every remote subblock competes for that
+   cluster's one 16-entry Attraction Buffer; under DDGT the loads spread
+   over the clusters and all four buffers hold their share. This example
+   compiles and simulates that loop both ways, with and without buffers,
+   and prints the local-hit ratio and stall time of each combination. *)
+
+module M = Vliw_arch.Machine
+module S = Vliw_sched.Schedule
+module R = Vliw_harness.Runner
+module W = Vliw_workloads.Workloads
+module Sim = Vliw_sim.Sim
+
+let () =
+  let bench = W.find "epicdec" in
+  let loop =
+    List.find (fun (l : W.loop) -> l.l_name = "pyramid") bench.W.b_loops
+  in
+  let run ~ab technique heuristic =
+    let base = if ab then M.with_attraction M.table2 (Some M.default_attraction)
+               else M.table2 in
+    let machine = R.machine_for base bench in
+    R.run_loop ~machine technique heuristic ~bench loop
+  in
+  Printf.printf "epicdec/pyramid under Table 2 (%d-entry ABs when enabled)\n\n"
+    M.default_attraction.M.ab_entries;
+  Printf.printf "%-22s %8s %9s %9s %9s %8s\n" "scheme" "cycles" "stall"
+    "local%" "AB hits" "AB flush";
+  let show name (lr : R.loop_run) =
+    let st = lr.lr_stats in
+    let total = Sim.accesses_total st in
+    Printf.printf "%-22s %8d %9d %8.1f%% %9d %8d\n" name st.Sim.total_cycles
+      st.Sim.stall_cycles
+      (100.
+      *. float_of_int st.Sim.local_hits
+      /. float_of_int (max 1 total))
+      st.Sim.ab_hits st.Sim.ab_flushed
+  in
+  show "MDC/PrefClus (no AB)" (run ~ab:false R.Mdc S.Pref_clus);
+  show "DDGT/PrefClus (no AB)" (run ~ab:false R.Ddgt S.Pref_clus);
+  show "MDC/PrefClus + AB" (run ~ab:true R.Mdc S.Pref_clus);
+  show "MDC/MinComs + AB" (run ~ab:true R.Mdc S.Min_coms);
+  show "DDGT/PrefClus + AB" (run ~ab:true R.Ddgt S.Pref_clus);
+  show "DDGT/MinComs + AB" (run ~ab:true R.Ddgt S.Min_coms);
+  print_newline ();
+  print_endline
+    "The paper's Section 5.4: with buffers, MDC keeps thrashing its single\n\
+     Attraction Buffer while DDGT spreads the chain's loads over all four —\n\
+     the one benchmark where DDGT still wins once buffers exist."

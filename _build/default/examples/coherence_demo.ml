@@ -1,0 +1,102 @@
+(* The memory coherence problem, demonstrated (paper Section 2.3, Figure 2).
+
+   A loop stores to an array from one cluster while a later (program-order)
+   load reads the same addresses locally in another cluster. Consumer-less
+   junk stores keep the memory buses saturated, so the aliased store's
+   remote update can arrive arbitrarily late — footnote 3: "there is no
+   guarantee that the value of X has been updated in any case".
+
+   We simulate the same schedule three ways, execution-driven (the
+   simulator reads and writes real data at the time each access reaches its
+   home cluster):
+
+   - baseline "free" cluster assignment: the aliased pair sits in different
+     clusters; the load reads stale values, memory ends up corrupted;
+   - MDC: the chain is pinned to one cluster; intra-cluster issue order
+     plus FIFO buses serialize the pair; memory matches the reference;
+   - DDGT: the store is replicated, its home-cluster instance updates
+     locally before the (synchronized) load can possibly reach it. *)
+
+module G = Vliw_ddg.Graph
+module M = Vliw_arch.Machine
+module S = Vliw_sched.Schedule
+module Driver = Vliw_sched.Driver
+module Chains = Vliw_core.Chains
+module Ddgt = Vliw_core.Ddgt
+module Lower = Vliw_lower.Lower
+module Ir = Vliw_ir
+module Sim = Vliw_sim.Sim
+
+let src =
+  {|kernel figure2 {
+  # a[4*i + 8] is written two iterations before a[4*i] reads it back
+  array a : i32[520] = ramp(0, 1)
+  array junk : i32[4096] = zero
+  scalar s : i64 = 0
+  trip 128
+  body {
+    junk[3*i] = i
+    junk[5*i + 1] = i
+    a[4*i + 8] = i * 5
+    s = s + a[4*i]
+  }
+}|}
+
+(* one memory bus, as in Figure 2's narrow-resource illustration *)
+let machine =
+  { M.table2 with M.mem_buses = { M.bus_count = 1; bus_latency = 2 } }
+
+let () =
+  let k = Ir.Parser.parse_kernel src in
+  let low = Lower.lower k in
+  let layout = Ir.Layout.make k in
+  let reference = Ir.Interp.run ~layout k in
+  let jitter () = (Vliw_util.Prng.create 42, 6) in
+
+  let report name graph schedule =
+    let st =
+      Sim.run ~lowered:low ~graph ~schedule ~layout ~jitter:(jitter ()) ()
+    in
+    let corrupted = not (Bytes.equal st.Sim.memory reference.Ir.Interp.memory) in
+    Printf.printf "%-28s violations: %-5d memory: %s\n" name st.Sim.violations
+      (if corrupted then "CORRUPTED" else "matches the reference");
+    (st.Sim.violations, corrupted)
+  in
+
+  print_endline "Execution-driven simulation of the Figure 2 scenario";
+  print_endline "(store cluster 3, aliased local load cluster 0, saturated buses)\n";
+
+  (* baseline: force the aliased pair apart, like free scheduling might *)
+  let pinned = Hashtbl.create 4 in
+  List.iter
+    (fun ((n : G.node), (mr : G.mem_ref)) ->
+      if mr.G.mr_array = "a" then
+        Hashtbl.replace pinned n.n_id (if G.is_store n then 3 else 0))
+    (G.mem_refs low.Lower.graph);
+  let s_free =
+    Driver.run_exn
+      (Driver.request ~constraints:{ Chains.pinned; grouped = [] } machine)
+      low.Lower.graph
+  in
+  let v_free, c_free = report "baseline (free clusters)" low.Lower.graph s_free in
+
+  (* MDC *)
+  let constraints = Chains.mincoms low.Lower.graph in
+  let s_mdc =
+    Driver.run_exn (Driver.request ~constraints machine) low.Lower.graph
+  in
+  let v_mdc, c_mdc = report "MDC (chains colocated)" low.Lower.graph s_mdc in
+
+  (* DDGT *)
+  let r = Ddgt.transform ~clusters:machine.M.clusters low.Lower.graph in
+  let s_ddgt = Driver.run_exn (Driver.request machine) r.Ddgt.graph in
+  let v_ddgt, c_ddgt = report "DDGT (stores replicated)" r.Ddgt.graph s_ddgt in
+
+  print_newline ();
+  if v_free > 0 && c_free then
+    print_endline "baseline: aliased accesses reached memory out of order — data corrupted.";
+  if v_mdc = 0 && (not c_mdc) && v_ddgt = 0 && not c_ddgt then
+    print_endline "MDC and DDGT: serialization guaranteed, memory intact — no extra hardware."
+  else (
+    print_endline "UNEXPECTED: a proposed technique failed to preserve coherence!";
+    exit 1)

@@ -1,0 +1,61 @@
+(* A media benchmark end to end, the way the evaluation drives one.
+
+   Takes the gsmdec workload (three loop kernels written in the .lk IR),
+   and for each loop: parses it, profiles it on the profile input to get
+   preferred clusters, lowers it to a DDG, applies each coherence technique,
+   modulo-schedules it for the Table 2 machine (with gsmdec's 2-byte
+   interleaving) and simulates it trace-driven — then prints the paper's
+   headline numbers: II, local hit ratio, compute/stall split, and the
+   communication operation count. *)
+
+module M = Vliw_arch.Machine
+module S = Vliw_sched.Schedule
+module R = Vliw_harness.Runner
+module W = Vliw_workloads.Workloads
+module Sim = Vliw_sim.Sim
+
+let () =
+  let bench = W.find "gsmdec" in
+  let machine = R.machine_for M.table2 bench in
+  Printf.printf "gsmdec: %d loops, %dB interleave, seeds %d/%d\n\n"
+    (List.length bench.W.b_loops)
+    bench.W.b_interleave bench.W.b_profile_seed bench.W.b_exec_seed;
+  List.iter
+    (fun (l : W.loop) ->
+      Printf.printf "--- loop %s (weight %d) ---\n" l.W.l_name l.W.l_weight;
+      print_endline (String.trim (l.W.l_source ~seed:bench.W.b_exec_seed));
+      Printf.printf "\n%-18s %4s %8s %8s %8s %7s %5s\n" "scheme" "II" "cycles"
+        "compute" "stall" "local%" "comm";
+      List.iter
+        (fun (name, tech, heur) ->
+          let lr = R.run_loop ~machine tech heur ~bench l in
+          let st = lr.R.lr_stats in
+          let total = max 1 (Sim.accesses_total st) in
+          Printf.printf "%-18s %4d %8d %8d %8d %6.1f%% %5d\n" name
+            lr.R.lr_schedule.S.ii st.Sim.total_cycles st.Sim.compute_cycles
+            st.Sim.stall_cycles
+            (100. *. float_of_int st.Sim.local_hits /. float_of_int total)
+            st.Sim.comm_ops)
+        [
+          ("free/MinComs", R.Free, S.Min_coms);
+          ("MDC/PrefClus", R.Mdc, S.Pref_clus);
+          ("MDC/MinComs", R.Mdc, S.Min_coms);
+          ("DDGT/PrefClus", R.Ddgt, S.Pref_clus);
+          ("DDGT/MinComs", R.Ddgt, S.Min_coms);
+        ];
+      print_newline ())
+    bench.W.b_loops;
+  (* whole-benchmark weighted summary, as the figures aggregate it *)
+  print_endline "--- weighted benchmark totals ---";
+  List.iter
+    (fun (name, tech, heur) ->
+      let br = R.run_bench ~machine:M.table2 tech heur bench in
+      Printf.printf "%-18s cycles %10.0f  (compute %8.0f + stall %8.0f)\n" name
+        br.R.br_cycles br.R.br_compute br.R.br_stall)
+    [
+      ("free/MinComs", R.Free, S.Min_coms);
+      ("MDC/PrefClus", R.Mdc, S.Pref_clus);
+      ("MDC/MinComs", R.Mdc, S.Min_coms);
+      ("DDGT/PrefClus", R.Ddgt, S.Pref_clus);
+      ("DDGT/MinComs", R.Ddgt, S.Min_coms);
+    ]

@@ -1,0 +1,1 @@
+lib/alias/disambiguate.mli:

@@ -1,0 +1,65 @@
+type access = {
+  a_array : string;
+  a_affine : (int * int) option;
+  a_bytes : int;
+}
+
+type verdict = No_dep | Dep of { dist : int; exact : bool }
+
+(* floor / ceil division for positive divisors *)
+let floor_div a b =
+  if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+let ceil_div a b = floor_div (a + b - 1) b
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let residues_disjoint ~scale_a ~off_a ~bytes_a ~scale_b ~off_b ~bytes_b =
+  let g = gcd (abs scale_a) (abs scale_b) in
+  if g = 0 then
+    (* both scales zero: fixed intervals *)
+    off_a + bytes_a <= off_b || off_b + bytes_b <= off_a
+  else if bytes_a >= g || bytes_b >= g then false
+  else (
+    let residues off bytes =
+      List.init bytes (fun r -> ((off + r) mod g + g) mod g)
+    in
+    let ra = residues off_a bytes_a and rb = residues off_b bytes_b in
+    not (List.exists (fun r -> List.mem r rb) ra))
+
+(* Minimum d >= d0 such that the interval [oA, oA + bA) overlaps
+   [s*d + oB, s*d + oB + bB), for equal strides s. The overlap condition is
+   oA - oB - bB < s*d < oA - oB + bA, independent of the iteration. *)
+let equal_stride_min_dist ~s ~oa ~ba ~ob ~bb ~d0 =
+  let lo = oa - ob - bb and hi = oa - ob + ba in
+  if s = 0 then if lo < 0 && 0 < hi then Some d0 else None
+  else if s > 0 then (
+    let d = max d0 (ceil_div (lo + 1) s) in
+    if s * d < hi then Some d else None)
+  else (
+    let s' = -s in
+    (* need s*d < hi  <=>  d > -hi/s'  and  s*d > lo  <=>  d < -lo/s' *)
+    let d = max d0 (floor_div (-hi) s' + 1) in
+    if s' * d <= -lo - 1 then Some d else None)
+
+let dependence ~may_overlap ~first ~second ~first_before_second =
+  let d0 = if first_before_second then 0 else 1 in
+  if first.a_array <> second.a_array then
+    if may_overlap first.a_array second.a_array then Dep { dist = d0; exact = false }
+    else No_dep
+  else
+    match (first.a_affine, second.a_affine) with
+    | None, _ | _, None -> Dep { dist = d0; exact = false }
+    | Some (sa, oa), Some (sb, ob) ->
+      if sa = sb then (
+        match
+          equal_stride_min_dist ~s:sa ~oa ~ba:first.a_bytes ~ob ~bb:second.a_bytes
+            ~d0
+        with
+        | Some d -> Dep { dist = d; exact = true }
+        | None -> No_dep)
+      else if
+        residues_disjoint ~scale_a:sa ~off_a:oa ~bytes_a:first.a_bytes
+          ~scale_b:sb ~off_b:ob ~bytes_b:second.a_bytes
+      then No_dep
+      else Dep { dist = d0; exact = false }

@@ -1,0 +1,49 @@
+(** Compile-time memory disambiguation (paper Section 3.1: memory
+    dependences "are added by the compiler after applying some memory
+    disambiguation techniques", and the compiler "always stays on the
+    conservative side").
+
+    An access is described by the array it touches, an optional affine byte
+    address function of the iteration number ([scale * iter + offset],
+    relative to the array base) and its width. Indirect accesses (register
+    subscripts) have no affine form and alias conservatively.
+
+    Soundness contract (property-tested against interpreter traces): if two
+    accesses touch overlapping bytes at iterations [k] and [k + d] in any
+    execution, then [dependence] reports a dependence with distance
+    [<= d]. *)
+
+type access = {
+  a_array : string;
+  a_affine : (int * int) option;  (** (byte scale per iteration, byte offset) *)
+  a_bytes : int;  (** access width in bytes, > 0 *)
+}
+
+type verdict =
+  | No_dep  (** proven independent at every iteration distance *)
+  | Dep of { dist : int; exact : bool }
+      (** dependence from the first access at iteration [k] to the second at
+          [k + d]; [exact] when both accesses are affine with equal strides
+          on the same array, so the dependence provably materialises at
+          [dist] — [not exact] marks the {e unresolved false dependences} of
+          Section 3.1, the ones code specialization (Section 6) can test for
+          at run time *)
+
+val dependence :
+  may_overlap:(string -> string -> bool) ->
+  first:access ->
+  second:access ->
+  first_before_second:bool ->
+  verdict
+(** [first_before_second] is program order within the loop body; it decides
+    whether distance 0 is admissible (a later statement can depend on an
+    earlier one in the same iteration, never the reverse). [may_overlap]
+    must be symmetric; accesses to provably-disjoint arrays never depend. *)
+
+val residues_disjoint :
+  scale_a:int -> off_a:int -> bytes_a:int ->
+  scale_b:int -> off_b:int -> bytes_b:int -> bool
+(** The gcd residue test used for unequal strides: true when the two
+    accesses' footprints occupy disjoint residue classes modulo
+    [gcd scale_a scale_b] and therefore can never overlap. Exposed for
+    direct unit testing. *)

@@ -1,0 +1,1 @@
+lib/arch/machine.ml: Format List Printf String

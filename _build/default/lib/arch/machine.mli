@@ -1,0 +1,129 @@
+(** Machine description of the word-interleaved cache clustered VLIW
+    processor (paper Section 2.1, Table 2).
+
+    The machine is a set of homogeneous clusters, each holding a register
+    file, a slice of the functional units and a {e cache module} — the local
+    portion of the L1 data cache. A cache block is distributed across
+    clusters with a configurable interleaving factor; the cluster owning an
+    address is its {e home cluster}. Clusters exchange register values over
+    register-to-register buses and reach remote cache modules / the next
+    memory level over memory buses; both bus kinds run at half the core
+    frequency in the paper's balanced configuration. *)
+
+type fu_kind = Int_fu | Fp_fu | Mem_fu
+(** Functional-unit classes. Table 2: one of each per cluster. *)
+
+type bus = {
+  bus_count : int;  (** number of buses of this kind, shared by all clusters *)
+  bus_latency : int;
+      (** occupancy/transfer latency of one transaction in core cycles
+          (2 = the paper's "runs at 1/2 of the core frequency") *)
+}
+
+type cache = {
+  total_bytes : int;  (** whole distributed L1 (8KB in Table 2) *)
+  block_bytes : int;  (** cache block size (32B) *)
+  assoc : int;  (** set associativity of each cache module (2) *)
+  hit_latency : int;  (** local hit latency in cycles (1) *)
+}
+
+type attraction = {
+  ab_entries : int;  (** total entries per cluster (16 in Section 5) *)
+  ab_assoc : int;  (** associativity (2) *)
+}
+
+type t = {
+  clusters : int;
+  fus_per_cluster : (fu_kind * int) list;
+  issue_width : int;  (** VLIW slots per cluster per cycle *)
+  cache : cache;
+  interleave_bytes : int;
+      (** interleaving factor I: address [a] lives in cluster
+          [(a / I) mod clusters] *)
+  reg_buses : bus;
+  mem_buses : bus;
+  l2_ports : int;  (** ports of the next memory level (4) *)
+  l2_latency : int;  (** total next-level latency, always a hit (10) *)
+  attraction : attraction option;  (** [None] = no Attraction Buffers *)
+}
+
+(** {1 Presets} *)
+
+val table2 : t
+(** The paper's base configuration (Table 2): 4 clusters, 1 FP + 1 Int +
+    1 Mem unit per cluster, 8KB/32B/2-way cache, 4 register buses and 4
+    memory buses at half frequency, 4-port 10-cycle next level, no
+    Attraction Buffers, 4-byte interleaving. *)
+
+val nobal_mem : t
+(** Unbalanced NOBAL+MEM (Section 4.2): four 2-cycle memory buses, two
+    4-cycle register buses. *)
+
+val nobal_reg : t
+(** Unbalanced NOBAL+REG (Section 4.2): two 4-cycle memory buses, four
+    2-cycle register buses. *)
+
+val with_interleave : t -> int -> t
+(** Change the interleaving factor (per-benchmark in Section 4.1: 2B or
+    4B). Only the cache indexing/home function changes. *)
+
+val with_attraction : t -> attraction option -> t
+(** Enable/disable Attraction Buffers (Section 5: 16-entry 2-way). *)
+
+val default_attraction : attraction
+
+(** {1 Address geometry} *)
+
+val home_cluster : t -> addr:int -> int
+(** Home cluster of a byte address. *)
+
+val block_number : t -> addr:int -> int
+(** Index of the cache block containing [addr]. *)
+
+val subblock_bytes : t -> int
+(** Bytes of a block mapped to one cluster ([block_bytes / clusters]). *)
+
+val subblock_id : t -> addr:int -> int
+(** Globally unique id of the subblock containing [addr]: identifies the
+    unit transferred between a cache module and a requester (remote accesses
+    return whole subblocks, Section 5.1). *)
+
+val module_sets : t -> int
+(** Number of sets in one per-cluster cache module. *)
+
+val module_set_index : t -> addr:int -> int
+(** Set index of [addr] inside its home cluster's module. *)
+
+val addrs_of_subblock : t -> subblock:int -> int list
+(** The [interleave_bytes]-granular base addresses a subblock covers,
+    in increasing order. *)
+
+(** {1 Access classification and latency model} *)
+
+type access_class =
+  | Local_hit
+  | Remote_hit
+  | Local_miss
+  | Remote_miss
+  | Combined
+      (** second access to a subblock whose request is still pending; no new
+          request is issued (Section 4.2, Figure 6) *)
+
+val access_class_name : access_class -> string
+
+val latency : t -> access_class -> int
+(** Nominal (contention-free) latency of each access class, used by the
+    scheduler's cache-sensitive latency assignment. [Combined] is reported
+    with remote-hit latency (it is never used as an assumed latency). *)
+
+val all_assumable_latencies : t -> int list
+(** The candidate assumed latencies for a memory instruction, sorted
+    increasing: local hit, remote hit, local miss, remote miss. *)
+
+val validate : t -> (unit, string) result
+(** Structural sanity of a configuration (positive counts, power-of-two
+    geometry where required, block divisible among clusters...). *)
+
+val pp : Format.formatter -> t -> unit
+val describe : t -> (string * string) list
+(** Key/value rendering of the configuration (used to echo Table 2). *)

@@ -1,0 +1,1 @@
+lib/core/chains.ml: Array Hashtbl List Vliw_ddg Vliw_util

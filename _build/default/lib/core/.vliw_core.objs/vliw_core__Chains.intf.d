@@ -1,0 +1,1 @@
+lib/core/chains.mli: Hashtbl Vliw_ddg

@@ -1,0 +1,1 @@
+lib/core/ddgt.ml: Array Hashtbl List Vliw_ddg

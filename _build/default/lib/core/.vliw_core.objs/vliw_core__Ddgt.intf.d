@@ -1,0 +1,1 @@
+lib/core/ddgt.mli: Vliw_ddg

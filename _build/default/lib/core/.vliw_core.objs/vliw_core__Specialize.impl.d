@@ -1,0 +1,1 @@
+lib/core/specialize.ml: Array Hashtbl List Option Vliw_ddg Vliw_ir Vliw_lower

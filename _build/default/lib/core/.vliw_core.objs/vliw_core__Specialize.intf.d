@@ -1,0 +1,1 @@
+lib/core/specialize.mli: Vliw_ddg Vliw_ir Vliw_lower

@@ -1,0 +1,66 @@
+module G = Vliw_ddg.Graph
+module A = Vliw_ddg.Analysis
+
+let chains g =
+  A.undirected_components g ~keep:(fun e -> G.is_mem_kind e.G.e_kind)
+  |> List.filter_map (fun comp ->
+         match List.filter (G.mem_node g) comp with
+         | [] -> None
+         | mems -> Some mems)
+
+(* Only components with an actual dependence (>= 2 members) count as
+   chains for the Table 3 ratios: g721 has memory operations but a CMR of
+   0 — an isolated memory op constrains nothing. *)
+let biggest g =
+  List.fold_left
+    (fun best c -> if List.length c > List.length best then c else best)
+    [] (chains g)
+  |> function
+  | [ _ ] -> []
+  | c -> c
+
+let cmr g =
+  let mems = List.length (G.mem_refs g) in
+  Vliw_util.Stats.ratio (List.length (biggest g)) mems
+
+let car g =
+  Vliw_util.Stats.ratio (List.length (biggest g)) (G.node_count g)
+
+type constraints = {
+  pinned : (int, int) Hashtbl.t;
+  grouped : int list list;
+}
+
+let no_constraints () = { pinned = Hashtbl.create 4; grouped = [] }
+
+(* Only real chains (two or more members) are constrained: an isolated
+   memory operation is just a PrefClus-scheduled instruction, free to fall
+   back to another cluster when resources demand it. *)
+let prefclus g ~pref =
+  let pinned = Hashtbl.create 16 in
+  let grouped = ref [] in
+  List.iter
+    (fun chain ->
+      if List.length chain >= 2 then (
+        let hist = ref [||] in
+        List.iter
+          (fun id ->
+            match pref id with
+            | None -> ()
+            | Some h ->
+              if Array.length !hist = 0 then hist := Array.make (Array.length h) 0;
+              Array.iteri (fun c v -> !hist.(c) <- !hist.(c) + v) h)
+          chain;
+        if Array.length !hist = 0 then grouped := chain :: !grouped
+        else (
+          (* average preferred cluster: argmax of the summed histograms,
+             lowest cluster on ties *)
+          let best = ref 0 in
+          Array.iteri (fun c v -> if v > !hist.(!best) then best := c) !hist;
+          List.iter (fun id -> Hashtbl.replace pinned id !best) chain)))
+    (chains g);
+  { pinned; grouped = List.rev !grouped }
+
+let mincoms g =
+  { pinned = Hashtbl.create 4;
+    grouped = List.filter (fun c -> List.length c > 1) (chains g) }

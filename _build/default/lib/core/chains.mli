@@ -1,0 +1,53 @@
+(** Memory dependent chains — the MDC solution (paper Section 3.2).
+
+    A chain is a connected component of the sub-graph induced by the memory
+    dependence edges (MF / MA / MO) over the memory nodes. Scheduling every
+    member of a chain in the same cluster serializes all possibly-aliasing
+    accesses: within one cluster, memory operations issue in program order
+    and reach their home cluster in that order; operations in different
+    chains are proven independent and may arrive in any order. *)
+
+val chains : Vliw_ddg.Graph.t -> int list list
+(** All chains, singleton memory nodes included, each sorted by node id,
+    ordered by smallest member. Non-memory nodes never appear. *)
+
+val biggest : Vliw_ddg.Graph.t -> int list
+(** The largest chain of two or more members — [] when every memory
+    operation is isolated (Table 3 reports CMR = 0 for g721 even though it
+    performs memory accesses: singletons constrain nothing). Ties break
+    towards the smallest leading node id. *)
+
+val cmr : Vliw_ddg.Graph.t -> float
+(** Biggest Chain over Memory instructions Ratio (Table 3): memory
+    operations in the biggest chain / all memory operations. With a single
+    loop, the static ratio equals the paper's dynamic one (every static
+    operation executes once per iteration). *)
+
+val car : Vliw_ddg.Graph.t -> float
+(** Biggest Chain over All instructions Ratio (Table 3): memory operations
+    in the biggest chain / all operations in the graph. *)
+
+(** {1 Cluster assignment constraints} *)
+
+type constraints = {
+  pinned : (int, int) Hashtbl.t;
+      (** node -> physical cluster, decided before scheduling (PrefClus:
+          each chain goes to its average preferred cluster) *)
+  grouped : int list list;
+      (** chains whose cluster is chosen when the scheduler places their
+          first member (MinComs), then imposed on the rest *)
+}
+
+val no_constraints : unit -> constraints
+
+val prefclus : Vliw_ddg.Graph.t -> pref:(int -> int array option) -> constraints
+(** MDC under the PrefClus heuristic: pin every chain to the {e average
+    preferred cluster} of its members — the cluster maximising the sum of
+    the members' profiled reference histograms ([pref] maps a node to its
+    histogram; members without a profile contribute nothing). Chains whose
+    members have no profile at all are left grouped instead of pinned. *)
+
+val mincoms : Vliw_ddg.Graph.t -> constraints
+(** MDC under the MinComs heuristic: chains of two or more members are
+    grouped; the scheduler picks the cluster minimising communications when
+    it places the first member. *)

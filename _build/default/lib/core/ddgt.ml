@@ -1,0 +1,148 @@
+module G = Vliw_ddg.Graph
+module A = Vliw_ddg.Analysis
+
+type result = {
+  graph : G.t;
+  replicas : (int * int list) list;
+  fakes : int list;
+  sync_added : int;
+  ma_removed : int;
+}
+
+(* Pick the consumer of L used for synchronization: an RF successor,
+   preferring non-memory consumers, then loads, stores last (the
+   pseudo-code's "if possible, not a store"). Distance-0 consumers only: a
+   loop-carried consumer belongs to a later iteration and cannot order this
+   iteration's store. *)
+let select_consumer g l =
+  let cands =
+    List.filter_map
+      (fun (e : G.edge) ->
+        if e.e_kind = G.RF && e.e_dist = 0 && e.e_dst <> l then
+          Some (G.node g e.e_dst)
+        else None)
+      (G.succs g l)
+  in
+  let score n =
+    match n.G.n_op with
+    | G.Arith _ | G.Fake -> 0
+    | G.Load _ -> 1
+    | G.Store _ -> 2
+  in
+  match List.sort (fun a b -> compare (score a, a.G.n_id) (score b, b.G.n_id)) cands with
+  | [] -> None
+  | n :: _ -> Some n
+
+let transform ~clusters g0 =
+  if clusters < 1 then invalid_arg "Ddgt.transform: clusters must be positive";
+  let g = G.copy g0 in
+  (* --- Store replication (MF and MO dependences) --- *)
+  let to_replicate =
+    List.filter
+      (fun (n : G.node) -> G.is_store n && G.has_mem_dep g n.n_id)
+      (G.nodes g)
+  in
+  let instance_of = Hashtbl.create 16 in
+  (* original id -> instances array indexed by cluster; instance 0 is the
+     original itself *)
+  let replicas = ref [] in
+  List.iter
+    (fun (s : G.node) ->
+      G.set_replica g s.n_id (Some 0);
+      let insts = Array.make clusters s.n_id in
+      let fresh = ref [] in
+      for c = 1 to clusters - 1 do
+        let r = G.add_node g ~seq:s.n_seq ~orig:s.n_id ~replica:c s.n_op in
+        insts.(c) <- r.n_id;
+        fresh := r.n_id :: !fresh
+      done;
+      Hashtbl.replace instance_of s.n_id insts;
+      replicas := (s.n_id, List.rev !fresh) :: !replicas)
+    to_replicate;
+  (* Replicate the edges. No edges have been added yet, so the current edge
+     set is exactly the original one. *)
+  let original_edges = G.edges g in
+  List.iter
+    (fun (e : G.edge) ->
+      let src_insts = Hashtbl.find_opt instance_of e.e_src in
+      let dst_insts = Hashtbl.find_opt instance_of e.e_dst in
+      match (src_insts, dst_insts) with
+      | None, None -> ()
+      | Some si, None ->
+        (* store -> non-replicated node: every instance orders it *)
+        for c = 1 to clusters - 1 do
+          G.add_edge g ~dist:e.e_dist e.e_kind ~src:si.(c) ~dst:e.e_dst
+        done
+      | None, Some di ->
+        (* inputs of the store (operands, MA/MF in-edges) flow to every
+           instance *)
+        for c = 1 to clusters - 1 do
+          G.add_edge g ~dist:e.e_dist e.e_kind ~src:e.e_src ~dst:di.(c)
+        done
+      | Some si, Some di ->
+        (* self dependences and store-store dependences stay per-cluster:
+           the "newly created dependences" between same-cluster instances *)
+        for c = 1 to clusters - 1 do
+          G.add_edge g ~dist:e.e_dist e.e_kind ~src:si.(c) ~dst:di.(c)
+        done)
+    original_edges;
+  (* --- Load-store synchronization (MA dependences) --- *)
+  let fakes = ref [] in
+  let sync_added = ref 0 in
+  let ma_removed = ref 0 in
+  let ma_edges = List.filter (fun (e : G.edge) -> e.e_kind = G.MA) (G.edges g) in
+  List.iter
+    (fun (d : G.edge) ->
+      let l = d.e_src and s = d.e_dst in
+      let subsumed_by_rf =
+        List.exists
+          (fun (e : G.edge) ->
+            e.e_kind = G.RF && e.e_dst = s && e.e_dist = d.e_dist)
+          (G.succs g l)
+      in
+      if not subsumed_by_rf then (
+        let needs_fake cons =
+          (G.mem_node g cons.G.n_id
+           && cons.G.n_seq > (G.node g s).n_seq
+           && A.reachable_same_iter g ~src:s ~dst:cons.n_id)
+          (* guard beyond the pseudo-code: any consumer the store reaches in
+             the same iteration would close an unschedulable cycle *)
+          || (d.e_dist = 0 && A.reachable_same_iter g ~src:s ~dst:cons.G.n_id)
+        in
+        let cons =
+          match select_consumer g l with
+          | Some c when not (needs_fake c) -> c
+          | _ ->
+            let f = G.add_node g ~seq:(G.node g l).n_seq G.Fake in
+            G.add_edge g G.RF ~src:l ~dst:f.n_id;
+            fakes := f.n_id :: !fakes;
+            f
+        in
+        G.add_edge g ~dist:d.e_dist G.SYNC ~src:cons.n_id ~dst:s;
+        incr sync_added);
+      G.remove_edge g d;
+      incr ma_removed)
+    ma_edges;
+  (match G.validate g with
+  | Ok () -> ()
+  | Error e -> failwith ("Ddgt.transform produced an invalid graph: " ^ e));
+  {
+    graph = g;
+    replicas = List.rev !replicas;
+    fakes = List.rev !fakes;
+    sync_added = !sync_added;
+    ma_removed = !ma_removed;
+  }
+
+let replicated_value_operands r orig =
+  match List.assoc_opt orig r.replicas with
+  | None -> 0
+  | Some insts ->
+    List.fold_left
+      (fun acc inst ->
+        acc
+        + List.length
+            (List.filter
+               (fun (e : G.edge) -> e.e_kind = G.RF)
+               (G.preds r.graph inst)))
+      0 insts

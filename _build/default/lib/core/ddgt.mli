@@ -1,0 +1,52 @@
+(** The DDGT solution: Data Dependence Graph transformations
+    (paper Section 3.3, Figures 4 and 5).
+
+    Two transformations make every memory-ordering constraint either local
+    and deterministic or enforced by the stall-on-use mechanism, after which
+    load instructions may be scheduled in {e any} cluster:
+
+    {b Store replication} (overcomes MF and MO dependences). Every store
+    that is memory dependent on any other instruction is replicated
+    [N - 1] times, one instance pinned to each cluster; at run time only
+    the instance in the home cluster of the computed address executes, the
+    others are nullified. Updates therefore always happen locally, with a
+    deterministic latency, so a later aliased load — wherever it is
+    scheduled — observes the new value. All input and output dependences of
+    a replicated store are replicated with it; dependences {e to itself}
+    (self MO) stay per-instance, and a dependence between two replicated
+    stores is re-created between same-cluster instances (the paper's
+    "newly created dependences").
+
+    {b Load-store synchronization} (overcomes MA dependences). An MA edge
+    from load L to store S is deleted; unless an RF edge L -> S with the
+    same distance already subsumes it, a SYNC edge is added from one
+    consumer of L to S: the processor stalls on use, so when any consumer
+    of L issues, L has completed, and S (scheduled no earlier than that
+    consumer) cannot overtake it. If the only usable consumer is a memory
+    operation sequentially posterior to and dependent on S — where the SYNC
+    edge would close an impossible intra-iteration cycle — a {e fake
+    consumer} of L is created (an [add r0 = r0 + rX]) and synchronized
+    instead. *)
+
+type result = {
+  graph : Vliw_ddg.Graph.t;  (** the transformed graph (input left intact) *)
+  replicas : (int * int list) list;
+      (** replicated store -> its new instances (original excluded),
+          in cluster order 1..N-1 *)
+  fakes : int list;  (** fake consumer nodes created *)
+  sync_added : int;  (** SYNC edges added *)
+  ma_removed : int;  (** MA edges removed (all of them) *)
+}
+
+val transform : clusters:int -> Vliw_ddg.Graph.t -> result
+(** Apply both transformations for an [clusters]-cluster machine. The
+    result graph contains no MA edges, and every store that had a memory
+    dependence is pinned: instance [k] to cluster [k] (the original is
+    instance 0). Validates on the way out; raises [Failure] if the
+    transformed graph is structurally ill-formed (a bug, not an input
+    condition). *)
+
+val replicated_value_operands : result -> int -> int
+(** Number of extra register-flow in-edges introduced by replicating a
+    given store — the additional communication operations of Table 4 are
+    proportional to these. *)

@@ -1,0 +1,78 @@
+module G = Vliw_ddg.Graph
+module L = Vliw_lower.Lower
+
+type result = {
+  graph : G.t;
+  removed : int;
+  kept_ambiguous : int;
+  checks : int;
+}
+
+(* Byte footprint of each memory site on the reference run, as a sorted
+   list of disjoint intervals. *)
+let footprints (profile : Vliw_ir.Interp.result) =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun (ev : Vliw_ir.Interp.event) ->
+      let cur = Option.value (Hashtbl.find_opt tbl ev.ev_site) ~default:[] in
+      Hashtbl.replace tbl ev.ev_site ((ev.ev_addr, ev.ev_addr + ev.ev_size) :: cur))
+    profile.events;
+  let merge ivs =
+    let sorted = List.sort compare ivs in
+    List.fold_left
+      (fun acc (lo, hi) ->
+        match acc with
+        | (plo, phi) :: rest when lo <= phi -> (plo, max phi hi) :: rest
+        | _ -> (lo, hi) :: acc)
+      [] sorted
+    |> List.rev
+  in
+  let merged = Hashtbl.create 16 in
+  Hashtbl.iter (fun k v -> Hashtbl.replace merged k (merge v)) tbl;
+  merged
+
+let overlap a b =
+  (* both sorted disjoint interval lists *)
+  let rec go a b =
+    match (a, b) with
+    | [], _ | _, [] -> false
+    | (alo, ahi) :: arest, (blo, bhi) :: brest ->
+      if alo < bhi && blo < ahi then true
+      else if ahi <= blo then go arest b
+      else go a brest
+  in
+  go a b
+
+let specialize (low : L.t) ~profile =
+  let g = G.copy low.graph in
+  let fp = footprints profile in
+  let site_of id = L.site_of_node low id in
+  let removed = ref 0 and kept = ref 0 in
+  let checked_pairs = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun (e : G.edge) () ->
+      match (site_of e.e_src, site_of e.e_dst) with
+      | Some s1, Some s2 ->
+        let f1 = Option.value (Hashtbl.find_opt fp s1) ~default:[] in
+        let f2 = Option.value (Hashtbl.find_opt fp s2) ~default:[] in
+        if overlap f1 f2 then incr kept
+        else (
+          G.remove_edge g e;
+          incr removed;
+          let a1 = (G.node g e.e_src).n_op and a2 = (G.node g e.e_dst).n_op in
+          let arr = function
+            | G.Load mr | G.Store mr -> mr.G.mr_array
+            | _ -> ""
+          in
+          let key =
+            if arr a1 <= arr a2 then (arr a1, arr a2) else (arr a2, arr a1)
+          in
+          Hashtbl.replace checked_pairs key ())
+      | _ -> ())
+    low.ambiguous;
+  {
+    graph = g;
+    removed = !removed;
+    kept_ambiguous = !kept;
+    checks = Hashtbl.length checked_pairs;
+  }

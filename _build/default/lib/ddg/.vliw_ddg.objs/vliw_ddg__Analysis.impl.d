@@ -1,0 +1,1 @@
+lib/ddg/analysis.ml: Graph Hashtbl List Option

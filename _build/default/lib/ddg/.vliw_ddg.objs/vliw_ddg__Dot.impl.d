@@ -1,0 +1,1 @@
+lib/ddg/dot.ml: Buffer Fun Graph List Printf String

@@ -1,0 +1,1 @@
+lib/ddg/graph.ml: Format Hashtbl List Option Printf Vliw_arch

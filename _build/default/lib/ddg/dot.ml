@@ -1,0 +1,45 @@
+let esc s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let to_string ?(name = "ddg") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  rankdir=TB;\n  node [fontname=\"monospace\"];\n";
+  List.iter
+    (fun (n : Graph.node) ->
+      let shape =
+        match n.n_op with
+        | Graph.Load _ | Graph.Store _ -> "box"
+        | Graph.Arith _ -> "ellipse"
+        | Graph.Fake -> "diamond"
+      in
+      let style = match n.n_replica with None -> "solid" | Some _ -> "dashed" in
+      let extra =
+        match n.n_replica with
+        | None -> ""
+        | Some c -> Printf.sprintf "\\n[inst@cl%d]" c
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"n%d: %s%s\", shape=%s, style=%s];\n"
+           n.n_id n.n_id
+           (esc (Graph.op_name n.n_op))
+           extra shape style))
+    (Graph.nodes g);
+  List.iter
+    (fun (e : Graph.edge) ->
+      let label =
+        if e.e_dist = 0 then Graph.edge_kind_name e.e_kind
+        else Printf.sprintf "%s d=%d" (Graph.edge_kind_name e.e_kind) e.e_dist
+      in
+      let style = if e.e_kind = Graph.SYNC then ", style=dotted" else "" in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%s\"%s];\n" e.e_src e.e_dst label
+           style))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))

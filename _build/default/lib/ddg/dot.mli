@@ -1,0 +1,8 @@
+(** Graphviz export of DDGs (handy for eyeballing the Figure 3 -> Figure 5
+    transformation; consumed by the [vliwc --dump-dot] CLI). *)
+
+val to_string : ?name:string -> Graph.t -> string
+(** DOT digraph: memory nodes as boxes, replicas dashed, edge labels
+    "KIND d=n" (distance omitted when 0), SYNC edges dotted. *)
+
+val write_file : string -> Graph.t -> unit

@@ -1,0 +1,210 @@
+type edge_kind = RF | MF | MA | MO | SYNC
+
+let edge_kind_name = function
+  | RF -> "RF" | MF -> "MF" | MA -> "MA" | MO -> "MO" | SYNC -> "SYNC"
+
+let is_mem_kind = function MF | MA | MO -> true | RF | SYNC -> false
+
+type mem_ref = {
+  mr_array : string;
+  mr_affine : (int * int) option;
+  mr_bytes : int;
+  mr_float : bool;
+  mr_site : int;
+}
+
+type opcode =
+  | Load of mem_ref
+  | Store of mem_ref
+  | Arith of { aname : string; fu_int : bool; latency : int }
+  | Fake
+
+type node = {
+  n_id : int;
+  n_op : opcode;
+  n_seq : int;
+  n_orig : int;
+  n_replica : int option;
+}
+
+type edge = { e_src : int; e_dst : int; e_kind : edge_kind; e_dist : int }
+
+type t = {
+  tbl : (int, node) Hashtbl.t;
+  out_e : (int, edge list) Hashtbl.t;
+  in_e : (int, edge list) Hashtbl.t;
+  mutable next : int;
+}
+
+let create () =
+  { tbl = Hashtbl.create 32; out_e = Hashtbl.create 32; in_e = Hashtbl.create 32;
+    next = 0 }
+
+let copy t =
+  { tbl = Hashtbl.copy t.tbl; out_e = Hashtbl.copy t.out_e;
+    in_e = Hashtbl.copy t.in_e; next = t.next }
+
+let node t id =
+  match Hashtbl.find_opt t.tbl id with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Graph.node: no node %d" id)
+
+let add_node t ?seq ?orig ?replica op =
+  let id = t.next in
+  t.next <- id + 1;
+  let n =
+    {
+      n_id = id;
+      n_op = op;
+      n_seq = Option.value seq ~default:id;
+      n_orig = Option.value orig ~default:id;
+      n_replica = replica;
+    }
+  in
+  Hashtbl.replace t.tbl id n;
+  Hashtbl.replace t.out_e id [];
+  Hashtbl.replace t.in_e id [];
+  n
+
+let succs t id = Option.value (Hashtbl.find_opt t.out_e id) ~default:[]
+let preds t id = Option.value (Hashtbl.find_opt t.in_e id) ~default:[]
+
+let add_edge t ?(dist = 0) kind ~src ~dst =
+  if dist < 0 then invalid_arg "Graph.add_edge: negative distance";
+  if not (Hashtbl.mem t.tbl src) then
+    invalid_arg (Printf.sprintf "Graph.add_edge: no source node %d" src);
+  if not (Hashtbl.mem t.tbl dst) then
+    invalid_arg (Printf.sprintf "Graph.add_edge: no sink node %d" dst);
+  let e = { e_src = src; e_dst = dst; e_kind = kind; e_dist = dist } in
+  let out = succs t src in
+  if not (List.mem e out) then (
+    Hashtbl.replace t.out_e src (e :: out);
+    Hashtbl.replace t.in_e dst (e :: preds t dst))
+
+let set_replica t id replica =
+  Hashtbl.replace t.tbl id { (node t id) with n_replica = replica }
+
+let remove_edge t e =
+  Hashtbl.replace t.out_e e.e_src (List.filter (( <> ) e) (succs t e.e_src));
+  Hashtbl.replace t.in_e e.e_dst (List.filter (( <> ) e) (preds t e.e_dst))
+
+let mem_node t id =
+  match (node t id).n_op with Load _ | Store _ -> true | _ -> false
+
+let node_count t = Hashtbl.length t.tbl
+
+let nodes t =
+  Hashtbl.fold (fun _ n acc -> n :: acc) t.tbl []
+  |> List.sort (fun a b -> compare a.n_id b.n_id)
+
+let edges t =
+  Hashtbl.fold (fun _ es acc -> es @ acc) t.out_e []
+  |> List.sort compare
+
+let mem_refs t =
+  List.filter_map
+    (fun n ->
+      match n.n_op with
+      | Load mr | Store mr -> Some (n, mr)
+      | Arith _ | Fake -> None)
+    (nodes t)
+
+let is_load n = match n.n_op with Load _ -> true | _ -> false
+let is_store n = match n.n_op with Store _ -> true | _ -> false
+
+let has_mem_dep t id =
+  List.exists (fun e -> is_mem_kind e.e_kind) (succs t id)
+  || List.exists (fun e -> is_mem_kind e.e_kind) (preds t id)
+
+let op_latency n ~assumed =
+  match n.n_op with
+  | Load _ | Store _ -> assumed n.n_id
+  | Arith a -> a.latency
+  | Fake -> 1
+
+let fu_kind n =
+  match n.n_op with
+  | Load _ | Store _ -> Vliw_arch.Machine.Mem_fu
+  | Arith a -> if a.fu_int then Vliw_arch.Machine.Int_fu else Vliw_arch.Machine.Fp_fu
+  | Fake -> Vliw_arch.Machine.Int_fu
+
+let op_name = function
+  | Load mr -> Printf.sprintf "load.%d %s" mr.mr_bytes mr.mr_array
+  | Store mr -> Printf.sprintf "store.%d %s" mr.mr_bytes mr.mr_array
+  | Arith a -> a.aname
+  | Fake -> "fake"
+
+(* Cycle detection restricted to distance-0 edges: such a cycle cannot be
+   scheduled at any II. *)
+let zero_dist_acyclic t =
+  let color = Hashtbl.create 16 in
+  (* 0 = white (absent), 1 = grey, 2 = black *)
+  let rec visit id =
+    match Hashtbl.find_opt color id with
+    | Some 1 -> false
+    | Some _ -> true
+    | None ->
+      Hashtbl.replace color id 1;
+      let ok =
+        List.for_all
+          (fun e -> e.e_dist <> 0 || visit e.e_dst)
+          (succs t id)
+      in
+      Hashtbl.replace color id 2;
+      ok
+  in
+  List.for_all (fun n -> visit n.n_id) (nodes t)
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let check_edge e =
+    if not (Hashtbl.mem t.tbl e.e_src) then err "edge from missing node %d" e.e_src
+    else if not (Hashtbl.mem t.tbl e.e_dst) then
+      err "edge to missing node %d" e.e_dst
+    else if e.e_dist < 0 then err "negative distance on %d->%d" e.e_src e.e_dst
+    else
+      let s = node t e.e_src and d = node t e.e_dst in
+      match e.e_kind with
+      | MF ->
+        if is_store s && is_load d then Ok ()
+        else err "MF edge %d->%d is not store->load" e.e_src e.e_dst
+      | MA ->
+        if is_load s && is_store d then Ok ()
+        else err "MA edge %d->%d is not load->store" e.e_src e.e_dst
+      | MO ->
+        if is_store s && is_store d then Ok ()
+        else err "MO edge %d->%d is not store->store" e.e_src e.e_dst
+      | SYNC ->
+        if is_store d then Ok ()
+        else err "SYNC edge %d->%d does not sink at a store" e.e_src e.e_dst
+      | RF ->
+        if is_store s then err "RF edge %d->%d sourced at a store" e.e_src e.e_dst
+        else if e.e_src = e.e_dst && e.e_dist = 0 then
+          err "RF self-edge at distance 0 on node %d" e.e_src
+        else Ok ()
+  in
+  let rec all = function
+    | [] -> Ok ()
+    | e :: rest -> ( match check_edge e with Ok () -> all rest | Error _ as r -> r)
+  in
+  match all (edges t) with
+  | Error _ as r -> r
+  | Ok () ->
+    if zero_dist_acyclic t then Ok ()
+    else err "intra-iteration (distance-0) dependence cycle"
+
+let pp ppf t =
+  Format.fprintf ppf "DDG: %d nodes@." (node_count t);
+  List.iter
+    (fun n ->
+      Format.fprintf ppf "  n%-3d seq=%-3d %s%s@." n.n_id n.n_seq
+        (op_name n.n_op)
+        (match n.n_replica with
+        | None -> ""
+        | Some c -> Printf.sprintf " [replica->cluster %d]" c))
+    (nodes t);
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  n%d -%s(d=%d)-> n%d@." e.e_src
+        (edge_kind_name e.e_kind) e.e_dist e.e_dst)
+    (edges t)

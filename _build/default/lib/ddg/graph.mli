@@ -1,0 +1,119 @@
+(** Data Dependence Graph of one loop body (paper Section 3.1, Figure 3).
+
+    Nodes are machine operations of a single iteration; edges carry a
+    dependence kind and an iteration {e distance} ([d] in the paper's
+    figures: the dependence goes from the source in iteration [k] to the
+    sink in iteration [k + d]).
+
+    Dependence kinds:
+    - [RF] register flow — the sink consumes the value the source produces;
+    - [MF]/[MA]/[MO] memory flow / anti / output — added by the compiler's
+      disambiguation between possibly-aliasing memory operations (true and
+      {e unresolved false} dependences alike, Section 3.1);
+    - [SYNC] — introduced by the DDGT transformation: the sink (a store)
+      must be scheduled at or after the source (a consumer of a load),
+      Section 3.3. *)
+
+type edge_kind = RF | MF | MA | MO | SYNC
+
+val edge_kind_name : edge_kind -> string
+
+val is_mem_kind : edge_kind -> bool
+(** [MF], [MA] or [MO] — the kinds that define memory dependent chains. *)
+
+type mem_ref = {
+  mr_array : string;  (** array accessed *)
+  mr_affine : (int * int) option;
+      (** [Some (scale, offset)]: byte address is
+          [array base + scale * iteration + offset]; [None] for indirect
+          (register-addressed) accesses *)
+  mr_bytes : int;  (** access width in bytes *)
+  mr_float : bool;  (** float element class (value truncation semantics) *)
+  mr_site : int;  (** canonical static site id ({!Vliw_ir.Sites}) *)
+}
+
+type opcode =
+  | Load of mem_ref
+  | Store of mem_ref
+  | Arith of { aname : string; fu_int : bool; latency : int }
+      (** [fu_int]: executes on the integer FU, otherwise FP *)
+  | Fake
+      (** fake consumer created by load-store synchronization
+          (an [add r0 = r0 + rX]; integer FU, latency 1) *)
+
+type node = {
+  n_id : int;
+  n_op : opcode;
+  n_seq : int;
+      (** sequential program order position; replicas keep the original's *)
+  n_orig : int;  (** id of the original node; [n_id] unless a replica *)
+  n_replica : int option;
+      (** [Some c]: store-replication instance pinned to cluster [c] *)
+}
+
+type edge = { e_src : int; e_dst : int; e_kind : edge_kind; e_dist : int }
+
+type t
+(** Mutable graph. *)
+
+(** {1 Construction} *)
+
+val create : unit -> t
+val copy : t -> t
+
+val add_node : t -> ?seq:int -> ?orig:int -> ?replica:int -> opcode -> node
+(** Fresh node. [seq] defaults to the fresh id (creation order = program
+    order when building from source). *)
+
+val add_edge : t -> ?dist:int -> edge_kind -> src:int -> dst:int -> unit
+(** Add an edge (distance defaults to 0). Duplicate edges (same endpoints,
+    kind and distance) are not added twice. @raise Invalid_argument if
+    either endpoint does not exist or the distance is negative. *)
+
+val remove_edge : t -> edge -> unit
+(** Remove one edge (no-op if absent). *)
+
+val set_replica : t -> int -> int option -> unit
+(** Pin (or unpin) a node to a cluster as a store-replication instance.
+    Used by the DDGT transform to mark the original store as instance 0. *)
+
+(** {1 Observation} *)
+
+val node : t -> int -> node
+val mem_node : t -> int -> bool
+val node_count : t -> int
+val nodes : t -> node list
+(** In increasing id order. *)
+
+val edges : t -> edge list
+val succs : t -> int -> edge list
+val preds : t -> int -> edge list
+val mem_refs : t -> (node * mem_ref) list
+(** Memory nodes (loads and stores) in increasing id order. *)
+
+val is_load : node -> bool
+val is_store : node -> bool
+
+val has_mem_dep : t -> int -> bool
+(** The node has at least one incident MF/MA/MO edge. *)
+
+val op_latency : node -> assumed:(int -> int) -> int
+(** Latency of the value produced by a node: [assumed id] for memory nodes
+    (the scheduler's assumed access latency), the opcode latency for
+    arithmetic, 1 for [Fake]. *)
+
+val fu_kind : node -> Vliw_arch.Machine.fu_kind
+(** Functional unit class the node occupies. *)
+
+(** {1 Validation} *)
+
+val validate : t -> (unit, string) result
+(** Structural invariants: endpoints exist; non-negative distances; edge
+    kinds consistent with endpoint opcodes (MF: store to load; MA: load to
+    store; MO: store to store; SYNC sink is a store; RF source produces a
+    value — not a store); no RF self-edge at distance 0; the distance-0
+    subgraph is acyclic (an intra-iteration dependence cycle is
+    unschedulable). *)
+
+val pp : Format.formatter -> t -> unit
+val op_name : opcode -> string

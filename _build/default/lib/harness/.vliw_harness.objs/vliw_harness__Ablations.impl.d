@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Array Experiments List Runner String Vliw_arch Vliw_core Vliw_ir Vliw_lower Vliw_profile Vliw_sched Vliw_sim Vliw_util Vliw_workloads

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Hashtbl List Runner Vliw_arch Vliw_core Vliw_ddg Vliw_ir Vliw_lower Vliw_sched Vliw_sim Vliw_workloads

@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Runner Vliw_arch Vliw_sched Vliw_workloads

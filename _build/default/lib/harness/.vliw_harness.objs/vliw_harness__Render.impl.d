@@ -1,0 +1,1 @@
+lib/harness/render.ml: Ablations Experiments List Printf Runner Vliw_arch Vliw_util Vliw_workloads

@@ -1,0 +1,1 @@
+lib/harness/render.mli: Ablations Experiments Vliw_arch

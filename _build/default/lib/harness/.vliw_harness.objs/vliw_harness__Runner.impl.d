@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Fun List Printf Vliw_arch Vliw_core Vliw_ddg Vliw_ir Vliw_lower Vliw_profile Vliw_sched Vliw_sim Vliw_workloads

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Vliw_arch Vliw_ddg Vliw_ir Vliw_sched Vliw_sim Vliw_workloads

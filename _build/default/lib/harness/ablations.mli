@@ -1,0 +1,131 @@
+(** Ablation studies for the design decisions the paper takes as given.
+
+    None of these is a table or figure of the paper — each isolates one
+    knob the paper either motivates in prose (Section 2.2's latency
+    trade-off, Section 4.1's per-benchmark interleaving, Section 4.2's
+    "speedups obviously increased when the number of memory buses is
+    reduced from two to one") or leaves as future work (Section 6's hybrid
+    solution). *)
+
+(** {1 Cache-sensitive latency assignment (Section 2.2)} *)
+
+type lat_row = {
+  la_policy : string;
+  la_total : float;  (** AMEAN cycles, normalized to cache-sensitive *)
+  la_compute : float;
+  la_stall : float;
+}
+
+val latency_policies : unit -> lat_row list
+(** Free/MinComs scheduling under the three latency policies: always
+    local-hit (tight, stall-heavy), always remote-miss (stall-free,
+    compute-heavy), and the paper's cache-sensitive compromise. *)
+
+(** {1 Hybrid MDC/DDGT (Section 6)} *)
+
+type hybrid_row = {
+  hy_bench : string;
+  hy_mdc : float;  (** normalized to free MinComs, PrefClus everywhere *)
+  hy_ddgt : float;
+  hy_hybrid : float;
+  hy_choices : string;  (** per-loop choices, e.g. "MDC,DDGT,MDC" *)
+}
+
+val hybrid : unit -> hybrid_row list
+
+(** {1 Attraction Buffer capacity (Section 5)} *)
+
+type ab_row = {
+  ab_entries : int;  (** 0 = no buffers *)
+  ab_mdc : float;  (** AMEAN total, normalized to no-AB MDC (PrefClus) *)
+  ab_ddgt : float;  (** same, normalized to no-AB DDGT *)
+}
+
+val ab_sizes : unit -> ab_row list
+(** Sweep 0/4/8/16/32 entries (2-way throughout). *)
+
+(** {1 Memory-bus count under NOBAL+REG (Section 4.2)} *)
+
+type bus_row = {
+  bu_bench : string;
+  bu_two_buses : float;  (** DDGT-PrefClus speedup over best MDC, 2 buses *)
+  bu_one_bus : float;  (** same with a single memory bus *)
+}
+
+val bus_sweep : unit -> bus_row list
+(** The paper's crossover benchmarks (epicdec, pgpdec, pgpenc, rasta). *)
+
+(** {1 Code specialization at run time (Section 6)} *)
+
+type spec_row = {
+  sp_bench : string;
+  sp_mdc_before : float;
+      (** MDC/PrefClus cycles, normalized to free MinComs *)
+  sp_mdc_after : float;
+      (** MDC/PrefClus on the specialized (aggressive) loop versions, the
+          entry checks charged at two cycles per removed-dependence array
+          pair per invocation *)
+  sp_ddgt : float;  (** DDGT/PrefClus, for reference *)
+}
+
+val specialization : unit -> spec_row list
+(** The paper's prediction that specialization "will benefit the MDC
+    solution over the DDGT solution", made executable: re-run MDC with the
+    false dependences dropped (profiling shows they never materialise on
+    this input, so the aggressive version runs) and compare. Table 5's
+    three benchmarks. *)
+
+(** {1 Interleaving factor (Section 4.1)} *)
+
+type il_row = {
+  il_bench : string;
+  il_chosen : int;
+  il_hit2 : float;  (** free/PrefClus local-hit ratio at 2B interleave *)
+  il_hit4 : float;
+  il_hit8 : float;
+}
+
+val interleave_sweep : unit -> il_row list
+
+(** {1 Loop unrolling (Section 2.2)} *)
+
+type unroll_row = {
+  un_bench : string;
+  un_factors : string;  (** chosen factor per loop *)
+  un_hit_before : float;  (** free/PrefClus local-hit ratio *)
+  un_hit_after : float;
+  un_cycles : float;  (** total cycles after/before *)
+}
+
+val unrolling : unit -> unroll_row list
+(** Benchmarks where the Section 2.2 unrolling objective finds a factor
+    above 1: unroll every loop by its best factor and compare locality and
+    cycles. Benchmarks already NxI-strided are omitted (factor 1
+    everywhere). *)
+
+(** {1 Register pressure} *)
+
+type reg_row = {
+  rp_scheme : string;
+  rp_total : float;
+      (** AMEAN over loops of the summed per-cluster MaxLive *)
+  rp_worst : float;  (** AMEAN of the hottest cluster's MaxLive *)
+}
+
+val reg_pressure : unit -> reg_row list
+(** MaxLive under each technique (PrefClus): chains concentrate liveness in
+    one cluster; store replication adds operand copies everywhere. *)
+
+(** {1 Scheduler node ordering} *)
+
+type ord_row = {
+  or_name : string;
+  or_cycles : float;  (** AMEAN totals, normalized to Height ordering *)
+  or_maxlive : float;  (** AMEAN hottest-cluster MaxLive *)
+  or_ii : float;  (** AMEAN II across all loops *)
+}
+
+val orderings : unit -> ord_row list
+(** Classic height-priority IMS against the Swing-style
+    adjacency/mobility ordering with downward placement
+    ({!Vliw_sched.Ims.ordering}): cycles, pressure and II side by side. *)

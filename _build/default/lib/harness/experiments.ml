@@ -1,0 +1,221 @@
+module M = Vliw_arch.Machine
+module S = Vliw_sched.Schedule
+module W = Vliw_workloads.Workloads
+module R = Runner
+
+type scheme = Runner.technique * S.heuristic
+
+(* memo keyed by machine + benchmark + scheme; the machine record is
+   immutable data, so structural hashing is safe *)
+let cache : (M.t * string * R.technique * S.heuristic, R.bench_run) Hashtbl.t =
+  Hashtbl.create 64
+
+let clear_cache () = Hashtbl.reset cache
+
+let run ~machine ((tech, heur) : scheme) (b : W.benchmark) =
+  let key = (machine, b.W.b_name, tech, heur) in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+    let r = R.run_bench ~machine tech heur b in
+    Hashtbl.replace cache key r;
+    r
+
+(* ---------------- Figure 6 ---------------- *)
+
+type fig6_row = {
+  f6_bench : string;
+  f6_free : R.access_mix;
+  f6_mdc : R.access_mix;
+  f6_ddgt : R.access_mix;
+}
+
+let fig6 ?(machine = M.table2) () =
+  List.map
+    (fun b ->
+      {
+        f6_bench = b.W.b_name;
+        f6_free = R.access_mix (run ~machine (R.Free, S.Pref_clus) b);
+        f6_mdc = R.access_mix (run ~machine (R.Mdc, S.Pref_clus) b);
+        f6_ddgt = R.access_mix (run ~machine (R.Ddgt, S.Pref_clus) b);
+      })
+    W.figures
+
+let amean_mix mixes =
+  let n = float_of_int (max 1 (List.length mixes)) in
+  let avg f = List.fold_left (fun acc m -> acc +. f m) 0. mixes /. n in
+  {
+    R.f_local_hit = avg (fun m -> m.R.f_local_hit);
+    f_remote_hit = avg (fun m -> m.R.f_remote_hit);
+    f_local_miss = avg (fun m -> m.R.f_local_miss);
+    f_remote_miss = avg (fun m -> m.R.f_remote_miss);
+    f_combined = avg (fun m -> m.R.f_combined);
+  }
+
+(* ---------------- Figures 7 / 9 ---------------- *)
+
+type bar = { b_compute : float; b_stall : float }
+
+type fig7_row = {
+  f7_bench : string;
+  f7_mdc_pref : bar;
+  f7_mdc_min : bar;
+  f7_ddgt_pref : bar;
+  f7_ddgt_min : bar;
+}
+
+let fig7 ?(machine = M.table2) () =
+  List.map
+    (fun b ->
+      let base = run ~machine (R.Free, S.Min_coms) b in
+      let norm = if base.R.br_cycles = 0. then 1. else base.R.br_cycles in
+      let bar scheme =
+        let r = run ~machine scheme b in
+        { b_compute = r.R.br_compute /. norm; b_stall = r.R.br_stall /. norm }
+      in
+      {
+        f7_bench = b.W.b_name;
+        f7_mdc_pref = bar (R.Mdc, S.Pref_clus);
+        f7_mdc_min = bar (R.Mdc, S.Min_coms);
+        f7_ddgt_pref = bar (R.Ddgt, S.Pref_clus);
+        f7_ddgt_min = bar (R.Ddgt, S.Min_coms);
+      })
+    W.figures
+
+let fig9 () =
+  fig7 ~machine:(M.with_attraction M.table2 (Some M.default_attraction)) ()
+
+(* ---------------- Table 3 ---------------- *)
+
+type t3_row = { t3_bench : string; t3_cmr : float; t3_car : float }
+
+let table3 () =
+  List.map
+    (fun b ->
+      let r = run ~machine:M.table2 (R.Free, S.Pref_clus) b in
+      let cmr, car = R.cmr_car r in
+      { t3_bench = b.W.b_name; t3_cmr = cmr; t3_car = car })
+    W.figures
+
+(* ---------------- Table 4 ---------------- *)
+
+type t4_row = {
+  t4_bench : string;
+  t4_dcom : float;
+  t4_speedup : float option;
+}
+
+let table4 () =
+  let machine = M.table2 in
+  List.map
+    (fun b ->
+      let free = run ~machine (R.Free, S.Pref_clus) b in
+      let mdc = run ~machine (R.Mdc, S.Pref_clus) b in
+      let ddgt = run ~machine (R.Ddgt, S.Pref_clus) b in
+      let dcom =
+        if mdc.R.br_comm = 0. then if ddgt.R.br_comm = 0. then 1. else ddgt.R.br_comm
+        else ddgt.R.br_comm /. mdc.R.br_comm
+      in
+      (* selected loops: >= 10% MDC slowdown vs the free baseline *)
+      let selected =
+        List.filter_map
+          (fun (f, m, d) ->
+            let fc = float_of_int f.R.lr_stats.Vliw_sim.Sim.total_cycles in
+            let mc = float_of_int m.R.lr_stats.Vliw_sim.Sim.total_cycles in
+            let dc = float_of_int d.R.lr_stats.Vliw_sim.Sim.total_cycles in
+            if fc > 0. && mc >= 1.1 *. fc then Some (mc, dc) else None)
+          (List.map2
+             (fun f (m, d) -> (f, m, d))
+             free.R.br_loops
+             (List.map2 (fun m d -> (m, d)) mdc.R.br_loops ddgt.R.br_loops))
+      in
+      let speedup =
+        match selected with
+        | [] -> None
+        | sel ->
+          let mc = List.fold_left (fun a (m, _) -> a +. m) 0. sel in
+          let dc = List.fold_left (fun a (_, d) -> a +. d) 0. sel in
+          Some ((mc /. dc) -. 1.)
+      in
+      { t4_bench = b.W.b_name; t4_dcom = dcom; t4_speedup = speedup })
+    W.figures
+
+(* ---------------- NOBAL configurations ---------------- *)
+
+type nobal_row = {
+  nb_bench : string;
+  nb_mem_best_mdc_over_ddgt : float;
+  nb_reg_ddgtpref_over_best_mdc : float;
+}
+
+let nobal () =
+  let best machine tech b =
+    min
+      (run ~machine (tech, S.Pref_clus) b).R.br_cycles
+      (run ~machine (tech, S.Min_coms) b).R.br_cycles
+  in
+  List.map
+    (fun b ->
+      let mem_mdc = best M.nobal_mem R.Mdc b in
+      let mem_ddgt = best M.nobal_mem R.Ddgt b in
+      let reg_mdc = best M.nobal_reg R.Mdc b in
+      let reg_ddgt_pref = (run ~machine:M.nobal_reg (R.Ddgt, S.Pref_clus) b).R.br_cycles in
+      {
+        nb_bench = b.W.b_name;
+        nb_mem_best_mdc_over_ddgt =
+          (if mem_mdc = 0. then 1. else mem_ddgt /. mem_mdc);
+        nb_reg_ddgtpref_over_best_mdc =
+          (if reg_ddgt_pref = 0. then 1. else reg_mdc /. reg_ddgt_pref);
+      })
+    W.figures
+
+(* ---------------- Table 5 ---------------- *)
+
+type t5_row = {
+  t5_bench : string;
+  t5_old_cmr : float;
+  t5_old_car : float;
+  t5_new_cmr : float;
+  t5_new_car : float;
+  t5_removed : int;
+}
+
+let table5 () =
+  let machine = M.table2 in
+  List.map
+    (fun name ->
+      let b = W.find name in
+      let old_r = run ~machine (R.Free, S.Pref_clus) b in
+      let old_cmr, old_car = R.cmr_car old_r in
+      (* recompute per loop on the specialized (aggressive) graphs *)
+      let acc_chain = ref 0. and acc_mem = ref 0. and acc_nodes = ref 0. in
+      let removed = ref 0 in
+      List.iter
+        (fun (l : W.loop) ->
+          let k = W.parse_loop l ~seed:b.W.b_profile_seed in
+          let layout = Vliw_ir.Layout.make k in
+          let low = Vliw_lower.Lower.lower k in
+          let profile = Vliw_ir.Interp.run ~layout k in
+          let sp = Vliw_core.Specialize.specialize low ~profile in
+          removed := !removed + sp.Vliw_core.Specialize.removed;
+          let w = float_of_int (l.W.l_weight * k.Vliw_ir.Ast.k_trip) in
+          acc_chain :=
+            !acc_chain
+            +. (w
+               *. float_of_int
+                    (List.length (Vliw_core.Chains.biggest sp.Vliw_core.Specialize.graph)));
+          acc_mem :=
+            !acc_mem
+            +. (w *. float_of_int (List.length (Vliw_ddg.Graph.mem_refs low.Vliw_lower.Lower.graph)));
+          acc_nodes :=
+            !acc_nodes +. (w *. float_of_int (Vliw_ddg.Graph.node_count low.Vliw_lower.Lower.graph)))
+        b.W.b_loops;
+      {
+        t5_bench = name;
+        t5_old_cmr = old_cmr;
+        t5_old_car = old_car;
+        t5_new_cmr = (if !acc_mem = 0. then 0. else !acc_chain /. !acc_mem);
+        t5_new_car = (if !acc_nodes = 0. then 0. else !acc_chain /. !acc_nodes);
+        t5_removed = !removed;
+      })
+    [ "epicdec"; "pgpdec"; "rasta" ]

@@ -1,0 +1,102 @@
+(** The paper's evaluation, experiment by experiment (see DESIGN.md's
+    index). Each function returns typed rows; rendering lives in
+    {!Render}. Results are memoized per (machine, benchmark, technique,
+    heuristic) within the process, so overlapping experiments do not
+    recompute schedules or simulations. *)
+
+type scheme = Runner.technique * Vliw_sched.Schedule.heuristic
+
+val clear_cache : unit -> unit
+(** Drop all memoized runs (used by the Bechamel timing harness so that
+    repeated measurements do real work). *)
+
+val run :
+  machine:Vliw_arch.Machine.t ->
+  scheme ->
+  Vliw_workloads.Workloads.benchmark ->
+  Runner.bench_run
+(** Memoized {!Runner.run_bench}. *)
+
+(** {1 Figure 6 — classification of memory accesses (PrefClus)} *)
+
+type fig6_row = {
+  f6_bench : string;
+  f6_free : Runner.access_mix;
+  f6_mdc : Runner.access_mix;
+  f6_ddgt : Runner.access_mix;
+}
+
+val fig6 : ?machine:Vliw_arch.Machine.t -> unit -> fig6_row list
+(** One row per figure benchmark; compute the AMEAN over the rows with
+    {!amean_mix}. Default machine: Table 2. *)
+
+val amean_mix : Runner.access_mix list -> Runner.access_mix
+
+(** {1 Figures 7 and 9 — execution cycles, normalized} *)
+
+type bar = { b_compute : float; b_stall : float }
+(** Normalized to the machine's free-MinComs baseline total. *)
+
+type fig7_row = {
+  f7_bench : string;
+  f7_mdc_pref : bar;
+  f7_mdc_min : bar;
+  f7_ddgt_pref : bar;
+  f7_ddgt_min : bar;
+}
+
+val fig7 : ?machine:Vliw_arch.Machine.t -> unit -> fig7_row list
+(** Figure 7 on Table 2; pass an Attraction-Buffer machine to reproduce
+    Figure 9 ({!fig9} does exactly that). *)
+
+val fig9 : unit -> fig7_row list
+
+(** {1 Table 3 — chain ratios} *)
+
+type t3_row = { t3_bench : string; t3_cmr : float; t3_car : float }
+
+val table3 : unit -> t3_row list
+
+(** {1 Table 4 — analyzing the DDGT solution} *)
+
+type t4_row = {
+  t4_bench : string;
+  t4_dcom : float;
+      (** ratio of dynamic communication operations, DDGT over MDC, both
+          under PrefClus *)
+  t4_speedup : float option;
+      (** DDGT speedup over MDC on the {e selected loops} — those with at
+          least a 10% MDC slowdown against the free baseline (all under
+          PrefClus); [None] when no loop qualifies (the paper's dashes) *)
+}
+
+val table4 : unit -> t4_row list
+
+(** {1 Section 4.2 "other architectural configurations"} *)
+
+type nobal_row = {
+  nb_bench : string;
+  nb_mem_best_mdc_over_ddgt : float;
+      (** NOBAL+MEM: best-MDC speedup over best-DDGT (the paper: MDC always
+          wins here) *)
+  nb_reg_ddgtpref_over_best_mdc : float;
+      (** NOBAL+REG: DDGT-PrefClus speedup over best-MDC (the paper: 17%
+          for epicdec, 20% pgpdec, 9% pgpenc, 8% rasta) *)
+}
+
+val nobal : unit -> nobal_row list
+
+(** {1 Table 5 — code specialization} *)
+
+type t5_row = {
+  t5_bench : string;
+  t5_old_cmr : float;
+  t5_old_car : float;
+  t5_new_cmr : float;
+  t5_new_car : float;
+  t5_removed : int;  (** ambiguous dependences dropped (dynamic-weighted) *)
+}
+
+val table5 : unit -> t5_row list
+(** epicdec, pgpdec and rasta, like the paper (pgpenc is excluded there as
+    "similar to pgpdec"). *)

@@ -1,0 +1,173 @@
+module M = Vliw_arch.Machine
+module G = Vliw_ddg.Graph
+module S = Vliw_sched.Schedule
+module Driver = Vliw_sched.Driver
+module Chains = Vliw_core.Chains
+module Ddgt = Vliw_core.Ddgt
+module Lower = Vliw_lower.Lower
+module Profile = Vliw_profile.Profile
+module Sim = Vliw_sim.Sim
+module W = Vliw_workloads.Workloads
+module Ir = Vliw_ir
+
+type technique = Free | Mdc | Ddgt | Hybrid
+
+let technique_name = function
+  | Free -> "free"
+  | Mdc -> "MDC"
+  | Ddgt -> "DDGT"
+  | Hybrid -> "hybrid"
+
+type loop_run = {
+  lr_loop : W.loop;
+  lr_graph : G.t;
+  lr_schedule : S.t;
+  lr_stats : Sim.stats;
+  lr_mem_ops : int;
+  lr_chain : int;
+  lr_nodes : int;
+  lr_trip : int;
+}
+
+type bench_run = {
+  br_bench : W.benchmark;
+  br_technique : technique;
+  br_heuristic : S.heuristic;
+  br_loops : loop_run list;
+  br_cycles : float;
+  br_compute : float;
+  br_stall : float;
+  br_comm : float;
+}
+
+let machine_for base (b : W.benchmark) = M.with_interleave base b.b_interleave
+
+let run_loop ~machine ?(lat_policy = Driver.Cache_sensitive)
+    ?(ordering = Vliw_sched.Ims.Height) ?(transform = Fun.id) technique
+    heuristic ~(bench : W.benchmark) (loop : W.loop) =
+  let k_prof = transform (W.parse_loop loop ~seed:bench.b_profile_seed) in
+  let k_exec = transform (W.parse_loop loop ~seed:bench.b_exec_seed) in
+  let layout = Ir.Layout.make k_exec in
+  let prof = Profile.run ~machine ~layout:(Ir.Layout.make k_prof) k_prof in
+  let low = Lower.lower k_exec in
+  let pref = Profile.node_pref prof low.Lower.graph in
+  let fail e =
+    failwith
+      (Printf.sprintf "%s/%s: cannot schedule (%s, %s): %s" bench.b_name
+         loop.l_name (technique_name technique) (S.heuristic_name heuristic) e)
+  in
+  let graph, schedule =
+    match technique with
+    | Hybrid -> (
+      match
+        Vliw_sched.Hybrid.choose ~machine ~heuristic
+          ~pref_for:(Profile.node_pref prof)
+          ~trip:k_exec.Ir.Ast.k_trip low.Lower.graph
+      with
+      | Ok h -> (h.Vliw_sched.Hybrid.graph, h.Vliw_sched.Hybrid.schedule)
+      | Error e -> fail e)
+    | _ ->
+      let graph, constraints =
+        match technique with
+        | Free | Hybrid -> (low.Lower.graph, Chains.no_constraints ())
+        | Mdc ->
+          ( low.Lower.graph,
+            (match heuristic with
+            | S.Pref_clus -> Chains.prefclus low.Lower.graph ~pref
+            | S.Min_coms -> Chains.mincoms low.Lower.graph) )
+        | Ddgt ->
+          let r = Ddgt.transform ~clusters:machine.M.clusters low.Lower.graph in
+          (r.Ddgt.graph, Chains.no_constraints ())
+      in
+      let pref_g = Profile.node_pref prof graph in
+      let schedule =
+        match
+          Driver.run
+            (Driver.request ~heuristic ~constraints ~pref:pref_g ~lat_policy
+               ~ordering machine)
+            graph
+        with
+        | Ok s -> s
+        | Error e -> fail e
+      in
+      (graph, schedule)
+  in
+  let oracle = Ir.Interp.run ~layout k_exec in
+  let stats =
+    Sim.run ~lowered:low ~graph ~schedule ~layout ~mode:(Sim.Oracle oracle)
+      ~warm:true ()
+  in
+  {
+    lr_loop = loop;
+    lr_graph = graph;
+    lr_schedule = schedule;
+    lr_stats = stats;
+    lr_mem_ops = List.length (G.mem_refs low.Lower.graph);
+    lr_chain = List.length (Chains.biggest low.Lower.graph);
+    lr_nodes = G.node_count low.Lower.graph;
+    lr_trip = k_exec.Ir.Ast.k_trip;
+  }
+
+let run_bench ~machine ?lat_policy ?ordering ?transform technique heuristic
+    (bench : W.benchmark) =
+  let machine = machine_for machine bench in
+  let loops =
+    List.map
+      (run_loop ~machine ?lat_policy ?ordering ?transform technique heuristic
+         ~bench)
+      bench.b_loops
+  in
+  let wsum f =
+    List.fold_left
+      (fun acc lr -> acc +. (float_of_int lr.lr_loop.W.l_weight *. f lr))
+      0. loops
+  in
+  {
+    br_bench = bench;
+    br_technique = technique;
+    br_heuristic = heuristic;
+    br_loops = loops;
+    br_cycles = wsum (fun lr -> float_of_int lr.lr_stats.Sim.total_cycles);
+    br_compute = wsum (fun lr -> float_of_int lr.lr_stats.Sim.compute_cycles);
+    br_stall = wsum (fun lr -> float_of_int lr.lr_stats.Sim.stall_cycles);
+    br_comm = wsum (fun lr -> float_of_int lr.lr_stats.Sim.comm_ops);
+  }
+
+type access_mix = {
+  f_local_hit : float;
+  f_remote_hit : float;
+  f_local_miss : float;
+  f_remote_miss : float;
+  f_combined : float;
+}
+
+let access_mix br =
+  let wsum f =
+    List.fold_left
+      (fun acc lr ->
+        acc +. (float_of_int lr.lr_loop.W.l_weight *. float_of_int (f lr.lr_stats)))
+      0. br.br_loops
+  in
+  let total = wsum Sim.accesses_total in
+  let frac f = if total = 0. then 0. else wsum f /. total in
+  {
+    f_local_hit = frac (fun s -> s.Sim.local_hits);
+    f_remote_hit = frac (fun s -> s.Sim.remote_hits);
+    f_local_miss = frac (fun s -> s.Sim.local_misses);
+    f_remote_miss = frac (fun s -> s.Sim.remote_misses);
+    f_combined = frac (fun s -> s.Sim.combined);
+  }
+
+let cmr_car br =
+  let wsum f =
+    List.fold_left
+      (fun acc lr ->
+        acc
+        +. float_of_int (lr.lr_loop.W.l_weight * lr.lr_trip * f lr))
+      0. br.br_loops
+  in
+  let chain = wsum (fun lr -> lr.lr_chain) in
+  let mems = wsum (fun lr -> lr.lr_mem_ops) in
+  let nodes = wsum (fun lr -> lr.lr_nodes) in
+  ( (if mems = 0. then 0. else chain /. mems),
+    if nodes = 0. then 0. else chain /. nodes )

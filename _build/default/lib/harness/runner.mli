@@ -1,0 +1,95 @@
+(** The compile-and-simulate pipeline behind every experiment.
+
+    For one benchmark loop:
+    + parse the kernel twice — once with the benchmark's {e profile} seed,
+      once with its {e execution} seed (Table 1's two input columns);
+    + lay out memory, interpret the profile kernel and collect
+      preferred-cluster histograms ({!Vliw_profile.Profile});
+    + lower the execution kernel to a DDG;
+    + apply the requested coherence technique: none (the paper's optimistic
+      {e free} baseline), MDC chain constraints, or the DDGT transform;
+    + modulo-schedule with the requested heuristic on the requested machine
+      (with the benchmark's interleaving factor applied);
+    + simulate trace-driven (oracle mode, like the paper's simulator), the
+      oracle being the interpreter run on the execution input. *)
+
+type technique =
+  | Free
+  | Mdc
+  | Ddgt
+  | Hybrid
+      (** Section 6's per-loop compile-time choice between MDC and DDGT
+          ({!Vliw_sched.Hybrid}) *)
+
+val technique_name : technique -> string
+
+type loop_run = {
+  lr_loop : Vliw_workloads.Workloads.loop;
+  lr_graph : Vliw_ddg.Graph.t;  (** the graph actually scheduled (post-transform) *)
+  lr_schedule : Vliw_sched.Schedule.t;
+  lr_stats : Vliw_sim.Sim.stats;
+  lr_mem_ops : int;  (** static memory operations in the pre-transform DDG *)
+  lr_chain : int;  (** size of the biggest (>= 2) memory dependent chain *)
+  lr_nodes : int;  (** static DDG operations (pre-transform) *)
+  lr_trip : int;
+}
+
+type bench_run = {
+  br_bench : Vliw_workloads.Workloads.benchmark;
+  br_technique : technique;
+  br_heuristic : Vliw_sched.Schedule.heuristic;
+  br_loops : loop_run list;
+  br_cycles : float;  (** weighted total cycles *)
+  br_compute : float;
+  br_stall : float;
+  br_comm : float;  (** weighted dynamic communication (copy) operations *)
+}
+
+val machine_for :
+  Vliw_arch.Machine.t -> Vliw_workloads.Workloads.benchmark -> Vliw_arch.Machine.t
+(** Apply the benchmark's interleaving factor to a base configuration. *)
+
+val run_loop :
+  machine:Vliw_arch.Machine.t ->
+  ?lat_policy:Vliw_sched.Driver.lat_policy ->
+  ?ordering:Vliw_sched.Ims.ordering ->
+  ?transform:(Vliw_ir.Ast.kernel -> Vliw_ir.Ast.kernel) ->
+  technique ->
+  Vliw_sched.Schedule.heuristic ->
+  bench:Vliw_workloads.Workloads.benchmark ->
+  Vliw_workloads.Workloads.loop ->
+  loop_run
+(** Raises [Failure] if the loop cannot be compiled — a workload bug. *)
+
+val run_bench :
+  machine:Vliw_arch.Machine.t ->
+  ?lat_policy:Vliw_sched.Driver.lat_policy ->
+  ?ordering:Vliw_sched.Ims.ordering ->
+  ?transform:(Vliw_ir.Ast.kernel -> Vliw_ir.Ast.kernel) ->
+  technique ->
+  Vliw_sched.Schedule.heuristic ->
+  Vliw_workloads.Workloads.benchmark ->
+  bench_run
+(** [machine] is the base configuration (Table 2 or a NOBAL variant, with
+    or without Attraction Buffers); the benchmark's interleave is applied
+    on top. [transform] is a source-level rewrite (e.g.
+    {!Vliw_ir.Unroll.unroll}) applied to both the profile and execution
+    kernels before compilation. Loop statistics are weighted by each
+    loop's [l_weight]. *)
+
+(** {1 Aggregate access-class ratios (Figure 6)} *)
+
+type access_mix = {
+  f_local_hit : float;
+  f_remote_hit : float;
+  f_local_miss : float;
+  f_remote_miss : float;
+  f_combined : float;
+}
+
+val access_mix : bench_run -> access_mix
+(** Weighted fractions over all classified accesses; sums to 1 for any run
+    that performs memory accesses. *)
+
+val cmr_car : bench_run -> float * float
+(** The benchmark's dynamic CMR and CAR (Table 3), weighted across loops. *)

@@ -1,0 +1,1 @@
+lib/ir/cse.ml: Ast Hashtbl List Printf

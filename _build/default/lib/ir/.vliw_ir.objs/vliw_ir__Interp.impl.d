@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Ast Bytes Hashtbl Int64 Layout List Option Sem Typecheck Vliw_util

@@ -1,0 +1,1 @@
+lib/ir/lexer.ml: Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Ast Int64 Lexer List Printf

@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Ast Buffer Format Int64 List Printf

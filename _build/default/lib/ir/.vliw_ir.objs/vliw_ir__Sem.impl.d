@@ -1,0 +1,1 @@
+lib/ir/sem.ml: Ast Bytes Char Float Int32 Int64

@@ -1,0 +1,1 @@
+lib/ir/sem.mli: Ast Bytes

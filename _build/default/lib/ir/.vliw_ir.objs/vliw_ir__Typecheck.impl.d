@@ -1,0 +1,1 @@
+lib/ir/typecheck.ml: Ast Hashtbl List Pp Printf Result

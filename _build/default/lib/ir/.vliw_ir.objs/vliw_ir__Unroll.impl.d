@@ -1,0 +1,1 @@
+lib/ir/unroll.ml: Ast Hashtbl Int64 List Printf

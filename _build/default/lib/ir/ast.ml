@@ -1,0 +1,84 @@
+(** Abstract syntax of the loop-kernel IR.
+
+    A {e kernel} is one innermost loop: array and scalar declarations plus a
+    straight-line body executed once per iteration of a canonical induction
+    variable [i] running from [0] to [trip - 1]. This is the shape the
+    paper's techniques operate on (modulo-scheduled inner loops of
+    Mediabench, Section 2.2); everything upstream of the loop is out of
+    scope, so the IR has no control flow — if-converted code is modeled with
+    [Select], mirroring the hyperblocks the paper builds with IMPACT. *)
+
+type ty = I8 | I16 | I32 | I64 | F32 | F64
+
+let ty_bytes = function I8 -> 1 | I16 -> 2 | I32 -> 4 | I64 -> 8 | F32 -> 4 | F64 -> 8
+let ty_is_float = function F32 | F64 -> true | I8 | I16 | I32 | I64 -> false
+
+let ty_name = function
+  | I8 -> "i8" | I16 -> "i16" | I32 -> "i32" | I64 -> "i64"
+  | F32 -> "f32" | F64 -> "f64"
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+  | Min | Max
+  | Lt | Le | Eq | Ne  (** comparisons produce 0/1, feed [Select] *)
+
+type unop = Neg | Not | Abs
+
+(** Array initialisation patterns for the reference interpreter. Each is a
+    pure function of the element index (plus a seed), so the profile and
+    execution data sets of Table 1 are just two seeds. *)
+type init =
+  | Zero
+  | Ramp of int * int  (** [Ramp (start, step)]: element k = start + step*k *)
+  | Random of int  (** seeded pseudo-random bytes *)
+  | Modpat of int  (** element k = k mod m — periodic index tables *)
+
+type expr =
+  | Int of int64
+  | Var of string  (** induction variable [i], scalar, or earlier [Let] temp *)
+  | Load of string * expr  (** [Load (arr, idx)]: element [idx] of [arr] *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Select of expr * expr * expr  (** [Select (c, a, b)] = if c<>0 then a else b *)
+
+type stmt =
+  | Let of string * expr  (** per-iteration temporary *)
+  | Store of string * expr * expr  (** [Store (arr, idx, v)] *)
+  | Assign of string * expr  (** loop-carried scalar update *)
+
+type array_decl = {
+  arr_name : string;
+  arr_ty : ty;
+  arr_len : int;  (** length in elements *)
+  arr_init : init;
+  arr_may_overlap : string option;
+      (** name of another array this one may overlap with: the compiler must
+          then treat cross-array accesses as potential aliases. Models
+          pointer parameters IMPACT cannot disambiguate. *)
+}
+
+type scalar_decl = { sc_name : string; sc_ty : ty; sc_init : int64 }
+
+type kernel = {
+  k_name : string;
+  k_arrays : array_decl list;
+  k_scalars : scalar_decl list;
+  k_trip : int;
+  k_body : stmt list;
+}
+
+let induction_var = "i"
+
+(** Convenience constructors for building kernels programmatically. Open
+    locally ([Ast.Build.(...)]) — the arithmetic operators shadow the integer
+    ones. *)
+module Build = struct
+  let int n = Int (Int64.of_int n)
+  let var v = Var v
+  let ( + ) a b = Binop (Add, a, b)
+  let ( - ) a b = Binop (Sub, a, b)
+  let ( * ) a b = Binop (Mul, a, b)
+  let load arr idx = Load (arr, idx)
+  let i = Var induction_var
+end

@@ -1,0 +1,71 @@
+open Ast
+
+let eliminate (k : kernel) =
+  (* multi-map: several arrays may declare mayoverlap against the same
+     target, and the relation kills in both directions *)
+  let may_partner = Hashtbl.create 4 in
+  List.iter
+    (fun d ->
+      match d.arr_may_overlap with
+      | Some o ->
+        Hashtbl.add may_partner d.arr_name o;
+        Hashtbl.add may_partner o d.arr_name
+      | None -> ())
+    k.k_arrays;
+  let avail : (string * expr, string) Hashtbl.t = Hashtbl.create 16 in
+  let counter = ref 0 in
+  let removed = ref 0 in
+  let body = ref [] in
+  let emit st = body := st :: !body in
+  (* Rewrite an expression: every load becomes a reference to a hoisted
+     temp; repeated loads reuse the earlier temp. Hoisted Lets are emitted
+     (in evaluation order) before the statement being rewritten. *)
+  let rec rw e =
+    match e with
+    | Int _ | Var _ -> e
+    | Load (arr, idx) ->
+      let idx' = rw idx in
+      let key = (arr, idx') in
+      (match Hashtbl.find_opt avail key with
+      | Some temp ->
+        incr removed;
+        Var temp
+      | None ->
+        let temp = Printf.sprintf "__cse_%d" !counter in
+        incr counter;
+        emit (Let (temp, Load (arr, idx')));
+        Hashtbl.replace avail key temp;
+        Var temp)
+    | Unop (op, a) -> Unop (op, rw a)
+    | Binop (op, a, b) ->
+      let a' = rw a in
+      let b' = rw b in
+      Binop (op, a', b')
+    | Select (c, a, b) ->
+      let c' = rw c in
+      let a' = rw a in
+      let b' = rw b in
+      Select (c', a', b')
+  in
+  let kill arr =
+    let partners = Hashtbl.find_all may_partner arr in
+    let dead =
+      Hashtbl.fold
+        (fun ((a, _) as key) _ acc ->
+          if a = arr || List.mem a partners then key :: acc else acc)
+        avail []
+    in
+    List.iter (Hashtbl.remove avail) dead
+  in
+  List.iter
+    (fun st ->
+      match st with
+      | Let (v, e) -> emit (Let (v, rw e))
+      | Store (arr, idx, value) ->
+        let idx' = rw idx in
+        let value' = rw value in
+        emit (Store (arr, idx', value'));
+        kill arr
+      | Assign (s, e) -> emit (Assign (s, rw e)))
+    k.k_body;
+  ({ k with k_body = List.rev !body }, !removed)

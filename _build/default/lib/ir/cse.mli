@@ -1,0 +1,21 @@
+(** Redundant load elimination (local CSE).
+
+    The paper's DDGs come out of IMPACT with classic optimizations already
+    applied; our lowering deliberately does none, so a kernel that names
+    [a\[i\]] twice performs two loads. This pass removes the second: a load
+    whose array and subscript expression are syntactically identical to an
+    earlier one in the same iteration reuses the earlier value, provided no
+    intervening store may touch that array (a store to the array itself or
+    to a [mayoverlap] partner kills the availability — the sound,
+    name-level kill rule).
+
+    Subscript identity is syntactic after normalizing through [Let]-bound
+    temps; anything cleverer belongs in a real value-numbering pass. The
+    transform is semantics-preserving by construction (property-tested
+    against the interpreter) and never changes the kernel's store
+    sites. *)
+
+val eliminate : Ast.kernel -> Ast.kernel * int
+(** Returns the rewritten kernel and the number of loads removed. First
+    occurrences are hoisted into fresh [__cse_N] temps; the kernel must
+    typecheck, and so does the result. *)

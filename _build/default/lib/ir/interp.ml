@@ -1,0 +1,146 @@
+open Ast
+
+type event = {
+  ev_seq : int;
+  ev_iter : int;
+  ev_site : int;
+  ev_is_store : bool;
+  ev_addr : int;
+  ev_size : int;
+  ev_value : int64;
+}
+
+type result = {
+  memory : Bytes.t;
+  final_scalars : (string * int64) list;
+  events : event array;
+  dyn_instr : int;
+}
+
+let init_memory layout (k : kernel) =
+  let mem = Bytes.make (Layout.total_bytes layout) '\000' in
+  List.iter
+    (fun (d : array_decl) ->
+      let b = Layout.base layout d.arr_name in
+      let eb = ty_bytes d.arr_ty in
+      match d.arr_init with
+      | Zero -> ()
+      | Ramp (start, step) ->
+        for e = 0 to d.arr_len - 1 do
+          let v = Int64.of_int (start + (step * e)) in
+          Sem.store_bytes mem (b + (e * eb)) d.arr_ty (Sem.truncate d.arr_ty v)
+        done
+      | Random seed ->
+        let rng = Vliw_util.Prng.create (seed lxor 0x5DEECE66D) in
+        for e = 0 to d.arr_len - 1 do
+          Sem.store_bytes mem (b + (e * eb)) d.arr_ty
+            (Sem.truncate d.arr_ty (Vliw_util.Prng.next rng))
+        done
+      | Modpat m ->
+        let m = max 1 m in
+        for e = 0 to d.arr_len - 1 do
+          Sem.store_bytes mem (b + (e * eb)) d.arr_ty
+            (Sem.truncate d.arr_ty (Int64.of_int (e mod m)))
+        done)
+    k.k_arrays;
+  mem
+
+let run ?trip ~layout (k : kernel) =
+  let info = Typecheck.check_exn k in
+  let trip = Option.value trip ~default:k.k_trip in
+  let mem = init_memory layout k in
+  let scalars = Hashtbl.create 8 in
+  List.iter
+    (fun s -> Hashtbl.replace scalars s.sc_name (Sem.truncate s.sc_ty s.sc_init))
+    k.k_scalars;
+  let events = ref [] in
+  let seq = ref 0 in
+  let site = ref 0 in
+  let dyn = ref 0 in
+  let iter_no = ref 0 in
+  (* Per-iteration state *)
+  let temps = Hashtbl.create 8 in
+  let pending_scalars = ref [] in
+  let emit ~is_store ~addr ~size ~value =
+    events :=
+      { ev_seq = !seq; ev_iter = !iter_no; ev_site = !site; ev_is_store = is_store;
+        ev_addr = addr; ev_size = size; ev_value = value }
+      :: !events;
+    incr seq;
+    incr site
+  in
+  let rec eval e =
+    match e with
+    | Int n -> n
+    | Var v ->
+      if v = induction_var then Int64.of_int !iter_no
+      else (
+        match Hashtbl.find_opt temps v with
+        | Some x -> x
+        | None -> Hashtbl.find scalars v)
+    | Load (arr, idx) ->
+      let iv = eval idx in
+      let d = Typecheck.array_decl info arr in
+      let eb = ty_bytes d.arr_ty in
+      let a =
+        Layout.addr layout ~arr ~elt_bytes:eb ~idx:(Int64.to_int iv)
+      in
+      let v = Sem.load_bytes mem a d.arr_ty in
+      incr dyn;
+      emit ~is_store:false ~addr:a ~size:eb ~value:v;
+      v
+    | Unop (op, a) ->
+      let va = eval a in
+      incr dyn;
+      Sem.unop (Typecheck.expr_ty info a) op va
+    | Binop (op, a, b) ->
+      let va = eval a in
+      let vb = eval b in
+      incr dyn;
+      (* class of the operation is the class of its operands *)
+      let ty =
+        let ta = Typecheck.expr_ty info a in
+        if ty_is_float ta then ta else I64
+      in
+      Sem.binop ty op va vb
+    | Select (c, a, b) ->
+      let vc = eval c in
+      let va = eval a in
+      let vb = eval b in
+      incr dyn;
+      if vc <> 0L then va else vb
+  in
+  for it = 0 to trip - 1 do
+    iter_no := it;
+    site := 0;
+    Hashtbl.reset temps;
+    pending_scalars := [];
+    List.iter
+      (fun stmt ->
+        match stmt with
+        | Let (v, e) -> Hashtbl.replace temps v (eval e)
+        | Store (arr, idx, value) ->
+          let iv = eval idx in
+          let vv = eval value in
+          let d = Typecheck.array_decl info arr in
+          let eb = ty_bytes d.arr_ty in
+          let a = Layout.addr layout ~arr ~elt_bytes:eb ~idx:(Int64.to_int iv) in
+          let tv = Sem.truncate d.arr_ty vv in
+          Sem.store_bytes mem a d.arr_ty tv;
+          incr dyn;
+          emit ~is_store:true ~addr:a ~size:eb ~value:tv
+        | Assign (v, e) ->
+          (* reads see start-of-iteration values; commit after the body *)
+          let value = Sem.truncate (Typecheck.scalar_ty info v) (eval e) in
+          incr dyn;
+          pending_scalars := (v, value) :: !pending_scalars)
+      k.k_body;
+    List.iter (fun (v, value) -> Hashtbl.replace scalars v value) !pending_scalars
+  done;
+  {
+    memory = mem;
+    final_scalars =
+      List.map (fun s -> (s.sc_name, Hashtbl.find scalars s.sc_name)) k.k_scalars;
+    events = Array.of_list (List.rev !events);
+    dyn_instr = !dyn;
+  }

@@ -1,0 +1,39 @@
+(** Reference interpreter.
+
+    Executes a kernel sequentially — one iteration after another, statements
+    in order — over a flat little-endian memory image laid out by
+    {!Layout}. Produces the final memory, final scalar values and a trace of
+    memory events in program order. The trace is the ground truth for:
+
+    - profiling (preferred clusters, Section 2.2),
+    - the simulator's {e trace-driven oracle} mode (the paper's baseline
+      footnote in Section 4.1),
+    - alias-analysis soundness property tests, and
+    - end-to-end correctness checks of simulated executions. *)
+
+type event = {
+  ev_seq : int;  (** global program-order sequence number, from 0 *)
+  ev_iter : int;  (** iteration the event belongs to *)
+  ev_site : int;  (** static site id, as per {!Sites.of_kernel} *)
+  ev_is_store : bool;
+  ev_addr : int;  (** byte address *)
+  ev_size : int;  (** access width in bytes *)
+  ev_value : int64;  (** value loaded / stored (post-truncation) *)
+}
+
+type result = {
+  memory : Bytes.t;  (** final memory image, [Layout.total_bytes] long *)
+  final_scalars : (string * int64) list;
+  events : event array;  (** program order *)
+  dyn_instr : int;
+      (** dynamic instruction count: IR operations executed (one per
+          arithmetic node, load, store and scalar update) — denominator of
+          the paper's CAR ratio *)
+}
+
+val init_memory : Layout.t -> Ast.kernel -> Bytes.t
+(** Fresh memory image with every array initialised per its declaration. *)
+
+val run : ?trip:int -> layout:Layout.t -> Ast.kernel -> result
+(** Execute [trip] iterations (default: the kernel's own trip count). The
+    kernel must typecheck. *)

@@ -1,0 +1,41 @@
+type t = {
+  bases : (string * int * int) list; (* name, base, size *)
+  total : int;
+}
+
+let round_up v align = (v + align - 1) / align * align
+
+let make ?(align = 32) ?(pad = 0) (k : Ast.kernel) =
+  if align <= 0 then invalid_arg "Layout.make: align must be positive";
+  if pad < 0 then invalid_arg "Layout.make: pad must be non-negative";
+  let cur = ref 0 in
+  let bases =
+    List.map
+      (fun (d : Ast.array_decl) ->
+        let size = d.arr_len * Ast.ty_bytes d.arr_ty in
+        let base = round_up !cur align in
+        cur := base + size + pad;
+        (d.arr_name, base, size))
+      k.k_arrays
+  in
+  { bases; total = round_up !cur align }
+
+let base t name =
+  match List.find_opt (fun (n, _, _) -> n = name) t.bases with
+  | Some (_, b, _) -> b
+  | None -> invalid_arg ("Layout.base: unknown array " ^ name)
+
+let wrap_index ~len idx =
+  if len <= 0 then invalid_arg "Layout.wrap_index: non-positive length";
+  let r = idx mod len in
+  if r < 0 then r + len else r
+
+let addr t ~arr ~elt_bytes ~idx =
+  match List.find_opt (fun (n, _, _) -> n = arr) t.bases with
+  | None -> invalid_arg ("Layout.addr: unknown array " ^ arr)
+  | Some (_, b, size) ->
+    let len = size / elt_bytes in
+    b + (wrap_index ~len idx * elt_bytes)
+
+let total_bytes t = t.total
+let arrays t = t.bases

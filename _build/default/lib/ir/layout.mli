@@ -1,0 +1,30 @@
+(** Memory layout: assigns a base byte address to every array of a kernel.
+
+    Arrays are laid out in declaration order, each aligned to the alignment
+    argument (typically the cache block size so that a block never spans two
+    arrays). [pad] inserts that many extra bytes between arrays — the paper
+    uses padding so that an instruction's preferred cluster stays consistent
+    across input sets (Section 2.2); sweeping [pad] shifts the home-cluster
+    mapping of each array. *)
+
+type t
+
+val make : ?align:int -> ?pad:int -> Ast.kernel -> t
+(** Default [align] 32 (the Table 2 block size), [pad] 0. *)
+
+val base : t -> string -> int
+(** Base address of an array. @raise Invalid_argument on unknown names. *)
+
+val addr : t -> arr:string -> elt_bytes:int -> idx:int -> int
+(** Byte address of element [idx]; the index is wrapped into the array (the
+    IR's total semantics for out-of-range subscripts). *)
+
+val total_bytes : t -> int
+(** One past the highest mapped address (size of a flat memory image). *)
+
+val arrays : t -> (string * int * int) list
+(** [(name, base, size_bytes)] in layout order. *)
+
+val wrap_index : len:int -> int -> int
+(** The canonical index wrap: result of reducing any [int] subscript into
+    [\[0, len)]. Shared with the interpreter and the simulator. *)

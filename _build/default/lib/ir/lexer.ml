@@ -1,0 +1,108 @@
+type token =
+  | IDENT of string
+  | INT of int64
+  | KW of string
+  | LBRACE | RBRACE | LBRACK | RBRACK | LPAREN | RPAREN
+  | COLON | COMMA | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | SHL | SHR | TILDE
+  | EQEQ | NEQ | LT | LE | GT | GE
+  | EOF
+
+type pos = { line : int; col : int }
+
+exception Error of string * pos
+
+let keywords =
+  [ "kernel"; "array"; "scalar"; "trip"; "body"; "let"; "zero"; "ramp";
+    "random"; "modpat"; "mayoverlap"; "min"; "max"; "abs"; "select" ]
+
+let token_name = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %Ld" n
+  | KW s -> Printf.sprintf "keyword %S" s
+  | LBRACE -> "'{'" | RBRACE -> "'}'"
+  | LBRACK -> "'['" | RBRACK -> "']'"
+  | LPAREN -> "'('" | RPAREN -> "')'"
+  | COLON -> "':'" | COMMA -> "','" | ASSIGN -> "'='"
+  | PLUS -> "'+'" | MINUS -> "'-'" | STAR -> "'*'"
+  | SLASH -> "'/'" | PERCENT -> "'%'"
+  | AMP -> "'&'" | PIPE -> "'|'" | CARET -> "'^'"
+  | SHL -> "'<<'" | SHR -> "'>>'" | TILDE -> "'~'"
+  | EQEQ -> "'=='" | NEQ -> "'!='"
+  | LT -> "'<'" | LE -> "'<='" | GT -> "'>'" | GE -> "'>='"
+  | EOF -> "end of input"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and bol = ref 0 in
+  let toks = ref [] in
+  let pos i = { line = !line; col = i - !bol + 1 } in
+  let emit i tok = toks := (tok, pos i) :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    let start = !i in
+    (match c with
+    | ' ' | '\t' | '\r' -> incr i
+    | '\n' ->
+      incr line;
+      incr i;
+      bol := !i
+    | '#' ->
+      while !i < n && src.[!i] <> '\n' do incr i done
+    | '{' -> emit start LBRACE; incr i
+    | '}' -> emit start RBRACE; incr i
+    | '[' -> emit start LBRACK; incr i
+    | ']' -> emit start RBRACK; incr i
+    | '(' -> emit start LPAREN; incr i
+    | ')' -> emit start RPAREN; incr i
+    | ':' -> emit start COLON; incr i
+    | ',' -> emit start COMMA; incr i
+    | '+' -> emit start PLUS; incr i
+    | '-' -> emit start MINUS; incr i
+    | '*' -> emit start STAR; incr i
+    | '/' -> emit start SLASH; incr i
+    | '%' -> emit start PERCENT; incr i
+    | '&' -> emit start AMP; incr i
+    | '|' -> emit start PIPE; incr i
+    | '^' -> emit start CARET; incr i
+    | '~' -> emit start TILDE; incr i
+    | '=' ->
+      if !i + 1 < n && src.[!i + 1] = '=' then (emit start EQEQ; i := !i + 2)
+      else (emit start ASSIGN; incr i)
+    | '!' ->
+      if !i + 1 < n && src.[!i + 1] = '=' then (emit start NEQ; i := !i + 2)
+      else raise (Error ("unexpected '!'", pos start))
+    | '<' ->
+      if !i + 1 < n && src.[!i + 1] = '<' then (emit start SHL; i := !i + 2)
+      else if !i + 1 < n && src.[!i + 1] = '=' then (emit start LE; i := !i + 2)
+      else (emit start LT; incr i)
+    | '>' ->
+      if !i + 1 < n && src.[!i + 1] = '>' then (emit start SHR; i := !i + 2)
+      else if !i + 1 < n && src.[!i + 1] = '=' then (emit start GE; i := !i + 2)
+      else (emit start GT; incr i)
+    | c when is_digit c ->
+      let j = ref !i in
+      while !j < n && is_digit src.[!j] do incr j done;
+      let text = String.sub src !i (!j - !i) in
+      (match Int64.of_string_opt text with
+      | Some v -> emit start (INT v)
+      | None -> raise (Error ("integer literal out of range: " ^ text, pos start)));
+      i := !j
+    | c when is_ident_start c ->
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do incr j done;
+      let text = String.sub src !i (!j - !i) in
+      if List.mem text keywords then emit start (KW text)
+      else emit start (IDENT text);
+      i := !j
+    | c -> raise (Error (Printf.sprintf "illegal character %C" c, pos start)));
+    ignore start
+  done;
+  toks := (EOF, pos n) :: !toks;
+  List.rev !toks

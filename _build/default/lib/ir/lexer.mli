@@ -1,0 +1,23 @@
+(** Hand-written lexer for the [.lk] kernel language. *)
+
+type token =
+  | IDENT of string
+  | INT of int64
+  | KW of string  (** keywords: kernel array scalar trip body let zero ramp
+                      random modpat mayoverlap min max abs select *)
+  | LBRACE | RBRACE | LBRACK | RBRACK | LPAREN | RPAREN
+  | COLON | COMMA | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | SHL | SHR | TILDE
+  | EQEQ | NEQ | LT | LE | GT | GE
+  | EOF
+
+type pos = { line : int; col : int }
+
+exception Error of string * pos
+
+val token_name : token -> string
+
+val tokenize : string -> (token * pos) list
+(** Whole-input tokenization. [#] starts a comment running to end of line.
+    @raise Error on an illegal character or malformed literal. *)

@@ -1,0 +1,339 @@
+open Ast
+
+exception Error of string * Lexer.pos
+
+type state = { mutable toks : (Lexer.token * Lexer.pos) list }
+
+let peek st = match st.toks with [] -> (Lexer.EOF, { Lexer.line = 0; col = 0 }) | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let fail st msg =
+  let _, pos = peek st in
+  raise (Error (msg, pos))
+
+let expect st tok =
+  let t, pos = next st in
+  if t <> tok then
+    raise
+      (Error
+         ( Printf.sprintf "expected %s but found %s" (Lexer.token_name tok)
+             (Lexer.token_name t),
+           pos ))
+
+let expect_ident st =
+  match next st with
+  | Lexer.IDENT s, _ -> s
+  | t, pos ->
+    raise (Error ("expected identifier but found " ^ Lexer.token_name t, pos))
+
+let expect_int st =
+  match next st with
+  | Lexer.INT n, _ -> n
+  | Lexer.MINUS, _ -> (
+    match next st with
+    | Lexer.INT n, _ -> Int64.neg n
+    | t, pos ->
+      raise (Error ("expected integer but found " ^ Lexer.token_name t, pos)))
+  | t, pos ->
+    raise (Error ("expected integer but found " ^ Lexer.token_name t, pos))
+
+let expect_kw st kw =
+  match next st with
+  | Lexer.KW k, _ when k = kw -> ()
+  | t, pos ->
+    raise
+      (Error
+         ( Printf.sprintf "expected keyword %S but found %s" kw
+             (Lexer.token_name t),
+           pos ))
+
+let parse_ty st =
+  let name = expect_ident st in
+  match name with
+  | "i8" -> I8 | "i16" -> I16 | "i32" -> I32 | "i64" -> I64
+  | "f32" -> F32 | "f64" -> F64
+  | _ -> fail st (Printf.sprintf "unknown type %S" name)
+
+(* Expressions: precedence climbing. *)
+
+let rec parse_expr_prec st =
+  parse_bitor st
+
+and parse_bitor st =
+  let lhs = ref (parse_bitxor st) in
+  let rec go () =
+    match peek st with
+    | Lexer.PIPE, _ ->
+      advance st;
+      lhs := Binop (Or, !lhs, parse_bitxor st);
+      go ()
+    | _ -> ()
+  in
+  go (); !lhs
+
+and parse_bitxor st =
+  let lhs = ref (parse_bitand st) in
+  let rec go () =
+    match peek st with
+    | Lexer.CARET, _ ->
+      advance st;
+      lhs := Binop (Xor, !lhs, parse_bitand st);
+      go ()
+    | _ -> ()
+  in
+  go (); !lhs
+
+and parse_bitand st =
+  let lhs = ref (parse_cmp st) in
+  let rec go () =
+    match peek st with
+    | Lexer.AMP, _ ->
+      advance st;
+      lhs := Binop (And, !lhs, parse_cmp st);
+      go ()
+    | _ -> ()
+  in
+  go (); !lhs
+
+and parse_cmp st =
+  let lhs = ref (parse_shift st) in
+  let rec go () =
+    match peek st with
+    | Lexer.EQEQ, _ -> advance st; lhs := Binop (Eq, !lhs, parse_shift st); go ()
+    | Lexer.NEQ, _ -> advance st; lhs := Binop (Ne, !lhs, parse_shift st); go ()
+    | Lexer.LT, _ -> advance st; lhs := Binop (Lt, !lhs, parse_shift st); go ()
+    | Lexer.LE, _ -> advance st; lhs := Binop (Le, !lhs, parse_shift st); go ()
+    (* a > b  ==  b < a ; a >= b  ==  b <= a *)
+    | Lexer.GT, _ -> advance st; lhs := Binop (Lt, parse_shift st, !lhs); go ()
+    | Lexer.GE, _ -> advance st; lhs := Binop (Le, parse_shift st, !lhs); go ()
+    | _ -> ()
+  in
+  go (); !lhs
+
+and parse_shift st =
+  let lhs = ref (parse_addsub st) in
+  let rec go () =
+    match peek st with
+    | Lexer.SHL, _ -> advance st; lhs := Binop (Shl, !lhs, parse_addsub st); go ()
+    | Lexer.SHR, _ -> advance st; lhs := Binop (Shr, !lhs, parse_addsub st); go ()
+    | _ -> ()
+  in
+  go (); !lhs
+
+and parse_addsub st =
+  let lhs = ref (parse_muldiv st) in
+  let rec go () =
+    match peek st with
+    | Lexer.PLUS, _ -> advance st; lhs := Binop (Add, !lhs, parse_muldiv st); go ()
+    | Lexer.MINUS, _ -> advance st; lhs := Binop (Sub, !lhs, parse_muldiv st); go ()
+    | _ -> ()
+  in
+  go (); !lhs
+
+and parse_muldiv st =
+  let lhs = ref (parse_unary st) in
+  let rec go () =
+    match peek st with
+    | Lexer.STAR, _ -> advance st; lhs := Binop (Mul, !lhs, parse_unary st); go ()
+    | Lexer.SLASH, _ -> advance st; lhs := Binop (Div, !lhs, parse_unary st); go ()
+    | Lexer.PERCENT, _ -> advance st; lhs := Binop (Rem, !lhs, parse_unary st); go ()
+    | _ -> ()
+  in
+  go (); !lhs
+
+and parse_unary st =
+  match peek st with
+  | Lexer.MINUS, _ -> (
+    advance st;
+    (* Fold negation of literals so that the printer's "-5" round-trips to
+       [Int (-5)] rather than [Unop (Neg, Int 5)]. *)
+    match parse_unary st with
+    | Int n -> Int (Int64.neg n)
+    | e -> Unop (Neg, e))
+  | Lexer.TILDE, _ -> advance st; Unop (Not, parse_unary st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match next st with
+  | Lexer.INT n, _ -> Int n
+  | Lexer.LPAREN, _ ->
+    let e = parse_expr_prec st in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.KW "min", _ -> parse_call2 st (fun a b -> Binop (Min, a, b))
+  | Lexer.KW "max", _ -> parse_call2 st (fun a b -> Binop (Max, a, b))
+  | Lexer.KW "abs", _ ->
+    expect st Lexer.LPAREN;
+    let a = parse_expr_prec st in
+    expect st Lexer.RPAREN;
+    Unop (Abs, a)
+  | Lexer.KW "select", _ ->
+    expect st Lexer.LPAREN;
+    let c = parse_expr_prec st in
+    expect st Lexer.COMMA;
+    let a = parse_expr_prec st in
+    expect st Lexer.COMMA;
+    let b = parse_expr_prec st in
+    expect st Lexer.RPAREN;
+    Select (c, a, b)
+  | Lexer.IDENT name, _ -> (
+    match peek st with
+    | Lexer.LBRACK, _ ->
+      advance st;
+      let idx = parse_expr_prec st in
+      expect st Lexer.RBRACK;
+      Load (name, idx)
+    | _ -> Var name)
+  | t, pos ->
+    raise (Error ("expected expression but found " ^ Lexer.token_name t, pos))
+
+and parse_call2 st mk =
+  expect st Lexer.LPAREN;
+  let a = parse_expr_prec st in
+  expect st Lexer.COMMA;
+  let b = parse_expr_prec st in
+  expect st Lexer.RPAREN;
+  mk a b
+
+let parse_init st =
+  match next st with
+  | Lexer.KW "zero", _ -> Zero
+  | Lexer.KW "ramp", _ ->
+    expect st Lexer.LPAREN;
+    let a = Int64.to_int (expect_int st) in
+    expect st Lexer.COMMA;
+    let b = Int64.to_int (expect_int st) in
+    expect st Lexer.RPAREN;
+    Ramp (a, b)
+  | Lexer.KW "random", _ ->
+    expect st Lexer.LPAREN;
+    let s = Int64.to_int (expect_int st) in
+    expect st Lexer.RPAREN;
+    Random s
+  | Lexer.KW "modpat", _ ->
+    expect st Lexer.LPAREN;
+    let m = Int64.to_int (expect_int st) in
+    expect st Lexer.RPAREN;
+    Modpat m
+  | t, pos ->
+    raise (Error ("expected array initializer but found " ^ Lexer.token_name t, pos))
+
+let parse_stmt st =
+  match next st with
+  | Lexer.KW "let", _ ->
+    let name = expect_ident st in
+    expect st Lexer.ASSIGN;
+    Let (name, parse_expr_prec st)
+  | Lexer.IDENT name, _ -> (
+    match next st with
+    | Lexer.LBRACK, _ ->
+      let idx = parse_expr_prec st in
+      expect st Lexer.RBRACK;
+      expect st Lexer.ASSIGN;
+      Store (name, idx, parse_expr_prec st)
+    | Lexer.ASSIGN, _ -> Assign (name, parse_expr_prec st)
+    | t, pos ->
+      raise
+        (Error ("expected '[' or '=' after identifier, found " ^ Lexer.token_name t, pos)))
+  | t, pos -> raise (Error ("expected statement but found " ^ Lexer.token_name t, pos))
+
+let parse_kernel_body st =
+  expect_kw st "kernel";
+  let k_name = expect_ident st in
+  expect st Lexer.LBRACE;
+  let arrays = ref [] and scalars = ref [] in
+  let trip = ref 64 and body = ref [] and body_seen = ref false in
+  let rec go () =
+    match peek st with
+    | Lexer.RBRACE, _ -> advance st
+    | Lexer.KW "array", _ ->
+      advance st;
+      let name = expect_ident st in
+      expect st Lexer.COLON;
+      let ty = parse_ty st in
+      expect st Lexer.LBRACK;
+      let len = Int64.to_int (expect_int st) in
+      expect st Lexer.RBRACK;
+      expect st Lexer.ASSIGN;
+      let init = parse_init st in
+      let overlap =
+        match peek st with
+        | Lexer.KW "mayoverlap", _ ->
+          advance st;
+          Some (expect_ident st)
+        | _ -> None
+      in
+      arrays :=
+        { arr_name = name; arr_ty = ty; arr_len = len; arr_init = init;
+          arr_may_overlap = overlap }
+        :: !arrays;
+      go ()
+    | Lexer.KW "scalar", _ ->
+      advance st;
+      let name = expect_ident st in
+      expect st Lexer.COLON;
+      let ty = parse_ty st in
+      expect st Lexer.ASSIGN;
+      let v = expect_int st in
+      scalars := { sc_name = name; sc_ty = ty; sc_init = v } :: !scalars;
+      go ()
+    | Lexer.KW "trip", _ ->
+      advance st;
+      trip := Int64.to_int (expect_int st);
+      go ()
+    | Lexer.KW "body", _ ->
+      advance st;
+      expect st Lexer.LBRACE;
+      body_seen := true;
+      let rec stmts () =
+        match peek st with
+        | Lexer.RBRACE, _ -> advance st
+        | _ ->
+          body := parse_stmt st :: !body;
+          stmts ()
+      in
+      stmts ();
+      go ()
+    | t, pos ->
+      raise
+        (Error ("expected kernel declaration but found " ^ Lexer.token_name t, pos))
+  in
+  go ();
+  if not !body_seen then fail st (Printf.sprintf "kernel %S has no body" k_name);
+  {
+    k_name;
+    k_arrays = List.rev !arrays;
+    k_scalars = List.rev !scalars;
+    k_trip = !trip;
+    k_body = List.rev !body;
+  }
+
+let parse_kernels src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec go acc =
+    match peek st with
+    | Lexer.EOF, _ -> List.rev acc
+    | _ -> go (parse_kernel_body st :: acc)
+  in
+  go []
+
+let parse_kernel src =
+  match parse_kernels src with
+  | [ k ] -> k
+  | ks ->
+    raise
+      (Error
+         ( Printf.sprintf "expected exactly one kernel, found %d" (List.length ks),
+           { Lexer.line = 1; col = 1 } ))
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_expr_prec st in
+  expect st Lexer.EOF;
+  e

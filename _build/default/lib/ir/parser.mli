@@ -1,0 +1,36 @@
+(** Recursive-descent parser for the [.lk] kernel language.
+
+    Concrete syntax (one or more kernels per file):
+
+    {v
+    kernel fir {                      # '#' comments run to end of line
+      array x : i16[256] = ramp(0, 3)
+      array y : i16[256] = zero mayoverlap x
+      scalar acc : i64 = 0
+      trip 128
+      body {
+        let t = x[2*i] + x[2*i + 1]
+        y[i] = t
+        acc = acc + t
+      }
+    }
+    v}
+
+    Expression operators, loosest to tightest: [|], [^], [&],
+    [== != < <= > >=], [<< >>], [+ -], [* / %], unary [- ~];
+    calls [min(a,b)], [max(a,b)], [abs(a)], [select(c,a,b)];
+    atoms: integer literals, variables, array subscripts [a\[e\]],
+    parentheses. Subscripts are in {e elements} of the array. *)
+
+exception Error of string * Lexer.pos
+
+val parse_kernels : string -> Ast.kernel list
+(** Parse a whole [.lk] source. @raise Error with position on syntax
+    errors; may also re-raise {!Lexer.Error}. *)
+
+val parse_kernel : string -> Ast.kernel
+(** Parse a source expected to contain exactly one kernel. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression (used by tests and the REPL-ish bits of
+    the CLI). *)

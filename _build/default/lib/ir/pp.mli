@@ -1,0 +1,13 @@
+(** Printers for the kernel IR.
+
+    [kernel_to_string] emits valid [.lk] concrete syntax: for every kernel
+    [k], [Parser.parse_kernel (kernel_to_string k) = k] (property-tested). *)
+
+val binop_sym : Ast.binop -> string
+(** Operator symbol ("+", "<<", ...; "min"/"max" for the call forms). *)
+
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : Ast.stmt -> string
+val kernel_to_string : Ast.kernel -> string
+val pp_kernel : Format.formatter -> Ast.kernel -> unit
+val pp_expr : Format.formatter -> Ast.expr -> unit

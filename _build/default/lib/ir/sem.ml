@@ -1,0 +1,97 @@
+open Ast
+
+let f64_of_bits = Int64.float_of_bits
+let bits_of_f64 = Int64.bits_of_float
+let f32_of_bits v = Int32.float_of_bits (Int64.to_int32 v)
+let bits_of_f32 f = Int64.logand (Int64.of_int32 (Int32.bits_of_float f)) 0xFFFFFFFFL
+
+let fop ty f a b =
+  match ty with
+  | F64 -> bits_of_f64 (f (f64_of_bits a) (f64_of_bits b))
+  | F32 -> bits_of_f32 (f (f32_of_bits a) (f32_of_bits b))
+  | _ -> assert false
+
+let fcmp ty f a b =
+  let r =
+    match ty with
+    | F64 -> f (f64_of_bits a) (f64_of_bits b)
+    | F32 -> f (f32_of_bits a) (f32_of_bits b)
+    | _ -> assert false
+  in
+  if r then 1L else 0L
+
+let b2i b = if b then 1L else 0L
+
+let binop ty op a b =
+  if ty_is_float ty then
+    match op with
+    | Add -> fop ty ( +. ) a b
+    | Sub -> fop ty ( -. ) a b
+    | Mul -> fop ty ( *. ) a b
+    | Div -> fop ty ( /. ) a b
+    | Min -> fop ty Float.min a b
+    | Max -> fop ty Float.max a b
+    | Lt -> fcmp ty ( < ) a b
+    | Le -> fcmp ty ( <= ) a b
+    | Eq -> fcmp ty ( = ) a b
+    | Ne -> fcmp ty ( <> ) a b
+    | Rem | And | Or | Xor | Shl | Shr ->
+      invalid_arg "Sem.binop: bitwise op on float class"
+  else
+    match op with
+    | Add -> Int64.add a b
+    | Sub -> Int64.sub a b
+    | Mul -> Int64.mul a b
+    | Div -> if b = 0L then 0L else Int64.div a b
+    | Rem -> if b = 0L then 0L else Int64.rem a b
+    | And -> Int64.logand a b
+    | Or -> Int64.logor a b
+    | Xor -> Int64.logxor a b
+    | Shl -> Int64.shift_left a (Int64.to_int (Int64.logand b 63L))
+    | Shr -> Int64.shift_right a (Int64.to_int (Int64.logand b 63L))
+    | Min -> if Int64.compare a b <= 0 then a else b
+    | Max -> if Int64.compare a b >= 0 then a else b
+    | Lt -> b2i (Int64.compare a b < 0)
+    | Le -> b2i (Int64.compare a b <= 0)
+    | Eq -> b2i (Int64.equal a b)
+    | Ne -> b2i (not (Int64.equal a b))
+
+let unop ty op a =
+  if ty_is_float ty then
+    match op with
+    | Neg -> fop ty (fun x _ -> -.x) a 0L
+    | Abs -> fop ty (fun x _ -> Float.abs x) a 0L
+    | Not -> invalid_arg "Sem.unop: bitwise not on float class"
+  else
+    match op with
+    | Neg -> Int64.neg a
+    | Not -> Int64.lognot a
+    | Abs -> if Int64.compare a 0L < 0 then Int64.neg a else a
+
+let truncate ty v =
+  match ty with
+  | I8 -> Int64.shift_right (Int64.shift_left v 56) 56
+  | I16 -> Int64.shift_right (Int64.shift_left v 48) 48
+  | I32 -> Int64.shift_right (Int64.shift_left v 32) 32
+  | F32 -> Int64.logand v 0xFFFFFFFFL
+  | I64 | F64 -> v
+
+let load_bytes mem off ty =
+  let b = ty_bytes ty in
+  let v = ref 0L in
+  for k = b - 1 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8)
+           (Int64.of_int (Char.code (Bytes.get mem (off + k))))
+  done;
+  (* sign-extend integer types; keep float bit patterns raw *)
+  (match ty with
+  | I8 | I16 | I32 -> v := truncate ty !v
+  | I64 | F32 | F64 -> ());
+  !v
+
+let store_bytes mem off ty v =
+  let b = ty_bytes ty in
+  for k = 0 to b - 1 do
+    Bytes.set mem (off + k)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * k)) 0xFFL)))
+  done

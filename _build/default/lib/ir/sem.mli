@@ -1,0 +1,23 @@
+(** Value semantics shared by the reference interpreter and the cycle
+    simulator's functional execution.
+
+    All values are carried in 64 bits. Integer expressions compute modulo
+    2^64; float expressions of type [F64] ([F32]) interpret their operand
+    bits as IEEE doubles (singles). The semantics is total: integer division
+    and remainder by zero yield 0, shift amounts are masked to 0..63. *)
+
+val binop : Ast.ty -> Ast.binop -> int64 -> int64 -> int64
+(** [binop ty op a b]: [ty] is the class of the operands ([I64] for any
+    integer expression). *)
+
+val unop : Ast.ty -> Ast.unop -> int64 -> int64
+
+val truncate : Ast.ty -> int64 -> int64
+(** Value as it reads back after being stored with width [ty]
+    (sign-extended for integer types). *)
+
+val load_bytes : Bytes.t -> int -> Ast.ty -> int64
+(** Little-endian typed read at a byte offset (sign-extending). *)
+
+val store_bytes : Bytes.t -> int -> Ast.ty -> int64 -> unit
+(** Little-endian typed write at a byte offset. *)

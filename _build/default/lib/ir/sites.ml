@@ -1,0 +1,51 @@
+open Ast
+
+type site = {
+  site_id : int;
+  site_arr : string;
+  site_is_store : bool;
+  site_index : expr;
+  site_ty : ty;
+}
+
+let of_kernel (k : kernel) =
+  let elt_ty name =
+    match List.find_opt (fun d -> d.arr_name = name) k.k_arrays with
+    | Some d -> d.arr_ty
+    | None -> invalid_arg ("Sites.of_kernel: unknown array " ^ name)
+  in
+  let sites = ref [] in
+  let next = ref 0 in
+  let add arr is_store index =
+    sites :=
+      { site_id = !next; site_arr = arr; site_is_store = is_store;
+        site_index = index; site_ty = elt_ty arr }
+      :: !sites;
+    incr next
+  in
+  let rec walk_expr = function
+    | Int _ | Var _ -> ()
+    | Load (arr, idx) ->
+      walk_expr idx;
+      add arr false idx
+    | Unop (_, a) -> walk_expr a
+    | Binop (_, a, b) ->
+      walk_expr a;
+      walk_expr b
+    | Select (c, a, b) ->
+      walk_expr c;
+      walk_expr a;
+      walk_expr b
+  in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Let (_, e) | Assign (_, e) -> walk_expr e
+      | Store (arr, idx, v) ->
+        walk_expr idx;
+        walk_expr v;
+        add arr true idx)
+    k.k_body;
+  List.rev !sites
+
+let count k = List.length (of_kernel k)

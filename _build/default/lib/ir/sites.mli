@@ -1,0 +1,22 @@
+(** Canonical enumeration of the static memory operations of a kernel.
+
+    The interpreter, the profiler, the alias analysis and the DDG lowering
+    all need to agree on which static load/store an event belongs to. This
+    module fixes the one canonical order: statements in body order; within a
+    statement, expression operands depth-first, left to right (so inner
+    loads come before the loads/stores that consume them); for a store
+    statement, the subscript's loads, then the value's loads, then the store
+    itself. Site ids are dense, starting at 0. *)
+
+type site = {
+  site_id : int;
+  site_arr : string;  (** array accessed *)
+  site_is_store : bool;
+  site_index : Ast.expr;  (** subscript expression, in elements *)
+  site_ty : Ast.ty;  (** element type = access width *)
+}
+
+val of_kernel : Ast.kernel -> site list
+(** All memory sites in canonical order. The kernel must be well-typed. *)
+
+val count : Ast.kernel -> int

@@ -1,0 +1,184 @@
+open Ast
+
+type info = {
+  arrays : (string, array_decl) Hashtbl.t;
+  scalars : (string, ty) Hashtbl.t;
+  temps : (string, ty) Hashtbl.t;
+}
+
+let ( let* ) = Result.bind
+
+(* Expression "class": integers of any width compute as I64; floats keep
+   their width. *)
+let class_join op a b =
+  match (ty_is_float a, ty_is_float b) with
+  | false, false -> Ok I64
+  | true, true ->
+    if a = b then Ok a
+    else Error (Printf.sprintf "mixed float widths in %s" op)
+  | _ -> Error (Printf.sprintf "mixed float/integer operands in %s" op)
+
+let rec infer info e =
+  match e with
+  | Int _ -> Ok I64
+  | Var v ->
+    if v = induction_var then Ok I64
+    else (
+      match Hashtbl.find_opt info.temps v with
+      | Some t -> Ok t
+      | None -> (
+        match Hashtbl.find_opt info.scalars v with
+        | Some t -> Ok (if ty_is_float t then t else I64)
+        | None -> Error (Printf.sprintf "unknown variable %S" v)))
+  | Load (arr, idx) -> (
+    match Hashtbl.find_opt info.arrays arr with
+    | None -> Error (Printf.sprintf "unknown array %S" arr)
+    | Some d ->
+      let* it = infer info idx in
+      if ty_is_float it then
+        Error (Printf.sprintf "subscript of %S has float type" arr)
+      else Ok (if ty_is_float d.arr_ty then d.arr_ty else I64))
+  | Unop (op, a) -> (
+    let* t = infer info a in
+    match op with
+    | Neg | Abs -> Ok t
+    | Not ->
+      if ty_is_float t then Error "bitwise not on float operand" else Ok I64)
+  | Binop (op, a, b) -> (
+    let* ta = infer info a in
+    let* tb = infer info b in
+    match op with
+    | Add | Sub | Mul | Div | Min | Max -> class_join (Pp.binop_sym op) ta tb
+    | Rem | And | Or | Xor | Shl | Shr ->
+      if ty_is_float ta || ty_is_float tb then
+        Error (Printf.sprintf "bitwise/integer op %s on float operand" (Pp.binop_sym op))
+      else Ok I64
+    | Lt | Le | Eq | Ne ->
+      let* _ = class_join (Pp.binop_sym op) ta tb in
+      Ok I64)
+  | Select (c, a, b) ->
+    let* tc = infer info c in
+    if ty_is_float tc then Error "select condition has float type"
+    else
+      let* ta = infer info a in
+      let* tb = infer info b in
+      class_join "select" ta tb
+
+let same_class a b = ty_is_float a = ty_is_float b && (not (ty_is_float a)) || a = b
+
+let check k =
+  let info =
+    {
+      arrays = Hashtbl.create 8;
+      scalars = Hashtbl.create 8;
+      temps = Hashtbl.create 8;
+    }
+  in
+  let* () =
+    if k.k_trip <= 0 then Error "trip count must be positive" else Ok ()
+  in
+  let* () =
+    List.fold_left
+      (fun acc (d : array_decl) ->
+        let* () = acc in
+        if Hashtbl.mem info.arrays d.arr_name then
+          Error (Printf.sprintf "duplicate array %S" d.arr_name)
+        else if d.arr_len <= 0 then
+          Error (Printf.sprintf "array %S has non-positive length" d.arr_name)
+        else (
+          Hashtbl.add info.arrays d.arr_name d;
+          Ok ()))
+      (Ok ()) k.k_arrays
+  in
+  (* mayoverlap targets must exist and must not self-reference *)
+  let* () =
+    List.fold_left
+      (fun acc (d : array_decl) ->
+        let* () = acc in
+        match d.arr_may_overlap with
+        | None -> Ok ()
+        | Some o when o = d.arr_name ->
+          Error (Printf.sprintf "array %S mayoverlap itself" o)
+        | Some o ->
+          if Hashtbl.mem info.arrays o then Ok ()
+          else Error (Printf.sprintf "mayoverlap target %S is not an array" o))
+      (Ok ()) k.k_arrays
+  in
+  let* () =
+    List.fold_left
+      (fun acc (s : scalar_decl) ->
+        let* () = acc in
+        if Hashtbl.mem info.scalars s.sc_name || Hashtbl.mem info.arrays s.sc_name
+        then Error (Printf.sprintf "duplicate declaration %S" s.sc_name)
+        else if s.sc_name = induction_var then
+          Error "scalar may not shadow the induction variable"
+        else (
+          Hashtbl.add info.scalars s.sc_name s.sc_ty;
+          Ok ()))
+      (Ok ()) k.k_scalars
+  in
+  let assigned = Hashtbl.create 4 in
+  let* () =
+    List.fold_left
+      (fun acc stmt ->
+        let* () = acc in
+        match stmt with
+        | Let (v, e) ->
+          if v = induction_var then Error "let may not shadow the induction variable"
+          else if Hashtbl.mem info.temps v || Hashtbl.mem info.scalars v
+                  || Hashtbl.mem info.arrays v then
+            Error (Printf.sprintf "redefinition of %S" v)
+          else
+            let* t = infer info e in
+            Hashtbl.add info.temps v t;
+            Ok ()
+        | Store (arr, idx, v) -> (
+          match Hashtbl.find_opt info.arrays arr with
+          | None -> Error (Printf.sprintf "store to unknown array %S" arr)
+          | Some d ->
+            let* it = infer info idx in
+            if ty_is_float it then
+              Error (Printf.sprintf "subscript of %S has float type" arr)
+            else
+              let* vt = infer info v in
+              if same_class d.arr_ty vt then Ok ()
+              else
+                Error
+                  (Printf.sprintf "store of %s value into %s array %S"
+                     (ty_name vt) (ty_name d.arr_ty) arr))
+        | Assign (v, e) -> (
+          match Hashtbl.find_opt info.scalars v with
+          | None -> Error (Printf.sprintf "assignment to undeclared scalar %S" v)
+          | Some t ->
+            if Hashtbl.mem assigned v then
+              Error (Printf.sprintf "scalar %S assigned more than once" v)
+            else
+              let* et = infer info e in
+              if same_class t et then (
+                Hashtbl.add assigned v ();
+                Ok ())
+              else
+                Error
+                  (Printf.sprintf "assignment of %s value to %s scalar %S"
+                     (ty_name et) (ty_name t) v)))
+      (Ok ()) k.k_body
+  in
+  Ok info
+
+let check_exn k =
+  match check k with Ok i -> i | Error e -> failwith ("typecheck: " ^ e)
+
+let expr_ty info e =
+  match infer info e with
+  | Ok t -> t
+  | Error e -> failwith ("expr_ty on ill-typed expression: " ^ e)
+
+let scalar_ty info v =
+  match Hashtbl.find_opt info.scalars v with
+  | Some t -> t
+  | None -> invalid_arg ("scalar_ty: unknown scalar " ^ v)
+
+let array_decl info a =
+  match Hashtbl.find_opt info.arrays a with
+  | Some d -> d
+  | None -> invalid_arg ("array_decl: unknown array " ^ a)

@@ -1,0 +1,27 @@
+(** Static checks for kernels.
+
+    Scalar semantics: a loop-carried scalar always reads its
+    start-of-iteration value, even textually after its [Assign]; each scalar
+    is assigned at most once per body. This matches the distance-1
+    register-flow edges the lowering emits and keeps the body order-free for
+    scalars. *)
+
+type info
+(** Typing environment produced by a successful check. *)
+
+val check : Ast.kernel -> (info, string) result
+(** Validates a kernel: names resolve (arrays, scalars, temps defined before
+    use, [mayoverlap] targets exist), no temp shadowing or redefinition,
+    scalars assigned at most once, operand classes agree (no bitwise ops on
+    floats, no mixing float/int operands), integer subscripts, positive trip
+    count and array lengths. *)
+
+val check_exn : Ast.kernel -> info
+(** @raise Failure with the error message. *)
+
+val expr_ty : info -> Ast.expr -> Ast.ty
+(** Type of a (checked) expression: [I64] for integer-class expressions,
+    [F32]/[F64] for float-class ones. *)
+
+val scalar_ty : info -> string -> Ast.ty
+val array_decl : info -> string -> Ast.array_decl

@@ -1,0 +1,1 @@
+lib/lower/lint.ml: Format List Lower Printf Vliw_ir

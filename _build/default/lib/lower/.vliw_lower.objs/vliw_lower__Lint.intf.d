@@ -1,0 +1,1 @@
+lib/lower/lint.mli: Format Vliw_ir

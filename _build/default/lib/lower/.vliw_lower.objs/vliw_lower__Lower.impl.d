@@ -1,0 +1,1 @@
+lib/lower/lower.ml: Array Ast Hashtbl Int64 List Option Pp Sem Typecheck Vliw_alias Vliw_ddg Vliw_ir

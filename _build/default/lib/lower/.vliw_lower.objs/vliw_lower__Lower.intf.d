@@ -1,0 +1,1 @@
+lib/lower/lower.mli: Hashtbl Vliw_ddg Vliw_ir

@@ -1,0 +1,162 @@
+open Vliw_ir.Ast
+
+type severity = Warning | Info
+
+type diagnostic = {
+  d_severity : severity;
+  d_code : string;
+  d_message : string;
+}
+
+let diag sev code fmt =
+  Printf.ksprintf
+    (fun m -> { d_severity = sev; d_code = code; d_message = m })
+    fmt
+
+let rec vars_of acc e =
+  match e with
+  | Int _ -> acc
+  | Var v -> v :: acc
+  | Load (_, idx) -> vars_of acc idx
+  | Unop (_, a) -> vars_of acc a
+  | Binop (_, a, b) -> vars_of (vars_of acc a) b
+  | Select (c, a, b) -> vars_of (vars_of (vars_of acc c) a) b
+
+let rec arrays_of acc e =
+  match e with
+  | Int _ | Var _ -> acc
+  | Load (arr, idx) -> arrays_of (arr :: acc) idx
+  | Unop (_, a) -> arrays_of acc a
+  | Binop (_, a, b) -> arrays_of (arrays_of acc a) b
+  | Select (c, a, b) -> arrays_of (arrays_of (arrays_of acc c) a) b
+
+let check (k : kernel) =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let reads = ref [] and loaded = ref [] and stored = ref [] in
+  List.iter
+    (fun st ->
+      match st with
+      | Let (_, e) | Assign (_, e) ->
+        reads := vars_of !reads e;
+        loaded := arrays_of !loaded e
+      | Store (arr, idx, v) ->
+        reads := vars_of (vars_of !reads idx) v;
+        loaded := arrays_of (arrays_of !loaded idx) v;
+        stored := arr :: !stored)
+    k.k_body;
+  let is_read v = List.mem v !reads in
+  (* unused temps *)
+  List.iter
+    (fun st ->
+      match st with
+      | Let (v, _) when not (is_read v) ->
+        add (diag Warning "unused-temp" "temp %S is never read" v)
+      | _ -> ())
+    k.k_body;
+  (* scalar usage *)
+  let assigned = List.filter_map (function Assign (s, _) -> Some s | _ -> None) k.k_body in
+  List.iter
+    (fun s ->
+      let read = is_read s.sc_name in
+      let asg = List.mem s.sc_name assigned in
+      if read && not asg then
+        add (diag Info "constant-scalar" "scalar %S is never assigned; it folds to %Ld"
+               s.sc_name s.sc_init)
+      else if asg && not read then
+        add (diag Info "unread-scalar"
+               "scalar %S is assigned but never read inside the loop" s.sc_name))
+    k.k_scalars;
+  (* array usage *)
+  List.iter
+    (fun d ->
+      let l = List.mem d.arr_name !loaded and s = List.mem d.arr_name !stored in
+      if (not l) && not s then
+        add (diag Warning "unused-array" "array %S is never accessed" d.arr_name)
+      else if l && (not s) && d.arr_init = Zero then
+        add (diag Info "never-written-array"
+               "array %S is zero-initialised and never stored to: every load is 0"
+               d.arr_name))
+    k.k_arrays;
+  (* wrapping subscripts *)
+  let len_of arr =
+    (List.find (fun d -> d.arr_name = arr) k.k_arrays).arr_len
+  in
+  let check_subscript arr idx =
+    match Lower.affine_of_expr k idx with
+    | Some (a, b) ->
+      let v0 = b and v1 = (a * (k.k_trip - 1)) + b in
+      if min v0 v1 < 0 || max v0 v1 >= len_of arr then
+        add (diag Warning "wrapping-subscript"
+               "subscript of %S spans [%d, %d] but the array has %d elements; \
+                the access wraps and is compiled as indirect"
+               arr (min v0 v1) (max v0 v1) (len_of arr))
+    | None -> ()
+  in
+  let rec walk_expr e =
+    match e with
+    | Int _ | Var _ -> ()
+    | Load (arr, idx) ->
+      walk_expr idx;
+      check_subscript arr idx
+    | Unop (_, a) -> walk_expr a
+    | Binop (_, a, b) -> walk_expr a; walk_expr b
+    | Select (c, a, b) -> walk_expr c; walk_expr a; walk_expr b
+  in
+  List.iter
+    (fun st ->
+      match st with
+      | Let (_, e) | Assign (_, e) -> walk_expr e
+      | Store (arr, idx, v) ->
+        walk_expr idx;
+        walk_expr v;
+        check_subscript arr idx)
+    k.k_body;
+  (* dead stores: same array + syntactically identical subscript, no
+     intervening read of the array or a mayoverlap partner *)
+  let partners arr =
+    List.filter_map
+      (fun d ->
+        if d.arr_name = arr then d.arr_may_overlap
+        else if d.arr_may_overlap = Some arr then Some d.arr_name
+        else None)
+      k.k_arrays
+  in
+  let rec scan = function
+    | [] -> ()
+    | Store (arr, idx, _) :: rest ->
+      let killers = arr :: partners arr in
+      let rec dead = function
+        | [] -> false
+        | Store (arr2, idx2, v2) :: _ when arr2 = arr && idx2 = idx ->
+          (* the overwrite's own operands are evaluated before it writes,
+             so loads inside them count as intervening reads *)
+          not
+            (List.exists
+               (fun a -> List.mem a killers)
+               (arrays_of (arrays_of [] idx2) v2))
+        | st :: tl ->
+          (* loads from the killer set are intervening reads; a store to a
+             killer array with a different subscript may alias, so its
+             target array is a barrier too *)
+          let barrier_arrays =
+            match st with
+            | Let (_, e) | Assign (_, e) -> arrays_of [] e
+            | Store (a2, i2, v2) -> a2 :: arrays_of (arrays_of [] i2) v2
+          in
+          if List.exists (fun a -> List.mem a killers) barrier_arrays then false
+          else dead tl
+      in
+      if dead rest then
+        add (diag Warning "dead-store"
+               "store to %S is overwritten before any read" arr);
+      scan rest
+    | _ :: rest -> scan rest
+  in
+  scan k.k_body;
+  List.rev !ds
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s]: %s"
+    (match d.d_severity with Warning -> "warning" | Info -> "info")
+    d.d_code d.d_message

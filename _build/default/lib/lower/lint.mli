@@ -1,0 +1,32 @@
+(** Kernel diagnostics: the warnings a compiler for the [.lk] language owes
+    its users. None of these is an error — the semantics is total — but
+    each usually marks a kernel bug or a performance accident. *)
+
+type severity = Warning | Info
+
+type diagnostic = {
+  d_severity : severity;
+  d_code : string;  (** stable identifier, e.g. "unused-temp" *)
+  d_message : string;
+}
+
+val check : Vliw_ir.Ast.kernel -> diagnostic list
+(** The kernel must typecheck. Diagnoses:
+
+    - [unused-temp] (warning): a [let] whose value is never read;
+    - [dead-store] (warning): a store overwritten by a later store to the
+      same array and syntactically identical subscript, with no
+      intervening read of that array (or a [mayoverlap] partner);
+    - [wrapping-subscript] (warning): an affine subscript that provably
+      leaves [0, len) for some iteration — the wrap-around semantics will
+      silently fold it back in, and the access is compiled as indirect;
+    - [never-written-array] (info): a zero-initialised array that is only
+      read — every load returns 0;
+    - [unused-array] (warning): an array never accessed;
+    - [constant-scalar] (info): a scalar read but never assigned (it folds
+      to its initial value);
+    - [unread-scalar] (info): a scalar assigned but never read inside the
+      loop (live-out only — fine for a result accumulator, suspicious
+      otherwise). *)
+
+val pp : Format.formatter -> diagnostic -> unit

@@ -1,0 +1,332 @@
+open Vliw_ir
+module G = Vliw_ddg.Graph
+module D = Vliw_alias.Disambiguate
+
+type operand_src =
+  | Imm of int64
+  | Affine_idx of int * int
+  | Reg of { producer : int; dist : int; init : int64 }
+
+type nsem =
+  | Sem_bin of Ast.ty * Ast.binop
+  | Sem_un of Ast.ty * Ast.unop
+  | Sem_select
+  | Sem_mov
+
+type t = {
+  graph : G.t;
+  site_node : int array;
+  ambiguous : (G.edge, unit) Hashtbl.t;
+  operands : (int, operand_src list) Hashtbl.t;
+  sems : (int, nsem) Hashtbl.t;
+  mem_index : (int, operand_src) Hashtbl.t;
+  scalar_update : (string * int) list;
+  kernel : Ast.kernel;
+}
+
+(* Latencies and FU classes of arithmetic operations. *)
+let binop_info ty (op : Ast.binop) =
+  let fl = Ast.ty_is_float ty in
+  let name = if fl then "f" ^ Pp.binop_sym op else Pp.binop_sym op in
+  let latency =
+    if fl then match op with Div -> 8 | _ -> 2
+    else match op with Mul -> 2 | Div | Rem -> 4 | _ -> 1
+  in
+  (name, not fl, latency)
+
+let unop_info ty (op : Ast.unop) =
+  let fl = Ast.ty_is_float ty in
+  let name =
+    (if fl then "f" else "")
+    ^ match op with Ast.Neg -> "neg" | Ast.Not -> "not" | Ast.Abs -> "abs"
+  in
+  (name, not fl, if fl then 2 else 1)
+
+let affine_of_expr (k : Ast.kernel) e =
+  let temp_defs = Hashtbl.create 8 in
+  List.iter
+    (fun stmt -> match stmt with
+      | Ast.Let (v, d) -> Hashtbl.replace temp_defs v d
+      | _ -> ())
+    k.Ast.k_body;
+  let rec aff e =
+    match e with
+    | Ast.Int n ->
+      let v = Int64.to_int n in
+      if Int64.of_int v = n then Some (0, v) else None
+    | Ast.Var v when v = Ast.induction_var -> Some (1, 0)
+    | Ast.Var v -> Option.bind (Hashtbl.find_opt temp_defs v) aff
+    | Ast.Unop (Neg, a) -> Option.map (fun (x, y) -> (-x, -y)) (aff a)
+    | Ast.Binop (Add, a, b) -> (
+      match (aff a, aff b) with
+      | Some (xa, ya), Some (xb, yb) -> Some (xa + xb, ya + yb)
+      | _ -> None)
+    | Ast.Binop (Sub, a, b) -> (
+      match (aff a, aff b) with
+      | Some (xa, ya), Some (xb, yb) -> Some (xa - xb, ya - yb)
+      | _ -> None)
+    | Ast.Binop (Mul, a, b) -> (
+      match (aff a, aff b) with
+      | Some (0, c), Some (x, y) | Some (x, y), Some (0, c) ->
+        Some (c * x, c * y)
+      | _ -> None)
+    | Ast.Binop (Shl, a, b) -> (
+      match (aff a, aff b) with
+      | Some (x, y), Some (0, c) when c >= 0 && c <= 31 ->
+        let m = 1 lsl c in
+        Some (x * m, y * m)
+      | _ -> None)
+    | _ -> None
+  in
+  aff e
+
+(* a*i + b stays within [0, len) for all i in [0, trip)? Linear, so checking
+   the endpoints suffices. *)
+let in_bounds ~a ~b ~len ~trip =
+  let v0 = b and v1 = (a * (trip - 1)) + b in
+  min v0 v1 >= 0 && max v0 v1 < len
+
+let lower (k : Ast.kernel) =
+  let info = Typecheck.check_exn k in
+  let g = G.create () in
+  let operands : (int, operand_src list) Hashtbl.t = Hashtbl.create 32 in
+  let sems : (int, nsem) Hashtbl.t = Hashtbl.create 32 in
+  let mem_index : (int, operand_src) Hashtbl.t = Hashtbl.create 8 in
+  let ambiguous : (G.edge, unit) Hashtbl.t = Hashtbl.create 8 in
+  let temp_ops : (string, operand_src) Hashtbl.t = Hashtbl.create 8 in
+  let site_nodes = ref [] in
+  let connect dst o =
+    match o with
+    | Reg { producer; dist; _ } -> G.add_edge g ~dist RF ~src:producer ~dst
+    | Imm _ | Affine_idx _ -> ()
+  in
+  (* Every assigned scalar gets an up-front "mov" node producing its
+     next-iteration value; readers take it at distance 1, with the declared
+     initial value before the first iteration. *)
+  let scalar_movs = Hashtbl.create 4 in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Ast.Assign (v, _) when not (Hashtbl.mem scalar_movs v) ->
+        let n =
+          G.add_node g (G.Arith { aname = "mov." ^ v; fu_int = true; latency = 1 })
+        in
+        Hashtbl.replace sems n.G.n_id Sem_mov;
+        Hashtbl.replace scalar_movs v n.G.n_id
+      | _ -> ())
+    k.k_body;
+  let scalar_init v =
+    let d = List.find (fun (s : Ast.scalar_decl) -> s.sc_name = v) k.k_scalars in
+    Sem.truncate d.sc_ty d.sc_init
+  in
+  let mk_arith name fu_int latency sem ops =
+    let n = G.add_node g (G.Arith { aname = name; fu_int; latency }) in
+    Hashtbl.replace sems n.G.n_id sem;
+    Hashtbl.replace operands n.G.n_id ops;
+    List.iter (connect n.G.n_id) ops;
+    Reg { producer = n.G.n_id; dist = 0; init = 0L }
+  in
+  let rec mk_mem ~is_store arr idx_expr =
+    let d = Typecheck.array_decl info arr in
+    let eb = Ast.ty_bytes d.arr_ty in
+    let affine =
+      match affine_of_expr k idx_expr with
+      | Some (a, b) when in_bounds ~a ~b ~len:d.arr_len ~trip:k.k_trip ->
+        Some (a * eb, b * eb)
+      | _ -> None
+    in
+    (* canonical order: index computation nodes first, then the memory op *)
+    let idx_op = if affine = None then Some (lo_expr idx_expr) else None in
+    let mr =
+      {
+        G.mr_array = arr;
+        mr_affine = affine;
+        mr_bytes = eb;
+        mr_float = Ast.ty_is_float d.arr_ty;
+        mr_site = List.length !site_nodes;
+      }
+    in
+    let n = G.add_node g (if is_store then G.Store mr else G.Load mr) in
+    site_nodes := n.G.n_id :: !site_nodes;
+    (match idx_op with
+    | Some o ->
+      Hashtbl.replace mem_index n.G.n_id o;
+      connect n.G.n_id o
+    | None -> ());
+    n.G.n_id
+  and lo_expr e : operand_src =
+    match affine_of_expr k e with
+    | Some (0, c) -> Imm (Int64.of_int c)
+    | Some (a, b) -> Affine_idx (a, b)
+    | None -> (
+      match e with
+      | Ast.Int n -> Imm n
+      | Ast.Var v -> (
+        match Hashtbl.find_opt temp_ops v with
+        | Some o -> o
+        | None -> (
+          (* a scalar: assigned ones read last iteration's mov, constants
+             fold to their initial value *)
+          match Hashtbl.find_opt scalar_movs v with
+          | Some mov -> Reg { producer = mov; dist = 1; init = scalar_init v }
+          | None -> Imm (scalar_init v)))
+      | Ast.Load (arr, idx) ->
+        let id = mk_mem ~is_store:false arr idx in
+        Reg { producer = id; dist = 0; init = 0L }
+      | Ast.Unop (op, a) -> (
+        let ty = Typecheck.expr_ty info a in
+        let oa = lo_expr a in
+        match oa with
+        | Imm va -> Imm (Sem.unop ty op va)
+        | _ ->
+          let name, fu_int, lat = unop_info ty op in
+          mk_arith name fu_int lat (Sem_un (ty, op)) [ oa ])
+      | Ast.Binop (op, a, b) -> (
+        let ta = Typecheck.expr_ty info a in
+        let ty = if Ast.ty_is_float ta then ta else Ast.I64 in
+        let oa = lo_expr a in
+        let ob = lo_expr b in
+        match (oa, ob) with
+        | Imm va, Imm vb -> Imm (Sem.binop ty op va vb)
+        | _ ->
+          let name, fu_int, lat = binop_info ty op in
+          mk_arith name fu_int lat (Sem_bin (ty, op)) [ oa; ob ])
+      | Ast.Select (c, a, b) -> (
+        let oc = lo_expr c in
+        let oa = lo_expr a in
+        let ob = lo_expr b in
+        match (oc, oa, ob) with
+        | Imm vc, Imm va, Imm vb -> Imm (if vc <> 0L then va else vb)
+        | _ -> mk_arith "select" true 1 Sem_select [ oc; oa; ob ]))
+  in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Ast.Let (v, e) -> Hashtbl.replace temp_ops v (lo_expr e)
+      | Ast.Store (arr, idx, value) ->
+        (* canonical order: subscript loads, then value loads, then store *)
+        let d = Typecheck.array_decl info arr in
+        let eb = Ast.ty_bytes d.arr_ty in
+        let affine =
+          match affine_of_expr k idx with
+          | Some (a, b) when in_bounds ~a ~b ~len:d.arr_len ~trip:k.k_trip ->
+            Some (a * eb, b * eb)
+          | _ -> None
+        in
+        let idx_op = if affine = None then Some (lo_expr idx) else None in
+        let vo = lo_expr value in
+        let mr =
+          {
+            G.mr_array = arr;
+            mr_affine = affine;
+            mr_bytes = eb;
+            mr_float = Ast.ty_is_float d.arr_ty;
+            mr_site = List.length !site_nodes;
+          }
+        in
+        let n = G.add_node g (G.Store mr) in
+        site_nodes := n.G.n_id :: !site_nodes;
+        Hashtbl.replace operands n.G.n_id [ vo ];
+        connect n.G.n_id vo;
+        (match idx_op with
+        | Some o ->
+          Hashtbl.replace mem_index n.G.n_id o;
+          connect n.G.n_id o
+        | None -> ())
+      | Ast.Assign (v, e) ->
+        let o = lo_expr e in
+        let mov = Hashtbl.find scalar_movs v in
+        Hashtbl.replace operands mov [ o ];
+        connect mov o)
+    k.k_body;
+  (* Memory dependence pass: all ordered pairs, both loop directions. *)
+  let mems = G.mem_refs g in
+  let decl name = Typecheck.array_decl info name in
+  let may_overlap a b =
+    a <> b
+    && ((decl a).arr_may_overlap = Some b || (decl b).arr_may_overlap = Some a)
+  in
+  let acc (r : G.mem_ref) =
+    { D.a_array = r.mr_array; a_affine = r.mr_affine; a_bytes = r.mr_bytes }
+  in
+  let add_dep (nf, rf) (ns, rs) before =
+    let fst_store = G.is_store nf and snd_store = G.is_store ns in
+    if fst_store || snd_store then
+      match
+        D.dependence ~may_overlap ~first:(acc rf) ~second:(acc rs)
+          ~first_before_second:before
+      with
+      | D.No_dep -> ()
+      | D.Dep { dist; exact } ->
+        let kind =
+          match (fst_store, snd_store) with
+          | true, false -> G.MF
+          | false, true -> G.MA
+          | true, true -> G.MO
+          | false, false -> assert false
+        in
+        let e =
+          { G.e_src = nf.G.n_id; e_dst = ns.G.n_id; e_kind = kind; e_dist = dist }
+        in
+        G.add_edge g ~dist kind ~src:nf.G.n_id ~dst:ns.G.n_id;
+        if not exact then Hashtbl.replace ambiguous e ()
+  in
+  let rec pairs = function
+    | [] -> ()
+    | ((nf, _) as x) :: rest ->
+      (* self dependence (only meaningful for stores) *)
+      if G.is_store nf then add_dep x x false;
+      List.iter
+        (fun y ->
+          add_dep x y true;
+          add_dep y x false)
+        rest;
+      pairs rest
+  in
+  pairs mems;
+  let site_node = Array.of_list (List.rev !site_nodes) in
+  {
+    graph = g;
+    site_node;
+    ambiguous;
+    operands;
+    sems;
+    mem_index;
+    scalar_update =
+      Hashtbl.fold (fun v id acc -> (v, id) :: acc) scalar_movs []
+      |> List.sort compare;
+    kernel = k;
+  }
+
+let node_of_site t s = G.node t.graph t.site_node.(s)
+
+let site_of_node t id =
+  let rec find i =
+    if i >= Array.length t.site_node then None
+    else if t.site_node.(i) = id then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let best_unroll_factor ~nxi_bytes ~max_factor (k : Ast.kernel) =
+  if nxi_bytes <= 0 then invalid_arg "best_unroll_factor: nxi_bytes";
+  let sites = Vliw_ir.Sites.of_kernel k in
+  let stable u =
+    List.fold_left
+      (fun acc (s : Vliw_ir.Sites.site) ->
+        match affine_of_expr k s.site_index with
+        | Some (a, _) ->
+          let byte_stride = a * Ast.ty_bytes s.site_ty * u in
+          if byte_stride mod nxi_bytes = 0 then acc + 1 else acc
+        | None -> acc)
+      0 sites
+  in
+  let best = ref 1 and best_count = ref (stable 1) in
+  for u = 2 to max_factor do
+    if k.Ast.k_trip mod u = 0 then (
+      let c = stable u in
+      if c > !best_count then (
+        best := u;
+        best_count := c))
+  done;
+  !best

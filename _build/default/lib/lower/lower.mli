@@ -1,0 +1,78 @@
+(** Lowering: kernel IR -> Data Dependence Graph.
+
+    Expressions are flattened to machine operations with register-flow
+    edges; constant and affine-in-[i] subexpressions are folded (affine
+    subscripts become the memory operation's addressing mode rather than
+    explicit address arithmetic — the strength reduction every VLIW
+    compiler performs). Memory dependences are added by querying
+    {!Vliw_alias.Disambiguate} over every ordered pair of memory sites, in
+    both loop directions, keeping the minimum-distance edge of the
+    appropriate kind (MF / MA / MO).
+
+    An affine subscript is only used as an addressing mode if it provably
+    stays in bounds for every iteration [0 .. trip-1] of the kernel's
+    declared trip count; otherwise the access is treated as indirect (the
+    IR's wrap-around semantics would falsify the affine address claim).
+
+    Loop-carried scalars become distance-1 register-flow edges from the
+    node computing the assigned value to every reader. Memory loads are
+    never dead-code-eliminated (site ids must stay in bijection with the
+    interpreter's trace events), and no dead-code elimination is performed
+    on arithmetic either. *)
+
+(** Where an operation's input value comes from. *)
+type operand_src =
+  | Imm of int64  (** folded constant *)
+  | Affine_idx of int * int  (** [a * iteration + b], folded affine value *)
+  | Reg of { producer : int; dist : int; init : int64 }
+      (** output of node [producer], [dist] iterations ago; [init] is the
+          value read while [iteration - dist < 0] (loop-carried scalars'
+          initial values) *)
+
+(** Value semantics of an arithmetic node (replicas resolve through
+    [n_orig]). *)
+type nsem =
+  | Sem_bin of Vliw_ir.Ast.ty * Vliw_ir.Ast.binop
+      (** operand class and operator, evaluated by {!Vliw_ir.Sem.binop} *)
+  | Sem_un of Vliw_ir.Ast.ty * Vliw_ir.Ast.unop
+  | Sem_select  (** operands [c; a; b] *)
+  | Sem_mov  (** identity of its single operand *)
+
+type t = {
+  graph : Vliw_ddg.Graph.t;
+  site_node : int array;  (** site id -> DDG node id *)
+  ambiguous : (Vliw_ddg.Graph.edge, unit) Hashtbl.t;
+      (** memory edges whose disambiguation verdict was conservative
+          (not exact): the unresolved false dependences candidates for code
+          specialization *)
+  operands : (int, operand_src list) Hashtbl.t;
+      (** node id -> inputs; for stores, the single value operand *)
+  sems : (int, nsem) Hashtbl.t;  (** arithmetic node id -> semantics *)
+  mem_index : (int, operand_src) Hashtbl.t;
+      (** indirect memory node id -> element-index operand *)
+  scalar_update : (string * int) list;
+      (** assigned scalar -> node producing its next-iteration value *)
+  kernel : Vliw_ir.Ast.kernel;
+}
+
+val lower : Vliw_ir.Ast.kernel -> t
+(** The kernel must typecheck; raises [Failure] otherwise. Node creation
+    order (hence [n_seq]) follows the canonical site/statement order of
+    {!Vliw_ir.Sites}. *)
+
+val affine_of_expr :
+  Vliw_ir.Ast.kernel -> Vliw_ir.Ast.expr -> (int * int) option
+(** [Some (a, b)] when the (integer) expression provably equals
+    [a * i + b] for every iteration, looking through [Let]-bound temps.
+    Exposed for testing. *)
+
+val node_of_site : t -> int -> Vliw_ddg.Graph.node
+val site_of_node : t -> int -> int option
+
+val best_unroll_factor : nxi_bytes:int -> max_factor:int -> Vliw_ir.Ast.kernel -> int
+(** The paper's unrolling objective (Section 2.2): the smallest factor in
+    [1..max_factor] dividing the trip count that maximizes the fraction of
+    affine memory sites whose unrolled byte stride is a multiple of
+    [nxi_bytes] (= clusters x interleave factor) — such sites reference a
+    single, stable home cluster for the whole loop. Indirect sites can
+    never become stable. Apply with {!Vliw_ir.Unroll.unroll}. *)

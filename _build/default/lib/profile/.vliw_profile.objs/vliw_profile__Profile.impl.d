@@ -1,0 +1,1 @@
+lib/profile/profile.ml: Array Option Vliw_arch Vliw_ddg Vliw_ir

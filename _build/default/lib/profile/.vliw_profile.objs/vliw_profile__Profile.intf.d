@@ -1,0 +1,1 @@
+lib/profile/profile.mli: Vliw_arch Vliw_ddg Vliw_ir

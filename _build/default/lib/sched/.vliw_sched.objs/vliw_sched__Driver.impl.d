@@ -1,0 +1,1 @@
+lib/sched/driver.ml: Array Fun Hashtbl Ims List Option Printf Schedule Vliw_arch Vliw_core Vliw_ddg

@@ -1,0 +1,1 @@
+lib/sched/driver.mli: Ims Schedule Vliw_arch Vliw_core Vliw_ddg

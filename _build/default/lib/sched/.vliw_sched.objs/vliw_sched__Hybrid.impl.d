@@ -1,0 +1,1 @@
+lib/sched/hybrid.ml: Array Driver Float List Schedule Vliw_arch Vliw_core Vliw_ddg

@@ -1,0 +1,1 @@
+lib/sched/hybrid.mli: Schedule Stdlib Vliw_arch Vliw_core Vliw_ddg

@@ -1,0 +1,1 @@
+lib/sched/ims.ml: Array Fun Hashtbl List Mrt Option Schedule Vliw_arch Vliw_ddg

@@ -1,0 +1,1 @@
+lib/sched/ims.mli: Hashtbl Schedule Vliw_arch Vliw_ddg

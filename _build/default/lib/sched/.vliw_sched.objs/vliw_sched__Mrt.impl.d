@@ -1,0 +1,1 @@
+lib/sched/mrt.ml: Hashtbl List Option Vliw_arch

@@ -1,0 +1,1 @@
+lib/sched/mrt.mli: Vliw_arch

@@ -1,0 +1,1 @@
+lib/sched/regpressure.ml: Array List Schedule Vliw_arch Vliw_ddg

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Format Hashtbl List Option Printf Vliw_arch Vliw_ddg

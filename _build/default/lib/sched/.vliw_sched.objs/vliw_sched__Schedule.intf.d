@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Format Hashtbl Vliw_arch Vliw_ddg

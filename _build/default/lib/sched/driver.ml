@@ -1,0 +1,201 @@
+module G = Vliw_ddg.Graph
+module A = Vliw_ddg.Analysis
+module M = Vliw_arch.Machine
+module C = Vliw_core.Chains
+
+type lat_policy = Cache_sensitive | Fixed_min | Fixed_max
+
+type request = {
+  machine : M.t;
+  heuristic : Schedule.heuristic;
+  constraints : C.constraints;
+  pref : int -> int array option;
+  max_ii : int;
+  lat_policy : lat_policy;
+  ordering : Ims.ordering;
+}
+
+let default_max_ii = 512
+
+let request ?(heuristic = Schedule.Min_coms) ?constraints ?(pref = fun _ -> None)
+    ?(max_ii = default_max_ii) ?(lat_policy = Cache_sensitive)
+    ?(ordering = Ims.Height) machine =
+  let constraints =
+    match constraints with Some c -> c | None -> C.no_constraints ()
+  in
+  { machine; heuristic; constraints; pref; max_ii; lat_policy; ordering }
+
+let ceil_div a b = (a + b - 1) / b
+
+let res_mii machine g req =
+  let cap k =
+    Option.value (List.assoc_opt k machine.M.fus_per_cluster) ~default:1
+  in
+  let total = Hashtbl.create 4 in
+  let per_cluster = Hashtbl.create 8 in
+  List.iter
+    (fun (n : G.node) ->
+      let k = G.fu_kind n in
+      Hashtbl.replace total k (1 + Option.value (Hashtbl.find_opt total k) ~default:0);
+      let pin =
+        match n.n_replica with
+        | Some c -> Some c
+        | None -> Hashtbl.find_opt req.constraints.C.pinned n.n_id
+      in
+      match pin with
+      | None -> ()
+      | Some c ->
+        Hashtbl.replace per_cluster (c, k)
+          (1 + Option.value (Hashtbl.find_opt per_cluster (c, k)) ~default:0))
+    (G.nodes g);
+  let base =
+    Hashtbl.fold
+      (fun k count acc -> max acc (ceil_div count (cap k * machine.M.clusters)))
+      total 1
+  in
+  Hashtbl.fold
+    (fun (_, k) count acc -> max acc (ceil_div count (cap k)))
+    per_cluster base
+
+let base_edge_lat machine g (e : G.edge) =
+  match e.e_kind with
+  | G.SYNC -> 0
+  | G.MF | G.MA | G.MO -> 1
+  | G.RF ->
+    G.op_latency (G.node g e.e_src) ~assumed:(fun _ -> M.latency machine M.Local_hit)
+
+let mii machine g req =
+  max (res_mii machine g req)
+    (A.rec_mii g ~edge_lat:(base_edge_lat machine g))
+
+(* MinComs post-pass: permute clusters to maximise profiled local
+   accesses. *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        List.map (fun p -> x :: p)
+          (permutations (List.filter (( <> ) x) l)))
+      l
+
+let postpass req g (s : Schedule.t) =
+  let n = req.machine.M.clusters in
+  let mems = G.mem_refs g in
+  let score perm =
+    List.fold_left
+      (fun acc ((nd : G.node), _) ->
+        match (Hashtbl.find_opt s.place nd.n_id, req.pref nd.n_id) with
+        | Some (_, cl), Some h when Array.length h = n -> acc + h.(perm.(cl))
+        | _ -> acc)
+      0 mems
+  in
+  let identity = Array.init n Fun.id in
+  let best = ref identity and best_score = ref (score identity) in
+  List.iter
+    (fun p ->
+      let perm = Array.of_list p in
+      let sc = score perm in
+      if sc > !best_score then (
+        best := perm;
+        best_score := sc))
+    (permutations (List.init n Fun.id));
+  let perm = !best in
+  if perm = identity then s
+  else (
+    let place' = Hashtbl.create (Hashtbl.length s.place) in
+    Hashtbl.iter (fun id (t, c) -> Hashtbl.replace place' id (t, perm.(c))) s.place;
+    (* keep replica pin labels consistent with the permuted placement *)
+    List.iter
+      (fun (nd : G.node) ->
+        match nd.n_replica with
+        | Some c -> G.set_replica g nd.n_id (Some perm.(c))
+        | None -> ())
+      (G.nodes g);
+    {
+      s with
+      place = place';
+      copies =
+        List.map
+          (fun (cp : Schedule.copy) ->
+            { cp with cp_from = perm.(cp.cp_from); cp_to = perm.(cp.cp_to) })
+          s.copies;
+    })
+
+let run req g =
+  let machine = req.machine in
+  let ctx assumed =
+    {
+      Ims.machine;
+      heuristic = req.heuristic;
+      ordering = req.ordering;
+      pinned = req.constraints.C.pinned;
+      grouped = req.constraints.C.grouped;
+      pref = req.pref;
+      assumed;
+    }
+  in
+  let valid s =
+    match
+      Schedule.validate g ~pinned:req.constraints.C.pinned
+        ~grouped:req.constraints.C.grouped s
+    with
+    | Ok () -> true
+    | Error _ -> false
+  in
+  (* Phase 1: find the II. Cache-sensitive and Fixed_min start from
+     local-hit latencies; Fixed_max assumes remote misses from the start
+     (longer recurrences may force a larger II — the trade-off of
+     Section 2.2). *)
+  let assumed = Hashtbl.create 16 in
+  (if req.lat_policy = Fixed_max then
+     let l = M.latency machine M.Remote_miss in
+     List.iter
+       (fun ((nd : G.node), _) -> Hashtbl.replace assumed nd.n_id l)
+       (G.mem_refs g));
+  let start = mii machine g req in
+  let rec search ii =
+    if ii > req.max_ii then Error (Printf.sprintf "no schedule up to II=%d" req.max_ii)
+    else
+      match Ims.attempt (ctx assumed) g ~ii with
+      | Some s when valid s -> Ok s
+      | _ -> search (ii + 1)
+  in
+  match search start with
+  | Error _ as e -> e
+  | Ok s0 ->
+    let ii0 = s0.Schedule.ii in
+    (* Phase 2: cache-sensitive latency assignment at fixed II. *)
+    let best = ref s0 in
+    let mems = G.mem_refs g in
+    let candidates =
+      List.sort_uniq (fun a b -> compare b a) (M.all_assumable_latencies machine)
+      |> List.filter (fun l -> l > M.latency machine M.Local_hit)
+    in
+    if req.lat_policy = Cache_sensitive then
+      List.iter
+        (fun ((nd : G.node), _) ->
+          let rec try_cands = function
+            | [] -> ()
+            | lat :: rest -> (
+              Hashtbl.replace assumed nd.n_id lat;
+              match Ims.attempt (ctx assumed) g ~ii:ii0 with
+              | Some s when valid s -> best := s
+              | _ ->
+                Hashtbl.remove assumed nd.n_id;
+                try_cands rest)
+          in
+          try_cands candidates)
+        mems;
+    (* Phase 3: MinComs virtual->physical mapping. *)
+    let s =
+      if req.heuristic = Schedule.Min_coms then postpass req g !best else !best
+    in
+    if valid s then Ok s
+    else
+      (* the permuted schedule re-validates by construction; failure here is
+         a bug worth surfacing loudly *)
+      Error "internal: post-pass produced an invalid schedule"
+
+let run_exn req g =
+  match run req g with Ok s -> s | Error e -> failwith ("Driver.run: " ^ e)

@@ -1,0 +1,65 @@
+(** Scheduling driver: MII computation, the II search loop, cache-sensitive
+    latency assignment, and the MinComs virtual-to-physical cluster
+    post-pass.
+
+    Cache-sensitive latency assignment (paper Section 2.2): memory
+    instructions are scheduled "with the largest possible latency that does
+    not have an impact on compute time". The driver first schedules with
+    every memory operation at local-hit latency, fixing the II; it then
+    greedily raises each memory operation to the largest of
+    {remote miss, local miss, remote hit} that still schedules at the same
+    II, keeping the compromise between compute time and stall time.
+
+    MinComs post-pass (Section 2.2): clusters used during scheduling are
+    treated as virtual; the one-to-one virtual-to-physical mapping that
+    maximises profiled local accesses is applied afterwards. When the graph
+    contains replica-pinned stores, their pin labels are rewritten to the
+    permuted clusters (instances still cover every cluster, which is all
+    store replication requires). *)
+
+(** How memory operations' assumed latencies are chosen. *)
+type lat_policy =
+  | Cache_sensitive
+      (** the paper's policy: largest latency that does not impact the II *)
+  | Fixed_min  (** always assume a local hit: tight schedules, many stalls *)
+  | Fixed_max
+      (** always assume a remote miss: few stalls, unnecessarily long
+          schedules — the other extreme of the Section 2.2 trade-off *)
+
+type request = {
+  machine : Vliw_arch.Machine.t;
+  heuristic : Schedule.heuristic;
+  constraints : Vliw_core.Chains.constraints;
+  pref : int -> int array option;
+  max_ii : int;  (** II search cap; {!default_max_ii} is plenty for loops *)
+  lat_policy : lat_policy;
+  ordering : Ims.ordering;  (** node-ordering/placement strategy *)
+}
+
+val default_max_ii : int
+
+val request :
+  ?heuristic:Schedule.heuristic ->
+  ?constraints:Vliw_core.Chains.constraints ->
+  ?pref:(int -> int array option) ->
+  ?max_ii:int ->
+  ?lat_policy:lat_policy ->
+  ?ordering:Ims.ordering ->
+  Vliw_arch.Machine.t ->
+  request
+(** Defaults: MinComs, no constraints, no profile, {!default_max_ii},
+    cache-sensitive latency assignment, [Height] ordering. *)
+
+val res_mii : Vliw_arch.Machine.t -> Vliw_ddg.Graph.t -> request -> int
+(** Resource-constrained MII, including the sharpening from cluster pins
+    (a chain pinned to one cluster can only use that cluster's FUs). *)
+
+val mii : Vliw_arch.Machine.t -> Vliw_ddg.Graph.t -> request -> int
+(** [max res_mii rec_mii] (recurrences computed at local-hit latency). *)
+
+val run : request -> Vliw_ddg.Graph.t -> (Schedule.t, string) result
+(** Schedule the graph. May rewrite replica pin labels on [g] (see the
+    post-pass note above). Every returned schedule passes
+    {!Schedule.validate}. *)
+
+val run_exn : request -> Vliw_ddg.Graph.t -> Schedule.t

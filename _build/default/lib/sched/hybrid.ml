@@ -1,0 +1,87 @@
+module G = Vliw_ddg.Graph
+module M = Vliw_arch.Machine
+module Chains = Vliw_core.Chains
+module Ddgt = Vliw_core.Ddgt
+
+type choice = Chose_mdc | Chose_ddgt
+
+let choice_name = function Chose_mdc -> "MDC" | Chose_ddgt -> "DDGT"
+
+type result = {
+  graph : G.t;
+  constraints : Chains.constraints;
+  schedule : Schedule.t;
+  choice : choice;
+  mdc_estimate : int;
+  ddgt_estimate : int;
+}
+
+let estimate ~machine ~pref ~trip g (s : Schedule.t) =
+  let local = M.latency machine M.Local_hit in
+  let remote = M.latency machine M.Remote_hit in
+  let expected_stall =
+    List.fold_left
+      (fun acc ((n : G.node), _) ->
+        (* only loads stall consumers; stores (and replicated instances,
+           which are stores by construction) are fire-and-forget *)
+        if not (G.is_load n) then acc
+        else
+          let cl = Schedule.cluster_of s n.n_id in
+          let p_local =
+            match pref n.n_id with
+            | Some h when Array.length h > cl ->
+              let total = Array.fold_left ( + ) 0 h in
+              if total = 0 then 0.5 else float_of_int h.(cl) /. float_of_int total
+            | _ -> 0.5
+          in
+          let expected =
+            (p_local *. float_of_int local)
+            +. ((1. -. p_local) *. float_of_int remote)
+          in
+          let assumed = float_of_int (Schedule.assumed_of s n.n_id) in
+          acc +. Float.max 0. (expected -. assumed))
+      0. (G.mem_refs g)
+  in
+  s.Schedule.length
+  + (s.Schedule.ii * (trip - 1))
+  + int_of_float (expected_stall *. float_of_int trip)
+
+let choose ~machine ~heuristic ~pref_for ~trip g =
+  let pref = pref_for g in
+  let mdc_candidate () =
+    let constraints =
+      match heuristic with
+      | Schedule.Pref_clus -> Chains.prefclus g ~pref
+      | Schedule.Min_coms -> Chains.mincoms g
+    in
+    match Driver.run (Driver.request ~heuristic ~constraints ~pref machine) g with
+    | Ok s -> Some (g, constraints, s)
+    | Error _ -> None
+  in
+  let ddgt_candidate () =
+    let r = Ddgt.transform ~clusters:machine.M.clusters g in
+    let pref_t = pref_for r.Ddgt.graph in
+    match
+      Driver.run (Driver.request ~heuristic ~pref:pref_t machine) r.Ddgt.graph
+    with
+    | Ok s -> Some (r.Ddgt.graph, Chains.no_constraints (), s, pref_t)
+    | Error _ -> None
+  in
+  match (mdc_candidate (), ddgt_candidate ()) with
+  | None, None -> Error "hybrid: neither MDC nor DDGT schedules"
+  | Some (g', c, s), None ->
+    Ok { graph = g'; constraints = c; schedule = s; choice = Chose_mdc;
+         mdc_estimate = estimate ~machine ~pref ~trip g' s; ddgt_estimate = max_int }
+  | None, Some (g', c, s, pref_t) ->
+    Ok { graph = g'; constraints = c; schedule = s; choice = Chose_ddgt;
+         mdc_estimate = max_int;
+         ddgt_estimate = estimate ~machine ~pref:pref_t ~trip g' s }
+  | Some (gm, cm, sm), Some (gd, cd, sd, pref_t) ->
+    let em = estimate ~machine ~pref ~trip gm sm in
+    let ed = estimate ~machine ~pref:pref_t ~trip gd sd in
+    if em <= ed then
+      Ok { graph = gm; constraints = cm; schedule = sm; choice = Chose_mdc;
+           mdc_estimate = em; ddgt_estimate = ed }
+    else
+      Ok { graph = gd; constraints = cd; schedule = sd; choice = Chose_ddgt;
+           mdc_estimate = em; ddgt_estimate = ed }

@@ -1,0 +1,52 @@
+(** The hybrid MDC/DDGT solution sketched in the paper's Further Work
+    (Section 6): "the execution time of a loop with both solutions could be
+    estimated at compile time and the best solution could be chosen", on a
+    per-loop basis (the paper observes loops tend to have 0 or 1 memory
+    dependent chain, so loop granularity is as good as anything finer).
+
+    The compile-time estimate mirrors what a compiler could know without
+    simulating: schedule the loop both ways and predict
+
+    {v cycles = length + II * (trip - 1) + expected stall v}
+
+    where the expected stall charges every memory operation
+    [max 0 (expected latency - assumed latency)] per iteration, the
+    expected latency being the profile-weighted mix of local and remote
+    hit latencies (the profiled preferred-cluster histogram tells the
+    compiler how often the access will be remote from its assigned
+    cluster). *)
+
+type choice = Chose_mdc | Chose_ddgt
+
+val choice_name : choice -> string
+
+type result = {
+  graph : Vliw_ddg.Graph.t;  (** the chosen technique's graph *)
+  constraints : Vliw_core.Chains.constraints;  (** and its constraints *)
+  schedule : Schedule.t;  (** the chosen schedule *)
+  choice : choice;
+  mdc_estimate : int;
+  ddgt_estimate : int;
+}
+
+val estimate :
+  machine:Vliw_arch.Machine.t ->
+  pref:(int -> int array option) ->
+  trip:int ->
+  Vliw_ddg.Graph.t ->
+  Schedule.t ->
+  int
+(** The compile-time cycle estimate described above, exposed for testing
+    and for the ablation bench. *)
+
+val choose :
+  machine:Vliw_arch.Machine.t ->
+  heuristic:Schedule.heuristic ->
+  pref_for:(Vliw_ddg.Graph.t -> int -> int array option) ->
+  trip:int ->
+  Vliw_ddg.Graph.t ->
+  (result, string) Stdlib.result
+(** Build both candidate compilations of the loop (MDC constraints on the
+    original graph; the DDGT transform), schedule each with [heuristic],
+    estimate both, and keep the cheaper one. Errors only if {e both}
+    candidates fail to schedule. *)

@@ -1,0 +1,446 @@
+module G = Vliw_ddg.Graph
+module A = Vliw_ddg.Analysis
+module M = Vliw_arch.Machine
+
+type ordering = Height | Swing
+
+type ctx = {
+  machine : M.t;
+  heuristic : Schedule.heuristic;
+  ordering : ordering;
+  pinned : (int, int) Hashtbl.t;
+  grouped : int list list;
+  pref : int -> int array option;
+  assumed : (int, int) Hashtbl.t;
+}
+
+let attempt ctx g ~ii =
+  let m = ctx.machine in
+  let nclusters = m.M.clusters in
+  let buslat = m.M.reg_buses.M.bus_latency in
+  let local_hit = M.latency m M.Local_hit in
+  let assumed id =
+    Option.value (Hashtbl.find_opt ctx.assumed id) ~default:local_hit
+  in
+  let elat (e : G.edge) =
+    match e.e_kind with
+    | G.SYNC -> 0
+    | G.MF | G.MA | G.MO -> 1
+    | G.RF -> G.op_latency (G.node g e.e_src) ~assumed
+  in
+  let height = A.longest_path_lengths g ~ii ~edge_lat:elat in
+  (* Swing-style order: start from the least-mobile node, then grow the
+     ordered set through graph adjacency, always taking the least-mobile
+     candidate (critical recurrences first, neighbours kept together). *)
+  let swing_rank =
+    match ctx.ordering with
+    | Height -> None
+    | Swing ->
+      let depth = A.longest_path_depths g ~ii ~edge_lat:elat in
+      let cp =
+        List.fold_left
+          (fun acc (n : G.node) -> max acc (depth n.n_id + height n.n_id))
+          0 (G.nodes g)
+      in
+      let mobility id = cp - height id - depth id in
+      let rank : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      let remaining = Hashtbl.create 64 in
+      List.iter (fun (n : G.node) -> Hashtbl.replace remaining n.n_id ()) (G.nodes g);
+      let next_rank = ref 0 in
+      let take id =
+        Hashtbl.replace rank id !next_rank;
+        incr next_rank;
+        Hashtbl.remove remaining id
+      in
+      let best_of ids =
+        List.fold_left
+          (fun acc id ->
+            match acc with
+            | None -> Some id
+            | Some b ->
+              if
+                (mobility id, -height id, id) < (mobility b, -height b, b)
+              then Some id
+              else acc)
+          None ids
+      in
+      while Hashtbl.length remaining > 0 do
+        (* candidates adjacent to the ordered set *)
+        let adjacent =
+          Hashtbl.fold
+            (fun id () acc ->
+              let touches =
+                List.exists
+                  (fun (e : G.edge) -> Hashtbl.mem rank e.e_src)
+                  (G.preds g id)
+                || List.exists
+                     (fun (e : G.edge) -> Hashtbl.mem rank e.e_dst)
+                     (G.succs g id)
+              in
+              if touches then id :: acc else acc)
+            remaining []
+        in
+        let pool =
+          if adjacent <> [] then adjacent
+          else Hashtbl.fold (fun id () acc -> id :: acc) remaining []
+        in
+        match best_of pool with Some id -> take id | None -> ()
+      done;
+      Some (fun id -> Hashtbl.find rank id)
+  in
+  let mrt = Mrt.create m ~ii in
+  let place : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let copies : (int * int * int, Schedule.copy) Hashtbl.t = Hashtbl.create 16 in
+  let group_of : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iteri
+    (fun gi chain -> List.iter (fun id -> Hashtbl.replace group_of id gi) chain)
+    ctx.grouped;
+  let group_pin : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let pin_of (n : G.node) =
+    match n.n_replica with
+    | Some c -> Some c
+    | None -> (
+      match Hashtbl.find_opt ctx.pinned n.n_id with
+      | Some c -> Some c
+      | None ->
+        Option.bind (Hashtbl.find_opt group_of n.n_id)
+          (Hashtbl.find_opt group_pin))
+  in
+  let unscheduled : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (n : G.node) -> Hashtbl.replace unscheduled n.n_id ()) (G.nodes g);
+  let last_forced : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let budget = ref (12 * G.node_count g) in
+
+  let pick () =
+    match swing_rank with
+    | Some rank ->
+      Hashtbl.fold
+        (fun id () best ->
+          match best with
+          | Some (brank, _) when brank <= rank id -> best
+          | _ -> Some (rank id, id))
+        unscheduled None
+      |> Option.map snd
+    | None ->
+      Hashtbl.fold
+        (fun id () best ->
+          let n = G.node g id in
+          let key = (height id, -n.n_seq, -id) in
+          match best with
+          | Some (bkey, _) when bkey >= key -> best
+          | _ -> Some (key, id))
+        unscheduled None
+      |> Option.map snd
+  in
+
+  (* Earliest start assuming same-cluster placement relative to scheduled
+     predecessors. *)
+  let earliest id =
+    List.fold_left
+      (fun acc (e : G.edge) ->
+        match Hashtbl.find_opt place e.e_src with
+        | None -> acc
+        | Some (ts, _) -> max acc (ts + elat e - (ii * e.e_dist)))
+      0 (G.preds g id)
+  in
+
+  let comm_cost id c =
+    let cost_edge (e : G.edge) other =
+      if e.e_kind <> G.RF then 0
+      else
+        match Hashtbl.find_opt place other with
+        | Some (_, cl) when cl <> c -> 1
+        | _ -> 0
+    in
+    List.fold_left (fun acc e -> acc + cost_edge e e.G.e_src) 0 (G.preds g id)
+    + List.fold_left (fun acc e -> acc + cost_edge e e.G.e_dst) 0 (G.succs g id)
+  in
+
+  let candidates (n : G.node) =
+    match pin_of n with
+    | Some c -> [ c ]
+    | None ->
+      let all = List.init nclusters Fun.id in
+      let by_cost () =
+        List.stable_sort
+          (fun a b ->
+            compare
+              ((10 * comm_cost n.n_id a) + Mrt.fu_load mrt ~cluster:a, a)
+              ((10 * comm_cost n.n_id b) + Mrt.fu_load mrt ~cluster:b, b))
+          all
+      in
+      if ctx.heuristic = Schedule.Pref_clus && G.mem_node g n.n_id then
+        match ctx.pref n.n_id with
+        | Some h when Array.length h = nclusters ->
+          List.stable_sort (fun a b -> compare (-h.(a), a) (-h.(b), b)) all
+        | _ -> by_cost ()
+      else by_cost ()
+  in
+
+  (* Try to place node n at cycle t in cluster c. On success, commits the FU
+     slot, any needed copies (bus slots), and the placement. *)
+  let try_place (n : G.node) t c =
+    let kind = G.fu_kind n in
+    if t < 0 || not (Mrt.fu_free mrt ~cycle:t ~cluster:c kind) then false
+    else (
+      let taken_buses = ref [] in
+      let new_copies = ref [] in
+      let rollback () =
+        List.iter
+          (fun (cycle, bus) -> Mrt.bus_release mrt ~cycle ~bus)
+          !taken_buses
+      in
+      let need_copy (e : G.edge) ~src_place ~dst_issue_deadline =
+        let ts, _ = src_place in
+        let lo = ts + elat e in
+        (* the transfer's last busy slot must precede the consumer's issue:
+           arrival = start + bus_latency <= deadline *)
+        match Mrt.bus_find mrt ~lo ~hi:(dst_issue_deadline - 1) with
+        | None -> false
+        | Some (cycle, bus) ->
+          Mrt.bus_take mrt ~cycle ~bus;
+          taken_buses := (cycle, bus) :: !taken_buses;
+          new_copies := (e, cycle, bus) :: !new_copies;
+          true
+      in
+      let pred_ok (e : G.edge) =
+        match Hashtbl.find_opt place e.e_src with
+        | None -> true
+        | Some ((ts, cs) as sp) ->
+          let deadline = t + (ii * e.e_dist) in
+          if e.e_kind <> G.RF || cs = c then ts + elat e <= deadline
+          else need_copy e ~src_place:sp ~dst_issue_deadline:deadline
+      in
+      let succ_ok (e : G.edge) =
+        match Hashtbl.find_opt place e.e_dst with
+        | None -> true
+        | Some (td, cd) ->
+          let deadline = td + (ii * e.e_dist) in
+          if e.e_kind <> G.RF || cd = c then t + elat e <= deadline
+          else need_copy e ~src_place:(t, c) ~dst_issue_deadline:deadline
+      in
+      if
+        List.for_all pred_ok (G.preds g n.n_id)
+        && List.for_all succ_ok (G.succs g n.n_id)
+      then (
+        Mrt.fu_take mrt ~cycle:t ~cluster:c kind;
+        Hashtbl.replace place n.n_id (t, c);
+        Hashtbl.remove unscheduled n.n_id;
+        List.iter
+          (fun ((e : G.edge), cycle, bus) ->
+            let (_, cs) = Hashtbl.find place e.e_src in
+            let (_, cd) = Hashtbl.find place e.e_dst in
+            Hashtbl.replace copies
+              (e.e_src, e.e_dst, e.e_dist)
+              {
+                Schedule.cp_src = e.e_src;
+                cp_dst = e.e_dst;
+                cp_dist = e.e_dist;
+                cp_from = cs;
+                cp_to = cd;
+                cp_cycle = cycle;
+                cp_bus = bus;
+              })
+          !new_copies;
+        (match Hashtbl.find_opt group_of n.n_id with
+        | Some gi when not (Hashtbl.mem group_pin gi) ->
+          Hashtbl.replace group_pin gi c
+        | _ -> ());
+        true)
+      else (
+        rollback ();
+        false))
+  in
+
+  let eject id =
+    match Hashtbl.find_opt place id with
+    | None -> ()
+    | Some (t, c) ->
+      Mrt.fu_release mrt ~cycle:t ~cluster:c (G.fu_kind (G.node g id));
+      Hashtbl.remove place id;
+      Hashtbl.replace unscheduled id ();
+      let doomed =
+        Hashtbl.fold
+          (fun key (cp : Schedule.copy) acc ->
+            if cp.cp_src = id || cp.cp_dst = id then (key, cp) :: acc else acc)
+          copies []
+      in
+      List.iter
+        (fun (key, (cp : Schedule.copy)) ->
+          Mrt.bus_release mrt ~cycle:cp.cp_cycle ~bus:cp.cp_bus;
+          Hashtbl.remove copies key)
+        doomed;
+      decr budget
+  in
+
+  (* Force-place n at cycle t cluster c, ejecting whatever stands in the
+     way: FU conflictors in the same slot, then any placed neighbour whose
+     dependence with n cannot be satisfied. *)
+  let force_place (n : G.node) t c =
+    let kind = G.fu_kind n in
+    (* eject FU conflictors *)
+    while not (Mrt.fu_free mrt ~cycle:t ~cluster:c kind) do
+      let victim =
+        Hashtbl.fold
+          (fun id (tv, cv) acc ->
+            if
+              acc = None && id <> n.n_id && cv = c
+              && tv mod ii = t mod ii
+              && G.fu_kind (G.node g id) = kind
+            then Some id
+            else acc)
+          place None
+      in
+      match victim with
+      | Some v -> eject v
+      | None -> assert false (* slot busy implies a holder exists *)
+    done;
+    Mrt.fu_take mrt ~cycle:t ~cluster:c kind;
+    Hashtbl.replace place n.n_id (t, c);
+    Hashtbl.remove unscheduled n.n_id;
+    (match Hashtbl.find_opt group_of n.n_id with
+    | Some gi when not (Hashtbl.mem group_pin gi) ->
+      Hashtbl.replace group_pin gi c
+    | _ -> ());
+    (* fix up edges to placed neighbours *)
+    let fix_edge (e : G.edge) ~n_is_src =
+      let other = if n_is_src then e.e_dst else e.e_src in
+      if other = n.n_id then (
+        (* self edge: check directly; ejecting n would not help *)
+        let lat = elat e in
+        if lat > ii * e.e_dist then decr budget)
+      else
+        match Hashtbl.find_opt place other with
+        | None -> ()
+        | Some (to_, co) ->
+          let ok =
+            if n_is_src then
+              let deadline = to_ + (ii * e.e_dist) in
+              if e.e_kind <> G.RF || co = c then t + elat e <= deadline
+              else
+                match Mrt.bus_find mrt ~lo:(t + elat e) ~hi:(deadline - 1) with
+                | None -> false
+                | Some (cycle, bus) ->
+                  Mrt.bus_take mrt ~cycle ~bus;
+                  Hashtbl.replace copies
+                    (e.e_src, e.e_dst, e.e_dist)
+                    {
+                      Schedule.cp_src = e.e_src;
+                      cp_dst = e.e_dst;
+                      cp_dist = e.e_dist;
+                      cp_from = c;
+                      cp_to = co;
+                      cp_cycle = cycle;
+                      cp_bus = bus;
+                    };
+                  true
+            else
+              let deadline = t + (ii * e.e_dist) in
+              if e.e_kind <> G.RF || co = c then to_ + elat e <= deadline
+              else
+                match Mrt.bus_find mrt ~lo:(to_ + elat e) ~hi:(deadline - 1) with
+                | None -> false
+                | Some (cycle, bus) ->
+                  Mrt.bus_take mrt ~cycle ~bus;
+                  Hashtbl.replace copies
+                    (e.e_src, e.e_dst, e.e_dist)
+                    {
+                      Schedule.cp_src = e.e_src;
+                      cp_dst = e.e_dst;
+                      cp_dist = e.e_dist;
+                      cp_from = co;
+                      cp_to = c;
+                      cp_cycle = cycle;
+                      cp_bus = bus;
+                    };
+                  true
+          in
+          if not ok then eject other
+    in
+    List.iter (fun e -> fix_edge e ~n_is_src:false) (G.preds g n.n_id);
+    List.iter (fun e -> fix_edge e ~n_is_src:true) (G.succs g n.n_id)
+  in
+
+  let ok = ref true in
+  let continue_ = ref true in
+  while !continue_ do
+    if !budget < 0 then (
+      ok := false;
+      continue_ := false)
+    else
+      match pick () with
+      | None -> continue_ := false
+      | Some id ->
+        let n = G.node g id in
+        let e0 = earliest id in
+        let cands = candidates n in
+        let placed = ref false in
+        (* memory operations try hard to stay in their first-choice cluster
+           (their preferred one, or their chain's) before spilling over:
+           locality is worth a few extra cycles of schedule space *)
+        let is_mem = G.mem_node g id in
+        (* Swing placement: a node whose placed neighbours are all
+           successors scans downward from its latest feasible cycle *)
+        let downward =
+          ctx.ordering = Swing
+          && (not
+                (List.exists
+                   (fun (e : G.edge) -> Hashtbl.mem place e.e_src)
+                   (G.preds g id)))
+          && List.exists
+               (fun (e : G.edge) -> Hashtbl.mem place e.e_dst)
+               (G.succs g id)
+        in
+        let latest =
+          List.fold_left
+            (fun acc (e : G.edge) ->
+              match Hashtbl.find_opt place e.e_dst with
+              | None -> acc
+              | Some (td, _) -> min acc (td + (ii * e.e_dist) - elat e))
+            max_int (G.succs g id)
+        in
+        List.iteri
+          (fun ci c ->
+            if not !placed then
+              let span =
+                if ci = 0 && is_mem then (3 * ii) + buslat else ii + buslat
+              in
+              if downward && latest < max_int then (
+                let t = ref latest in
+                while (not !placed) && !t >= max 0 (latest - span) do
+                  if try_place n !t c then placed := true;
+                  decr t
+                done)
+              else
+                let t = ref e0 in
+                while (not !placed) && !t <= e0 + span do
+                  if try_place n !t c then placed := true;
+                  incr t
+                done)
+          cands;
+        if not !placed then (
+          let c = List.hd cands in
+          let tf =
+            max e0
+              (match Hashtbl.find_opt last_forced id with
+              | Some prev -> prev + 1
+              | None -> e0)
+          in
+          Hashtbl.replace last_forced id tf;
+          decr budget;
+          force_place n tf c)
+  done;
+  if not !ok then None
+  else (
+    let length =
+      1 + Hashtbl.fold (fun _ (t, _) acc -> max acc t) place 0
+    in
+    Some
+      {
+        Schedule.ii;
+        machine = m;
+        place;
+        assumed = Hashtbl.copy ctx.assumed;
+        copies = Hashtbl.fold (fun _ c acc -> c :: acc) copies [];
+        length;
+      })

@@ -1,0 +1,76 @@
+module M = Vliw_arch.Machine
+
+type t = {
+  ii : int;
+  machine : M.t;
+  fu : (int * int * M.fu_kind, int) Hashtbl.t;
+  bus : (int * int, int) Hashtbl.t; (* (slot, bus) -> reservation count *)
+  cluster_load : (int, int) Hashtbl.t;
+}
+
+let create machine ~ii =
+  if ii <= 0 then invalid_arg "Mrt.create: non-positive II";
+  { ii; machine; fu = Hashtbl.create 64; bus = Hashtbl.create 64;
+    cluster_load = Hashtbl.create 8 }
+
+let cap t kind =
+  Option.value (List.assoc_opt kind t.machine.M.fus_per_cluster) ~default:0
+
+let slot t cycle = ((cycle mod t.ii) + t.ii) mod t.ii
+
+let fu_free t ~cycle ~cluster kind =
+  let key = (slot t cycle, cluster, kind) in
+  Option.value (Hashtbl.find_opt t.fu key) ~default:0 < cap t kind
+
+let bump tbl key delta =
+  let v = Option.value (Hashtbl.find_opt tbl key) ~default:0 + delta in
+  if v < 0 then invalid_arg "Mrt: released an empty reservation";
+  Hashtbl.replace tbl key v
+
+let fu_take t ~cycle ~cluster kind =
+  bump t.fu (slot t cycle, cluster, kind) 1;
+  bump t.cluster_load cluster 1
+
+let fu_release t ~cycle ~cluster kind =
+  bump t.fu (slot t cycle, cluster, kind) (-1);
+  bump t.cluster_load cluster (-1)
+
+let fu_load t ~cluster =
+  Option.value (Hashtbl.find_opt t.cluster_load cluster) ~default:0
+
+let buslat t = t.machine.M.reg_buses.M.bus_latency
+let nbuses t = t.machine.M.reg_buses.M.bus_count
+
+let bus_slots_free t ~cycle ~bus =
+  let ok = ref true in
+  for k = 0 to buslat t - 1 do
+    if Hashtbl.mem t.bus (slot t (cycle + k), bus)
+       && Hashtbl.find t.bus (slot t (cycle + k), bus) > 0
+    then ok := false
+  done;
+  !ok
+
+let bus_find t ~lo ~hi =
+  let hi_start = hi - buslat t + 1 in
+  let last = min hi_start (lo + t.ii - 1) in
+  let rec go cycle =
+    if cycle > last then None
+    else
+      let rec try_bus b =
+        if b >= nbuses t then None
+        else if bus_slots_free t ~cycle ~bus:b then Some (cycle, b)
+        else try_bus (b + 1)
+      in
+      match try_bus 0 with Some r -> Some r | None -> go (cycle + 1)
+  in
+  if lo > hi_start then None else go lo
+
+let bus_take t ~cycle ~bus =
+  for k = 0 to buslat t - 1 do
+    bump t.bus (slot t (cycle + k), bus) 1
+  done
+
+let bus_release t ~cycle ~bus =
+  for k = 0 to buslat t - 1 do
+    bump t.bus (slot t (cycle + k), bus) (-1)
+  done

@@ -1,0 +1,27 @@
+(** Modulo reservation table: functional-unit slots per (cycle mod II,
+    cluster, FU kind) and register-bus slots per (cycle mod II, bus).
+
+    A copy occupies one bus for [bus_latency] consecutive slots. Memory
+    buses are {e not} reserved here: their latency is non-deterministic and
+    runtime-arbitrated (paper Section 2.3 footnote 2); only the simulator
+    models them. *)
+
+type t
+
+val create : Vliw_arch.Machine.t -> ii:int -> t
+
+val fu_free : t -> cycle:int -> cluster:int -> Vliw_arch.Machine.fu_kind -> bool
+val fu_take : t -> cycle:int -> cluster:int -> Vliw_arch.Machine.fu_kind -> unit
+val fu_release : t -> cycle:int -> cluster:int -> Vliw_arch.Machine.fu_kind -> unit
+
+val fu_load : t -> cluster:int -> int
+(** Total FU reservations currently held in a cluster (workload-balance
+    signal for MinComs). *)
+
+val bus_find : t -> lo:int -> hi:int -> (int * int) option
+(** Earliest [(cycle, bus)] with [lo <= cycle] and [cycle + bus_latency - 1
+    <= hi] whose slots are all free. Scans at most II distinct start cycles
+    (occupancy is periodic). *)
+
+val bus_take : t -> cycle:int -> bus:int -> unit
+val bus_release : t -> cycle:int -> bus:int -> unit

@@ -1,0 +1,58 @@
+module G = Vliw_ddg.Graph
+module M = Vliw_arch.Machine
+
+(* Charge one live range [d, e) (in flat-schedule cycles) to a cluster's
+   per-slot counters. *)
+let charge slots ii d e =
+  let e = max e (d + 1) in
+  for t = d to e - 1 do
+    let s = ((t mod ii) + ii) mod ii in
+    slots.(s) <- slots.(s) + 1
+  done
+
+let max_live g (sched : Schedule.t) =
+  let ii = sched.Schedule.ii in
+  let machine = sched.Schedule.machine in
+  let nclusters = machine.M.clusters in
+  let buslat = machine.M.reg_buses.M.bus_latency in
+  let slots = Array.init nclusters (fun _ -> Array.make ii 0) in
+  let assumed = Schedule.assumed_of sched in
+  List.iter
+    (fun (n : G.node) ->
+      if not (G.is_store n) then (
+        let cl = Schedule.cluster_of sched n.n_id in
+        let def =
+          Schedule.cycle_of sched n.n_id + G.op_latency n ~assumed
+        in
+        (* same-cluster consumers read at their issue; cross-cluster ones
+           read through a copy, which reads the source at its start *)
+        let last_use =
+          List.fold_left
+            (fun acc (e : G.edge) ->
+              if e.e_kind <> G.RF then acc
+              else if Schedule.cluster_of sched e.e_dst = cl then
+                max acc (Schedule.cycle_of sched e.e_dst + (ii * e.e_dist))
+              else
+                match Schedule.find_copy sched e with
+                | Some cp -> max acc cp.Schedule.cp_cycle
+                | None -> acc)
+            def (G.succs g n.n_id)
+        in
+        charge slots.(cl) ii def last_use;
+        (* the copies' delivered values, charged to the destination *)
+        List.iter
+          (fun (e : G.edge) ->
+            if e.e_kind = G.RF then
+              match Schedule.find_copy sched e with
+              | Some cp ->
+                let arrive = cp.Schedule.cp_cycle + buslat in
+                let use =
+                  Schedule.cycle_of sched e.e_dst + (ii * e.e_dist)
+                in
+                charge slots.(cp.Schedule.cp_to) ii arrive use
+              | None -> ())
+          (G.succs g n.n_id)))
+    (G.nodes g);
+  Array.map (fun s -> Array.fold_left max 0 s) slots
+
+let total g sched = Array.fold_left ( + ) 0 (max_live g sched)

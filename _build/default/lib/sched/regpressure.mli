@@ -1,0 +1,25 @@
+(** Register pressure of a modulo schedule (MaxLive).
+
+    Clustered VLIW register files are small and per-cluster; the paper's
+    companion work (Codina et al., "A Unified Modulo Scheduling and
+    Register Allocation Technique") makes pressure a first-class scheduling
+    concern. We report it as an analysis: under modulo scheduling at
+    initiation interval II, a value defined at cycle [d] and last consumed
+    at cycle [e] has [e - d] live cycles, and its instances from successive
+    iterations overlap — it occupies a register in every II-slot [s] with
+    [d <= t < e] and [t = s (mod II)]. MaxLive of a cluster is the maximum
+    over slots of simultaneously live values; it lower-bounds the register
+    file size the schedule needs (modulo-variable-expansion style renaming
+    assumed).
+
+    Cross-cluster copies are charged to both sides: the source value stays
+    live until the copy reads it, and the copy's delivered value is live in
+    the destination cluster from its arrival until the consumer reads
+    it. *)
+
+val max_live : Vliw_ddg.Graph.t -> Schedule.t -> int array
+(** Per-cluster MaxLive. Values with no consumer are charged one cycle of
+    liveness (they still occupy a write port/rename slot). *)
+
+val total : Vliw_ddg.Graph.t -> Schedule.t -> int
+(** Sum over clusters. *)

@@ -1,0 +1,1 @@
+lib/sim/attraction.ml: Array Bytes Char Fun Int64 List Vliw_arch

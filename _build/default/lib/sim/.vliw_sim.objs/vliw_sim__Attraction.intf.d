@@ -1,0 +1,1 @@
+lib/sim/attraction.mli: Bytes Vliw_arch

@@ -1,0 +1,1 @@
+lib/sim/cachemod.ml: Array Fun List Vliw_arch

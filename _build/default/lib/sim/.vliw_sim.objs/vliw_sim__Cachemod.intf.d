@@ -1,0 +1,1 @@
+lib/sim/cachemod.mli: Vliw_arch

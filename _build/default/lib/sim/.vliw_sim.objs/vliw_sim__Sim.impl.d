@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Attraction Bytes Cachemod Hashtbl Int64 List Option Queue Vliw_arch Vliw_ddg Vliw_ir Vliw_lower Vliw_sched Vliw_util

@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Bytes Vliw_ddg Vliw_ir Vliw_lower Vliw_sched Vliw_util

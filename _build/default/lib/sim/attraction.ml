@@ -1,0 +1,152 @@
+module M = Vliw_arch.Machine
+
+type entry = {
+  mutable subblock : int;
+  mutable data : Bytes.t;
+  mutable base : int;  (** first byte address covered *)
+  mutable valid : bool;
+  mutable sync : int;
+}
+
+type t = {
+  machine : M.t;
+  sets : int;
+  assoc : int;
+  entries : entry array array;
+  lru : int list array;
+}
+
+let create machine =
+  match machine.M.attraction with
+  | None -> invalid_arg "Attraction.create: machine has no attraction buffers"
+  | Some a ->
+    let sets = a.M.ab_entries / a.M.ab_assoc in
+    let sb = M.subblock_bytes machine in
+    {
+      machine;
+      sets;
+      assoc = a.M.ab_assoc;
+      entries =
+        Array.init sets (fun _ ->
+            Array.init a.M.ab_assoc (fun _ ->
+                { subblock = -1; data = Bytes.create sb; base = 0;
+                  valid = false; sync = -1 }));
+      lru = Array.init sets (fun _ -> List.init a.M.ab_assoc Fun.id);
+    }
+
+let set_of t subblock = subblock mod t.sets
+
+let find t subblock =
+  let s = set_of t subblock in
+  let rec go w =
+    if w >= t.assoc then None
+    else
+      let e = t.entries.(s).(w) in
+      if e.valid && e.subblock = subblock then Some (s, w, e) else go (w + 1)
+  in
+  go 0
+
+let bump t set way =
+  t.lru.(set) <- way :: List.filter (( <> ) way) t.lru.(set)
+
+let lookup t ~subblock =
+  match find t subblock with
+  | Some (s, w, _) ->
+    bump t s w;
+    true
+  | None -> false
+
+(* Map a byte address to its offset inside the entry's packed data: a
+   subblock's addresses are interleave-spaced in memory, packed densely in
+   the entry. [None] when the access leaves its interleave chunk — an
+   access wider than the interleave factor straddles clusters (jpegdec /
+   mpeg2dec in Table 1) and must bypass the buffered copy. *)
+let offset_in_entry t e addr size =
+  let i = t.machine.M.interleave_bytes in
+  let stride = i * t.machine.M.clusters in
+  let delta = addr - e.base in
+  if delta < 0 then None
+  else
+    let chunk = delta / stride and within = delta mod stride in
+    let off = (chunk * i) + within in
+    if within + size <= i && off + size <= Bytes.length e.data then Some off
+    else None
+
+let read t ~subblock ~addr ~size =
+  match find t subblock with
+  | None -> None
+  | Some (s, w, e) -> (
+    bump t s w;
+    match offset_in_entry t e addr size with
+    | None -> None
+    | Some off ->
+      let v = ref 0L in
+      for k = size - 1 downto 0 do
+        v :=
+          Int64.logor (Int64.shift_left !v 8)
+            (Int64.of_int (Char.code (Bytes.get e.data (off + k))))
+      done;
+      Some !v)
+
+let write_if_present t ~subblock ~addr ~size value ~sync =
+  match find t subblock with
+  | None -> false
+  | Some (_, _, e) -> (
+    match offset_in_entry t e addr size with
+    | None -> false
+    | Some off ->
+      for k = 0 to size - 1 do
+        Bytes.set e.data (off + k)
+          (Char.chr
+             (Int64.to_int
+                (Int64.logand (Int64.shift_right_logical value (8 * k)) 0xFFL)))
+      done;
+      e.sync <- max e.sync sync;
+      true)
+
+let install t ~machine ~subblock ~mem ~sync =
+  assert (machine == t.machine || machine = t.machine);
+  let addrs = M.addrs_of_subblock machine ~subblock in
+  let base = List.hd addrs in
+  let s = set_of t subblock in
+  let way =
+    let rec free w =
+      if w >= t.assoc then None
+      else if not t.entries.(s).(w).valid then Some w
+      else free (w + 1)
+    in
+    match find t subblock with
+    | Some (_, w, _) -> w
+    | None -> (
+      match free 0 with
+      | Some w -> w
+      | None -> List.nth t.lru.(s) (t.assoc - 1))
+  in
+  let e = t.entries.(s).(way) in
+  e.subblock <- subblock;
+  e.base <- base;
+  e.valid <- true;
+  e.sync <- sync;
+  let i = machine.M.interleave_bytes in
+  List.iteri
+    (fun chunk a ->
+      for k = 0 to i - 1 do
+        Bytes.set e.data ((chunk * i) + k) (Bytes.get mem (a + k))
+      done)
+    addrs;
+  bump t s way
+
+let sync_seq t ~subblock =
+  match find t subblock with Some (_, _, e) -> Some e.sync | None -> None
+
+let flush t =
+  let n = ref 0 in
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun e ->
+          if e.valid then incr n;
+          e.valid <- false)
+        set)
+    t.entries;
+  !n

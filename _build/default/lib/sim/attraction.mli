@@ -1,0 +1,35 @@
+(** Attraction Buffers (paper Section 5): a small set-associative buffer per
+    cluster caching {e remote} subblocks, data included (this is genuine
+    replication, unlike the cache modules). A remote response installs the
+    whole subblock; subsequent accesses hit locally until replacement.
+    Stores update a present copy to keep it fresh; the buffer is flushed
+    between loops to restore inter-loop coherence (Section 5.2). *)
+
+type t
+
+val create : Vliw_arch.Machine.t -> t
+(** Uses the machine's [attraction] geometry.
+    @raise Invalid_argument if the machine has no Attraction Buffers. *)
+
+val lookup : t -> subblock:int -> bool
+(** Presence test + LRU bump. *)
+
+val read : t -> subblock:int -> addr:int -> size:int -> int64 option
+(** Little-endian read from the buffered copy; [None] if absent. *)
+
+val write_if_present : t -> subblock:int -> addr:int -> size:int -> int64 -> sync:int -> bool
+(** Update the buffered copy (no allocation); [sync] is the coherence
+    sequence high-water mark for staleness accounting. Returns presence. *)
+
+val install :
+  t -> machine:Vliw_arch.Machine.t -> subblock:int -> mem:Bytes.t -> sync:int -> unit
+(** Cache a remote subblock: copy its bytes out of [mem] (the state at
+    response time) and tag the entry with [sync]. Evicts LRU. *)
+
+val sync_seq : t -> subblock:int -> int option
+(** The entry's coherence high-water mark: every store with a smaller
+    sequence number is already reflected in the buffered copy. *)
+
+val flush : t -> int
+(** Invalidate everything; returns the number of valid entries dropped
+    (the flush work between loops). *)

@@ -1,0 +1,83 @@
+module M = Vliw_arch.Machine
+
+type t = {
+  machine : M.t;
+  cluster : int;
+  sets : int;
+  assoc : int;
+  (* ways.(set).(way) = Some subblock; lru.(set) lists ways, most recent
+     first *)
+  ways : int option array array;
+  lru : int list array;
+}
+
+let create machine ~cluster =
+  let sets = M.module_sets machine in
+  let assoc = machine.M.cache.M.assoc in
+  {
+    machine;
+    cluster;
+    sets;
+    assoc;
+    ways = Array.init sets (fun _ -> Array.make assoc None);
+    lru = Array.init sets (fun _ -> List.init assoc Fun.id);
+  }
+
+let set_of t subblock =
+  let block = subblock / t.machine.M.clusters in
+  block mod t.sets
+
+let cluster_of t subblock = subblock mod t.machine.M.clusters
+
+let find_way t subblock =
+  let s = set_of t subblock in
+  let rec go w =
+    if w >= t.assoc then None
+    else if t.ways.(s).(w) = Some subblock then Some w
+    else go (w + 1)
+  in
+  go 0
+
+let present t ~subblock = find_way t subblock <> None
+
+let bump t set way =
+  t.lru.(set) <- way :: List.filter (( <> ) way) t.lru.(set)
+
+let touch t ~subblock =
+  match find_way t subblock with
+  | Some w -> bump t (set_of t subblock) w
+  | None -> ()
+
+let install t ~subblock =
+  if cluster_of t subblock <> t.cluster then
+    invalid_arg "Cachemod.install: subblock belongs to another cluster";
+  match find_way t subblock with
+  | Some w ->
+    bump t (set_of t subblock) w;
+    None
+  | None ->
+    let s = set_of t subblock in
+    (* prefer an invalid way, otherwise evict least recently used *)
+    let victim_way =
+      let rec free w =
+        if w >= t.assoc then None
+        else if t.ways.(s).(w) = None then Some w
+        else free (w + 1)
+      in
+      match free 0 with
+      | Some w -> w
+      | None -> List.nth t.lru.(s) (t.assoc - 1)
+    in
+    let evicted = t.ways.(s).(victim_way) in
+    t.ways.(s).(victim_way) <- Some subblock;
+    bump t s victim_way;
+    evicted
+
+let invalidate_all t =
+  Array.iter (fun set -> Array.fill set 0 (Array.length set) None) t.ways
+
+let valid_lines t =
+  Array.fold_left
+    (fun acc set ->
+      acc + Array.fold_left (fun a w -> if w = None then a else a + 1) 0 set)
+    0 t.ways

@@ -1,0 +1,23 @@
+(** One per-cluster cache module: presence metadata for the subblocks this
+    cluster owns (data itself lives in the flat memory image — the modules
+    are write-through, so only hit/miss behaviour and replacement are
+    tracked here). Lines are subblock-sized with block tags, set-indexed by
+    block number, LRU within a set (paper Figure 1, Table 2). *)
+
+type t
+
+val create : Vliw_arch.Machine.t -> cluster:int -> t
+
+val present : t -> subblock:int -> bool
+
+val touch : t -> subblock:int -> unit
+(** LRU bump on a hit. No-op if absent. *)
+
+val install : t -> subblock:int -> int option
+(** Fill a subblock; returns the evicted subblock (if a valid line was
+    displaced). The installed line becomes most recently used.
+    @raise Invalid_argument if the subblock does not belong to this
+    cluster. *)
+
+val invalidate_all : t -> unit
+val valid_lines : t -> int

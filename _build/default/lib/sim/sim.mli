@@ -1,0 +1,87 @@
+(** Execution-driven cycle-level simulator of the word-interleaved cache
+    clustered VLIW processor (paper Sections 2.1, 2.3, 4.1, 5).
+
+    The machine issues the modulo schedule in lock-step: iteration [k] of an
+    operation issues at virtual cycle [cycle + II * k]. The whole machine is
+    {e stall-on-use}: when any operation of the current VLIW instruction
+    needs a register value that has not arrived (a load still in flight, a
+    cross-cluster copy still on a bus), the machine freezes — real cycles
+    advance, the virtual clock does not; those frozen cycles are the
+    {e stall time} of Figure 7, the issued ones the {e compute time}.
+
+    Memory system:
+    - each cluster owns a cache module holding the subblocks that map to it;
+      modules are write-through presence trackers over a single flat memory
+      image, serviced one request per cycle in arrival (FIFO) order — this
+      ordering is what makes the MDC guarantee real;
+    - remote accesses travel as transactions over the shared memory buses
+      (FIFO arbitration, [bus_latency]-cycle transfers); queueing delay is
+      the paper's non-deterministic bus latency (footnote 2);
+    - misses allocate an MSHR per subblock and fetch from the next level
+      (4 ports, fixed 10-cycle total service, always a hit); later accesses
+      to a pending subblock {e combine} (Figure 6's "combined" class);
+    - optional Attraction Buffers replicate remote subblocks per cluster
+      (Section 5); buffer hits count as local hits;
+    - a store instance pinned to a cluster by store replication executes
+      only when the computed address' home is its own cluster, and is
+      {e nullified} otherwise (updating its cluster's Attraction Buffer copy
+      if present, Section 5.3).
+
+    The simulator runs in two data modes. [Execution] reads and writes the
+    flat memory at the time each access is {e applied} at its home module,
+    so out-of-order arrivals of aliased accesses corrupt data exactly as the
+    paper warns. [Oracle] feeds every load its value from a reference
+    interpreter trace — the paper's trace-driven simulation (Section 4.1
+    footnote: the optimistic baselines stay measurable because coherence is
+    guaranteed by construction). Both modes count {e coherence violations}:
+    aliased accesses applied against program order, or loads observing
+    provably-stale Attraction Buffer copies. *)
+
+type mode = Oracle of Vliw_ir.Interp.result | Execution
+
+type stats = {
+  total_cycles : int;
+  compute_cycles : int;
+  stall_cycles : int;  (** [total - compute] *)
+  local_hits : int;
+  remote_hits : int;
+  local_misses : int;
+  remote_misses : int;
+  combined : int;
+  ab_hits : int;  (** loads satisfied by the Attraction Buffer (a subset of
+                      [local_hits]) *)
+  ab_flushed : int;  (** valid AB entries dropped by the end-of-loop flush *)
+  violations : int;  (** coherence order violations observed *)
+  nullified : int;  (** replicated store instances that did not execute *)
+  comm_ops : int;  (** dynamic copy operations (copies per iteration x trip) *)
+  memory : Bytes.t;  (** final memory image (meaningful in [Execution]) *)
+}
+
+val accesses_total : stats -> int
+(** All classified memory accesses (the denominator of Figure 6). *)
+
+val run :
+  lowered:Vliw_lower.Lower.t ->
+  graph:Vliw_ddg.Graph.t ->
+  schedule:Vliw_sched.Schedule.t ->
+  layout:Vliw_ir.Layout.t ->
+  ?trip:int ->
+  ?mode:mode ->
+  ?jitter:Vliw_util.Prng.t * int ->
+  ?warm:bool ->
+  unit ->
+  stats
+(** Simulate the scheduled loop for [trip] iterations (default: the
+    kernel's declared trip count; must not exceed it when the schedule was
+    built for the declared trip). [graph]/[schedule] may be the transformed
+    (MDC/DDGT) versions; [lowered] supplies operand semantics, which
+    replicas resolve through their original node. [mode] defaults to
+    [Execution]. [jitter = (prng, j)] adds 0..j extra cycles to every bus
+    transfer — the unmodeled traffic (replacements, other engines) of the
+    paper's footnote 2; defaults to none.
+
+    [warm] (default false, requires [Oracle] mode) pre-populates the cache
+    modules by replaying the oracle's address trace before timing starts:
+    the paper's loops execute many times per program run, so their steady
+    state is a warm cache; working sets larger than the 8KB cache still
+    miss. *)

@@ -1,0 +1,1 @@
+lib/util/bars.ml: Buffer Float List Printf String

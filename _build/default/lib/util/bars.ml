@@ -1,0 +1,39 @@
+type segment = { label : char; frac : float }
+
+let clamp01 f = if f < 0. then 0. else if f > 1. then 1. else f
+
+let bar ~width segs =
+  let segs = List.map (fun s -> { s with frac = clamp01 s.frac }) segs in
+  let total = List.fold_left (fun acc s -> acc +. s.frac) 0. segs in
+  let target = int_of_float (Float.round (float_of_int width *. clamp01 total)) in
+  let buf = Buffer.create width in
+  let drawn = ref 0 in
+  let acc = ref 0. in
+  List.iter
+    (fun s ->
+      acc := !acc +. s.frac;
+      let upto = int_of_float (Float.round (float_of_int width *. clamp01 !acc)) in
+      let upto = min upto target in
+      while !drawn < upto do
+        Buffer.add_char buf s.label;
+        incr drawn
+      done)
+    segs;
+  Buffer.contents buf
+
+let chart ~width ~legend rows =
+  let lw =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (label, segs) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s |%s\n" lw label (bar ~width segs)))
+    rows;
+  Buffer.add_string buf (Printf.sprintf "%-*s  legend:" lw "");
+  List.iter
+    (fun (c, name) -> Buffer.add_string buf (Printf.sprintf " %c=%s" c name))
+    legend;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

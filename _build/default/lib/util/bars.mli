@@ -1,0 +1,19 @@
+(** Stacked horizontal bar charts in ASCII.
+
+    Used by the bench harness to echo the paper's Figure 6/7/9 bar charts:
+    each benchmark gets one bar per scheme, segmented into classes
+    (e.g. local hits / remote hits / ... or compute / stall). *)
+
+type segment = { label : char; frac : float }
+(** One segment of a stacked bar: [frac] of the bar drawn with [label]. *)
+
+val bar : width:int -> segment list -> string
+(** Render one stacked bar of [width] characters. Fractions are clamped to
+    [\[0, 1\]]; rounding error goes to the last non-empty segment so the bar
+    length is exactly [Float.round (width * total)]. *)
+
+val chart :
+  width:int -> legend:(char * string) list ->
+  (string * segment list) list -> string
+(** [chart ~width ~legend rows] renders labeled bars followed by a legend
+    line. Row labels are right-padded to a common width. *)

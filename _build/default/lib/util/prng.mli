@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomized components of the reproduction (workload data, adversarial
+    bus jitter, property-test inputs that are not driven by QCheck) draw from
+    this splitmix64 generator so that every experiment is bit-reproducible
+    from a seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed. Two generators
+    created from the same seed produce identical streams. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val next : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val split : t -> t
+(** A generator statistically independent from the parent's future output;
+    advances the parent. *)

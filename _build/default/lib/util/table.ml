@@ -1,0 +1,86 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Sep
+
+type t = {
+  title : string option;
+  headers : (string * align) list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title headers = { title; headers; rows = [] }
+
+let add_row t cells =
+  let n = List.length t.headers and k = List.length cells in
+  if k > n then invalid_arg "Table.add_row: more cells than headers";
+  let cells = if k < n then cells @ List.init (n - k) (fun _ -> "") else cells in
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let pad align width s =
+  let len = String.length s in
+  if len >= width then s
+  else
+    let fill = width - len in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+      let l = fill / 2 in
+      String.make l ' ' ^ s ^ String.make (fill - l) ' '
+
+let render t =
+  let headers = List.map fst t.headers in
+  let aligns = List.map snd t.headers in
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row ->
+            match row with
+            | Sep -> acc
+            | Cells cs -> max acc (String.length (List.nth cs i)))
+          (String.length h) rows)
+      headers
+  in
+  let buf = Buffer.create 1024 in
+  let hline () =
+    Buffer.add_char buf '+';
+    List.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line aligns cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        let w = List.nth widths i and a = List.nth aligns i in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad a w c);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | None -> ()
+  | Some title ->
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n');
+  hline ();
+  line (List.map (fun _ -> Center) headers) headers;
+  hline ();
+  List.iter
+    (fun row -> match row with Sep -> hline () | Cells cs -> line aligns cs)
+    rows;
+  hline ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_f f = Printf.sprintf "%.2f" f
+let cell_pct f = Printf.sprintf "%.1f%%" (100. *. f)

@@ -1,0 +1,35 @@
+(** Plain-text table rendering for experiment output.
+
+    The bench harness prints every reproduced table/figure as an ASCII table
+    (and, for the figures, an additional stacked-bar view) so that the paper's
+    rows/series can be compared side by side in a terminal. *)
+
+type align = Left | Right | Center
+
+type t
+(** A table under construction. Mutable; rows are rendered in insertion
+    order. *)
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title headers] starts a table whose columns are [headers]; each
+    header carries the alignment used for its body cells. *)
+
+val add_row : t -> string list -> unit
+(** Append a body row. Rows shorter than the header list are padded with
+    empty cells; longer rows raise [Invalid_argument]. *)
+
+val add_sep : t -> unit
+(** Append a horizontal separator line. *)
+
+val render : t -> string
+(** Render with box-drawing in plain ASCII. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val cell_f : float -> string
+(** Canonical float cell: two decimals. *)
+
+val cell_pct : float -> string
+(** Fraction rendered as a percentage with one decimal, e.g. [0.625] ->
+    ["62.5%"]. *)

@@ -1,0 +1,735 @@
+type loop = {
+  l_name : string;
+  l_weight : int;
+  l_source : seed:int -> string;
+}
+
+type benchmark = {
+  b_name : string;
+  b_interleave : int;
+  b_data_size : int;
+  b_data_pct : int;
+  b_in_figures : bool;
+  b_profile_seed : int;
+  b_exec_seed : int;
+  b_loops : loop list;
+}
+
+let sp = Printf.sprintf
+
+(* ------------------------------------------------------------------ *)
+(* epicdec: image (wavelet pyramid) decoder. 4-byte data.
+   Table 3: CMR 0.64, CAR 0.22 — one loop with a big memory dependent
+   chain held together partly by unresolved (false) dependences through a
+   scratch buffer the compiler cannot disambiguate from the image
+   (Table 5: specialization collapses CMR to 0.20).
+   Section 5.4: its big-chain loop overflows a single Attraction Buffer
+   under MDC. *)
+
+let epicdec_wavelet ~seed =
+  sp
+    {|kernel epicdec_wavelet {
+  array img : i32[520] = random(%d)
+  array tmp : i32[520] = random(%d) mayoverlap img
+  scalar acc : i64 = 0
+  trip 128
+  body {
+    let a = img[4*i]
+    let b = img[4*i + 1]
+    let c = img[4*i + 2]
+    let d = img[4*i + 3]
+    let lo = (a + b) >> 1
+    let hi = (c - d) >> 1
+    img[4*i + 1] = lo
+    tmp[4*i] = hi
+    let e = tmp[4*i + 2]
+    acc = acc + (e - lo) * (e + hi)
+  }
+}|}
+    seed (seed + 1)
+
+let epicdec_unquant ~seed =
+  sp
+    {|kernel epicdec_unquant {
+  array qv : i16[256] = random(%d)
+  array out : i32[256] = zero
+  scalar bias : i64 = 3
+  trip 128
+  body {
+    let q = qv[2*i]
+    let r = qv[2*i + 1]
+    out[2*i] = q * 11 + bias
+    out[2*i + 1] = select(r < 0, r * 11 - bias, r * 11 + bias)
+  }
+}|}
+    seed
+
+(* The Section 5.4 loop: one huge memory dependent chain of table accesses
+   with real temporal reuse. Under MDC every access runs from one cluster,
+   whose single Attraction Buffer cannot hold the four tables' working sets
+   at once; under DDGT the loads spread and all four buffers are used. *)
+let epicdec_pyramid ~seed =
+  sp
+    {|kernel epicdec_pyramid {
+  array coef : i32[320] = random(%d)
+  array pdst : i32[320] = zero mayoverlap coef
+  scalar acc : i64 = 0
+  trip 128
+  body {
+    let p = i %% 40
+    let a = coef[p]
+    let b = coef[40 + p]
+    let c = coef[80 + p]
+    let d = coef[120 + p]
+    let e = coef[160 + p]
+    let f = coef[200 + p]
+    let g = coef[240 + p]
+    let h = coef[280 + p]
+    let s = a * 3 + b * 5 + c * 7 + d * 9 + e - f + g * 2 - h
+    pdst[(s & 255) + 32] = s >> 9
+    acc = acc + s
+  }
+}|}
+    seed
+
+let epicdec = {
+  b_name = "epicdec";
+  b_interleave = 4;
+  b_data_size = 4;
+  b_data_pct = 84;
+  b_in_figures = true;
+  b_profile_seed = 1001;
+  b_exec_seed = 2001;
+  b_loops =
+    [
+      { l_name = "wavelet"; l_weight = 3; l_source = epicdec_wavelet };
+      { l_name = "pyramid"; l_weight = 2; l_source = epicdec_pyramid };
+      { l_name = "unquant"; l_weight = 6; l_source = epicdec_unquant };
+    ];
+}
+
+(* epicenc: Table 1 only (the paper's figures omit it). *)
+
+let epicenc_analyze ~seed =
+  sp
+    {|kernel epicenc_analyze {
+  array src : i32[516] = random(%d)
+  array sub : i32[516] = zero
+  scalar e : i64 = 0
+  trip 128
+  body {
+    let s0 = src[4*i]
+    let s1 = src[4*i + 1]
+    sub[4*i + 2] = (s0 + s1) >> 1
+    sub[4*i + 3] = (s0 - s1) >> 1
+    e = e + abs(s0 - s1)
+  }
+}|}
+    seed
+
+let epicenc = {
+  b_name = "epicenc";
+  b_interleave = 4;
+  b_data_size = 4;
+  b_data_pct = 89;
+  b_in_figures = false;
+  b_profile_seed = 1002;
+  b_exec_seed = 2002;
+  b_loops = [ { l_name = "analyze"; l_weight = 4; l_source = epicenc_analyze } ];
+}
+
+(* ------------------------------------------------------------------ *)
+(* g721dec / g721enc: ADPCM codecs. 2-byte data, and Table 3 reports NO
+   memory dependent chains at all: every store is provably independent. *)
+
+let g721_predict ~seed =
+  sp
+    {|kernel g721_predict {
+  array sig : i16[1032] = random(%d)
+  array wgt : i16[1032] = random(%d)
+  array out : i16[1032] = zero
+  scalar sr : i64 = 0
+  trip 128
+  body {
+    let s0 = sig[8*i] * wgt[8*i]
+    let s1 = sig[8*i + 1] * wgt[8*i + 1]
+    let s2 = sig[8*i + 2] * wgt[8*i + 2]
+    let p = (s0 + s1 + s2) >> 14
+    out[8*i + 3] = p
+    sr = sr + p
+  }
+}|}
+    seed (seed + 1)
+
+let g721_quant ~seed =
+  sp
+    {|kernel g721_quant {
+  array d : i16[520] = random(%d)
+  array q : i16[520] = zero
+  array tab : i16[64] = modpat(64)
+  trip 128
+  body {
+    let v = d[4*i]
+    let m = abs(v)
+    let c = tab[m %% 64]
+    q[4*i + 2] = select(v < 0, -c, c)
+  }
+}|}
+    seed
+
+let g721dec = {
+  b_name = "g721dec";
+  b_interleave = 2;
+  b_data_size = 2;
+  b_data_pct = 89;
+  b_in_figures = true;
+  b_profile_seed = 1003;
+  b_exec_seed = 2003;
+  b_loops =
+    [
+      { l_name = "predict"; l_weight = 3; l_source = g721_predict };
+      { l_name = "quant"; l_weight = 2; l_source = g721_quant };
+    ];
+}
+
+let g721enc = {
+  g721dec with
+  b_name = "g721enc";
+  b_data_pct = 92;
+  b_profile_seed = 1004;
+  b_exec_seed = 2004;
+  b_loops =
+    [
+      { l_name = "quant"; l_weight = 3; l_source = g721_quant };
+      { l_name = "predict"; l_weight = 2; l_source = g721_predict };
+    ];
+}
+
+(* ------------------------------------------------------------------ *)
+(* gsmdec / gsmenc: GSM 06.10 speech codec. 2-byte data (99%).
+   Small chains (CMR 0.18 / 0.08) amid heavy MAC arithmetic (CAR 0.02 /
+   0.01). *)
+
+let gsm_synth ~seed =
+  sp
+    {|kernel gsm_synth {
+  array v : i16[528] = random(%d)
+  array rrp : i16[528] = random(%d)
+  scalar sri : i64 = 0
+  trip 128
+  body {
+    let s = v[4*i]
+    let r = rrp[4*i + 1]
+    let t = (s * r) >> 15
+    let sat = min(max(s - t, -32768), 32767)
+    let rq = (r * 3 + 2) >> 2
+    v[4*i] = sat
+    sri = sri + t + (rq ^ sat)
+  }
+}|}
+    seed (seed + 1)
+
+let gsm_longterm ~seed =
+  sp
+    {|kernel gsm_longterm {
+  array d : i16[1036] = random(%d)
+  array e : i16[1036] = zero
+  scalar l_max : i64 = 0
+  trip 128
+  body {
+    let x0 = d[8*i]
+    let x1 = d[8*i + 1]
+    let x2 = d[8*i + 2]
+    let p0 = x0 * 3 + x1 * 5
+    let p1 = x1 * 7 - x2
+    let p2 = (x0 - x2) * 13
+    let q0 = (p0 * p1) >> 12
+    let q1 = (p1 + p2) >> 3
+    let m = max(abs(p0), max(abs(p1), abs(p2)))
+    let norm = select(m > 16384, q0 >> 2, q0)
+    e[8*i + 3] = (norm + q1) >> 2
+    l_max = max(l_max, m)
+  }
+}|}
+    seed
+
+let gsm_weight ~seed =
+  sp
+    {|kernel gsm_weight {
+  array x : i16[1040] = random(%d)
+  array w : i16[1040] = zero
+  trip 128
+  body {
+    let a = x[8*i]
+    let b = x[8*i + 1]
+    let c = x[8*i + 2]
+    let d = x[8*i + 3]
+    let num = a * 13 + b * 29 + (c >> 1)
+    let den = c * 7 - d * 3 + (a >> 2)
+    let cross = (a - d) * (b + c)
+    let r = (num - den + (cross >> 8)) >> 4
+    let s = (num + den - (cross >> 9)) >> 4
+    w[8*i] = min(max(r, -32768), 32767)
+    w[8*i + 5] = min(max(s, -32768), 32767)
+  }
+}|}
+    seed
+
+let gsmdec = {
+  b_name = "gsmdec";
+  b_interleave = 2;
+  b_data_size = 2;
+  b_data_pct = 99;
+  b_in_figures = true;
+  b_profile_seed = 1005;
+  b_exec_seed = 2005;
+  b_loops =
+    [
+      { l_name = "synth"; l_weight = 3; l_source = gsm_synth };
+      { l_name = "longterm"; l_weight = 3; l_source = gsm_longterm };
+      { l_name = "weight"; l_weight = 2; l_source = gsm_weight };
+    ];
+}
+
+let gsmenc = {
+  gsmdec with
+  b_name = "gsmenc";
+  b_profile_seed = 1006;
+  b_exec_seed = 2006;
+  b_loops =
+    [
+      { l_name = "synth"; l_weight = 2; l_source = gsm_synth };
+      { l_name = "longterm"; l_weight = 4; l_source = gsm_longterm };
+      { l_name = "weight"; l_weight = 4; l_source = gsm_weight };
+    ];
+}
+
+(* ------------------------------------------------------------------ *)
+(* jpegdec: 1-byte pixels (53%). A sizable chain (CMR 0.46) from the
+   in-place color-convert/range-limit pass over the pixel rows; the
+   upsampler is chain-free. *)
+
+let jpegdec_rangelimit ~seed =
+  sp
+    {|kernel jpegdec_rangelimit {
+  array row : i8[1040] = random(%d)
+  array limit : i8[256] = modpat(256)
+  trip 128
+  body {
+    let p0 = row[8*i]
+    let p1 = row[8*i + 4]
+    let q0 = limit[(p0 + 128) %% 256]
+    let q1 = limit[(p1 + 128) %% 256]
+    let y0 = (q0 * 77 + q1 * 29 + 64) >> 7
+    let y1 = (q1 * 77 - q0 * 29 + 64) >> 7
+    let d0 = min(max(y0, -128), 127)
+    let d1 = min(max(y1 + (y0 >> 4), -128), 127)
+    row[8*i + (d0 & 3)] = d0
+    row[8*i + 4] = d1
+  }
+}|}
+    seed
+
+let jpegdec_upsample ~seed =
+  sp
+    {|kernel jpegdec_upsample {
+  array cb : i8[260] = random(%d)
+  array outr : i32[520] = zero
+  trip 128
+  body {
+    let c = cb[2*i]
+    let c2 = cb[2*i + 1]
+    let r0 = c * 91881 + 32768
+    let r1 = (c + c2) * 45940 + 32768
+    let g0 = r0 - (c2 * 22554)
+    let g1 = r1 - (c * 11277)
+    outr[4*i] = (r0 + (g0 >> 8)) >> 16
+    outr[4*i + 2] = (r1 - (g1 >> 9)) >> 16
+  }
+}|}
+    seed
+
+let jpegdec = {
+  b_name = "jpegdec";
+  b_interleave = 4;
+  b_data_size = 1;
+  b_data_pct = 53;
+  b_in_figures = true;
+  b_profile_seed = 1007;
+  b_exec_seed = 2007;
+  b_loops =
+    [
+      { l_name = "rangelimit"; l_weight = 3; l_source = jpegdec_rangelimit };
+      { l_name = "upsample"; l_weight = 2; l_source = jpegdec_upsample };
+    ];
+}
+
+(* jpegenc: 4-byte DCT coefficients (70%); tiny chain share (CMR 0.07). *)
+
+let jpegenc_fdct ~seed =
+  sp
+    {|kernel jpegenc_fdct {
+  array blk : i32[1032] = random(%d)
+  array out : i32[1032] = zero
+  trip 128
+  body {
+    let t0 = blk[8*i]
+    let t1 = blk[8*i + 1]
+    let t2 = blk[8*i + 2]
+    let t3 = blk[8*i + 3]
+    let s03 = t0 + t3
+    let d03 = t0 - t3
+    let s12 = t1 + t2
+    let d12 = t1 - t2
+    out[8*i] = s03 + s12
+    out[8*i + 1] = (d03 * 181 + d12 * 97) >> 8
+    out[8*i + 2] = s03 - s12
+    out[8*i + 3] = (d03 * 97 - d12 * 181) >> 8
+  }
+}|}
+    seed
+
+let jpegenc_quant ~seed =
+  sp
+    {|kernel jpegenc_quant {
+  array c : i32[516] = random(%d)
+  scalar nz : i64 = 0
+  trip 128
+  body {
+    let v = c[4*i]
+    let q = v / 16
+    c[4*i] = q
+    nz = nz + select(q == 0, 0, 1)
+  }
+}|}
+    seed
+
+let jpegenc = {
+  b_name = "jpegenc";
+  b_interleave = 4;
+  b_data_size = 4;
+  b_data_pct = 70;
+  b_in_figures = true;
+  b_profile_seed = 1008;
+  b_exec_seed = 2008;
+  b_loops =
+    [
+      { l_name = "fdct"; l_weight = 5; l_source = jpegenc_fdct };
+      { l_name = "quant"; l_weight = 1; l_source = jpegenc_quant };
+    ];
+}
+
+(* ------------------------------------------------------------------ *)
+(* mpeg2dec: 8-byte accesses (49%) over a 4-byte interleave — wide
+   accesses straddle clusters. Small chain (CMR 0.13) in the in-place
+   motion-compensation average. *)
+
+let mpeg2dec_mc ~seed =
+  sp
+    {|kernel mpeg2dec_mc {
+  array cur : i64[260] = random(%d)
+  array ref : i64[264] = random(%d)
+  trip 128
+  body {
+    let c = cur[2*i]
+    let r = ref[2*i + 1]
+    cur[2*i] = (c + r + 1) >> 1
+  }
+}|}
+    seed (seed + 1)
+
+let mpeg2dec_idct ~seed =
+  sp
+    {|kernel mpeg2dec_idct {
+  array co : i64[1032] = random(%d)
+  array px : i64[1032] = zero
+  scalar sat : i64 = 0
+  trip 128
+  body {
+    let a = co[8*i]
+    let b = co[8*i + 1]
+    let c = co[8*i + 3]
+    let e = a * 2048 + b * 1448
+    let f = a * 2048 - b * 1448
+    let g = c * 1024
+    px[8*i] = (e + g) >> 11
+    px[8*i + 1] = (f - g) >> 11
+    sat = sat + select(e > 262143, 1, 0)
+  }
+}|}
+    seed
+
+let mpeg2dec = {
+  b_name = "mpeg2dec";
+  b_interleave = 4;
+  b_data_size = 8;
+  b_data_pct = 49;
+  b_in_figures = true;
+  b_profile_seed = 1009;
+  b_exec_seed = 2009;
+  b_loops =
+    [
+      { l_name = "mc"; l_weight = 2; l_source = mpeg2dec_mc };
+      { l_name = "idct"; l_weight = 5; l_source = mpeg2dec_idct };
+    ];
+}
+
+(* ------------------------------------------------------------------ *)
+(* pegwitdec / pegwitenc: elliptic-curve crypto. 2-byte digits; in-place
+   squaring/reduction chains (CMR 0.27 / 0.35). *)
+
+let pegwit_square ~seed =
+  sp
+    {|kernel pegwit_square {
+  array gf : i16[528] = random(%d)
+  scalar carry : i64 = 0
+  trip 128
+  body {
+    let lo = gf[4*i]
+    let hi = gf[4*i + 1]
+    let sq = lo * lo + hi * 17
+    gf[4*i] = sq + carry
+    carry = sq >> 15
+  }
+}|}
+    seed
+
+let pegwit_hash ~seed =
+  sp
+    {|kernel pegwit_hash {
+  array msg : i16[1040] = random(%d)
+  array dig : i16[1040] = zero
+  scalar h : i64 = 99
+  trip 128
+  body {
+    let w0 = msg[8*i]
+    let w1 = msg[8*i + 1]
+    let w2 = msg[8*i + 2]
+    let r1 = (w0 ^ (w1 << 3)) + (w2 ^ (h %% 65536))
+    let r2 = (r1 << 5) ^ (r1 >> 11) ^ (w1 * 9)
+    let mixed = (r2 + w0 * 3 - w2) & 32767
+    dig[8*i + 3] = mixed
+    h = h * 31 + mixed
+  }
+}|}
+    seed
+
+let pegwitdec = {
+  b_name = "pegwitdec";
+  b_interleave = 2;
+  b_data_size = 2;
+  b_data_pct = 76;
+  b_in_figures = true;
+  b_profile_seed = 1010;
+  b_exec_seed = 2010;
+  b_loops =
+    [
+      { l_name = "square"; l_weight = 3; l_source = pegwit_square };
+      { l_name = "hash"; l_weight = 3; l_source = pegwit_hash };
+    ];
+}
+
+let pegwitenc = {
+  pegwitdec with
+  b_name = "pegwitenc";
+  b_data_pct = 84;
+  b_profile_seed = 1011;
+  b_exec_seed = 2011;
+  b_loops =
+    [
+      { l_name = "square"; l_weight = 4; l_source = pegwit_square };
+      { l_name = "hash"; l_weight = 3; l_source = pegwit_hash };
+    ];
+}
+
+(* ------------------------------------------------------------------ *)
+(* pgpdec / pgpenc: RSA multiprecision arithmetic. 4-byte digits; the
+   biggest chains of the suite (CMR 0.73 / 0.63), partly through a
+   scratch product the compiler cannot disambiguate from the accumulator
+   (Table 5: pgpdec CMR drops to 0.52 under specialization). *)
+
+let pgp_mpmul ~seed =
+  sp
+    {|kernel pgp_mpmul {
+  array acc : i32[524] = random(%d)
+  array prod : i32[524] = random(%d) mayoverlap acc
+  scalar carry : i64 = 0
+  trip 128
+  body {
+    let a0 = acc[4*i]
+    let a1 = acc[4*i + 1]
+    let lo = (a0 & 65535) * 40503
+    let hi = (a0 >> 16) * 10619
+    let m = lo + (hi << 16) + a1 * 13
+    let fold = (m >> 24) ^ (m & 16777215)
+    acc[4*i] = fold + carry
+    acc[4*i + 1] = a1 ^ (fold >> 7)
+    let red = acc[m %% 524]
+    let p = prod[4*i + 2]
+    prod[4*i] = p + fold
+    carry = (m + p + red) >> 16
+  }
+}|}
+    seed (seed + 1)
+
+let pgp_mpmul_enc ~seed =
+  sp
+    {|kernel pgp_mpmul_enc {
+  array acc : i32[524] = random(%d)
+  array prod : i32[524] = random(%d) mayoverlap acc
+  array red : i32[524] = random(%d) mayoverlap prod
+  scalar carry : i64 = 0
+  trip 64
+  body {
+    let a0 = acc[8*i]
+    let p0 = prod[8*i]
+    let r0 = red[8*i + 2]
+    let lo = (a0 & 65535) * 40503
+    let hi = (a0 >> 16) * 10619
+    let m = lo + (hi << 16) + p0 * 13
+    let fold = (m >> 24) ^ (m & 16777215)
+    let mix1 = (fold + r0) * 3
+    let mix2 = (fold - r0) >> 2
+    let mix3 = mix1 ^ mix2
+    let mix4 = (mix3 * 5 + p0) >> 3
+    acc[8*i] = fold + carry
+    prod[8*i + 4] = p0 + mix3
+    red[8*i + 6] = r0 ^ mix4
+    carry = (m + mix4) >> 16
+  }
+}|}
+    seed (seed + 1) (seed + 2)
+
+let pgp_modexp ~seed =
+  sp
+    {|kernel pgp_modexp {
+  array base : i32[520] = random(%d)
+  array res : i32[520] = zero
+  trip 128
+  body {
+    let b = base[4*i]
+    let sq = b * b
+    res[4*i + 1] = sq %% 65521
+  }
+}|}
+    seed
+
+let pgpdec = {
+  b_name = "pgpdec";
+  b_interleave = 4;
+  b_data_size = 4;
+  b_data_pct = 92;
+  b_in_figures = true;
+  b_profile_seed = 1012;
+  b_exec_seed = 2012;
+  b_loops =
+    [
+      { l_name = "mpmul"; l_weight = 3; l_source = pgp_mpmul };
+      { l_name = "modexp"; l_weight = 3; l_source = pgp_modexp };
+    ];
+}
+
+let pgpenc = {
+  pgpdec with
+  b_name = "pgpenc";
+  b_data_pct = 73;
+  b_profile_seed = 1013;
+  b_exec_seed = 2013;
+  b_loops =
+    [
+      { l_name = "mpmul"; l_weight = 4; l_source = pgp_mpmul_enc };
+      { l_name = "modexp"; l_weight = 3; l_source = pgp_modexp };
+    ];
+}
+
+(* ------------------------------------------------------------------ *)
+(* rasta: speech feature extraction; 4-byte floats (95%). The filter
+   state updates chain mostly through unresolved dependences on the
+   band-buffer pointer (Table 5: CMR 0.52 -> 0.13 under
+   specialization). *)
+
+let rasta_filter ~seed =
+  sp
+    {|kernel rasta_filter {
+  array bands : f32[520] = random(%d)
+  array state : f32[520] = random(%d) mayoverlap bands
+  array gain : f32[520] = random(%d) mayoverlap state
+  trip 63
+  body {
+    let x = bands[8*i]
+    let s = state[8*i]
+    let g = gain[8*i + 2]
+    let xs = x * s
+    let xg = x * g
+    let sg = s * g
+    let num = xs + xg
+    let den = sg + xs
+    let blend = num * den
+    let d1 = x - s
+    let d2 = s - g
+    let d3 = g - x
+    let e1 = d1 * d1
+    let e2 = d2 * d2
+    let e3 = d3 * d3
+    let energy = e1 + e2 + e3
+    let shaped = blend - energy
+    let mixed = shaped + num
+    state[8*i] = s + mixed
+    bands[8*i + 4] = x - shaped
+    gain[8*i + 6] = g + blend
+  }
+}|}
+    seed (seed + 1) (seed + 2)
+
+let rasta_bark ~seed =
+  sp
+    {|kernel rasta_bark {
+  array spec : f32[1032] = random(%d)
+  array crit : f32[1032] = zero
+  trip 128
+  body {
+    let e0 = spec[8*i]
+    let e1 = spec[8*i + 1]
+    let e2 = spec[8*i + 2]
+    let lo2 = e0 + e1
+    let hi2 = e1 + e2
+    let tri = lo2 + hi2
+    let emph = tri * tri
+    crit[8*i + 3] = emph - (e0 * e2)
+  }
+}|}
+    seed
+
+let rasta = {
+  b_name = "rasta";
+  b_interleave = 4;
+  b_data_size = 4;
+  b_data_pct = 95;
+  b_in_figures = true;
+  b_profile_seed = 1014;
+  b_exec_seed = 2014;
+  b_loops =
+    [
+      { l_name = "filter"; l_weight = 4; l_source = rasta_filter };
+      { l_name = "bark"; l_weight = 2; l_source = rasta_bark };
+    ];
+}
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    epicdec; epicenc; g721dec; g721enc; gsmdec; gsmenc; jpegdec; jpegenc;
+    mpeg2dec; pegwitdec; pegwitenc; pgpdec; pgpenc; rasta;
+  ]
+
+let figures = List.filter (fun b -> b.b_in_figures) all
+
+let find name = List.find (fun b -> b.b_name = name) all
+
+let parse_loop l ~seed =
+  let k = Vliw_ir.Parser.parse_kernel (l.l_source ~seed) in
+  (match Vliw_ir.Typecheck.check k with
+  | Ok _ -> ()
+  | Error e -> failwith (Printf.sprintf "workload %s: %s" k.Vliw_ir.Ast.k_name e));
+  k

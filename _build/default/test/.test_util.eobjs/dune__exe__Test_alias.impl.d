@@ -1,0 +1,1 @@
+test/test_alias.ml: Alcotest Disambiguate List Printf QCheck QCheck_alcotest Vliw_alias

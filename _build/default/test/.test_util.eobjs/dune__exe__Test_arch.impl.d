@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest List QCheck QCheck_alcotest Vliw_arch

@@ -1,0 +1,1 @@
+test/test_cse_lint.ml: Alcotest Bytes Fun Gen List Printf QCheck QCheck_alcotest Result Vliw_ddg Vliw_ir Vliw_lower Vliw_workloads

@@ -1,0 +1,1 @@
+test/test_cse_lint.mli:

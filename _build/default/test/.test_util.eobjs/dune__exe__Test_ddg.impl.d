@@ -1,0 +1,1 @@
+test/test_ddg.ml: Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest String Vliw_arch Vliw_ddg

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array List String Vliw_arch Vliw_core Vliw_ddg Vliw_harness Vliw_ir Vliw_lower Vliw_profile Vliw_sched Vliw_sim Vliw_workloads

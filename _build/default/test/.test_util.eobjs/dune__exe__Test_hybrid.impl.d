@@ -1,0 +1,1 @@
+test/test_hybrid.ml: Alcotest Float List Vliw_arch Vliw_ddg Vliw_harness Vliw_ir Vliw_lower Vliw_profile Vliw_sched Vliw_workloads

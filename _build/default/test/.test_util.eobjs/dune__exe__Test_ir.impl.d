@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Ast Bytes Fun Int64 Interp Layout Lexer List Parser Pp Printf QCheck QCheck_alcotest Sem Sites String Typecheck Vliw_ir

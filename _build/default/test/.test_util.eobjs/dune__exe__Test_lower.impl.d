@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Array Fun Hashtbl List Printf QCheck QCheck_alcotest String Vliw_arch Vliw_ddg Vliw_ir Vliw_lower

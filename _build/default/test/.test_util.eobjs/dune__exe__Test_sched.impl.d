@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest Vliw_arch Vliw_core Vliw_ddg Vliw_ir Vliw_lower Vliw_sched

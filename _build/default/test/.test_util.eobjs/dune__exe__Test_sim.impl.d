@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bytes Fun Hashtbl List Printf QCheck QCheck_alcotest Vliw_arch Vliw_core Vliw_ddg Vliw_ir Vliw_lower Vliw_profile Vliw_sched Vliw_sim Vliw_util

@@ -1,0 +1,1 @@
+test/test_unroll.ml: Alcotest Bytes Fun List Printf QCheck QCheck_alcotest Result Vliw_arch Vliw_ir Vliw_lower Vliw_profile Vliw_sched

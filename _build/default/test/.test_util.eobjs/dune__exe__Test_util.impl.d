@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bars Fun Gen List Prng QCheck QCheck_alcotest Stats String Table Vliw_util

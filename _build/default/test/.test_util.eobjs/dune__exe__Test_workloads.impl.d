@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Bytes List Printf Vliw_arch Vliw_core Vliw_ddg Vliw_ir Vliw_lower Vliw_sched Vliw_workloads

@@ -1,0 +1,27 @@
+  $ vliwc() { ../../bin/vliwc.exe "$@"; }
+  $ vliwc ../../examples/kernels/inplace.lk -H prefclus -t free
+  $ vliwc ../../examples/kernels/inplace.lk -H prefclus -t mdc
+  $ vliwc ../../examples/kernels/inplace.lk -H prefclus -t ddgt
+  $ vliwc ../../examples/kernels/inplace.lk -H prefclus -t hybrid
+  $ vliwc ../../examples/kernels/fir.lk --interleave 2 -H prefclus -t mdc
+  $ vliwc ../../examples/kernels/histogram.lk -t mdc -H prefclus
+  $ vliwc ../../examples/kernels/stream.lk -H prefclus --unroll 0
+  $ vliwc ../../examples/kernels/inplace.lk -t ddgt --execution | tail -1
+  $ echo 'kernel broken { body { let = 3 } }' > broken.lk
+  $ vliwc broken.lk
+  $ vliwc ../../examples/kernels/inplace.lk -H prefclus --compare
+  $ cat > lintme.lk <<'LK'
+  > kernel lintme {
+  >   array a : i32[16] = zero
+  >   array dead : i32[8] = zero
+  >   scalar c : i64 = 3
+  >   trip 32
+  >   body {
+  >     let unused = a[i] + 1
+  >     a[2*i] = c
+  >     a[2*i] = c + a[2*i]
+  >   }
+  > }
+  > LK
+  $ vliwc lintme.lk --lint 2>&1 | head -6
+  $ vliwc ../../examples/kernels/fir.lk --interleave 2 --cse -t mdc -H prefclus | head -3

@@ -1,0 +1,212 @@
+open Vliw_alias
+module D = Disambiguate
+
+let no_overlap _ _ = false
+
+let acc ?affine arr bytes = { D.a_array = arr; a_affine = affine; a_bytes = bytes }
+
+let dep ?(before = true) a b =
+  D.dependence ~may_overlap:no_overlap ~first:a ~second:b
+    ~first_before_second:before
+
+let check_dep name expected got =
+  let pp = function
+    | D.No_dep -> "No_dep"
+    | D.Dep { dist; exact } -> Printf.sprintf "Dep{dist=%d; exact=%b}" dist exact
+  in
+  Alcotest.(check string) name (pp expected) (pp got)
+
+(* --- unit cases --- *)
+
+let test_different_arrays_independent () =
+  check_dep "x vs y" D.No_dep
+    (dep (acc ~affine:(4, 0) "x" 4) (acc ~affine:(4, 0) "y" 4))
+
+let test_mayoverlap_conservative () =
+  let mo a b = (a = "x" && b = "y") || (a = "y" && b = "x") in
+  let v =
+    D.dependence ~may_overlap:mo
+      ~first:(acc ~affine:(4, 0) "x" 4)
+      ~second:(acc ~affine:(4, 0) "y" 4)
+      ~first_before_second:true
+  in
+  check_dep "may-overlap arrays" (D.Dep { dist = 0; exact = false }) v
+
+let test_same_address_same_iter () =
+  check_dep "a[i] then a[i]" (D.Dep { dist = 0; exact = true })
+    (dep (acc ~affine:(4, 0) "a" 4) (acc ~affine:(4, 0) "a" 4))
+
+let test_same_address_reverse_order () =
+  (* strided a[i] against itself in reverse program order: the next
+     iteration touches a different element, so no dependence... *)
+  check_dep "strided self, reverse order" D.No_dep
+    (dep ~before:false (acc ~affine:(4, 0) "a" 4) (acc ~affine:(4, 0) "a" 4));
+  (* ...but a fixed-address access repeats every iteration *)
+  check_dep "fixed self, reverse order" (D.Dep { dist = 1; exact = true })
+    (dep ~before:false (acc ~affine:(0, 0) "a" 4) (acc ~affine:(0, 0) "a" 4))
+
+let test_loop_carried_distance () =
+  (* first touches a[i+2], second touches a[i]: second at iter k+2 hits the
+     same address *)
+  check_dep "distance 2" (D.Dep { dist = 2; exact = true })
+    (dep (acc ~affine:(4, 8) "a" 4) (acc ~affine:(4, 0) "a" 4))
+
+let test_negative_direction_no_dep () =
+  (* first touches a[i], second touches a[i+2]: the overlap happens at a
+     NEGATIVE distance for (first, second) ordering, so no dependence this
+     direction *)
+  check_dep "would need negative distance" D.No_dep
+    (dep (acc ~affine:(4, 0) "a" 4) (acc ~affine:(4, 8) "a" 4))
+
+let test_disjoint_even_odd () =
+  (* stride 8 covering bytes [0,4) vs [4,8): never overlap *)
+  check_dep "even/odd words" D.No_dep
+    (dep (acc ~affine:(8, 0) "a" 4) (acc ~affine:(8, 4) "a" 4))
+
+let test_partial_overlap_widths () =
+  (* 8-byte access at stride 8 overlaps 4-byte access at offset 4 *)
+  check_dep "wide vs narrow" (D.Dep { dist = 0; exact = true })
+    (dep (acc ~affine:(8, 0) "a" 8) (acc ~affine:(8, 4) "a" 4))
+
+let test_fixed_address_recurrence () =
+  (* both access a[0] every iteration: store/store at every distance,
+     minimum is d0 *)
+  check_dep "scalar-in-memory" (D.Dep { dist = 0; exact = true })
+    (dep (acc ~affine:(0, 0) "a" 8) (acc ~affine:(0, 0) "a" 8));
+  check_dep "self" (D.Dep { dist = 1; exact = true })
+    (dep ~before:false (acc ~affine:(0, 0) "a" 8) (acc ~affine:(0, 0) "a" 8))
+
+let test_fixed_disjoint () =
+  check_dep "disjoint fixed slots" D.No_dep
+    (dep (acc ~affine:(0, 0) "a" 8) (acc ~affine:(0, 8) "a" 8))
+
+let test_indirect_conservative () =
+  check_dep "indirect vs affine" (D.Dep { dist = 0; exact = false })
+    (dep (acc "a" 4) (acc ~affine:(4, 0) "a" 4));
+  check_dep "indirect vs indirect" (D.Dep { dist = 0; exact = false })
+    (dep (acc "a" 4) (acc "a" 4))
+
+let test_unequal_strides_residue_disjoint () =
+  (* stride 8 offset 0 width 2 vs stride 4 offset 2 width 2:
+     gcd = 4; residues {0,1} vs {2,3} disjoint *)
+  check_dep "residue-disjoint" D.No_dep
+    (dep (acc ~affine:(8, 0) "a" 2) (acc ~affine:(4, 2) "a" 2))
+
+let test_unequal_strides_conservative () =
+  (* stride 8 vs stride 4, same residues: conservative dep *)
+  check_dep "residues collide" (D.Dep { dist = 0; exact = false })
+    (dep (acc ~affine:(8, 0) "a" 4) (acc ~affine:(4, 0) "a" 4))
+
+let test_negative_stride () =
+  (* walking down: first a[-i+8 words], second a[-i] words behind it.
+     first at iter k: -4k+32 .. +4; second at iter k+d: -4(k+d) .. +4.
+     overlap needs -4d + 0 = 32 - 0 -> d = -8: impossible, so No_dep;
+     flipped operands give distance 8. *)
+  check_dep "down-walk no dep" D.No_dep
+    (dep (acc ~affine:(-4, 32) "a" 4) (acc ~affine:(-4, 0) "a" 4));
+  check_dep "down-walk dep at 8" (D.Dep { dist = 8; exact = true })
+    (dep (acc ~affine:(-4, 0) "a" 4) (acc ~affine:(-4, 32) "a" 4))
+
+let test_residues_disjoint_helper () =
+  Alcotest.(check bool) "disjoint" true
+    (D.residues_disjoint ~scale_a:8 ~off_a:0 ~bytes_a:2 ~scale_b:4 ~off_b:2
+       ~bytes_b:2);
+  Alcotest.(check bool) "wide access covers everything" false
+    (D.residues_disjoint ~scale_a:8 ~off_a:0 ~bytes_a:4 ~scale_b:4 ~off_b:2
+       ~bytes_b:2)
+
+(* --- soundness property: compare against a brute-force simulation of the
+   two address streams --- *)
+
+let brute_force_min_dist ~s1 ~o1 ~b1 ~s2 ~o2 ~b2 ~d0 ~iters =
+  let overlap k d =
+    let a_lo = (s1 * k) + o1 and b_lo = (s2 * (k + d)) + o2 in
+    a_lo < b_lo + b2 && b_lo < a_lo + b1
+  in
+  let found = ref None in
+  for d = d0 to iters do
+    if !found = None then
+      for k = 0 to iters do
+        if !found = None && overlap k d then found := Some d
+      done
+  done;
+  !found
+
+let prop_equal_stride_exact =
+  QCheck.Test.make ~name:"equal-stride verdict matches brute force" ~count:1000
+    QCheck.(
+      quad (int_range (-16) 16)
+        (pair (int_range (-32) 32) (int_range (-32) 32))
+        (pair (int_range 1 8) (int_range 1 8))
+        bool)
+    (fun (s, (o1, o2), (b1, b2), before) ->
+      let d0 = if before then 0 else 1 in
+      let verdict =
+        D.dependence ~may_overlap:no_overlap
+          ~first:(acc ~affine:(s, o1) "a" b1)
+          ~second:(acc ~affine:(s, o2) "a" b2)
+          ~first_before_second:before
+      in
+      let brute =
+        brute_force_min_dist ~s1:s ~o1 ~b1 ~s2:s ~o2 ~b2 ~d0 ~iters:80
+      in
+      match (verdict, brute) with
+      | D.No_dep, None -> true
+      | D.Dep { dist; _ }, Some d -> dist = d
+      | D.No_dep, Some _ -> false (* unsound! *)
+      | D.Dep { dist; _ }, None ->
+        (* sound but conservative is allowed only beyond the brute-force
+           horizon *)
+        dist > 80)
+
+let prop_unequal_stride_sound =
+  QCheck.Test.make ~name:"unequal-stride verdict is conservative" ~count:1000
+    QCheck.(
+      quad
+        (pair (int_range (-12) 12) (int_range (-12) 12))
+        (pair (int_range (-24) 24) (int_range (-24) 24))
+        (pair (int_range 1 8) (int_range 1 8))
+        bool)
+    (fun ((s1, s2), (o1, o2), (b1, b2), before) ->
+      QCheck.assume (s1 <> s2);
+      let d0 = if before then 0 else 1 in
+      let verdict =
+        D.dependence ~may_overlap:no_overlap
+          ~first:(acc ~affine:(s1, o1) "a" b1)
+          ~second:(acc ~affine:(s2, o2) "a" b2)
+          ~first_before_second:before
+      in
+      let brute =
+        brute_force_min_dist ~s1 ~o1 ~b1 ~s2 ~o2 ~b2 ~d0 ~iters:60
+      in
+      match (verdict, brute) with
+      | D.No_dep, Some _ -> false (* unsound *)
+      | D.No_dep, None -> true
+      | D.Dep { dist; _ }, Some d -> dist <= d (* may be conservative *)
+      | D.Dep _, None -> true)
+
+let () =
+  Alcotest.run "alias"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "different arrays" `Quick test_different_arrays_independent;
+          Alcotest.test_case "mayoverlap" `Quick test_mayoverlap_conservative;
+          Alcotest.test_case "same address same iter" `Quick test_same_address_same_iter;
+          Alcotest.test_case "reverse order" `Quick test_same_address_reverse_order;
+          Alcotest.test_case "loop carried" `Quick test_loop_carried_distance;
+          Alcotest.test_case "negative direction" `Quick test_negative_direction_no_dep;
+          Alcotest.test_case "even/odd disjoint" `Quick test_disjoint_even_odd;
+          Alcotest.test_case "partial overlap" `Quick test_partial_overlap_widths;
+          Alcotest.test_case "fixed address" `Quick test_fixed_address_recurrence;
+          Alcotest.test_case "fixed disjoint" `Quick test_fixed_disjoint;
+          Alcotest.test_case "indirect" `Quick test_indirect_conservative;
+          Alcotest.test_case "residue disjoint" `Quick test_unequal_strides_residue_disjoint;
+          Alcotest.test_case "residues collide" `Quick test_unequal_strides_conservative;
+          Alcotest.test_case "negative stride" `Quick test_negative_stride;
+          Alcotest.test_case "residue helper" `Quick test_residues_disjoint_helper;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_equal_stride_exact; prop_unequal_stride_sound ] );
+    ]

@@ -1,0 +1,450 @@
+module G = Vliw_ddg.Graph
+module Chains = Vliw_core.Chains
+module Ddgt = Vliw_core.Ddgt
+module Specialize = Vliw_core.Specialize
+module Lower = Vliw_lower.Lower
+module Ir = Vliw_ir
+
+let mr ?affine ?(bytes = 4) ?(site = 0) arr =
+  { G.mr_array = arr; mr_affine = affine; mr_bytes = bytes; mr_float = false;
+    mr_site = site }
+
+let arith ?(lat = 1) name = G.Arith { aname = name; fu_int = true; latency = lat }
+
+(* The paper's Figure 3 DDG.
+   Sequential program order: n1 (load), n2 (load), n3 (store), n4 (store),
+   n5 (add).
+   Edges: RF n1->n4, RF n2->n5;
+          MF n3->n1 d=1, MF n3->n2 d=1, MF n4->n2 d=1;
+          MA n1->n3, n1->n4, n2->n3, n2->n4 (d=0);
+          MO n3->n4 (d=0), MO n4->n3 (d=1). *)
+type fig3 = { g : G.t; n1 : int; n2 : int; n3 : int; n4 : int; n5 : int }
+
+let figure3 () =
+  let g = G.create () in
+  let n1 = (G.add_node g ~seq:1 (G.Load (mr ~site:0 "m"))).n_id in
+  let n2 = (G.add_node g ~seq:2 (G.Load (mr ~site:1 "m"))).n_id in
+  let n3 = (G.add_node g ~seq:3 (G.Store (mr ~site:2 "m"))).n_id in
+  let n4 = (G.add_node g ~seq:4 (G.Store (mr ~site:3 "m"))).n_id in
+  let n5 = (G.add_node g ~seq:5 (arith "add")).n_id in
+  G.add_edge g G.RF ~src:n1 ~dst:n4;
+  G.add_edge g G.RF ~src:n2 ~dst:n5;
+  G.add_edge g ~dist:1 G.MF ~src:n3 ~dst:n1;
+  G.add_edge g ~dist:1 G.MF ~src:n3 ~dst:n2;
+  G.add_edge g ~dist:1 G.MF ~src:n4 ~dst:n2;
+  G.add_edge g G.MA ~src:n1 ~dst:n3;
+  G.add_edge g G.MA ~src:n1 ~dst:n4;
+  G.add_edge g G.MA ~src:n2 ~dst:n3;
+  G.add_edge g G.MA ~src:n2 ~dst:n4;
+  G.add_edge g G.MO ~src:n3 ~dst:n4;
+  G.add_edge g ~dist:1 G.MO ~src:n4 ~dst:n3;
+  (match G.validate g with Ok () -> () | Error e -> Alcotest.fail e);
+  { g; n1; n2; n3; n4; n5 }
+
+let fig3_pref =
+  (* Figure 3's profiled preferred clusters (0-based) *)
+  let tbl =
+    [ (0, [| 70; 30; 0; 0 |]); (1, [| 20; 50; 30; 0 |]);
+      (2, [| 0; 10; 20; 70 |]); (3, [| 0; 0; 100; 0 |]) ]
+  in
+  fun (g : G.t) id ->
+    match (G.node g id).n_op with
+    | G.Load m | G.Store m -> List.assoc_opt m.G.mr_site tbl
+    | _ -> None
+
+(* --- chains --- *)
+
+let test_fig3_chain () =
+  let f = figure3 () in
+  let cs = Chains.chains f.g in
+  Alcotest.(check int) "one chain" 1 (List.length cs);
+  Alcotest.(check (list int)) "n1..n4" [ f.n1; f.n2; f.n3; f.n4 ] (List.hd cs)
+
+let test_fig3_ratios () =
+  let f = figure3 () in
+  Alcotest.(check (float 1e-9)) "CMR" 1.0 (Chains.cmr f.g);
+  Alcotest.(check (float 1e-9)) "CAR" 0.8 (Chains.car f.g)
+
+let test_chain_average_preferred_cluster () =
+  (* paper: "all nodes will be scheduled in cluster 3 since this is their
+     average preferred cluster" (our 0-based cluster 2) *)
+  let f = figure3 () in
+  let cons = Chains.prefclus f.g ~pref:(fig3_pref f.g) in
+  List.iter
+    (fun id ->
+      Alcotest.(check int)
+        (Printf.sprintf "node %d pinned to cluster 2" id)
+        2
+        (Hashtbl.find cons.Chains.pinned id))
+    [ f.n1; f.n2; f.n3; f.n4 ];
+  Alcotest.(check bool) "n5 not pinned" false
+    (Hashtbl.mem cons.Chains.pinned f.n5)
+
+let test_chains_mincoms_groups () =
+  let f = figure3 () in
+  let cons = Chains.mincoms f.g in
+  Alcotest.(check int) "no pins" 0 (Hashtbl.length cons.Chains.pinned);
+  Alcotest.(check int) "one group" 1 (List.length cons.Chains.grouped)
+
+let test_independent_ops_no_chain_constraint () =
+  let g = G.create () in
+  let _ = G.add_node g (G.Load (mr "x")) in
+  let _ = G.add_node g (G.Load (mr "y")) in
+  let cs = Chains.chains g in
+  Alcotest.(check int) "two singleton chains" 2 (List.length cs);
+  let cons = Chains.mincoms g in
+  Alcotest.(check int) "no groups for singletons" 0
+    (List.length cons.Chains.grouped)
+
+let test_empty_graph_ratios () =
+  let g = G.create () in
+  Alcotest.(check (float 1e-9)) "CMR 0" 0. (Chains.cmr g);
+  Alcotest.(check (float 1e-9)) "CAR 0" 0. (Chains.car g)
+
+(* --- DDGT: the Figure 3 -> Figure 5 transformation --- *)
+
+let transform4 () =
+  let f = figure3 () in
+  (f, Ddgt.transform ~clusters:4 f.g)
+
+let test_ddgt_replicates_dependent_stores () =
+  let f, r = transform4 () in
+  Alcotest.(check int) "both stores replicated" 2 (List.length r.Ddgt.replicas);
+  List.iter
+    (fun s ->
+      let insts = List.assoc s r.Ddgt.replicas in
+      Alcotest.(check int) "3 new instances" 3 (List.length insts);
+      (* original pinned to cluster 0, replicas to 1..3 *)
+      Alcotest.(check (option int)) "original is instance 0" (Some 0)
+        (G.node r.Ddgt.graph s).n_replica;
+      Alcotest.(check (list int)) "instances cover clusters 1..3" [ 1; 2; 3 ]
+        (List.filter_map (fun i -> (G.node r.Ddgt.graph i).n_replica) insts
+         |> List.sort compare))
+    [ f.n3; f.n4 ]
+
+let test_ddgt_input_left_intact () =
+  let f = figure3 () in
+  let before = (G.node_count f.g, List.length (G.edges f.g)) in
+  let _ = Ddgt.transform ~clusters:4 f.g in
+  Alcotest.(check (pair int int)) "input graph untouched" before
+    (G.node_count f.g, List.length (G.edges f.g))
+
+let test_ddgt_no_ma_left () =
+  let _, r = transform4 () in
+  Alcotest.(check int) "no MA edges" 0
+    (List.length (List.filter (fun (e : G.edge) -> e.e_kind = G.MA) (G.edges r.Ddgt.graph)))
+
+let test_ddgt_sync_counts () =
+  let _, r = transform4 () in
+  (* 4 original MA edges, each replicated to the 4 instances of its sink:
+     16 removed; n1->n4-family subsumed by the replicated RF n1->inst(n4):
+     4 of them removed silently; the rest get SYNC edges: 12 *)
+  Alcotest.(check int) "ma removed" 16 r.Ddgt.ma_removed;
+  Alcotest.(check int) "sync added" 12 r.Ddgt.sync_added
+
+let test_ddgt_single_fake_consumer () =
+  let f, r = transform4 () in
+  (* the MA n1->n3 family needs a fake consumer: n1's only real consumer n4
+     is a store sequentially posterior to and dependent on n3; the fake is
+     then reused by all 4 instances *)
+  Alcotest.(check int) "exactly one NEW_CONS" 1 (List.length r.Ddgt.fakes);
+  let fake = List.hd r.Ddgt.fakes in
+  Alcotest.(check bool) "fake consumes n1" true
+    (List.exists
+       (fun (e : G.edge) -> e.e_kind = G.RF && e.e_src = f.n1)
+       (G.preds r.Ddgt.graph fake));
+  (* the fake synchronizes every instance of n3 *)
+  let sync_to_n3 =
+    List.filter
+      (fun (e : G.edge) ->
+        e.e_kind = G.SYNC && (G.node r.Ddgt.graph e.e_dst).n_orig = f.n3)
+      (G.succs r.Ddgt.graph fake)
+  in
+  Alcotest.(check int) "fake syncs all 4 instances of n3" 4
+    (List.length sync_to_n3)
+
+let test_ddgt_n5_syncs_stores () =
+  let f, r = transform4 () in
+  (* paper: MA n2->n3 and n2->n4 become SYNC n5->n3 and n5->n4 *)
+  let syncs =
+    List.filter (fun (e : G.edge) -> e.e_kind = G.SYNC) (G.succs r.Ddgt.graph f.n5)
+  in
+  let targets =
+    List.map (fun (e : G.edge) -> (G.node r.Ddgt.graph e.e_dst).n_orig) syncs
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list int)) "n5 syncs instances of n3 and n4"
+    (List.sort compare [ f.n3; f.n4 ])
+    targets;
+  Alcotest.(check int) "8 sync edges from n5" 8 (List.length syncs)
+
+let test_ddgt_mf_edges_replicated () =
+  let f, r = transform4 () in
+  (* MF n3->n1 d=1 must now hold from every instance of n3 *)
+  let mf_to_n1 =
+    List.filter
+      (fun (e : G.edge) ->
+        e.e_kind = G.MF && (G.node r.Ddgt.graph e.e_src).n_orig = f.n3)
+      (G.preds r.Ddgt.graph f.n1)
+  in
+  Alcotest.(check int) "4 MF edges into n1" 4 (List.length mf_to_n1)
+
+let test_ddgt_store_store_same_cluster_pairing () =
+  let f, r = transform4 () in
+  (* MO n3->n4 exists exactly between same-cluster instances *)
+  let mo_edges =
+    List.filter
+      (fun (e : G.edge) ->
+        e.e_kind = G.MO && e.e_dist = 0
+        && (G.node r.Ddgt.graph e.e_src).n_orig = f.n3
+        && (G.node r.Ddgt.graph e.e_dst).n_orig = f.n4)
+      (G.edges r.Ddgt.graph)
+  in
+  Alcotest.(check int) "4 paired MO edges" 4 (List.length mo_edges);
+  List.iter
+    (fun (e : G.edge) ->
+      Alcotest.(check (option int)) "same cluster"
+        (G.node r.Ddgt.graph e.e_src).n_replica
+        (G.node r.Ddgt.graph e.e_dst).n_replica)
+    mo_edges
+
+let test_ddgt_rf_inputs_flow_to_instances () =
+  let f, r = transform4 () in
+  (* RF n1->n4 replicated: every instance of n4 receives n1's value *)
+  let rf =
+    List.filter
+      (fun (e : G.edge) ->
+        e.e_kind = G.RF && e.e_src = f.n1
+        && (G.node r.Ddgt.graph e.e_dst).n_orig = f.n4)
+      (G.edges r.Ddgt.graph)
+  in
+  Alcotest.(check int) "n1 feeds all 4 instances" 4 (List.length rf);
+  Alcotest.(check int) "3 extra value operands for n4" 3
+    (Ddgt.replicated_value_operands r f.n4)
+
+let test_ddgt_result_validates () =
+  let _, r = transform4 () in
+  match G.validate r.Ddgt.graph with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_ddgt_loads_unconstrained () =
+  let f, r = transform4 () in
+  (* after the transformation the loads form no chain with the stores:
+     MDC on the transformed graph must not group loads *)
+  List.iter
+    (fun l ->
+      Alcotest.(check (option int)) "load not replica-pinned" None
+        (G.node r.Ddgt.graph l).n_replica)
+    [ f.n1; f.n2 ]
+
+let test_ddgt_independent_store_not_replicated () =
+  let g = G.create () in
+  let _ = G.add_node g (G.Store (mr "x" ~affine:(4, 0))) in
+  let r = Ddgt.transform ~clusters:4 g in
+  Alcotest.(check int) "independent store untouched" 0
+    (List.length r.Ddgt.replicas);
+  Alcotest.(check int) "one node still" 1 (G.node_count r.Ddgt.graph)
+
+let test_ddgt_two_clusters () =
+  let f = figure3 () in
+  let r = Ddgt.transform ~clusters:2 f.g in
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "1 new instance with N=2" 1
+        (List.length (List.assoc s r.Ddgt.replicas)))
+    [ f.n3; f.n4 ]
+
+(* --- lowering-driven chains (end to end on .lk sources) --- *)
+
+let lower_src src = Lower.lower (Ir.Parser.parse_kernel src)
+
+let test_lowered_no_chain_for_disjoint () =
+  let low =
+    lower_src
+      "kernel k { array a : i32[64] = zero array b : i32[64] = zero trip 64 body { b[i] = a[i] + 1 } }"
+  in
+  Alcotest.(check (float 1e-9)) "no chain: CMR 0" 0.
+    (Chains.cmr low.Lower.graph);
+  (* load a and store b are provably independent: two singleton chains *)
+  Alcotest.(check int) "two singleton chains" 2
+    (List.length (Chains.chains low.Lower.graph))
+
+let test_lowered_inplace_chain () =
+  (* in-place update a[i] = a[i] + a[i+1]: loads and store alias *)
+  let low =
+    lower_src
+      "kernel k { array a : i32[65] = zero trip 64 body { a[i] = a[i] + a[i + 1] } }"
+  in
+  let big = Chains.biggest low.Lower.graph in
+  Alcotest.(check int) "three memory ops chained" 3 (List.length big);
+  Alcotest.(check (float 1e-9)) "CMR 1" 1.0 (Chains.cmr low.Lower.graph)
+
+let test_lowered_indirect_chains_everything () =
+  let low =
+    lower_src
+      "kernel k { array idx : i32[64] = modpat(64) array a : i32[64] = zero trip 64 body { a[idx[i]] = a[i] + 1 } }"
+  in
+  (* the indirect store aliases both the load a[i]; idx accesses are reads
+     of a different array: chain = {load a, store a} *)
+  let big = Chains.biggest low.Lower.graph in
+  Alcotest.(check int) "indirect store chains with load" 2 (List.length big)
+
+(* --- specialization (Table 5 mechanics) --- *)
+
+let test_specialize_removes_false_deps () =
+  (* idx is a permutation touching only even elements; the load walks odd
+     elements: compiler cannot prove it, profile shows no overlap *)
+  let src =
+    "kernel k { array idx : i32[32] = modpat(16) array a : i32[64] = zero trip 32 body { a[2 * idx[i]] = a[2*i + 1] + 1 } }"
+  in
+  let k = Ir.Parser.parse_kernel src in
+  let low = Lower.lower k in
+  let layout = Ir.Layout.make k in
+  let profile = Ir.Interp.run ~layout k in
+  let before = Chains.cmr low.Lower.graph in
+  let r = Specialize.specialize low ~profile in
+  let after = Chains.cmr r.Specialize.graph in
+  Alcotest.(check bool) "some ambiguous dep removed" true (r.Specialize.removed > 0);
+  Alcotest.(check bool) "CMR does not grow" true (after <= before);
+  Alcotest.(check bool) "chain dissolved" true (after < before)
+
+let test_specialize_keeps_true_deps () =
+  (* genuine in-place dependence must survive *)
+  let src =
+    "kernel k { array idx : i32[32] = modpat(32) array a : i32[32] = zero trip 32 body { a[idx[i]] = a[i] + 1 } }"
+  in
+  let k = Ir.Parser.parse_kernel src in
+  let low = Lower.lower k in
+  let layout = Ir.Layout.make k in
+  let profile = Ir.Interp.run ~layout k in
+  let r = Specialize.specialize low ~profile in
+  Alcotest.(check bool) "materialised deps kept" true (r.Specialize.kept_ambiguous > 0);
+  Alcotest.(check (float 1e-9)) "CMR unchanged"
+    (Chains.cmr low.Lower.graph)
+    (Chains.cmr r.Specialize.graph)
+
+let test_specialize_exact_deps_untouched () =
+  let src =
+    "kernel k { array a : i32[65] = zero trip 64 body { a[i] = a[i] + a[i+1] } }"
+  in
+  let k = Ir.Parser.parse_kernel src in
+  let low = Lower.lower k in
+  let layout = Ir.Layout.make k in
+  let profile = Ir.Interp.run ~layout k in
+  let r = Specialize.specialize low ~profile in
+  Alcotest.(check int) "nothing removable" 0 r.Specialize.removed
+
+(* --- QCheck --- *)
+
+let prop_chains_partition_mem_nodes =
+  QCheck.Test.make ~name:"chains partition memory nodes" ~count:200
+    QCheck.(pair (int_range 1 8) (small_list (pair (int_range 0 7) (int_range 0 7))))
+    (fun (nmem, deps) ->
+      let g = G.create () in
+      let ids =
+        Array.init nmem (fun k ->
+            (G.add_node g
+               (if k mod 2 = 0 then G.Store (mr "m" ~site:k)
+                else G.Load (mr "m" ~site:k))).n_id)
+      in
+      List.iter
+        (fun (a, b) ->
+          if a < nmem && b < nmem && a <> b then (
+            let na = G.node g ids.(a) and nb = G.node g ids.(b) in
+            let kind =
+              match (G.is_store na, G.is_store nb) with
+              | true, true -> Some G.MO
+              | true, false -> Some G.MF
+              | false, true -> Some G.MA
+              | false, false -> None
+            in
+            match kind with
+            | Some k -> G.add_edge g ~dist:1 k ~src:ids.(a) ~dst:ids.(b)
+            | None -> ()))
+        deps;
+      let cs = Chains.chains g in
+      let all = List.concat cs |> List.sort compare in
+      all = (Array.to_list ids |> List.sort compare))
+
+let prop_ddgt_no_ma_and_validates =
+  QCheck.Test.make ~name:"DDGT output has no MA edges and validates" ~count:100
+    QCheck.(pair (int_range 2 6) (small_list (pair (int_range 0 5) (int_range 0 5))))
+    (fun (nmem, deps) ->
+      let g = G.create () in
+      let ids =
+        Array.init nmem (fun k ->
+            (G.add_node g ~seq:k
+               (if k mod 2 = 0 then G.Store (mr "m" ~site:k)
+                else G.Load (mr "m" ~site:k))).n_id)
+      in
+      List.iter
+        (fun (a, b) ->
+          if a < nmem && b < nmem && a <> b then (
+            let na = G.node g ids.(a) and nb = G.node g ids.(b) in
+            let dist = if a < b then 0 else 1 in
+            match (G.is_store na, G.is_store nb) with
+            | true, true -> G.add_edge g ~dist G.MO ~src:ids.(a) ~dst:ids.(b)
+            | true, false -> G.add_edge g ~dist G.MF ~src:ids.(a) ~dst:ids.(b)
+            | false, true -> G.add_edge g ~dist G.MA ~src:ids.(a) ~dst:ids.(b)
+            | false, false -> ()))
+        deps;
+      QCheck.assume (G.validate g = Ok ());
+      let r = Ddgt.transform ~clusters:4 g in
+      G.validate r.Ddgt.graph = Ok ()
+      && List.for_all (fun (e : G.edge) -> e.e_kind <> G.MA) (G.edges r.Ddgt.graph))
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "chains",
+        [
+          Alcotest.test_case "figure 3 chain" `Quick test_fig3_chain;
+          Alcotest.test_case "figure 3 ratios" `Quick test_fig3_ratios;
+          Alcotest.test_case "average preferred cluster" `Quick
+            test_chain_average_preferred_cluster;
+          Alcotest.test_case "mincoms groups" `Quick test_chains_mincoms_groups;
+          Alcotest.test_case "independent ops" `Quick
+            test_independent_ops_no_chain_constraint;
+          Alcotest.test_case "empty graph" `Quick test_empty_graph_ratios;
+        ] );
+      ( "ddgt",
+        [
+          Alcotest.test_case "replicates stores" `Quick
+            test_ddgt_replicates_dependent_stores;
+          Alcotest.test_case "input intact" `Quick test_ddgt_input_left_intact;
+          Alcotest.test_case "no MA left" `Quick test_ddgt_no_ma_left;
+          Alcotest.test_case "sync counts" `Quick test_ddgt_sync_counts;
+          Alcotest.test_case "single fake consumer" `Quick
+            test_ddgt_single_fake_consumer;
+          Alcotest.test_case "n5 syncs stores" `Quick test_ddgt_n5_syncs_stores;
+          Alcotest.test_case "MF replicated" `Quick test_ddgt_mf_edges_replicated;
+          Alcotest.test_case "MO same-cluster pairing" `Quick
+            test_ddgt_store_store_same_cluster_pairing;
+          Alcotest.test_case "RF inputs to instances" `Quick
+            test_ddgt_rf_inputs_flow_to_instances;
+          Alcotest.test_case "validates" `Quick test_ddgt_result_validates;
+          Alcotest.test_case "loads unconstrained" `Quick test_ddgt_loads_unconstrained;
+          Alcotest.test_case "independent store" `Quick
+            test_ddgt_independent_store_not_replicated;
+          Alcotest.test_case "two clusters" `Quick test_ddgt_two_clusters;
+        ] );
+      ( "lowered chains",
+        [
+          Alcotest.test_case "disjoint arrays" `Quick test_lowered_no_chain_for_disjoint;
+          Alcotest.test_case "in-place chain" `Quick test_lowered_inplace_chain;
+          Alcotest.test_case "indirect chains" `Quick
+            test_lowered_indirect_chains_everything;
+        ] );
+      ( "specialize",
+        [
+          Alcotest.test_case "removes false deps" `Quick
+            test_specialize_removes_false_deps;
+          Alcotest.test_case "keeps true deps" `Quick test_specialize_keeps_true_deps;
+          Alcotest.test_case "exact untouched" `Quick
+            test_specialize_exact_deps_untouched;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_chains_partition_mem_nodes; prop_ddgt_no_ma_and_validates ] );
+    ]

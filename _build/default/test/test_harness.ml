@@ -1,0 +1,211 @@
+module M = Vliw_arch.Machine
+module S = Vliw_sched.Schedule
+module R = Vliw_harness.Runner
+module E = Vliw_harness.Experiments
+module Render = Vliw_harness.Render
+module W = Vliw_workloads.Workloads
+
+let close ?(eps = 1e-9) = Alcotest.(check (float eps))
+
+let g721 = W.find "g721dec"
+let pgp = W.find "pgpdec"
+
+let test_access_mix_sums_to_one () =
+  let br = E.run ~machine:M.table2 (R.Free, S.Pref_clus) g721 in
+  let m = R.access_mix br in
+  close ~eps:1e-6 "fractions sum to 1" 1.
+    (m.R.f_local_hit +. m.R.f_remote_hit +. m.R.f_local_miss +. m.R.f_remote_miss
+    +. m.R.f_combined)
+
+let test_no_chains_means_mdc_equals_free () =
+  (* g721 has no memory dependent chains, so MDC imposes no constraint and
+     must produce exactly the free baseline's cycle counts *)
+  let free = E.run ~machine:M.table2 (R.Free, S.Pref_clus) g721 in
+  let mdc = E.run ~machine:M.table2 (R.Mdc, S.Pref_clus) g721 in
+  close "identical cycles" free.R.br_cycles mdc.R.br_cycles
+
+let test_cmr_car_zero_for_g721 () =
+  let br = E.run ~machine:M.table2 (R.Free, S.Pref_clus) g721 in
+  let cmr, car = R.cmr_car br in
+  close "CMR 0" 0. cmr;
+  close "CAR 0" 0. car
+
+let test_cmr_car_positive_for_pgp () =
+  let br = E.run ~machine:M.table2 (R.Free, S.Pref_clus) pgp in
+  let cmr, car = R.cmr_car br in
+  Alcotest.(check bool) "CMR large" true (cmr > 0.5);
+  Alcotest.(check bool) "CAR in (0, CMR)" true (car > 0. && car < cmr)
+
+let test_memoization_returns_same_run () =
+  let a = E.run ~machine:M.table2 (R.Free, S.Pref_clus) g721 in
+  let b = E.run ~machine:M.table2 (R.Free, S.Pref_clus) g721 in
+  Alcotest.(check bool) "physically equal (cached)" true (a == b);
+  E.clear_cache ();
+  let c = E.run ~machine:M.table2 (R.Free, S.Pref_clus) g721 in
+  Alcotest.(check bool) "recomputed after clear" true (c != a);
+  close "but numerically identical" a.R.br_cycles c.R.br_cycles
+
+let test_weights_scale_cycles () =
+  let br = E.run ~machine:M.table2 (R.Free, S.Min_coms) g721 in
+  let manual =
+    List.fold_left2
+      (fun acc (l : W.loop) (lr : R.loop_run) ->
+        acc
+        +. (float_of_int l.W.l_weight
+           *. float_of_int lr.R.lr_stats.Vliw_sim.Sim.total_cycles))
+      0. g721.W.b_loops br.R.br_loops
+  in
+  close "weighted sum" manual br.R.br_cycles
+
+let test_amean_mix () =
+  let mk lh rh =
+    { R.f_local_hit = lh; f_remote_hit = rh; f_local_miss = 0.;
+      f_remote_miss = 0.; f_combined = 0. }
+  in
+  let m = E.amean_mix [ mk 0.4 0.6; mk 0.8 0.2 ] in
+  close "mean local" 0.6 m.R.f_local_hit;
+  close "mean remote" 0.4 m.R.f_remote_hit
+
+let test_table5_specialization_shrinks () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (r.E.t5_bench ^ ": NEW CMR <= OLD CMR")
+        true
+        (r.E.t5_new_cmr <= r.E.t5_old_cmr +. 1e-9);
+      Alcotest.(check bool)
+        (r.E.t5_bench ^ ": removed some deps")
+        true (r.E.t5_removed > 0))
+    (E.table5 ())
+
+let test_fig7_normalization_sane () =
+  (* every bar's compute+stall is positive and within a sane multiple of
+     the baseline *)
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (b : E.bar) ->
+          let total = b.E.b_compute +. b.E.b_stall in
+          Alcotest.(check bool)
+            (r.E.f7_bench ^ " bar in (0, 5]")
+            true
+            (total > 0. && total < 5.))
+        [ r.E.f7_mdc_pref; r.E.f7_mdc_min; r.E.f7_ddgt_pref; r.E.f7_ddgt_min ])
+    (E.fig7 ())
+
+let test_fig6_headline_shape () =
+  (* the paper's two headline claims about Figure 6:
+     MDC lowers the mean local-hit ratio; DDGT raises it above MDC *)
+  let rows = E.fig6 () in
+  let mean f =
+    (E.amean_mix (List.map f rows)).R.f_local_hit
+  in
+  let free = mean (fun r -> r.E.f6_free)
+  and mdc = mean (fun r -> r.E.f6_mdc)
+  and ddgt = mean (fun r -> r.E.f6_ddgt) in
+  Alcotest.(check bool) "MDC below free" true (mdc < free);
+  Alcotest.(check bool) "DDGT above MDC" true (ddgt > mdc)
+
+let test_renderers_produce_output () =
+  let nonempty name s = Alcotest.(check bool) name true (String.length s > 100) in
+  nonempty "table1" (Render.table1 ());
+  nonempty "table2" (Render.table2 M.table2);
+  nonempty "table3" (Render.table3 (E.table3 ()));
+  nonempty "table5" (Render.table5 (E.table5 ()))
+
+(* --- profile --- *)
+
+module Profile = Vliw_profile.Profile
+module Ir = Vliw_ir
+module G = Vliw_ddg.Graph
+
+let test_profile_histogram_exact () =
+  (* a[4*i] with i32/4B interleave: every access lands in cluster 0 *)
+  let k =
+    Ir.Parser.parse_kernel
+      "kernel k { array a : i32[128] = zero scalar s : i64 = 0 trip 32 body { s = s + a[4*i] } }"
+  in
+  let p = Profile.run ~machine:M.table2 ~layout:(Ir.Layout.make k) k in
+  Alcotest.(check (array int)) "all 32 in cluster 0" [| 32; 0; 0; 0 |]
+    (Profile.histogram p 0);
+  Alcotest.(check int) "preferred" 0 (Profile.preferred p 0);
+  close "fully predictable" 1.0 (Profile.predictability p)
+
+let test_profile_rotating_home () =
+  (* stride-1 i32: homes rotate 0,1,2,3 uniformly *)
+  let k =
+    Ir.Parser.parse_kernel
+      "kernel k { array a : i32[64] = zero scalar s : i64 = 0 trip 32 body { s = s + a[i] } }"
+  in
+  let p = Profile.run ~machine:M.table2 ~layout:(Ir.Layout.make k) k in
+  Alcotest.(check (array int)) "uniform homes" [| 8; 8; 8; 8 |]
+    (Profile.histogram p 0);
+  close "predictability 1/4" 0.25 (Profile.predictability p)
+
+let test_profile_node_pref_through_replicas () =
+  let k =
+    Ir.Parser.parse_kernel
+      "kernel k { array a : i32[132] = zero trip 32 body { a[4*i] = a[4*i] + a[4*i + 1] } }"
+  in
+  let low = Vliw_lower.Lower.lower k in
+  let p = Profile.run ~machine:M.table2 ~layout:(Ir.Layout.make k) k in
+  let r = Vliw_core.Ddgt.transform ~clusters:4 low.Vliw_lower.Lower.graph in
+  (* every replica instance reports its original's histogram *)
+  List.iter
+    (fun (orig, insts) ->
+      let h0 = Profile.node_pref p r.Vliw_core.Ddgt.graph orig in
+      List.iter
+        (fun inst ->
+          Alcotest.(check bool) "replica histogram matches original" true
+            (Profile.node_pref p r.Vliw_core.Ddgt.graph inst = h0))
+        insts)
+    r.Vliw_core.Ddgt.replicas
+
+let test_profile_locality_sums () =
+  let k =
+    Ir.Parser.parse_kernel
+      "kernel k { array a : i32[64] = zero array b : i32[64] = zero trip 16 body { b[i] = a[i] } }"
+  in
+  let p = Profile.run ~machine:M.table2 ~layout:(Ir.Layout.make k) k in
+  Alcotest.(check int) "totals = dynamic accesses" 32
+    (Array.fold_left ( + ) 0 (Profile.locality p))
+
+let test_profile_nonneg_padding_score () =
+  let k =
+    Ir.Parser.parse_kernel
+      "kernel k { array a : i32[64] = zero array b : i32[68] = zero trip 16 body { b[4*i + 1] = a[4*i] } }"
+  in
+  let pad, score = Profile.best_padding ~machine:M.table2 k in
+  Alcotest.(check bool) "pad aligned to interleave" true (pad mod 4 = 0);
+  Alcotest.(check bool) "score in (0,1]" true (score > 0. && score <= 1.)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "access mix sums" `Quick test_access_mix_sums_to_one;
+          Alcotest.test_case "no chains: MDC = free" `Quick
+            test_no_chains_means_mdc_equals_free;
+          Alcotest.test_case "g721 ratios" `Quick test_cmr_car_zero_for_g721;
+          Alcotest.test_case "pgp ratios" `Quick test_cmr_car_positive_for_pgp;
+          Alcotest.test_case "memoization" `Quick test_memoization_returns_same_run;
+          Alcotest.test_case "weights" `Quick test_weights_scale_cycles;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "exact histogram" `Quick test_profile_histogram_exact;
+          Alcotest.test_case "rotating home" `Quick test_profile_rotating_home;
+          Alcotest.test_case "replicas" `Quick test_profile_node_pref_through_replicas;
+          Alcotest.test_case "locality sums" `Quick test_profile_locality_sums;
+          Alcotest.test_case "padding score" `Quick test_profile_nonneg_padding_score;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "amean" `Quick test_amean_mix;
+          Alcotest.test_case "table5 shrinks" `Quick test_table5_specialization_shrinks;
+          Alcotest.test_case "fig7 sanity" `Slow test_fig7_normalization_sane;
+          Alcotest.test_case "fig6 headline" `Slow test_fig6_headline_shape;
+          Alcotest.test_case "renderers" `Quick test_renderers_produce_output;
+        ] );
+    ]

@@ -1,0 +1,149 @@
+module G = Vliw_ddg.Graph
+module M = Vliw_arch.Machine
+module S = Vliw_sched.Schedule
+module Driver = Vliw_sched.Driver
+module Hybrid = Vliw_sched.Hybrid
+module Lower = Vliw_lower.Lower
+module Ir = Vliw_ir
+module R = Vliw_harness.Runner
+module W = Vliw_workloads.Workloads
+
+let prep src =
+  let k = Ir.Parser.parse_kernel src in
+  let low = Lower.lower k in
+  let layout = Ir.Layout.make k in
+  let prof = Vliw_profile.Profile.run ~machine:M.table2 ~layout k in
+  (k, low, Vliw_profile.Profile.node_pref prof)
+
+let choose src =
+  let k, low, pref_for = prep src in
+  match
+    Hybrid.choose ~machine:M.table2 ~heuristic:S.Pref_clus ~pref_for
+      ~trip:k.Ir.Ast.k_trip low.Lower.graph
+  with
+  | Ok h -> h
+  | Error e -> Alcotest.fail e
+
+let test_chain_free_loop_picks_mdc () =
+  (* no chains: MDC == free; DDGT can only add replication overhead, so the
+     estimate must prefer MDC *)
+  let h =
+    choose
+      "kernel k { array a : i32[512] = zero array b : i32[512] = zero trip 128 body { b[4*i] = a[4*i] + 1 } }"
+  in
+  Alcotest.(check string) "choice" "MDC" (Hybrid.choice_name h.Hybrid.choice);
+  Alcotest.(check bool) "estimates ordered" true
+    (h.Hybrid.mdc_estimate <= h.Hybrid.ddgt_estimate)
+
+let test_chain_heavy_loop_picks_ddgt () =
+  (* a big chain over clusters: MDC serializes 6 memory ops on one Mem FU
+     (II >= 6) while DDGT spreads them *)
+  let h =
+    choose
+      "kernel k { array a : i32[532] = ramp(1,3) trip 128 body { let x = \
+       a[4*i] + a[4*i + 1] + a[4*i + 2] + a[4*i + 3] a[(x & 511) + 4] = x } }"
+  in
+  Alcotest.(check string) "choice" "DDGT" (Hybrid.choice_name h.Hybrid.choice);
+  Alcotest.(check bool) "estimates ordered" true
+    (h.Hybrid.ddgt_estimate < h.Hybrid.mdc_estimate)
+
+let test_estimate_monotone_in_trip () =
+  let k, low, pref_for = prep
+      "kernel k { array a : i32[512] = zero trip 64 body { a[4*i] = a[4*i] + 1 } }"
+  in
+  let g = low.Lower.graph in
+  let s =
+    Driver.run_exn (Driver.request ~pref:(pref_for g) M.table2) g
+  in
+  ignore k;
+  let e32 = Hybrid.estimate ~machine:M.table2 ~pref:(pref_for g) ~trip:32 g s in
+  let e64 = Hybrid.estimate ~machine:M.table2 ~pref:(pref_for g) ~trip:64 g s in
+  Alcotest.(check bool) "longer trips cost more" true (e64 > e32)
+
+let test_chosen_schedule_validates () =
+  let h =
+    choose
+      "kernel k { array a : i32[532] = zero trip 128 body { a[4*i] = a[4*i] + a[4*i + 5] } }"
+  in
+  match S.validate h.Hybrid.graph h.Hybrid.schedule with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_runner_hybrid_never_worse_than_both_on_suite () =
+  (* across the whole suite (weighted totals), the hybrid should be at most
+     a whisker above the better pure technique on every benchmark, and
+     strictly better than the worse one somewhere *)
+  let machine = M.table2 in
+  let strictly_better = ref false in
+  List.iter
+    (fun b ->
+      let cycles tech =
+        (R.run_bench ~machine tech S.Pref_clus b).R.br_cycles
+      in
+      let m = cycles R.Mdc and d = cycles R.Ddgt and h = cycles R.Hybrid in
+      Alcotest.(check bool)
+        (b.W.b_name ^ ": hybrid within 10% of the best pure technique")
+        true
+        (h <= 1.10 *. Float.min m d);
+      if h < 0.95 *. Float.max m d then strictly_better := true)
+    [ W.find "g721dec"; W.find "gsmdec"; W.find "pgpdec" ];
+  Alcotest.(check bool) "hybrid beats the worse technique somewhere" true
+    !strictly_better
+
+(* --- latency policy ablation --- *)
+
+let sched_with policy src =
+  let k, low, pref_for = prep src in
+  ignore k;
+  let g = low.Lower.graph in
+  match
+    Driver.run (Driver.request ~pref:(pref_for g) ~lat_policy:policy M.table2) g
+  with
+  | Ok s -> s
+  | Error e -> Alcotest.fail e
+
+let src_free_slack =
+  "kernel k { array a : i32[512] = zero array b : i32[512] = zero trip 64 body { b[4*i] = a[4*i] * 3 } }"
+
+let test_fixed_min_keeps_local_hit_assumption () =
+  let s = sched_with Driver.Fixed_min src_free_slack in
+  Vliw_ddg.Graph.mem_refs
+    (Lower.lower (Ir.Parser.parse_kernel src_free_slack)).Lower.graph
+  |> List.iter (fun ((n : G.node), _) ->
+         Alcotest.(check int) "assumed = local hit" 1 (S.assumed_of s n.n_id))
+
+let test_fixed_max_assumes_remote_miss () =
+  let s = sched_with Driver.Fixed_max src_free_slack in
+  Vliw_ddg.Graph.mem_refs
+    (Lower.lower (Ir.Parser.parse_kernel src_free_slack)).Lower.graph
+  |> List.iter (fun ((n : G.node), _) ->
+         Alcotest.(check int) "assumed = remote miss" 15 (S.assumed_of s n.n_id))
+
+let test_policies_order_schedule_length () =
+  let len p = (sched_with p src_free_slack).S.length in
+  Alcotest.(check bool) "min shortest" true (len Driver.Fixed_min <= len Driver.Cache_sensitive);
+  Alcotest.(check bool) "max not shorter than sensitive" true
+    (len Driver.Fixed_max >= len Driver.Fixed_min)
+
+let () =
+  Alcotest.run "hybrid"
+    [
+      ( "choice",
+        [
+          Alcotest.test_case "chain-free picks MDC" `Quick
+            test_chain_free_loop_picks_mdc;
+          Alcotest.test_case "chain-heavy picks DDGT" `Quick
+            test_chain_heavy_loop_picks_ddgt;
+          Alcotest.test_case "estimate monotone" `Quick test_estimate_monotone_in_trip;
+          Alcotest.test_case "chosen schedule validates" `Quick
+            test_chosen_schedule_validates;
+          Alcotest.test_case "suite sanity" `Slow
+            test_runner_hybrid_never_worse_than_both_on_suite;
+        ] );
+      ( "latency policy",
+        [
+          Alcotest.test_case "fixed min" `Quick test_fixed_min_keeps_local_hit_assumption;
+          Alcotest.test_case "fixed max" `Quick test_fixed_max_assumes_remote_miss;
+          Alcotest.test_case "length ordering" `Quick test_policies_order_schedule_length;
+        ] );
+    ]

@@ -1,0 +1,447 @@
+open Vliw_ir
+
+let sample_src =
+  {|
+# a simple fir-like kernel
+kernel fir {
+  array x : i16[256] = ramp(0, 3)
+  array y : i16[256] = zero
+  scalar acc : i64 = 10
+  trip 64
+  body {
+    let t = x[2*i] + x[2*i + 1]
+    y[i] = t
+    acc = acc + t
+  }
+}
+|}
+
+let parse () = Parser.parse_kernel sample_src
+
+(* --- Lexer --- *)
+
+let test_lexer_tokens () =
+  let toks = List.map fst (Lexer.tokenize "a[3] = b + 12 # comment\n<< <= < ==") in
+  Alcotest.(check int) "token count" 13 (List.length toks);
+  Alcotest.(check bool) "comment skipped" true
+    (not (List.exists (function Lexer.IDENT "comment" -> true | _ -> false) toks))
+
+let test_lexer_positions () =
+  match Lexer.tokenize "ab\n  cd" with
+  | [ (_, p1); (_, p2); (Lexer.EOF, _) ] ->
+    Alcotest.(check (pair int int)) "ab at 1:1" (1, 1) (p1.Lexer.line, p1.Lexer.col);
+    Alcotest.(check (pair int int)) "cd at 2:3" (2, 3) (p2.Lexer.line, p2.Lexer.col)
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let test_lexer_rejects_garbage () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Lexer.tokenize "a $ b"); false with Lexer.Error _ -> true)
+
+(* --- Parser --- *)
+
+let test_parse_kernel () =
+  let k = parse () in
+  Alcotest.(check string) "name" "fir" k.Ast.k_name;
+  Alcotest.(check int) "arrays" 2 (List.length k.k_arrays);
+  Alcotest.(check int) "scalars" 1 (List.length k.k_scalars);
+  Alcotest.(check int) "trip" 64 k.k_trip;
+  Alcotest.(check int) "stmts" 3 (List.length k.k_body)
+
+let test_parse_precedence () =
+  let e = Parser.parse_expr "1 + 2 * 3" in
+  Alcotest.(check bool) "mul binds tighter" true
+    (match e with
+    | Ast.Binop (Add, Int _, Binop (Mul, _, _)) -> true
+    | _ -> false)
+
+let test_parse_associativity () =
+  let e = Parser.parse_expr "a - b - c" in
+  Alcotest.(check bool) "left assoc" true
+    (match e with
+    | Ast.Binop (Sub, Binop (Sub, Var "a", Var "b"), Var "c") -> true
+    | _ -> false)
+
+let test_parse_shift_vs_cmp () =
+  Alcotest.(check bool) "<< parses as shift" true
+    (match Parser.parse_expr "a << 2" with
+    | Ast.Binop (Shl, _, _) -> true
+    | _ -> false);
+  Alcotest.(check bool) "<= parses as cmp" true
+    (match Parser.parse_expr "a <= 2" with
+    | Ast.Binop (Le, _, _) -> true
+    | _ -> false)
+
+let test_parse_gt_flips () =
+  Alcotest.(check bool) "a > b becomes b < a" true
+    (match Parser.parse_expr "a > b" with
+    | Ast.Binop (Lt, Var "b", Var "a") -> true
+    | _ -> false)
+
+let test_parse_neg_literal_folds () =
+  Alcotest.(check bool) "-5 is a literal" true
+    (match Parser.parse_expr "-5" with Ast.Int n -> n = -5L | _ -> false)
+
+let test_parse_calls () =
+  Alcotest.(check bool) "min" true
+    (match Parser.parse_expr "min(a, 3)" with
+    | Ast.Binop (Min, Var "a", Int _) -> true
+    | _ -> false);
+  Alcotest.(check bool) "select" true
+    (match Parser.parse_expr "select(a, 1, 2)" with
+    | Ast.Select (_, _, _) -> true
+    | _ -> false)
+
+let test_parse_errors_have_position () =
+  match Parser.parse_kernels "kernel k { body { let = 3 } }" with
+  | exception Parser.Error (_, pos) ->
+    Alcotest.(check bool) "line 1" true (pos.Lexer.line = 1)
+  | _ -> Alcotest.fail "expected syntax error"
+
+let test_parse_requires_body () =
+  match Parser.parse_kernels "kernel k { trip 4 }" with
+  | exception Parser.Error (msg, _) ->
+    Alcotest.(check bool) "mentions body" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "expected error for missing body"
+
+let test_parse_multiple_kernels () =
+  let src = "kernel a { body { } }\nkernel b { body { } }" in
+  Alcotest.(check int) "two kernels" 2 (List.length (Parser.parse_kernels src))
+
+let test_roundtrip_sample () =
+  let k = parse () in
+  let k' = Parser.parse_kernel (Pp.kernel_to_string k) in
+  Alcotest.(check bool) "print/parse round-trip" true (k = k')
+
+(* --- Typecheck --- *)
+
+let expect_error src frag =
+  match Typecheck.check (Parser.parse_kernel src) with
+  | Ok _ -> Alcotest.failf "expected error mentioning %s" frag
+  | Error e ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      nn = 0 || go 0
+    in
+    Alcotest.(check bool) (Printf.sprintf "error %S mentions %s" e frag) true
+      (contains e frag)
+
+let test_typecheck_ok () =
+  match Typecheck.check (parse ()) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_typecheck_unknown_var () =
+  expect_error "kernel k { body { let t = zz + 1 } }" "zz"
+
+let test_typecheck_unknown_array () =
+  expect_error "kernel k { body { let t = a[i] } }" "a"
+
+let test_typecheck_double_assign () =
+  expect_error
+    "kernel k { scalar s : i64 = 0 body { s = 1 s = 2 } }"
+    "more than once"
+
+let test_typecheck_redefine_temp () =
+  expect_error "kernel k { body { let t = 1 let t = 2 } }" "redefinition"
+
+let test_typecheck_float_subscript () =
+  expect_error
+    "kernel k { array a : i32[8] = zero array f : f64[8] = zero body { let t = a[f[0]] } }"
+    "float"
+
+let test_typecheck_mixed_classes () =
+  expect_error
+    "kernel k { array f : f64[8] = zero body { let t = f[0] + 1 } }"
+    "mixed"
+
+let test_typecheck_bitand_float () =
+  expect_error
+    "kernel k { array f : f64[8] = zero body { let t = f[0] & f[1] } }"
+    "float"
+
+let test_typecheck_mayoverlap_unknown () =
+  expect_error "kernel k { array a : i8[4] = zero mayoverlap b body { } }" "b"
+
+let test_typecheck_induction_shadow () =
+  expect_error "kernel k { body { let i = 3 } }" "induction"
+
+(* --- Layout --- *)
+
+let test_layout_alignment () =
+  let k = parse () in
+  let l = Layout.make ~align:32 k in
+  Alcotest.(check int) "x at 0" 0 (Layout.base l "x");
+  Alcotest.(check int) "y block aligned" 0 (Layout.base l "y" mod 32);
+  Alcotest.(check bool) "disjoint" true (Layout.base l "y" >= 512)
+
+let test_layout_padding () =
+  let k = parse () in
+  let l0 = Layout.make ~align:32 ~pad:0 k in
+  let l1 = Layout.make ~align:32 ~pad:32 k in
+  Alcotest.(check bool) "padding shifts later arrays" true
+    (Layout.base l1 "y" > Layout.base l0 "y")
+
+let test_layout_addr_wraps () =
+  let k = parse () in
+  let l = Layout.make k in
+  Alcotest.(check int) "wraps modulo length"
+    (Layout.addr l ~arr:"x" ~elt_bytes:2 ~idx:0)
+    (Layout.addr l ~arr:"x" ~elt_bytes:2 ~idx:256)
+
+let test_wrap_index () =
+  Alcotest.(check int) "positive" 3 (Layout.wrap_index ~len:8 11);
+  Alcotest.(check int) "negative" 5 (Layout.wrap_index ~len:8 (-3))
+
+(* --- Sites --- *)
+
+let test_sites_order () =
+  let k = parse () in
+  let sites = Sites.of_kernel k in
+  Alcotest.(check int) "3 memory sites" 3 (List.length sites);
+  let s0 = List.nth sites 0 and s2 = List.nth sites 2 in
+  Alcotest.(check string) "first is x load" "x" s0.Sites.site_arr;
+  Alcotest.(check bool) "first is load" false s0.site_is_store;
+  Alcotest.(check bool) "last is store" true s2.site_is_store;
+  Alcotest.(check string) "store to y" "y" s2.site_arr
+
+let test_sites_nested_loads () =
+  let k =
+    Parser.parse_kernel
+      "kernel k { array a : i32[16] = modpat(16) array b : i32[16] = zero body { b[a[i]] = a[i] } }"
+  in
+  let sites = Sites.of_kernel k in
+  (* order: subscript load a[i], value load a[i], then store b *)
+  Alcotest.(check (list string)) "canonical order" [ "a"; "a"; "b" ]
+    (List.map (fun s -> s.Sites.site_arr) sites);
+  Alcotest.(check (list bool)) "store last" [ false; false; true ]
+    (List.map (fun s -> s.Sites.site_is_store) sites)
+
+(* --- Interpreter --- *)
+
+let run_kernel ?trip src =
+  let k = Parser.parse_kernel src in
+  let l = Layout.make k in
+  (k, l, Interp.run ?trip ~layout:l k)
+
+let test_interp_fir () =
+  let k = parse () in
+  let l = Layout.make k in
+  let r = Interp.run ~layout:l k in
+  (* y[i] = x[2i] + x[2i+1] = (6i) + (6i+3) = 12i + 3, truncated to i16 *)
+  List.iteri
+    (fun idx _ ->
+      if idx < 64 then
+        let got = Sem.load_bytes r.Interp.memory (Layout.base l "y" + (2 * idx)) Ast.I16 in
+        Alcotest.(check int64)
+          (Printf.sprintf "y[%d]" idx)
+          (Int64.of_int ((12 * idx) + 3))
+          got)
+    (List.init 64 Fun.id);
+  (* acc = 10 + sum of (12i+3) for i in 0..63 *)
+  let expect = 10 + (12 * (63 * 64 / 2)) + (3 * 64) in
+  Alcotest.(check int64) "acc" (Int64.of_int expect)
+    (List.assoc "acc" r.final_scalars)
+
+let test_interp_events_program_order () =
+  let _, _, r = run_kernel sample_src in
+  Alcotest.(check int) "3 events per iteration" (3 * 64) (Array.length r.Interp.events);
+  Array.iteri
+    (fun idx ev -> Alcotest.(check int) "seq is dense" idx ev.Interp.ev_seq)
+    r.events;
+  (* within an iteration, sites are 0,1,2 *)
+  Alcotest.(check (list int)) "first iteration sites" [ 0; 1; 2 ]
+    (List.map (fun i -> r.events.(i).Interp.ev_site) [ 0; 1; 2 ])
+
+let test_interp_scalar_reads_start_of_iteration () =
+  (* s reads 0 in iteration 0 even though assigned before the store *)
+  let src =
+    "kernel k { array a : i64[8] = zero scalar s : i64 = 7 trip 2 body { s = s + 1 a[i] = s } }"
+  in
+  let _, l, r = run_kernel src in
+  let v0 = Sem.load_bytes r.Interp.memory (Layout.base l "a") Ast.I64 in
+  Alcotest.(check int64) "iteration 0 stores initial value" 7L v0;
+  let v1 = Sem.load_bytes r.Interp.memory (Layout.base l "a" + 8) Ast.I64 in
+  Alcotest.(check int64) "iteration 1 sees update" 8L v1
+
+let test_interp_truncation () =
+  let src =
+    "kernel k { array a : i8[4] = zero trip 1 body { a[0] = 300 } }"
+  in
+  let _, l, r = run_kernel src in
+  Alcotest.(check int64) "i8 truncates 300 -> 44" 44L
+    (Sem.load_bytes r.Interp.memory (Layout.base l "a") Ast.I8)
+
+let test_interp_sign_extension () =
+  let src = "kernel k { array a : i8[4] = zero trip 1 body { a[0] = 0 - 1 } }" in
+  let _, l, r = run_kernel src in
+  Alcotest.(check int64) "i8 load sign-extends" (-1L)
+    (Sem.load_bytes r.Interp.memory (Layout.base l "a") Ast.I8)
+
+let test_interp_index_wrap () =
+  let src =
+    "kernel k { array a : i32[4] = zero trip 1 body { a[5] = 9 } }"
+  in
+  let _, l, r = run_kernel src in
+  Alcotest.(check int64) "index 5 wraps to 1" 9L
+    (Sem.load_bytes r.Interp.memory (Layout.base l "a" + 4) Ast.I32)
+
+let test_interp_div_by_zero_total () =
+  let src =
+    "kernel k { array a : i64[2] = zero trip 1 body { a[0] = 7 / a[1] a[1] = 7 % 0 } }"
+  in
+  let _, l, r = run_kernel src in
+  Alcotest.(check int64) "div by zero is 0" 0L
+    (Sem.load_bytes r.Interp.memory (Layout.base l "a") Ast.I64)
+
+let test_interp_float_arith () =
+  (* f64 arrays: ramp initialises raw integer bit patterns, so build values
+     from integer loads instead: use select and comparisons on ints, store
+     float results of float ops on loaded float bits *)
+  let src =
+    "kernel k { array f : f64[4] = zero array g : f64[4] = zero trip 4 body { g[i] = f[i] + f[i] } }"
+  in
+  let _, _, r = run_kernel src in
+  (* f[i] appears twice and is loaded twice (no CSE in the interpreter):
+     3 events per iteration *)
+  Alcotest.(check int) "ran" 12 (Array.length r.Interp.events)
+
+let test_interp_select () =
+  let src =
+    "kernel k { array a : i64[8] = ramp(0,1) array b : i64[8] = zero trip 8 body { b[i] = select(a[i] < 4, 100, 200) } }"
+  in
+  let _, l, r = run_kernel src in
+  let v i = Sem.load_bytes r.Interp.memory (Layout.base l "b" + (8 * i)) Ast.I64 in
+  Alcotest.(check int64) "b[0]" 100L (v 0);
+  Alcotest.(check int64) "b[7]" 200L (v 7)
+
+let test_interp_modpat_init () =
+  let src =
+    "kernel k { array a : i32[8] = modpat(3) array b : i32[8] = zero trip 8 body { b[i] = a[i] } }"
+  in
+  let _, l, r = run_kernel src in
+  let v i = Sem.load_bytes r.Interp.memory (Layout.base l "b" + (4 * i)) Ast.I32 in
+  Alcotest.(check int64) "a[4] = 1" 1L (v 4);
+  Alcotest.(check int64) "a[5] = 2" 2L (v 5)
+
+let test_interp_trip_override () =
+  let k = parse () in
+  let l = Layout.make k in
+  let r = Interp.run ~trip:2 ~layout:l k in
+  Alcotest.(check int) "2 iterations" 6 (Array.length r.Interp.events)
+
+(* --- QCheck: expression round-trip --- *)
+
+let gen_expr : Ast.expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var = oneofl [ "a"; "b"; "i" ] in
+  let binop =
+    oneofl
+      [ Ast.Add; Sub; Mul; Div; Rem; And; Or; Xor; Shl; Shr; Min; Max; Lt; Le;
+        Eq; Ne ]
+  in
+  sized @@ fix (fun self n ->
+    if n <= 0 then
+      oneof [ map (fun v -> Ast.Var v) var;
+              map (fun x -> Ast.Int (Int64.of_int x)) (int_range (-100) 100) ]
+    else
+      frequency
+        [
+          (3, map2 (fun op (a, b) -> Ast.Binop (op, a, b)) binop
+                (pair (self (n / 2)) (self (n / 2))));
+          (1, map (fun a -> Ast.Unop (Neg, a))
+                (oneof [ map (fun v -> Ast.Var v) var ]));
+          (1, map (fun a -> Ast.Unop (Not, a)) (self (n / 2)));
+          (1, map (fun a -> Ast.Unop (Abs, a)) (self (n / 2)));
+          (1, map2 (fun v idx -> Ast.Load (v, idx)) var (self (n / 2)));
+          (1, map (fun (c, (a, b)) -> Ast.Select (c, a, b))
+                (pair (self (n / 3)) (pair (self (n / 3)) (self (n / 3)))));
+        ])
+
+let prop_expr_roundtrip =
+  QCheck.Test.make ~name:"expr print/parse round-trip" ~count:500
+    (QCheck.make gen_expr ~print:Pp.expr_to_string)
+    (fun e -> Parser.parse_expr (Pp.expr_to_string e) = e)
+
+let prop_interp_deterministic =
+  QCheck.Test.make ~name:"interpreter is deterministic" ~count:50
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let src =
+        Printf.sprintf
+          "kernel k { array a : i32[32] = random(%d) array b : i32[32] = zero trip 16 body { b[i] = a[i] * 3 } }"
+          seed
+      in
+      let k = Parser.parse_kernel src in
+      let l = Layout.make k in
+      let r1 = Interp.run ~layout:l k and r2 = Interp.run ~layout:l k in
+      Bytes.equal r1.Interp.memory r2.Interp.memory)
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "positions" `Quick test_lexer_positions;
+          Alcotest.test_case "rejects garbage" `Quick test_lexer_rejects_garbage;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "kernel" `Quick test_parse_kernel;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "associativity" `Quick test_parse_associativity;
+          Alcotest.test_case "shift vs cmp" `Quick test_parse_shift_vs_cmp;
+          Alcotest.test_case "gt flips" `Quick test_parse_gt_flips;
+          Alcotest.test_case "neg literal" `Quick test_parse_neg_literal_folds;
+          Alcotest.test_case "calls" `Quick test_parse_calls;
+          Alcotest.test_case "error positions" `Quick test_parse_errors_have_position;
+          Alcotest.test_case "requires body" `Quick test_parse_requires_body;
+          Alcotest.test_case "multiple kernels" `Quick test_parse_multiple_kernels;
+          Alcotest.test_case "sample round-trip" `Quick test_roundtrip_sample;
+        ] );
+      ( "typecheck",
+        [
+          Alcotest.test_case "accepts sample" `Quick test_typecheck_ok;
+          Alcotest.test_case "unknown var" `Quick test_typecheck_unknown_var;
+          Alcotest.test_case "unknown array" `Quick test_typecheck_unknown_array;
+          Alcotest.test_case "double assign" `Quick test_typecheck_double_assign;
+          Alcotest.test_case "redefine temp" `Quick test_typecheck_redefine_temp;
+          Alcotest.test_case "float subscript" `Quick test_typecheck_float_subscript;
+          Alcotest.test_case "mixed classes" `Quick test_typecheck_mixed_classes;
+          Alcotest.test_case "bitand float" `Quick test_typecheck_bitand_float;
+          Alcotest.test_case "mayoverlap unknown" `Quick test_typecheck_mayoverlap_unknown;
+          Alcotest.test_case "induction shadow" `Quick test_typecheck_induction_shadow;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "alignment" `Quick test_layout_alignment;
+          Alcotest.test_case "padding" `Quick test_layout_padding;
+          Alcotest.test_case "addr wraps" `Quick test_layout_addr_wraps;
+          Alcotest.test_case "wrap index" `Quick test_wrap_index;
+        ] );
+      ( "sites",
+        [
+          Alcotest.test_case "order" `Quick test_sites_order;
+          Alcotest.test_case "nested loads" `Quick test_sites_nested_loads;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "fir semantics" `Quick test_interp_fir;
+          Alcotest.test_case "event order" `Quick test_interp_events_program_order;
+          Alcotest.test_case "scalar start-of-iteration" `Quick
+            test_interp_scalar_reads_start_of_iteration;
+          Alcotest.test_case "truncation" `Quick test_interp_truncation;
+          Alcotest.test_case "sign extension" `Quick test_interp_sign_extension;
+          Alcotest.test_case "index wrap" `Quick test_interp_index_wrap;
+          Alcotest.test_case "div by zero" `Quick test_interp_div_by_zero_total;
+          Alcotest.test_case "float arith" `Quick test_interp_float_arith;
+          Alcotest.test_case "select" `Quick test_interp_select;
+          Alcotest.test_case "modpat init" `Quick test_interp_modpat_init;
+          Alcotest.test_case "trip override" `Quick test_interp_trip_override;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_expr_roundtrip; prop_interp_deterministic ] );
+    ]

@@ -1,0 +1,322 @@
+module G = Vliw_ddg.Graph
+module Lower = Vliw_lower.Lower
+module Ir = Vliw_ir
+
+let lower_src src = Lower.lower (Ir.Parser.parse_kernel src)
+
+let parse_expr = Ir.Parser.parse_expr
+
+let kernel_with_temps body =
+  Ir.Parser.parse_kernel
+    (Printf.sprintf
+       "kernel k { array a : i32[256] = zero scalar s : i64 = 1 trip 32 body { %s } }"
+       body)
+
+(* --- affine analysis --- *)
+
+let check_affine k e expected =
+  Alcotest.(check (option (pair int int))) e expected
+    (Lower.affine_of_expr k (parse_expr e))
+
+let test_affine_basic () =
+  let k = kernel_with_temps "a[0] = 1" in
+  check_affine k "i" (Some (1, 0));
+  check_affine k "3" (Some (0, 3));
+  check_affine k "2*i + 5" (Some (2, 5));
+  check_affine k "i*2 + 5" (Some (2, 5));
+  check_affine k "5 - i" (Some (-1, 5));
+  check_affine k "-(2*i)" (Some (-2, 0));
+  check_affine k "(i + 1) * 4" (Some (4, 4));
+  check_affine k "i << 3" (Some (8, 0))
+
+let test_affine_rejects () =
+  let k = kernel_with_temps "a[0] = 1" in
+  check_affine k "i * i" None;
+  check_affine k "a[i]" None;
+  check_affine k "s + 1" None;
+  check_affine k "i / 2" None;
+  check_affine k "i % 4" None
+
+let test_affine_through_temps () =
+  let k = kernel_with_temps "let t = 2*i + 1 let u = t * 3 a[u] = 0" in
+  Alcotest.(check (option (pair int int))) "u = 6i + 3" (Some (6, 3))
+    (Lower.affine_of_expr k (Ir.Ast.Var "u"))
+
+(* --- lowering structure --- *)
+
+let test_affine_subscript_has_no_index_operand () =
+  let low = lower_src
+      "kernel k { array a : i32[64] = zero trip 64 body { a[i] = 7 } }"
+  in
+  let store = Lower.node_of_site low 0 in
+  (match store.G.n_op with
+  | G.Store mr ->
+    Alcotest.(check (option (pair int int))) "byte-scaled affine" (Some (4, 0))
+      mr.G.mr_affine
+  | _ -> Alcotest.fail "expected a store");
+  Alcotest.(check int) "no indirect index" 0 (Hashtbl.length low.Lower.mem_index)
+
+let test_wrapping_subscript_becomes_indirect () =
+  (* trip 64 over a[2*i] with len 64 wraps -> must lower as indirect *)
+  let low = lower_src
+      "kernel k { array a : i32[64] = zero trip 64 body { a[2*i] = 7 } }"
+  in
+  let store = Lower.node_of_site low 0 in
+  (match store.G.n_op with
+  | G.Store mr -> Alcotest.(check bool) "not affine" true (mr.G.mr_affine = None)
+  | _ -> Alcotest.fail "expected a store");
+  Alcotest.(check int) "indirect index operand" 1 (Hashtbl.length low.Lower.mem_index)
+
+let test_constant_folding () =
+  let low = lower_src
+      "kernel k { array a : i32[8] = zero trip 4 body { a[0] = (2 + 3) * 4 } }"
+  in
+  (* the value folds to an immediate: just the store node *)
+  Alcotest.(check int) "single node" 1 (G.node_count low.Lower.graph);
+  match Hashtbl.find low.Lower.operands low.Lower.site_node.(0) with
+  | [ Lower.Imm 20L ] -> ()
+  | _ -> Alcotest.fail "expected an immediate 20 operand"
+
+let test_scalar_accumulator_self_edge () =
+  let low = lower_src
+      "kernel k { array a : i32[64] = zero scalar acc : i64 = 0 trip 64 body { acc = acc + a[i] } }"
+  in
+  let mov = List.assoc "acc" low.Lower.scalar_update in
+  (* the recurrence is mov -> add (distance 1) -> mov (distance 0) *)
+  let carried =
+    List.filter
+      (fun (e : G.edge) -> e.e_src = mov && e.e_kind = G.RF && e.e_dist = 1)
+      (G.edges low.Lower.graph)
+  in
+  Alcotest.(check int) "distance-1 RF edge out of the update" 1
+    (List.length carried);
+  let add = (List.hd carried).G.e_dst in
+  Alcotest.(check bool) "closes a cycle back into the update" true
+    (List.exists
+       (fun (e : G.edge) -> e.e_src = add && e.e_dst = mov && e.e_dist = 0)
+       (G.edges low.Lower.graph))
+
+let test_scalar_reader_before_assign () =
+  let low = lower_src
+      "kernel k { array a : i64[64] = zero scalar s : i64 = 9 trip 64 body { a[i] = s s = s + 1 } }"
+  in
+  let mov = List.assoc "s" low.Lower.scalar_update in
+  let store = Lower.node_of_site low 0 in
+  (* the store's value operand must read the mov at distance 1 with the
+     declared initial value *)
+  match Hashtbl.find low.Lower.operands store.G.n_id with
+  | [ Lower.Reg { producer; dist; init } ] ->
+    Alcotest.(check int) "producer is mov" mov producer;
+    Alcotest.(check int) "distance 1" 1 dist;
+    Alcotest.(check int64) "initial value" 9L init
+  | _ -> Alcotest.fail "unexpected store operands"
+
+let test_constant_scalar_folds () =
+  let low = lower_src
+      "kernel k { array a : i64[8] = zero scalar c : i64 = 42 trip 4 body { a[0] = c } }"
+  in
+  match Hashtbl.find low.Lower.operands low.Lower.site_node.(0) with
+  | [ Lower.Imm 42L ] -> ()
+  | _ -> Alcotest.fail "never-assigned scalar should fold to its initial value"
+
+let test_site_bijection () =
+  let k =
+    Ir.Parser.parse_kernel
+      "kernel k { array a : i32[128] = modpat(64) array b : i32[128] = zero trip 32 body { b[a[i]] = a[i + 1] + a[2*i] } }"
+  in
+  let low = Lower.lower k in
+  let sites = Ir.Sites.of_kernel k in
+  Alcotest.(check int) "site count matches" (List.length sites)
+    (Array.length low.Lower.site_node);
+  List.iteri
+    (fun idx (s : Ir.Sites.site) ->
+      let n = Lower.node_of_site low idx in
+      match n.G.n_op with
+      | G.Load mr | G.Store mr ->
+        Alcotest.(check string) "same array" s.Ir.Sites.site_arr mr.G.mr_array;
+        Alcotest.(check bool) "same kind" s.site_is_store (G.is_store n);
+        Alcotest.(check int) "site id stored" idx mr.G.mr_site
+      | _ -> Alcotest.fail "site mapped to non-memory node")
+    sites
+
+let mem_kinds low =
+  List.filter_map
+    (fun (e : G.edge) ->
+      if G.is_mem_kind e.G.e_kind then Some (e.G.e_kind, e.G.e_dist) else None)
+    (G.edges low.Lower.graph)
+  |> List.sort_uniq compare
+
+let test_mem_dep_kinds () =
+  (* forward in-place: the store trails both loads *)
+  let low = lower_src
+      "kernel k { array a : i32[65] = zero trip 64 body { a[i] = a[i] + a[i+1] } }"
+  in
+  let kinds = mem_kinds low in
+  Alcotest.(check bool) "anti to the same element (d=0)" true
+    (List.mem (G.MA, 0) kinds);
+  Alcotest.(check bool) "anti to the look-ahead load (d=1)" true
+    (List.mem (G.MA, 1) kinds);
+  (* backward in-place: the store leads; next iteration's load reads it *)
+  let low2 = lower_src
+      "kernel k { array a : i32[66] = zero trip 64 body { a[i + 1] = a[i] + 2 } }"
+  in
+  Alcotest.(check bool) "flow to the next iteration (MF d=1)" true
+    (List.mem (G.MF, 1) (mem_kinds low2))
+
+let test_ambiguous_tracking () =
+  let low = lower_src
+      "kernel k { array a : i32[64] = zero array b : i32[64] = zero mayoverlap a trip 64 body { b[i] = a[i] } }"
+  in
+  Alcotest.(check bool) "mayoverlap dep is ambiguous" true
+    (Hashtbl.length low.Lower.ambiguous > 0);
+  let exact = lower_src
+      "kernel k { array a : i32[65] = zero trip 64 body { a[i] = a[i+1] } }"
+  in
+  Alcotest.(check int) "exact deps are not ambiguous" 0
+    (Hashtbl.length exact.Lower.ambiguous)
+
+let test_lowered_graph_validates () =
+  let low = lower_src
+      "kernel k { array a : i32[128] = modpat(64) array b : f64[66] = zero scalar s : f64 = 0 trip 32 body { let x = a[a[i]] b[i] = b[i] + b[i + 2] s = s + b[2*i % 64] } }"
+  in
+  match G.validate low.Lower.graph with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_float_ops_on_fp_fu () =
+  let low = lower_src
+      "kernel k { array f : f32[64] = zero trip 32 body { f[i] = f[i] + f[i + 1] } }"
+  in
+  let fp_nodes =
+    List.filter
+      (fun (n : G.node) -> G.fu_kind n = Vliw_arch.Machine.Fp_fu)
+      (G.nodes low.Lower.graph)
+  in
+  Alcotest.(check int) "one FP add" 1 (List.length fp_nodes)
+
+let test_seq_follows_program_order () =
+  let low = lower_src
+      "kernel k { array a : i32[64] = zero array b : i32[64] = zero trip 32 body { b[i] = a[i] a[i] = 3 } }"
+  in
+  let seqs =
+    Array.to_list low.Lower.site_node
+    |> List.map (fun id -> (G.node low.Lower.graph id).G.n_seq)
+  in
+  Alcotest.(check bool) "memory sites in increasing seq" true
+    (List.sort compare seqs = seqs)
+
+(* --- QCheck --- *)
+
+let gen_simple_kernel =
+  QCheck.Gen.(
+    let* stride = int_range 1 4 in
+    let* off = int_range 0 4 in
+    let* n_stmts = int_range 1 3 in
+    let* use_scalar = bool in
+    let body =
+      List.init n_stmts (fun j ->
+          Printf.sprintf "a[%d*i + %d] = a[%d*i + %d] + %d" stride (off + j)
+            stride ((off + j + 1) mod 6) (j + 1))
+      |> String.concat " "
+    in
+    let body = if use_scalar then body ^ " s = s + a[i]" else body in
+    return
+      (Printf.sprintf
+         "kernel k { array a : i32[640] = ramp(0,1) scalar s : i64 = 0 trip 64 body { %s } }"
+         body))
+
+let prop_lowered_validates =
+  QCheck.Test.make ~name:"random kernels lower to valid DDGs" ~count:100
+    (QCheck.make gen_simple_kernel ~print:Fun.id)
+    (fun src ->
+      let low = lower_src src in
+      G.validate low.Lower.graph = Ok ())
+
+let prop_site_count_matches =
+  QCheck.Test.make ~name:"site array is total and memory-typed" ~count:100
+    (QCheck.make gen_simple_kernel ~print:Fun.id)
+    (fun src ->
+      let k = Ir.Parser.parse_kernel src in
+      let low = Lower.lower k in
+      Array.length low.Lower.site_node = Ir.Sites.count k
+      && Array.for_all (fun id -> G.mem_node low.Lower.graph id) low.Lower.site_node)
+
+let prop_alias_soundness_vs_trace =
+  (* if two sites' dynamic accesses conflict at distance d, the lowered
+     graph must contain a memory edge between them at distance <= d *)
+  QCheck.Test.make ~name:"memory edges cover all dynamic conflicts" ~count:60
+    (QCheck.make gen_simple_kernel ~print:Fun.id)
+    (fun src ->
+      let k = Ir.Parser.parse_kernel src in
+      let low = Lower.lower k in
+      let layout = Ir.Layout.make k in
+      let r = Ir.Interp.run ~layout k in
+      let nsites = Ir.Sites.count k in
+      let edge_dist s1 s2 =
+        (* min distance of a memory edge between the two sites' nodes *)
+        List.fold_left
+          (fun acc (e : G.edge) ->
+            if
+              G.is_mem_kind e.e_kind
+              && e.e_src = low.Lower.site_node.(s1)
+              && e.e_dst = low.Lower.site_node.(s2)
+            then match acc with None -> Some e.e_dist | Some d -> Some (min d e.e_dist)
+            else acc)
+          None
+          (G.edges low.Lower.graph)
+      in
+      let ok = ref true in
+      let events = r.Ir.Interp.events in
+      Array.iteri
+        (fun idx1 (e1 : Ir.Interp.event) ->
+          if !ok then
+            (* compare with conflicting later events up to 3 iterations away *)
+            let max_idx = min (Array.length events - 1) (idx1 + (3 * nsites)) in
+            for idx2 = idx1 + 1 to max_idx do
+              let e2 = events.(idx2) in
+              let overlap =
+                e1.ev_addr < e2.ev_addr + e2.ev_size
+                && e2.ev_addr < e1.ev_addr + e1.ev_size
+              in
+              if overlap && (e1.ev_is_store || e2.ev_is_store) then (
+                let d = e2.ev_iter - e1.ev_iter in
+                match edge_dist e1.ev_site e2.ev_site with
+                | Some dep_d when dep_d <= d -> ()
+                | _ -> ok := false)
+            done)
+        events;
+      !ok)
+
+let () =
+  Alcotest.run "lower"
+    [
+      ( "affine",
+        [
+          Alcotest.test_case "basic" `Quick test_affine_basic;
+          Alcotest.test_case "rejects" `Quick test_affine_rejects;
+          Alcotest.test_case "through temps" `Quick test_affine_through_temps;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "affine subscripts" `Quick
+            test_affine_subscript_has_no_index_operand;
+          Alcotest.test_case "wrap becomes indirect" `Quick
+            test_wrapping_subscript_becomes_indirect;
+          Alcotest.test_case "constant folding" `Quick test_constant_folding;
+          Alcotest.test_case "accumulator self edge" `Quick
+            test_scalar_accumulator_self_edge;
+          Alcotest.test_case "reader before assign" `Quick
+            test_scalar_reader_before_assign;
+          Alcotest.test_case "constant scalar" `Quick test_constant_scalar_folds;
+          Alcotest.test_case "site bijection" `Quick test_site_bijection;
+          Alcotest.test_case "mem dep kinds" `Quick test_mem_dep_kinds;
+          Alcotest.test_case "ambiguous tracking" `Quick test_ambiguous_tracking;
+          Alcotest.test_case "graph validates" `Quick test_lowered_graph_validates;
+          Alcotest.test_case "fp ops" `Quick test_float_ops_on_fp_fu;
+          Alcotest.test_case "seq order" `Quick test_seq_follows_program_order;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_lowered_validates; prop_site_count_matches;
+            prop_alias_soundness_vs_trace ] );
+    ]

@@ -1,0 +1,581 @@
+module G = Vliw_ddg.Graph
+module M = Vliw_arch.Machine
+module S = Vliw_sched.Schedule
+module Driver = Vliw_sched.Driver
+module Mrt = Vliw_sched.Mrt
+module Chains = Vliw_core.Chains
+module Ddgt = Vliw_core.Ddgt
+module Lower = Vliw_lower.Lower
+
+let mr ?affine ?(bytes = 4) ?(site = 0) arr =
+  { G.mr_array = arr; mr_affine = affine; mr_bytes = bytes; mr_float = false;
+    mr_site = site }
+
+let arith ?(lat = 1) name = G.Arith { aname = name; fu_int = true; latency = lat }
+
+let sched ?heuristic ?constraints ?pref ?(machine = M.table2) g =
+  match Driver.run (Driver.request ?heuristic ?constraints ?pref machine) g with
+  | Ok s -> s
+  | Error e -> Alcotest.fail e
+
+let assert_valid ?pinned ?grouped g s =
+  match S.validate g ?pinned ?grouped s with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+(* --- MRT --- *)
+
+let test_mrt_fu_capacity () =
+  let mrt = Mrt.create M.table2 ~ii:2 in
+  Alcotest.(check bool) "free" true (Mrt.fu_free mrt ~cycle:0 ~cluster:0 M.Int_fu);
+  Mrt.fu_take mrt ~cycle:0 ~cluster:0 M.Int_fu;
+  Alcotest.(check bool) "taken" false (Mrt.fu_free mrt ~cycle:0 ~cluster:0 M.Int_fu);
+  Alcotest.(check bool) "other slot free" true
+    (Mrt.fu_free mrt ~cycle:1 ~cluster:0 M.Int_fu);
+  Alcotest.(check bool) "modulo wraps" false
+    (Mrt.fu_free mrt ~cycle:2 ~cluster:0 M.Int_fu);
+  Mrt.fu_release mrt ~cycle:0 ~cluster:0 M.Int_fu;
+  Alcotest.(check bool) "released" true (Mrt.fu_free mrt ~cycle:0 ~cluster:0 M.Int_fu)
+
+let test_mrt_bus_occupancy () =
+  let mrt = Mrt.create M.table2 ~ii:4 in
+  (* bus transfers take 2 cycles; 4 buses *)
+  (match Mrt.bus_find mrt ~lo:0 ~hi:3 with
+  | Some (0, 0) -> ()
+  | _ -> Alcotest.fail "expected earliest slot on bus 0");
+  Mrt.bus_take mrt ~cycle:0 ~bus:0;
+  (match Mrt.bus_find mrt ~lo:0 ~hi:1 with
+  | Some (0, 1) -> ()
+  | other ->
+    Alcotest.failf "expected bus 1, got %s"
+      (match other with
+      | Some (c, b) -> Printf.sprintf "(%d,%d)" c b
+      | None -> "none"));
+  (* window too narrow for the 2-cycle transfer *)
+  Alcotest.(check bool) "narrow window fails" true
+    (Mrt.bus_find mrt ~lo:3 ~hi:3 = None)
+
+let test_mrt_bus_modulo_conflict () =
+  let m = { M.table2 with M.reg_buses = { M.bus_count = 1; bus_latency = 2 } } in
+  let mrt = Mrt.create m ~ii:2 in
+  Mrt.bus_take mrt ~cycle:0 ~bus:0;
+  (* ii=2 and a 2-cycle transfer saturate the single bus entirely *)
+  Alcotest.(check bool) "bus saturated" true (Mrt.bus_find mrt ~lo:0 ~hi:20 = None);
+  Mrt.bus_release mrt ~cycle:0 ~bus:0;
+  Alcotest.(check bool) "free again" true (Mrt.bus_find mrt ~lo:0 ~hi:20 <> None)
+
+(* --- basic scheduling --- *)
+
+let test_schedule_single_op () =
+  let g = G.create () in
+  let _ = G.add_node g (arith "add") in
+  let s = sched g in
+  Alcotest.(check int) "II 1" 1 s.S.ii;
+  assert_valid g s
+
+let test_schedule_chain_latency () =
+  let g = G.create () in
+  let a = G.add_node g (arith ~lat:3 "mul") in
+  let b = G.add_node g (arith "add") in
+  G.add_edge g G.RF ~src:a.n_id ~dst:b.n_id;
+  let s = sched g in
+  assert_valid g s;
+  let ta = S.cycle_of s a.n_id and tb = S.cycle_of s b.n_id in
+  Alcotest.(check bool) "latency respected" true (tb >= ta + 3)
+
+let test_schedule_fu_saturation () =
+  (* 9 int ops over 4 clusters x 1 int FU: ResMII = 3 *)
+  let g = G.create () in
+  for k = 0 to 8 do
+    ignore (G.add_node g (arith (Printf.sprintf "op%d" k)))
+  done;
+  let req = Driver.request M.table2 in
+  Alcotest.(check int) "ResMII 3" 3 (Driver.res_mii M.table2 g req);
+  let s = sched g in
+  Alcotest.(check int) "II 3" 3 s.S.ii;
+  assert_valid g s
+
+let test_schedule_recurrence () =
+  (* acc = acc * k: multiply latency 2, distance 1 -> RecMII 2 *)
+  let g = G.create () in
+  let a = G.add_node g (arith ~lat:2 "mul") in
+  G.add_edge g ~dist:1 G.RF ~src:a.n_id ~dst:a.n_id;
+  let req = Driver.request M.table2 in
+  Alcotest.(check int) "MII 2" 2 (Driver.mii M.table2 g req);
+  let s = sched g in
+  Alcotest.(check int) "II 2" 2 s.S.ii;
+  assert_valid g s
+
+let test_schedule_pinned_cross_cluster_copy () =
+  let g = G.create () in
+  let a = G.add_node g (arith "a") in
+  let b = G.add_node g (arith "b") in
+  G.add_edge g G.RF ~src:a.n_id ~dst:b.n_id;
+  let pinned = Hashtbl.create 2 in
+  Hashtbl.replace pinned a.n_id 0;
+  Hashtbl.replace pinned b.n_id 3;
+  let constraints = { Chains.pinned; grouped = [] } in
+  let s = sched ~constraints g in
+  assert_valid ~pinned g s;
+  Alcotest.(check int) "one copy" 1 (S.comm_ops s);
+  Alcotest.(check int) "clusters as pinned" 0 (S.cluster_of s a.n_id);
+  Alcotest.(check int) "clusters as pinned b" 3 (S.cluster_of s b.n_id);
+  (* consumer must wait for producer latency + bus transfer *)
+  Alcotest.(check bool) "bus delay respected" true
+    (S.cycle_of s b.n_id >= S.cycle_of s a.n_id + 1 + 2)
+
+let test_schedule_same_cluster_no_copy () =
+  let g = G.create () in
+  let a = G.add_node g (arith "a") in
+  let b = G.add_node g (arith "b") in
+  G.add_edge g G.RF ~src:a.n_id ~dst:b.n_id;
+  let pinned = Hashtbl.create 2 in
+  Hashtbl.replace pinned a.n_id 1;
+  Hashtbl.replace pinned b.n_id 1;
+  let s = sched ~constraints:{ Chains.pinned; grouped = [] } g in
+  assert_valid ~pinned g s;
+  Alcotest.(check int) "no copies" 0 (S.comm_ops s)
+
+let test_schedule_grouped_chain_single_cluster () =
+  let f = (fun () ->
+    let g = G.create () in
+    let l1 = G.add_node g (G.Load (mr "m" ~site:0)) in
+    let l2 = G.add_node g (G.Load (mr "m" ~site:1)) in
+    let st = G.add_node g (G.Store (mr "m" ~site:2)) in
+    G.add_edge g G.MA ~src:l1.n_id ~dst:st.n_id;
+    G.add_edge g G.MA ~src:l2.n_id ~dst:st.n_id;
+    (g, [ l1.n_id; l2.n_id; st.n_id ])) ()
+  in
+  let g, chain = f in
+  let grouped = [ chain ] in
+  let s = sched ~constraints:{ Chains.pinned = Hashtbl.create 0; grouped } g in
+  assert_valid ~grouped g s;
+  let cl = S.cluster_of s (List.hd chain) in
+  List.iter
+    (fun id -> Alcotest.(check int) "same cluster" cl (S.cluster_of s id))
+    chain
+
+let test_schedule_mem_dep_order () =
+  (* aliased store -> load in the same cluster must issue in order *)
+  let g = G.create () in
+  let st = G.add_node g (G.Store (mr "m" ~site:0)) in
+  let ld = G.add_node g (G.Load (mr "m" ~site:1)) in
+  G.add_edge g G.MF ~src:st.n_id ~dst:ld.n_id;
+  let s = sched g in
+  assert_valid g s;
+  Alcotest.(check bool) "store issues strictly first" true
+    (S.cycle_of s ld.n_id > S.cycle_of s st.n_id)
+
+let test_schedule_sync_edge_same_cycle_ok () =
+  let g = G.create () in
+  let c = G.add_node g (arith "cons") in
+  let st = G.add_node g (G.Store (mr "m")) in
+  G.add_edge g G.SYNC ~src:c.n_id ~dst:st.n_id;
+  let s = sched g in
+  assert_valid g s;
+  Alcotest.(check bool) "store not before consumer" true
+    (S.cycle_of s st.n_id >= S.cycle_of s c.n_id)
+
+let test_schedule_prefclus_places_mem_in_pref () =
+  let g = G.create () in
+  let l = G.add_node g (G.Load (mr "m" ~site:0)) in
+  let pref id = if id = l.n_id then Some [| 0; 0; 90; 10 |] else None in
+  let s = sched ~heuristic:S.Pref_clus ~pref g in
+  assert_valid g s;
+  Alcotest.(check int) "load in preferred cluster" 2 (S.cluster_of s l.n_id)
+
+let test_schedule_mincoms_postpass_local_accesses () =
+  (* one load with a strong preference and no other constraints: the
+     virtual->physical post-pass must land it on its preferred cluster *)
+  let g = G.create () in
+  let l = G.add_node g (G.Load (mr "m" ~site:0)) in
+  let a = G.add_node g (arith "a") in
+  G.add_edge g G.RF ~src:l.n_id ~dst:a.n_id;
+  let pref id = if id = l.n_id then Some [| 0; 0; 0; 100 |] else None in
+  let s = sched ~heuristic:S.Min_coms ~pref g in
+  assert_valid g s;
+  Alcotest.(check int) "post-pass mapped load home" 3 (S.cluster_of s l.n_id)
+
+let test_latency_assignment_stretches_free_slack () =
+  (* load -> consumer, nothing else: raising the load's assumed latency to
+     remote miss (15) cannot change II=1, so cache-sensitive assignment
+     must pick it *)
+  let g = G.create () in
+  let l = G.add_node g (G.Load (mr "m")) in
+  let c = G.add_node g (arith "use") in
+  G.add_edge g G.RF ~src:l.n_id ~dst:c.n_id;
+  let s = sched g in
+  assert_valid g s;
+  Alcotest.(check int) "assumed raised to remote miss" 15 (S.assumed_of s l.n_id);
+  Alcotest.(check bool) "consumer placed behind assumed latency" true
+    (S.cycle_of s c.n_id >= S.cycle_of s l.n_id + 15)
+
+let test_latency_assignment_respects_recurrence () =
+  (* load feeds a store that feeds the load of the next iteration through
+     memory (MF d=1): raising latency would raise RecMII, so it must stay
+     low for the op on the cycle *)
+  let g = G.create () in
+  let l = G.add_node g (G.Load (mr "m" ~site:0)) in
+  let st = G.add_node g (G.Store (mr "m" ~site:1)) in
+  G.add_edge g G.RF ~src:l.n_id ~dst:st.n_id (* store the loaded value *);
+  G.add_edge g ~dist:1 G.MF ~src:st.n_id ~dst:l.n_id;
+  let s = sched g in
+  assert_valid g s;
+  (* RF on the cycle: lat(load) + 1 <= ii * 1; ii = lat + 1; with local hit
+     ii=2. Any higher assumed latency would force a larger ii. *)
+  Alcotest.(check int) "II stays minimal" 2 s.S.ii;
+  Alcotest.(check int) "assumed stays local hit" 1 (S.assumed_of s l.n_id)
+
+let test_schedule_fig5_ddgt_graph () =
+  (* end to end: Figure 3 -> DDGT -> schedule; replicas must sit in their
+     pinned clusters and every SYNC hold *)
+  let g = G.create () in
+  let n1 = G.add_node g ~seq:1 (G.Load (mr "m" ~site:0)) in
+  let n2 = G.add_node g ~seq:2 (G.Load (mr "m" ~site:1)) in
+  let n3 = G.add_node g ~seq:3 (G.Store (mr "m" ~site:2)) in
+  let n4 = G.add_node g ~seq:4 (G.Store (mr "m" ~site:3)) in
+  let n5 = G.add_node g ~seq:5 (arith "add") in
+  G.add_edge g G.RF ~src:n1.n_id ~dst:n4.n_id;
+  G.add_edge g G.RF ~src:n2.n_id ~dst:n5.n_id;
+  G.add_edge g ~dist:1 G.MF ~src:n3.n_id ~dst:n1.n_id;
+  G.add_edge g ~dist:1 G.MF ~src:n3.n_id ~dst:n2.n_id;
+  G.add_edge g ~dist:1 G.MF ~src:n4.n_id ~dst:n2.n_id;
+  G.add_edge g G.MA ~src:n1.n_id ~dst:n3.n_id;
+  G.add_edge g G.MA ~src:n1.n_id ~dst:n4.n_id;
+  G.add_edge g G.MA ~src:n2.n_id ~dst:n3.n_id;
+  G.add_edge g G.MA ~src:n2.n_id ~dst:n4.n_id;
+  G.add_edge g G.MO ~src:n3.n_id ~dst:n4.n_id;
+  G.add_edge g ~dist:1 G.MO ~src:n4.n_id ~dst:n3.n_id;
+  let r = Ddgt.transform ~clusters:4 g in
+  let s = sched r.Ddgt.graph in
+  assert_valid r.Ddgt.graph s;
+  (* every cluster hosts exactly one instance of each replicated store *)
+  List.iter
+    (fun (orig, insts) ->
+      let clusters =
+        List.map (S.cluster_of s) (orig :: insts) |> List.sort compare
+      in
+      Alcotest.(check (list int)) "instances cover all clusters" [ 0; 1; 2; 3 ]
+        clusters)
+    r.Ddgt.replicas
+
+let test_schedule_mdc_vs_free_ii () =
+  (* pinning a big chain into one cluster costs II: 4 independent loads
+     free (II 1) vs chained (II 4, one Mem FU) *)
+  let mk () =
+    let g = G.create () in
+    let ids =
+      List.init 4 (fun k -> (G.add_node g (G.Load (mr "m" ~site:k))).n_id)
+    in
+    (g, ids)
+  in
+  let g_free, _ = mk () in
+  let s_free = sched g_free in
+  Alcotest.(check int) "free II 1" 1 s_free.S.ii;
+  let g_mdc, ids = mk () in
+  let pinned = Hashtbl.create 4 in
+  List.iter (fun id -> Hashtbl.replace pinned id 2) ids;
+  let s_mdc = sched ~constraints:{ Chains.pinned; grouped = [] } g_mdc in
+  assert_valid ~pinned g_mdc s_mdc;
+  Alcotest.(check int) "pinned II 4" 4 s_mdc.S.ii
+
+let test_schedule_lowered_kernel () =
+  let low =
+    Lower.lower
+      (Vliw_ir.Parser.parse_kernel
+         "kernel k { array a : i32[128] = ramp(0,1) array b : i32[128] = zero scalar acc : i64 = 0 trip 64 body { let t = a[i] * 3 b[i] = t acc = acc + t } }")
+  in
+  let s = sched low.Lower.graph in
+  assert_valid low.Lower.graph s
+
+(* --- property: random DAGs schedule and validate on all presets --- *)
+
+let gen_spec =
+  QCheck.Gen.(
+    let* n = int_range 2 12 in
+    let* kinds = list_repeat n (int_range 0 3) in
+    let* edges =
+      list_size (int_range 0 (2 * n))
+        (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+    in
+    return (kinds, edges))
+
+let build_spec (kinds, edges) =
+  let g = G.create () in
+  let nodes =
+    List.mapi
+      (fun k kind ->
+        let op =
+          match kind with
+          | 0 -> arith (Printf.sprintf "a%d" k)
+          | 1 -> G.Arith { aname = "fmul"; fu_int = false; latency = 2 }
+          | 2 -> G.Load (mr "m" ~site:k)
+          | _ -> G.Store (mr "m" ~site:k)
+        in
+        (G.add_node g op).n_id)
+      kinds
+    |> Array.of_list
+  in
+  let kind_arr = Array.of_list kinds in
+  List.iter
+    (fun (a, b) ->
+      if a < b then (
+        (* RF only out of non-stores *)
+        if kind_arr.(a) <> 3 then G.add_edge g G.RF ~src:nodes.(a) ~dst:nodes.(b)
+        else
+          match (kind_arr.(a), kind_arr.(b)) with
+          | 3, 2 -> G.add_edge g G.MF ~src:nodes.(a) ~dst:nodes.(b)
+          | 3, 3 -> G.add_edge g G.MO ~src:nodes.(a) ~dst:nodes.(b)
+          | _ -> ())
+      else if a > b && kind_arr.(a) <> 3 then
+        G.add_edge g ~dist:1 G.RF ~src:nodes.(a) ~dst:nodes.(b))
+    edges;
+  g
+
+let prop_random_dags_schedule machine name =
+  QCheck.Test.make ~name ~count:60 (QCheck.make gen_spec) (fun spec ->
+      let g = build_spec spec in
+      QCheck.assume (G.validate g = Ok ());
+      match Driver.run (Driver.request machine) g with
+      | Ok s -> S.validate g s = Ok ()
+      | Error _ -> false)
+
+let prop_ddgt_then_schedule =
+  QCheck.Test.make ~name:"DDGT output schedules and validates" ~count:40
+    (QCheck.make gen_spec) (fun spec ->
+      let g = build_spec spec in
+      QCheck.assume (G.validate g = Ok ());
+      (* give every mem op a dependence partner so replication kicks in *)
+      let r = Ddgt.transform ~clusters:4 g in
+      match Driver.run (Driver.request M.table2) r.Ddgt.graph with
+      | Ok s -> S.validate r.Ddgt.graph s = Ok ()
+      | Error _ -> false)
+
+(* --- register pressure --- *)
+
+let test_regpressure_simple_chain () =
+  (* a -> b in one cluster: one value live for its latency *)
+  let g = G.create () in
+  let a = G.add_node g (arith ~lat:3 "a") in
+  let b = G.add_node g (arith "b") in
+  G.add_edge g G.RF ~src:a.n_id ~dst:b.n_id;
+  let pinned = Hashtbl.create 2 in
+  Hashtbl.replace pinned a.n_id 0;
+  Hashtbl.replace pinned b.n_id 0;
+  let s = sched ~constraints:{ Chains.pinned; grouped = [] } g in
+  let ml = Vliw_sched.Regpressure.max_live g s in
+  Alcotest.(check bool) "pressure in cluster 0" true (ml.(0) >= 1);
+  Alcotest.(check int) "no pressure in cluster 3" 0 ml.(3)
+
+let test_regpressure_cross_cluster_charges_destination () =
+  let g = G.create () in
+  let a = G.add_node g (arith "a") in
+  let b = G.add_node g (arith "b") in
+  G.add_edge g G.RF ~src:a.n_id ~dst:b.n_id;
+  let pinned = Hashtbl.create 2 in
+  Hashtbl.replace pinned a.n_id 0;
+  Hashtbl.replace pinned b.n_id 2;
+  let s = sched ~constraints:{ Chains.pinned; grouped = [] } g in
+  let ml = Vliw_sched.Regpressure.max_live g s in
+  Alcotest.(check bool) "source cluster holds the value" true (ml.(0) >= 1);
+  Alcotest.(check bool) "destination holds the copy's value" true (ml.(2) >= 1)
+
+let test_regpressure_long_liveness_overlaps () =
+  (* a value consumed both immediately and after a long FP chain stays
+     live past the II, so instances from successive iterations coexist *)
+  let g = G.create () in
+  let a = G.add_node g (arith "a") in
+  let fmul k =
+    G.Arith { aname = "fmul" ^ string_of_int k; fu_int = false; latency = 2 }
+  in
+  let m1 = G.add_node g (fmul 1) in
+  let m2 = G.add_node g (fmul 2) in
+  let m3 = G.add_node g (fmul 3) in
+  let m4 = G.add_node g (fmul 4) in
+  let fin = G.add_node g (arith "fin") in
+  G.add_edge g G.RF ~src:a.n_id ~dst:m1.n_id;
+  G.add_edge g G.RF ~src:m1.n_id ~dst:m2.n_id;
+  G.add_edge g G.RF ~src:m2.n_id ~dst:m3.n_id;
+  G.add_edge g G.RF ~src:m3.n_id ~dst:m4.n_id;
+  G.add_edge g G.RF ~src:m4.n_id ~dst:fin.n_id;
+  G.add_edge g G.RF ~src:a.n_id ~dst:fin.n_id;
+  let pinned = Hashtbl.create 8 in
+  List.iter (fun (n : G.node) -> Hashtbl.replace pinned n.n_id 1) (G.nodes g);
+  let s = sched ~constraints:{ Chains.pinned; grouped = [] } g in
+  (* a's value is live from t(a)+1 until fin, ~9 cycles; the II is bounded
+     by the four FP ops on one FP unit (4), so at least two instances of
+     the value coexist *)
+  Alcotest.(check bool) "II bounded by the FP unit" true (s.S.ii <= 5);
+  Alcotest.(check bool) "overlapping instances counted" true
+    ((Vliw_sched.Regpressure.max_live g s).(1) > 1)
+
+(* --- validator negative paths --- *)
+
+let expect_invalid msg g s =
+  match S.validate g s with
+  | Ok () -> Alcotest.failf "%s: invalid schedule accepted" msg
+  | Error _ -> ()
+
+let test_validate_rejects_tampered_cycle () =
+  let g = G.create () in
+  let a = G.add_node g (arith ~lat:3 "a") in
+  let b = G.add_node g (arith "b") in
+  G.add_edge g G.RF ~src:a.n_id ~dst:b.n_id;
+  let s = sched g in
+  assert_valid g s;
+  (* move the consumer onto its producer: latency violated *)
+  Hashtbl.replace s.S.place b.n_id (S.cycle_of s a.n_id, S.cluster_of s a.n_id);
+  expect_invalid "latency" g s
+
+let test_validate_rejects_missing_copy () =
+  let g = G.create () in
+  let a = G.add_node g (arith "a") in
+  let b = G.add_node g (arith "b") in
+  G.add_edge g G.RF ~src:a.n_id ~dst:b.n_id;
+  let pinned = Hashtbl.create 2 in
+  Hashtbl.replace pinned a.n_id 0;
+  Hashtbl.replace pinned b.n_id 3;
+  let s = sched ~constraints:{ Chains.pinned; grouped = [] } g in
+  assert_valid g s;
+  let s' = { s with S.copies = [] } in
+  expect_invalid "missing copy" g s'
+
+let test_validate_rejects_fu_oversubscription () =
+  let g = G.create () in
+  let a = G.add_node g (arith "a") in
+  let b = G.add_node g (arith "b") in
+  let s = sched g in
+  assert_valid g s;
+  (* cram both int ops into the same cluster and slot *)
+  Hashtbl.replace s.S.place a.n_id (0, 0);
+  Hashtbl.replace s.S.place b.n_id (s.S.ii, 0);
+  expect_invalid "FU oversubscription" g s
+
+let test_validate_rejects_moved_replica () =
+  let g = G.create () in
+  let st = G.add_node g ~replica:2 (G.Store (mr "m")) in
+  let s = sched g in
+  assert_valid g s;
+  Hashtbl.replace s.S.place st.n_id (S.cycle_of s st.n_id, 1);
+  expect_invalid "replica pin" g s
+
+(* --- swing ordering --- *)
+
+let test_swing_schedules_and_validates () =
+  let g = G.create () in
+  let a = G.add_node g (arith "a") in
+  let b = G.add_node g (G.Arith { aname = "fmul"; fu_int = false; latency = 2 }) in
+  let c = G.add_node g (arith "c") in
+  G.add_edge g G.RF ~src:a.n_id ~dst:b.n_id;
+  G.add_edge g G.RF ~src:b.n_id ~dst:c.n_id;
+  G.add_edge g ~dist:1 G.RF ~src:c.n_id ~dst:a.n_id;
+  let s =
+    match Driver.run (Driver.request ~ordering:Vliw_sched.Ims.Swing M.table2) g with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  assert_valid g s
+
+let test_swing_not_worse_ii_on_recurrence () =
+  (* same recurrence scheduled both ways: swing must not lose on II *)
+  let mk () =
+    let g = G.create () in
+    let a = G.add_node g (arith ~lat:2 "a") in
+    let b = G.add_node g (arith ~lat:3 "b") in
+    G.add_edge g G.RF ~src:a.n_id ~dst:b.n_id;
+    G.add_edge g ~dist:1 G.RF ~src:b.n_id ~dst:a.n_id;
+    g
+  in
+  let ii ordering =
+    (Driver.run_exn (Driver.request ~ordering M.table2) (mk ())).S.ii
+  in
+  Alcotest.(check bool) "swing II <= height II" true
+    (ii Vliw_sched.Ims.Swing <= ii Vliw_sched.Ims.Height)
+
+let prop_swing_random_dags =
+  QCheck.Test.make ~name:"random DAGs schedule under Swing ordering" ~count:60
+    (QCheck.make gen_spec) (fun spec ->
+      let g = build_spec spec in
+      QCheck.assume (G.validate g = Ok ());
+      match
+        Driver.run (Driver.request ~ordering:Vliw_sched.Ims.Swing M.table2) g
+      with
+      | Ok s -> S.validate g s = Ok ()
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "mrt",
+        [
+          Alcotest.test_case "fu capacity" `Quick test_mrt_fu_capacity;
+          Alcotest.test_case "bus occupancy" `Quick test_mrt_bus_occupancy;
+          Alcotest.test_case "bus modulo conflict" `Quick test_mrt_bus_modulo_conflict;
+        ] );
+      ( "basic",
+        [
+          Alcotest.test_case "single op" `Quick test_schedule_single_op;
+          Alcotest.test_case "chain latency" `Quick test_schedule_chain_latency;
+          Alcotest.test_case "fu saturation" `Quick test_schedule_fu_saturation;
+          Alcotest.test_case "recurrence" `Quick test_schedule_recurrence;
+        ] );
+      ( "clustering",
+        [
+          Alcotest.test_case "cross-cluster copy" `Quick
+            test_schedule_pinned_cross_cluster_copy;
+          Alcotest.test_case "same cluster no copy" `Quick
+            test_schedule_same_cluster_no_copy;
+          Alcotest.test_case "grouped chain" `Quick
+            test_schedule_grouped_chain_single_cluster;
+          Alcotest.test_case "mem dep order" `Quick test_schedule_mem_dep_order;
+          Alcotest.test_case "sync same cycle" `Quick
+            test_schedule_sync_edge_same_cycle_ok;
+          Alcotest.test_case "prefclus" `Quick test_schedule_prefclus_places_mem_in_pref;
+          Alcotest.test_case "mincoms postpass" `Quick
+            test_schedule_mincoms_postpass_local_accesses;
+        ] );
+      ( "validator negatives",
+        [
+          Alcotest.test_case "tampered cycle" `Quick test_validate_rejects_tampered_cycle;
+          Alcotest.test_case "missing copy" `Quick test_validate_rejects_missing_copy;
+          Alcotest.test_case "fu oversubscription" `Quick
+            test_validate_rejects_fu_oversubscription;
+          Alcotest.test_case "moved replica" `Quick test_validate_rejects_moved_replica;
+        ] );
+      ( "swing ordering",
+        [
+          Alcotest.test_case "validates" `Quick test_swing_schedules_and_validates;
+          Alcotest.test_case "recurrence II" `Quick test_swing_not_worse_ii_on_recurrence;
+          QCheck_alcotest.to_alcotest prop_swing_random_dags;
+        ] );
+      ( "register pressure",
+        [
+          Alcotest.test_case "simple chain" `Quick test_regpressure_simple_chain;
+          Alcotest.test_case "cross cluster" `Quick
+            test_regpressure_cross_cluster_charges_destination;
+          Alcotest.test_case "overlapping liveness" `Quick
+            test_regpressure_long_liveness_overlaps;
+        ] );
+      ( "latency assignment",
+        [
+          Alcotest.test_case "stretches free slack" `Quick
+            test_latency_assignment_stretches_free_slack;
+          Alcotest.test_case "respects recurrence" `Quick
+            test_latency_assignment_respects_recurrence;
+        ] );
+      ( "end to end",
+        [
+          Alcotest.test_case "figure 5 schedules" `Quick test_schedule_fig5_ddgt_graph;
+          Alcotest.test_case "MDC raises II" `Quick test_schedule_mdc_vs_free_ii;
+          Alcotest.test_case "lowered kernel" `Quick test_schedule_lowered_kernel;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_random_dags_schedule M.table2 "random DAGs schedule (BAL)";
+            prop_random_dags_schedule M.nobal_mem "random DAGs schedule (NOBAL+MEM)";
+            prop_random_dags_schedule M.nobal_reg "random DAGs schedule (NOBAL+REG)";
+            prop_ddgt_then_schedule;
+          ] );
+    ]
+

@@ -1,0 +1,208 @@
+open Vliw_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* tiny substring helper *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* --- Prng --- *)
+
+let test_prng_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next a) (Prng.next b)
+  done
+
+let test_prng_distinct_seeds () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.next a = Prng.next b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_prng_bounds () =
+  let t = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int t 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let v = Prng.int_in t (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (v >= -5 && v <= 5)
+  done
+
+let test_prng_copy_independent () =
+  let a = Prng.create 9 in
+  let _ = Prng.next a in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.next a) (Prng.next b);
+  let _ = Prng.next a in
+  (* advancing a does not advance b *)
+  let a' = Prng.next a and b' = Prng.next b in
+  Alcotest.(check bool) "desynchronized after extra draw" true (a' <> b')
+
+let test_prng_shuffle_permutation () =
+  let t = Prng.create 3 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle t arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_prng_int_rejects_nonpositive () =
+  let t = Prng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int t 0))
+
+(* --- Stats --- *)
+
+let test_mean () =
+  check_float "mean" 2.5 (Stats.mean [ 1.; 2.; 3.; 4. ]);
+  check_float "empty" 0. (Stats.mean [])
+
+let test_geomean () =
+  check_float "geomean" 2. (Stats.geomean [ 1.; 2.; 4. ]);
+  check_float "singleton" 5. (Stats.geomean [ 5. ])
+
+let test_stddev () =
+  check_float "constant" 0. (Stats.stddev [ 3.; 3.; 3. ]);
+  check_float "pair" 1. (Stats.stddev [ 1.; 3. ])
+
+let test_median () =
+  check_float "odd" 2. (Stats.median [ 3.; 1.; 2. ]);
+  check_float "even (lower middle)" 2. (Stats.median [ 4.; 1.; 2.; 3. ])
+
+let test_minmax () =
+  let lo, hi = Stats.minmax [ 3.; -1.; 7. ] in
+  check_float "min" (-1.) lo;
+  check_float "max" 7. hi
+
+let test_ratio () =
+  check_float "ratio" 0.5 (Stats.ratio 1 2);
+  check_float "zero denominator" 0. (Stats.ratio 1 0)
+
+(* --- Table --- *)
+
+let test_table_render () =
+  let t = Table.create ~title:"T" [ ("a", Table.Left); ("b", Table.Right) ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "long"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  (* all data appears *)
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) (frag ^ " present") true (contains s frag))
+    [ "x"; "long"; "22"; "a"; "b" ]
+
+let test_table_pads_short_rows () =
+  let t = Table.create [ ("a", Table.Left); ("b", Table.Left) ] in
+  Table.add_row t [ "only" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let test_table_rejects_long_rows () =
+  let t = Table.create [ ("a", Table.Left) ] in
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Table.add_row: more cells than headers") (fun () ->
+      Table.add_row t [ "x"; "y" ])
+
+let test_cells () =
+  Alcotest.(check string) "pct" "62.5%" (Table.cell_pct 0.625);
+  Alcotest.(check string) "float" "1.23" (Table.cell_f 1.234)
+
+(* --- Bars --- *)
+
+let test_bar_full () =
+  Alcotest.(check string) "full bar" "aaaaabbbbb"
+    (Bars.bar ~width:10 [ { Bars.label = 'a'; frac = 0.5 }; { label = 'b'; frac = 0.5 } ])
+
+let test_bar_partial () =
+  let s = Bars.bar ~width:10 [ { Bars.label = 'x'; frac = 0.25 } ] in
+  Alcotest.(check int) "rounded length" 3 (String.length s)
+
+let test_bar_clamps () =
+  let s = Bars.bar ~width:10 [ { Bars.label = 'x'; frac = 2.0 } ] in
+  Alcotest.(check int) "clamped to width" 10 (String.length s)
+
+let test_chart_legend () =
+  let s =
+    Bars.chart ~width:8
+      ~legend:[ ('h', "hit") ]
+      [ ("row1", [ { Bars.label = 'h'; frac = 1.0 } ]) ]
+  in
+  Alcotest.(check bool) "mentions legend" true (contains s "h=hit")
+
+(* --- QCheck properties --- *)
+
+let prop_bar_never_exceeds_width =
+  QCheck.Test.make ~name:"bar length <= width" ~count:200
+    QCheck.(pair (int_range 1 60) (small_list (float_bound_inclusive 1.0)))
+    (fun (width, fracs) ->
+      let segs = List.map (fun f -> { Bars.label = '#'; frac = f }) fracs in
+      String.length (Bars.bar ~width segs) <= width)
+
+let prop_geomean_between_minmax =
+  QCheck.Test.make ~name:"geomean within [min,max]" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 20) (float_range 0.001 1000.))
+    (fun xs ->
+      let g = Vliw_util.Stats.geomean xs in
+      let lo, hi = Vliw_util.Stats.minmax xs in
+      g >= lo -. 1e-9 && g <= hi +. 1e-9)
+
+let prop_shuffle_preserves_multiset =
+  QCheck.Test.make ~name:"shuffle preserves elements" ~count:100
+    QCheck.(pair small_int (small_list small_int))
+    (fun (seed, xs) ->
+      let t = Prng.create seed in
+      let arr = Array.of_list xs in
+      Prng.shuffle t arr;
+      List.sort compare (Array.to_list arr) = List.sort compare xs)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "distinct seeds" `Quick test_prng_distinct_seeds;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "copy independence" `Quick test_prng_copy_independent;
+          Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "rejects bad bound" `Quick test_prng_int_rejects_nonpositive;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "geomean" `Quick test_geomean;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "median" `Quick test_median;
+          Alcotest.test_case "minmax" `Quick test_minmax;
+          Alcotest.test_case "ratio" `Quick test_ratio;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "pads short rows" `Quick test_table_pads_short_rows;
+          Alcotest.test_case "rejects long rows" `Quick test_table_rejects_long_rows;
+          Alcotest.test_case "cells" `Quick test_cells;
+        ] );
+      ( "bars",
+        [
+          Alcotest.test_case "full" `Quick test_bar_full;
+          Alcotest.test_case "partial" `Quick test_bar_partial;
+          Alcotest.test_case "clamps" `Quick test_bar_clamps;
+          Alcotest.test_case "legend" `Quick test_chart_legend;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_bar_never_exceeds_width;
+            prop_geomean_between_minmax;
+            prop_shuffle_preserves_multiset;
+          ] );
+    ]

@@ -1,0 +1,158 @@
+module G = Vliw_ddg.Graph
+module M = Vliw_arch.Machine
+module W = Vliw_workloads.Workloads
+module Lower = Vliw_lower.Lower
+module Chains = Vliw_core.Chains
+module Driver = Vliw_sched.Driver
+module S = Vliw_sched.Schedule
+module Ir = Vliw_ir
+
+let all_loops f =
+  List.iter
+    (fun (b : W.benchmark) -> List.iter (fun l -> f b l) b.W.b_loops)
+    W.all
+
+let test_suite_shape () =
+  Alcotest.(check int) "14 benchmarks (Table 1)" 14 (List.length W.all);
+  Alcotest.(check int) "13 in the figures" 13 (List.length W.figures);
+  Alcotest.(check bool) "epicenc only in Table 1" true
+    (not (List.exists (fun b -> b.W.b_name = "epicenc") W.figures));
+  let names = List.map (fun b -> b.W.b_name) W.all in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_interleaves_match_paper () =
+  let il name = (W.find name).W.b_interleave in
+  List.iter
+    (fun n -> Alcotest.(check int) (n ^ " 4B") 4 (il n))
+    [ "epicdec"; "jpegdec"; "jpegenc"; "mpeg2dec"; "pgpdec"; "pgpenc"; "rasta" ];
+  List.iter
+    (fun n -> Alcotest.(check int) (n ^ " 2B") 2 (il n))
+    [ "g721dec"; "g721enc"; "gsmdec"; "gsmenc"; "pegwitdec"; "pegwitenc" ]
+
+let test_seeds_distinct () =
+  List.iter
+    (fun (b : W.benchmark) ->
+      Alcotest.(check bool)
+        (b.W.b_name ^ " has distinct profile/exec inputs")
+        true
+        (b.W.b_profile_seed <> b.W.b_exec_seed))
+    W.all
+
+let test_every_loop_parses_and_typechecks () =
+  all_loops (fun b l ->
+      ignore (W.parse_loop l ~seed:b.W.b_profile_seed);
+      ignore (W.parse_loop l ~seed:b.W.b_exec_seed))
+
+let test_every_loop_lowers_and_validates () =
+  all_loops (fun b l ->
+      let k = W.parse_loop l ~seed:b.W.b_exec_seed in
+      let low = Lower.lower k in
+      match G.validate low.Lower.graph with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s/%s: %s" b.W.b_name l.W.l_name e)
+
+let test_every_loop_interprets_deterministically () =
+  all_loops (fun b l ->
+      let k = W.parse_loop l ~seed:b.W.b_exec_seed in
+      let layout = Ir.Layout.make k in
+      let r1 = Ir.Interp.run ~layout k and r2 = Ir.Interp.run ~layout k in
+      if not (Bytes.equal r1.Ir.Interp.memory r2.Ir.Interp.memory) then
+        Alcotest.failf "%s/%s: non-deterministic" b.W.b_name l.W.l_name)
+
+let test_every_loop_schedules () =
+  all_loops (fun b l ->
+      let k = W.parse_loop l ~seed:b.W.b_exec_seed in
+      let low = Lower.lower k in
+      let machine = M.with_interleave M.table2 b.W.b_interleave in
+      match Driver.run (Driver.request machine) low.Lower.graph with
+      | Ok s -> (
+        match S.validate low.Lower.graph s with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "%s/%s: invalid schedule: %s" b.W.b_name l.W.l_name e)
+      | Error e -> Alcotest.failf "%s/%s: %s" b.W.b_name l.W.l_name e)
+
+let test_chain_structure_matches_table3 () =
+  let biggest_chain name lname =
+    let b = W.find name in
+    let l = List.find (fun (l : W.loop) -> l.W.l_name = lname) b.W.b_loops in
+    let low = Lower.lower (W.parse_loop l ~seed:b.W.b_exec_seed) in
+    List.length (Chains.biggest low.Lower.graph)
+  in
+  (* g721: no chains at all (Table 3's zeros) *)
+  List.iter
+    (fun (l : W.loop) ->
+      let low = Lower.lower (W.parse_loop l ~seed:2003) in
+      Alcotest.(check int) ("g721 " ^ l.W.l_name ^ " chain-free") 0
+        (List.length (Chains.biggest low.Lower.graph)))
+    (W.find "g721dec").W.b_loops;
+  (* the chain-heavy loops *)
+  Alcotest.(check bool) "epicdec wavelet chain >= 6" true
+    (biggest_chain "epicdec" "wavelet" >= 6);
+  Alcotest.(check bool) "epicdec pyramid chain >= 8" true
+    (biggest_chain "epicdec" "pyramid" >= 8);
+  Alcotest.(check bool) "pgp mpmul chain >= 6" true
+    (biggest_chain "pgpdec" "mpmul" >= 6);
+  Alcotest.(check bool) "rasta filter chain >= 6" true
+    (biggest_chain "rasta" "filter" >= 6)
+
+let test_dominant_data_sizes () =
+  (* the declared dominant size must actually dominate the loop's accesses *)
+  List.iter
+    (fun name ->
+      let b = W.find name in
+      let total = ref 0 and dominant = ref 0 in
+      List.iter
+        (fun (l : W.loop) ->
+          let k = W.parse_loop l ~seed:b.W.b_exec_seed in
+          let low = Lower.lower k in
+          List.iter
+            (fun ((_ : G.node), (mr : G.mem_ref)) ->
+              total := !total + l.W.l_weight;
+              if mr.G.mr_bytes = b.W.b_data_size then
+                dominant := !dominant + l.W.l_weight)
+            (G.mem_refs low.Lower.graph))
+        b.W.b_loops;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %dB accesses dominate" name b.W.b_data_size)
+        true
+        (2 * !dominant >= !total))
+    [ "epicdec"; "g721dec"; "gsmdec"; "pegwitdec"; "pgpdec"; "rasta" ]
+
+let test_machines_validate_per_benchmark () =
+  List.iter
+    (fun (b : W.benchmark) ->
+      let m = M.with_interleave M.table2 b.W.b_interleave in
+      match M.validate m with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" b.W.b_name e)
+    W.all
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "inventory",
+        [
+          Alcotest.test_case "suite shape" `Quick test_suite_shape;
+          Alcotest.test_case "interleaves" `Quick test_interleaves_match_paper;
+          Alcotest.test_case "seeds" `Quick test_seeds_distinct;
+          Alcotest.test_case "machines validate" `Quick
+            test_machines_validate_per_benchmark;
+        ] );
+      ( "compilation",
+        [
+          Alcotest.test_case "parse + typecheck" `Quick
+            test_every_loop_parses_and_typechecks;
+          Alcotest.test_case "lower + validate" `Quick
+            test_every_loop_lowers_and_validates;
+          Alcotest.test_case "interpret" `Quick
+            test_every_loop_interprets_deterministically;
+          Alcotest.test_case "schedule" `Slow test_every_loop_schedules;
+        ] );
+      ( "calibration",
+        [
+          Alcotest.test_case "chain structure" `Quick
+            test_chain_structure_matches_table3;
+          Alcotest.test_case "data sizes" `Quick test_dominant_data_sizes;
+        ] );
+    ]
