@@ -3,14 +3,23 @@
 
    Usage:
      bench/main.exe                 run everything (t1 t2 fig6 fig7 t3 t4
-                                    nobal fig9 t5)
+                                    nobal fig9 t5 hybrid ablations)
      bench/main.exe fig6 t3 ...     run a subset
+     bench/main.exe --jobs N ...    fan work out over N domains (default:
+                                    VLIW_JOBS or the recommended domain
+                                    count; 1 = sequential)
+     bench/main.exe --json PATH ... also write machine-readable results
+                                    (per-experiment wall clock, per-run
+                                    cycle/stall/comm totals, memo hit rate)
      bench/main.exe bechamel        Bechamel timing of each experiment
                                     harness (one Test.make per artifact) *)
 
 module M = Vliw_arch.Machine
 module E = Vliw_harness.Experiments
+module Memo = Vliw_harness.Memo
 module Render = Vliw_harness.Render
+module Pool = Vliw_util.Pool
+module Json = Vliw_util.Json
 
 let experiments : (string * string * (unit -> string)) list =
   [
@@ -56,8 +65,59 @@ let experiments : (string * string * (unit -> string)) list =
 
 let run_one (key, title, render) =
   Printf.printf "==================== %s: %s ====================\n%!" key title;
+  let t0 = Unix.gettimeofday () in
   print_string (render ());
-  print_newline ()
+  let dt = Unix.gettimeofday () -. t0 in
+  print_newline ();
+  (key, title, dt)
+
+(* ---- machine-readable results (--json PATH) ---- *)
+
+let json_report ~jobs ~total_wall timings =
+  let runs =
+    List.map
+      (fun (fp, (r : Vliw_harness.Runner.bench_run)) ->
+        Json.Obj
+          [
+            ("machine", Json.String fp);
+            ("bench", Json.String r.br_bench.Vliw_workloads.Workloads.b_name);
+            ( "technique",
+              Json.String (Vliw_harness.Runner.technique_name r.br_technique) );
+            ( "heuristic",
+              Json.String (Vliw_sched.Schedule.heuristic_name r.br_heuristic) );
+            ("cycles", Json.Float r.br_cycles);
+            ("compute", Json.Float r.br_compute);
+            ("stall", Json.Float r.br_stall);
+            ("comm", Json.Float r.br_comm);
+          ])
+      (E.cached_runs ())
+  in
+  let memo = Memo.counters () in
+  Json.Obj
+    [
+      ("schema", Json.String "vliw-harness/1");
+      ("jobs", Json.Int jobs);
+      ("total_wall_s", Json.Float total_wall);
+      ( "experiments",
+        Json.List
+          (List.map
+             (fun (key, title, dt) ->
+               Json.Obj
+                 [
+                   ("key", Json.String key);
+                   ("title", Json.String title);
+                   ("wall_s", Json.Float dt);
+                 ])
+             timings) );
+      ( "memo",
+        Json.Obj
+          [
+            ("hits", Json.Int memo.Memo.hits);
+            ("misses", Json.Int memo.Memo.misses);
+            ("hit_rate", Json.Float (Memo.hit_rate ()));
+          ] );
+      ("runs", Json.List runs);
+    ]
 
 let run_bechamel () =
   let open Bechamel in
@@ -93,18 +153,55 @@ let run_bechamel () =
           tbl)
     results
 
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [--jobs N] [--json PATH] [EXPERIMENT...]\n\
+     known experiments: %s, all, bechamel\n"
+    (String.concat " " (List.map (fun (k, _, _) -> k) experiments));
+  exit 2
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  match args with
+  let rec parse jobs json keys = function
+    | [] -> (jobs, json, List.rev keys)
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> parse (Some n) json keys rest
+      | _ ->
+        Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+        exit 2)
+    | "--json" :: path :: rest -> parse jobs (Some path) keys rest
+    | ("--jobs" | "--json") :: [] | "--help" :: _ -> usage ()
+    | key :: rest -> parse jobs json (key :: keys) rest
+  in
+  let jobs, json, keys = parse None None [] args in
+  Option.iter Pool.set_jobs jobs;
+  match keys with
   | [ "bechamel" ] -> run_bechamel ()
-  | [] | [ "all" ] -> List.iter run_one experiments
   | keys ->
-    List.iter
-      (fun key ->
-        match List.find_opt (fun (k, _, _) -> k = key) experiments with
-        | Some e -> run_one e
-        | None ->
-          Printf.eprintf "unknown experiment %S (known: %s, all, bechamel)\n" key
-            (String.concat " " (List.map (fun (k, _, _) -> k) experiments));
-          exit 2)
-      keys
+    let selected =
+      match keys with
+      | [] | [ "all" ] -> experiments
+      | keys ->
+        List.map
+          (fun key ->
+            match List.find_opt (fun (k, _, _) -> k = key) experiments with
+            | Some e -> e
+            | None ->
+              Printf.eprintf "unknown experiment %S " key;
+              usage ())
+          keys
+    in
+    let t0 = Unix.gettimeofday () in
+    let timings = List.map run_one selected in
+    let total_wall = Unix.gettimeofday () -. t0 in
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            Json.to_channel oc
+              (json_report ~jobs:(Pool.jobs ()) ~total_wall timings));
+        Printf.eprintf "wrote %s\n%!" path)
+      json

@@ -184,8 +184,11 @@ let compare_kernel ~machine ~heuristic ~pad ~unroll kernel =
         ("compute", T.Right); ("stall", T.Right); ("local hit", T.Right);
         ("copies/iter", T.Right); ("MaxLive", T.Right) ]
   in
-  List.iter
-    (fun (name, technique) ->
+  let rows =
+    (* the four techniques are independent compile+simulate pipelines;
+       rows come back in technique order regardless of pool width *)
+    Vliw_util.Pool.map
+      (fun (name, technique) ->
       let pref = Vliw_profile.Profile.node_pref prof low.Lower.graph in
       let compiled =
         match technique with
@@ -220,7 +223,7 @@ let compare_kernel ~machine ~heuristic ~pad ~unroll kernel =
           | Error _ -> None)
       in
       match compiled with
-      | None -> T.add_row t [ name; "-"; "(no schedule)" ]
+      | None -> [ name; "-"; "(no schedule)" ]
       | Some (graph, schedule) ->
         let st =
           Sim.run ~lowered:low ~graph ~schedule ~layout
@@ -228,23 +231,30 @@ let compare_kernel ~machine ~heuristic ~pad ~unroll kernel =
         in
         let total = max 1 (Sim.accesses_total st) in
         let ml = Vliw_sched.Regpressure.max_live graph schedule in
-        T.add_row t
-          [
-            name;
-            string_of_int schedule.S.ii;
-            string_of_int st.Sim.total_cycles;
-            string_of_int st.Sim.compute_cycles;
-            string_of_int st.Sim.stall_cycles;
-            Printf.sprintf "%.1f%%"
-              (100. *. float_of_int st.Sim.local_hits /. float_of_int total);
-            string_of_int (S.comm_ops schedule);
-            string_of_int (Array.fold_left max 0 ml);
-          ])
-    [ ("free", Free); ("MDC", Mdc); ("DDGT", Ddgt); ("hybrid", Hybrid) ];
+        [
+          name;
+          string_of_int schedule.S.ii;
+          string_of_int st.Sim.total_cycles;
+          string_of_int st.Sim.compute_cycles;
+          string_of_int st.Sim.stall_cycles;
+          Printf.sprintf "%.1f%%"
+            (100. *. float_of_int st.Sim.local_hits /. float_of_int total);
+          string_of_int (S.comm_ops schedule);
+          string_of_int (Array.fold_left max 0 ml);
+        ])
+      [ ("free", Free); ("MDC", Mdc); ("DDGT", Ddgt); ("hybrid", Hybrid) ]
+  in
+  List.iter (T.add_row t) rows;
   T.print t
 
 let main file workload technique heuristic ordering machine_name interleave
-    ab pad unroll cse lint dump_ddg dot dump_sched execution compare =
+    ab pad unroll cse lint dump_ddg dot dump_sched execution compare jobs =
+  (match jobs with
+  | Some n when n >= 1 -> Vliw_util.Pool.set_jobs n
+  | Some n ->
+    Printf.eprintf "--jobs expects a positive integer, got %d\n" n;
+    exit 2
+  | None -> ());
   let base =
     match machine_name with
     | "bal" -> M.table2
@@ -395,6 +405,16 @@ let compare_flag =
     & info [ "compare" ]
         ~doc:"Run all four techniques and print a side-by-side table.")
 
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Width of the domain pool used by parallel paths (e.g. \
+           $(b,--compare)'s four techniques). Default: $(b,VLIW_JOBS) or \
+           the recommended domain count; 1 forces sequential execution.")
+
 let execution =
   Arg.(
     value & flag
@@ -422,6 +442,6 @@ let cmd =
     Term.(
       const main $ file $ workload $ technique $ heuristic $ ordering
       $ machine_name $ interleave $ ab $ pad $ unroll $ cse_flag $ lint_flag
-      $ dump_ddg $ dot $ dump_sched $ execution $ compare_flag)
+      $ dump_ddg $ dot $ dump_sched $ execution $ compare_flag $ jobs)
 
 let () = exit (Cmd.eval cmd)

@@ -5,6 +5,7 @@ module Hybrid = Vliw_sched.Hybrid
 module W = Vliw_workloads.Workloads
 module R = Runner
 module Ir = Vliw_ir
+module Pool = Vliw_util.Pool
 
 let amean xs = Vliw_util.Stats.mean xs
 
@@ -18,13 +19,19 @@ type lat_row = {
 }
 
 let latency_policies () =
-  let run policy b = R.run_bench ~machine:M.table2 ~lat_policy:policy R.Free S.Min_coms b in
-  let base = List.map (run Driver.Cache_sensitive) W.figures in
+  let run policy b =
+    (* Cache_sensitive with default ordering is exactly the memoized
+       free/MinComs run of Figure 7's baseline — share it *)
+    if policy = Driver.Cache_sensitive then
+      Experiments.run ~machine:M.table2 (R.Free, S.Min_coms) b
+    else R.run_bench ~machine:M.table2 ~lat_policy:policy R.Free S.Min_coms b
+  in
+  let base = Pool.map (run Driver.Cache_sensitive) W.figures in
   let norm = amean (List.map (fun r -> r.R.br_cycles) base) in
   let row name policy =
     let rs =
       if policy = Driver.Cache_sensitive then base
-      else List.map (run policy) W.figures
+      else Pool.map (run policy) W.figures
     in
     {
       la_policy = name;
@@ -51,7 +58,7 @@ type hybrid_row = {
 
 let hybrid () =
   let machine = M.table2 in
-  List.map
+  Pool.map
     (fun b ->
       let base = Experiments.run ~machine (R.Free, S.Min_coms) b in
       let norm = if base.R.br_cycles = 0. then 1. else base.R.br_cycles in
@@ -60,17 +67,12 @@ let hybrid () =
         let m = R.machine_for machine b in
         List.map
           (fun (l : W.loop) ->
-            let k = W.parse_loop l ~seed:b.W.b_exec_seed in
-            let k_prof = W.parse_loop l ~seed:b.W.b_profile_seed in
-            let low = Vliw_lower.Lower.lower k in
-            let prof =
-              Vliw_profile.Profile.run ~machine:m
-                ~layout:(Ir.Layout.make k_prof) k_prof
-            in
+            let st = Memo.stages ~machine:m ~bench:b l in
             match
               Hybrid.choose ~machine:m ~heuristic:S.Pref_clus
-                ~pref_for:(Vliw_profile.Profile.node_pref prof)
-                ~trip:k.Ir.Ast.k_trip low.Vliw_lower.Lower.graph
+                ~pref_for:(Vliw_profile.Profile.node_pref st.Memo.prof)
+                ~trip:st.Memo.kernel_exec.Ir.Ast.k_trip
+                st.Memo.lowered.Vliw_lower.Lower.graph
             with
             | Ok h -> Hybrid.choice_name h.Hybrid.choice
             | Error _ -> "?")
@@ -97,7 +99,7 @@ let ab_sizes () =
   in
   let total machine tech =
     amean
-      (List.map
+      (Pool.map
          (fun b -> (Experiments.run ~machine (tech, S.Pref_clus) b).R.br_cycles)
          W.figures)
   in
@@ -128,7 +130,7 @@ let bus_sweep () =
     let ddgt = (Experiments.run ~machine (R.Ddgt, S.Pref_clus) b).R.br_cycles in
     if ddgt = 0. then 1. else best_mdc /. ddgt
   in
-  List.map
+  Pool.map
     (fun name ->
       let b = W.find name in
       {
@@ -149,7 +151,7 @@ type spec_row = {
 
 let specialization () =
   let machine = M.table2 in
-  List.map
+  Pool.map
     (fun name ->
       let b = W.find name in
       let m = R.machine_for machine b in
@@ -163,18 +165,15 @@ let specialization () =
       let after =
         List.fold_left
           (fun acc (l : W.loop) ->
-            let k = W.parse_loop l ~seed:b.W.b_exec_seed in
-            let k_prof = W.parse_loop l ~seed:b.W.b_profile_seed in
-            let layout = Ir.Layout.make k in
-            let low = Vliw_lower.Lower.lower k in
+            let st = Memo.stages ~machine:m ~bench:b l in
+            let k_prof = st.Memo.kernel_prof in
+            let layout = st.Memo.layout in
+            let low = st.Memo.lowered in
             let profile =
               Ir.Interp.run ~layout:(Ir.Layout.make k_prof) k_prof
             in
             let sp = Vliw_core.Specialize.specialize low ~profile in
-            let prof =
-              Vliw_profile.Profile.run ~machine:m
-                ~layout:(Ir.Layout.make k_prof) k_prof
-            in
+            let prof = st.Memo.prof in
             let pref =
               Vliw_profile.Profile.node_pref prof sp.Vliw_core.Specialize.graph
             in
@@ -186,15 +185,15 @@ let specialization () =
                 (Driver.request ~heuristic:S.Pref_clus ~constraints ~pref m)
                 sp.Vliw_core.Specialize.graph
             in
-            let oracle = Ir.Interp.run ~layout k in
-            let st =
+            let oracle = st.Memo.oracle in
+            let stats =
               Vliw_sim.Sim.run ~lowered:low ~graph:sp.Vliw_core.Specialize.graph
                 ~schedule ~layout ~mode:(Vliw_sim.Sim.Oracle oracle) ~warm:true ()
             in
             let check_overhead = 2 * sp.Vliw_core.Specialize.checks in
             acc
             +. (float_of_int l.W.l_weight
-               *. float_of_int (st.Vliw_sim.Sim.total_cycles + check_overhead)))
+               *. float_of_int (stats.Vliw_sim.Sim.total_cycles + check_overhead)))
           0. b.W.b_loops
       in
       {
@@ -222,7 +221,7 @@ let interleave_sweep () =
     let fake = { b with W.b_interleave = il } in
     (R.access_mix (Experiments.run ~machine (R.Free, S.Pref_clus) fake)).R.f_local_hit
   in
-  List.map
+  Pool.map
     (fun (b : W.benchmark) ->
       {
         il_bench = b.W.b_name;
@@ -245,7 +244,8 @@ type unroll_row = {
 
 let unrolling () =
   let machine = M.table2 in
-  List.filter_map
+  List.filter_map Fun.id
+  @@ Pool.map
     (fun (b : W.benchmark) ->
       let m = R.machine_for machine b in
       let nxi = m.M.clusters * m.M.interleave_bytes in
@@ -253,13 +253,13 @@ let unrolling () =
       let factors =
         List.map
           (fun (l : W.loop) ->
-            factor_of (W.parse_loop l ~seed:b.W.b_exec_seed))
+            factor_of (Memo.parse ~bench:b ~seed:b.W.b_exec_seed l))
           b.W.b_loops
       in
       if List.for_all (( = ) 1) factors then None
       else (
         let transform k = Vliw_ir.Unroll.unroll ~factor:(factor_of k) k in
-        let before = R.run_bench ~machine R.Free S.Pref_clus b in
+        let before = Experiments.run ~machine (R.Free, S.Pref_clus) b in
         let after = R.run_bench ~machine ~transform R.Free S.Pref_clus b in
         Some
           {
@@ -285,21 +285,24 @@ type reg_row = {
 let reg_pressure () =
   let machine = M.table2 in
   let row name scheme =
-    let totals, worsts =
-      List.fold_left
-        (fun (ts, ws) b ->
+    let per_bench =
+      Pool.map
+        (fun b ->
           let br = Experiments.run ~machine scheme b in
-          List.fold_left
-            (fun (ts, ws) (lr : R.loop_run) ->
+          List.map
+            (fun (lr : R.loop_run) ->
               let ml =
                 Vliw_sched.Regpressure.max_live lr.R.lr_graph lr.R.lr_schedule
               in
-              ( float_of_int (Array.fold_left ( + ) 0 ml) :: ts,
-                float_of_int (Array.fold_left max 0 ml) :: ws ))
-            (ts, ws) br.R.br_loops)
-        ([], []) W.figures
+              ( float_of_int (Array.fold_left ( + ) 0 ml),
+                float_of_int (Array.fold_left max 0 ml) ))
+            br.R.br_loops)
+        W.figures
     in
-    { rp_scheme = name; rp_total = amean totals; rp_worst = amean worsts }
+    let all = List.concat per_bench in
+    { rp_scheme = name;
+      rp_total = amean (List.map fst all);
+      rp_worst = amean (List.map snd all) }
   in
   [
     row "free/PrefClus" (R.Free, S.Pref_clus);
@@ -317,9 +320,13 @@ type ord_row = {
 }
 
 let orderings () =
-  let run ordering b = R.run_bench ~machine:M.table2 ~ordering R.Free S.Min_coms b in
+  let run ordering b =
+    if ordering = Vliw_sched.Ims.Height then
+      Experiments.run ~machine:M.table2 (R.Free, S.Min_coms) b
+    else R.run_bench ~machine:M.table2 ~ordering R.Free S.Min_coms b
+  in
   let collect ordering =
-    let brs = List.map (run ordering) W.figures in
+    let brs = Pool.map (run ordering) W.figures in
     let cycles = amean (List.map (fun r -> r.R.br_cycles) brs) in
     let per_loop f =
       amean

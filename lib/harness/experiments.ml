@@ -5,21 +5,51 @@ module R = Runner
 
 type scheme = Runner.technique * S.heuristic
 
+module Pool = Vliw_util.Pool
+
 (* memo keyed by machine + benchmark + scheme; the machine record is
-   immutable data, so structural hashing is safe *)
+   immutable data, so structural hashing is safe. Guarded by a mutex:
+   experiments fan benchmarks out over the domain pool. *)
 let cache : (M.t * string * R.technique * S.heuristic, R.bench_run) Hashtbl.t =
   Hashtbl.create 64
 
-let clear_cache () = Hashtbl.reset cache
+let lock = Mutex.create ()
+
+let clear_cache () =
+  Mutex.protect lock (fun () -> Hashtbl.reset cache);
+  Memo.clear ()
 
 let run ~machine ((tech, heur) : scheme) (b : W.benchmark) =
   let key = (machine, b.W.b_name, tech, heur) in
-  match Hashtbl.find_opt cache key with
+  match Mutex.protect lock (fun () -> Hashtbl.find_opt cache key) with
   | Some r -> r
   | None ->
+    (* computed outside the lock; racing workers duplicate pure work
+       rather than serializing the whole sweep. First insert wins so the
+       physical identity handed out stays stable. *)
     let r = R.run_bench ~machine tech heur b in
-    Hashtbl.replace cache key r;
-    r
+    Mutex.protect lock (fun () ->
+        match Hashtbl.find_opt cache key with
+        | Some r0 -> r0
+        | None ->
+          Hashtbl.replace cache key r;
+          r)
+
+let cached_runs () =
+  let entries =
+    Mutex.protect lock (fun () ->
+        Hashtbl.fold
+          (fun (m, _, _, _) r acc -> (Memo.fingerprint m, r) :: acc)
+          cache [])
+  in
+  List.sort
+    (fun (fa, (a : R.bench_run)) (fb, b) ->
+      compare
+        (fa, a.R.br_bench.W.b_name, R.technique_name a.R.br_technique,
+         S.heuristic_name a.R.br_heuristic)
+        (fb, b.R.br_bench.W.b_name, R.technique_name b.R.br_technique,
+         S.heuristic_name b.R.br_heuristic))
+    entries
 
 (* ---------------- Figure 6 ---------------- *)
 
@@ -31,7 +61,7 @@ type fig6_row = {
 }
 
 let fig6 ?(machine = M.table2) () =
-  List.map
+  Pool.map
     (fun b ->
       {
         f6_bench = b.W.b_name;
@@ -65,7 +95,7 @@ type fig7_row = {
 }
 
 let fig7 ?(machine = M.table2) () =
-  List.map
+  Pool.map
     (fun b ->
       let base = run ~machine (R.Free, S.Min_coms) b in
       let norm = if base.R.br_cycles = 0. then 1. else base.R.br_cycles in
@@ -90,7 +120,7 @@ let fig9 () =
 type t3_row = { t3_bench : string; t3_cmr : float; t3_car : float }
 
 let table3 () =
-  List.map
+  Pool.map
     (fun b ->
       let r = run ~machine:M.table2 (R.Free, S.Pref_clus) b in
       let cmr, car = R.cmr_car r in
@@ -107,7 +137,7 @@ type t4_row = {
 
 let table4 () =
   let machine = M.table2 in
-  List.map
+  Pool.map
     (fun b ->
       let free = run ~machine (R.Free, S.Pref_clus) b in
       let mdc = run ~machine (R.Mdc, S.Pref_clus) b in
@@ -154,7 +184,7 @@ let nobal () =
       (run ~machine (tech, S.Pref_clus) b).R.br_cycles
       (run ~machine (tech, S.Min_coms) b).R.br_cycles
   in
-  List.map
+  Pool.map
     (fun b ->
       let mem_mdc = best M.nobal_mem R.Mdc b in
       let mem_ddgt = best M.nobal_mem R.Ddgt b in
@@ -182,7 +212,7 @@ type t5_row = {
 
 let table5 () =
   let machine = M.table2 in
-  List.map
+  Pool.map
     (fun name ->
       let b = W.find name in
       let old_r = run ~machine (R.Free, S.Pref_clus) b in
@@ -192,7 +222,7 @@ let table5 () =
       let removed = ref 0 in
       List.iter
         (fun (l : W.loop) ->
-          let k = W.parse_loop l ~seed:b.W.b_profile_seed in
+          let k = Memo.parse ~bench:b ~seed:b.W.b_profile_seed l in
           let layout = Vliw_ir.Layout.make k in
           let low = Vliw_lower.Lower.lower k in
           let profile = Vliw_ir.Interp.run ~layout k in

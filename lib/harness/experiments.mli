@@ -7,15 +7,22 @@
 type scheme = Runner.technique * Vliw_sched.Schedule.heuristic
 
 val clear_cache : unit -> unit
-(** Drop all memoized runs (used by the Bechamel timing harness so that
-    repeated measurements do real work). *)
+(** Drop all memoized runs — both the per-scheme run cache and the
+    {!Memo} stage cache (used by the Bechamel timing harness and the
+    determinism tests so that repeated measurements do real work). *)
 
 val run :
   machine:Vliw_arch.Machine.t ->
   scheme ->
   Vliw_workloads.Workloads.benchmark ->
   Runner.bench_run
-(** Memoized {!Runner.run_bench}. *)
+(** Memoized {!Runner.run_bench}. Thread-safe: experiments fan their
+    benchmarks out over {!Vliw_util.Pool}, so this may be called from
+    several domains at once. *)
+
+val cached_runs : unit -> (string * Runner.bench_run) list
+(** Every memoized run so far as [(machine fingerprint, run)], in a
+    deterministic order — the raw material of [bench/main.exe --json]. *)
 
 (** {1 Figure 6 — classification of memory accesses (PrefClus)} *)
 

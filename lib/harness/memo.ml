@@ -1,0 +1,91 @@
+module M = Vliw_arch.Machine
+module W = Vliw_workloads.Workloads
+module Lower = Vliw_lower.Lower
+module Profile = Vliw_profile.Profile
+module Ir = Vliw_ir
+
+type stages = {
+  kernel_prof : Ir.Ast.kernel;
+  kernel_exec : Ir.Ast.kernel;
+  layout : Ir.Layout.t;
+  prof : Profile.t;
+  lowered : Lower.t;
+  oracle : Ir.Interp.result;
+}
+
+let fingerprint (m : M.t) =
+  Digest.to_hex (Digest.string (Marshal.to_string m []))
+
+let lock = Mutex.create ()
+let hits = Atomic.make 0
+let misses = Atomic.make 0
+
+let parse_cache : (string * string * int, Ir.Ast.kernel) Hashtbl.t =
+  Hashtbl.create 128
+
+let stage_cache : (string * string * int * int * string, stages) Hashtbl.t =
+  Hashtbl.create 128
+
+let find_locked tbl key =
+  Mutex.protect lock (fun () -> Hashtbl.find_opt tbl key)
+
+let store_locked tbl key v =
+  Mutex.protect lock (fun () -> Hashtbl.replace tbl key v)
+
+(* Cold keys are computed outside the lock: two pool workers racing on the
+   same key may duplicate (pure) work, but never block each other on a
+   multi-second pipeline. Both count a miss; last insert wins. *)
+let memoize tbl key compute =
+  match find_locked tbl key with
+  | Some v ->
+    Atomic.incr hits;
+    v
+  | None ->
+    Atomic.incr misses;
+    let v = compute () in
+    store_locked tbl key v;
+    v
+
+let parse ~(bench : W.benchmark) ~seed (loop : W.loop) =
+  memoize parse_cache (bench.W.b_name, loop.W.l_name, seed) (fun () ->
+      W.parse_loop loop ~seed)
+
+let build ~machine ~kernel_prof ~kernel_exec =
+  let layout = Ir.Layout.make kernel_exec in
+  {
+    kernel_prof;
+    kernel_exec;
+    layout;
+    prof =
+      Profile.run ~machine ~layout:(Ir.Layout.make kernel_prof) kernel_prof;
+    lowered = Lower.lower kernel_exec;
+    oracle = Ir.Interp.run ~layout kernel_exec;
+  }
+
+let stages ~machine ~(bench : W.benchmark) (loop : W.loop) =
+  let key =
+    ( bench.W.b_name,
+      loop.W.l_name,
+      bench.W.b_profile_seed,
+      bench.W.b_exec_seed,
+      fingerprint machine )
+  in
+  memoize stage_cache key (fun () ->
+      build ~machine
+        ~kernel_prof:(parse ~bench ~seed:bench.W.b_profile_seed loop)
+        ~kernel_exec:(parse ~bench ~seed:bench.W.b_exec_seed loop))
+
+type counters = { hits : int; misses : int }
+
+let counters () = { hits = Atomic.get hits; misses = Atomic.get misses }
+
+let hit_rate () =
+  let { hits = h; misses = m } = counters () in
+  if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
+
+let clear () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.reset parse_cache;
+      Hashtbl.reset stage_cache);
+  Atomic.set hits 0;
+  Atomic.set misses 0

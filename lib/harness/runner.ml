@@ -43,13 +43,23 @@ type bench_run = {
 let machine_for base (b : W.benchmark) = M.with_interleave base b.b_interleave
 
 let run_loop ~machine ?(lat_policy = Driver.Cache_sensitive)
-    ?(ordering = Vliw_sched.Ims.Height) ?(transform = Fun.id) technique
+    ?(ordering = Vliw_sched.Ims.Height) ?transform technique
     heuristic ~(bench : W.benchmark) (loop : W.loop) =
-  let k_prof = transform (W.parse_loop loop ~seed:bench.b_profile_seed) in
-  let k_exec = transform (W.parse_loop loop ~seed:bench.b_exec_seed) in
-  let layout = Ir.Layout.make k_exec in
-  let prof = Profile.run ~machine ~layout:(Ir.Layout.make k_prof) k_prof in
-  let low = Lower.lower k_exec in
+  (* the technique/heuristic-independent front of the pipeline is shared
+     across experiments; source-level transforms change the kernels, so
+     their stages are rebuilt (only the parse is reused) *)
+  let stages =
+    match transform with
+    | None -> Memo.stages ~machine ~bench loop
+    | Some tr ->
+      Memo.build ~machine
+        ~kernel_prof:(tr (Memo.parse ~bench ~seed:bench.b_profile_seed loop))
+        ~kernel_exec:(tr (Memo.parse ~bench ~seed:bench.b_exec_seed loop))
+  in
+  let k_exec = stages.Memo.kernel_exec in
+  let layout = stages.Memo.layout in
+  let prof = stages.Memo.prof in
+  let low = stages.Memo.lowered in
   let pref = Profile.node_pref prof low.Lower.graph in
   let fail e =
     failwith
@@ -79,7 +89,13 @@ let run_loop ~machine ?(lat_policy = Driver.Cache_sensitive)
           let r = Ddgt.transform ~clusters:machine.M.clusters low.Lower.graph in
           (r.Ddgt.graph, Chains.no_constraints ())
       in
-      let pref_g = Profile.node_pref prof graph in
+      (* only DDGT changes the graph; for Free/Mdc the pre-transform
+         closure already covers it *)
+      let pref_g =
+        match technique with
+        | Ddgt -> Profile.node_pref prof graph
+        | Free | Mdc | Hybrid -> pref
+      in
       let schedule =
         match
           Driver.run
@@ -92,7 +108,7 @@ let run_loop ~machine ?(lat_policy = Driver.Cache_sensitive)
       in
       (graph, schedule)
   in
-  let oracle = Ir.Interp.run ~layout k_exec in
+  let oracle = stages.Memo.oracle in
   let stats =
     Sim.run ~lowered:low ~graph ~schedule ~layout ~mode:(Sim.Oracle oracle)
       ~warm:true ()
@@ -112,7 +128,7 @@ let run_bench ~machine ?lat_policy ?ordering ?transform technique heuristic
     (bench : W.benchmark) =
   let machine = machine_for machine bench in
   let loops =
-    List.map
+    Vliw_util.Pool.map
       (run_loop ~machine ?lat_policy ?ordering ?transform technique heuristic
          ~bench)
       bench.b_loops

@@ -11,7 +11,13 @@
     + modulo-schedule with the requested heuristic on the requested machine
       (with the benchmark's interleaving factor applied);
     + simulate trace-driven (oracle mode, like the paper's simulator), the
-      oracle being the interpreter run on the execution input. *)
+      oracle being the interpreter run on the execution input.
+
+    The technique/heuristic-independent stages (parse, layout, profile,
+    lowering, oracle) are shared across calls through {!Memo};
+    {!run_bench} fans its loops out over {!Vliw_util.Pool}. Results are
+    identical to a sequential, uncached run: the shared stages are pure
+    and every consumer treats them as read-only. *)
 
 type technique =
   | Free

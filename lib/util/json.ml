@@ -1,0 +1,80 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* shortest of two representations that round-trips *)
+let float_repr f =
+  let s = Printf.sprintf "%.17g" f in
+  let shorter = Printf.sprintf "%.12g" f in
+  if float_of_string shorter = f then shorter else s
+
+let to_string ?(indent = 2) v =
+  let b = Buffer.create 256 in
+  let pad depth =
+    if indent > 0 then (
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make (depth * indent) ' '))
+  in
+  let rec go depth = function
+    | Null -> Buffer.add_string b "null"
+    | Bool x -> Buffer.add_string b (string_of_bool x)
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f ->
+      Buffer.add_string b (if Float.is_finite f then float_repr f else "null")
+    | String s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+    | List [] -> Buffer.add_string b "[]"
+    | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          pad (depth + 1);
+          go (depth + 1) x)
+        xs;
+      pad depth;
+      Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_char b ',';
+          pad (depth + 1);
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b (if indent > 0 then "\": " else "\":");
+          go (depth + 1) x)
+        kvs;
+      pad depth;
+      Buffer.add_char b '}'
+  in
+  go 0 v;
+  Buffer.contents b
+
+let to_channel ?indent oc v =
+  output_string oc (to_string ?indent v);
+  output_char oc '\n'

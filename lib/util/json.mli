@@ -1,0 +1,18 @@
+(** Minimal JSON emission — just enough for the harness's
+    machine-readable result files ([bench/main.exe --json]), without
+    pulling in a JSON dependency. Serialization only; no parsing. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite values serialize as [null] *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Render with the given indent width (default 2; 0 = compact one-line). *)
+
+val to_channel : ?indent:int -> out_channel -> t -> unit
+(** {!to_string} followed by a trailing newline. *)

@@ -1,0 +1,88 @@
+let recommended () = Domain.recommended_domain_count ()
+
+let env_jobs () =
+  match Sys.getenv_opt "VLIW_JOBS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | _ -> None)
+
+let default_jobs : int option ref = ref None
+
+let jobs () =
+  match !default_jobs with
+  | Some n -> n
+  | None ->
+    let n = match env_jobs () with Some n -> n | None -> recommended () in
+    default_jobs := Some n;
+    n
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Pool.set_jobs: width must be >= 1";
+  default_jobs := Some n
+
+(* Workers flag themselves so nested maps run sequentially in place. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let sequential () = jobs () = 1 || Domain.DLS.get in_worker
+
+(* The runtime refuses to go much past 128 live domains; stay clear. *)
+let max_helper_domains = 126
+
+let map ?jobs:width f xs =
+  let width = match width with Some n -> n | None -> jobs () in
+  let tasks = Array.of_list xs in
+  let n = Array.length tasks in
+  if width <= 1 || n <= 1 || Domain.DLS.get in_worker then List.map f xs
+  else begin
+    let results : 'b option array = Array.make n None in
+    let next = Atomic.make 0 in
+    (* first failure by task index; checked before dequeuing so a failure
+       cancels all not-yet-started work *)
+    let failure : (int * exn * Printexc.raw_backtrace) option Atomic.t =
+      Atomic.make None
+    in
+    let record_failure i e bt =
+      let rec go () =
+        match Atomic.get failure with
+        | Some (j, _, _) when j <= i -> ()
+        | cur ->
+          if not (Atomic.compare_and_set failure cur (Some (i, e, bt))) then
+            go ()
+      in
+      go ()
+    in
+    let worker () =
+      Domain.DLS.set in_worker true;
+      let rec loop () =
+        if Atomic.get failure = None then begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (match f tasks.(i) with
+            | r -> results.(i) <- Some r
+            | exception e ->
+              record_failure i e (Printexc.get_raw_backtrace ()));
+            loop ()
+          end
+        end
+      in
+      loop ()
+    in
+    let helpers = min (min (width - 1) (n - 1)) max_helper_domains in
+    let domains = Array.init helpers (fun _ -> Domain.spawn worker) in
+    (* the caller is a worker too *)
+    worker ();
+    Domain.DLS.set in_worker false;
+    Array.iter Domain.join domains;
+    match Atomic.get failure with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+      Array.to_list
+        (Array.map
+           (function Some r -> r | None -> assert false (* all joined *))
+           results)
+  end
+
+let map_reduce ?jobs ~map:f ~reduce ~init xs =
+  List.fold_left reduce init (map ?jobs f xs)

@@ -1,0 +1,54 @@
+(** Fixed-size domain pool for embarrassingly parallel work.
+
+    The reproduction sweep is a large set of independent
+    compile-and-simulate pipelines; this module fans them out over OCaml 5
+    domains. [map] and [map_reduce] pull tasks from a shared work queue
+    (an atomic cursor over the input), so long tasks do not stall short
+    ones, and always return results in input order — a pooled run is
+    observationally identical to the sequential one for pure task
+    functions.
+
+    Concurrency contract:
+    - the task function runs concurrently in several domains; it must not
+      touch shared mutable state unless that state is itself synchronized
+      (see {!Vliw_harness.Memo} for the harness's shared cache);
+    - if a task raises, remaining queued tasks are cancelled (running ones
+      finish), and the recorded failure — the one with the smallest task
+      index among those that raced — is re-raised in the caller with its
+      original backtrace;
+    - nested calls degenerate to sequential execution in the calling
+      worker domain, so a pooled function may freely call other pooled
+      functions without deadlock or domain explosion.
+
+    The default pool width is [VLIW_JOBS] when set to a positive integer,
+    otherwise {!recommended}; [set_jobs] (driven by the [--jobs] flags of
+    [bench/main.exe] and [vliwc]) overrides it for the whole process.
+    Width 1 bypasses domains entirely and runs in the caller. *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val jobs : unit -> int
+(** Current default pool width (>= 1). First use reads [VLIW_JOBS]. *)
+
+val set_jobs : int -> unit
+(** Override the default width. Raises [Invalid_argument] if [n < 1]. *)
+
+val sequential : unit -> bool
+(** True when [jobs () = 1] or the caller is already a pool worker —
+    i.e. a [map] issued now would run in the calling domain. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] applies [f] to every element, in parallel over at most
+    [jobs] domains (the caller participates as a worker), and returns the
+    results in the order of [xs]. *)
+
+val map_reduce :
+  ?jobs:int ->
+  map:('a -> 'b) ->
+  reduce:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a list ->
+  'acc
+(** Parallel map, then a sequential in-order fold in the caller:
+    [fold_left reduce init (map f xs)]. Deterministic for any [reduce]. *)

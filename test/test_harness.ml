@@ -106,6 +106,56 @@ let test_fig6_headline_shape () =
   Alcotest.(check bool) "MDC below free" true (mdc < free);
   Alcotest.(check bool) "DDGT above MDC" true (ddgt > mdc)
 
+(* --- pool + memo determinism --- *)
+
+module Memo = Vliw_harness.Memo
+module Pool = Vliw_util.Pool
+
+let with_jobs n f =
+  let old = Pool.jobs () in
+  Pool.set_jobs n;
+  Fun.protect ~finally:(fun () -> Pool.set_jobs old) f
+
+let test_pooled_fig7_equals_sequential () =
+  (* the acceptance bar of the parallel harness: a pooled sweep renders
+     byte-identical tables. Both runs start from cold caches. *)
+  let render () =
+    Render.fig7 ~title:"Figure 7. Execution cycles"
+      ~baseline_label:"free MinComs" (E.fig7 ())
+  in
+  E.clear_cache ();
+  let sequential = with_jobs 1 render in
+  E.clear_cache ();
+  let pooled = with_jobs 4 render in
+  Alcotest.(check string) "pooled output = sequential output" sequential pooled
+
+let test_memo_shares_stages_across_schemes () =
+  E.clear_cache ();
+  let before = Memo.counters () in
+  Alcotest.(check int) "cleared" 0 (before.Memo.hits + before.Memo.misses);
+  let _ = E.run ~machine:M.table2 (R.Free, S.Pref_clus) pgp in
+  let after_first = Memo.counters () in
+  Alcotest.(check bool) "first scheme populates the cache" true
+    (after_first.Memo.misses > 0);
+  (* a different scheme on the same benchmark re-uses every front-end
+     stage: stage lookups all hit, so misses stay put *)
+  let _ = E.run ~machine:M.table2 (R.Mdc, S.Min_coms) pgp in
+  let after_second = Memo.counters () in
+  Alcotest.(check int) "no new misses for a second scheme"
+    after_first.Memo.misses after_second.Memo.misses;
+  Alcotest.(check bool) "second scheme hits" true
+    (after_second.Memo.hits > after_first.Memo.hits);
+  Alcotest.(check bool) "hit rate reported" true (Memo.hit_rate () > 0.)
+
+let test_memo_fingerprint_distinguishes_machines () =
+  Alcotest.(check string) "equal machines, equal fingerprints"
+    (Memo.fingerprint M.table2) (Memo.fingerprint M.table2);
+  Alcotest.(check bool) "interleave changes the fingerprint" true
+    (Memo.fingerprint M.table2
+    <> Memo.fingerprint (M.with_interleave M.table2 2));
+  Alcotest.(check bool) "bus configuration changes the fingerprint" true
+    (Memo.fingerprint M.table2 <> Memo.fingerprint M.nobal_reg)
+
 let test_renderers_produce_output () =
   let nonempty name s = Alcotest.(check bool) name true (String.length s > 100) in
   nonempty "table1" (Render.table1 ());
@@ -207,5 +257,14 @@ let () =
           Alcotest.test_case "fig7 sanity" `Slow test_fig7_normalization_sane;
           Alcotest.test_case "fig6 headline" `Slow test_fig6_headline_shape;
           Alcotest.test_case "renderers" `Quick test_renderers_produce_output;
+        ] );
+      ( "pool+memo",
+        [
+          Alcotest.test_case "memo shares stages" `Quick
+            test_memo_shares_stages_across_schemes;
+          Alcotest.test_case "memo fingerprint" `Quick
+            test_memo_fingerprint_distinguishes_machines;
+          Alcotest.test_case "pooled fig7 = sequential" `Slow
+            test_pooled_fig7_equals_sequential;
         ] );
     ]

@@ -137,6 +137,106 @@ let test_chart_legend () =
   in
   Alcotest.(check bool) "mentions legend" true (contains s "h=hit")
 
+(* --- Pool --- *)
+
+let test_pool_preserves_ordering () =
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int))
+    "results in input order under N>1"
+    (List.map (fun x -> x * x) xs)
+    (Pool.map ~jobs:4 (fun x -> x * x) xs)
+
+let test_pool_more_tasks_than_domains () =
+  let xs = List.init 500 Fun.id in
+  Alcotest.(check (list int))
+    "500 tasks over 3 domains all complete"
+    (List.map succ xs)
+    (Pool.map ~jobs:3 succ xs)
+
+let test_pool_exception_propagates () =
+  Alcotest.check_raises "original message survives"
+    (Failure "boom on 37")
+    (fun () ->
+      ignore
+        (Pool.map ~jobs:4
+           (fun i -> if i = 37 then failwith "boom on 37" else i)
+           (List.init 100 Fun.id)))
+
+let test_pool_sequential_when_one_job () =
+  (* jobs:1 must run in the caller, in order: observable through a
+     side-effect log, which would be racy under real parallelism *)
+  let log = ref [] in
+  let r =
+    Pool.map ~jobs:1
+      (fun i ->
+        log := i :: !log;
+        i * 2)
+      [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check (list int)) "results" [ 2; 4; 6; 8 ] r;
+  Alcotest.(check (list int)) "evaluated in order" [ 4; 3; 2; 1 ] !log
+
+let test_pool_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~jobs:4 succ []);
+  Alcotest.(check (list int)) "singleton" [ 8 ] (Pool.map ~jobs:4 succ [ 7 ])
+
+let test_pool_map_reduce () =
+  let sum =
+    Pool.map_reduce ~jobs:4
+      ~map:(fun x -> x * x)
+      ~reduce:( + ) ~init:0 (List.init 50 Fun.id)
+  in
+  Alcotest.(check int) "sum of squares" (49 * 50 * 99 / 6) sum
+
+let test_pool_nested_map () =
+  (* a pooled task may itself call Pool.map; the inner call degenerates
+     to sequential execution instead of deadlocking or over-spawning *)
+  let r =
+    Pool.map ~jobs:2
+      (fun i -> Pool.map ~jobs:2 (fun j -> (10 * i) + j) [ 1; 2; 3 ])
+      [ 1; 2 ]
+  in
+  Alcotest.(check (list (list int)))
+    "nested results ordered"
+    [ [ 11; 12; 13 ]; [ 21; 22; 23 ] ]
+    r
+
+let test_pool_set_jobs_validates () =
+  Alcotest.check_raises "rejects zero"
+    (Invalid_argument "Pool.set_jobs: width must be >= 1") (fun () ->
+      Pool.set_jobs 0)
+
+(* --- Json --- *)
+
+let test_json_rendering () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\nc");
+        ("i", Json.Int (-3));
+        ("f", Json.Float 0.25);
+        ("nan", Json.Float Float.nan);
+        ("l", Json.List [ Json.Bool true; Json.Null ]);
+        ("empty", Json.Obj []);
+      ]
+  in
+  Alcotest.(check string)
+    "compact rendering"
+    "{\"s\":\"a\\\"b\\nc\",\"i\":-3,\"f\":0.25,\"nan\":null,\"l\":[true,null],\"empty\":{}}"
+    (Json.to_string ~indent:0 v);
+  (* indented rendering contains the same scalars *)
+  let pretty = Json.to_string v in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) (frag ^ " present") true (contains pretty frag))
+    [ "\"i\": -3"; "\"f\": 0.25"; "true" ]
+
+let test_json_float_roundtrip () =
+  let f = 1. /. 3. in
+  match Json.to_string ~indent:0 (Json.Float f) with
+  | s ->
+    check_float "float round-trips through its rendering" f (float_of_string s)
+
 (* --- QCheck properties --- *)
 
 let prop_bar_never_exceeds_width =
@@ -197,6 +297,27 @@ let () =
           Alcotest.test_case "partial" `Quick test_bar_partial;
           Alcotest.test_case "clamps" `Quick test_bar_clamps;
           Alcotest.test_case "legend" `Quick test_chart_legend;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "ordering preserved" `Quick test_pool_preserves_ordering;
+          Alcotest.test_case "more tasks than domains" `Quick
+            test_pool_more_tasks_than_domains;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "N=1 is sequential" `Quick
+            test_pool_sequential_when_one_job;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_pool_empty_and_singleton;
+          Alcotest.test_case "map_reduce" `Quick test_pool_map_reduce;
+          Alcotest.test_case "nested map" `Quick test_pool_nested_map;
+          Alcotest.test_case "set_jobs validates" `Quick
+            test_pool_set_jobs_validates;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "rendering" `Quick test_json_rendering;
+          Alcotest.test_case "float round-trip" `Quick test_json_float_roundtrip;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
