@@ -10,7 +10,13 @@
                                     count; 1 = sequential)
      bench/main.exe --json PATH ... also write machine-readable results
                                     (per-experiment wall clock, per-run
-                                    cycle/stall/comm totals, memo hit rate)
+                                    cycle/stall-breakdown/comm/coherence
+                                    totals, memo hit rate)
+     bench/main.exe --audit ...     trace every simulation and cross-check
+                                    coherence counters with the replay
+                                    auditor (mismatch aborts)
+     bench/main.exe --trace-dir DIR also export each simulation as Chrome
+                                    trace-event JSON under DIR
      bench/main.exe bechamel        Bechamel timing of each experiment
                                     harness (one Test.make per artifact) *)
 
@@ -88,14 +94,22 @@ let json_report ~jobs ~total_wall timings =
             ("cycles", Json.Float r.br_cycles);
             ("compute", Json.Float r.br_compute);
             ("stall", Json.Float r.br_stall);
+            ("stall_load", Json.Float r.br_stall_load);
+            ("stall_copy", Json.Float r.br_stall_copy);
+            ("stall_bus", Json.Float r.br_stall_bus);
+            ("stall_drain", Json.Float r.br_stall_drain);
             ("comm", Json.Float r.br_comm);
+            ("violations", Json.Int r.br_violations);
+            ("nullified", Json.Int r.br_nullified);
+            ("ab_hits", Json.Int r.br_ab_hits);
+            ("ab_flushed", Json.Int r.br_ab_flushed);
           ])
       (E.cached_runs ())
   in
   let memo = Memo.counters () in
   Json.Obj
     [
-      ("schema", Json.String "vliw-harness/1");
+      ("schema", Json.String "vliw-harness/2");
       ("jobs", Json.Int jobs);
       ("total_wall_s", Json.Float total_wall);
       ( "experiments",
@@ -155,27 +169,36 @@ let run_bechamel () =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [--jobs N] [--json PATH] [EXPERIMENT...]\n\
+    "usage: main.exe [--jobs N] [--json PATH] [--audit] [--trace-dir DIR] \
+     [EXPERIMENT...]\n\
      known experiments: %s, all, bechamel\n"
     (String.concat " " (List.map (fun (k, _, _) -> k) experiments));
   exit 2
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse jobs json keys = function
-    | [] -> (jobs, json, List.rev keys)
+  let rec parse jobs json audit tdir keys = function
+    | [] -> (jobs, json, audit, tdir, List.rev keys)
     | "--jobs" :: n :: rest -> (
       match int_of_string_opt n with
-      | Some n when n >= 1 -> parse (Some n) json keys rest
+      | Some n when n >= 1 -> parse (Some n) json audit tdir keys rest
       | _ ->
         Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
         exit 2)
-    | "--json" :: path :: rest -> parse jobs (Some path) keys rest
-    | ("--jobs" | "--json") :: [] | "--help" :: _ -> usage ()
-    | key :: rest -> parse jobs json (key :: keys) rest
+    | "--json" :: path :: rest -> parse jobs (Some path) audit tdir keys rest
+    | "--audit" :: rest -> parse jobs json true tdir keys rest
+    | "--trace-dir" :: dir :: rest -> parse jobs json audit (Some dir) keys rest
+    | ("--jobs" | "--json" | "--trace-dir") :: [] | "--help" :: _ -> usage ()
+    | key :: rest -> parse jobs json audit tdir (key :: keys) rest
   in
-  let jobs, json, keys = parse None None [] args in
+  let jobs, json, audit, tdir, keys = parse None None false None [] args in
   Option.iter Pool.set_jobs jobs;
+  Vliw_harness.Runner.set_audit audit;
+  Option.iter
+    (fun dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Vliw_harness.Runner.set_trace_dir (Some dir))
+    tdir;
   match keys with
   | [ "bechamel" ] -> run_bechamel ()
   | keys ->

@@ -24,7 +24,7 @@ module W = Vliw_workloads.Workloads
 type technique = Free | Mdc | Ddgt | Hybrid
 
 let run_kernel ~machine ~technique ~heuristic ~ordering ~pad ~unroll ~cse
-    ~lint ~dump_ddg ~dot ~dump_sched ~execution kernel =
+    ~lint ~dump_ddg ~dot ~dump_sched ~execution ~trace_file kernel =
   (match Ir.Typecheck.check kernel with
   | Ok _ -> ()
   | Error e ->
@@ -128,7 +128,14 @@ let run_kernel ~machine ~technique ~heuristic ~ordering ~pad ~unroll ~cse
     let oracle = Ir.Interp.run ~layout kernel in
     let mode = if execution then Sim.Execution else Sim.Oracle oracle in
     let warm = not execution in
-    let st = Sim.run ~lowered:low ~graph ~schedule ~layout ~mode ~warm () in
+    let sink =
+      match trace_file with
+      | Some _ -> Some (Vliw_trace.Trace.create ())
+      | None -> None
+    in
+    let st =
+      Sim.run ~lowered:low ~graph ~schedule ~layout ~mode ~warm ?trace:sink ()
+    in
     let total = max 1 (Sim.accesses_total st) in
     let pct n = 100. *. float_of_int n /. float_of_int total in
     Printf.printf "simulated %d iterations (%s, %s caches):\n"
@@ -151,7 +158,27 @@ let run_kernel ~machine ~technique ~heuristic ~ordering ~pad ~unroll ~cse
     if execution then
       if Bytes.equal st.Sim.memory oracle.Ir.Interp.memory then
         print_endline "  final memory matches the reference interpreter"
-      else print_endline "  final memory CORRUPTED (differs from the reference)"
+      else print_endline "  final memory CORRUPTED (differs from the reference)";
+    match (trace_file, sink) with
+    | Some path, Some s ->
+      (* replay audit before exporting: the event stream must re-derive the
+         simulator's own coherence accounting *)
+      (match
+         Vliw_trace.Audit.check s ~violations:st.Sim.violations
+           ~nullified:st.Sim.nullified
+       with
+      | Ok r ->
+        Printf.printf
+          "  audit: %d applies replayed, %d violations, %d nullified (match)\n"
+          r.Vliw_trace.Audit.applies r.Vliw_trace.Audit.violations
+          r.Vliw_trace.Audit.nullified
+      | Error msg ->
+        Printf.eprintf "audit FAILED: %s\n" msg;
+        exit 1);
+      Vliw_trace.Chrome.write_file path s;
+      Printf.printf "wrote %s (%d events)\n" path (Vliw_trace.Trace.length s);
+      print_string (Vliw_harness.Render.trace_summary (Vliw_trace.Summary.of_sink s))
+    | _ -> ()
 
 
 (* --compare: all four techniques side by side for one kernel *)
@@ -248,7 +275,8 @@ let compare_kernel ~machine ~heuristic ~pad ~unroll kernel =
   T.print t
 
 let main file workload technique heuristic ordering machine_name interleave
-    ab pad unroll cse lint dump_ddg dot dump_sched execution compare jobs =
+    ab pad unroll cse lint dump_ddg dot dump_sched execution compare jobs
+    trace_file =
   (match jobs with
   | Some n when n >= 1 -> Vliw_util.Pool.set_jobs n
   | Some n ->
@@ -288,7 +316,8 @@ let main file workload technique heuristic ordering machine_name interleave
            if compare then compare_kernel ~machine ~heuristic ~pad ~unroll kernel
            else
              run_kernel ~machine ~technique ~heuristic ~ordering ~pad ~unroll
-               ~cse ~lint ~dump_ddg ~dot ~dump_sched ~execution kernel)
+               ~cse ~lint ~dump_ddg ~dot ~dump_sched ~execution ~trace_file
+               kernel)
          (Ir.Parser.parse_kernels src)
      with
     | Ir.Parser.Error (msg, pos) ->
@@ -313,7 +342,7 @@ let main file workload technique heuristic ordering machine_name interleave
         if compare then compare_kernel ~machine ~heuristic ~pad ~unroll kernel
         else
           run_kernel ~machine ~technique ~heuristic ~ordering ~pad ~unroll
-            ~cse ~lint ~dump_ddg ~dot ~dump_sched ~execution kernel)
+            ~cse ~lint ~dump_ddg ~dot ~dump_sched ~execution ~trace_file kernel)
       bench.W.b_loops
 
 (* --- cmdliner wiring --- *)
@@ -424,6 +453,17 @@ let execution =
            with warm caches, like the paper's simulator). Detects actual data \
            corruption.")
 
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record the simulation as Chrome trace-event JSON (open in \
+           Perfetto), print an occupancy and stall-cause summary, and \
+           cross-check the coherence counters with the replay auditor. With \
+           several kernels the last one traced wins.")
+
 let cmd =
   let doc = "clustered-VLIW memory-coherence scheduling playground" in
   let man =
@@ -442,6 +482,7 @@ let cmd =
     Term.(
       const main $ file $ workload $ technique $ heuristic $ ordering
       $ machine_name $ interleave $ ab $ pad $ unroll $ cse_flag $ lint_flag
-      $ dump_ddg $ dot $ dump_sched $ execution $ compare_flag $ jobs)
+      $ dump_ddg $ dot $ dump_sched $ execution $ compare_flag $ jobs
+      $ trace_file)
 
 let () = exit (Cmd.eval cmd)

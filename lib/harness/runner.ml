@@ -9,6 +9,9 @@ module Profile = Vliw_profile.Profile
 module Sim = Vliw_sim.Sim
 module W = Vliw_workloads.Workloads
 module Ir = Vliw_ir
+module Trace = Vliw_trace.Trace
+module Audit = Vliw_trace.Audit
+module Chrome = Vliw_trace.Chrome
 
 type technique = Free | Mdc | Ddgt | Hybrid
 
@@ -37,10 +40,41 @@ type bench_run = {
   br_cycles : float;
   br_compute : float;
   br_stall : float;
+  br_stall_load : float;
+  br_stall_copy : float;
+  br_stall_bus : float;
+  br_stall_drain : float;
   br_comm : float;
+  br_violations : int;
+  br_nullified : int;
+  br_ab_hits : int;
+  br_ab_flushed : int;
 }
 
 let machine_for base (b : W.benchmark) = M.with_interleave base b.b_interleave
+
+(* ----- observability hooks (read by every run_loop) ----- *)
+
+let audit_enabled = ref false
+let set_audit b = audit_enabled := b
+let trace_dir : string option ref = ref None
+let set_trace_dir d = trace_dir := d
+
+let lat_policy_tag = function
+  | Driver.Cache_sensitive -> "cs"
+  | Driver.Fixed_min -> "fmin"
+  | Driver.Fixed_max -> "fmax"
+
+let ordering_tag = function
+  | Vliw_sched.Ims.Height -> "height"
+  | Vliw_sched.Ims.Swing -> "swing"
+
+(* Atomic write: racing pool workers may regenerate the same (identical)
+   trace; temp-file + rename keeps the published file whole either way. *)
+let write_trace_file dir name sink =
+  let tmp = Filename.temp_file ~temp_dir:dir "trace" ".tmp" in
+  Chrome.write_file tmp sink;
+  Sys.rename tmp (Filename.concat dir name)
 
 let run_loop ~machine ?(lat_policy = Driver.Cache_sensitive)
     ?(ordering = Vliw_sched.Ims.Height) ?transform technique
@@ -109,10 +143,40 @@ let run_loop ~machine ?(lat_policy = Driver.Cache_sensitive)
       (graph, schedule)
   in
   let oracle = stages.Memo.oracle in
+  let sink =
+    if !audit_enabled || !trace_dir <> None then Some (Trace.create ()) else None
+  in
   let stats =
     Sim.run ~lowered:low ~graph ~schedule ~layout ~mode:(Sim.Oracle oracle)
-      ~warm:true ()
+      ~warm:true ?trace:sink ()
   in
+  (match sink with
+  | None -> ()
+  | Some s -> (
+    (* replay coherence audit: the event stream must independently agree
+       with the simulator's own violation/nullification accounting *)
+    (match
+       Audit.check s ~violations:stats.Sim.violations
+         ~nullified:stats.Sim.nullified
+     with
+    | Ok _ -> ()
+    | Error msg ->
+      failwith
+        (Printf.sprintf "%s/%s (%s, %s): %s" bench.b_name loop.l_name
+           (technique_name technique) (S.heuristic_name heuristic) msg));
+    match !trace_dir with
+    | Some dir when Option.is_none transform ->
+      (* source-transformed kernels have no stable identity for a file
+         name, so only untransformed runs are exported *)
+      let name =
+        Printf.sprintf "%s__%s__%s__%s__%s__%s__%s.trace.json"
+          (String.sub (Memo.fingerprint machine) 0 12)
+          bench.b_name loop.l_name (technique_name technique)
+          (S.heuristic_name heuristic) (lat_policy_tag lat_policy)
+          (ordering_tag ordering)
+      in
+      write_trace_file dir name s
+    | _ -> ()));
   {
     lr_loop = loop;
     lr_graph = graph;
@@ -138,6 +202,7 @@ let run_bench ~machine ?lat_policy ?ordering ?transform technique heuristic
       (fun acc lr -> acc +. (float_of_int lr.lr_loop.W.l_weight *. f lr))
       0. loops
   in
+  let isum f = List.fold_left (fun acc lr -> acc + f lr.lr_stats) 0 loops in
   {
     br_bench = bench;
     br_technique = technique;
@@ -146,7 +211,15 @@ let run_bench ~machine ?lat_policy ?ordering ?transform technique heuristic
     br_cycles = wsum (fun lr -> float_of_int lr.lr_stats.Sim.total_cycles);
     br_compute = wsum (fun lr -> float_of_int lr.lr_stats.Sim.compute_cycles);
     br_stall = wsum (fun lr -> float_of_int lr.lr_stats.Sim.stall_cycles);
+    br_stall_load = wsum (fun lr -> float_of_int lr.lr_stats.Sim.stall_load_cycles);
+    br_stall_copy = wsum (fun lr -> float_of_int lr.lr_stats.Sim.stall_copy_cycles);
+    br_stall_bus = wsum (fun lr -> float_of_int lr.lr_stats.Sim.stall_bus_cycles);
+    br_stall_drain = wsum (fun lr -> float_of_int lr.lr_stats.Sim.stall_drain_cycles);
     br_comm = wsum (fun lr -> float_of_int lr.lr_stats.Sim.comm_ops);
+    br_violations = isum (fun s -> s.Sim.violations);
+    br_nullified = isum (fun s -> s.Sim.nullified);
+    br_ab_hits = isum (fun s -> s.Sim.ab_hits);
+    br_ab_flushed = isum (fun s -> s.Sim.ab_flushed);
   }
 
 type access_mix = {

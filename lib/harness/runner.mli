@@ -48,8 +48,37 @@ type bench_run = {
   br_cycles : float;  (** weighted total cycles *)
   br_compute : float;
   br_stall : float;
+  br_stall_load : float;  (** weighted stall-cause breakdown; the four
+                              buckets sum to [br_stall] *)
+  br_stall_copy : float;
+  br_stall_bus : float;
+  br_stall_drain : float;
   br_comm : float;  (** weighted dynamic communication (copy) operations *)
+  br_violations : int;  (** unweighted coherence-counter totals over loops *)
+  br_nullified : int;
+  br_ab_hits : int;
+  br_ab_flushed : int;
 }
+
+(** {1 Observability hooks}
+
+    Both hooks apply to every subsequent {!run_loop}. With either enabled,
+    each simulation records an event trace ({!Vliw_trace.Trace}) and the
+    replay auditor ({!Vliw_trace.Audit}) re-derives the violation and
+    nullification counts from the stream; disagreement with [Sim.stats] is
+    a hard error ([Failure]). Traces cost memory and a few percent of time,
+    so both default to off. *)
+
+val set_audit : bool -> unit
+(** Trace + audit every simulation (no files written). *)
+
+val set_trace_dir : string option -> unit
+(** Additionally export each audited run as Chrome trace-event JSON
+    (Perfetto-loadable) under the given directory, one file per
+    (machine, benchmark, loop, technique, heuristic, latency policy,
+    ordering). Runs with a [transform] are audited but not exported — a
+    source rewrite has no stable identity to name the file after. File
+    contents depend only on the run, never on pool width or scheduling. *)
 
 val machine_for :
   Vliw_arch.Machine.t -> Vliw_workloads.Workloads.benchmark -> Vliw_arch.Machine.t

@@ -3,6 +3,7 @@ module M = Vliw_arch.Machine
 module S = Vliw_sched.Schedule
 module L = Vliw_lower.Lower
 module Ir = Vliw_ir
+module Tr = Vliw_trace.Trace
 
 type mode = Oracle of Ir.Interp.result | Execution
 
@@ -10,6 +11,10 @@ type stats = {
   total_cycles : int;
   compute_cycles : int;
   stall_cycles : int;
+  stall_load_cycles : int;
+  stall_copy_cycles : int;
+  stall_bus_cycles : int;
+  stall_drain_cycles : int;
   local_hits : int;
   remote_hits : int;
   local_misses : int;
@@ -38,6 +43,7 @@ let ty_of_mr (mr : G.mem_ref) =
 
 type waiter = {
   w_seq : int;
+  w_node : int;  (* DDG node id of the access, for in-flight tracking *)
   w_store : bool;
   w_addr : int;
   w_size : int;
@@ -50,8 +56,14 @@ type waiter = {
 
 type item = Op of G.node * int | Cp of S.copy * int
 
+(* Where an in-flight load currently is, keyed by (node id, iteration):
+   feeds the stall-cause classification — a consumer blocked on a load
+   sitting in a bus queue stalls for a different reason (bus contention)
+   than one blocked on a module/MSHR in service. *)
+type load_phase = On_bus | At_module | In_mshr | Resp_bus
+
 let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
-    ?(warm = false) () =
+    ?(warm = false) ?trace () =
   let machine = schedule.S.machine in
   let kernel = lowered.L.kernel in
   let trip = Option.value trip ~default:kernel.Ir.Ast.k_trip in
@@ -63,6 +75,24 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
   let hit_lat = machine.M.cache.M.hit_latency in
   let mem_buslat = machine.M.mem_buses.M.bus_latency in
   let reg_buslat = machine.M.reg_buses.M.bus_latency in
+
+  (* ----- event calendar ----- *)
+  let events : (int, (unit -> unit) list ref) Hashtbl.t = Hashtbl.create 512 in
+  let max_event = ref (-1) in
+  let now = ref 0 in
+  let at t f =
+    let t = max t (!now + 1) in
+    max_event := max !max_event t;
+    match Hashtbl.find_opt events t with
+    | Some l -> l := f :: !l
+    | None -> Hashtbl.add events t (ref [ f ])
+  in
+
+  (* ----- event-trace recording (no sink: one dead branch per site) ----- *)
+  let tracing = trace <> None in
+  let emit ?(cluster = -1) p =
+    match trace with Some s -> Tr.emit s ~cycle:!now ~cluster p | None -> ()
+  in
 
   (* ----- memory + coherence-order state ----- *)
   let mem = Ir.Interp.init_memory layout kernel in
@@ -82,6 +112,10 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
   (* Apply an access at its home module: coherence-order bookkeeping plus
      the actual data effect, at the time the access takes effect. *)
   let apply_access ~seq ~is_store ~addr ~size ~value ~site ~iter ~ty =
+    if tracing then
+      emit
+        ~cluster:(M.home_cluster machine ~addr)
+        (Tr.Apply { seq; addr; size; store = is_store });
     let lastb = min (addr + size - 1) (msize - 1) in
     let bad = ref false in
     for b = addr to lastb do
@@ -102,36 +136,34 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
       | None -> if addr + size <= msize then Ir.Sem.load_bytes mem addr ty else 0L
   in
 
-  (* ----- event calendar ----- *)
-  let events : (int, (unit -> unit) list ref) Hashtbl.t = Hashtbl.create 512 in
-  let max_event = ref (-1) in
-  let now = ref 0 in
-  let at t f =
-    let t = max t (!now + 1) in
-    max_event := max !max_event t;
-    match Hashtbl.find_opt events t with
-    | Some l -> l := f :: !l
-    | None -> Hashtbl.add events t (ref [ f ])
-  in
-
   (* ----- memory buses: FIFO queue over all buses ----- *)
   let bus_free = Array.make machine.M.mem_buses.M.bus_count 0 in
-  let busq : (int * (int -> unit)) Queue.t = Queue.create () in
+  let busq : (int * int * int * (int -> unit)) Queue.t = Queue.create () in
+  let txn_counter = ref 0 in
   let jit () =
     match jitter with None -> 0 | Some (p, j) -> Vliw_util.Prng.int p (j + 1)
   in
-  let send_bus ?(ready = !now) action = Queue.add (ready, action) busq in
+  let send_bus ?(ready = !now) ~cluster action =
+    let txn = !txn_counter in
+    incr txn_counter;
+    if tracing then emit ~cluster (Tr.Bus_request { txn; cluster });
+    Queue.add (ready, !now, txn, action) busq
+  in
   let dispatch_buses () =
     Array.iteri
       (fun b free ->
         if free <= !now && not (Queue.is_empty busq) then (
-          let ready, action = Queue.peek busq in
+          let ready, requested, txn, action = Queue.peek busq in
           if ready <= !now then (
             ignore (Queue.pop busq);
             let lat = mem_buslat + jit () in
             bus_free.(b) <- !now + lat;
             let arrival = !now + lat in
-            at arrival (fun () -> action arrival))))
+            if tracing then
+              emit (Tr.Bus_grant { txn; bus = b; wait = !now - requested; lat });
+            at arrival (fun () ->
+                if tracing then emit (Tr.Bus_transfer { txn; bus = b });
+                action arrival))))
       bus_free
   in
 
@@ -155,6 +187,10 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
   let mshr : (int, waiter list ref) Hashtbl.t = Hashtbl.create 32 in
   let modq : (int * waiter) Queue.t array =
     Array.init nclusters (fun _ -> Queue.create ())
+  in
+  let load_phase : (int * int, load_phase) Hashtbl.t = Hashtbl.create 64 in
+  let track_load (w : waiter) phase =
+    if not w.w_store then Hashtbl.replace load_phase (w.w_node, w.w_iter) phase
   in
   (* cache warm-up: replay the reference address trace into the modules *)
   (if warm then
@@ -186,11 +222,26 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
     match Hashtbl.find_opt mshr sb with
     | Some waiters ->
       incr combined;
+      if tracing then
+        emit ~cluster (Tr.Mshr_combine { cluster; subblock = sb; seq = w.w_seq });
+      track_load w In_mshr;
       waiters := w :: !waiters
     | None ->
       if Cachemod.present modules.(cluster) ~subblock:sb then (
         Cachemod.touch modules.(cluster) ~subblock:sb;
         if w.w_local then incr local_hits else incr remote_hits;
+        if tracing then
+          emit ~cluster
+            (Tr.Mod_service
+               {
+                 cluster;
+                 seq = w.w_seq;
+                 addr = w.w_addr;
+                 size = w.w_size;
+                 store = w.w_store;
+                 local = w.w_local;
+                 hit = true;
+               });
         let v =
           apply_access ~seq:w.w_seq ~is_store:w.w_store ~addr:w.w_addr
             ~size:w.w_size ~value:w.w_value ~site:w.w_site ~iter:w.w_iter ~ty
@@ -198,6 +249,20 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
         w.w_respond v (!now + hit_lat))
       else (
         if w.w_local then incr local_misses else incr remote_misses;
+        if tracing then (
+          emit ~cluster
+            (Tr.Mod_service
+               {
+                 cluster;
+                 seq = w.w_seq;
+                 addr = w.w_addr;
+                 size = w.w_size;
+                 store = w.w_store;
+                 local = w.w_local;
+                 hit = false;
+               });
+          emit ~cluster (Tr.Mshr_alloc { cluster; subblock = sb }));
+        track_load w In_mshr;
         Hashtbl.replace mshr sb (ref [ w ]);
         l2_fetch !now (fun tf ->
             ignore (Cachemod.install modules.(cluster) ~subblock:sb);
@@ -207,6 +272,9 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
               | None -> []
             in
             Hashtbl.remove mshr sb;
+            if tracing then
+              emit ~cluster
+                (Tr.Mshr_fill { cluster; subblock = sb; waiters = List.length ws });
             List.iter
               (fun w ->
                 let ty =
@@ -258,22 +326,29 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
     let own = cluster_of node.n_id in
     let home = M.home_cluster machine ~addr in
     let local = home = own in
+    let key = (node.n_id, iter) in
     (* stores keep any attraction-buffer copy in their own cluster fresh *)
-    if is_store && Array.length abs > 0 then
-      ignore
-        (Attraction.write_if_present abs.(own)
-           ~subblock:(M.subblock_id machine ~addr)
-           ~addr ~size (Ir.Sem.truncate ty value) ~sync:seq);
+    if is_store && Array.length abs > 0 then (
+      let present =
+        Attraction.write_if_present abs.(own)
+          ~subblock:(M.subblock_id machine ~addr)
+          ~addr ~size (Ir.Sem.truncate ty value) ~sync:seq
+      in
+      if present && tracing then
+        emit ~cluster:own (Tr.Ab_update { cluster = own; addr; size; seq }));
     let respond =
       if is_store then fun _ _ -> ()
       else if local then fun v t ->
+        Hashtbl.remove load_phase key;
         set_reg node.n_id iter ~ready:t ~value:(sign_extend ty v)
       else fun v t ->
         (* response travels back over a memory bus; install the subblock
            into the requester's attraction buffer on arrival *)
         at t (fun () ->
-            send_bus (fun arrival ->
-                (if Array.length abs > 0 then
+            Hashtbl.replace load_phase key Resp_bus;
+            send_bus ~cluster:own (fun arrival ->
+                Hashtbl.remove load_phase key;
+                (if Array.length abs > 0 then (
                    let sb = M.subblock_id machine ~addr in
                    let sync =
                      List.fold_left
@@ -288,7 +363,10 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
                        (M.addrs_of_subblock machine
                           ~subblock:sb)
                    in
-                   Attraction.install abs.(own) ~machine ~subblock:sb ~mem ~sync);
+                   Attraction.install abs.(own) ~machine ~subblock:sb ~mem ~sync;
+                   if tracing then
+                     emit ~cluster:own
+                       (Tr.Ab_install { cluster = own; subblock = sb; sync })));
                 set_reg node.n_id iter ~ready:arrival ~value:(sign_extend ty v)))
     in
     (* attraction buffer lookup for remote loads *)
@@ -311,8 +389,13 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
             if last_store_seq.(b) > sync && last_store_seq.(b) < seq then
               stale := true
           done;
-          if !stale then incr violations
-        | None -> ());
+          if !stale then incr violations;
+          if tracing then
+            emit ~cluster:own (Tr.Ab_hit { cluster = own; seq; addr; size; sync })
+        | None ->
+          if tracing then
+            emit ~cluster:own
+              (Tr.Ab_hit { cluster = own; seq; addr; size; sync = max_int }));
         let v =
           match oracle_value ~site ~iter with
           | Some ov -> ov
@@ -325,6 +408,7 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
       let w =
         {
           w_seq = seq;
+          w_node = node.n_id;
           w_store = is_store;
           w_addr = addr;
           w_size = size;
@@ -335,8 +419,14 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
           w_local = local;
         }
       in
-      if local then Queue.add (!now, w) modq.(home)
-      else send_bus (fun _arrival -> Queue.add (!now, w) modq.(home)))
+      if local then (
+        track_load w At_module;
+        Queue.add (!now, w) modq.(home))
+      else (
+        track_load w On_bus;
+        send_bus ~cluster:own (fun _arrival ->
+            track_load w At_module;
+            Queue.add (!now, w) modq.(home))))
   in
 
   (* ----- issue ----- *)
@@ -376,24 +466,40 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
       | Some L.Sem_mov -> ( match ops with [ a ] -> a | _ -> 0L))
   in
 
-  let can_issue = function
-    | Cp (c, kiter) -> reg_ready c.S.cp_src kiter
+  (* What blocks an item from issuing this cycle, if anything. [`Producer]
+     carries the (node, iteration) register being waited on — usually a
+     load in flight; [`Copy] is a cross-cluster copy still travelling. *)
+  let item_blocker = function
+    | Cp (c, kiter) ->
+      if reg_ready c.S.cp_src kiter then None else Some (`Producer (c.S.cp_src, kiter))
     | Op (n, kiter) ->
-      List.for_all
+      List.find_map
         (fun (e : G.edge) ->
-          e.e_kind <> G.RF
-          || kiter < e.e_dist
-          ||
-          let p = e.e_src in
-          let src_iter = kiter - e.e_dist in
-          if cluster_of p = cluster_of n.n_id then reg_ready p src_iter
+          if e.e_kind <> G.RF || kiter < e.e_dist then None
           else
-            match
-              Hashtbl.find_opt copy_ready (e.e_src, e.e_dst, e.e_dist, src_iter)
-            with
-            | Some t -> t <= !now
-            | None -> false)
+            let p = e.e_src in
+            let src_iter = kiter - e.e_dist in
+            if cluster_of p = cluster_of n.n_id then
+              if reg_ready p src_iter then None else Some (`Producer (p, src_iter))
+            else
+              match
+                Hashtbl.find_opt copy_ready (e.e_src, e.e_dst, e.e_dist, src_iter)
+              with
+              | Some t -> if t <= !now then None else Some `Copy
+              | None -> Some `Copy)
         (G.preds graph n.n_id)
+  in
+  let rec first_blocker = function
+    | [] -> None
+    | it :: rest -> (
+      match item_blocker it with Some b -> Some b | None -> first_blocker rest)
+  in
+  let cause_of_blocker = function
+    | `Copy -> Tr.Copy_in_flight
+    | `Producer key -> (
+      match Hashtbl.find_opt load_phase key with
+      | Some (On_bus | Resp_bus) -> Tr.Bus_queue
+      | Some (At_module | In_mshr) | None -> Tr.Load_in_flight)
   in
 
   let issue = function
@@ -427,18 +533,26 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
           initiate ~node:n ~mr ~iter:kiter ~is_store:true ~addr ~value
         else (
           incr nullified;
+          let own = cluster_of n.n_id in
+          if tracing then
+            emit ~cluster:own
+              (Tr.Nullify { cluster = own; site = mr.mr_site; iter = kiter });
           (* a nullified instance still refreshes its cluster's attraction
              buffer copy (Section 5.3) *)
           if Array.length abs > 0 then (
             let ty = ty_of_mr mr in
             let seq = seq_of ~site:mr.mr_site ~iter:kiter in
-            ignore
-              (Attraction.write_if_present
-                 abs.(cluster_of n.n_id)
-                 ~subblock:(M.subblock_id machine ~addr)
-                 ~addr ~size:mr.mr_bytes
-                 (Ir.Sem.truncate ty value)
-                 ~sync:seq))))
+            let present =
+              Attraction.write_if_present
+                abs.(own)
+                ~subblock:(M.subblock_id machine ~addr)
+                ~addr ~size:mr.mr_bytes
+                (Ir.Sem.truncate ty value)
+                ~sync:seq
+            in
+            if present && tracing then
+              emit ~cluster:own
+                (Tr.Ab_update { cluster = own; addr; size = mr.mr_bytes; seq }))))
   in
 
   (* ----- issue buckets ----- *)
@@ -473,6 +587,18 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
           l)
     buckets;
 
+  if tracing then
+    emit
+      (Tr.Meta
+         {
+           clusters = nclusters;
+           mem_buses = machine.M.mem_buses.M.bus_count;
+           msize;
+           ii;
+           vspan;
+           trip;
+         });
+
   (* ----- main loop ----- *)
   let vnow = ref 0 in
   let pending_work () =
@@ -481,6 +607,8 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
     || (not (Queue.is_empty busq))
     || Array.exists (fun q -> not (Queue.is_empty q)) modq
   in
+  let stall_load = ref 0 and stall_copy = ref 0 and stall_bus = ref 0 in
+  let stall_open = ref None in
   let hard_limit = 50_000_000 in
   while pending_work () do
     if !now > hard_limit then failwith "Sim.run: cycle limit exceeded (wedged)";
@@ -500,26 +628,60 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
       modq;
     (if !vnow < vspan then
        let bundle = buckets.(!vnow) in
-       if List.for_all can_issue bundle then (
+       match first_blocker bundle with
+       | None ->
+         (match !stall_open with
+         | Some started ->
+           stall_open := None;
+           if tracing then
+             emit (Tr.Stall_end { vcycle = !vnow; cycles = !now - started })
+         | None -> ());
+         if tracing then (
+           let ops, copies =
+             List.fold_left
+               (fun (o, c) -> function Op _ -> (o + 1, c) | Cp _ -> (o, c + 1))
+               (0, 0) bundle
+           in
+           emit (Tr.Issue { vcycle = !vnow; ops; copies }));
          List.iter issue bundle;
-         incr vnow));
+         incr vnow
+       | Some b ->
+         let cause = cause_of_blocker b in
+         (match cause with
+         | Tr.Load_in_flight -> incr stall_load
+         | Tr.Copy_in_flight -> incr stall_copy
+         | Tr.Bus_queue -> incr stall_bus);
+         if !stall_open = None then (
+           stall_open := Some !now;
+           if tracing then emit (Tr.Stall_begin { vcycle = !vnow; cause })));
     incr now
   done;
 
-  let ab_flushed = Array.fold_left (fun acc ab -> acc + Attraction.flush ab) 0 abs in
+  let ab_flushed = ref 0 in
+  Array.iteri
+    (fun c ab ->
+      let n = Attraction.flush ab in
+      ab_flushed := !ab_flushed + n;
+      if tracing then emit ~cluster:c (Tr.Ab_flush { cluster = c; entries = n }))
+    abs;
   let total = !now in
   let compute = vspan in
+  let stall = max 0 (total - compute) in
   {
     total_cycles = total;
     compute_cycles = compute;
-    stall_cycles = max 0 (total - compute);
+    stall_cycles = stall;
+    stall_load_cycles = !stall_load;
+    stall_copy_cycles = !stall_copy;
+    stall_bus_cycles = !stall_bus;
+    stall_drain_cycles = stall - !stall_load - !stall_copy - !stall_bus;
     local_hits = !local_hits;
     remote_hits = !remote_hits;
     local_misses = !local_misses;
     remote_misses = !remote_misses;
     combined = !combined;
     ab_hits = !ab_hits;
-    ab_flushed;
+    ab_flushed = !ab_flushed;
     violations = !violations;
     nullified = !nullified;
     comm_ops = List.length schedule.S.copies * trip;

@@ -43,6 +43,19 @@ type stats = {
   total_cycles : int;
   compute_cycles : int;
   stall_cycles : int;  (** [total - compute] *)
+  stall_load_cycles : int;
+      (** stalled cycles blocked on a load in service at a cache module or
+          MSHR (the access itself, not its bus trip) *)
+  stall_copy_cycles : int;
+      (** stalled cycles blocked on a cross-cluster register copy *)
+  stall_bus_cycles : int;
+      (** stalled cycles blocked on a transaction queued on or crossing a
+          memory bus — the paper's non-deterministic bus latency made
+          visible *)
+  stall_drain_cycles : int;
+      (** trailing cycles after the last bundle issued, spent draining
+          in-flight bus and module traffic. The four buckets partition
+          [stall_cycles] exactly. *)
   local_hits : int;
   remote_hits : int;
   local_misses : int;
@@ -69,6 +82,7 @@ val run :
   ?mode:mode ->
   ?jitter:Vliw_util.Prng.t * int ->
   ?warm:bool ->
+  ?trace:Vliw_trace.Trace.sink ->
   unit ->
   stats
 (** Simulate the scheduled loop for [trip] iterations (default: the
@@ -84,4 +98,13 @@ val run :
     modules by replaying the oracle's address trace before timing starts:
     the paper's loops execute many times per program run, so their steady
     state is a warm cache; working sets larger than the 8KB cache still
-    miss. *)
+    miss.
+
+    [trace] attaches an event recorder ({!Vliw_trace.Trace}): the run emits
+    a [Meta] header plus one event per bundle issue, stall episode, bus
+    request/grant/transfer, cache-module service, MSHR allocate / combine /
+    fill, coherence-order apply, Attraction Buffer hit / update / install /
+    flush, and store-replica nullification. With no sink the recording code
+    costs one predictable branch per site. The emitted stream is exactly
+    reproducible for identical inputs, and {!Vliw_trace.Audit} can re-derive
+    [violations] and [nullified] from it independently. *)

@@ -1,0 +1,76 @@
+type report = {
+  violations : int;
+  nullified : int;
+  applies : int;
+  ab_hits : int;
+  stall_cycles : int;
+  issues : int;
+}
+
+let run sink =
+  let msize =
+    match Trace.meta sink with
+    | Some (Trace.Meta m) -> m.msize
+    | _ -> invalid_arg "Audit.run: trace has no Meta header"
+  in
+  let last_store = Array.make msize (-1) in
+  let last_any = Array.make msize (-1) in
+  let violations = ref 0 in
+  let nullified = ref 0 in
+  let applies = ref 0 in
+  let ab_hits = ref 0 in
+  let stall_cycles = ref 0 in
+  let issues = ref 0 in
+  (* emission order is the order the simulator applied accesses in; replay
+     must follow it, not the (cycle, cluster, seq) export order *)
+  Trace.iter sink (fun ev ->
+      match ev.Trace.ev_payload with
+      | Trace.Apply { seq; addr; size; store } ->
+        incr applies;
+        let lastb = min (addr + size - 1) (msize - 1) in
+        let bad = ref false in
+        for b = addr to lastb do
+          if store then (if last_any.(b) > seq then bad := true)
+          else if last_store.(b) > seq then bad := true
+        done;
+        if !bad then incr violations;
+        for b = addr to lastb do
+          if store then last_store.(b) <- max last_store.(b) seq;
+          last_any.(b) <- max last_any.(b) seq
+        done
+      | Trace.Ab_hit { seq; addr; size; sync; _ } ->
+        incr ab_hits;
+        let lastb = min (addr + size - 1) (msize - 1) in
+        let stale = ref false in
+        for b = addr to lastb do
+          if last_store.(b) > sync && last_store.(b) < seq then stale := true
+        done;
+        if !stale then incr violations
+      | Trace.Nullify _ -> incr nullified
+      | Trace.Stall_end { cycles; _ } -> stall_cycles := !stall_cycles + cycles
+      | Trace.Issue _ -> incr issues
+      | _ -> ());
+  {
+    violations = !violations;
+    nullified = !nullified;
+    applies = !applies;
+    ab_hits = !ab_hits;
+    stall_cycles = !stall_cycles;
+    issues = !issues;
+  }
+
+let check sink ~violations ~nullified =
+  let r = run sink in
+  if r.violations <> violations then
+    Error
+      (Printf.sprintf
+         "coherence audit mismatch: simulator reported %d violations, replay \
+          of the event stream finds %d"
+         violations r.violations)
+  else if r.nullified <> nullified then
+    Error
+      (Printf.sprintf
+         "coherence audit mismatch: simulator reported %d nullified store \
+          instances, replay of the event stream finds %d"
+         nullified r.nullified)
+  else Ok r

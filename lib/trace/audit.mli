@@ -1,0 +1,38 @@
+(** Replay-based coherence auditor.
+
+    The simulator counts coherence violations and nullified store replicas
+    as it runs; this module re-derives both {e from the event stream alone},
+    so the numbers reported by the component under test are cross-checked by
+    an independent machine (Qadeer's argument: check ordering properties
+    over the observed trace, do not trust the producer).
+
+    Replaying the [Apply] events in emission order reconstructs, per byte
+    address, the highest coherence sequence number already applied by a
+    store ([last_store]) and by any access ([last_any]); an access whose own
+    sequence number is below the relevant high-water mark at apply time was
+    applied against program order — one violation, exactly the simulator's
+    MDC criterion. [Ab_hit] events are checked for provable staleness: a
+    store ordered after the buffered copy's [sync] mark but before the load
+    makes the hit stale. [Nullify] events are counted. The only input is
+    the trace; the memory size needed to clamp partially out-of-range
+    accesses comes from the trace's [Meta] header. *)
+
+type report = {
+  violations : int;  (** re-derived out-of-order applies + stale AB hits *)
+  nullified : int;  (** re-derived nullified store replicas *)
+  applies : int;  (** accesses applied at a home module *)
+  ab_hits : int;  (** Attraction Buffer hits replayed *)
+  stall_cycles : int;  (** re-summed from [Stall_end] episodes *)
+  issues : int;  (** bundles issued *)
+}
+
+val run : Trace.sink -> report
+(** Replay the trace.
+    @raise Invalid_argument if the trace has no [Meta] header. *)
+
+val check :
+  Trace.sink -> violations:int -> nullified:int -> (report, string) result
+(** [run] the auditor and compare its independent counts against the
+    simulator's. [Error] carries a human-readable mismatch description —
+    treat it as a hard error: either the simulator or the trace
+    instrumentation is lying about coherence. *)

@@ -1,0 +1,172 @@
+module Json = Vliw_util.Json
+
+let machine_track = 990
+let bus_track b = 100 + b
+
+let duration ~name ~ts ~dur ~tid args =
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("ph", Json.String "X");
+       ("ts", Json.Int ts);
+       ("dur", Json.Int dur);
+       ("pid", Json.Int 0);
+       ("tid", Json.Int tid);
+     ]
+    @ if args = [] then [] else [ ("args", Json.Obj args) ])
+
+let instant ~name ~ts ~tid args =
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("ph", Json.String "i");
+       ("s", Json.String "t");
+       ("ts", Json.Int ts);
+       ("pid", Json.Int 0);
+       ("tid", Json.Int tid);
+     ]
+    @ if args = [] then [] else [ ("args", Json.Obj args) ])
+
+let thread_name ~tid name =
+  Json.Obj
+    [
+      ("name", Json.String "thread_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int 0);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.String name) ]);
+    ]
+
+let to_json sink =
+  let clusters, mem_buses =
+    match Trace.meta sink with
+    | Some (Trace.Meta m) -> (m.clusters, m.mem_buses)
+    | _ -> (0, 0)
+  in
+  let tracks =
+    thread_name ~tid:machine_track "issue/stall"
+    :: List.init clusters (fun c -> thread_name ~tid:c (Printf.sprintf "cluster %d" c))
+    @ List.init mem_buses (fun b ->
+          thread_name ~tid:(bus_track b) (Printf.sprintf "mem bus %d" b))
+  in
+  (* bus grants know their transfer duration up front, so the transfer
+     renders as one duration event at grant time; stall episodes close at
+     Stall_end, which carries the length *)
+  let evs =
+    Array.to_list (Trace.sorted_events sink)
+    |> List.filter_map (fun (e : Trace.event) ->
+           let ts = e.Trace.ev_cycle in
+           match e.Trace.ev_payload with
+           | Trace.Meta m ->
+             Some
+               (instant ~name:"meta" ~ts ~tid:machine_track
+                  [
+                    ("clusters", Json.Int m.clusters);
+                    ("mem_buses", Json.Int m.mem_buses);
+                    ("msize", Json.Int m.msize);
+                    ("ii", Json.Int m.ii);
+                    ("vspan", Json.Int m.vspan);
+                    ("trip", Json.Int m.trip);
+                  ])
+           | Trace.Issue i ->
+             Some
+               (instant ~name:"issue" ~ts ~tid:machine_track
+                  [
+                    ("vcycle", Json.Int i.vcycle);
+                    ("ops", Json.Int i.ops);
+                    ("copies", Json.Int i.copies);
+                  ])
+           | Trace.Stall_begin _ -> None
+           | Trace.Stall_end s ->
+             Some
+               (duration ~name:"stall" ~ts:(ts - s.cycles) ~dur:s.cycles
+                  ~tid:machine_track
+                  [ ("vcycle", Json.Int s.vcycle); ("cycles", Json.Int s.cycles) ])
+           | Trace.Bus_request r ->
+             Some
+               (instant ~name:"bus request" ~ts ~tid:machine_track
+                  [ ("txn", Json.Int r.txn); ("cluster", Json.Int r.cluster) ])
+           | Trace.Bus_grant g ->
+             Some
+               (duration ~name:"transfer" ~ts ~dur:g.lat ~tid:(bus_track g.bus)
+                  [ ("txn", Json.Int g.txn); ("wait", Json.Int g.wait) ])
+           | Trace.Bus_transfer t ->
+             Some
+               (instant ~name:"arrival" ~ts ~tid:(bus_track t.bus)
+                  [ ("txn", Json.Int t.txn) ])
+           | Trace.Mod_service s ->
+             Some
+               (instant
+                  ~name:
+                    (Printf.sprintf "%s %s"
+                       (if s.store then "store" else "load")
+                       (if s.hit then "hit" else "miss"))
+                  ~ts ~tid:s.cluster
+                  [
+                    ("seq", Json.Int s.seq);
+                    ("addr", Json.Int s.addr);
+                    ("size", Json.Int s.size);
+                    ("local", Json.Bool s.local);
+                  ])
+           | Trace.Mshr_alloc m ->
+             Some
+               (instant ~name:"MSHR alloc" ~ts ~tid:m.cluster
+                  [ ("subblock", Json.Int m.subblock) ])
+           | Trace.Mshr_combine m ->
+             Some
+               (instant ~name:"MSHR combine" ~ts ~tid:m.cluster
+                  [ ("subblock", Json.Int m.subblock); ("seq", Json.Int m.seq) ])
+           | Trace.Mshr_fill m ->
+             Some
+               (instant ~name:"MSHR fill" ~ts ~tid:m.cluster
+                  [
+                    ("subblock", Json.Int m.subblock);
+                    ("waiters", Json.Int m.waiters);
+                  ])
+           | Trace.Apply a ->
+             Some
+               (instant ~name:(if a.store then "apply store" else "apply load")
+                  ~ts ~tid:e.Trace.ev_cluster
+                  [
+                    ("seq", Json.Int a.seq);
+                    ("addr", Json.Int a.addr);
+                    ("size", Json.Int a.size);
+                  ])
+           | Trace.Ab_hit h ->
+             Some
+               (instant ~name:"AB hit" ~ts ~tid:h.cluster
+                  [
+                    ("seq", Json.Int h.seq);
+                    ("addr", Json.Int h.addr);
+                    ("sync", Json.Int h.sync);
+                  ])
+           | Trace.Ab_update u ->
+             Some
+               (instant ~name:"AB update" ~ts ~tid:u.cluster
+                  [ ("addr", Json.Int u.addr); ("seq", Json.Int u.seq) ])
+           | Trace.Ab_install i ->
+             Some
+               (instant ~name:"AB install" ~ts ~tid:i.cluster
+                  [ ("subblock", Json.Int i.subblock); ("sync", Json.Int i.sync) ])
+           | Trace.Ab_flush f ->
+             Some
+               (instant ~name:"AB flush" ~ts ~tid:f.cluster
+                  [ ("entries", Json.Int f.entries) ])
+           | Trace.Nullify n ->
+             Some
+               (instant ~name:"nullify" ~ts ~tid:n.cluster
+                  [ ("site", Json.Int n.site); ("iter", Json.Int n.iter) ]))
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (tracks @ evs));
+      ("displayTimeUnit", Json.String "ns");
+    ]
+
+let to_string sink = Json.to_string (to_json sink)
+
+let write_file path sink =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Json.to_channel oc (to_json sink))

@@ -1,0 +1,86 @@
+type stall_cause = Load_in_flight | Copy_in_flight | Bus_queue
+
+let stall_cause_name = function
+  | Load_in_flight -> "load-in-flight"
+  | Copy_in_flight -> "copy-in-flight"
+  | Bus_queue -> "bus-queue"
+
+type payload =
+  | Meta of {
+      clusters : int;
+      mem_buses : int;
+      msize : int;
+      ii : int;
+      vspan : int;
+      trip : int;
+    }
+  | Issue of { vcycle : int; ops : int; copies : int }
+  | Stall_begin of { vcycle : int; cause : stall_cause }
+  | Stall_end of { vcycle : int; cycles : int }
+  | Bus_request of { txn : int; cluster : int }
+  | Bus_grant of { txn : int; bus : int; wait : int; lat : int }
+  | Bus_transfer of { txn : int; bus : int }
+  | Mod_service of {
+      cluster : int;
+      seq : int;
+      addr : int;
+      size : int;
+      store : bool;
+      local : bool;
+      hit : bool;
+    }
+  | Mshr_alloc of { cluster : int; subblock : int }
+  | Mshr_combine of { cluster : int; subblock : int; seq : int }
+  | Mshr_fill of { cluster : int; subblock : int; waiters : int }
+  | Apply of { seq : int; addr : int; size : int; store : bool }
+  | Ab_hit of { cluster : int; seq : int; addr : int; size : int; sync : int }
+  | Ab_update of { cluster : int; addr : int; size : int; seq : int }
+  | Ab_install of { cluster : int; subblock : int; sync : int }
+  | Ab_flush of { cluster : int; entries : int }
+  | Nullify of { cluster : int; site : int; iter : int }
+
+type event = {
+  ev_seq : int;
+  ev_cycle : int;
+  ev_cluster : int;
+  ev_payload : payload;
+}
+
+type sink = { mutable buf : event array; mutable len : int }
+
+let dummy =
+  { ev_seq = -1; ev_cycle = 0; ev_cluster = -1; ev_payload = Stall_end { vcycle = 0; cycles = 0 } }
+
+let create ?(capacity = 1024) () = { buf = Array.make (max 16 capacity) dummy; len = 0 }
+
+let emit t ~cycle ~cluster payload =
+  if t.len = Array.length t.buf then (
+    let bigger = Array.make (2 * t.len) dummy in
+    Array.blit t.buf 0 bigger 0 t.len;
+    t.buf <- bigger);
+  t.buf.(t.len) <-
+    { ev_seq = t.len; ev_cycle = cycle; ev_cluster = cluster; ev_payload = payload };
+  t.len <- t.len + 1
+
+let length t = t.len
+let events t = Array.sub t.buf 0 t.len
+
+let sorted_events t =
+  let a = events t in
+  Array.sort
+    (fun a b ->
+      compare (a.ev_cycle, a.ev_cluster, a.ev_seq) (b.ev_cycle, b.ev_cluster, b.ev_seq))
+    a;
+  a
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.buf.(i)
+  done
+
+let meta t =
+  let rec go i =
+    if i >= t.len then None
+    else match t.buf.(i).ev_payload with Meta _ as m -> Some m | _ -> go (i + 1)
+  in
+  go 0

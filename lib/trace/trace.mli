@@ -1,0 +1,97 @@
+(** Event-trace recording for the simulator.
+
+    The simulator emits one {!event} per interesting micro-architectural
+    happening: bundle issue and stall episodes, memory-bus request / grant /
+    transfer, cache-module service, MSHR allocate / combine / fill,
+    coherence-order {e apply} of every access at its home module, Attraction
+    Buffer hit / update / install / flush, and store-replica nullification.
+    The recorder is a growable ring of plain records behind a
+    [sink option]: with no sink attached the simulator never constructs an
+    event, so tracing costs one branch per site.
+
+    Events carry three ordering fields: the real [cycle] at which they were
+    recorded, the [cluster] they concern (-1 for machine-wide events such as
+    issue/stall), and a per-sink monotone sequence number [seq]. Emission
+    order — equivalently ascending [seq] — is the simulator's true causal
+    order and is what {!Audit} replays. [(cycle, cluster, seq)] is a
+    deterministic sort key used by the exporters, so a trace of the same run
+    is byte-identical no matter how the surrounding harness is parallelized. *)
+
+(** Why a bundle failed to issue this cycle (the stall taxonomy of
+    {!Vliw_sim.Sim.stats}). *)
+type stall_cause =
+  | Load_in_flight  (** a consumed load is being serviced (module / MSHR) *)
+  | Copy_in_flight  (** a cross-cluster register copy has not arrived *)
+  | Bus_queue  (** the blocking transaction is queued on / crossing a bus *)
+
+val stall_cause_name : stall_cause -> string
+
+type payload =
+  | Meta of {
+      clusters : int;
+      mem_buses : int;
+      msize : int;  (** bytes of the flat memory image *)
+      ii : int;
+      vspan : int;  (** virtual (compute) cycles of the whole run *)
+      trip : int;
+    }  (** always the first event of a simulation *)
+  | Issue of { vcycle : int; ops : int; copies : int }
+  | Stall_begin of { vcycle : int; cause : stall_cause }
+  | Stall_end of { vcycle : int; cycles : int }
+  | Bus_request of { txn : int; cluster : int }
+      (** a transaction entered the shared memory-bus queue *)
+  | Bus_grant of { txn : int; bus : int; wait : int; lat : int }
+      (** arbitration won: [wait] cycles queued, [lat] cycles to transfer *)
+  | Bus_transfer of { txn : int; bus : int }  (** arrival at the far side *)
+  | Mod_service of {
+      cluster : int;
+      seq : int;  (** coherence sequence number of the access *)
+      addr : int;
+      size : int;
+      store : bool;
+      local : bool;
+      hit : bool;
+    }  (** a cache module serviced (hit) or missed an access *)
+  | Mshr_alloc of { cluster : int; subblock : int }
+  | Mshr_combine of { cluster : int; subblock : int; seq : int }
+  | Mshr_fill of { cluster : int; subblock : int; waiters : int }
+  | Apply of { seq : int; addr : int; size : int; store : bool }
+      (** the access took effect at its home module, in emission order —
+          the ground truth the replay auditor re-orders and re-checks *)
+  | Ab_hit of { cluster : int; seq : int; addr : int; size : int; sync : int }
+      (** a remote load satisfied by the cluster's Attraction Buffer; [sync]
+          is the buffered copy's coherence high-water mark *)
+  | Ab_update of { cluster : int; addr : int; size : int; seq : int }
+  | Ab_install of { cluster : int; subblock : int; sync : int }
+  | Ab_flush of { cluster : int; entries : int }
+  | Nullify of { cluster : int; site : int; iter : int }
+
+type event = {
+  ev_seq : int;  (** per-sink emission counter, the causal order *)
+  ev_cycle : int;
+  ev_cluster : int;  (** -1 for machine-wide events *)
+  ev_payload : payload;
+}
+
+type sink
+(** A growable append-only event buffer. Not thread-safe: attach one sink
+    per simulation (each [Sim.run] is single-threaded). *)
+
+val create : ?capacity:int -> unit -> sink
+
+val emit : sink -> cycle:int -> cluster:int -> payload -> unit
+
+val length : sink -> int
+
+val events : sink -> event array
+(** All recorded events in emission order (ascending [ev_seq]). The array
+    is fresh; mutating it does not affect the sink. *)
+
+val sorted_events : sink -> event array
+(** Events under the deterministic export order [(cycle, cluster, seq)]. *)
+
+val iter : sink -> (event -> unit) -> unit
+(** Iterate in emission order without copying. *)
+
+val meta : sink -> payload option
+(** The [Meta] event, if one was recorded. *)

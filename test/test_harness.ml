@@ -7,6 +7,11 @@ module W = Vliw_workloads.Workloads
 
 let close ?(eps = 1e-9) = Alcotest.(check (float eps))
 
+(* every simulation these tests trigger is traced and replay-audited; a
+   coherence-accounting disagreement surfaces as Failure in the test that
+   ran it *)
+let () = R.set_audit true
+
 let g721 = W.find "g721dec"
 let pgp = W.find "pgpdec"
 

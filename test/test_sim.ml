@@ -6,9 +6,31 @@ module Chains = Vliw_core.Chains
 module Ddgt = Vliw_core.Ddgt
 module Lower = Vliw_lower.Lower
 module Ir = Vliw_ir
-module Sim = Vliw_sim.Sim
 module Cachemod = Vliw_sim.Cachemod
 module Attraction = Vliw_sim.Attraction
+module Trace = Vliw_trace.Trace
+module Audit = Vliw_trace.Audit
+
+(* Shadow Sim so that every simulation in this file is traced and the replay
+   auditor re-derives its coherence counters; a disagreement fails the test
+   that ran it. *)
+module Sim = struct
+  include Vliw_sim.Sim
+
+  let run ~lowered ~graph ~schedule ~layout ?trip ?mode ?jitter ?warm
+      ?(trace = Trace.create ()) () =
+    let st =
+      Vliw_sim.Sim.run ~lowered ~graph ~schedule ~layout ?trip ?mode ?jitter
+        ?warm ~trace ()
+    in
+    (match
+       Audit.check trace ~violations:st.Vliw_sim.Sim.violations
+         ~nullified:st.Vliw_sim.Sim.nullified
+     with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.fail ("replay audit: " ^ msg));
+    st
+end
 
 let compile ?heuristic ?constraints ?pref ?(machine = M.table2) src =
   let k = Ir.Parser.parse_kernel src in
@@ -595,6 +617,113 @@ let prop_ddgt_execution_correct =
         st.Sim.violations = 0
         && Bytes.equal st.Sim.memory ref_run.Ir.Interp.memory)
 
+(* --- tracing and replay audit --- *)
+
+let test_sim_ab_flush_back_to_back () =
+  (* the end-of-loop flush must account for every live AB entry, and a
+     second back-to-back execution of the same loop must start from an
+     empty buffer: identical stats, including the flush count itself *)
+  let src =
+    "kernel k { array a : i32[16] = ramp(0,1) scalar s : i64 = 0 trip 64 \
+     body { s = s + a[i % 16] } }"
+  in
+  let k = Ir.Parser.parse_kernel src in
+  let low = Lower.lower k in
+  let layout = Ir.Layout.make k in
+  let machine = M.with_attraction M.table2 (Some M.default_attraction) in
+  let pinned = Hashtbl.create 4 in
+  List.iter
+    (fun ((n : G.node), _) -> Hashtbl.replace pinned n.n_id 1)
+    (G.mem_refs low.Lower.graph);
+  let s =
+    match
+      Driver.run
+        (Driver.request ~constraints:{ Chains.pinned; grouped = [] } machine)
+        low.Lower.graph
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let run_once () =
+    let sink = Trace.create () in
+    let st =
+      Sim.run ~lowered:low ~graph:low.Lower.graph ~schedule:s ~layout
+        ~trace:sink ()
+    in
+    (st, sink)
+  in
+  let st1, sink1 = run_once () in
+  let st2, _ = run_once () in
+  Alcotest.(check bool) "entries were live at loop end" true
+    (st1.Sim.ab_flushed > 0);
+  (* the trace carries one flush event per cluster; their entry counts sum
+     to the stats counter *)
+  let flush_events = ref 0 and flushed = ref 0 in
+  Trace.iter sink1 (fun ev ->
+      match ev.Trace.ev_payload with
+      | Trace.Ab_flush { entries; _ } ->
+        incr flush_events;
+        flushed := !flushed + entries
+      | _ -> ());
+  Alcotest.(check int) "one flush event per cluster" 4 !flush_events;
+  Alcotest.(check int) "flush events account for ab_flushed" st1.Sim.ab_flushed
+    !flushed;
+  (* no warm-AB carryover between executions *)
+  Alcotest.(check int) "same AB hits" st1.Sim.ab_hits st2.Sim.ab_hits;
+  Alcotest.(check int) "same flush count" st1.Sim.ab_flushed st2.Sim.ab_flushed;
+  Alcotest.(check int) "same cycles" st1.Sim.total_cycles st2.Sim.total_cycles
+
+let test_sim_audit_execution_violations () =
+  (* the contention scenario of Figure 2, run in Execution mode: the replay
+     auditor must independently find the same nonzero violation count the
+     simulator reports *)
+  let src =
+    "kernel k { array a : i32[520] = ramp(0,1) array junk : i32[4096] = zero \
+     scalar s : i64 = 0 trip 128 body { junk[3*i] = i junk[5*i + 1] = i \
+     a[4*i + 8] = i * 5 s = s + a[4*i] } }"
+  in
+  let k = Ir.Parser.parse_kernel src in
+  let low = Lower.lower k in
+  let layout = Ir.Layout.make k in
+  let pinned = Hashtbl.create 4 in
+  List.iter
+    (fun ((n : G.node), (mr : G.mem_ref)) ->
+      if mr.G.mr_array = "a" then
+        Hashtbl.replace pinned n.n_id (if G.is_store n then 3 else 0))
+    (G.mem_refs low.Lower.graph);
+  let machine =
+    { M.table2 with M.mem_buses = { M.bus_count = 1; bus_latency = 2 } }
+  in
+  let s =
+    match
+      Driver.run
+        (Driver.request ~constraints:{ Chains.pinned; grouped = [] } machine)
+        low.Lower.graph
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let sink = Trace.create () in
+  let jitter = (Vliw_util.Prng.create 42, 6) in
+  let st =
+    Sim.run ~lowered:low ~graph:low.Lower.graph ~schedule:s ~layout ~jitter
+      ~mode:Sim.Execution ~trace:sink ()
+  in
+  Alcotest.(check bool) "violations engineered" true (st.Sim.violations > 0);
+  let r = Audit.run sink in
+  Alcotest.(check int) "auditor re-derives violations" st.Sim.violations
+    r.Audit.violations;
+  Alcotest.(check int) "auditor re-derives nullified" st.Sim.nullified
+    r.Audit.nullified;
+  Alcotest.(check int) "every access applied once" (Sim.accesses_total st)
+    r.Audit.applies;
+  (* and a tampered expectation is rejected *)
+  Alcotest.(check bool) "tampered count rejected" true
+    (Result.is_error
+       (Audit.check sink
+          ~violations:(st.Sim.violations + 1)
+          ~nullified:st.Sim.nullified))
+
 let () =
   Alcotest.run "sim"
     [
@@ -654,6 +783,13 @@ let () =
           Alcotest.test_case "warm monotone" `Quick
             test_sim_warm_reduces_misses_never_hits;
           Alcotest.test_case "bad trips" `Quick test_sim_rejects_bad_trip;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "AB flush accounting, back-to-back" `Quick
+            test_sim_ab_flush_back_to_back;
+          Alcotest.test_case "audit agrees on execution violations" `Quick
+            test_sim_audit_execution_violations;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -1,0 +1,216 @@
+(* The event-trace subsystem: sink mechanics, export determinism, summary
+   accounting, and the replay auditor's failure modes. End-to-end audit
+   coverage of the simulator itself lives in test_sim.ml, which replays
+   every simulation it runs. *)
+
+module Trace = Vliw_trace.Trace
+module Audit = Vliw_trace.Audit
+module Chrome = Vliw_trace.Chrome
+module Summary = Vliw_trace.Summary
+module M = Vliw_arch.Machine
+module Lower = Vliw_lower.Lower
+module Driver = Vliw_sched.Driver
+module Ir = Vliw_ir
+module Sim = Vliw_sim.Sim
+
+(* --- sink mechanics --- *)
+
+let test_sink_growth_and_order () =
+  let s = Trace.create ~capacity:2 () in
+  for i = 0 to 99 do
+    Trace.emit s ~cycle:(100 - i) ~cluster:(i mod 3)
+      (Trace.Issue { vcycle = i; ops = 1; copies = 0 })
+  done;
+  Alcotest.(check int) "all events kept across growth" 100 (Trace.length s);
+  let evs = Trace.events s in
+  Array.iteri
+    (fun i ev -> Alcotest.(check int) "emission order" i ev.Trace.ev_seq)
+    evs;
+  (* the export order is (cycle, cluster, seq): cycles were emitted in
+     descending order, so sorting must reverse them *)
+  let sorted = Trace.sorted_events s in
+  Array.iteri
+    (fun i ev ->
+      if i > 0 then
+        Alcotest.(check bool) "sorted by cycle" true
+          (sorted.(i - 1).Trace.ev_cycle <= ev.Trace.ev_cycle))
+    sorted;
+  (* sorting is a view; emission order is untouched *)
+  Alcotest.(check int) "iter still in emission order" 100
+    (let n = ref 0 in
+     Trace.iter s (fun ev ->
+         if ev.Trace.ev_seq = !n then incr n);
+     !n)
+
+let test_sink_meta_lookup () =
+  let s = Trace.create () in
+  Alcotest.(check bool) "no meta yet" true (Trace.meta s = None);
+  Trace.emit s ~cycle:0 ~cluster:(-1)
+    (Trace.Meta
+       { clusters = 4; mem_buses = 4; msize = 64; ii = 2; vspan = 10; trip = 5 });
+  match Trace.meta s with
+  | Some (Trace.Meta m) -> Alcotest.(check int) "meta found" 4 m.clusters
+  | _ -> Alcotest.fail "Meta not found"
+
+(* --- a real traced simulation to exercise the exporters --- *)
+
+let traced_run ?(machine = M.table2) src =
+  let k = Ir.Parser.parse_kernel src in
+  let low = Lower.lower k in
+  let layout = Ir.Layout.make k in
+  let s =
+    match Driver.run (Driver.request machine) low.Lower.graph with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let sink = Trace.create () in
+  let st =
+    Sim.run ~lowered:low ~graph:low.Lower.graph ~schedule:s ~layout ~trace:sink
+      ()
+  in
+  (st, sink)
+
+let pointer_chase =
+  "kernel k { array a : i64[4096] = modpat(4096) scalar p : i64 = 0 trip 100 \
+   body { p = a[p] + 63 } }"
+
+let test_summary_matches_stats () =
+  let st, sink = traced_run pointer_chase in
+  let sum = Summary.of_sink sink in
+  Alcotest.(check int) "total cycles" st.Sim.total_cycles sum.Summary.total_cycles;
+  Alcotest.(check int) "compute cycles" st.Sim.compute_cycles
+    sum.Summary.compute_cycles;
+  Alcotest.(check int) "issues = compute cycles" st.Sim.compute_cycles
+    sum.Summary.issues;
+  (* the per-cause rows cover the in-run stall cycles (drain is the
+     remainder outside any episode) *)
+  let by_cause = List.fold_left (fun a (_, c) -> a + c) 0 sum.Summary.stall_by_cause in
+  Alcotest.(check int) "episode cycles = stall - drain"
+    (st.Sim.stall_cycles - st.Sim.stall_drain_cycles)
+    by_cause;
+  Alcotest.(check int) "episode cycles accumulate" sum.Summary.stall_cycles by_cause;
+  (* module services cover every hit and miss *)
+  let services =
+    Array.fold_left (fun a r -> a + r.Summary.services) 0 sum.Summary.per_cluster
+  in
+  Alcotest.(check int) "services = hits + misses"
+    (st.Sim.local_hits + st.Sim.remote_hits + st.Sim.local_misses
+   + st.Sim.remote_misses)
+    services
+
+let test_stall_buckets_partition () =
+  let st, _ = traced_run pointer_chase in
+  Alcotest.(check bool) "stalls happen" true (st.Sim.stall_cycles > 0);
+  Alcotest.(check int) "four buckets partition stall_cycles"
+    st.Sim.stall_cycles
+    (st.Sim.stall_load_cycles + st.Sim.stall_copy_cycles
+   + st.Sim.stall_bus_cycles + st.Sim.stall_drain_cycles)
+
+let test_chrome_export_deterministic () =
+  let _, sink1 = traced_run pointer_chase in
+  let _, sink2 = traced_run pointer_chase in
+  let j1 = Chrome.to_string sink1 and j2 = Chrome.to_string sink2 in
+  Alcotest.(check bool) "nonempty" true (String.length j1 > 0);
+  Alcotest.(check string) "byte-identical across identical runs" j1 j2;
+  (* structural smoke: the envelope and the three track kinds are present *)
+  let has needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "traceEvents envelope" true (has "traceEvents" j1);
+  Alcotest.(check bool) "cluster track named" true (has "cluster 0" j1);
+  Alcotest.(check bool) "bus track named" true (has "bus 0" j1);
+  Alcotest.(check bool) "machine track named" true (has "issue/stall" j1)
+
+let test_summary_requires_meta () =
+  let s = Trace.create () in
+  Trace.emit s ~cycle:0 ~cluster:0 (Trace.Issue { vcycle = 0; ops = 1; copies = 0 });
+  Alcotest.check_raises "no Meta header"
+    (Invalid_argument "Summary.of_sink: trace has no Meta header") (fun () ->
+      ignore (Summary.of_sink s))
+
+(* --- the auditor on handcrafted streams --- *)
+
+let meta_payload =
+  Trace.Meta { clusters = 4; mem_buses = 4; msize = 32; ii = 1; vspan = 4; trip = 4 }
+
+let test_audit_flags_reordered_applies () =
+  (* a store with sequence number 5 applied before a load with sequence
+     number 3 touching the same byte: program order says the load comes
+     first, so replay must count one violation *)
+  let s = Trace.create () in
+  Trace.emit s ~cycle:0 ~cluster:(-1) meta_payload;
+  Trace.emit s ~cycle:1 ~cluster:0
+    (Trace.Apply { seq = 5; addr = 0; size = 4; store = true });
+  Trace.emit s ~cycle:2 ~cluster:0
+    (Trace.Apply { seq = 3; addr = 0; size = 4; store = false });
+  let r = Audit.run s in
+  Alcotest.(check int) "one violation" 1 r.Audit.violations;
+  Alcotest.(check int) "two applies" 2 r.Audit.applies;
+  (* in-order replay of the same accesses is clean *)
+  let s2 = Trace.create () in
+  Trace.emit s2 ~cycle:0 ~cluster:(-1) meta_payload;
+  Trace.emit s2 ~cycle:1 ~cluster:0
+    (Trace.Apply { seq = 3; addr = 0; size = 4; store = false });
+  Trace.emit s2 ~cycle:2 ~cluster:0
+    (Trace.Apply { seq = 5; addr = 0; size = 4; store = true });
+  Alcotest.(check int) "in order: clean" 0 (Audit.run s2).Audit.violations
+
+let test_audit_flags_stale_ab_hit () =
+  (* an AB copy synced at 2 serves a load sequenced at 9 after a store
+     sequenced at 6 hit the same bytes at home: provably stale *)
+  let s = Trace.create () in
+  Trace.emit s ~cycle:0 ~cluster:(-1) meta_payload;
+  Trace.emit s ~cycle:1 ~cluster:0
+    (Trace.Apply { seq = 6; addr = 8; size = 4; store = true });
+  Trace.emit s ~cycle:2 ~cluster:1
+    (Trace.Ab_hit { cluster = 1; seq = 9; addr = 8; size = 4; sync = 2 });
+  Alcotest.(check int) "stale hit flagged" 1 (Audit.run s).Audit.violations;
+  (* a copy synced after the store is fine *)
+  let s2 = Trace.create () in
+  Trace.emit s2 ~cycle:0 ~cluster:(-1) meta_payload;
+  Trace.emit s2 ~cycle:1 ~cluster:0
+    (Trace.Apply { seq = 6; addr = 8; size = 4; store = true });
+  Trace.emit s2 ~cycle:2 ~cluster:1
+    (Trace.Ab_hit { cluster = 1; seq = 9; addr = 8; size = 4; sync = 7 });
+  Alcotest.(check int) "fresh hit clean" 0 (Audit.run s2).Audit.violations
+
+let test_audit_check_mismatch_messages () =
+  let s = Trace.create () in
+  Trace.emit s ~cycle:0 ~cluster:(-1) meta_payload;
+  Trace.emit s ~cycle:1 ~cluster:2 (Trace.Nullify { cluster = 2; site = 7; iter = 0 });
+  (match Audit.check s ~violations:0 ~nullified:1 with
+  | Ok r -> Alcotest.(check int) "nullify replayed" 1 r.Audit.nullified
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "wrong nullified rejected" true
+    (Result.is_error (Audit.check s ~violations:0 ~nullified:0));
+  Alcotest.(check bool) "wrong violations rejected" true
+    (Result.is_error (Audit.check s ~violations:1 ~nullified:1))
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "sink",
+        [
+          Alcotest.test_case "growth and ordering" `Quick test_sink_growth_and_order;
+          Alcotest.test_case "meta lookup" `Quick test_sink_meta_lookup;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "summary matches stats" `Quick test_summary_matches_stats;
+          Alcotest.test_case "stall buckets partition" `Quick
+            test_stall_buckets_partition;
+          Alcotest.test_case "chrome deterministic" `Quick
+            test_chrome_export_deterministic;
+          Alcotest.test_case "summary requires meta" `Quick test_summary_requires_meta;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "reordered applies" `Quick
+            test_audit_flags_reordered_applies;
+          Alcotest.test_case "stale AB hit" `Quick test_audit_flags_stale_ab_hit;
+          Alcotest.test_case "check mismatches" `Quick
+            test_audit_check_mismatch_messages;
+        ] );
+    ]
