@@ -3,7 +3,7 @@
 
    Usage:
      bench/main.exe                 run everything (t1 t2 fig6 fig7 t3 t4
-                                    nobal fig9 t5 hybrid ablations)
+                                    nobal fig9 t5 hybrid verify ablations)
      bench/main.exe fig6 t3 ...     run a subset
      bench/main.exe --jobs N ...    fan work out over N domains (default:
                                     VLIW_JOBS or the recommended domain
@@ -53,6 +53,9 @@ let experiments : (string * string * (unit -> string)) list =
     ( "hybrid",
       "Ablation (Section 6) - per-loop hybrid MDC/DDGT",
       fun () -> Render.hybrid (Vliw_harness.Ablations.hybrid ()) );
+    ( "verify",
+      "Static coherence verification coverage",
+      fun () -> Render.verification (E.verification ()) );
     ( "ablations",
       "Ablations - latency policy, AB capacity, bus count, interleaving",
       fun () ->
@@ -103,13 +106,15 @@ let json_report ~jobs ~total_wall timings =
             ("nullified", Json.Int r.br_nullified);
             ("ab_hits", Json.Int r.br_ab_hits);
             ("ab_flushed", Json.Int r.br_ab_flushed);
+            ("loops", Json.Int (List.length r.br_loops));
+            ("verified_loops", Json.Int r.br_verified);
           ])
       (E.cached_runs ())
   in
   let memo = Memo.counters () in
   Json.Obj
     [
-      ("schema", Json.String "vliw-harness/2");
+      ("schema", Json.String "vliw-harness/3");
       ("jobs", Json.Int jobs);
       ("total_wall_s", Json.Float total_wall);
       ( "experiments",

@@ -20,20 +20,30 @@ module Lower = Vliw_lower.Lower
 module Ir = Vliw_ir
 module Sim = Vliw_sim.Sim
 module W = Vliw_workloads.Workloads
+module V = Vliw_verify.Verify
+module Diag = Vliw_util.Diag
 
 type technique = Free | Mdc | Ddgt | Hybrid
 
+let verify_technique = function
+  | Free -> V.Free
+  | Mdc -> V.Mdc
+  | Ddgt -> V.Ddgt
+  | Hybrid -> V.Hybrid
+
 let run_kernel ~machine ~technique ~heuristic ~ordering ~pad ~unroll ~cse
-    ~lint ~dump_ddg ~dot ~dump_sched ~execution ~trace_file kernel =
+    ~lint ~lint_error ~verify ~dump_ddg ~dot ~dump_sched ~execution
+    ~trace_file kernel =
   (match Ir.Typecheck.check kernel with
   | Ok _ -> ()
   | Error e ->
     Printf.eprintf "type error: %s\n" e;
     exit 1);
-  if lint then
-    List.iter
-      (fun d -> Format.printf "%a@." Vliw_lower.Lint.pp d)
-      (Vliw_lower.Lint.check kernel);
+  (if lint || lint_error then (
+     let ds = Vliw_lower.Lint.check kernel in
+     let ds = if lint_error then Diag.promote_warnings ds else ds in
+     List.iter (fun d -> Format.printf "%a@." Vliw_lower.Lint.pp d) ds;
+     if Diag.has_errors ds then exit 1));
   let kernel =
     if cse then (
       let kernel', removed = Ir.Cse.eliminate kernel in
@@ -125,6 +135,15 @@ let run_kernel ~machine ~technique ~heuristic ~ordering ~pad ~unroll ~cse
     let ml = Vliw_sched.Regpressure.max_live graph schedule in
     Printf.printf "register pressure (MaxLive per cluster): %s\n"
       (String.concat " " (Array.to_list (Array.map string_of_int ml)));
+    (if verify then (
+       let r =
+         V.check ~machine
+           ~technique:(verify_technique technique)
+           ~base:low.Lower.graph ~layout ~graph ~schedule ()
+       in
+       List.iter (fun d -> Format.printf "%a@." Diag.pp d) r.V.r_diags;
+       Format.printf "%a@." V.pp_report r;
+       if not r.V.r_verified then exit 1));
     let oracle = Ir.Interp.run ~layout kernel in
     let mode = if execution then Sim.Execution else Sim.Oracle oracle in
     let warm = not execution in
@@ -275,8 +294,8 @@ let compare_kernel ~machine ~heuristic ~pad ~unroll kernel =
   T.print t
 
 let main file workload technique heuristic ordering machine_name interleave
-    ab pad unroll cse lint dump_ddg dot dump_sched execution compare jobs
-    trace_file =
+    ab pad unroll cse lint lint_error verify dump_ddg dot dump_sched execution
+    compare jobs trace_file =
   (match jobs with
   | Some n when n >= 1 -> Vliw_util.Pool.set_jobs n
   | Some n ->
@@ -316,8 +335,8 @@ let main file workload technique heuristic ordering machine_name interleave
            if compare then compare_kernel ~machine ~heuristic ~pad ~unroll kernel
            else
              run_kernel ~machine ~technique ~heuristic ~ordering ~pad ~unroll
-               ~cse ~lint ~dump_ddg ~dot ~dump_sched ~execution ~trace_file
-               kernel)
+               ~cse ~lint ~lint_error ~verify ~dump_ddg ~dot ~dump_sched
+               ~execution ~trace_file kernel)
          (Ir.Parser.parse_kernels src)
      with
     | Ir.Parser.Error (msg, pos) ->
@@ -342,7 +361,8 @@ let main file workload technique heuristic ordering machine_name interleave
         if compare then compare_kernel ~machine ~heuristic ~pad ~unroll kernel
         else
           run_kernel ~machine ~technique ~heuristic ~ordering ~pad ~unroll
-            ~cse ~lint ~dump_ddg ~dot ~dump_sched ~execution ~trace_file kernel)
+            ~cse ~lint ~lint_error ~verify ~dump_ddg ~dot ~dump_sched
+            ~execution ~trace_file kernel)
       bench.W.b_loops
 
 (* --- cmdliner wiring --- *)
@@ -428,6 +448,23 @@ let lint_flag =
   Arg.(
     value & flag & info [ "lint" ] ~doc:"Print kernel diagnostics before compiling.")
 
+let lint_error_flag =
+  Arg.(
+    value & flag
+    & info [ "lint-error" ]
+        ~doc:
+          "Lint with warnings promoted to errors; exit nonzero if any remain \
+           (implies $(b,--lint)).")
+
+let verify_flag =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:
+          "Statically verify the schedule coherence-safe before simulating; \
+           print the certificate or the diagnostics and exit nonzero on \
+           rejection.")
+
 let compare_flag =
   Arg.(
     value & flag
@@ -482,7 +519,7 @@ let cmd =
     Term.(
       const main $ file $ workload $ technique $ heuristic $ ordering
       $ machine_name $ interleave $ ab $ pad $ unroll $ cse_flag $ lint_flag
-      $ dump_ddg $ dot $ dump_sched $ execution $ compare_flag $ jobs
-      $ trace_file)
+      $ lint_error_flag $ verify_flag $ dump_ddg $ dot $ dump_sched
+      $ execution $ compare_flag $ jobs $ trace_file)
 
 let () = exit (Cmd.eval cmd)

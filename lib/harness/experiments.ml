@@ -249,3 +249,63 @@ let table5 () =
         t5_removed = !removed;
       })
     [ "epicdec"; "pgpdec"; "rasta" ]
+
+(* ------- static coherence verification coverage (not in the paper) ------- *)
+
+type verif_row = {
+  v_technique : R.technique;
+  v_heuristic : S.heuristic;
+  v_loops : int;
+  v_verified : int;
+  v_violations : int;
+  v_proofs : (string * int) list;
+}
+
+let verification () =
+  let machine = M.table2 in
+  let schemes : scheme list =
+    [
+      (R.Free, S.Pref_clus); (R.Free, S.Min_coms);
+      (R.Mdc, S.Pref_clus); (R.Mdc, S.Min_coms);
+      (R.Ddgt, S.Pref_clus); (R.Ddgt, S.Min_coms);
+      (R.Hybrid, S.Pref_clus); (R.Hybrid, S.Min_coms);
+    ]
+  in
+  Pool.map
+    (fun ((tech, heur) as scheme) ->
+      let loops =
+        List.concat_map
+          (fun b -> (run ~machine scheme b).R.br_loops)
+          W.figures
+      in
+      let proofs = Hashtbl.create 8 in
+      List.iter
+        (fun (lr : R.loop_run) ->
+          List.iter
+            (fun (p, c) ->
+              Hashtbl.replace proofs p
+                (c + Option.value (Hashtbl.find_opt proofs p) ~default:0))
+            lr.R.lr_verify.Vliw_verify.Verify.r_proofs)
+        loops;
+      {
+        v_technique = tech;
+        v_heuristic = heur;
+        v_loops = List.length loops;
+        v_verified =
+          List.fold_left
+            (fun a (lr : R.loop_run) ->
+              if lr.R.lr_verify.Vliw_verify.Verify.r_verified then a + 1 else a)
+            0 loops;
+        v_violations =
+          List.fold_left
+            (fun a (lr : R.loop_run) -> a + lr.R.lr_stats.Vliw_sim.Sim.violations)
+            0 loops;
+        v_proofs =
+          List.filter_map
+            (fun p ->
+              match Hashtbl.find_opt proofs p with
+              | Some c when c > 0 -> Some (p, c)
+              | _ -> None)
+            Vliw_verify.Verify.proof_names;
+      })
+    schemes

@@ -107,3 +107,22 @@ type t5_row = {
 val table5 : unit -> t5_row list
 (** epicdec, pgpdec and rasta, like the paper (pgpenc is excluded there as
     "similar to pgpdec"). *)
+
+(** {1 Static coherence verification coverage (beyond the paper)} *)
+
+type verif_row = {
+  v_technique : Runner.technique;
+  v_heuristic : Vliw_sched.Schedule.heuristic;
+  v_loops : int;  (** loop schedules examined (figure benchmarks, Table 2) *)
+  v_verified : int;  (** certified coherence-safe by {!Vliw_verify.Verify} *)
+  v_violations : int;  (** dynamic violations observed across those runs *)
+  v_proofs : (string * int) list;  (** aggregated proof-rule histogram *)
+}
+
+val verification : unit -> verif_row list
+(** One row per (technique, heuristic) over the figure benchmarks: how many
+    loop schedules the static verifier certifies, and the dynamic
+    violation count beside it. MDC/DDGT rows must be fully certified (the
+    runner gates them); the free rows report the verifier's flag rate on
+    naive schedules — a completeness metric, since a flagged-but-clean run
+    only means the proof rules could not discharge it statically. *)

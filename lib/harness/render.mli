@@ -34,3 +34,9 @@ val trace_summary : Vliw_trace.Summary.t -> string
 (** Per-cluster cache-module activity, per-bus occupancy, and the
     stall-cause breakdown of one recorded simulation ([vliwc --trace]'s
     textual counterpart to the exported Chrome trace). *)
+
+(** {1 Static coherence verification} *)
+
+val verification : Experiments.verif_row list -> string
+(** Certification coverage and flag rate per (technique, heuristic), with
+    the aggregated proof-rule histogram. *)

@@ -12,6 +12,7 @@ module Ir = Vliw_ir
 module Trace = Vliw_trace.Trace
 module Audit = Vliw_trace.Audit
 module Chrome = Vliw_trace.Chrome
+module V = Vliw_verify.Verify
 
 type technique = Free | Mdc | Ddgt | Hybrid
 
@@ -21,11 +22,18 @@ let technique_name = function
   | Ddgt -> "DDGT"
   | Hybrid -> "hybrid"
 
+let verify_technique = function
+  | Free -> V.Free
+  | Mdc -> V.Mdc
+  | Ddgt -> V.Ddgt
+  | Hybrid -> V.Hybrid
+
 type loop_run = {
   lr_loop : W.loop;
   lr_graph : G.t;
   lr_schedule : S.t;
   lr_stats : Sim.stats;
+  lr_verify : V.report;
   lr_mem_ops : int;
   lr_chain : int;
   lr_nodes : int;
@@ -49,6 +57,7 @@ type bench_run = {
   br_nullified : int;
   br_ab_hits : int;
   br_ab_flushed : int;
+  br_verified : int;
 }
 
 let machine_for base (b : W.benchmark) = M.with_interleave base b.b_interleave
@@ -130,17 +139,32 @@ let run_loop ~machine ?(lat_policy = Driver.Cache_sensitive)
         | Ddgt -> Profile.node_pref prof graph
         | Free | Mdc | Hybrid -> pref
       in
+      (* MDC and DDGT promise coherence by construction: make the driver
+         prove it, failing the compilation rather than emitting an unsafe
+         schedule (free stays ungated — it is the paper's unsafe baseline) *)
+      let check =
+        match technique with
+        | Mdc | Ddgt ->
+          V.gate ~machine ~technique:(verify_technique technique)
+            ~base:low.Lower.graph ~layout ()
+        | Free | Hybrid -> fun _ _ -> Ok ()
+      in
       let schedule =
         match
           Driver.run
             (Driver.request ~heuristic ~constraints ~pref:pref_g ~lat_policy
-               ~ordering machine)
+               ~ordering ~check machine)
             graph
         with
         | Ok s -> s
         | Error e -> fail e
       in
       (graph, schedule)
+  in
+  let verify =
+    V.check ~machine
+      ~technique:(verify_technique technique)
+      ~base:low.Lower.graph ~layout ~graph ~schedule ()
   in
   let oracle = stages.Memo.oracle in
   let sink =
@@ -150,6 +174,15 @@ let run_loop ~machine ?(lat_policy = Driver.Cache_sensitive)
     Sim.run ~lowered:low ~graph ~schedule ~layout ~mode:(Sim.Oracle oracle)
       ~warm:true ?trace:sink ()
   in
+  (* soundness cross-check: a certificate with dynamic violations means the
+     verifier's rule system is wrong — abort, never report around it *)
+  if verify.V.r_verified && stats.Sim.violations > 0 then
+    failwith
+      (Printf.sprintf
+         "%s/%s (%s, %s): verifier UNSOUND: certified schedule ran with %d \
+          coherence violations"
+         bench.b_name loop.l_name (technique_name technique)
+         (S.heuristic_name heuristic) stats.Sim.violations);
   (match sink with
   | None -> ()
   | Some s -> (
@@ -182,6 +215,7 @@ let run_loop ~machine ?(lat_policy = Driver.Cache_sensitive)
     lr_graph = graph;
     lr_schedule = schedule;
     lr_stats = stats;
+    lr_verify = verify;
     lr_mem_ops = List.length (G.mem_refs low.Lower.graph);
     lr_chain = List.length (Chains.biggest low.Lower.graph);
     lr_nodes = G.node_count low.Lower.graph;
@@ -220,6 +254,10 @@ let run_bench ~machine ?lat_policy ?ordering ?transform technique heuristic
     br_nullified = isum (fun s -> s.Sim.nullified);
     br_ab_hits = isum (fun s -> s.Sim.ab_hits);
     br_ab_flushed = isum (fun s -> s.Sim.ab_flushed);
+    br_verified =
+      List.fold_left
+        (fun acc lr -> if lr.lr_verify.V.r_verified then acc + 1 else acc)
+        0 loops;
   }
 
 type access_mix = {

@@ -34,6 +34,8 @@ type loop_run = {
   lr_graph : Vliw_ddg.Graph.t;  (** the graph actually scheduled (post-transform) *)
   lr_schedule : Vliw_sched.Schedule.t;
   lr_stats : Vliw_sim.Sim.stats;
+  lr_verify : Vliw_verify.Verify.report;
+      (** static coherence verdict on the schedule that ran *)
   lr_mem_ops : int;  (** static memory operations in the pre-transform DDG *)
   lr_chain : int;  (** size of the biggest (>= 2) memory dependent chain *)
   lr_nodes : int;  (** static DDG operations (pre-transform) *)
@@ -58,6 +60,7 @@ type bench_run = {
   br_nullified : int;
   br_ab_hits : int;
   br_ab_flushed : int;
+  br_verified : int;  (** loops whose schedule the static verifier certified *)
 }
 
 (** {1 Observability hooks}
@@ -94,7 +97,16 @@ val run_loop :
   bench:Vliw_workloads.Workloads.benchmark ->
   Vliw_workloads.Workloads.loop ->
   loop_run
-(** Raises [Failure] if the loop cannot be compiled — a workload bug. *)
+(** Raises [Failure] if the loop cannot be compiled — a workload bug.
+
+    Every run is statically verified ({!Vliw_verify.Verify}): MDC and DDGT
+    compilations are {e gated} — the driver rejects any schedule the
+    verifier cannot certify — while free and hybrid schedules are verified
+    after the fact (the free baseline is the paper's unsafe reference
+    point, so its verdict is reported, not enforced). In every case the
+    soundness cross-check runs after simulation: a certified schedule that
+    exhibits dynamic coherence violations raises [Failure] — that would
+    mean the verifier's rule system is wrong. *)
 
 val run_bench :
   machine:Vliw_arch.Machine.t ->

@@ -1,17 +1,16 @@
 open Vliw_ir.Ast
+module Diag = Vliw_util.Diag
 
-type severity = Warning | Info
+type severity = Diag.severity = Error | Warning | Info
 
-type diagnostic = {
+type diagnostic = Diag.t = {
   d_severity : severity;
   d_code : string;
   d_message : string;
+  d_context : (string * string) list;
 }
 
-let diag sev code fmt =
-  Printf.ksprintf
-    (fun m -> { d_severity = sev; d_code = code; d_message = m })
-    fmt
+let diag sev code fmt = Diag.make sev ~code fmt
 
 let rec vars_of acc e =
   match e with
@@ -156,7 +155,4 @@ let check (k : kernel) =
   scan k.k_body;
   List.rev !ds
 
-let pp ppf d =
-  Format.fprintf ppf "%s[%s]: %s"
-    (match d.d_severity with Warning -> "warning" | Info -> "info")
-    d.d_code d.d_message
+let pp = Diag.pp

@@ -1,13 +1,21 @@
 (** Kernel diagnostics: the warnings a compiler for the [.lk] language owes
-    its users. None of these is an error — the semantics is total — but
-    each usually marks a kernel bug or a performance accident. *)
+    its users. None of these is an error by default — the semantics is
+    total — but each usually marks a kernel bug or a performance accident;
+    [vliwc --lint-error] escalates the warnings
+    ({!Vliw_util.Diag.promote_warnings}).
 
-type severity = Warning | Info
+    Diagnostics are plain {!Vliw_util.Diag.t} values (the type is
+    re-exported here with its constructors and fields), so they share the
+    stable-code, severity and JSON machinery with the static coherence
+    verifier. *)
 
-type diagnostic = {
+type severity = Vliw_util.Diag.severity = Error | Warning | Info
+
+type diagnostic = Vliw_util.Diag.t = {
   d_severity : severity;
   d_code : string;  (** stable identifier, e.g. "unused-temp" *)
   d_message : string;
+  d_context : (string * string) list;
 }
 
 val check : Vliw_ir.Ast.kernel -> diagnostic list

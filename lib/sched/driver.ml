@@ -13,17 +13,18 @@ type request = {
   max_ii : int;
   lat_policy : lat_policy;
   ordering : Ims.ordering;
+  check : G.t -> Schedule.t -> (unit, string) result;
 }
 
 let default_max_ii = 512
 
 let request ?(heuristic = Schedule.Min_coms) ?constraints ?(pref = fun _ -> None)
     ?(max_ii = default_max_ii) ?(lat_policy = Cache_sensitive)
-    ?(ordering = Ims.Height) machine =
+    ?(ordering = Ims.Height) ?(check = fun _ _ -> Ok ()) machine =
   let constraints =
     match constraints with Some c -> c | None -> C.no_constraints ()
   in
-  { machine; heuristic; constraints; pref; max_ii; lat_policy; ordering }
+  { machine; heuristic; constraints; pref; max_ii; lat_policy; ordering; check }
 
 let ceil_div a b = (a + b - 1) / b
 
@@ -191,11 +192,16 @@ let run req g =
     let s =
       if req.heuristic = Schedule.Min_coms then postpass req g !best else !best
     in
-    if valid s then Ok s
-    else
+    if not (valid s) then
       (* the permuted schedule re-validates by construction; failure here is
          a bug worth surfacing loudly *)
       Error "internal: post-pass produced an invalid schedule"
+    else
+      (* post-schedule acceptance check (e.g. the static coherence verifier,
+         injected by callers above this library in the dependency order) *)
+      match req.check g s with
+      | Ok () -> Ok s
+      | Error e -> Error ("rejected by post-schedule check: " ^ e)
 
 let run_exn req g =
   match run req g with Ok s -> s | Error e -> failwith ("Driver.run: " ^ e)

@@ -34,6 +34,13 @@ type request = {
   max_ii : int;  (** II search cap; {!default_max_ii} is plenty for loops *)
   lat_policy : lat_policy;
   ordering : Ims.ordering;  (** node-ordering/placement strategy *)
+  check : Vliw_ddg.Graph.t -> Schedule.t -> (unit, string) result;
+      (** post-schedule acceptance check, run once on the final schedule
+          (after the MinComs post-pass). [Error] fails the whole request.
+          This is how the static coherence verifier
+          ({!Vliw_verify.Verify.gate}) gates compilation — it lives above
+          this library in the dependency order, so it is injected rather
+          than called directly. *)
 }
 
 val default_max_ii : int
@@ -45,10 +52,11 @@ val request :
   ?max_ii:int ->
   ?lat_policy:lat_policy ->
   ?ordering:Ims.ordering ->
+  ?check:(Vliw_ddg.Graph.t -> Schedule.t -> (unit, string) result) ->
   Vliw_arch.Machine.t ->
   request
 (** Defaults: MinComs, no constraints, no profile, {!default_max_ii},
-    cache-sensitive latency assignment, [Height] ordering. *)
+    cache-sensitive latency assignment, [Height] ordering, no check. *)
 
 val res_mii : Vliw_arch.Machine.t -> Vliw_ddg.Graph.t -> request -> int
 (** Resource-constrained MII, including the sharpening from cluster pins

@@ -1,0 +1,42 @@
+type severity = Error | Warning | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+type t = {
+  d_severity : severity;
+  d_code : string;
+  d_message : string;
+  d_context : (string * string) list;
+}
+
+let make ?(context = []) sev ~code fmt =
+  Printf.ksprintf
+    (fun m ->
+      { d_severity = sev; d_code = code; d_message = m; d_context = context })
+    fmt
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s]: %s" (severity_name d.d_severity) d.d_code
+    d.d_message
+
+let to_json d =
+  Json.Obj
+    [
+      ("severity", Json.String (severity_name d.d_severity));
+      ("code", Json.String d.d_code);
+      ("message", Json.String d.d_message);
+      ( "context",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) d.d_context) );
+    ]
+
+let errors ds = List.filter (fun d -> d.d_severity = Error) ds
+let has_errors ds = List.exists (fun d -> d.d_severity = Error) ds
+
+let promote_warnings ds =
+  List.map
+    (fun d ->
+      match d.d_severity with Warning -> { d with d_severity = Error } | _ -> d)
+    ds

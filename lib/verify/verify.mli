@@ -1,0 +1,118 @@
+(** Static coherence verification: prove a schedule race-free before (or
+    without) simulating it.
+
+    The MDC and DDGT solutions make aliased memory operations safe {e by
+    construction}; this pass re-derives that guarantee from the artifacts
+    alone — the pre-transform DDG (whose MF/MA/MO edges enumerate every
+    aliased pair the compiler could not disambiguate), the scheduled graph,
+    the schedule and the machine — and either certifies the schedule or
+    emits {!Vliw_util.Diag} diagnostics pinpointing the offending pair.
+
+    {2 Obligations}
+
+    Every memory-dependence edge [X -d-> Y] of the {e base} graph is an
+    ordering obligation: for every iteration [k] where the two accesses
+    overlap, [X@k]'s update must reach the overlapped bytes' home cache
+    module before [Y@(k+d')]'s, for every distance [d' >= d]. The verifier
+    first checks the pair is {e routed} consistently (equal access widths,
+    or both within one interleave unit — then overlapping executions always
+    meet at one module, in one subblock), then discharges each
+    instance-pair of the scheduled graph with one of three proofs, each
+    robust to arbitrary bus/module queueing:
+
+    - {b co-located} — same cluster and positive issue distance: same-home
+      executions of the pair traverse the same FIFOs in issue order (rule
+      (a), the MDC guarantee);
+    - {b local-first} — [X]'s executing instance is guaranteed local to the
+      pair's home (a store-replication instance, or a statically-known home
+      equal to its cluster) while [Y] sits on another cluster no earlier in
+      the virtual schedule: [X] enters the home module's queue at issue,
+      [Y] only after a bus transfer (rule (b), the replicated-store
+      guarantee);
+    - {b value-sync} — [X] is a load with a register consumer [C] scheduled
+      (virtually) no later than [Y]: stall-on-use is global, so when [C]
+      issues, [X] has completed everywhere, and [Y] issues at or after [C]
+      (rule (b), the load-store synchronization guarantee — this is how
+      DDGT's killed MA edges discharge).
+
+    Instance pairs that cannot co-execute are skipped as vacuous: two
+    replication instances on different clusters, or accesses with distinct
+    statically-known home clusters (requires [layout]).
+
+    Structurally, any node replicated in the scheduled graph must have its
+    instances cover every cluster exactly once ([replica-coverage]), and
+    under DDGT every memory-dependent store must actually be replicated
+    ([missing-replication]).
+
+    {2 Soundness and incompleteness}
+
+    "Verified" implies zero dynamic coherence violations in {!Vliw_sim.Sim}
+    under nominal (contention-free, jitter-free) bus latencies; co-located
+    pairs where both accesses are remote additionally rely on the machine's
+    globally-FIFO bus arbitration, which jitter can break — the harness
+    cross-checks the implication on every run it makes. The verifier trusts
+    the compiler's disambiguation (an aliased pair with no DDG edge is
+    invisible to it) and is deliberately incomplete: a schedule whose
+    safety depends on cache-state timing, queue occupancy or trip counts is
+    rejected even if no violation can dynamically occur. Diagnostic codes:
+    [split-access], [chain-split] (MDC), [missing-replication] (DDGT),
+    [replica-coverage], [unordered-pair]. *)
+
+(** Mirrors the harness's technique choice; only [Mdc] and [Ddgt] switch on
+    technique-specific structural checks ([Free] and [Hybrid] run the
+    generic proof rules alone). *)
+type technique = Free | Mdc | Ddgt | Hybrid
+
+val technique_name : technique -> string
+
+val proof_names : string list
+(** Every proof/vacuity label that can appear in [r_proofs], in the fixed
+    rendering order. *)
+
+type report = {
+  r_technique : technique;
+  r_pairs : int;  (** base-graph memory-dependence edges examined *)
+  r_obligations : int;
+      (** instance-pair ordering obligations (vacuous pairs excluded) *)
+  r_proofs : (string * int) list;
+      (** histogram over proof rules ([co-located], [local-first],
+          [value-sync]) and vacuity arguments ([replica-disjoint],
+          [disjoint-homes]); only nonzero entries, fixed order *)
+  r_diags : Vliw_util.Diag.t list;
+  r_verified : bool;  (** no [Error]-severity diagnostic *)
+}
+
+val check :
+  machine:Vliw_arch.Machine.t ->
+  technique:technique ->
+  base:Vliw_ddg.Graph.t ->
+  ?layout:Vliw_ir.Layout.t ->
+  graph:Vliw_ddg.Graph.t ->
+  schedule:Vliw_sched.Schedule.t ->
+  unit ->
+  report
+(** [base] is the pre-transform DDG (the lowering's graph); [graph] the
+    scheduled one — equal to [base] for free/MDC, the transformed graph for
+    DDGT/hybrid-DDGT. [layout] enables the statically-known-home reasoning
+    (affine accesses whose stride is a multiple of [clusters *
+    interleave_bytes]); without it the verifier is still sound, only less
+    complete. The schedule must place every node of [graph]. *)
+
+val gate :
+  machine:Vliw_arch.Machine.t ->
+  technique:technique ->
+  base:Vliw_ddg.Graph.t ->
+  ?layout:Vliw_ir.Layout.t ->
+  unit ->
+  Vliw_ddg.Graph.t ->
+  Vliw_sched.Schedule.t ->
+  (unit, string) result
+(** {!check} packaged for {!Vliw_sched.Driver.request}'s [check] hook:
+    [Ok ()] when verified, otherwise the error diagnostics on one line. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** One summary line (no trailing newline): certified with pair/obligation
+    counts and the proof histogram, or rejected with the error count.
+    Diagnostics are not included — print them separately. *)
+
+val report_json : report -> Vliw_util.Json.t

@@ -126,6 +126,70 @@ Diagnostics and redundant-load elimination:
   warning[wrapping-subscript]: subscript of "a" spans [0, 62] but the array has 16 elements; the access wraps and is compiled as indirect
   warning[wrapping-subscript]: subscript of "a" spans [0, 62] but the array has 16 elements; the access wraps and is compiled as indirect
 
+--lint-error promotes warnings to errors and fails the compile:
+
+  $ vliwc lintme.lk --lint-error
+  error[unused-temp]: temp "unused" is never read
+  info[constant-scalar]: scalar "c" is never assigned; it folds to 3
+  error[unused-array]: array "dead" is never accessed
+  error[wrapping-subscript]: subscript of "a" spans [0, 31] but the array has 16 elements; the access wraps and is compiled as indirect
+  error[wrapping-subscript]: subscript of "a" spans [0, 62] but the array has 16 elements; the access wraps and is compiled as indirect
+  error[wrapping-subscript]: subscript of "a" spans [0, 62] but the array has 16 elements; the access wraps and is compiled as indirect
+  error[wrapping-subscript]: subscript of "a" spans [0, 62] but the array has 16 elements; the access wraps and is compiled as indirect
+  [1]
+
+Static coherence verification (--verify): a certified schedule prints its
+certificate with the proof histogram and goes on to simulate; MDC keeps
+the chain on one cluster (co-located), DDGT's replicated stores make the
+non-replica instances vacuous (disjoint-homes):
+
+  $ vliwc ../../examples/kernels/inplace.lk -H prefclus -t mdc --verify | head -4
+  kernel inplace: 4 ops, 3 memory ops, 2 chains (biggest 2)
+  schedule: II=2 length=20 stages=10 copies/iter=1
+  register pressure (MaxLive per cluster): 2 1 0 0
+  coherence verification (MDC): certified (1 aliased pairs, 1 obligations; co-located 1)
+
+  $ vliwc ../../examples/kernels/inplace.lk -H prefclus -t ddgt --verify | head -4
+  kernel inplace: 4 ops, 3 memory ops, 2 chains (biggest 2)
+  schedule: II=2 length=22 stages=11 copies/iter=4
+  register pressure (MaxLive per cluster): 2 1 1 1
+  coherence verification (DDGT): certified (1 aliased pairs, 1 obligations; co-located 1, disjoint-homes 3)
+
+A free schedule that scatters aliased accesses across clusters is
+rejected before simulation, naming each unprovable pair:
+
+  $ cat > contend.lk <<'LK'
+  > kernel contend {
+  >   array a : i32[520] = ramp(0,1)
+  >   array junk : i32[4096] = zero
+  >   scalar s : i64 = 0
+  >   trip 128
+  >   body {
+  >     junk[3*i] = i
+  >     junk[5*i+1] = i
+  >     a[4*i+8] = i*5
+  >     s = s + a[4*i]
+  >   }
+  > }
+  > LK
+  $ vliwc contend.lk -t free --verify
+  kernel contend: 6 ops, 4 memory ops, 2 chains (biggest 2)
+  schedule: II=2 length=17 stages=9 copies/iter=0
+  register pressure (MaxLive per cluster): 2 0 0 0
+  error[unordered-pair]: MO dependence store junk[site 0] (node 1, cluster 2, cycle 0) -> store junk[site 1] (node 2, cluster 3, cycle 1) at distance 0: home-module arrival order is not statically forced
+  error[unordered-pair]: MO dependence store junk[site 1] (node 2, cluster 3, cycle 1) -> store junk[site 0] (node 1, cluster 2, cycle 0) at distance 1: home-module arrival order is not statically forced
+  error[unordered-pair]: MF dependence store a[site 2] (node 3, cluster 1, cycle 0) -> load a[site 3] (node 4, cluster 0, cycle 0) at distance 2: home-module arrival order is not statically forced
+  coherence verification (free): REJECTED (3 errors over 3 aliased pairs, 3 obligations)
+  [1]
+
+MDC on the same kernel constrains the chains and certifies:
+
+  $ vliwc contend.lk -t mdc --verify | head -4
+  kernel contend: 6 ops, 4 memory ops, 2 chains (biggest 2)
+  schedule: II=2 length=17 stages=9 copies/iter=0
+  register pressure (MaxLive per cluster): 2 0 0 0
+  coherence verification (MDC): certified (3 aliased pairs, 3 obligations; co-located 3)
+
   $ vliwc ../../examples/kernels/fir.lk --interleave 2 --cse -t mdc -H prefclus | head -3
   kernel fir: 9 ops, 3 memory ops, 3 chains (biggest 0)
   schedule: II=2 length=25 stages=13 copies/iter=3
