@@ -27,55 +27,74 @@ module Render = Vliw_harness.Render
 module Pool = Vliw_util.Pool
 module Json = Vliw_util.Json
 
-let experiments : (string * string * (unit -> string)) list =
+(* the fuzz sweep's summary, kept for the --json report when the fuzz
+   experiment ran this invocation *)
+let fuzz_summary : Vliw_fuzz.Fuzz.summary option ref = ref None
+
+(* each render thunk takes the process-wide observability configuration
+   (from --audit / --trace-dir) explicitly; there is no global to set *)
+let experiments : (string * string * (Vliw_harness.Runner.obs -> string)) list =
   [
-    ("t1", "Table 1 - benchmarks and inputs", fun () -> Render.table1 ());
-    ("t2", "Table 2 - configuration parameters", fun () -> Render.table2 M.table2);
+    ("t1", "Table 1 - benchmarks and inputs", fun _ -> Render.table1 ());
+    ("t2", "Table 2 - configuration parameters", fun _ -> Render.table2 M.table2);
     ( "fig6",
       "Figure 6 - memory access classification (PrefClus)",
-      fun () -> Render.fig6 (E.fig6 ()) );
+      fun obs -> Render.fig6 (E.fig6 ~obs ()) );
     ( "fig7",
       "Figure 7 - execution time",
-      fun () ->
+      fun obs ->
         Render.fig7 ~title:"Figure 7. Execution cycles"
-          ~baseline_label:"free MinComs" (E.fig7 ()) );
-    ("t3", "Table 3 - analyzing the MDC solution", fun () -> Render.table3 (E.table3 ()));
-    ("t4", "Table 4 - analyzing the DDGT solution", fun () -> Render.table4 (E.table4 ()));
+          ~baseline_label:"free MinComs" (E.fig7 ~obs ()) );
+    ( "t3",
+      "Table 3 - analyzing the MDC solution",
+      fun obs -> Render.table3 (E.table3 ~obs ()) );
+    ( "t4",
+      "Table 4 - analyzing the DDGT solution",
+      fun obs -> Render.table4 (E.table4 ~obs ()) );
     ( "nobal",
       "Section 4.2 - unbalanced bus configurations",
-      fun () -> Render.nobal (E.nobal ()) );
+      fun obs -> Render.nobal (E.nobal ~obs ()) );
     ( "fig9",
       "Figure 9 - execution time with Attraction Buffers",
-      fun () ->
+      fun obs ->
         Render.fig7 ~title:"Figure 9. Execution cycles with 16-entry 2-way ABs"
-          ~baseline_label:"free MinComs with ABs" (E.fig9 ()) );
-    ("t5", "Table 5 - code specialization", fun () -> Render.table5 (E.table5 ()));
+          ~baseline_label:"free MinComs with ABs" (E.fig9 ~obs ()) );
+    ( "t5",
+      "Table 5 - code specialization",
+      fun obs -> Render.table5 (E.table5 ~obs ()) );
     ( "hybrid",
       "Ablation (Section 6) - per-loop hybrid MDC/DDGT",
-      fun () -> Render.hybrid (Vliw_harness.Ablations.hybrid ()) );
+      fun obs -> Render.hybrid (Vliw_harness.Ablations.hybrid ~obs ()) );
     ( "verify",
       "Static coherence verification coverage",
-      fun () -> Render.verification (E.verification ()) );
+      fun obs -> Render.verification (E.verification ~obs ()) );
+    ( "fuzz",
+      "Differential coherence fuzzing (bounded sweep)",
+      fun _ ->
+        let s = Vliw_fuzz.Fuzz.run (Vliw_fuzz.Fuzz.config ()) in
+        fuzz_summary := Some s;
+        Render.fuzz s );
     ( "ablations",
       "Ablations - latency policy, AB capacity, bus count, interleaving",
-      fun () ->
+      fun obs ->
+        let module A = Vliw_harness.Ablations in
         String.concat "\n"
           [
-            Render.latency_policies (Vliw_harness.Ablations.latency_policies ());
-            Render.ab_sizes (Vliw_harness.Ablations.ab_sizes ());
-            Render.bus_sweep (Vliw_harness.Ablations.bus_sweep ());
-            Render.specialization (Vliw_harness.Ablations.specialization ());
-            Render.unrolling (Vliw_harness.Ablations.unrolling ());
-            Render.reg_pressure (Vliw_harness.Ablations.reg_pressure ());
-            Render.orderings (Vliw_harness.Ablations.orderings ());
-            Render.interleave_sweep (Vliw_harness.Ablations.interleave_sweep ());
+            Render.latency_policies (A.latency_policies ~obs ());
+            Render.ab_sizes (A.ab_sizes ~obs ());
+            Render.bus_sweep (A.bus_sweep ~obs ());
+            Render.specialization (A.specialization ~obs ());
+            Render.unrolling (A.unrolling ~obs ());
+            Render.reg_pressure (A.reg_pressure ~obs ());
+            Render.orderings (A.orderings ~obs ());
+            Render.interleave_sweep (A.interleave_sweep ~obs ());
           ] );
   ]
 
-let run_one (key, title, render) =
+let run_one obs (key, title, render) =
   Printf.printf "==================== %s: %s ====================\n%!" key title;
   let t0 = Unix.gettimeofday () in
-  print_string (render ());
+  print_string (render obs);
   let dt = Unix.gettimeofday () -. t0 in
   print_newline ();
   (key, title, dt)
@@ -114,7 +133,7 @@ let json_report ~jobs ~total_wall timings =
   let memo = Memo.counters () in
   Json.Obj
     [
-      ("schema", Json.String "vliw-harness/3");
+      ("schema", Json.String "vliw-harness/4");
       ("jobs", Json.Int jobs);
       ("total_wall_s", Json.Float total_wall);
       ( "experiments",
@@ -136,6 +155,10 @@ let json_report ~jobs ~total_wall timings =
             ("hit_rate", Json.Float (Memo.hit_rate ()));
           ] );
       ("runs", Json.List runs);
+      ( "fuzz",
+        match !fuzz_summary with
+        | Some s -> Vliw_fuzz.Fuzz.summary_json s
+        | None -> Json.Null );
     ]
 
 let run_bechamel () =
@@ -148,7 +171,9 @@ let run_bechamel () =
            Test.make ~name:key
              (Staged.stage (fun () ->
                   E.clear_cache ();
-                  ignore (Sys.opaque_identity (render ())))))
+                  ignore
+                    (Sys.opaque_identity
+                       (render Vliw_harness.Runner.obs_none)))))
          experiments)
   in
   let ols =
@@ -198,12 +223,12 @@ let () =
   in
   let jobs, json, audit, tdir, keys = parse None None false None [] args in
   Option.iter Pool.set_jobs jobs;
-  Vliw_harness.Runner.set_audit audit;
   Option.iter
-    (fun dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-      Vliw_harness.Runner.set_trace_dir (Some dir))
+    (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755)
     tdir;
+  let obs =
+    { Vliw_harness.Runner.obs_audit = audit; obs_trace_dir = tdir }
+  in
   match keys with
   | [ "bechamel" ] -> run_bechamel ()
   | keys ->
@@ -221,7 +246,7 @@ let () =
           keys
     in
     let t0 = Unix.gettimeofday () in
-    let timings = List.map run_one selected in
+    let timings = List.map (run_one obs) selected in
     let total_wall = Unix.gettimeofday () -. t0 in
     Option.iter
       (fun path ->

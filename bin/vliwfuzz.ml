@@ -1,0 +1,185 @@
+(* vliwfuzz — differential coherence fuzzing of the compile-and-simulate
+   pipeline against a golden sequential-memory oracle.
+
+   Examples:
+     vliwfuzz run --seed 1 --count 500 --budget 30   # bounded sweep
+     vliwfuzz run --out repros --jobs 4              # write minimized repros
+     vliwfuzz replay repros/repro_1_42.lk            # re-judge one case
+     vliwfuzz shrink repros/repro_1_42.lk            # minimize by hand
+
+   Every case is a pure function of (seed, index); the sweep's output is
+   byte-identical at any --jobs width. Exit status 1 means at least one
+   certified schedule disagreed with the oracle (or an internal
+   cross-check tripped) — the repro files name the witnesses. *)
+
+open Cmdliner
+module Fuzz = Vliw_fuzz.Fuzz
+module Gen = Vliw_fuzz.Gen
+module Diff = Vliw_fuzz.Diff
+module Shrink = Vliw_fuzz.Shrink
+
+(* test-only: wrap the real verifier so it certifies everything — the
+   differential predicate must then catch real violations as
+   "certified-violation". Hidden from normal use; exercised by the cram
+   test and CI to prove the fuzzer's teeth. *)
+let weakened ~machine ~technique ~base ~layout ~graph ~schedule =
+  let r =
+    Diff.default_verifier ~machine ~technique ~base ~layout ~graph ~schedule
+  in
+  {
+    r with
+    Vliw_verify.Verify.r_verified = true;
+    r_jitter_robust = true;
+    r_diags = [];
+  }
+
+let verifier_of weaken = if weaken then Some weakened else None
+
+let print_verdict (v : Diff.verdict) =
+  Printf.printf "case seed=%d index=%d nodes=%d shapes=%s heuristic=%s\n"
+    v.Diff.v_case.Gen.g_seed v.Diff.v_case.Gen.g_index v.Diff.v_nodes
+    (String.concat "," v.Diff.v_case.Gen.g_shapes)
+    (Vliw_sched.Schedule.heuristic_name v.Diff.v_heuristic);
+  List.iter
+    (fun (r : Diff.run) ->
+      match r.Diff.d_status with
+      | Diff.Unschedulable e ->
+        Printf.printf "  %-6s unschedulable: %s\n"
+          (Diff.technique_name r.Diff.d_technique)
+          e
+      | Diff.Ran x ->
+        Printf.printf "  %-6s verified=%b jitter-robust=%b violations=%d memory=%s%s\n"
+          (Diff.technique_name r.Diff.d_technique)
+          x.r_verified x.r_jitter_robust x.r_nominal.Diff.so_violations
+          (if x.r_nominal.Diff.so_memory_ok then "ok" else "DIFFERS")
+          (match x.r_jittered with
+          | None -> ""
+          | Some j ->
+            Printf.sprintf " | jittered violations=%d memory=%s"
+              j.Diff.so_violations
+              (if j.Diff.so_memory_ok then "ok" else "DIFFERS")))
+    v.Diff.v_runs;
+  if v.Diff.v_failures = [] then print_string "clean\n"
+  else
+    List.iter
+      (fun (f : Diff.failure) ->
+        Printf.printf "FAILURE %s (%s): %s\n" f.Diff.f_kind f.Diff.f_technique
+          f.Diff.f_detail)
+      v.Diff.v_failures
+
+(* ---- subcommands ---- *)
+
+let run_cmd seed count budget jobs out no_shrink weaken =
+  Option.iter Vliw_util.Pool.set_jobs jobs;
+  let cfg = Fuzz.config ~seed ~count ~budget ?out ~shrink:(not no_shrink) () in
+  let s = Fuzz.run ?verifier:(verifier_of weaken) cfg in
+  print_string (Fuzz.render s);
+  if s.Fuzz.s_clean then 0 else 1
+
+let replay_cmd file weaken =
+  let case = Gen.load file in
+  let v = Diff.check ?verifier:(verifier_of weaken) case in
+  print_verdict v;
+  if v.Diff.v_failures = [] then 0 else 1
+
+let shrink_cmd file out weaken =
+  let case = Gen.load file in
+  let verifier = verifier_of weaken in
+  if not (Diff.failing ?verifier case) then begin
+    print_string "case does not fail: nothing to shrink\n";
+    1
+  end
+  else begin
+    let small = Shrink.shrink ~pred:(Diff.failing ?verifier) case in
+    let path = match out with Some p -> p | None -> file ^ ".min" in
+    Gen.save path small;
+    Printf.printf "shrunk to %d nodes (%d statements): %s\n"
+      (Shrink.node_count small)
+      (List.length small.Gen.g_kernel.Vliw_ir.Ast.k_body)
+      path;
+    print_verdict (Diff.check ?verifier small);
+    0
+  end
+
+let gen_cmd seed budget index out =
+  let case = Gen.generate ~seed ~budget index in
+  (match out with
+  | Some path ->
+    Gen.save path case;
+    Printf.printf "wrote %s\n" path
+  | None -> print_string (Gen.to_file_string case));
+  0
+
+(* ---- cmdliner plumbing ---- *)
+
+let weaken =
+  Arg.(
+    value & flag
+    & info [ "weaken-verifier" ] ~doc:"Test-only: certify every schedule.")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Root seed.")
+
+let count =
+  Arg.(value & opt int 200 & info [ "count" ] ~docv:"N" ~doc:"Cases to run.")
+
+let budget =
+  Arg.(
+    value & opt int 30 & info [ "budget" ] ~docv:"B" ~doc:"Per-case size budget.")
+
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ] ~docv:"J" ~doc:"Pool width (default: VLIW_JOBS or cores).")
+
+let out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"DIR" ~doc:"Write minimized repro files under $(docv).")
+
+let no_shrink =
+  Arg.(value & flag & info [ "no-shrink" ] ~doc:"Keep failing cases unminimized.")
+
+let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let out_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"PATH"
+        ~doc:"Where to write the minimized case (default: FILE.min).")
+
+let index = Arg.(required & pos 0 (some int) None & info [] ~docv:"INDEX")
+
+let gen_c =
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Print (or save) one generated case by index.")
+    Term.(const gen_cmd $ seed $ budget $ index $ out_file)
+
+let run_c =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a bounded differential fuzzing sweep.")
+    Term.(
+      const run_cmd $ seed $ count $ budget $ jobs $ out $ no_shrink $ weaken)
+
+let replay_c =
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Re-run the differential pipeline on a saved case.")
+    Term.(const replay_cmd $ file $ weaken)
+
+let shrink_c =
+  Cmd.v
+    (Cmd.info "shrink" ~doc:"Minimize a failing saved case.")
+    Term.(const shrink_cmd $ file $ out_file $ weaken)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "vliwfuzz" ~version:"1.0.0"
+       ~doc:
+         "Differential coherence fuzzer: seeded workloads, golden-memory \
+          oracle, shrinking repro harness.")
+    [ run_c; replay_c; shrink_c; gen_c ]
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,233 @@
+module M = Vliw_arch.Machine
+module G = Vliw_ddg.Graph
+module S = Vliw_sched.Schedule
+module Driver = Vliw_sched.Driver
+module Chains = Vliw_core.Chains
+module Ddgt = Vliw_core.Ddgt
+module Lower = Vliw_lower.Lower
+module Profile = Vliw_profile.Profile
+module Sim = Vliw_sim.Sim
+module Trace = Vliw_trace.Trace
+module Audit = Vliw_trace.Audit
+module V = Vliw_verify.Verify
+module Layout = Vliw_ir.Layout
+module Interp = Vliw_ir.Interp
+module Prng = Vliw_util.Prng
+
+type technique = Free | Mdc | Ddgt | Hybrid
+
+let technique_name = function
+  | Free -> "free"
+  | Mdc -> "MDC"
+  | Ddgt -> "DDGT"
+  | Hybrid -> "hybrid"
+
+let techniques = [ Free; Mdc; Ddgt; Hybrid ]
+
+type verifier =
+  machine:M.t ->
+  technique:V.technique ->
+  base:G.t ->
+  layout:Layout.t ->
+  graph:G.t ->
+  schedule:S.t ->
+  V.report
+
+let default_verifier ~machine ~technique ~base ~layout ~graph ~schedule =
+  V.check ~machine ~technique ~base ~layout ~graph ~schedule ()
+
+type sim_obs = {
+  so_violations : int;
+  so_memory_ok : bool;  (** final memory equals the golden oracle's *)
+}
+
+type status =
+  | Unschedulable of string
+  | Ran of {
+      r_verified : bool;
+      r_jitter_robust : bool;
+      r_nominal : sim_obs;
+      r_jittered : sim_obs option;  (** [None] when the case has no jitter *)
+    }
+
+type run = { d_technique : technique; d_heuristic : S.heuristic; d_status : status }
+
+type failure = { f_kind : string; f_technique : string; f_detail : string }
+
+type verdict = {
+  v_case : Gen.case;
+  v_nodes : int;
+  v_heuristic : S.heuristic;
+  v_runs : run list;
+  v_failures : failure list;
+}
+
+let failure_kinds =
+  [
+    "oracle-diverged";
+    "certified-violation";
+    "certified-corruption";
+    "audit-mismatch";
+  ]
+
+let verify_technique = function
+  | Free -> V.Free
+  | Mdc -> V.Mdc
+  | Ddgt -> V.Ddgt
+  | Hybrid -> V.Hybrid
+
+(* the differential heuristic is itself a pure function of the case
+   identity, so replays agree with the original sweep *)
+let heuristic_for (c : Gen.case) =
+  let rng =
+    Prng.derive_named
+      (Gen.stream ~seed:c.Gen.g_seed ~index:c.Gen.g_index)
+      "diff"
+  in
+  if Prng.bool rng then S.Pref_clus else S.Min_coms
+
+let jitter_stream (c : Gen.case) tech =
+  Prng.derive_named
+    (Prng.derive_named
+       (Gen.stream ~seed:c.Gen.g_seed ~index:c.Gen.g_index)
+       "jitter")
+    (technique_name tech)
+
+let check ?(verifier = default_verifier) (c : Gen.case) =
+  let k = c.Gen.g_kernel in
+  let machine = Gen.machine c.Gen.g_mconf in
+  let layout = Layout.make k in
+  let heuristic = heuristic_for c in
+  let failures = ref [] in
+  let fail kind tech detail =
+    failures := { f_kind = kind; f_technique = tech; f_detail = detail } :: !failures
+  in
+  (* two independent reference executors must tell the same story before
+     any simulated run is judged against them *)
+  let interp = Interp.run ~layout k in
+  let oracle = Oracle.run ~layout k in
+  (match Oracle.compare_interp oracle interp with
+  | Ok () -> ()
+  | Error e -> fail "oracle-diverged" "reference" e);
+  let low = Lower.lower k in
+  let prof = Profile.run ~machine ~layout k in
+  let pref = Profile.node_pref prof low.Lower.graph in
+  let compile tech =
+    match tech with
+    | Hybrid -> (
+      match
+        Vliw_sched.Hybrid.choose ~machine ~heuristic
+          ~pref_for:(Profile.node_pref prof)
+          ~trip:k.Vliw_ir.Ast.k_trip low.Lower.graph
+      with
+      | Ok h -> Ok (h.Vliw_sched.Hybrid.graph, h.Vliw_sched.Hybrid.schedule)
+      | Error e -> Error e)
+    | _ ->
+      let graph, constraints =
+        match tech with
+        | Free | Hybrid -> (low.Lower.graph, Chains.no_constraints ())
+        | Mdc ->
+          ( low.Lower.graph,
+            (match heuristic with
+            | S.Pref_clus -> Chains.prefclus low.Lower.graph ~pref
+            | S.Min_coms -> Chains.mincoms low.Lower.graph) )
+        | Ddgt ->
+          let r = Ddgt.transform ~clusters:machine.M.clusters low.Lower.graph in
+          (r.Ddgt.graph, Chains.no_constraints ())
+      in
+      let pref_g =
+        match tech with
+        | Ddgt -> Profile.node_pref prof graph
+        | Free | Mdc | Hybrid -> pref
+      in
+      (* crucially, the driver is NOT gated by the verifier here: the
+         verifier's verdict is collected after the fact and differenced
+         against the dynamic outcome, so a verifier that wrongly
+         certifies is caught instead of obeyed *)
+      (match
+         Driver.run
+           (Driver.request ~heuristic ~constraints:constraints ~pref:pref_g
+              machine)
+           graph
+       with
+      | Ok s -> Ok (graph, s)
+      | Error e -> Error e)
+  in
+  let simulate tech tag ?jitter graph schedule =
+    let sink = Trace.create () in
+    let stats =
+      Sim.run ~lowered:low ~graph ~schedule ~layout ~mode:Sim.Execution ?jitter
+        ~trace:sink ()
+    in
+    (* the event stream must independently re-derive the simulator's own
+       coherence accounting, on every run, jittered or not *)
+    (match
+       Audit.check sink ~violations:stats.Sim.violations
+         ~nullified:stats.Sim.nullified
+     with
+    | Ok _ -> ()
+    | Error msg ->
+      fail "audit-mismatch" (technique_name tech) (tag ^ ": " ^ msg));
+    {
+      so_violations = stats.Sim.violations;
+      so_memory_ok = Bytes.equal stats.Sim.memory oracle.o_memory;
+    }
+  in
+  let judge tech ~certified tag (obs : sim_obs) =
+    if certified then
+      if obs.so_violations > 0 then
+        fail "certified-violation" (technique_name tech)
+          (Printf.sprintf "%s: certified schedule ran with %d coherence violations"
+             tag obs.so_violations)
+      else if not obs.so_memory_ok then
+        fail "certified-corruption" (technique_name tech)
+          (tag ^ ": certified schedule corrupted memory (0 violations counted)")
+  in
+  let run_one tech =
+    let status =
+      match compile tech with
+      | Error e -> Unschedulable e
+      | Ok (graph, schedule) ->
+        let report =
+          verifier ~machine ~technique:(verify_technique tech)
+            ~base:low.Lower.graph ~layout ~graph ~schedule
+        in
+        let nominal = simulate tech "nominal" graph schedule in
+        judge tech ~certified:report.V.r_verified "nominal" nominal;
+        let jittered =
+          if c.Gen.g_jitter = 0 then None
+          else begin
+            let obs =
+              simulate tech "jittered"
+                ~jitter:(jitter_stream c tech, c.Gen.g_jitter)
+                graph schedule
+            in
+            (* only jitter-robust certificates claim anything about
+               jittered buses; plain certificates hold at nominal
+               latencies alone *)
+            judge tech
+              ~certified:(report.V.r_verified && report.V.r_jitter_robust)
+              "jittered" obs;
+            Some obs
+          end
+        in
+        Ran
+          {
+            r_verified = report.V.r_verified;
+            r_jitter_robust = report.V.r_jitter_robust;
+            r_nominal = nominal;
+            r_jittered = jittered;
+          }
+    in
+    { d_technique = tech; d_heuristic = heuristic; d_status = status }
+  in
+  let runs = List.map run_one techniques in
+  {
+    v_case = c;
+    v_nodes = G.node_count low.Lower.graph;
+    v_heuristic = heuristic;
+    v_runs = runs;
+    v_failures = List.rev !failures;
+  }
+
+let failing ?verifier c = (check ?verifier c).v_failures <> []

@@ -1,0 +1,218 @@
+module Json = Vliw_util.Json
+module Pool = Vliw_util.Pool
+
+type config = {
+  c_seed : int;
+  c_count : int;
+  c_budget : int;
+  c_jobs : int option;
+  c_out : string option;
+  c_shrink : bool;
+}
+
+let config ?(seed = 1) ?(count = 200) ?(budget = 30) ?jobs ?out
+    ?(shrink = true) () =
+  {
+    c_seed = seed;
+    c_count = count;
+    c_budget = budget;
+    c_jobs = jobs;
+    c_out = out;
+    c_shrink = shrink;
+  }
+
+type repro = {
+  rp_case : Gen.case;
+  rp_failure : Diff.failure;
+  rp_nodes : int;
+  rp_file : string option;
+}
+
+type summary = {
+  s_seed : int;
+  s_count : int;
+  s_budget : int;
+  s_cases : int;
+  s_certified_runs : int;
+  s_unschedulable : int;
+  s_uncertified_violating : int;
+  s_shape_hist : (string * int) list;
+  s_kind_hist : (string * int) list;
+  s_repros : repro list;
+  s_clean : bool;
+}
+
+let hist domain pairs =
+  List.map
+    (fun name ->
+      ( name,
+        List.fold_left
+          (fun acc (n, k) -> if n = name then acc + k else acc)
+          0 pairs ))
+    domain
+
+(* outcome of one case, as computed inside the pool: everything the
+   summary needs, in a plain value so result order (hence output) is
+   independent of pool width *)
+type case_out = {
+  co_shapes : string list;
+  co_certified : int;
+  co_unschedulable : int;
+  co_uncertified_violating : int;
+  co_repro : (Gen.case * Diff.failure * int) option;
+}
+
+let run_case ?verifier ~seed ~budget ~do_shrink index =
+  let case = Gen.generate ~seed ~budget index in
+  let verdict = Diff.check ?verifier case in
+  let certified = ref 0 and unsched = ref 0 and loud = ref 0 in
+  List.iter
+    (fun (r : Diff.run) ->
+      match r.Diff.d_status with
+      | Diff.Unschedulable _ -> incr unsched
+      | Diff.Ran x ->
+        if x.r_verified then incr certified;
+        if (not x.r_verified) && x.r_nominal.Diff.so_violations > 0 then
+          incr loud)
+    verdict.Diff.v_runs;
+  let repro =
+    match verdict.Diff.v_failures with
+    | [] -> None
+    | first :: _ ->
+      let small =
+        if do_shrink then Shrink.shrink ~pred:(Diff.failing ?verifier) case
+        else case
+      in
+      let failure =
+        match (Diff.check ?verifier small).Diff.v_failures with
+        | f :: _ -> f
+        | [] -> first (* unreachable: shrink preserves the predicate *)
+      in
+      Some (small, failure, Shrink.node_count small)
+  in
+  {
+    co_shapes = case.Gen.g_shapes;
+    co_certified = !certified;
+    co_unschedulable = !unsched;
+    co_uncertified_violating = !loud;
+    co_repro = repro;
+  }
+
+let run ?verifier cfg =
+  let outs =
+    Pool.map ?jobs:cfg.c_jobs
+      (run_case ?verifier ~seed:cfg.c_seed ~budget:cfg.c_budget
+         ~do_shrink:cfg.c_shrink)
+      (List.init cfg.c_count (fun i -> i))
+  in
+  (* repro files are written by the caller's domain, after the sweep, so
+     parallel workers never race on the filesystem *)
+  let repros =
+    List.concat_map
+      (fun co ->
+        match co.co_repro with
+        | None -> []
+        | Some (case, failure, nodes) ->
+          let file =
+            Option.map
+              (fun dir ->
+                if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                let path =
+                  Filename.concat dir
+                    (Printf.sprintf "repro_%d_%d.lk" case.Gen.g_seed
+                       case.Gen.g_index)
+                in
+                Gen.save path case;
+                path)
+              cfg.c_out
+          in
+          [ { rp_case = case; rp_failure = failure; rp_nodes = nodes; rp_file = file } ])
+      outs
+  in
+  let sum f = List.fold_left (fun acc co -> acc + f co) 0 outs in
+  let shapes =
+    List.concat_map (fun co -> List.map (fun s -> (s, 1)) co.co_shapes) outs
+  in
+  let kinds =
+    List.map (fun r -> (r.rp_failure.Diff.f_kind, 1)) repros
+  in
+  {
+    s_seed = cfg.c_seed;
+    s_count = cfg.c_count;
+    s_budget = cfg.c_budget;
+    s_cases = List.length outs;
+    s_certified_runs = sum (fun co -> co.co_certified);
+    s_unschedulable = sum (fun co -> co.co_unschedulable);
+    s_uncertified_violating = sum (fun co -> co.co_uncertified_violating);
+    s_shape_hist = hist Gen.shape_names shapes;
+    s_kind_hist = hist Diff.failure_kinds kinds;
+    s_repros = repros;
+    s_clean = repros = [];
+  }
+
+let summary_json s =
+  Json.Obj
+    [
+      ("seed", Json.Int s.s_seed);
+      ("count", Json.Int s.s_count);
+      ("budget", Json.Int s.s_budget);
+      ("cases", Json.Int s.s_cases);
+      ("certified_runs", Json.Int s.s_certified_runs);
+      ("unschedulable", Json.Int s.s_unschedulable);
+      ("uncertified_violating", Json.Int s.s_uncertified_violating);
+      ( "shapes",
+        Json.Obj (List.map (fun (n, k) -> (n, Json.Int k)) s.s_shape_hist) );
+      ( "failure_kinds",
+        Json.Obj (List.map (fun (n, k) -> (n, Json.Int k)) s.s_kind_hist) );
+      ( "failures",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("index", Json.Int r.rp_case.Gen.g_index);
+                   ("kind", Json.String r.rp_failure.Diff.f_kind);
+                   ("technique", Json.String r.rp_failure.Diff.f_technique);
+                   ("detail", Json.String r.rp_failure.Diff.f_detail);
+                   ("nodes", Json.Int r.rp_nodes);
+                   ( "file",
+                     match r.rp_file with
+                     | Some p -> Json.String p
+                     | None -> Json.Null );
+                 ])
+             s.s_repros) );
+      ("clean", Json.Bool s.s_clean);
+    ]
+
+let render s =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "differential fuzz: seed=%d cases=%d budget=%d\n\
+        certified runs %d | unschedulable %d | uncertified violating runs %d\n"
+       s.s_seed s.s_cases s.s_budget s.s_certified_runs s.s_unschedulable
+       s.s_uncertified_violating);
+  Buffer.add_string b "dep-shape coverage:";
+  List.iter
+    (fun (n, k) -> Buffer.add_string b (Printf.sprintf " %s=%d" n k))
+    s.s_shape_hist;
+  Buffer.add_char b '\n';
+  if s.s_clean then
+    Buffer.add_string b "failures: none (all certified schedules agree with the oracle)\n"
+  else begin
+    Buffer.add_string b
+      (Printf.sprintf "FAILURES: %d\n" (List.length s.s_repros));
+    List.iter
+      (fun r ->
+        Buffer.add_string b
+          (Printf.sprintf "  case %d: %s (%s) [%d nodes] %s\n" r.rp_case.Gen.g_index
+             r.rp_failure.Diff.f_kind r.rp_failure.Diff.f_technique r.rp_nodes
+             r.rp_failure.Diff.f_detail);
+        match r.rp_file with
+        | Some p ->
+          Buffer.add_string b
+            (Printf.sprintf "    repro: %s\n    replay: dune exec bin/vliwfuzz.exe -- replay %s\n" p p)
+        | None -> ())
+      s.s_repros
+  end;
+  Buffer.contents b

@@ -1,0 +1,68 @@
+(** The fuzzing sweep: generate, difference, shrink, summarize.
+
+    [run] fans [count] cases out over {!Vliw_util.Pool} — each case a pure
+    function of [(seed, index)] — runs the {!Diff} pipeline on every one,
+    greedily {!Shrink}s each failing case to a minimal repro, and folds the
+    ordered results into a {!summary}. Because case generation, the
+    differential predicate and shrinking are all deterministic and the
+    pool returns results in input order, the summary (and hence the
+    rendered report and JSON) is byte-identical at any [--jobs] width. *)
+
+type config = {
+  c_seed : int;  (** root seed (default 1) *)
+  c_count : int;  (** cases to generate (default 200) *)
+  c_budget : int;  (** per-case size budget (default 30) *)
+  c_jobs : int option;  (** pool width override; [None] = process default *)
+  c_out : string option;
+      (** directory for minimized repro [.lk] files (created on demand);
+          [None] = keep repros in memory only *)
+  c_shrink : bool;  (** minimize failures (default true) *)
+}
+
+val config :
+  ?seed:int ->
+  ?count:int ->
+  ?budget:int ->
+  ?jobs:int ->
+  ?out:string ->
+  ?shrink:bool ->
+  unit ->
+  config
+
+type repro = {
+  rp_case : Gen.case;  (** the minimized (or original) failing case *)
+  rp_failure : Diff.failure;  (** its first failure after minimization *)
+  rp_nodes : int;  (** DDG size of the minimized kernel *)
+  rp_file : string option;  (** where the repro file was written, if [c_out] *)
+}
+
+type summary = {
+  s_seed : int;
+  s_count : int;
+  s_budget : int;
+  s_cases : int;
+  s_certified_runs : int;  (** technique runs the verifier certified *)
+  s_unschedulable : int;  (** technique runs that failed to schedule *)
+  s_uncertified_violating : int;
+      (** uncertified runs with dynamic violations — expected (the free
+          baseline is unsafe by design), reported as a sanity signal that
+          the generator actually provokes races *)
+  s_shape_hist : (string * int) list;
+      (** motif occurrences over all cases, every {!Gen.shape_names} entry
+          present (zero = a coverage hole) *)
+  s_kind_hist : (string * int) list;
+      (** failures by {!Diff.failure_kinds} *)
+  s_repros : repro list;
+  s_clean : bool;  (** no failures anywhere *)
+}
+
+val run : ?verifier:Diff.verifier -> config -> summary
+(** Run the sweep. [verifier] overrides the verifier under test
+    (tests inject a weakened one to prove the predicate bites). *)
+
+val summary_json : summary -> Vliw_util.Json.t
+(** Machine-readable summary (embedded in [bench/main.exe --json]). *)
+
+val render : summary -> string
+(** Human-readable report: counts, dep-shape coverage histogram, and one
+    block per failure with its repro path and replay command line. *)

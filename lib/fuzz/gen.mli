@@ -1,0 +1,61 @@
+(** Seeded random loop generator over the kernel IR.
+
+    Cases are built from {e motifs}, one per entry of the paper's
+    memory-dependence taxonomy: MF / MA / MO chains at loop-carried
+    distances 0..3, self-output stores (a repeating store address),
+    may-alias strided accesses across [mayoverlap] arrays, indirect
+    (register-addressed) accesses through an index table, split accesses
+    (aliased arrays of different element widths), loop-carried scalar
+    recurrences, and a bus-contention motif (the Figure 2 scenario). A
+    case also carries a machine configuration — base preset, interleave
+    factor, memory-bus count, Attraction Buffers — and a bus-jitter bound.
+
+    Every case is a pure function of [(root seed, index)]: the generator
+    draws from [Prng.derive (Prng.derive_named (Prng.create seed) "fuzz")
+    index], so any case regenerates independently of how many others were
+    produced, in any order, on any pool width. *)
+
+type mconf = {
+  mc_base : string;  (** ["bal"] (Table 2), ["nobal-mem"] or ["nobal-reg"] *)
+  mc_interleave : int;  (** interleaving factor in bytes (2 or 4) *)
+  mc_membus : int;  (** memory-bus count override (1..4) *)
+  mc_ab : bool;  (** 16-entry 2-way Attraction Buffers enabled *)
+}
+
+type case = {
+  g_seed : int;  (** root seed the case derives from *)
+  g_index : int;  (** case index within the root seed's stream *)
+  g_budget : int;  (** size budget the generator was given *)
+  g_jitter : int;  (** max extra cycles per bus transfer (0 = none) *)
+  g_mconf : mconf;
+  g_shapes : string list;  (** motif labels present, sorted *)
+  g_kernel : Vliw_ir.Ast.kernel;  (** always typechecks *)
+}
+
+val stream : seed:int -> index:int -> Vliw_util.Prng.t
+(** The derived Prng stream case [(seed, index)] is generated from. *)
+
+val machine : mconf -> Vliw_arch.Machine.t
+(** Concrete (validated) machine for a case's configuration. *)
+
+val generate : seed:int -> budget:int -> int -> case
+(** [generate ~seed ~budget index] builds case [index]. [budget] scales
+    the number of motifs (roughly one motif per 8 budget points, 1..6). *)
+
+val shape_names : string list
+(** Every motif label the generator can emit, in a fixed order — the
+    domain of the coverage histogram. *)
+
+(** {1 Repro files}
+
+    A case serializes to a single [.lk] file whose header is a block of
+    [# key=value] directives (seed, index, budget, machine, interleave,
+    membus, ab, jitter, shapes) followed by the kernel in concrete syntax;
+    since [#] starts a comment, the whole file is also a valid kernel
+    source. Loading a plain kernel file with no directives yields a case
+    with default configuration, so hand-written kernels replay too. *)
+
+val to_file_string : case -> string
+val of_file_string : string -> case
+val save : string -> case -> unit
+val load : string -> case

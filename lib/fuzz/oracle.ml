@@ -1,0 +1,140 @@
+module Ast = Vliw_ir.Ast
+module Sem = Vliw_ir.Sem
+module Layout = Vliw_ir.Layout
+module Interp = Vliw_ir.Interp
+
+type result = {
+  o_memory : Bytes.t;
+  o_scalars : (string * int64) list;
+  o_loads : int64 array;
+}
+
+(* a minimal environment of our own: name -> (value slot, operand class);
+   deliberately not Typecheck's — the oracle re-derives the typing it
+   needs so a typing bug in one implementation cannot hide in both *)
+type binding = { v : int64; cls : Ast.ty }
+
+let run ?trip ~layout (k : Ast.kernel) =
+  let trip = Option.value trip ~default:k.Ast.k_trip in
+  let mem = Interp.init_memory layout k in
+  let arrays = Hashtbl.create 8 in
+  List.iter
+    (fun (d : Ast.array_decl) -> Hashtbl.replace arrays d.Ast.arr_name d)
+    k.Ast.k_arrays;
+  let scalar_tys = Hashtbl.create 8 in
+  let scalars = ref [] in
+  List.iter
+    (fun (s : Ast.scalar_decl) ->
+      Hashtbl.replace scalar_tys s.Ast.sc_name s.Ast.sc_ty;
+      scalars :=
+        (s.Ast.sc_name, Sem.truncate s.Ast.sc_ty s.Ast.sc_init) :: !scalars)
+    k.Ast.k_scalars;
+  let loads = ref [] in
+  let cls_of ty = if Ast.ty_is_float ty then ty else Ast.I64 in
+  (* evaluate under an association-list environment: [env] holds this
+     iteration's temps in front of the start-of-iteration scalar values *)
+  let rec eval env iter e =
+    match e with
+    | Ast.Int n -> { v = n; cls = Ast.I64 }
+    | Ast.Var name ->
+      if name = Ast.induction_var then
+        { v = Int64.of_int iter; cls = Ast.I64 }
+      else (
+        match List.assoc_opt name env with
+        | Some b -> b
+        | None -> failwith ("oracle: unbound variable " ^ name))
+    | Ast.Load (a, idx) ->
+      let bi = eval env iter idx in
+      let d =
+        match Hashtbl.find_opt arrays a with
+        | Some d -> d
+        | None -> failwith ("oracle: unknown array " ^ a)
+      in
+      let addr =
+        Layout.addr layout ~arr:a ~elt_bytes:(Ast.ty_bytes d.Ast.arr_ty)
+          ~idx:(Int64.to_int bi.v)
+      in
+      let v = Sem.load_bytes mem addr d.Ast.arr_ty in
+      loads := v :: !loads;
+      { v; cls = cls_of d.Ast.arr_ty }
+    | Ast.Unop (op, a) ->
+      let ba = eval env iter a in
+      { v = Sem.unop ba.cls op ba.v; cls = ba.cls }
+    | Ast.Binop (op, a, b) ->
+      let ba = eval env iter a in
+      let bb = eval env iter b in
+      { v = Sem.binop ba.cls op ba.v bb.v; cls = ba.cls }
+    | Ast.Select (c, a, b) ->
+      let bc = eval env iter c in
+      let ba = eval env iter a in
+      let bb = eval env iter b in
+      if bc.v <> 0L then ba else bb
+  in
+  for iter = 0 to trip - 1 do
+    let base_env =
+      List.map
+        (fun (name, v) ->
+          (name, { v; cls = cls_of (Hashtbl.find scalar_tys name) }))
+        !scalars
+    in
+    let env, committed =
+      List.fold_left
+        (fun (env, committed) stmt ->
+          match stmt with
+          | Ast.Let (name, e) -> ((name, eval env iter e) :: env, committed)
+          | Ast.Store (a, idx, value) ->
+            let bi = eval env iter idx in
+            let bv = eval env iter value in
+            let d = Hashtbl.find arrays a in
+            let addr =
+              Layout.addr layout ~arr:a
+                ~elt_bytes:(Ast.ty_bytes d.Ast.arr_ty)
+                ~idx:(Int64.to_int bi.v)
+            in
+            Sem.store_bytes mem addr d.Ast.arr_ty
+              (Sem.truncate d.Ast.arr_ty bv.v);
+            (env, committed)
+          | Ast.Assign (name, e) ->
+            (* reads in [e] still see the start-of-iteration environment
+               for scalars (temps shadow them); the new value lands only
+               after the whole body ran *)
+            let b = eval env iter e in
+            let ty = Hashtbl.find scalar_tys name in
+            (env, (name, Sem.truncate ty b.v) :: committed))
+        (base_env, []) k.Ast.k_body
+    in
+    ignore env;
+    scalars :=
+      List.map
+        (fun (name, v) ->
+          match List.assoc_opt name committed with
+          | Some v' -> (name, v')
+          | None -> (name, v))
+        !scalars
+  done;
+  {
+    o_memory = mem;
+    o_scalars = List.rev !scalars;
+    o_loads = Array.of_list (List.rev !loads);
+  }
+
+let compare_interp o (r : Interp.result) =
+  if not (Bytes.equal o.o_memory r.Interp.memory) then
+    Error "final memory images differ"
+  else
+    let so = List.sort compare o.o_scalars
+    and si = List.sort compare r.Interp.final_scalars in
+    if so <> si then Error "final scalar values differ"
+    else
+      let interp_loads =
+        Array.to_list r.Interp.events
+        |> List.filter_map (fun (ev : Interp.event) ->
+               if ev.Interp.ev_is_store then None else Some ev.Interp.ev_value)
+        |> Array.of_list
+      in
+      if o.o_loads <> interp_loads then
+        Error
+          (Printf.sprintf "load value sequences differ (%d vs %d loads)"
+             (Array.length o.o_loads)
+             (Array.length interp_loads))
+      else Ok ()

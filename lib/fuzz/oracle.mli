@@ -1,0 +1,31 @@
+(** Golden sequential-memory reference executor.
+
+    Runs a kernel in strict program order against a flat memory image —
+    statements in textual order, loads and stores taking effect
+    immediately, loop-carried scalars reading start-of-iteration values
+    and committing after the body. This is the memory-coherence ground
+    truth every simulated execution is differenced against.
+
+    The implementation is deliberately independent of
+    {!Vliw_ir.Interp} — it shares only the {!Vliw_ir.Sem} arithmetic,
+    {!Vliw_ir.Layout} addressing and {!Vliw_ir.Interp.init_memory} data
+    sets (those are the spec), and re-derives its own typing environment —
+    so a bug in the interpreter's evaluation strategy cannot hide in both
+    executors. {!compare_interp} cross-checks the two on every fuzz
+    case. *)
+
+type result = {
+  o_memory : Bytes.t;  (** final memory image *)
+  o_scalars : (string * int64) list;  (** final scalar values *)
+  o_loads : int64 array;  (** every load's value, in program order *)
+}
+
+val run : ?trip:int -> layout:Vliw_ir.Layout.t -> Vliw_ir.Ast.kernel -> result
+(** Execute [trip] iterations (default: the kernel's declared trip). The
+    kernel must be well-formed; raises [Failure] on unbound names. *)
+
+val compare_interp :
+  result -> Vliw_ir.Interp.result -> (unit, string) Stdlib.result
+(** Compare against a reference-interpreter run of the same kernel and
+    layout: final memory, final scalars, and the per-load value sequence
+    must all agree. *)

@@ -1,0 +1,167 @@
+module Ast = Vliw_ir.Ast
+
+(* names referenced by the body, for garbage-collecting declarations *)
+let rec expr_names (arrays, vars) = function
+  | Ast.Int _ -> (arrays, vars)
+  | Ast.Var v -> (arrays, v :: vars)
+  | Ast.Load (a, idx) -> expr_names (a :: arrays, vars) idx
+  | Ast.Unop (_, a) -> expr_names (arrays, vars) a
+  | Ast.Binop (_, a, b) -> expr_names (expr_names (arrays, vars) a) b
+  | Ast.Select (c, a, b) ->
+    expr_names (expr_names (expr_names (arrays, vars) c) a) b
+
+let used_names (k : Ast.kernel) =
+  List.fold_left
+    (fun acc stmt ->
+      match stmt with
+      | Ast.Let (_, e) -> expr_names acc e
+      | Ast.Store (a, idx, v) ->
+        let arrays, vars = expr_names (expr_names acc idx) v in
+        (a :: arrays, vars)
+      | Ast.Assign (s, e) ->
+        let arrays, vars = expr_names acc e in
+        (arrays, s :: vars))
+    ([], []) k.Ast.k_body
+
+let with_kernel (c : Gen.case) k = { c with Gen.g_kernel = k }
+
+(* every one-step reduction of a case, most aggressive first; each is a
+   whole candidate case so the caller can re-run the failure predicate *)
+let candidates (c : Gen.case) =
+  let k = c.Gen.g_kernel in
+  let n = List.length k.Ast.k_body in
+  (* drop one body statement (later statements first: consumers before
+     producers, so Let-removals tend to typecheck) *)
+  let drop_stmt =
+    List.init n (fun j ->
+        let j = n - 1 - j in
+        with_kernel c
+          {
+            k with
+            Ast.k_body = List.filteri (fun idx _ -> idx <> j) k.Ast.k_body;
+          })
+  in
+  (* drop declarations the body no longer mentions (shifts the layout, so
+     the predicate must still be re-checked) *)
+  let used_arrays, used_vars = used_names k in
+  let drop_decls =
+    List.filter_map
+      (fun (d : Ast.array_decl) ->
+        if List.mem d.Ast.arr_name used_arrays then None
+        else
+          Some
+            (with_kernel c
+               {
+                 k with
+                 Ast.k_arrays =
+                   List.filter
+                     (fun (a : Ast.array_decl) ->
+                       a.Ast.arr_name <> d.Ast.arr_name)
+                     k.Ast.k_arrays;
+               }))
+      k.Ast.k_arrays
+    @ List.filter_map
+        (fun (s : Ast.scalar_decl) ->
+          if List.mem s.Ast.sc_name used_vars then None
+          else
+            Some
+              (with_kernel c
+                 {
+                   k with
+                   Ast.k_scalars =
+                     List.filter
+                       (fun (x : Ast.scalar_decl) ->
+                         x.Ast.sc_name <> s.Ast.sc_name)
+                       k.Ast.k_scalars;
+                 }))
+        k.Ast.k_scalars
+  in
+  (* simplify stored values to a constant *)
+  let const_stores =
+    List.concat
+      (List.mapi
+         (fun j stmt ->
+           match stmt with
+           | Ast.Store (a, idx, v) when v <> Ast.Int 1L ->
+             [
+               with_kernel c
+                 {
+                   k with
+                   Ast.k_body =
+                     List.mapi
+                       (fun idx' s ->
+                         if idx' = j then Ast.Store (a, idx, Ast.Int 1L)
+                         else s)
+                       k.Ast.k_body;
+                 };
+             ]
+           | _ -> [])
+         k.Ast.k_body)
+  in
+  (* drop mayoverlap links *)
+  let drop_overlap =
+    List.filter_map
+      (fun (d : Ast.array_decl) ->
+        if d.Ast.arr_may_overlap = None then None
+        else
+          Some
+            (with_kernel c
+               {
+                 k with
+                 Ast.k_arrays =
+                   List.map
+                     (fun (a : Ast.array_decl) ->
+                       if a.Ast.arr_name = d.Ast.arr_name then
+                         { a with Ast.arr_may_overlap = None }
+                       else a)
+                     k.Ast.k_arrays;
+               }))
+      k.Ast.k_arrays
+  in
+  (* shrink the iteration space *)
+  let halve_trip =
+    if k.Ast.k_trip >= 2 then
+      [ with_kernel c { k with Ast.k_trip = k.Ast.k_trip / 2 } ]
+    else []
+  in
+  (* simplify the environment: no jitter, no Attraction Buffers, the
+     balanced Table 2 bus/interleave configuration *)
+  let mc = c.Gen.g_mconf in
+  let simpler_conf =
+    (if c.Gen.g_jitter > 0 then [ { c with Gen.g_jitter = 0 } ] else [])
+    @ (if mc.Gen.mc_ab then
+         [ { c with Gen.g_mconf = { mc with Gen.mc_ab = false } } ]
+       else [])
+    @ (if mc.Gen.mc_membus <> 4 then
+         [ { c with Gen.g_mconf = { mc with Gen.mc_membus = 4 } } ]
+       else [])
+    @ (if mc.Gen.mc_interleave <> 4 then
+         [ { c with Gen.g_mconf = { mc with Gen.mc_interleave = 4 } } ]
+       else [])
+    @
+    if mc.Gen.mc_base <> "bal" then
+      [ { c with Gen.g_mconf = { mc with Gen.mc_base = "bal" } } ]
+    else []
+  in
+  drop_stmt @ drop_decls @ const_stores @ drop_overlap @ halve_trip
+  @ simpler_conf
+
+let viable (c : Gen.case) =
+  c.Gen.g_kernel.Ast.k_body <> []
+  && Result.is_ok (Vliw_ir.Typecheck.check c.Gen.g_kernel)
+
+let node_count (c : Gen.case) =
+  Vliw_ddg.Graph.node_count
+    (Vliw_lower.Lower.lower c.Gen.g_kernel).Vliw_lower.Lower.graph
+
+let shrink ~pred c0 =
+  (* greedy descent to a fixpoint: take the first one-step reduction that
+     still fails, restart from it; stop when no reduction does *)
+  let rec go c =
+    match
+      List.find_opt (fun c' -> viable c' && pred c') (candidates c)
+    with
+    | Some c' -> go c'
+    | None -> c
+  in
+  go c0

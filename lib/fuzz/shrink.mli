@@ -1,0 +1,29 @@
+(** Greedy delta-debugging minimization of failing fuzz cases.
+
+    From a case that satisfies the failure predicate, repeatedly apply the
+    first one-step reduction that still fails, until none does (a greedy
+    descent to a 1-minimal fixpoint). Reductions, most aggressive first:
+    drop a body statement, drop an unreferenced array/scalar declaration,
+    replace a stored value with the constant 1, drop a [mayoverlap] link,
+    halve the trip count, and simplify the environment (jitter off,
+    Attraction Buffers off, balanced Table 2 buses and interleave).
+
+    Every candidate is re-validated (typecheck, non-empty body) before the
+    predicate runs, so the result is always a well-formed case; the
+    predicate is re-evaluated from scratch on each candidate — shrinking
+    never assumes the failure is monotone in any structural measure. *)
+
+val shrink : pred:(Gen.case -> bool) -> Gen.case -> Gen.case
+(** [shrink ~pred c] with [pred c = true] returns a minimal [c'] with
+    [pred c' = true]. [pred] must be deterministic. *)
+
+val candidates : Gen.case -> Gen.case list
+(** The one-step reductions of a case, in the order {!shrink} tries them
+    (exposed for tests). Candidates are not validated. *)
+
+val viable : Gen.case -> bool
+(** Candidate filter: non-empty body and the kernel typechecks. *)
+
+val node_count : Gen.case -> int
+(** Size metric reported for repros: nodes of the case's pre-transform
+    DDG. *)

@@ -18,13 +18,13 @@ type lat_row = {
   la_stall : float;
 }
 
-let latency_policies () =
+let latency_policies ?obs () =
   let run policy b =
     (* Cache_sensitive with default ordering is exactly the memoized
        free/MinComs run of Figure 7's baseline — share it *)
     if policy = Driver.Cache_sensitive then
-      Experiments.run ~machine:M.table2 (R.Free, S.Min_coms) b
-    else R.run_bench ~machine:M.table2 ~lat_policy:policy R.Free S.Min_coms b
+      Experiments.run ~machine:M.table2 ?obs (R.Free, S.Min_coms) b
+    else R.run_bench ~machine:M.table2 ?obs ~lat_policy:policy R.Free S.Min_coms b
   in
   let base = Pool.map (run Driver.Cache_sensitive) W.figures in
   let norm = amean (List.map (fun r -> r.R.br_cycles) base) in
@@ -56,13 +56,13 @@ type hybrid_row = {
   hy_choices : string;
 }
 
-let hybrid () =
+let hybrid ?obs () =
   let machine = M.table2 in
   Pool.map
     (fun b ->
-      let base = Experiments.run ~machine (R.Free, S.Min_coms) b in
+      let base = Experiments.run ~machine ?obs (R.Free, S.Min_coms) b in
       let norm = if base.R.br_cycles = 0. then 1. else base.R.br_cycles in
-      let total scheme = (Experiments.run ~machine scheme b).R.br_cycles /. norm in
+      let total scheme = (Experiments.run ~machine ?obs scheme b).R.br_cycles /. norm in
       let choices =
         let m = R.machine_for machine b in
         List.map
@@ -92,7 +92,7 @@ let hybrid () =
 
 type ab_row = { ab_entries : int; ab_mdc : float; ab_ddgt : float }
 
-let ab_sizes () =
+let ab_sizes ?obs () =
   let machine_of entries =
     if entries = 0 then M.table2
     else M.with_attraction M.table2 (Some { M.ab_entries = entries; ab_assoc = 2 })
@@ -100,7 +100,7 @@ let ab_sizes () =
   let total machine tech =
     amean
       (Pool.map
-         (fun b -> (Experiments.run ~machine (tech, S.Pref_clus) b).R.br_cycles)
+         (fun b -> (Experiments.run ~machine ?obs (tech, S.Pref_clus) b).R.br_cycles)
          W.figures)
   in
   let mdc0 = total (machine_of 0) R.Mdc in
@@ -119,15 +119,15 @@ let ab_sizes () =
 
 type bus_row = { bu_bench : string; bu_two_buses : float; bu_one_bus : float }
 
-let bus_sweep () =
+let bus_sweep ?obs () =
   let machine_of n = { M.nobal_reg with M.mem_buses = { M.bus_count = n; bus_latency = 4 } } in
   let speedup machine b =
     let best_mdc =
       min
-        (Experiments.run ~machine (R.Mdc, S.Pref_clus) b).R.br_cycles
-        (Experiments.run ~machine (R.Mdc, S.Min_coms) b).R.br_cycles
+        (Experiments.run ~machine ?obs (R.Mdc, S.Pref_clus) b).R.br_cycles
+        (Experiments.run ~machine ?obs (R.Mdc, S.Min_coms) b).R.br_cycles
     in
-    let ddgt = (Experiments.run ~machine (R.Ddgt, S.Pref_clus) b).R.br_cycles in
+    let ddgt = (Experiments.run ~machine ?obs (R.Ddgt, S.Pref_clus) b).R.br_cycles in
     if ddgt = 0. then 1. else best_mdc /. ddgt
   in
   Pool.map
@@ -149,16 +149,16 @@ type spec_row = {
   sp_ddgt : float;
 }
 
-let specialization () =
+let specialization ?obs () =
   let machine = M.table2 in
   Pool.map
     (fun name ->
       let b = W.find name in
       let m = R.machine_for machine b in
-      let base = Experiments.run ~machine (R.Free, S.Min_coms) b in
+      let base = Experiments.run ~machine ?obs (R.Free, S.Min_coms) b in
       let norm = if base.R.br_cycles = 0. then 1. else base.R.br_cycles in
-      let before = (Experiments.run ~machine (R.Mdc, S.Pref_clus) b).R.br_cycles in
-      let ddgt = (Experiments.run ~machine (R.Ddgt, S.Pref_clus) b).R.br_cycles in
+      let before = (Experiments.run ~machine ?obs (R.Mdc, S.Pref_clus) b).R.br_cycles in
+      let ddgt = (Experiments.run ~machine ?obs (R.Ddgt, S.Pref_clus) b).R.br_cycles in
       (* the aggressive versions: per loop, drop the never-materialising
          ambiguous dependences, rebuild MDC constraints on the pruned
          graph, schedule and simulate; charge the entry checks *)
@@ -214,12 +214,12 @@ type il_row = {
   il_hit8 : float;
 }
 
-let interleave_sweep () =
+let interleave_sweep ?obs () =
   let hit il (b : W.benchmark) =
     (* bypass machine_for: force the interleave under test *)
     let machine = M.with_interleave M.table2 il in
     let fake = { b with W.b_interleave = il } in
-    (R.access_mix (Experiments.run ~machine (R.Free, S.Pref_clus) fake)).R.f_local_hit
+    (R.access_mix (Experiments.run ~machine ?obs (R.Free, S.Pref_clus) fake)).R.f_local_hit
   in
   Pool.map
     (fun (b : W.benchmark) ->
@@ -242,7 +242,7 @@ type unroll_row = {
   un_cycles : float;  (* after / before, free PrefClus *)
 }
 
-let unrolling () =
+let unrolling ?obs () =
   let machine = M.table2 in
   List.filter_map Fun.id
   @@ Pool.map
@@ -259,8 +259,8 @@ let unrolling () =
       if List.for_all (( = ) 1) factors then None
       else (
         let transform k = Vliw_ir.Unroll.unroll ~factor:(factor_of k) k in
-        let before = Experiments.run ~machine (R.Free, S.Pref_clus) b in
-        let after = R.run_bench ~machine ~transform R.Free S.Pref_clus b in
+        let before = Experiments.run ~machine ?obs (R.Free, S.Pref_clus) b in
+        let after = R.run_bench ~machine ?obs ~transform R.Free S.Pref_clus b in
         Some
           {
             un_bench = b.W.b_name;
@@ -282,13 +282,13 @@ type reg_row = {
   rp_worst : float;  (* AMEAN of the hottest cluster's MaxLive *)
 }
 
-let reg_pressure () =
+let reg_pressure ?obs () =
   let machine = M.table2 in
   let row name scheme =
     let per_bench =
       Pool.map
         (fun b ->
-          let br = Experiments.run ~machine scheme b in
+          let br = Experiments.run ~machine ?obs scheme b in
           List.map
             (fun (lr : R.loop_run) ->
               let ml =
@@ -319,11 +319,11 @@ type ord_row = {
   or_ii : float;  (* AMEAN II over all loops *)
 }
 
-let orderings () =
+let orderings ?obs () =
   let run ordering b =
     if ordering = Vliw_sched.Ims.Height then
-      Experiments.run ~machine:M.table2 (R.Free, S.Min_coms) b
-    else R.run_bench ~machine:M.table2 ~ordering R.Free S.Min_coms b
+      Experiments.run ~machine:M.table2 ?obs (R.Free, S.Min_coms) b
+    else R.run_bench ~machine:M.table2 ?obs ~ordering R.Free S.Min_coms b
   in
   let collect ordering =
     let brs = Pool.map (run ordering) W.figures in

@@ -16,7 +16,7 @@ type lat_row = {
   la_stall : float;
 }
 
-val latency_policies : unit -> lat_row list
+val latency_policies : ?obs:Runner.obs -> unit -> lat_row list
 (** Free/MinComs scheduling under the three latency policies: always
     local-hit (tight, stall-heavy), always remote-miss (stall-free,
     compute-heavy), and the paper's cache-sensitive compromise. *)
@@ -31,7 +31,7 @@ type hybrid_row = {
   hy_choices : string;  (** per-loop choices, e.g. "MDC,DDGT,MDC" *)
 }
 
-val hybrid : unit -> hybrid_row list
+val hybrid : ?obs:Runner.obs -> unit -> hybrid_row list
 
 (** {1 Attraction Buffer capacity (Section 5)} *)
 
@@ -41,7 +41,7 @@ type ab_row = {
   ab_ddgt : float;  (** same, normalized to no-AB DDGT *)
 }
 
-val ab_sizes : unit -> ab_row list
+val ab_sizes : ?obs:Runner.obs -> unit -> ab_row list
 (** Sweep 0/4/8/16/32 entries (2-way throughout). *)
 
 (** {1 Memory-bus count under NOBAL+REG (Section 4.2)} *)
@@ -52,7 +52,7 @@ type bus_row = {
   bu_one_bus : float;  (** same with a single memory bus *)
 }
 
-val bus_sweep : unit -> bus_row list
+val bus_sweep : ?obs:Runner.obs -> unit -> bus_row list
 (** The paper's crossover benchmarks (epicdec, pgpdec, pgpenc, rasta). *)
 
 (** {1 Code specialization at run time (Section 6)} *)
@@ -68,7 +68,7 @@ type spec_row = {
   sp_ddgt : float;  (** DDGT/PrefClus, for reference *)
 }
 
-val specialization : unit -> spec_row list
+val specialization : ?obs:Runner.obs -> unit -> spec_row list
 (** The paper's prediction that specialization "will benefit the MDC
     solution over the DDGT solution", made executable: re-run MDC with the
     false dependences dropped (profiling shows they never materialise on
@@ -85,7 +85,7 @@ type il_row = {
   il_hit8 : float;
 }
 
-val interleave_sweep : unit -> il_row list
+val interleave_sweep : ?obs:Runner.obs -> unit -> il_row list
 
 (** {1 Loop unrolling (Section 2.2)} *)
 
@@ -97,7 +97,7 @@ type unroll_row = {
   un_cycles : float;  (** total cycles after/before *)
 }
 
-val unrolling : unit -> unroll_row list
+val unrolling : ?obs:Runner.obs -> unit -> unroll_row list
 (** Benchmarks where the Section 2.2 unrolling objective finds a factor
     above 1: unroll every loop by its best factor and compare locality and
     cycles. Benchmarks already NxI-strided are omitted (factor 1
@@ -112,7 +112,7 @@ type reg_row = {
   rp_worst : float;  (** AMEAN of the hottest cluster's MaxLive *)
 }
 
-val reg_pressure : unit -> reg_row list
+val reg_pressure : ?obs:Runner.obs -> unit -> reg_row list
 (** MaxLive under each technique (PrefClus): chains concentrate liveness in
     one cluster; store replication adds operand copies everywhere. *)
 
@@ -125,7 +125,7 @@ type ord_row = {
   or_ii : float;  (** AMEAN II across all loops *)
 }
 
-val orderings : unit -> ord_row list
+val orderings : ?obs:Runner.obs -> unit -> ord_row list
 (** Classic height-priority IMS against the Swing-style
     adjacency/mobility ordering with downward placement
     ({!Vliw_sched.Ims.ordering}): cycles, pressure and II side by side. *)

@@ -19,7 +19,11 @@ let clear_cache () =
   Mutex.protect lock (fun () -> Hashtbl.reset cache);
   Memo.clear ()
 
-let run ~machine ((tech, heur) : scheme) (b : W.benchmark) =
+let run ~machine ?obs ((tech, heur) : scheme) (b : W.benchmark) =
+  (* [obs] only adds observability side effects (audit, trace files), never
+     changes results, so the cache is keyed without it: a hit returns the
+     first computed run. Callers wanting every simulation audited must use
+     one obs for the whole process, as bench/main.exe does. *)
   let key = (machine, b.W.b_name, tech, heur) in
   match Mutex.protect lock (fun () -> Hashtbl.find_opt cache key) with
   | Some r -> r
@@ -27,7 +31,7 @@ let run ~machine ((tech, heur) : scheme) (b : W.benchmark) =
     (* computed outside the lock; racing workers duplicate pure work
        rather than serializing the whole sweep. First insert wins so the
        physical identity handed out stays stable. *)
-    let r = R.run_bench ~machine tech heur b in
+    let r = R.run_bench ~machine ?obs tech heur b in
     Mutex.protect lock (fun () ->
         match Hashtbl.find_opt cache key with
         | Some r0 -> r0
@@ -60,14 +64,14 @@ type fig6_row = {
   f6_ddgt : R.access_mix;
 }
 
-let fig6 ?(machine = M.table2) () =
+let fig6 ?(machine = M.table2) ?obs () =
   Pool.map
     (fun b ->
       {
         f6_bench = b.W.b_name;
-        f6_free = R.access_mix (run ~machine (R.Free, S.Pref_clus) b);
-        f6_mdc = R.access_mix (run ~machine (R.Mdc, S.Pref_clus) b);
-        f6_ddgt = R.access_mix (run ~machine (R.Ddgt, S.Pref_clus) b);
+        f6_free = R.access_mix (run ~machine ?obs (R.Free, S.Pref_clus) b);
+        f6_mdc = R.access_mix (run ~machine ?obs (R.Mdc, S.Pref_clus) b);
+        f6_ddgt = R.access_mix (run ~machine ?obs (R.Ddgt, S.Pref_clus) b);
       })
     W.figures
 
@@ -94,13 +98,13 @@ type fig7_row = {
   f7_ddgt_min : bar;
 }
 
-let fig7 ?(machine = M.table2) () =
+let fig7 ?(machine = M.table2) ?obs () =
   Pool.map
     (fun b ->
-      let base = run ~machine (R.Free, S.Min_coms) b in
+      let base = run ~machine ?obs (R.Free, S.Min_coms) b in
       let norm = if base.R.br_cycles = 0. then 1. else base.R.br_cycles in
       let bar scheme =
-        let r = run ~machine scheme b in
+        let r = run ~machine ?obs scheme b in
         { b_compute = r.R.br_compute /. norm; b_stall = r.R.br_stall /. norm }
       in
       {
@@ -112,17 +116,17 @@ let fig7 ?(machine = M.table2) () =
       })
     W.figures
 
-let fig9 () =
-  fig7 ~machine:(M.with_attraction M.table2 (Some M.default_attraction)) ()
+let fig9 ?obs () =
+  fig7 ~machine:(M.with_attraction M.table2 (Some M.default_attraction)) ?obs ()
 
 (* ---------------- Table 3 ---------------- *)
 
 type t3_row = { t3_bench : string; t3_cmr : float; t3_car : float }
 
-let table3 () =
+let table3 ?obs () =
   Pool.map
     (fun b ->
-      let r = run ~machine:M.table2 (R.Free, S.Pref_clus) b in
+      let r = run ~machine:M.table2 ?obs (R.Free, S.Pref_clus) b in
       let cmr, car = R.cmr_car r in
       { t3_bench = b.W.b_name; t3_cmr = cmr; t3_car = car })
     W.figures
@@ -135,13 +139,13 @@ type t4_row = {
   t4_speedup : float option;
 }
 
-let table4 () =
+let table4 ?obs () =
   let machine = M.table2 in
   Pool.map
     (fun b ->
-      let free = run ~machine (R.Free, S.Pref_clus) b in
-      let mdc = run ~machine (R.Mdc, S.Pref_clus) b in
-      let ddgt = run ~machine (R.Ddgt, S.Pref_clus) b in
+      let free = run ~machine ?obs (R.Free, S.Pref_clus) b in
+      let mdc = run ~machine ?obs (R.Mdc, S.Pref_clus) b in
+      let ddgt = run ~machine ?obs (R.Ddgt, S.Pref_clus) b in
       let dcom =
         if mdc.R.br_comm = 0. then if ddgt.R.br_comm = 0. then 1. else ddgt.R.br_comm
         else ddgt.R.br_comm /. mdc.R.br_comm
@@ -178,18 +182,20 @@ type nobal_row = {
   nb_reg_ddgtpref_over_best_mdc : float;
 }
 
-let nobal () =
+let nobal ?obs () =
   let best machine tech b =
     min
-      (run ~machine (tech, S.Pref_clus) b).R.br_cycles
-      (run ~machine (tech, S.Min_coms) b).R.br_cycles
+      (run ~machine ?obs (tech, S.Pref_clus) b).R.br_cycles
+      (run ~machine ?obs (tech, S.Min_coms) b).R.br_cycles
   in
   Pool.map
     (fun b ->
       let mem_mdc = best M.nobal_mem R.Mdc b in
       let mem_ddgt = best M.nobal_mem R.Ddgt b in
       let reg_mdc = best M.nobal_reg R.Mdc b in
-      let reg_ddgt_pref = (run ~machine:M.nobal_reg (R.Ddgt, S.Pref_clus) b).R.br_cycles in
+      let reg_ddgt_pref =
+        (run ~machine:M.nobal_reg ?obs (R.Ddgt, S.Pref_clus) b).R.br_cycles
+      in
       {
         nb_bench = b.W.b_name;
         nb_mem_best_mdc_over_ddgt =
@@ -210,12 +216,12 @@ type t5_row = {
   t5_removed : int;
 }
 
-let table5 () =
+let table5 ?obs () =
   let machine = M.table2 in
   Pool.map
     (fun name ->
       let b = W.find name in
-      let old_r = run ~machine (R.Free, S.Pref_clus) b in
+      let old_r = run ~machine ?obs (R.Free, S.Pref_clus) b in
       let old_cmr, old_car = R.cmr_car old_r in
       (* recompute per loop on the specialized (aggressive) graphs *)
       let acc_chain = ref 0. and acc_mem = ref 0. and acc_nodes = ref 0. in
@@ -261,7 +267,7 @@ type verif_row = {
   v_proofs : (string * int) list;
 }
 
-let verification () =
+let verification ?obs () =
   let machine = M.table2 in
   let schemes : scheme list =
     [
@@ -275,7 +281,7 @@ let verification () =
     (fun ((tech, heur) as scheme) ->
       let loops =
         List.concat_map
-          (fun b -> (run ~machine scheme b).R.br_loops)
+          (fun b -> (run ~machine ?obs scheme b).R.br_loops)
           W.figures
       in
       let proofs = Hashtbl.create 8 in

@@ -13,12 +13,17 @@ val clear_cache : unit -> unit
 
 val run :
   machine:Vliw_arch.Machine.t ->
+  ?obs:Runner.obs ->
   scheme ->
   Vliw_workloads.Workloads.benchmark ->
   Runner.bench_run
 (** Memoized {!Runner.run_bench}. Thread-safe: experiments fan their
     benchmarks out over {!Vliw_util.Pool}, so this may be called from
-    several domains at once. *)
+    several domains at once. [obs] only adds observability side effects —
+    results are identical with or without it — so it is {e not} part of
+    the cache key; a cache hit returns the first computed run unaudited.
+    Pass one [obs] for the whole process (as [bench/main.exe] does) when
+    every simulation must be audited. *)
 
 val cached_runs : unit -> (string * Runner.bench_run) list
 (** Every memoized run so far as [(machine fingerprint, run)], in a
@@ -33,7 +38,8 @@ type fig6_row = {
   f6_ddgt : Runner.access_mix;
 }
 
-val fig6 : ?machine:Vliw_arch.Machine.t -> unit -> fig6_row list
+val fig6 :
+  ?machine:Vliw_arch.Machine.t -> ?obs:Runner.obs -> unit -> fig6_row list
 (** One row per figure benchmark; compute the AMEAN over the rows with
     {!amean_mix}. Default machine: Table 2. *)
 
@@ -52,17 +58,18 @@ type fig7_row = {
   f7_ddgt_min : bar;
 }
 
-val fig7 : ?machine:Vliw_arch.Machine.t -> unit -> fig7_row list
+val fig7 :
+  ?machine:Vliw_arch.Machine.t -> ?obs:Runner.obs -> unit -> fig7_row list
 (** Figure 7 on Table 2; pass an Attraction-Buffer machine to reproduce
     Figure 9 ({!fig9} does exactly that). *)
 
-val fig9 : unit -> fig7_row list
+val fig9 : ?obs:Runner.obs -> unit -> fig7_row list
 
 (** {1 Table 3 — chain ratios} *)
 
 type t3_row = { t3_bench : string; t3_cmr : float; t3_car : float }
 
-val table3 : unit -> t3_row list
+val table3 : ?obs:Runner.obs -> unit -> t3_row list
 
 (** {1 Table 4 — analyzing the DDGT solution} *)
 
@@ -77,7 +84,7 @@ type t4_row = {
           PrefClus); [None] when no loop qualifies (the paper's dashes) *)
 }
 
-val table4 : unit -> t4_row list
+val table4 : ?obs:Runner.obs -> unit -> t4_row list
 
 (** {1 Section 4.2 "other architectural configurations"} *)
 
@@ -91,7 +98,7 @@ type nobal_row = {
           for epicdec, 20% pgpdec, 9% pgpenc, 8% rasta) *)
 }
 
-val nobal : unit -> nobal_row list
+val nobal : ?obs:Runner.obs -> unit -> nobal_row list
 
 (** {1 Table 5 — code specialization} *)
 
@@ -104,7 +111,7 @@ type t5_row = {
   t5_removed : int;  (** ambiguous dependences dropped (dynamic-weighted) *)
 }
 
-val table5 : unit -> t5_row list
+val table5 : ?obs:Runner.obs -> unit -> t5_row list
 (** epicdec, pgpdec and rasta, like the paper (pgpenc is excluded there as
     "similar to pgpdec"). *)
 
@@ -119,7 +126,7 @@ type verif_row = {
   v_proofs : (string * int) list;  (** aggregated proof-rule histogram *)
 }
 
-val verification : unit -> verif_row list
+val verification : ?obs:Runner.obs -> unit -> verif_row list
 (** One row per (technique, heuristic) over the figure benchmarks: how many
     loop schedules the static verifier certifies, and the dynamic
     violation count beside it. MDC/DDGT rows must be fully certified (the

@@ -489,3 +489,5 @@ let verification rows =
        (a flagged free/hybrid schedule is not proven unsafe, only not \
        provably safe; MDC and DDGT runs are compile-time gated)\n"
       (match histogram with [] -> "none" | h -> String.concat ", " h)
+
+let fuzz s = Vliw_fuzz.Fuzz.render s

@@ -40,3 +40,9 @@ val trace_summary : Vliw_trace.Summary.t -> string
 val verification : Experiments.verif_row list -> string
 (** Certification coverage and flag rate per (technique, heuristic), with
     the aggregated proof-rule histogram. *)
+
+(** {1 Differential fuzzing} *)
+
+val fuzz : Vliw_fuzz.Fuzz.summary -> string
+(** Case counts, dep-shape coverage histogram and failure/repro blocks of
+    one {!Vliw_fuzz.Fuzz.run} sweep. *)

@@ -62,12 +62,12 @@ type bench_run = {
 
 let machine_for base (b : W.benchmark) = M.with_interleave base b.b_interleave
 
-(* ----- observability hooks (read by every run_loop) ----- *)
+(* ----- observability configuration (explicit: no process-global state,
+   so concurrent harnesses on the pool cannot cross-talk) ----- *)
 
-let audit_enabled = ref false
-let set_audit b = audit_enabled := b
-let trace_dir : string option ref = ref None
-let set_trace_dir d = trace_dir := d
+type obs = { obs_audit : bool; obs_trace_dir : string option }
+
+let obs_none = { obs_audit = false; obs_trace_dir = None }
 
 let lat_policy_tag = function
   | Driver.Cache_sensitive -> "cs"
@@ -85,7 +85,7 @@ let write_trace_file dir name sink =
   Chrome.write_file tmp sink;
   Sys.rename tmp (Filename.concat dir name)
 
-let run_loop ~machine ?(lat_policy = Driver.Cache_sensitive)
+let run_loop ~machine ?(obs = obs_none) ?(lat_policy = Driver.Cache_sensitive)
     ?(ordering = Vliw_sched.Ims.Height) ?transform technique
     heuristic ~(bench : W.benchmark) (loop : W.loop) =
   (* the technique/heuristic-independent front of the pipeline is shared
@@ -168,7 +168,8 @@ let run_loop ~machine ?(lat_policy = Driver.Cache_sensitive)
   in
   let oracle = stages.Memo.oracle in
   let sink =
-    if !audit_enabled || !trace_dir <> None then Some (Trace.create ()) else None
+    if obs.obs_audit || obs.obs_trace_dir <> None then Some (Trace.create ())
+    else None
   in
   let stats =
     Sim.run ~lowered:low ~graph ~schedule ~layout ~mode:(Sim.Oracle oracle)
@@ -197,7 +198,7 @@ let run_loop ~machine ?(lat_policy = Driver.Cache_sensitive)
       failwith
         (Printf.sprintf "%s/%s (%s, %s): %s" bench.b_name loop.l_name
            (technique_name technique) (S.heuristic_name heuristic) msg));
-    match !trace_dir with
+    match obs.obs_trace_dir with
     | Some dir when Option.is_none transform ->
       (* source-transformed kernels have no stable identity for a file
          name, so only untransformed runs are exported *)
@@ -222,13 +223,13 @@ let run_loop ~machine ?(lat_policy = Driver.Cache_sensitive)
     lr_trip = k_exec.Ir.Ast.k_trip;
   }
 
-let run_bench ~machine ?lat_policy ?ordering ?transform technique heuristic
-    (bench : W.benchmark) =
+let run_bench ~machine ?obs ?lat_policy ?ordering ?transform technique
+    heuristic (bench : W.benchmark) =
   let machine = machine_for machine bench in
   let loops =
     Vliw_util.Pool.map
-      (run_loop ~machine ?lat_policy ?ordering ?transform technique heuristic
-         ~bench)
+      (run_loop ~machine ?obs ?lat_policy ?ordering ?transform technique
+         heuristic ~bench)
       bench.b_loops
   in
   let wsum f =

@@ -63,25 +63,31 @@ type bench_run = {
   br_verified : int;  (** loops whose schedule the static verifier certified *)
 }
 
-(** {1 Observability hooks}
+(** {1 Observability configuration}
 
-    Both hooks apply to every subsequent {!run_loop}. With either enabled,
-    each simulation records an event trace ({!Vliw_trace.Trace}) and the
-    replay auditor ({!Vliw_trace.Audit}) re-derives the violation and
-    nullification counts from the stream; disagreement with [Sim.stats] is
-    a hard error ([Failure]). Traces cost memory and a few percent of time,
-    so both default to off. *)
+    An explicit value threaded through the entry points — there is no
+    process-global observability state, so independent harnesses (the
+    benchmark sweep, the fuzzer) can run concurrently on the pool without
+    cross-talk. With either field enabled, each simulation records an event
+    trace ({!Vliw_trace.Trace}) and the replay auditor ({!Vliw_trace.Audit})
+    re-derives the violation and nullification counts from the stream;
+    disagreement with [Sim.stats] is a hard error ([Failure]). Traces cost
+    memory and a few percent of time, so the default is {!obs_none}. *)
 
-val set_audit : bool -> unit
-(** Trace + audit every simulation (no files written). *)
+type obs = {
+  obs_audit : bool;  (** trace + audit every simulation (no files written) *)
+  obs_trace_dir : string option;
+      (** additionally export each audited run as Chrome trace-event JSON
+          (Perfetto-loadable) under the given directory, one file per
+          (machine, benchmark, loop, technique, heuristic, latency policy,
+          ordering). Runs with a [transform] are audited but not exported —
+          a source rewrite has no stable identity to name the file after.
+          File contents depend only on the run, never on pool width or
+          scheduling. *)
+}
 
-val set_trace_dir : string option -> unit
-(** Additionally export each audited run as Chrome trace-event JSON
-    (Perfetto-loadable) under the given directory, one file per
-    (machine, benchmark, loop, technique, heuristic, latency policy,
-    ordering). Runs with a [transform] are audited but not exported — a
-    source rewrite has no stable identity to name the file after. File
-    contents depend only on the run, never on pool width or scheduling. *)
+val obs_none : obs
+(** No tracing, no audit — the default of every entry point. *)
 
 val machine_for :
   Vliw_arch.Machine.t -> Vliw_workloads.Workloads.benchmark -> Vliw_arch.Machine.t
@@ -89,6 +95,7 @@ val machine_for :
 
 val run_loop :
   machine:Vliw_arch.Machine.t ->
+  ?obs:obs ->
   ?lat_policy:Vliw_sched.Driver.lat_policy ->
   ?ordering:Vliw_sched.Ims.ordering ->
   ?transform:(Vliw_ir.Ast.kernel -> Vliw_ir.Ast.kernel) ->
@@ -110,6 +117,7 @@ val run_loop :
 
 val run_bench :
   machine:Vliw_arch.Machine.t ->
+  ?obs:obs ->
   ?lat_policy:Vliw_sched.Driver.lat_policy ->
   ?ordering:Vliw_sched.Ims.ordering ->
   ?transform:(Vliw_ir.Ast.kernel -> Vliw_ir.Ast.kernel) ->

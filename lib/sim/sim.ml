@@ -184,6 +184,35 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
     | None -> [||]
     | Some _ -> Array.init nclusters (fun _ -> Attraction.create machine)
   in
+  (* per-cluster, per-byte: the newest store sequence number this cluster
+     has *executed* (address resolved), applied at home or not. A store
+     instance freshens a buffered copy only if the copy exists when it
+     executes; a fill arriving later could otherwise install a home
+     snapshot that predates the store's apply, leaving a provably-stale
+     copy no update can ever repair. The cluster knows its own executed
+     writes, so it refuses such fills (see [ab_fill_fresh]). *)
+  let ab_exec_seq =
+    Array.init (Array.length abs) (fun _ -> Array.make msize (-1))
+  in
+  let ab_note_store ~own ~addr ~size ~seq =
+    if Array.length abs > 0 then
+      for b = addr to min (addr + size - 1) (msize - 1) do
+        if seq > ab_exec_seq.(own).(b) then ab_exec_seq.(own).(b) <- seq
+      done
+  in
+  (* accept a fill only when every byte's home-applied high-water covers
+     the stores this cluster already executed there *)
+  let ab_fill_fresh ~own ~subblock =
+    List.for_all
+      (fun a ->
+        let lastb = min (a + machine.M.interleave_bytes - 1) (msize - 1) in
+        let ok = ref true in
+        for b = a to lastb do
+          if ab_exec_seq.(own).(b) > last_store_seq.(b) then ok := false
+        done;
+        !ok)
+      (M.addrs_of_subblock machine ~subblock)
+  in
   let mshr : (int, waiter list ref) Hashtbl.t = Hashtbl.create 32 in
   let modq : (int * waiter) Queue.t array =
     Array.init nclusters (fun _ -> Queue.create ())
@@ -329,6 +358,7 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
     let key = (node.n_id, iter) in
     (* stores keep any attraction-buffer copy in their own cluster fresh *)
     if is_store && Array.length abs > 0 then (
+      ab_note_store ~own ~addr ~size ~seq;
       let present =
         Attraction.write_if_present abs.(own)
           ~subblock:(M.subblock_id machine ~addr)
@@ -348,7 +378,8 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
             Hashtbl.replace load_phase key Resp_bus;
             send_bus ~cluster:own (fun arrival ->
                 Hashtbl.remove load_phase key;
-                (if Array.length abs > 0 then (
+                (if Array.length abs > 0 && ab_fill_fresh ~own ~subblock:(M.subblock_id machine ~addr)
+                 then (
                    let sb = M.subblock_id machine ~addr in
                    let sync =
                      List.fold_left
@@ -542,6 +573,7 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
           if Array.length abs > 0 then (
             let ty = ty_of_mr mr in
             let seq = seq_of ~site:mr.mr_site ~iter:kiter in
+            ab_note_store ~own ~addr ~size:mr.mr_bytes ~seq;
             let present =
               Attraction.write_if_present
                 abs.(own)

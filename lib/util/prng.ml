@@ -43,3 +43,22 @@ let shuffle t arr =
   done
 
 let split t = { state = next t }
+
+(* Pure stream derivation: children are keyed off the parent's *current*
+   state without advancing it, so [derive t i] is a function of
+   (state, i) alone.  Mixing the key with a second golden-gamma step keeps
+   sibling streams (indices i and i+1, or a name and its prefix)
+   statistically independent. *)
+let derive t i =
+  let k = Int64.add (Int64.mul (Int64.of_int i) golden_gamma) 1L in
+  { state = mix (Int64.add t.state (mix k)) }
+
+let derive_named t name =
+  let h = ref 0L in
+  String.iter
+    (fun c ->
+      h := Int64.add (Int64.mul !h 0x100000001B3L) (Int64.of_int (Char.code c)))
+    name;
+  { state = mix (Int64.add t.state (mix (Int64.add !h golden_gamma))) }
+
+let seed_of t = Int64.to_int (Int64.shift_right_logical t.state 1)

@@ -1,9 +1,30 @@
 (** Deterministic pseudo-random number generation.
 
     All randomized components of the reproduction (workload data, adversarial
-    bus jitter, property-test inputs that are not driven by QCheck) draw from
-    this splitmix64 generator so that every experiment is bit-reproducible
-    from a seed. *)
+    bus jitter, fuzzer cases, property-test inputs that are not driven by
+    QCheck) draw from this splitmix64 generator so that every experiment is
+    bit-reproducible from a seed.
+
+    {2 Stream derivation scheme}
+
+    Every randomized subsystem derives its streams from one root seed with
+    the pure combinators below, never by inventing ad-hoc literal seeds:
+
+    {v
+      root = create root_seed
+      domain stream  = derive_named root "<subsystem>"   e.g. "fuzz", "jitter"
+      indexed stream = derive (derive_named root "<subsystem>") index
+    v}
+
+    [derive] and [derive_named] read the parent's current state without
+    advancing it, so the derivation is a pure function of
+    [(root_seed, path)] — two processes (or two pool domains) that derive
+    the same path obtain bit-identical streams regardless of evaluation
+    order.  This is what makes fuzz case [i] reproducible from
+    [(root_seed, i)] alone and harness output byte-identical at any
+    [--jobs].  By convention a derived stream is consumed by exactly one
+    logical task; sharing a stream across tasks reintroduces
+    order-dependence. *)
 
 type t
 (** Mutable generator state. *)
@@ -38,4 +59,22 @@ val shuffle : t -> 'a array -> unit
 
 val split : t -> t
 (** A generator statistically independent from the parent's future output;
-    advances the parent. *)
+    advances the parent.  For order-independent derivation use {!derive} or
+    {!derive_named} instead. *)
+
+val derive : t -> int -> t
+(** [derive t i] is a child stream that depends only on [t]'s current state
+    and [i]; the parent is not advanced.  Distinct indices give
+    statistically independent streams, so [Array.init n (derive t)] hands
+    one stream to each of [n] parallel tasks deterministically. *)
+
+val derive_named : t -> string -> t
+(** [derive_named t name] is a child stream keyed by a label (FNV-1a hash of
+    [name] mixed into the state); the parent is not advanced.  Use it to
+    carve a root seed into per-subsystem domains ("data", "jitter", ...). *)
+
+val seed_of : t -> int
+(** A non-negative integer seed capturing the stream's current state, for
+    interfaces that take an [int] seed.  [create (seed_of t)] does not
+    recreate [t] exactly (the top bit is dropped) but is stable: equal
+    states give equal seeds. *)

@@ -20,6 +20,7 @@ type report = {
   r_proofs : (string * int) list;
   r_diags : D.t list;
   r_verified : bool;
+  r_jitter_robust : bool;
 }
 
 (* fixed rendering order of the proof/vacuity histogram *)
@@ -37,6 +38,12 @@ let check ~machine ~technique ~base ?layout ~graph ~schedule () =
   let ii = schedule.S.ii in
   let diags = ref [] in
   let add d = diags := d :: !diags in
+  (* a certificate is jitter-robust unless some obligation leans on the
+     bus's globally-FIFO arbitration (a co-located pair where either access
+     may be remote): local accesses enter their module's queue at issue,
+     bypassing the bus, so their order survives arbitrary per-transfer
+     jitter *)
+  let robust = ref true in
   let counts = Hashtbl.create 8 in
   let count p =
     Hashtbl.replace counts p
@@ -51,12 +58,14 @@ let check ~machine ~technique ~base ?layout ~graph ~schedule () =
   List.iter
     (fun ((nd : G.node), mr) -> Hashtbl.replace mr_of nd.G.n_id mr)
     (G.mem_refs base);
-  (* scheduled instances of every base node (the node itself, or its
-     store-replication instances); fake consumers have no base original *)
+  (* scheduled instances of every base memory node (the node itself, or
+     its store-replication instances). Membership goes through [mr_of],
+     not [G.mem_node base]: fake consumers added by the DDGT transform
+     carry an [n_orig] that does not exist in the base graph at all *)
   let instances = Hashtbl.create 16 in
   List.iter
     (fun (nd : G.node) ->
-      if G.mem_node base nd.G.n_orig then
+      if Hashtbl.mem mr_of nd.G.n_orig then
         Hashtbl.replace instances nd.G.n_orig
           (nd
           :: Option.value (Hashtbl.find_opt instances nd.G.n_orig) ~default:[]))
@@ -197,7 +206,12 @@ let check ~machine ~technique ~base ?layout ~graph ~schedule () =
                     let x_local =
                       x_rep || match hx with Some h -> h = cx | None -> false
                     in
-                    if cx = cy && delta >= 1 then count "co-located"
+                    if cx = cy && delta >= 1 then (
+                      count "co-located";
+                      let y_local =
+                        y_rep || match hy with Some h -> h = cy | None -> false
+                      in
+                      if not (x_local && y_local) then robust := false)
                     else if x_local && cx <> cy && delta >= 0 then
                       count "local-first"
                     else if sync_covered x ~dist:e.G.e_dist ~cyc_y then
@@ -248,6 +262,7 @@ let check ~machine ~technique ~base ?layout ~graph ~schedule () =
         proof_names;
     r_diags = diags;
     r_verified = not (D.has_errors diags);
+    r_jitter_robust = (not (D.has_errors diags)) && !robust;
   }
 
 let gate ~machine ~technique ~base ?layout () g s =
@@ -286,6 +301,7 @@ let report_json r =
     [
       ("technique", Json.String (technique_name r.r_technique));
       ("verified", Json.Bool r.r_verified);
+      ("jitter_robust", Json.Bool r.r_jitter_robust);
       ("pairs", Json.Int r.r_pairs);
       ("obligations", Json.Int r.r_obligations);
       ("proofs", Json.Obj (List.map (fun (p, c) -> (p, Json.Int c)) r.r_proofs));

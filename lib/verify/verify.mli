@@ -80,6 +80,13 @@ type report = {
           [disjoint-homes]); only nonzero entries, fixed order *)
   r_diags : Vliw_util.Diag.t list;
   r_verified : bool;  (** no [Error]-severity diagnostic *)
+  r_jitter_robust : bool;
+      (** verified {e and} no obligation leaned on globally-FIFO bus
+          arbitration (every co-located proof had both accesses guaranteed
+          local to the shared cluster): the certificate then also holds
+          under adversarial per-transfer bus jitter ({!Vliw_sim.Sim.run}'s
+          [?jitter]), not just nominal latencies. Conservative: [false]
+          only means the jitter-free argument was needed somewhere. *)
 }
 
 val check :

@@ -1,16 +1,25 @@
 module M = Vliw_arch.Machine
 module S = Vliw_sched.Schedule
 module R = Vliw_harness.Runner
-module E = Vliw_harness.Experiments
-module Render = Vliw_harness.Render
-module W = Vliw_workloads.Workloads
-
-let close ?(eps = 1e-9) = Alcotest.(check (float eps))
 
 (* every simulation these tests trigger is traced and replay-audited; a
    coherence-accounting disagreement surfaces as Failure in the test that
    ran it *)
-let () = R.set_audit true
+module E = struct
+  include Vliw_harness.Experiments
+
+  let obs = { R.obs_audit = true; obs_trace_dir = None }
+  let run ~machine scheme b = run ~machine ~obs scheme b
+  let fig6 () = fig6 ~obs ()
+  let fig7 () = fig7 ~obs ()
+  let table3 () = table3 ~obs ()
+  let table5 () = table5 ~obs ()
+end
+
+module Render = Vliw_harness.Render
+module W = Vliw_workloads.Workloads
+
+let close ?(eps = 1e-9) = Alcotest.(check (float eps))
 
 let g721 = W.find "g721dec"
 let pgp = W.find "pgpdec"

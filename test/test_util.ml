@@ -58,6 +58,27 @@ let test_prng_int_rejects_nonpositive () =
   Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
     (fun () -> ignore (Prng.int t 0))
 
+let test_prng_derive_pure () =
+  (* derivation reads the parent without advancing it: deriving any number
+     of children leaves the parent's own stream untouched *)
+  let a = Prng.create 11 and b = Prng.create 11 in
+  let _ = Prng.derive a 0 and _ = Prng.derive a 1 in
+  let _ = Prng.derive_named a "x" in
+  Alcotest.(check int64) "parent stream unchanged" (Prng.next b) (Prng.next a)
+
+let test_prng_derive_reproducible () =
+  (* a child depends only on (parent state, index/name) — the scheme every
+     subsystem's "(root seed, index)" reproducibility rests on *)
+  let child () = Prng.derive (Prng.derive_named (Prng.create 5) "fuzz") 42 in
+  Alcotest.(check int64) "same path, same stream"
+    (Prng.next (child ())) (Prng.next (child ()));
+  let sib = Prng.derive (Prng.derive_named (Prng.create 5) "fuzz") 43 in
+  Alcotest.(check bool) "sibling index diverges" true
+    (Prng.next (child ()) <> Prng.next sib);
+  let other = Prng.derive (Prng.derive_named (Prng.create 5) "jitter") 42 in
+  Alcotest.(check bool) "sibling name diverges" true
+    (Prng.next (child ()) <> Prng.next other)
+
 (* --- Stats --- *)
 
 let test_mean () =
@@ -201,6 +222,49 @@ let test_pool_nested_map () =
     [ [ 11; 12; 13 ]; [ 21; 22; 23 ] ]
     r
 
+let test_pool_failure_cancels_pending () =
+  (* a failure cancels all not-yet-started work: with one task failing
+     instantly and the rest sleeping, the workers drain at most their
+     in-flight tasks before observing the failure flag *)
+  let started = Atomic.make 0 in
+  let n = 200 in
+  (try
+     ignore
+       (Pool.map ~jobs:4
+          (fun i ->
+            Atomic.incr started;
+            if i = 0 then failwith "early"
+            else Unix.sleepf 0.005)
+          (List.init n Fun.id))
+   with Failure e when e = "early" -> ());
+  Alcotest.(check bool)
+    (Printf.sprintf "only %d of %d tasks started" (Atomic.get started) n)
+    true
+    (Atomic.get started < n)
+
+let test_pool_smallest_index_failure_wins () =
+  (* when several tasks fail, the caller sees the smallest-index failure
+     even if a later task failed first in wall-clock time *)
+  Alcotest.check_raises "index 1 reported, not index 30"
+    (Failure "boom 1")
+    (fun () ->
+      ignore
+        (Pool.map ~jobs:2
+           (fun i ->
+             if i = 1 then (Unix.sleepf 0.05; failwith "boom 1")
+             else if i = 30 then failwith "boom 30")
+           (List.init 60 Fun.id)))
+
+let test_pool_failure_raised_exactly_once () =
+  (* the failing sibling cancels the rest exactly once: the pool call
+     raises, and an immediately following call starts from a clean slate *)
+  let failures = ref 0 in
+  (try ignore (Pool.map ~jobs:4 (fun i -> if i = 3 then failwith "once") [ 1; 2; 3; 4 ])
+   with Failure e when e = "once" -> incr failures);
+  Alcotest.(check int) "one observable failure" 1 !failures;
+  Alcotest.(check (list int)) "pool healthy afterwards" [ 2; 4; 6 ]
+    (Pool.map ~jobs:4 (fun x -> x * 2) [ 1; 2; 3 ])
+
 let test_pool_set_jobs_validates () =
   Alcotest.check_raises "rejects zero"
     (Invalid_argument "Pool.set_jobs: width must be >= 1") (fun () ->
@@ -274,6 +338,9 @@ let () =
           Alcotest.test_case "copy independence" `Quick test_prng_copy_independent;
           Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
           Alcotest.test_case "rejects bad bound" `Quick test_prng_int_rejects_nonpositive;
+          Alcotest.test_case "derive is pure" `Quick test_prng_derive_pure;
+          Alcotest.test_case "derive reproducible" `Quick
+            test_prng_derive_reproducible;
         ] );
       ( "stats",
         [
@@ -311,6 +378,12 @@ let () =
             test_pool_empty_and_singleton;
           Alcotest.test_case "map_reduce" `Quick test_pool_map_reduce;
           Alcotest.test_case "nested map" `Quick test_pool_nested_map;
+          Alcotest.test_case "failure cancels pending" `Quick
+            test_pool_failure_cancels_pending;
+          Alcotest.test_case "smallest-index failure wins" `Quick
+            test_pool_smallest_index_failure_wins;
+          Alcotest.test_case "failure raised exactly once" `Quick
+            test_pool_failure_raised_exactly_once;
           Alcotest.test_case "set_jobs validates" `Quick
             test_pool_set_jobs_validates;
         ] );

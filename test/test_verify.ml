@@ -164,6 +164,28 @@ let test_ddgt_certifies () =
        (fun p -> List.mem_assoc p r.V.r_proofs)
        [ "local-first"; "value-sync"; "replica-disjoint"; "disjoint-homes" ])
 
+(* regression (found by the differential fuzzer): the DDGT transform's
+   fake consumers carry an [n_orig] that names their own fresh id, which
+   does not exist in the base graph — membership tests against the base
+   must not raise on them *)
+let test_ddgt_fake_consumers_verify () =
+  let k =
+    Ir.Parser.parse_kernel
+      "kernel f { array a : i64[32] = zero array b : i64[64] = ramp(0,1) \
+       mayoverlap a trip 8 body { let x = b[2*i] a[i] = 1 } }"
+  in
+  let low = Lower.lower k in
+  let layout = Ir.Layout.make k in
+  let tr = Ddgt.transform ~clusters:M.table2.M.clusters low.Lower.graph in
+  Alcotest.(check bool) "transform added fake consumers" true
+    (tr.Ddgt.fakes <> []);
+  let s = Driver.run_exn (Driver.request M.table2) tr.Ddgt.graph in
+  let r =
+    V.check ~machine:M.table2 ~technique:V.Ddgt ~base:low.Lower.graph ~layout
+      ~graph:tr.Ddgt.graph ~schedule:s ()
+  in
+  Alcotest.(check bool) "certified" true r.V.r_verified
+
 let test_ddgt_missing_replication () =
   (* replicate for 2 clusters but schedule on the 4-cluster machine: the
      instances cannot cover every cluster *)
@@ -383,6 +405,8 @@ let () =
             test_flagged_naive_schedule_violates;
           Alcotest.test_case "chain-split code" `Quick test_mdc_chain_split_code;
           Alcotest.test_case "DDGT certifies" `Quick test_ddgt_certifies;
+          Alcotest.test_case "fake consumers verify" `Quick
+            test_ddgt_fake_consumers_verify;
           Alcotest.test_case "missing replication" `Quick
             test_ddgt_missing_replication;
           Alcotest.test_case "split access" `Quick test_split_access;
