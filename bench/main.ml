@@ -102,34 +102,7 @@ let run_one obs (key, title, render) =
 (* ---- machine-readable results (--json PATH) ---- *)
 
 let json_report ~jobs ~total_wall timings =
-  let runs =
-    List.map
-      (fun (fp, (r : Vliw_harness.Runner.bench_run)) ->
-        Json.Obj
-          [
-            ("machine", Json.String fp);
-            ("bench", Json.String r.br_bench.Vliw_workloads.Workloads.b_name);
-            ( "technique",
-              Json.String (Vliw_harness.Runner.technique_name r.br_technique) );
-            ( "heuristic",
-              Json.String (Vliw_sched.Schedule.heuristic_name r.br_heuristic) );
-            ("cycles", Json.Float r.br_cycles);
-            ("compute", Json.Float r.br_compute);
-            ("stall", Json.Float r.br_stall);
-            ("stall_load", Json.Float r.br_stall_load);
-            ("stall_copy", Json.Float r.br_stall_copy);
-            ("stall_bus", Json.Float r.br_stall_bus);
-            ("stall_drain", Json.Float r.br_stall_drain);
-            ("comm", Json.Float r.br_comm);
-            ("violations", Json.Int r.br_violations);
-            ("nullified", Json.Int r.br_nullified);
-            ("ab_hits", Json.Int r.br_ab_hits);
-            ("ab_flushed", Json.Int r.br_ab_flushed);
-            ("loops", Json.Int (List.length r.br_loops));
-            ("verified_loops", Json.Int r.br_verified);
-          ])
-      (E.cached_runs ())
-  in
+  let runs = List.map Vliw_harness.Selfcheck.run_json (E.cached_runs ()) in
   let memo = Memo.counters () in
   Json.Obj
     [
@@ -197,41 +170,103 @@ let run_bechamel () =
           tbl)
     results
 
+(* ---- counter-drift self-check (--selfcheck) ----
+
+   Runs a pinned experiment subset and compares every non-timing counter
+   of the resulting runs against the committed baseline report. Exits 1 on
+   drift; with --selfcheck-out DIR the diff report lands in
+   DIR/selfcheck-diff.txt and every simulation's Chrome trace in
+   DIR/traces (the CI artifacts). *)
+
+let selfcheck_keys = [ "fig6"; "fig7"; "t3"; "t4"; "t5" ]
+let default_baseline = "BENCH_harness.json"
+
+let run_selfcheck ~baseline_path ~out_dir =
+  let baseline =
+    try Json.of_file baseline_path
+    with Sys_error e | Json.Parse_error e ->
+      Printf.eprintf "selfcheck: cannot read baseline %s: %s\n" baseline_path e;
+      exit 2
+  in
+  let current =
+    List.map Vliw_harness.Selfcheck.run_json (E.cached_runs ())
+  in
+  let drifts = Vliw_harness.Selfcheck.check ~baseline ~current in
+  let report = Vliw_harness.Selfcheck.render drifts in
+  print_string report;
+  Option.iter
+    (fun dir ->
+      let path = Filename.concat dir "selfcheck-diff.txt" in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc report);
+      Printf.eprintf "wrote %s\n%!" path)
+    out_dir;
+  if drifts <> [] then exit 1
+
 let usage () =
   Printf.eprintf
-    "usage: main.exe [--jobs N] [--json PATH] [--audit] [--trace-dir DIR] \
+    "usage: main.exe [--jobs N] [--json PATH] [--audit] [--trace-dir DIR]\n\
+    \       [--selfcheck] [--selfcheck-out DIR] [--baseline PATH] \
      [EXPERIMENT...]\n\
-     known experiments: %s, all, bechamel\n"
-    (String.concat " " (List.map (fun (k, _, _) -> k) experiments));
+     known experiments: %s, all, bechamel\n\
+     --selfcheck runs the pinned subset (%s), diffs all non-timing\n\
+     counters against the committed baseline and exits 1 on drift\n"
+    (String.concat " " (List.map (fun (k, _, _) -> k) experiments))
+    (String.concat " " selfcheck_keys);
   exit 2
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse jobs json audit tdir keys = function
-    | [] -> (jobs, json, audit, tdir, List.rev keys)
+  let rec parse jobs json audit tdir sc scout baseline keys = function
+    | [] -> (jobs, json, audit, tdir, sc, scout, baseline, List.rev keys)
     | "--jobs" :: n :: rest -> (
       match int_of_string_opt n with
-      | Some n when n >= 1 -> parse (Some n) json audit tdir keys rest
+      | Some n when n >= 1 -> parse (Some n) json audit tdir sc scout baseline keys rest
       | _ ->
         Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
         exit 2)
-    | "--json" :: path :: rest -> parse jobs (Some path) audit tdir keys rest
-    | "--audit" :: rest -> parse jobs json true tdir keys rest
-    | "--trace-dir" :: dir :: rest -> parse jobs json audit (Some dir) keys rest
-    | ("--jobs" | "--json" | "--trace-dir") :: [] | "--help" :: _ -> usage ()
-    | key :: rest -> parse jobs json audit tdir (key :: keys) rest
+    | "--json" :: path :: rest ->
+      parse jobs (Some path) audit tdir sc scout baseline keys rest
+    | "--audit" :: rest -> parse jobs json true tdir sc scout baseline keys rest
+    | "--trace-dir" :: dir :: rest ->
+      parse jobs json audit (Some dir) sc scout baseline keys rest
+    | "--selfcheck" :: rest -> parse jobs json audit tdir true scout baseline keys rest
+    | "--selfcheck-out" :: dir :: rest ->
+      parse jobs json audit tdir sc (Some dir) baseline keys rest
+    | "--baseline" :: path :: rest ->
+      parse jobs json audit tdir sc scout (Some path) keys rest
+    | ("--jobs" | "--json" | "--trace-dir" | "--selfcheck-out" | "--baseline")
+      :: []
+    | "--help" :: _ ->
+      usage ()
+    | key :: rest -> parse jobs json audit tdir sc scout baseline (key :: keys) rest
   in
-  let jobs, json, audit, tdir, keys = parse None None false None [] args in
+  let jobs, json, audit, tdir, selfcheck, scout, baseline, keys =
+    parse None None false None false None None [] args
+  in
   Option.iter Pool.set_jobs jobs;
-  Option.iter
-    (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755)
-    tdir;
+  let mkdir_p dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755 in
+  Option.iter mkdir_p tdir;
+  (* the self-check exports traces under its artifact directory so a CI
+     failure ships the evidence alongside the diff *)
+  let tdir =
+    match (selfcheck, scout, tdir) with
+    | true, Some dir, None ->
+      mkdir_p dir;
+      let traces = Filename.concat dir "traces" in
+      mkdir_p traces;
+      Some traces
+    | _ -> tdir
+  in
   let obs =
     { Vliw_harness.Runner.obs_audit = audit; obs_trace_dir = tdir }
   in
   match keys with
   | [ "bechamel" ] -> run_bechamel ()
   | keys ->
+    let keys = if selfcheck && keys = [] then selfcheck_keys else keys in
     let selected =
       match keys with
       | [] | [ "all" ] -> experiments
@@ -257,4 +292,8 @@ let () =
             Json.to_channel oc
               (json_report ~jobs:(Pool.jobs ()) ~total_wall timings));
         Printf.eprintf "wrote %s\n%!" path)
-      json
+      json;
+    if selfcheck then
+      run_selfcheck
+        ~baseline_path:(Option.value baseline ~default:default_baseline)
+        ~out_dir:scout

@@ -1,0 +1,130 @@
+(* Microbenchmarks for the harness's hot paths (Bechamel, monotonic-clock
+   OLS like `bench/main.exe bechamel`):
+
+   - sim/wheel vs sim/reference   the event-wheel engine against the
+                                  pre-overhaul per-cycle engine on the
+                                  same compiled loop
+   - bus/contended-{wheel,ref}    the same loop on a single-memory-bus
+                                  machine, so every remote access queues —
+                                  stresses the arbitration path
+   - audit/replay                 the replay coherence auditor over a
+                                  recorded event trace
+   - verify/discharge             the static verifier proving one schedule
+
+   Usage: bench/micro/main.exe *)
+
+module M = Vliw_arch.Machine
+module Ir = Vliw_ir
+module S = Vliw_sched.Schedule
+module Driver = Vliw_sched.Driver
+module Chains = Vliw_core.Chains
+module Lower = Vliw_lower.Lower
+module Profile = Vliw_profile.Profile
+module Sim = Vliw_sim.Sim
+module Trace = Vliw_trace.Trace
+module Audit = Vliw_trace.Audit
+module Verify = Vliw_verify.Verify
+module W = Vliw_workloads.Workloads
+
+type artifact = {
+  a_layout : Ir.Layout.t;
+  a_low : Lower.t;
+  a_schedule : S.t;
+  a_oracle : Ir.Interp.result;
+}
+
+let compile machine =
+  let b = List.hd W.figures in
+  let l = List.hd b.W.b_loops in
+  let k = W.parse_loop l ~seed:b.W.b_exec_seed in
+  let layout = Ir.Layout.make k in
+  let low = Lower.lower k in
+  let prof = Profile.run ~machine ~layout k in
+  let pref = Profile.node_pref prof low.Lower.graph in
+  let constraints = Chains.prefclus low.Lower.graph ~pref in
+  match
+    Driver.run
+      (Driver.request ~heuristic:S.Pref_clus ~constraints ~pref machine)
+      low.Lower.graph
+  with
+  | Error e -> failwith ("micro: loop does not schedule: " ^ e)
+  | Ok schedule ->
+    {
+      a_layout = layout;
+      a_low = low;
+      a_schedule = schedule;
+      a_oracle = Ir.Interp.run ~layout k;
+    }
+
+let simulate ?trace a engine =
+  Sim.run ~lowered:a.a_low ~graph:a.a_low.Lower.graph ~schedule:a.a_schedule
+    ~layout:a.a_layout ~mode:(Sim.Oracle a.a_oracle) ?trace ~engine ()
+
+let () =
+  let open Bechamel in
+  let open Toolkit in
+  let nominal = compile M.table2 in
+  (* one memory bus: every remote transaction contends for the same grant *)
+  let contended =
+    compile { M.table2 with M.mem_buses = { M.bus_count = 1; bus_latency = 2 } }
+  in
+  let traced = Trace.create () in
+  ignore (simulate ~trace:traced nominal `Wheel);
+  let verify_args = (nominal.a_low.Lower.graph, nominal.a_schedule) in
+  let sim_test name art engine =
+    Test.make ~name
+      (Staged.stage (fun () -> ignore (Sys.opaque_identity (simulate art engine))))
+  in
+  let tests =
+    Test.make_grouped ~name:"micro"
+      [
+        Test.make_grouped ~name:"sim"
+          [
+            sim_test "wheel" nominal `Wheel;
+            sim_test "reference" nominal `Reference;
+          ];
+        Test.make_grouped ~name:"bus"
+          [
+            sim_test "contended-wheel" contended `Wheel;
+            sim_test "contended-ref" contended `Reference;
+          ];
+        Test.make_grouped ~name:"audit"
+          [
+            Test.make ~name:"replay"
+              (Staged.stage (fun () ->
+                   ignore (Sys.opaque_identity (Audit.run traced))));
+          ];
+        Test.make_grouped ~name:"verify"
+          [
+            Test.make ~name:"discharge"
+              (Staged.stage (fun () ->
+                   let graph, schedule = verify_args in
+                   ignore
+                     (Sys.opaque_identity
+                        (Verify.check ~machine:M.table2 ~technique:Verify.Free
+                           ~base:graph ~layout:nominal.a_layout ~graph
+                           ~schedule ()))));
+          ];
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure tbl ->
+      if measure = Measure.label Instance.monotonic_clock then (
+        let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl [] in
+        List.iter
+          (fun (name, ols) ->
+            match Analyze.OLS.estimates ols with
+            | Some [ est ] -> Printf.printf "%-30s %12.0f ns/run\n" name est
+            | _ -> Printf.printf "%-30s (no estimate)\n" name)
+          (List.sort compare rows)))
+    results

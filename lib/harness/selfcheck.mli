@@ -1,0 +1,30 @@
+(** Counter-drift self-check: compares the non-timing fields of a harness
+    run against the committed baseline report ([BENCH_harness.json]).
+
+    Every counter the harness reports — cycles, stall breakdown,
+    communication, coherence counters, verification coverage — is a pure
+    function of the committed source, so any divergence from the baseline
+    on the same inputs is a real behaviour change (or a nondeterminism
+    bug), never noise. Timing fields ([*_s]) are host-dependent and
+    excluded. The CI counter-drift job fails on any reported drift. *)
+
+val run_json : string * Runner.bench_run -> Vliw_util.Json.t
+(** One memoized run ([Experiments.cached_runs] element) as the report's
+    run object — the shared encoding used by [--json] and {!check}. *)
+
+type drift = {
+  d_run : string;  (** "machine / bench / technique / heuristic" *)
+  d_field : string;
+  d_expected : string;
+  d_actual : string;
+}
+
+val check : baseline:Vliw_util.Json.t -> current:Vliw_util.Json.t list -> drift list
+(** [check ~baseline ~current] compares each current run object against the
+    baseline document's matching [runs] entry, field by field. A current
+    run missing from the baseline is a drift; a baseline run not in
+    [current] is ignored (the self-check runs a pinned experiment
+    subset). *)
+
+val render : drift list -> string
+(** Human-readable report; one header line plus one block per drift. *)

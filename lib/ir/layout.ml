@@ -25,6 +25,11 @@ let base t name =
   | Some (_, b, _) -> b
   | None -> invalid_arg ("Layout.base: unknown array " ^ name)
 
+let size t name =
+  match List.find_opt (fun (n, _, _) -> n = name) t.bases with
+  | Some (_, _, s) -> s
+  | None -> invalid_arg ("Layout.size: unknown array " ^ name)
+
 let wrap_index ~len idx =
   if len <= 0 then invalid_arg "Layout.wrap_index: non-positive length";
   let r = idx mod len in

@@ -15,6 +15,9 @@ val make : ?align:int -> ?pad:int -> Ast.kernel -> t
 val base : t -> string -> int
 (** Base address of an array. @raise Invalid_argument on unknown names. *)
 
+val size : t -> string -> int
+(** Byte size of an array. @raise Invalid_argument on unknown names. *)
+
 val addr : t -> arr:string -> elt_bytes:int -> idx:int -> int
 (** Byte address of element [idx]; the index is wrapped into the array (the
     IR's total semantics for out-of-range subscripts). *)

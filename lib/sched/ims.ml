@@ -14,6 +14,14 @@ type ctx = {
   assumed : (int, int) Hashtbl.t;
 }
 
+(* The inner loop probes placements thousands of times per attempt, so the
+   per-node facts (latency under the current assumption, height, FU kind,
+   adjacency) are snapshotted into dense arrays up front and the mutable
+   placement state is mirrored in flat [place_t]/[place_c] arrays (-1 =
+   unplaced). The [place] hashtable is still maintained op-for-op: its
+   iteration order picks force_place victims and it is the [Schedule.place]
+   the caller receives, so every replace/remove happens exactly as before —
+   the arrays only accelerate reads. *)
 let attempt ctx g ~ii =
   let m = ctx.machine in
   let nclusters = m.M.clusters in
@@ -22,13 +30,37 @@ let attempt ctx g ~ii =
   let assumed id =
     Option.value (Hashtbl.find_opt ctx.assumed id) ~default:local_hit
   in
+  let ns = G.nodes g in
+  let nmax = List.fold_left (fun acc (n : G.node) -> max acc (n.G.n_id + 1)) 0 ns in
+  let dummy =
+    match ns with
+    | n :: _ -> n
+    | [] -> { G.n_id = 0; n_op = G.Fake; n_seq = 0; n_orig = 0; n_replica = None }
+  in
+  let node_arr = Array.make nmax dummy in
+  List.iter (fun (n : G.node) -> node_arr.(n.G.n_id) <- n) ns;
+  let oplat = Array.make nmax 0 in
+  List.iter
+    (fun (n : G.node) -> oplat.(n.G.n_id) <- G.op_latency n ~assumed)
+    ns;
   let elat (e : G.edge) =
     match e.e_kind with
     | G.SYNC -> 0
     | G.MF | G.MA | G.MO -> 1
-    | G.RF -> G.op_latency (G.node g e.e_src) ~assumed
+    | G.RF -> oplat.(e.e_src)
   in
+  let preds_arr = Array.init nmax (fun id -> Array.of_list (G.preds g id)) in
+  let succs_arr = Array.init nmax (fun id -> Array.of_list (G.succs g id)) in
+  let fukindv = Array.make nmax M.Int_fu in
+  let memv = Array.make nmax false in
+  List.iter
+    (fun (n : G.node) ->
+      fukindv.(n.G.n_id) <- G.fu_kind n;
+      memv.(n.G.n_id) <- G.mem_node g n.G.n_id)
+    ns;
   let height = A.longest_path_lengths g ~ii ~edge_lat:elat in
+  let heightv = Array.make nmax 0 in
+  List.iter (fun (n : G.node) -> heightv.(n.G.n_id) <- height n.G.n_id) ns;
   (* Swing-style order: start from the least-mobile node, then grow the
      ordered set through graph adjacency, always taking the least-mobile
      candidate (critical recurrences first, neighbours kept together). *)
@@ -37,59 +69,61 @@ let attempt ctx g ~ii =
     | Height -> None
     | Swing ->
       let depth = A.longest_path_depths g ~ii ~edge_lat:elat in
+      let depthv = Array.make nmax 0 in
+      List.iter (fun (n : G.node) -> depthv.(n.G.n_id) <- depth n.G.n_id) ns;
       let cp =
         List.fold_left
-          (fun acc (n : G.node) -> max acc (depth n.n_id + height n.n_id))
-          0 (G.nodes g)
+          (fun acc (n : G.node) ->
+            max acc (depthv.(n.G.n_id) + heightv.(n.G.n_id)))
+          0 ns
       in
-      let mobility id = cp - height id - depth id in
-      let rank : (int, int) Hashtbl.t = Hashtbl.create 64 in
-      let remaining = Hashtbl.create 64 in
-      List.iter (fun (n : G.node) -> Hashtbl.replace remaining n.n_id ()) (G.nodes g);
+      let mobility id = cp - heightv.(id) - depthv.(id) in
+      let rankv = Array.make nmax max_int in
+      let remainingv = Array.make nmax false in
+      List.iter (fun (n : G.node) -> remainingv.(n.G.n_id) <- true) ns;
+      let nrem = ref (List.length ns) in
       let next_rank = ref 0 in
-      let take id =
-        Hashtbl.replace rank id !next_rank;
-        incr next_rank;
-        Hashtbl.remove remaining id
+      let ranked id = rankv.(id) <> max_int in
+      let touches id =
+        Array.exists (fun (e : G.edge) -> ranked e.e_src) preds_arr.(id)
+        || Array.exists (fun (e : G.edge) -> ranked e.e_dst) succs_arr.(id)
       in
-      let best_of ids =
-        List.fold_left
-          (fun acc id ->
-            match acc with
-            | None -> Some id
-            | Some b ->
-              if
-                (mobility id, -height id, id) < (mobility b, -height b, b)
-              then Some id
-              else acc)
-          None ids
-      in
-      while Hashtbl.length remaining > 0 do
-        (* candidates adjacent to the ordered set *)
-        let adjacent =
-          Hashtbl.fold
-            (fun id () acc ->
-              let touches =
-                List.exists
-                  (fun (e : G.edge) -> Hashtbl.mem rank e.e_src)
-                  (G.preds g id)
-                || List.exists
-                     (fun (e : G.edge) -> Hashtbl.mem rank e.e_dst)
-                     (G.succs g id)
-              in
-              if touches then id :: acc else acc)
-            remaining []
+      while !nrem > 0 do
+        (* least-mobile candidate adjacent to the ordered set, falling back
+           to all remaining nodes; the minimum is unique (the key embeds the
+           node id) so scan order does not matter *)
+        let best = ref (-1) and bm = ref 0 and bh = ref 0 in
+        let consider id =
+          let mo = mobility id and h = heightv.(id) in
+          if
+            !best < 0
+            || mo < !bm
+            || (mo = !bm && (h > !bh || (h = !bh && id < !best)))
+          then (
+            best := id;
+            bm := mo;
+            bh := h)
         in
-        let pool =
-          if adjacent <> [] then adjacent
-          else Hashtbl.fold (fun id () acc -> id :: acc) remaining []
-        in
-        match best_of pool with Some id -> take id | None -> ()
+        for id = 0 to nmax - 1 do
+          if remainingv.(id) && touches id then consider id
+        done;
+        if !best < 0 then
+          for id = 0 to nmax - 1 do
+            if remainingv.(id) then consider id
+          done;
+        if !best >= 0 then (
+          rankv.(!best) <- !next_rank;
+          incr next_rank;
+          remainingv.(!best) <- false;
+          decr nrem)
       done;
-      Some (fun id -> Hashtbl.find rank id)
+      Some rankv
   in
   let mrt = Mrt.create m ~ii in
   let place : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let place_t = Array.make nmax (-1) in
+  let place_c = Array.make nmax (-1) in
+  let unschedv = Array.make nmax false in
   let copies : (int * int * int, Schedule.copy) Hashtbl.t = Hashtbl.create 16 in
   let group_of : (int, int) Hashtbl.t = Hashtbl.create 16 in
   List.iteri
@@ -106,54 +140,62 @@ let attempt ctx g ~ii =
         Option.bind (Hashtbl.find_opt group_of n.n_id)
           (Hashtbl.find_opt group_pin))
   in
-  let unscheduled : (int, unit) Hashtbl.t = Hashtbl.create 64 in
-  List.iter (fun (n : G.node) -> Hashtbl.replace unscheduled n.n_id ()) (G.nodes g);
+  List.iter (fun (n : G.node) -> unschedv.(n.G.n_id) <- true) ns;
   let last_forced : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let budget = ref (12 * G.node_count g) in
 
+  (* argmax / argmin over the unscheduled set; the keys are unique (they
+     embed the node id) so a plain ascending scan finds the same node the
+     old hashtable folds did *)
   let pick () =
     match swing_rank with
-    | Some rank ->
-      Hashtbl.fold
-        (fun id () best ->
-          match best with
-          | Some (brank, _) when brank <= rank id -> best
-          | _ -> Some (rank id, id))
-        unscheduled None
-      |> Option.map snd
+    | Some rankv ->
+      let best = ref (-1) and br = ref max_int in
+      for id = 0 to nmax - 1 do
+        if unschedv.(id) && rankv.(id) < !br then (
+          best := id;
+          br := rankv.(id))
+      done;
+      if !best < 0 then None else Some !best
     | None ->
-      Hashtbl.fold
-        (fun id () best ->
-          let n = G.node g id in
-          let key = (height id, -n.n_seq, -id) in
-          match best with
-          | Some (bkey, _) when bkey >= key -> best
-          | _ -> Some (key, id))
-        unscheduled None
-      |> Option.map snd
+      let best = ref (-1) and bh = ref min_int and bs = ref min_int in
+      for id = 0 to nmax - 1 do
+        if unschedv.(id) then (
+          let h = heightv.(id) and s = -node_arr.(id).G.n_seq in
+          (* key (height, -seq, -id): under an ascending id scan a strict
+             improvement on the first two components suffices, since the
+             -id component prefers the earliest id at equal (h, s) *)
+          if !best < 0 || h > !bh || (h = !bh && s > !bs) then (
+            best := id;
+            bh := h;
+            bs := s))
+      done;
+      if !best < 0 then None else Some !best
   in
 
   (* Earliest start assuming same-cluster placement relative to scheduled
      predecessors. *)
   let earliest id =
-    List.fold_left
-      (fun acc (e : G.edge) ->
-        match Hashtbl.find_opt place e.e_src with
-        | None -> acc
-        | Some (ts, _) -> max acc (ts + elat e - (ii * e.e_dist)))
-      0 (G.preds g id)
+    let acc = ref 0 in
+    let es = preds_arr.(id) in
+    for i = 0 to Array.length es - 1 do
+      let e = es.(i) in
+      let ts = place_t.(e.G.e_src) in
+      if ts >= 0 then acc := max !acc (ts + elat e - (ii * e.G.e_dist))
+    done;
+    !acc
   in
 
   let comm_cost id c =
-    let cost_edge (e : G.edge) other =
-      if e.e_kind <> G.RF then 0
-      else
-        match Hashtbl.find_opt place other with
-        | Some (_, cl) when cl <> c -> 1
-        | _ -> 0
+    let cost = ref 0 in
+    let count other (e : G.edge) =
+      if e.e_kind = G.RF then
+        let cl = place_c.(other) in
+        if cl >= 0 && cl <> c then incr cost
     in
-    List.fold_left (fun acc e -> acc + cost_edge e e.G.e_src) 0 (G.preds g id)
-    + List.fold_left (fun acc e -> acc + cost_edge e e.G.e_dst) 0 (G.succs g id)
+    Array.iter (fun (e : G.edge) -> count e.e_src e) preds_arr.(id);
+    Array.iter (fun (e : G.edge) -> count e.e_dst e) succs_arr.(id);
+    !cost
   in
 
   let candidates (n : G.node) =
@@ -169,7 +211,7 @@ let attempt ctx g ~ii =
               ((10 * comm_cost n.n_id b) + Mrt.fu_load mrt ~cluster:b, b))
           all
       in
-      if ctx.heuristic = Schedule.Pref_clus && G.mem_node g n.n_id then
+      if ctx.heuristic = Schedule.Pref_clus && memv.(n.n_id) then
         match ctx.pref n.n_id with
         | Some h when Array.length h = nclusters ->
           List.stable_sort (fun a b -> compare (-h.(a), a) (-h.(b), b)) all
@@ -177,10 +219,30 @@ let attempt ctx g ~ii =
       else by_cost ()
   in
 
+  let do_place id t c =
+    Hashtbl.replace place id (t, c);
+    place_t.(id) <- t;
+    place_c.(id) <- c;
+    unschedv.(id) <- false
+  in
+
+  (* short-circuiting left-to-right scan, same visit order as the old
+     List.for_all over the adjacency lists *)
+  let all_ok f (es : G.edge array) =
+    let ok = ref true in
+    let i = ref 0 in
+    let len = Array.length es in
+    while !ok && !i < len do
+      if not (f es.(!i)) then ok := false;
+      incr i
+    done;
+    !ok
+  in
+
   (* Try to place node n at cycle t in cluster c. On success, commits the FU
      slot, any needed copies (bus slots), and the placement. *)
   let try_place (n : G.node) t c =
-    let kind = G.fu_kind n in
+    let kind = fukindv.(n.n_id) in
     if t < 0 || not (Mrt.fu_free mrt ~cycle:t ~cluster:c kind) then false
     else (
       let taken_buses = ref [] in
@@ -190,9 +252,8 @@ let attempt ctx g ~ii =
           (fun (cycle, bus) -> Mrt.bus_release mrt ~cycle ~bus)
           !taken_buses
       in
-      let need_copy (e : G.edge) ~src_place ~dst_issue_deadline =
-        let ts, _ = src_place in
-        let lo = ts + elat e in
+      let need_copy (e : G.edge) ~src_cycle ~dst_issue_deadline =
+        let lo = src_cycle + elat e in
         (* the transfer's last busy slot must precede the consumer's issue:
            arrival = start + bus_latency <= deadline *)
         match Mrt.bus_find mrt ~lo ~hi:(dst_issue_deadline - 1) with
@@ -204,32 +265,31 @@ let attempt ctx g ~ii =
           true
       in
       let pred_ok (e : G.edge) =
-        match Hashtbl.find_opt place e.e_src with
-        | None -> true
-        | Some ((ts, cs) as sp) ->
+        let ts = place_t.(e.e_src) in
+        if ts < 0 then true
+        else
+          let cs = place_c.(e.e_src) in
           let deadline = t + (ii * e.e_dist) in
           if e.e_kind <> G.RF || cs = c then ts + elat e <= deadline
-          else need_copy e ~src_place:sp ~dst_issue_deadline:deadline
+          else need_copy e ~src_cycle:ts ~dst_issue_deadline:deadline
       in
       let succ_ok (e : G.edge) =
-        match Hashtbl.find_opt place e.e_dst with
-        | None -> true
-        | Some (td, cd) ->
+        let td = place_t.(e.e_dst) in
+        if td < 0 then true
+        else
+          let cd = place_c.(e.e_dst) in
           let deadline = td + (ii * e.e_dist) in
           if e.e_kind <> G.RF || cd = c then t + elat e <= deadline
-          else need_copy e ~src_place:(t, c) ~dst_issue_deadline:deadline
+          else need_copy e ~src_cycle:t ~dst_issue_deadline:deadline
       in
-      if
-        List.for_all pred_ok (G.preds g n.n_id)
-        && List.for_all succ_ok (G.succs g n.n_id)
+      if all_ok pred_ok preds_arr.(n.n_id) && all_ok succ_ok succs_arr.(n.n_id)
       then (
         Mrt.fu_take mrt ~cycle:t ~cluster:c kind;
-        Hashtbl.replace place n.n_id (t, c);
-        Hashtbl.remove unscheduled n.n_id;
+        do_place n.n_id t c;
         List.iter
           (fun ((e : G.edge), cycle, bus) ->
-            let (_, cs) = Hashtbl.find place e.e_src in
-            let (_, cd) = Hashtbl.find place e.e_dst in
+            let cs = place_c.(e.e_src) in
+            let cd = place_c.(e.e_dst) in
             Hashtbl.replace copies
               (e.e_src, e.e_dst, e.e_dist)
               {
@@ -253,12 +313,13 @@ let attempt ctx g ~ii =
   in
 
   let eject id =
-    match Hashtbl.find_opt place id with
-    | None -> ()
-    | Some (t, c) ->
-      Mrt.fu_release mrt ~cycle:t ~cluster:c (G.fu_kind (G.node g id));
+    if place_t.(id) >= 0 then (
+      let t = place_t.(id) and c = place_c.(id) in
+      Mrt.fu_release mrt ~cycle:t ~cluster:c fukindv.(id);
       Hashtbl.remove place id;
-      Hashtbl.replace unscheduled id ();
+      place_t.(id) <- -1;
+      place_c.(id) <- -1;
+      unschedv.(id) <- true;
       let doomed =
         Hashtbl.fold
           (fun key (cp : Schedule.copy) acc ->
@@ -270,14 +331,14 @@ let attempt ctx g ~ii =
           Mrt.bus_release mrt ~cycle:cp.cp_cycle ~bus:cp.cp_bus;
           Hashtbl.remove copies key)
         doomed;
-      decr budget
+      decr budget)
   in
 
   (* Force-place n at cycle t cluster c, ejecting whatever stands in the
      way: FU conflictors in the same slot, then any placed neighbour whose
      dependence with n cannot be satisfied. *)
   let force_place (n : G.node) t c =
-    let kind = G.fu_kind n in
+    let kind = fukindv.(n.n_id) in
     (* eject FU conflictors *)
     while not (Mrt.fu_free mrt ~cycle:t ~cluster:c kind) do
       let victim =
@@ -286,7 +347,7 @@ let attempt ctx g ~ii =
             if
               acc = None && id <> n.n_id && cv = c
               && tv mod ii = t mod ii
-              && G.fu_kind (G.node g id) = kind
+              && fukindv.(id) = kind
             then Some id
             else acc)
           place None
@@ -296,8 +357,7 @@ let attempt ctx g ~ii =
       | None -> assert false (* slot busy implies a holder exists *)
     done;
     Mrt.fu_take mrt ~cycle:t ~cluster:c kind;
-    Hashtbl.replace place n.n_id (t, c);
-    Hashtbl.remove unscheduled n.n_id;
+    do_place n.n_id t c;
     (match Hashtbl.find_opt group_of n.n_id with
     | Some gi when not (Hashtbl.mem group_pin gi) ->
       Hashtbl.replace group_pin gi c
@@ -309,56 +369,54 @@ let attempt ctx g ~ii =
         (* self edge: check directly; ejecting n would not help *)
         let lat = elat e in
         if lat > ii * e.e_dist then decr budget)
-      else
-        match Hashtbl.find_opt place other with
-        | None -> ()
-        | Some (to_, co) ->
-          let ok =
-            if n_is_src then
-              let deadline = to_ + (ii * e.e_dist) in
-              if e.e_kind <> G.RF || co = c then t + elat e <= deadline
-              else
-                match Mrt.bus_find mrt ~lo:(t + elat e) ~hi:(deadline - 1) with
-                | None -> false
-                | Some (cycle, bus) ->
-                  Mrt.bus_take mrt ~cycle ~bus;
-                  Hashtbl.replace copies
-                    (e.e_src, e.e_dst, e.e_dist)
-                    {
-                      Schedule.cp_src = e.e_src;
-                      cp_dst = e.e_dst;
-                      cp_dist = e.e_dist;
-                      cp_from = c;
-                      cp_to = co;
-                      cp_cycle = cycle;
-                      cp_bus = bus;
-                    };
-                  true
+      else if place_t.(other) >= 0 then (
+        let to_ = place_t.(other) and co = place_c.(other) in
+        let ok =
+          if n_is_src then
+            let deadline = to_ + (ii * e.e_dist) in
+            if e.e_kind <> G.RF || co = c then t + elat e <= deadline
             else
-              let deadline = t + (ii * e.e_dist) in
-              if e.e_kind <> G.RF || co = c then to_ + elat e <= deadline
-              else
-                match Mrt.bus_find mrt ~lo:(to_ + elat e) ~hi:(deadline - 1) with
-                | None -> false
-                | Some (cycle, bus) ->
-                  Mrt.bus_take mrt ~cycle ~bus;
-                  Hashtbl.replace copies
-                    (e.e_src, e.e_dst, e.e_dist)
-                    {
-                      Schedule.cp_src = e.e_src;
-                      cp_dst = e.e_dst;
-                      cp_dist = e.e_dist;
-                      cp_from = co;
-                      cp_to = c;
-                      cp_cycle = cycle;
-                      cp_bus = bus;
-                    };
-                  true
-          in
-          if not ok then eject other
+              match Mrt.bus_find mrt ~lo:(t + elat e) ~hi:(deadline - 1) with
+              | None -> false
+              | Some (cycle, bus) ->
+                Mrt.bus_take mrt ~cycle ~bus;
+                Hashtbl.replace copies
+                  (e.e_src, e.e_dst, e.e_dist)
+                  {
+                    Schedule.cp_src = e.e_src;
+                    cp_dst = e.e_dst;
+                    cp_dist = e.e_dist;
+                    cp_from = c;
+                    cp_to = co;
+                    cp_cycle = cycle;
+                    cp_bus = bus;
+                  };
+                true
+          else
+            let deadline = t + (ii * e.e_dist) in
+            if e.e_kind <> G.RF || co = c then to_ + elat e <= deadline
+            else
+              match Mrt.bus_find mrt ~lo:(to_ + elat e) ~hi:(deadline - 1) with
+              | None -> false
+              | Some (cycle, bus) ->
+                Mrt.bus_take mrt ~cycle ~bus;
+                Hashtbl.replace copies
+                  (e.e_src, e.e_dst, e.e_dist)
+                  {
+                    Schedule.cp_src = e.e_src;
+                    cp_dst = e.e_dst;
+                    cp_dist = e.e_dist;
+                    cp_from = co;
+                    cp_to = c;
+                    cp_cycle = cycle;
+                    cp_bus = bus;
+                  };
+                true
+        in
+        if not ok then eject other)
     in
-    List.iter (fun e -> fix_edge e ~n_is_src:false) (G.preds g n.n_id);
-    List.iter (fun e -> fix_edge e ~n_is_src:true) (G.succs g n.n_id)
+    Array.iter (fun e -> fix_edge e ~n_is_src:false) preds_arr.(n.n_id);
+    Array.iter (fun e -> fix_edge e ~n_is_src:true) succs_arr.(n.n_id)
   in
 
   let ok = ref true in
@@ -371,33 +429,35 @@ let attempt ctx g ~ii =
       match pick () with
       | None -> continue_ := false
       | Some id ->
-        let n = G.node g id in
+        let n = node_arr.(id) in
         let e0 = earliest id in
         let cands = candidates n in
         let placed = ref false in
         (* memory operations try hard to stay in their first-choice cluster
            (their preferred one, or their chain's) before spilling over:
            locality is worth a few extra cycles of schedule space *)
-        let is_mem = G.mem_node g id in
+        let is_mem = memv.(id) in
         (* Swing placement: a node whose placed neighbours are all
            successors scans downward from its latest feasible cycle *)
         let downward =
           ctx.ordering = Swing
           && (not
-                (List.exists
-                   (fun (e : G.edge) -> Hashtbl.mem place e.e_src)
-                   (G.preds g id)))
-          && List.exists
-               (fun (e : G.edge) -> Hashtbl.mem place e.e_dst)
-               (G.succs g id)
+                (Array.exists
+                   (fun (e : G.edge) -> place_t.(e.e_src) >= 0)
+                   preds_arr.(id)))
+          && Array.exists
+               (fun (e : G.edge) -> place_t.(e.e_dst) >= 0)
+               succs_arr.(id)
         in
         let latest =
-          List.fold_left
-            (fun acc (e : G.edge) ->
-              match Hashtbl.find_opt place e.e_dst with
-              | None -> acc
-              | Some (td, _) -> min acc (td + (ii * e.e_dist) - elat e))
-            max_int (G.succs g id)
+          let acc = ref max_int in
+          let es = succs_arr.(id) in
+          for i = 0 to Array.length es - 1 do
+            let e = es.(i) in
+            let td = place_t.(e.G.e_dst) in
+            if td >= 0 then acc := min !acc (td + (ii * e.G.e_dist) - elat e)
+          done;
+          !acc
         in
         List.iteri
           (fun ci c ->

@@ -1,63 +1,80 @@
 module M = Vliw_arch.Machine
 
+(* Flat reservation arrays: the table is dense and small (II x clusters x 3
+   FU kinds, II x buses), and the scheduler probes it millions of times per
+   sweep — tuple-keyed hashtables were the dominant allocation and lookup
+   cost of the whole pipeline. *)
+
 type t = {
   ii : int;
-  machine : M.t;
-  fu : (int * int * M.fu_kind, int) Hashtbl.t;
-  bus : (int * int, int) Hashtbl.t; (* (slot, bus) -> reservation count *)
-  cluster_load : (int, int) Hashtbl.t;
+  nclusters : int;
+  nbuses : int;
+  buslat : int;
+  cap : int array; (* per FU-kind capacity per cluster *)
+  fu : int array; (* (slot * nclusters + cluster) * 3 + kind -> count *)
+  bus : int array; (* slot * nbuses + bus -> reservation count *)
+  cluster_load : int array;
 }
+
+let kindex = function M.Int_fu -> 0 | M.Fp_fu -> 1 | M.Mem_fu -> 2
+let kinds = [| M.Int_fu; M.Fp_fu; M.Mem_fu |]
 
 let create machine ~ii =
   if ii <= 0 then invalid_arg "Mrt.create: non-positive II";
-  { ii; machine; fu = Hashtbl.create 64; bus = Hashtbl.create 64;
-    cluster_load = Hashtbl.create 8 }
-
-let cap t kind =
-  Option.value (List.assoc_opt kind t.machine.M.fus_per_cluster) ~default:0
+  let nclusters = machine.M.clusters in
+  let nbuses = machine.M.reg_buses.M.bus_count in
+  {
+    ii;
+    nclusters;
+    nbuses;
+    buslat = machine.M.reg_buses.M.bus_latency;
+    cap =
+      Array.init 3 (fun i ->
+          Option.value
+            (List.assoc_opt kinds.(i) machine.M.fus_per_cluster)
+            ~default:0);
+    fu = Array.make (ii * nclusters * 3) 0;
+    bus = Array.make (ii * nbuses) 0;
+    cluster_load = Array.make nclusters 0;
+  }
 
 let slot t cycle = ((cycle mod t.ii) + t.ii) mod t.ii
+let fu_idx t ~slot ~cluster k = ((slot * t.nclusters) + cluster) * 3 + k
 
 let fu_free t ~cycle ~cluster kind =
-  let key = (slot t cycle, cluster, kind) in
-  Option.value (Hashtbl.find_opt t.fu key) ~default:0 < cap t kind
+  let k = kindex kind in
+  t.fu.(fu_idx t ~slot:(slot t cycle) ~cluster k) < t.cap.(k)
 
-let bump tbl key delta =
-  let v = Option.value (Hashtbl.find_opt tbl key) ~default:0 + delta in
+let bump a i delta =
+  let v = a.(i) + delta in
   if v < 0 then invalid_arg "Mrt: released an empty reservation";
-  Hashtbl.replace tbl key v
+  a.(i) <- v
 
 let fu_take t ~cycle ~cluster kind =
-  bump t.fu (slot t cycle, cluster, kind) 1;
+  bump t.fu (fu_idx t ~slot:(slot t cycle) ~cluster (kindex kind)) 1;
   bump t.cluster_load cluster 1
 
 let fu_release t ~cycle ~cluster kind =
-  bump t.fu (slot t cycle, cluster, kind) (-1);
+  bump t.fu (fu_idx t ~slot:(slot t cycle) ~cluster (kindex kind)) (-1);
   bump t.cluster_load cluster (-1)
 
-let fu_load t ~cluster =
-  Option.value (Hashtbl.find_opt t.cluster_load cluster) ~default:0
-
-let buslat t = t.machine.M.reg_buses.M.bus_latency
-let nbuses t = t.machine.M.reg_buses.M.bus_count
+let fu_load t ~cluster = t.cluster_load.(cluster)
 
 let bus_slots_free t ~cycle ~bus =
   let ok = ref true in
-  for k = 0 to buslat t - 1 do
-    if Hashtbl.mem t.bus (slot t (cycle + k), bus)
-       && Hashtbl.find t.bus (slot t (cycle + k), bus) > 0
-    then ok := false
+  for k = 0 to t.buslat - 1 do
+    if t.bus.((slot t (cycle + k) * t.nbuses) + bus) > 0 then ok := false
   done;
   !ok
 
 let bus_find t ~lo ~hi =
-  let hi_start = hi - buslat t + 1 in
+  let hi_start = hi - t.buslat + 1 in
   let last = min hi_start (lo + t.ii - 1) in
   let rec go cycle =
     if cycle > last then None
     else
       let rec try_bus b =
-        if b >= nbuses t then None
+        if b >= t.nbuses then None
         else if bus_slots_free t ~cycle ~bus:b then Some (cycle, b)
         else try_bus (b + 1)
       in
@@ -66,11 +83,11 @@ let bus_find t ~lo ~hi =
   if lo > hi_start then None else go lo
 
 let bus_take t ~cycle ~bus =
-  for k = 0 to buslat t - 1 do
-    bump t.bus (slot t (cycle + k), bus) 1
+  for k = 0 to t.buslat - 1 do
+    bump t.bus ((slot t (cycle + k) * t.nbuses) + bus) 1
   done
 
 let bus_release t ~cycle ~bus =
-  for k = 0 to buslat t - 1 do
-    bump t.bus (slot t (cycle + k), bus) (-1)
+  for k = 0 to t.buslat - 1 do
+    bump t.bus ((slot t (cycle + k) * t.nbuses) + bus) (-1)
   done

@@ -13,7 +13,11 @@ type t = {
   sets : int;
   assoc : int;
   entries : entry array array;
-  lru : int list array;
+  (* LRU as monotonic touch stamps per (set, way): larger = more recently
+     used; seeded descending by way index to match a most-recent-first
+     [0; 1; ...] ordering for untouched sets *)
+  stamp : int array;
+  mutable clock : int;
 }
 
 let create machine =
@@ -22,6 +26,12 @@ let create machine =
   | Some a ->
     let sets = a.M.ab_entries / a.M.ab_assoc in
     let sb = M.subblock_bytes machine in
+    let stamp = Array.make (sets * a.M.ab_assoc) 0 in
+    for s = 0 to sets - 1 do
+      for w = 0 to a.M.ab_assoc - 1 do
+        stamp.((s * a.M.ab_assoc) + w) <- -w
+      done
+    done;
     {
       machine;
       sets;
@@ -31,70 +41,79 @@ let create machine =
             Array.init a.M.ab_assoc (fun _ ->
                 { subblock = -1; data = Bytes.create sb; base = 0;
                   valid = false; sync = -1 }));
-      lru = Array.init sets (fun _ -> List.init a.M.ab_assoc Fun.id);
+      stamp;
+      clock = 1;
     }
 
 let set_of t subblock = subblock mod t.sets
 
-let find t subblock =
+(* way index of a valid entry holding [subblock], or -1 *)
+let find_way t subblock =
   let s = set_of t subblock in
-  let rec go w =
-    if w >= t.assoc then None
-    else
-      let e = t.entries.(s).(w) in
-      if e.valid && e.subblock = subblock then Some (s, w, e) else go (w + 1)
-  in
-  go 0
+  let row = t.entries.(s) in
+  let r = ref (-1) in
+  let w = ref 0 in
+  while !r < 0 && !w < t.assoc do
+    let e = row.(!w) in
+    if e.valid && e.subblock = subblock then r := !w;
+    incr w
+  done;
+  !r
 
 let bump t set way =
-  t.lru.(set) <- way :: List.filter (( <> ) way) t.lru.(set)
+  t.stamp.((set * t.assoc) + way) <- t.clock;
+  t.clock <- t.clock + 1
 
 let lookup t ~subblock =
-  match find t subblock with
-  | Some (s, w, _) ->
-    bump t s w;
-    true
-  | None -> false
+  let w = find_way t subblock in
+  if w >= 0 then (
+    bump t (set_of t subblock) w;
+    true)
+  else false
 
 (* Map a byte address to its offset inside the entry's packed data: a
    subblock's addresses are interleave-spaced in memory, packed densely in
-   the entry. [None] when the access leaves its interleave chunk — an
+   the entry. [-1] when the access leaves its interleave chunk — an
    access wider than the interleave factor straddles clusters (jpegdec /
    mpeg2dec in Table 1) and must bypass the buffered copy. *)
 let offset_in_entry t e addr size =
   let i = t.machine.M.interleave_bytes in
   let stride = i * t.machine.M.clusters in
   let delta = addr - e.base in
-  if delta < 0 then None
+  if delta < 0 then -1
   else
     let chunk = delta / stride and within = delta mod stride in
     let off = (chunk * i) + within in
-    if within + size <= i && off + size <= Bytes.length e.data then Some off
-    else None
+    if within + size <= i && off + size <= Bytes.length e.data then off else -1
 
 let read t ~subblock ~addr ~size =
-  match find t subblock with
-  | None -> None
-  | Some (s, w, e) -> (
+  let w = find_way t subblock in
+  if w < 0 then None
+  else begin
+    let s = set_of t subblock in
+    let e = t.entries.(s).(w) in
     bump t s w;
-    match offset_in_entry t e addr size with
-    | None -> None
-    | Some off ->
+    let off = offset_in_entry t e addr size in
+    if off < 0 then None
+    else begin
       let v = ref 0L in
       for k = size - 1 downto 0 do
         v :=
           Int64.logor (Int64.shift_left !v 8)
             (Int64.of_int (Char.code (Bytes.get e.data (off + k))))
       done;
-      Some !v)
+      Some !v
+    end
+  end
 
 let write_if_present t ~subblock ~addr ~size value ~sync =
-  match find t subblock with
-  | None -> false
-  | Some (_, _, e) -> (
-    match offset_in_entry t e addr size with
-    | None -> false
-    | Some off ->
+  let w = find_way t subblock in
+  if w < 0 then false
+  else begin
+    let e = t.entries.(set_of t subblock).(w) in
+    let off = offset_in_entry t e addr size in
+    if off < 0 then false
+    else begin
       for k = 0 to size - 1 do
         Bytes.set e.data (off + k)
           (Char.chr
@@ -102,42 +121,55 @@ let write_if_present t ~subblock ~addr ~size value ~sync =
                 (Int64.logand (Int64.shift_right_logical value (8 * k)) 0xFFL)))
       done;
       e.sync <- max e.sync sync;
-      true)
+      true
+    end
+  end
 
-let install t ~machine ~subblock ~mem ~sync =
-  assert (machine == t.machine || machine = t.machine);
-  let addrs = M.addrs_of_subblock machine ~subblock in
-  let base = List.hd addrs in
+let install_addrs t ~subblock ~(addrs : int array) ~mem ~sync =
+  let base = addrs.(0) in
   let s = set_of t subblock in
+  let row = t.entries.(s) in
   let way =
-    let rec free w =
-      if w >= t.assoc then None
-      else if not t.entries.(s).(w).valid then Some w
-      else free (w + 1)
-    in
-    match find t subblock with
-    | Some (_, w, _) -> w
-    | None -> (
-      match free 0 with
-      | Some w -> w
-      | None -> List.nth t.lru.(s) (t.assoc - 1))
+    let w = find_way t subblock in
+    if w >= 0 then w
+    else begin
+      (* prefer an invalid way, otherwise evict least recently used *)
+      let free = ref (-1) in
+      let w = ref 0 in
+      while !free < 0 && !w < t.assoc do
+        if not row.(!w).valid then free := !w;
+        incr w
+      done;
+      if !free >= 0 then !free
+      else begin
+        let victim = ref 0 in
+        let sbase = s * t.assoc in
+        for w = 1 to t.assoc - 1 do
+          if t.stamp.(sbase + w) < t.stamp.(sbase + !victim) then victim := w
+        done;
+        !victim
+      end
+    end
   in
-  let e = t.entries.(s).(way) in
+  let e = row.(way) in
   e.subblock <- subblock;
   e.base <- base;
   e.valid <- true;
   e.sync <- sync;
-  let i = machine.M.interleave_bytes in
-  List.iteri
-    (fun chunk a ->
-      for k = 0 to i - 1 do
-        Bytes.set e.data ((chunk * i) + k) (Bytes.get mem (a + k))
-      done)
-    addrs;
+  let i = t.machine.M.interleave_bytes in
+  for chunk = 0 to Array.length addrs - 1 do
+    Bytes.blit mem addrs.(chunk) e.data (chunk * i) i
+  done;
   bump t s way
 
+let install t ~machine ~subblock ~mem ~sync =
+  assert (machine == t.machine || machine = t.machine);
+  let addrs = Array.of_list (M.addrs_of_subblock machine ~subblock) in
+  install_addrs t ~subblock ~addrs ~mem ~sync
+
 let sync_seq t ~subblock =
-  match find t subblock with Some (_, _, e) -> Some e.sync | None -> None
+  let w = find_way t subblock in
+  if w < 0 then None else Some t.entries.(set_of t subblock).(w).sync
 
 let flush t =
   let n = ref 0 in

@@ -26,6 +26,12 @@ val install :
 (** Cache a remote subblock: copy its bytes out of [mem] (the state at
     response time) and tag the entry with [sync]. Evicts LRU. *)
 
+val install_addrs :
+  t -> subblock:int -> addrs:int array -> mem:Bytes.t -> sync:int -> unit
+(** [install] with the subblock's member addresses precomputed
+    ({!Vliw_arch.Machine.addrs_of_subblock} in order): the allocation-free
+    fast path used by the event-wheel simulator engine. *)
+
 val sync_seq : t -> subblock:int -> int option
 (** The entry's coherence high-water mark: every store with a smaller
     sequence number is already reflected in the buffered copy. *)

@@ -5,22 +5,32 @@ type t = {
   cluster : int;
   sets : int;
   assoc : int;
-  (* ways.(set).(way) = Some subblock; lru.(set) lists ways, most recent
-     first *)
-  ways : int option array array;
-  lru : int list array;
+  (* ways.(set * assoc + way) = subblock id, -1 when invalid *)
+  ways : int array;
+  (* LRU as monotonic touch stamps: larger = more recently used. Seeded
+     descending by way index so an untouched set evicts from the highest
+     way first, exactly like the old most-recent-first list [0; 1; ...]. *)
+  stamp : int array;
+  mutable clock : int;
 }
 
 let create machine ~cluster =
   let sets = M.module_sets machine in
   let assoc = machine.M.cache.M.assoc in
+  let stamp = Array.make (sets * assoc) 0 in
+  for s = 0 to sets - 1 do
+    for w = 0 to assoc - 1 do
+      stamp.((s * assoc) + w) <- -w
+    done
+  done;
   {
     machine;
     cluster;
     sets;
     assoc;
-    ways = Array.init sets (fun _ -> Array.make assoc None);
-    lru = Array.init sets (fun _ -> List.init assoc Fun.id);
+    ways = Array.make (sets * assoc) (-1);
+    stamp;
+    clock = 1;
   }
 
 let set_of t subblock =
@@ -29,55 +39,58 @@ let set_of t subblock =
 
 let cluster_of t subblock = subblock mod t.machine.M.clusters
 
+(* way index within the set, or -1 *)
 let find_way t subblock =
-  let s = set_of t subblock in
-  let rec go w =
-    if w >= t.assoc then None
-    else if t.ways.(s).(w) = Some subblock then Some w
-    else go (w + 1)
-  in
-  go 0
+  let base = set_of t subblock * t.assoc in
+  let r = ref (-1) in
+  let w = ref 0 in
+  while !r < 0 && !w < t.assoc do
+    if t.ways.(base + !w) = subblock then r := !w;
+    incr w
+  done;
+  !r
 
-let present t ~subblock = find_way t subblock <> None
+let present t ~subblock = find_way t subblock >= 0
 
 let bump t set way =
-  t.lru.(set) <- way :: List.filter (( <> ) way) t.lru.(set)
+  t.stamp.((set * t.assoc) + way) <- t.clock;
+  t.clock <- t.clock + 1
 
 let touch t ~subblock =
-  match find_way t subblock with
-  | Some w -> bump t (set_of t subblock) w
-  | None -> ()
+  let w = find_way t subblock in
+  if w >= 0 then bump t (set_of t subblock) w
 
 let install t ~subblock =
   if cluster_of t subblock <> t.cluster then
     invalid_arg "Cachemod.install: subblock belongs to another cluster";
-  match find_way t subblock with
-  | Some w ->
-    bump t (set_of t subblock) w;
-    None
-  | None ->
-    let s = set_of t subblock in
+  let s = set_of t subblock in
+  let base = s * t.assoc in
+  let w = find_way t subblock in
+  if w >= 0 then (
+    bump t s w;
+    None)
+  else begin
     (* prefer an invalid way, otherwise evict least recently used *)
-    let victim_way =
-      let rec free w =
-        if w >= t.assoc then None
-        else if t.ways.(s).(w) = None then Some w
-        else free (w + 1)
-      in
-      match free 0 with
-      | Some w -> w
-      | None -> List.nth t.lru.(s) (t.assoc - 1)
-    in
-    let evicted = t.ways.(s).(victim_way) in
-    t.ways.(s).(victim_way) <- Some subblock;
-    bump t s victim_way;
+    let victim_way = ref (-1) in
+    let w = ref 0 in
+    while !victim_way < 0 && !w < t.assoc do
+      if t.ways.(base + !w) = -1 then victim_way := !w;
+      incr w
+    done;
+    if !victim_way < 0 then begin
+      victim_way := 0;
+      for w = 1 to t.assoc - 1 do
+        if t.stamp.(base + w) < t.stamp.(base + !victim_way) then victim_way := w
+      done
+    end;
+    let prev = t.ways.(base + !victim_way) in
+    let evicted = if prev = -1 then None else Some prev in
+    t.ways.(base + !victim_way) <- subblock;
+    bump t s !victim_way;
     evicted
+  end
 
-let invalidate_all t =
-  Array.iter (fun set -> Array.fill set 0 (Array.length set) None) t.ways
+let invalidate_all t = Array.fill t.ways 0 (Array.length t.ways) (-1)
 
 let valid_lines t =
-  Array.fold_left
-    (fun acc set ->
-      acc + Array.fold_left (fun a w -> if w = None then a else a + 1) 0 set)
-    0 t.ways
+  Array.fold_left (fun a w -> if w = -1 then a else a + 1) 0 t.ways

@@ -1,0 +1,1060 @@
+(* Event-wheel simulator engine: the default hot path behind [Sim.run].
+
+   Produces bit-identical results to [Engine_reference] (same stats, same
+   memory image, same trace event stream, same PRNG consumption) while
+   replacing every allocating structure on the per-cycle path:
+
+   - the closure calendar (Hashtbl of cycle -> thunk list) becomes an
+     indexed event wheel: per-absolute-cycle intrusive lists of
+     int-encoded events living in parallel growable arrays;
+   - per-instance dynamic state (register ready/value, copy arrival,
+     in-flight load phase, pending access address/home/value) moves from
+     tuple-keyed Hashtbls into flat arrays indexed [node_id * trip + iter];
+   - MSHRs become intrusive FIFO lists threaded through the instance
+     arrays (combining allocates nothing);
+   - bus and module queues become growable int rings;
+   - issue bundles and their RF dependences are precompiled into CSR-style
+     int arrays, so the per-cycle blocker scan touches only flat memory;
+   - address -> home-cluster / subblock mapping is strength-reduced to
+     shifts and masks when the geometry is a power of two, and each static
+     memory op's base address / stride are resolved once at setup;
+   - the subblock -> member-addresses list is materialised once per
+     subblock, making attraction-buffer installs allocation-free.
+
+   Event insertion order per cycle, bus-grant order, PRNG call sites, and
+   the phase order within a cycle (events, buses, modules, issue) all
+   mirror the reference engine exactly; see test/test_engines.ml for the
+   property test that pins the equivalence. *)
+
+module G = Vliw_ddg.Graph
+module M = Vliw_arch.Machine
+module S = Vliw_sched.Schedule
+module L = Vliw_lower.Lower
+module Ir = Vliw_ir
+module Tr = Vliw_trace.Trace
+open Sim_types
+
+(* ----- node kinds (kindv) ----- *)
+let k_absent = 0
+let k_arith = 1 (* arith or fake: produces a value after a fixed latency *)
+let k_load = 2
+let k_store = 3
+
+(* ----- load phases (phase array); 0 = not in flight ----- *)
+let ph_none = 0
+let ph_on_bus = 1
+let ph_at_module = 2
+let ph_in_mshr = 3
+let ph_resp_bus = 4
+
+(* ----- event kinds ----- *)
+let ev_arrive = 0 (* bus arrival: a = leg (0 req / 1 resp), b = inst, c = txn, d = bus *)
+let ev_resp_send = 1 (* remote load data ready at home: b = inst *)
+let ev_mshr_fill = 2 (* next-level fill done: b = subblock, c = cluster *)
+
+let size_ty = function
+  | 1 -> Ir.Ast.I8
+  | 2 -> Ir.Ast.I16
+  | 4 -> Ir.Ast.I32
+  | _ -> Ir.Ast.I64
+
+let ilog2 v =
+  let r = ref 0 in
+  while 1 lsl !r < v do
+    incr r
+  done;
+  !r
+
+let is_pow2 v = v > 0 && v land (v - 1) = 0
+
+let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
+    ?(warm = false) ?trace () =
+  let machine = schedule.S.machine in
+  let kernel = lowered.L.kernel in
+  let trip = Option.value trip ~default:kernel.Ir.Ast.k_trip in
+  if trip > kernel.Ir.Ast.k_trip then
+    invalid_arg "Sim.run: trip exceeds the trip count the kernel was compiled for";
+  if trip <= 0 then invalid_arg "Sim.run: non-positive trip";
+  let ii = schedule.S.ii in
+  let nclusters = machine.M.clusters in
+  let hit_lat = machine.M.cache.M.hit_latency in
+  let mem_buslat = machine.M.mem_buses.M.bus_latency in
+  let reg_buslat = machine.M.reg_buses.M.bus_latency in
+  let nbuses = machine.M.mem_buses.M.bus_count in
+
+  (* ----- geometry, strength-reduced ----- *)
+  let il = machine.M.interleave_bytes in
+  let block_bytes = machine.M.cache.M.block_bytes in
+  let geom_pow2 = is_pow2 il && is_pow2 nclusters && is_pow2 block_bytes in
+  let il_shift = ilog2 il
+  and cl_mask = nclusters - 1
+  and bb_shift = ilog2 block_bytes in
+  let home_of addr =
+    if geom_pow2 then (addr lsr il_shift) land cl_mask
+    else addr / il mod nclusters
+  in
+  let sb_of addr =
+    if geom_pow2 then
+      ((addr lsr bb_shift) * nclusters) + ((addr lsr il_shift) land cl_mask)
+    else (addr / block_bytes * nclusters) + (addr / il mod nclusters)
+  in
+
+  (* ----- static tables over the graph ----- *)
+  let nodes = G.nodes graph in
+  let nslots =
+    1 + List.fold_left (fun acc (n : G.node) -> max acc n.n_id) (-1) nodes
+  in
+  let ninst = nslots * trip in
+  let kindv = Array.make nslots k_absent in
+  let latv = Array.make nslots 1 in
+  let clusterv = Array.make nslots 0 in
+  let semv : L.nsem option array = Array.make nslots None in
+  let opersv : L.operand_src array array = Array.make nslots [||] in
+  (* memory-op statics *)
+  let msite = Array.make nslots 0 in
+  let mbytes = Array.make nslots 0 in
+  let mty = Array.make nslots Ir.Ast.I64 in
+  let m_replica = Array.make nslots false in
+  let m_affine = Array.make nslots false in
+  let m_abase = Array.make nslots 0 in
+  let m_ascale = Array.make nslots 0 in
+  let m_alen = Array.make nslots 0 in
+  let m_idxop : L.operand_src array = Array.make nslots (L.Imm 0L) in
+  List.iter
+    (fun (n : G.node) ->
+      let id = n.n_id in
+      clusterv.(id) <- S.cluster_of schedule id;
+      let set_mem (mr : G.mem_ref) =
+        msite.(id) <- mr.mr_site;
+        mbytes.(id) <- mr.mr_bytes;
+        mty.(id) <- ty_of_mr mr;
+        m_replica.(id) <- n.n_replica <> None;
+        (match mr.mr_affine with
+        | Some (scale, off) ->
+          m_affine.(id) <- true;
+          m_abase.(id) <- Ir.Layout.base layout mr.mr_array + off;
+          m_ascale.(id) <- scale
+        | None ->
+          m_affine.(id) <- false;
+          m_abase.(id) <- Ir.Layout.base layout mr.mr_array;
+          m_alen.(id) <- Ir.Layout.size layout mr.mr_array / mr.mr_bytes;
+          m_idxop.(id) <- Hashtbl.find lowered.L.mem_index n.n_orig)
+      in
+      match n.n_op with
+      | G.Arith a ->
+        kindv.(id) <- k_arith;
+        latv.(id) <- a.latency;
+        semv.(id) <- Hashtbl.find_opt lowered.L.sems n.n_orig;
+        opersv.(id) <-
+          Array.of_list
+            (Option.value
+               (Hashtbl.find_opt lowered.L.operands n.n_orig)
+               ~default:[])
+      | G.Fake -> kindv.(id) <- k_arith (* latency 1, no semantics: value 0 *)
+      | G.Load mr ->
+        kindv.(id) <- k_load;
+        set_mem mr
+      | G.Store mr ->
+        kindv.(id) <- k_store;
+        set_mem mr;
+        opersv.(id) <-
+          Array.of_list
+            (Option.value
+               (Hashtbl.find_opt lowered.L.operands n.n_orig)
+               ~default:[]))
+    nodes;
+
+  (* copies: slot per scheduled copy, in list order *)
+  let copies = Array.of_list schedule.S.copies in
+  let ncopies = Array.length copies in
+  let copy_srcv = Array.map (fun (c : S.copy) -> c.cp_src) copies in
+
+  (* RF dependences in CSR form, preserving G.preds order. dep_copy:
+     -1 = same-cluster (watch the producer register), -2 = cross-cluster
+     with no scheduled copy (permanently blocked, as in the reference),
+     >= 0 = index of the scheduled copy to watch. *)
+  let find_copy_slot src dst dist =
+    let r = ref (-2) in
+    (try
+       for ci = 0 to ncopies - 1 do
+         let c = copies.(ci) in
+         if c.S.cp_src = src && c.S.cp_dst = dst && c.S.cp_dist = dist then (
+           r := ci;
+           raise Exit)
+       done
+     with Exit -> ());
+    !r
+  in
+  let dep_off = Array.make (nslots + 1) 0 in
+  let dep_src, dep_dist, dep_copy =
+    let count = ref 0 in
+    List.iter
+      (fun (n : G.node) ->
+        List.iter
+          (fun (e : G.edge) -> if e.e_kind = G.RF then incr count)
+          (G.preds graph n.n_id))
+      nodes;
+    let src = Array.make !count 0
+    and dst = Array.make !count 0
+    and cpy = Array.make !count 0 in
+    let pos = ref 0 in
+    List.iter
+      (fun (n : G.node) ->
+        dep_off.(n.n_id) <- !pos;
+        List.iter
+          (fun (e : G.edge) ->
+            if e.e_kind = G.RF then (
+              src.(!pos) <- e.e_src;
+              dst.(!pos) <- e.e_dist;
+              cpy.(!pos) <-
+                (if clusterv.(e.e_src) = clusterv.(e.e_dst) then -1
+                 else find_copy_slot e.e_src e.e_dst e.e_dist);
+              incr pos))
+          (G.preds graph n.n_id);
+        (* fill offsets for any id gap after this node *)
+        for g = n.n_id + 1 to nslots do
+          dep_off.(g) <- !pos
+        done)
+      nodes;
+    (src, dst, cpy)
+  in
+
+  (* ----- issue buckets, flattened and bundle-sorted ----- *)
+  (* tag encoding: node id * 2 for ops, copy slot * 2 + 1 for copies *)
+  let nitems = (List.length nodes + ncopies) * trip in
+  let vspan =
+    let m = ref 0 in
+    List.iter
+      (fun (n : G.node) ->
+        m := max !m (S.cycle_of schedule n.n_id + (ii * (trip - 1))))
+      nodes;
+    Array.iter (fun (c : S.copy) -> m := max !m (c.cp_cycle + (ii * (trip - 1)))) copies;
+    !m + 1
+  in
+  let bucket_off = Array.make (vspan + 1) 0 in
+  let bk_tag = Array.make nitems 0 in
+  let bk_k = Array.make nitems 0 in
+  let bk_key = Array.make nitems 0 in
+  (* pass 1: counts *)
+  List.iter
+    (fun (n : G.node) ->
+      let c = S.cycle_of schedule n.n_id in
+      for k = 0 to trip - 1 do
+        let v = c + (ii * k) in
+        bucket_off.(v + 1) <- bucket_off.(v + 1) + 1
+      done)
+    nodes;
+  Array.iter
+    (fun (c : S.copy) ->
+      for k = 0 to trip - 1 do
+        let v = c.cp_cycle + (ii * k) in
+        bucket_off.(v + 1) <- bucket_off.(v + 1) + 1
+      done)
+    copies;
+  for v = 0 to vspan - 1 do
+    bucket_off.(v + 1) <- bucket_off.(v + 1) + bucket_off.(v)
+  done;
+  (* pass 2: fill, in the reference's pre-sort order (ops in node order,
+     then copies in list order, iterations ascending) *)
+  let cursor = Array.init vspan (fun v -> bucket_off.(v)) in
+  let put v tag k key =
+    let i = cursor.(v) in
+    cursor.(v) <- i + 1;
+    bk_tag.(i) <- tag;
+    bk_k.(i) <- k;
+    bk_key.(i) <- key
+  in
+  List.iter
+    (fun (n : G.node) ->
+      let c = S.cycle_of schedule n.n_id in
+      for k = 0 to trip - 1 do
+        put (c + (ii * k)) (n.n_id * 2) k ((n.n_id lsl 24) lor k)
+      done)
+    nodes;
+  Array.iteri
+    (fun ci (c : S.copy) ->
+      for k = 0 to trip - 1 do
+        put
+          (c.cp_cycle + (ii * k))
+          ((ci * 2) + 1)
+          k
+          ((1 lsl 60) lor (c.cp_src lsl 24) lor k)
+      done)
+    copies;
+  (* stable insertion sort per bucket on the reference's bundle key:
+     (op-before-copy, node id | copy source, iteration) *)
+  for v = 0 to vspan - 1 do
+    let lo = bucket_off.(v) and hi = bucket_off.(v + 1) in
+    for i = lo + 1 to hi - 1 do
+      let key = bk_key.(i) and tag = bk_tag.(i) and k = bk_k.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && bk_key.(!j) > key do
+        bk_key.(!j + 1) <- bk_key.(!j);
+        bk_tag.(!j + 1) <- bk_tag.(!j);
+        bk_k.(!j + 1) <- bk_k.(!j);
+        decr j
+      done;
+      bk_key.(!j + 1) <- key;
+      bk_tag.(!j + 1) <- tag;
+      bk_k.(!j + 1) <- k
+    done
+  done;
+
+  (* ----- memory + coherence-order state ----- *)
+  let mem = Ir.Interp.init_memory layout kernel in
+  let msize = Bytes.length mem in
+  let last_store_seq = Array.make msize (-1) in
+  let last_any_seq = Array.make msize (-1) in
+  let violations = ref 0 in
+  let nsites = Array.length lowered.L.site_node in
+  let oracle = match mode with Oracle r -> Some r | Execution -> None in
+
+  (* ----- clock + tracing ----- *)
+  let now = ref 0 in
+  let tracing = trace <> None in
+  let emit ?(cluster = -1) p =
+    match trace with Some s -> Tr.emit s ~cycle:!now ~cluster p | None -> ()
+  in
+
+  (* ----- event wheel ----- *)
+  let pending_events = ref 0 in
+  let wheel_len = ref (vspan + machine.M.l2_latency + (2 * mem_buslat) + 66) in
+  let wh_head = ref (Array.make !wheel_len (-1)) in
+  let wh_tail = ref (Array.make !wheel_len (-1)) in
+  let ev_cap = ref 1024 in
+  let ev_n = ref 0 in
+  let ev_kind = ref (Array.make !ev_cap 0) in
+  let ev_a = ref (Array.make !ev_cap 0) in
+  let ev_b = ref (Array.make !ev_cap 0) in
+  let ev_c = ref (Array.make !ev_cap 0) in
+  let ev_d = ref (Array.make !ev_cap 0) in
+  let ev_next = ref (Array.make !ev_cap (-1)) in
+  let grow_int r cap cap' =
+    let a = Array.make cap' 0 in
+    Array.blit !r 0 a 0 cap;
+    r := a
+  in
+  let schedule_event t kind a b c d =
+    let t = if t <= !now then !now + 1 else t in
+    if t >= !wheel_len then (
+      let len' = ref (!wheel_len * 2) in
+      while t >= !len' do
+        len' := !len' * 2
+      done;
+      let h = Array.make !len' (-1) and tl = Array.make !len' (-1) in
+      Array.blit !wh_head 0 h 0 !wheel_len;
+      Array.blit !wh_tail 0 tl 0 !wheel_len;
+      wh_head := h;
+      wh_tail := tl;
+      wheel_len := !len');
+    if !ev_n >= !ev_cap then (
+      let cap' = !ev_cap * 2 in
+      grow_int ev_kind !ev_cap cap';
+      grow_int ev_a !ev_cap cap';
+      grow_int ev_b !ev_cap cap';
+      grow_int ev_c !ev_cap cap';
+      grow_int ev_d !ev_cap cap';
+      grow_int ev_next !ev_cap cap';
+      ev_cap := cap');
+    let e = !ev_n in
+    incr ev_n;
+    !ev_kind.(e) <- kind;
+    !ev_a.(e) <- a;
+    !ev_b.(e) <- b;
+    !ev_c.(e) <- c;
+    !ev_d.(e) <- d;
+    !ev_next.(e) <- -1;
+    (if !wh_head.(t) < 0 then !wh_head.(t) <- e
+     else !ev_next.(!wh_tail.(t)) <- e);
+    !wh_tail.(t) <- e;
+    incr pending_events
+  in
+
+  (* ----- memory buses: one FIFO ring over all buses ----- *)
+  let bus_free = Array.make nbuses 0 in
+  let txn_counter = ref 0 in
+  let jit () =
+    match jitter with None -> 0 | Some (p, j) -> Vliw_util.Prng.int p (j + 1)
+  in
+  let bq_cap = ref 256 in
+  let bq_head = ref 0 in
+  let bq_len = ref 0 in
+  let bq_ready = ref (Array.make !bq_cap 0) in
+  let bq_req = ref (Array.make !bq_cap 0) in
+  let bq_txn = ref (Array.make !bq_cap 0) in
+  let bq_leg = ref (Array.make !bq_cap 0) in
+  let bq_inst = ref (Array.make !bq_cap 0) in
+  let bq_push ~leg ~inst ~txn =
+    (if !bq_len >= !bq_cap then begin
+       let cap' = !bq_cap * 2 in
+       let regrow r =
+         let a = Array.make cap' 0 in
+         for i = 0 to !bq_len - 1 do
+           a.(i) <- !r.((!bq_head + i) mod !bq_cap)
+         done;
+         r := a
+       in
+       regrow bq_ready;
+       regrow bq_req;
+       regrow bq_txn;
+       regrow bq_leg;
+       regrow bq_inst;
+       bq_head := 0;
+       bq_cap := cap'
+     end);
+    let i = (!bq_head + !bq_len) mod !bq_cap in
+    incr bq_len;
+    !bq_ready.(i) <- !now;
+    !bq_req.(i) <- !now;
+    !bq_txn.(i) <- txn;
+    !bq_leg.(i) <- leg;
+    !bq_inst.(i) <- inst
+  in
+  let send_bus ~cluster ~leg ~inst =
+    let txn = !txn_counter in
+    incr txn_counter;
+    if tracing then emit ~cluster (Tr.Bus_request { txn; cluster });
+    bq_push ~leg ~inst ~txn
+  in
+  let dispatch_buses () =
+    for b = 0 to nbuses - 1 do
+      if bus_free.(b) <= !now && !bq_len > 0 then begin
+        let h = !bq_head in
+        if !bq_ready.(h) <= !now then begin
+          bq_head := (h + 1) mod !bq_cap;
+          decr bq_len;
+          let lat = mem_buslat + jit () in
+          bus_free.(b) <- !now + lat;
+          let arrival = !now + lat in
+          if tracing then
+            emit
+              (Tr.Bus_grant
+                 { txn = !bq_txn.(h); bus = b; wait = !now - !bq_req.(h); lat });
+          schedule_event arrival ev_arrive !bq_leg.(h) !bq_inst.(h) !bq_txn.(h) b
+        end
+      end
+    done
+  in
+
+  (* ----- next memory level: ported, fixed total service ----- *)
+  let l2_free = Array.make machine.M.l2_ports 0 in
+  let l2_fetch t sb cluster =
+    let port = ref 0 in
+    Array.iteri (fun p f -> if f < l2_free.(!port) then port := p) l2_free;
+    let start = max t l2_free.(!port) in
+    l2_free.(!port) <- start + 2;
+    schedule_event (start + machine.M.l2_latency) ev_mshr_fill 0 sb cluster 0
+  in
+
+  (* ----- cache modules, MSHRs, attraction buffers ----- *)
+  let modules = Array.init nclusters (fun c -> Cachemod.create machine ~cluster:c) in
+  let abs =
+    match machine.M.attraction with
+    | None -> [||]
+    | Some _ -> Array.init nclusters (fun _ -> Attraction.create machine)
+  in
+  let nabs = Array.length abs in
+  let ab_exec_seq = Array.init nabs (fun _ -> Array.make msize (-1)) in
+  let ab_note_store ~own ~addr ~size ~seq =
+    if nabs > 0 then
+      for b = addr to min (addr + size - 1) (msize - 1) do
+        if seq > ab_exec_seq.(own).(b) then ab_exec_seq.(own).(b) <- seq
+      done
+  in
+  (* subblock -> member addresses, materialised once per subblock *)
+  let nsb = ref (if msize = 0 then 1 else sb_of (msize - 1) + nclusters) in
+  let no_addrs : int array = [||] in
+  let sb_addrs = ref (Array.make !nsb no_addrs) in
+  let mshr_head = ref (Array.make !nsb (-1)) in
+  let mshr_tail = ref (Array.make !nsb (-1)) in
+  let ensure_sb sb =
+    if sb >= !nsb then begin
+      let n' = ref (!nsb * 2) in
+      while sb >= !n' do
+        n' := !n' * 2
+      done;
+      let a = Array.make !n' no_addrs in
+      Array.blit !sb_addrs 0 a 0 !nsb;
+      sb_addrs := a;
+      let h = Array.make !n' (-1) and t = Array.make !n' (-1) in
+      Array.blit !mshr_head 0 h 0 !nsb;
+      Array.blit !mshr_tail 0 t 0 !nsb;
+      mshr_head := h;
+      mshr_tail := t;
+      nsb := !n'
+    end
+  in
+  let addrs_of_sb sb =
+    let a = !sb_addrs.(sb) in
+    if a != no_addrs then a
+    else begin
+      let a = Array.of_list (M.addrs_of_subblock machine ~subblock:sb) in
+      !sb_addrs.(sb) <- a;
+      a
+    end
+  in
+  let ab_fill_fresh ~own ~sb =
+    let addrs = addrs_of_sb sb in
+    let ok = ref true in
+    for i = 0 to Array.length addrs - 1 do
+      let a = addrs.(i) in
+      let lastb = min (a + il - 1) (msize - 1) in
+      for b = a to lastb do
+        if ab_exec_seq.(own).(b) > last_store_seq.(b) then ok := false
+      done
+    done;
+    !ok
+  in
+  let ab_sync_of sb =
+    let addrs = addrs_of_sb sb in
+    let s = ref (-1) in
+    for i = 0 to Array.length addrs - 1 do
+      let a = addrs.(i) in
+      let lastb = min (a + il - 1) (msize - 1) in
+      for b = a to lastb do
+        if last_store_seq.(b) > !s then s := last_store_seq.(b)
+      done
+    done;
+    !s
+  in
+  let mshr_next = Array.make ninst (-1) in
+
+  (* ----- per-cluster module queues: int rings ----- *)
+  let modq_total = ref 0 in
+  let mq_cap = Array.make nclusters 64 in
+  let mq_head = Array.make nclusters 0 in
+  let mq_count = Array.make nclusters 0 in
+  let mq_inst = Array.init nclusters (fun c -> Array.make mq_cap.(c) 0) in
+  let mq_enq = Array.init nclusters (fun c -> Array.make mq_cap.(c) 0) in
+  let modq_push c inst =
+    (if mq_count.(c) >= mq_cap.(c) then begin
+       let cap' = mq_cap.(c) * 2 in
+       let regrow a =
+         let a' = Array.make cap' 0 in
+         for i = 0 to mq_count.(c) - 1 do
+           a'.(i) <- a.((mq_head.(c) + i) mod mq_cap.(c))
+         done;
+         a'
+       in
+       mq_inst.(c) <- regrow mq_inst.(c);
+       mq_enq.(c) <- regrow mq_enq.(c);
+       mq_head.(c) <- 0;
+       mq_cap.(c) <- cap'
+     end);
+    let i = (mq_head.(c) + mq_count.(c)) mod mq_cap.(c) in
+    mq_count.(c) <- mq_count.(c) + 1;
+    incr modq_total;
+    mq_inst.(c).(i) <- inst;
+    mq_enq.(c).(i) <- !now
+  in
+
+  (* ----- per-instance dynamic state ----- *)
+  let reg_ready_at = Array.make ninst max_int in
+  let reg_val = Array.make ninst 0L in
+  let copy_ready_at = Array.make (max 1 (ncopies * trip)) max_int in
+  let phase = Array.make ninst ph_none in
+  let inst_addr = Array.make ninst 0 in
+  let inst_home = Array.make ninst 0 in
+  let inst_val = Array.make ninst 0L in
+
+  (* cache warm-up: replay the reference address trace into the modules *)
+  (if warm then
+     match oracle with
+     | None -> invalid_arg "Sim.run: warm requires Oracle mode"
+     | Some r ->
+       Array.iter
+         (fun (ev : Ir.Interp.event) ->
+           let sb = sb_of ev.ev_addr in
+           let home = home_of ev.ev_addr in
+           ignore (Cachemod.install modules.(home) ~subblock:sb))
+         r.events);
+
+  let local_hits = ref 0 and remote_hits = ref 0 in
+  let local_misses = ref 0 and remote_misses = ref 0 in
+  let combined = ref 0 and ab_hits = ref 0 and nullified = ref 0 in
+
+  (* ----- the access path ----- *)
+  let sign_extend ty v = Ir.Sem.truncate ty v in
+  let apply_access inst =
+    let n = inst / trip in
+    let k = inst - (n * trip) in
+    let is_store = kindv.(n) = k_store in
+    let addr = inst_addr.(inst) in
+    let size = mbytes.(n) in
+    let seq = (k * nsites) + msite.(n) in
+    let ty = size_ty size in
+    if tracing then
+      emit ~cluster:(home_of addr) (Tr.Apply { seq; addr; size; store = is_store });
+    let lastb = min (addr + size - 1) (msize - 1) in
+    let bad = ref false in
+    for b = addr to lastb do
+      if is_store then (if last_any_seq.(b) > seq then bad := true)
+      else if last_store_seq.(b) > seq then bad := true
+    done;
+    if !bad then incr violations;
+    if is_store && addr + size <= msize then
+      Ir.Sem.store_bytes mem addr ty (Ir.Sem.truncate ty inst_val.(inst));
+    for b = addr to lastb do
+      if is_store then last_store_seq.(b) <- max last_store_seq.(b) seq;
+      last_any_seq.(b) <- max last_any_seq.(b) seq
+    done;
+    if is_store then 0L
+    else
+      match oracle with
+      | Some r -> r.events.(seq).ev_value
+      | None -> if addr + size <= msize then Ir.Sem.load_bytes mem addr ty else 0L
+  in
+  (* deliver a serviced value: stores are done; local loads retire at [t];
+     remote loads ride a response bus leg back and install into the AB *)
+  let respond inst v t =
+    let n = inst / trip in
+    if kindv.(n) <> k_store then begin
+      let own = clusterv.(n) in
+      if inst_home.(inst) = own then begin
+        phase.(inst) <- ph_none;
+        reg_ready_at.(inst) <- t;
+        reg_val.(inst) <- sign_extend mty.(n) v
+      end
+      else begin
+        inst_val.(inst) <- v;
+        schedule_event t ev_resp_send 0 inst 0 0
+      end
+    end
+  in
+  let service c inst =
+    let n = inst / trip in
+    let k = inst - (n * trip) in
+    let addr = inst_addr.(inst) in
+    let sb = sb_of addr in
+    ensure_sb sb;
+    let is_store = kindv.(n) = k_store in
+    let local = inst_home.(inst) = clusterv.(n) in
+    if !mshr_head.(sb) >= 0 then begin
+      incr combined;
+      if tracing then
+        emit ~cluster:c
+          (Tr.Mshr_combine
+             { cluster = c; subblock = sb; seq = (k * nsites) + msite.(n) });
+      if not is_store then phase.(inst) <- ph_in_mshr;
+      mshr_next.(inst) <- -1;
+      mshr_next.(!mshr_tail.(sb)) <- inst;
+      !mshr_tail.(sb) <- inst
+    end
+    else if Cachemod.present modules.(c) ~subblock:sb then begin
+      Cachemod.touch modules.(c) ~subblock:sb;
+      if local then incr local_hits else incr remote_hits;
+      if tracing then
+        emit ~cluster:c
+          (Tr.Mod_service
+             {
+               cluster = c;
+               seq = (k * nsites) + msite.(n);
+               addr;
+               size = mbytes.(n);
+               store = is_store;
+               local;
+               hit = true;
+             });
+      let v = apply_access inst in
+      respond inst v (!now + hit_lat)
+    end
+    else begin
+      if local then incr local_misses else incr remote_misses;
+      if tracing then begin
+        emit ~cluster:c
+          (Tr.Mod_service
+             {
+               cluster = c;
+               seq = (k * nsites) + msite.(n);
+               addr;
+               size = mbytes.(n);
+               store = is_store;
+               local;
+               hit = false;
+             });
+        emit ~cluster:c (Tr.Mshr_alloc { cluster = c; subblock = sb })
+      end;
+      if not is_store then phase.(inst) <- ph_in_mshr;
+      mshr_next.(inst) <- -1;
+      !mshr_head.(sb) <- inst;
+      !mshr_tail.(sb) <- inst;
+      l2_fetch !now sb c
+    end
+  in
+
+  (* ----- operand evaluation ----- *)
+  let eval_operand k = function
+    | L.Imm v -> v
+    | L.Affine_idx (a, b) -> Int64.of_int ((a * k) + b)
+    | L.Reg { producer; dist; init } ->
+      if k < dist then init else reg_val.((producer * trip) + (k - dist))
+  in
+  let compute_arith n k =
+    let ops = opersv.(n) in
+    match semv.(n) with
+    | None -> 0L
+    | Some (L.Sem_bin (ty, op)) ->
+      if Array.length ops = 2 then
+        Ir.Sem.binop ty op (eval_operand k ops.(0)) (eval_operand k ops.(1))
+      else 0L
+    | Some (L.Sem_un (ty, op)) ->
+      if Array.length ops = 1 then Ir.Sem.unop ty op (eval_operand k ops.(0))
+      else 0L
+    | Some L.Sem_select ->
+      if Array.length ops = 3 then
+        if eval_operand k ops.(0) <> 0L then eval_operand k ops.(1)
+        else eval_operand k ops.(2)
+      else 0L
+    | Some L.Sem_mov ->
+      if Array.length ops = 1 then eval_operand k ops.(0) else 0L
+  in
+  let addr_of n k =
+    if m_affine.(n) then m_abase.(n) + (m_ascale.(n) * k)
+    else begin
+      let len = m_alen.(n) in
+      if len <= 0 then invalid_arg "Layout.wrap_index: non-positive length";
+      let idx = Int64.to_int (eval_operand k m_idxop.(n)) in
+      let r = idx mod len in
+      let r = if r < 0 then r + len else r in
+      m_abase.(n) + (r * mbytes.(n))
+    end
+  in
+
+  (* ----- access initiation (at issue time) ----- *)
+  let initiate n k ~is_store ~addr ~value =
+    let seq = (k * nsites) + msite.(n) in
+    let size = mbytes.(n) in
+    let ty = mty.(n) in
+    let own = clusterv.(n) in
+    let home = home_of addr in
+    let local = home = own in
+    let inst = (n * trip) + k in
+    if is_store && nabs > 0 then begin
+      ab_note_store ~own ~addr ~size ~seq;
+      let present =
+        Attraction.write_if_present abs.(own) ~subblock:(sb_of addr) ~addr ~size
+          (Ir.Sem.truncate ty value) ~sync:seq
+      in
+      if present && tracing then
+        emit ~cluster:own (Tr.Ab_update { cluster = own; addr; size; seq })
+    end;
+    let ab_satisfied =
+      (not is_store) && (not local) && nabs > 0
+      &&
+      let sb = sb_of addr in
+      match Attraction.read abs.(own) ~subblock:sb ~addr ~size with
+      | None -> false
+      | Some raw ->
+        incr local_hits;
+        incr ab_hits;
+        (match Attraction.sync_seq abs.(own) ~subblock:sb with
+        | Some sync ->
+          let lastb = min (addr + size - 1) (msize - 1) in
+          let stale = ref false in
+          for b = addr to lastb do
+            if last_store_seq.(b) > sync && last_store_seq.(b) < seq then
+              stale := true
+          done;
+          if !stale then incr violations;
+          if tracing then
+            emit ~cluster:own (Tr.Ab_hit { cluster = own; seq; addr; size; sync })
+        | None ->
+          if tracing then
+            emit ~cluster:own
+              (Tr.Ab_hit { cluster = own; seq; addr; size; sync = max_int }));
+        let v =
+          match oracle with
+          | Some r -> r.events.(seq).ev_value
+          | None -> sign_extend ty raw
+        in
+        reg_ready_at.(inst) <- !now + hit_lat;
+        reg_val.(inst) <- v;
+        true
+    in
+    if not ab_satisfied then begin
+      inst_addr.(inst) <- addr;
+      inst_home.(inst) <- home;
+      inst_val.(inst) <- value;
+      if local then begin
+        if not is_store then phase.(inst) <- ph_at_module;
+        modq_push home inst
+      end
+      else begin
+        if not is_store then phase.(inst) <- ph_on_bus;
+        send_bus ~cluster:own ~leg:0 ~inst
+      end
+    end
+  in
+
+  (* ----- event execution ----- *)
+  let run_event e =
+    match !ev_kind.(e) with
+    | k when k = ev_arrive ->
+      let leg = !ev_a.(e) and inst = !ev_b.(e) in
+      if tracing then
+        emit (Tr.Bus_transfer { txn = !ev_c.(e); bus = !ev_d.(e) });
+      if leg = 0 then begin
+        (* request leg lands at the home module *)
+        let n = inst / trip in
+        if kindv.(n) = k_load then phase.(inst) <- ph_at_module;
+        modq_push inst_home.(inst) inst
+      end
+      else begin
+        (* response leg arrives back at the requesting cluster *)
+        let n = inst / trip in
+        let own = clusterv.(n) in
+        phase.(inst) <- ph_none;
+        let addr = inst_addr.(inst) in
+        (if nabs > 0 then begin
+           let sb = sb_of addr in
+           ensure_sb sb;
+           if ab_fill_fresh ~own ~sb then begin
+             let sync = ab_sync_of sb in
+             Attraction.install_addrs abs.(own) ~subblock:sb
+               ~addrs:(addrs_of_sb sb) ~mem ~sync;
+             if tracing then
+               emit ~cluster:own (Tr.Ab_install { cluster = own; subblock = sb; sync })
+           end
+         end);
+        reg_ready_at.(inst) <- !now;
+        reg_val.(inst) <- sign_extend mty.(n) inst_val.(inst)
+      end
+    | k when k = ev_resp_send ->
+      let inst = !ev_b.(e) in
+      let n = inst / trip in
+      phase.(inst) <- ph_resp_bus;
+      send_bus ~cluster:clusterv.(n) ~leg:1 ~inst
+    | _ ->
+      (* ev_mshr_fill *)
+      let sb = !ev_b.(e) and c = !ev_c.(e) in
+      ignore (Cachemod.install modules.(c) ~subblock:sb);
+      let tf = !now in
+      let head = !mshr_head.(sb) in
+      !mshr_head.(sb) <- -1;
+      !mshr_tail.(sb) <- -1;
+      if tracing then begin
+        let cnt = ref 0 and w = ref head in
+        while !w >= 0 do
+          incr cnt;
+          w := mshr_next.(!w)
+        done;
+        emit ~cluster:c (Tr.Mshr_fill { cluster = c; subblock = sb; waiters = !cnt })
+      end;
+      let w = ref head in
+      while !w >= 0 do
+        let nxt = mshr_next.(!w) in
+        let v = apply_access !w in
+        respond !w v (tf + hit_lat);
+        w := nxt
+      done
+  in
+
+  (* ----- issue ----- *)
+  let issue_item tag k =
+    if tag land 1 = 1 then
+      copy_ready_at.(((tag lsr 1) * trip) + k) <- !now + reg_buslat
+    else begin
+      let n = tag lsr 1 in
+      match kindv.(n) with
+      | k' when k' = k_arith ->
+        let v = compute_arith n k in
+        reg_ready_at.((n * trip) + k) <- !now + latv.(n);
+        reg_val.((n * trip) + k) <- v
+      | k' when k' = k_load ->
+        let addr = addr_of n k in
+        initiate n k ~is_store:false ~addr ~value:0L
+      | _ ->
+        (* store *)
+        let value =
+          if Array.length opersv.(n) > 0 then eval_operand k opersv.(n).(0)
+          else 0L
+        in
+        let addr = addr_of n k in
+        let executing =
+          (not m_replica.(n)) || home_of addr = clusterv.(n)
+        in
+        if executing then initiate n k ~is_store:true ~addr ~value
+        else begin
+          incr nullified;
+          let own = clusterv.(n) in
+          if tracing then
+            emit ~cluster:own
+              (Tr.Nullify { cluster = own; site = msite.(n); iter = k });
+          if nabs > 0 then begin
+            let ty = mty.(n) in
+            let seq = (k * nsites) + msite.(n) in
+            ab_note_store ~own ~addr ~size:mbytes.(n) ~seq;
+            let present =
+              Attraction.write_if_present abs.(own) ~subblock:(sb_of addr)
+                ~addr ~size:mbytes.(n)
+                (Ir.Sem.truncate ty value)
+                ~sync:seq
+            in
+            if present && tracing then
+              emit ~cluster:own
+                (Tr.Ab_update { cluster = own; addr; size = mbytes.(n); seq })
+          end
+        end
+    end
+  in
+
+  if tracing then
+    emit
+      (Tr.Meta
+         {
+           clusters = nclusters;
+           mem_buses = nbuses;
+           msize;
+           ii;
+           vspan;
+           trip;
+         });
+
+  (* ----- main loop ----- *)
+  let vnow = ref 0 in
+  let stall_load = ref 0 and stall_copy = ref 0 and stall_bus = ref 0 in
+  let stall_open = ref (-1) in
+  let hard_limit = 50_000_000 in
+  while
+    !vnow < vspan || !pending_events > 0 || !bq_len > 0 || !modq_total > 0
+  do
+    if !now > hard_limit then failwith "Sim.run: cycle limit exceeded (wedged)";
+    (* 1. events due this cycle, in insertion order *)
+    (if !now < !wheel_len then begin
+       let h = !wh_head.(!now) in
+       if h >= 0 then begin
+         !wh_head.(!now) <- -1;
+         !wh_tail.(!now) <- -1;
+         let e = ref h in
+         while !e >= 0 do
+           let nxt = !ev_next.(!e) in
+           decr pending_events;
+           run_event !e;
+           e := nxt
+         done
+       end
+     end);
+    (* 2. bus arbitration *)
+    dispatch_buses ();
+    (* 3. cache modules: one service per cluster per cycle *)
+    for c = 0 to nclusters - 1 do
+      if mq_count.(c) > 0 then begin
+        let h = mq_head.(c) in
+        if mq_enq.(c).(h) <= !now then begin
+          let inst = mq_inst.(c).(h) in
+          mq_head.(c) <- (h + 1) mod mq_cap.(c);
+          mq_count.(c) <- mq_count.(c) - 1;
+          decr modq_total;
+          service inst_home.(inst) inst
+        end
+      end
+    done;
+    (* 4. issue or stall *)
+    (if !vnow < vspan then begin
+       let lo = bucket_off.(!vnow) and hi = bucket_off.(!vnow + 1) in
+       (* blocker scan: 0 = clear, 1 = copy in flight, 2 = producer *)
+       let blk = ref 0 and blk_inst = ref (-1) in
+       let i = ref lo in
+       while !blk = 0 && !i < hi do
+         let tag = bk_tag.(!i) and k = bk_k.(!i) in
+         (if tag land 1 = 0 then begin
+            let n = tag lsr 1 in
+            let j = ref dep_off.(n) and dend = dep_off.(n + 1) in
+            while !blk = 0 && !j < dend do
+              let dist = dep_dist.(!j) in
+              (if k >= dist then begin
+                 let src_iter = k - dist in
+                 let cp = dep_copy.(!j) in
+                 if cp = -1 then begin
+                   let p = dep_src.(!j) in
+                   if reg_ready_at.((p * trip) + src_iter) > !now then begin
+                     blk := 2;
+                     blk_inst := (p * trip) + src_iter
+                   end
+                 end
+                 else if cp = -2 then blk := 1
+                 else if copy_ready_at.((cp * trip) + src_iter) > !now then
+                   blk := 1
+               end);
+              incr j
+            done
+          end
+          else begin
+            let p = copy_srcv.(tag lsr 1) in
+            if reg_ready_at.((p * trip) + k) > !now then begin
+              blk := 2;
+              blk_inst := (p * trip) + k
+            end
+          end);
+         incr i
+       done;
+       if !blk = 0 then begin
+         (if !stall_open >= 0 then begin
+            let started = !stall_open in
+            stall_open := -1;
+            if tracing then
+              emit (Tr.Stall_end { vcycle = !vnow; cycles = !now - started })
+          end);
+         if tracing then begin
+           let nops = ref 0 and ncps = ref 0 in
+           for t = lo to hi - 1 do
+             if bk_tag.(t) land 1 = 0 then incr nops else incr ncps
+           done;
+           emit (Tr.Issue { vcycle = !vnow; ops = !nops; copies = !ncps })
+         end;
+         for t = lo to hi - 1 do
+           issue_item bk_tag.(t) bk_k.(t)
+         done;
+         incr vnow
+       end
+       else begin
+         let cause =
+           if !blk = 1 then Tr.Copy_in_flight
+           else
+             match phase.(!blk_inst) with
+             | p when p = ph_on_bus || p = ph_resp_bus -> Tr.Bus_queue
+             | _ -> Tr.Load_in_flight
+         in
+         (match cause with
+         | Tr.Load_in_flight -> incr stall_load
+         | Tr.Copy_in_flight -> incr stall_copy
+         | Tr.Bus_queue -> incr stall_bus);
+         if !stall_open < 0 then begin
+           stall_open := !now;
+           if tracing then emit (Tr.Stall_begin { vcycle = !vnow; cause })
+         end
+       end
+     end);
+    incr now
+  done;
+
+  let ab_flushed = ref 0 in
+  Array.iteri
+    (fun c ab ->
+      let n = Attraction.flush ab in
+      ab_flushed := !ab_flushed + n;
+      if tracing then emit ~cluster:c (Tr.Ab_flush { cluster = c; entries = n }))
+    abs;
+  let total = !now in
+  let compute = vspan in
+  let stall = max 0 (total - compute) in
+  {
+    total_cycles = total;
+    compute_cycles = compute;
+    stall_cycles = stall;
+    stall_load_cycles = !stall_load;
+    stall_copy_cycles = !stall_copy;
+    stall_bus_cycles = !stall_bus;
+    stall_drain_cycles = stall - !stall_load - !stall_copy - !stall_bus;
+    local_hits = !local_hits;
+    remote_hits = !remote_hits;
+    local_misses = !local_misses;
+    remote_misses = !remote_misses;
+    combined = !combined;
+    ab_hits = !ab_hits;
+    ab_flushed = !ab_flushed;
+    violations = !violations;
+    nullified = !nullified;
+    comm_ops = ncopies * trip;
+    memory = mem;
+  }

@@ -1,13 +1,6 @@
-module G = Vliw_ddg.Graph
-module M = Vliw_arch.Machine
-module S = Vliw_sched.Schedule
-module L = Vliw_lower.Lower
-module Ir = Vliw_ir
-module Tr = Vliw_trace.Trace
+type mode = Sim_types.mode = Oracle of Vliw_ir.Interp.result | Execution
 
-type mode = Oracle of Ir.Interp.result | Execution
-
-type stats = {
+type stats = Sim_types.stats = {
   total_cycles : int;
   compute_cycles : int;
   stall_cycles : int;
@@ -28,694 +21,16 @@ type stats = {
   memory : Bytes.t;
 }
 
-let accesses_total s =
-  s.local_hits + s.remote_hits + s.local_misses + s.remote_misses + s.combined
+type engine = [ `Wheel | `Reference ]
 
-let ty_of_mr (mr : G.mem_ref) =
-  match (mr.mr_bytes, mr.mr_float) with
-  | 1, false -> Ir.Ast.I8
-  | 2, false -> Ir.Ast.I16
-  | 4, false -> Ir.Ast.I32
-  | 8, false -> Ir.Ast.I64
-  | 4, true -> Ir.Ast.F32
-  | 8, true -> Ir.Ast.F64
-  | _ -> invalid_arg "Sim: unsupported access width"
+let accesses_total = Sim_types.accesses_total
 
-type waiter = {
-  w_seq : int;
-  w_node : int;  (* DDG node id of the access, for in-flight tracking *)
-  w_store : bool;
-  w_addr : int;
-  w_size : int;
-  w_value : int64;
-  w_site : int;
-  w_iter : int;
-  w_respond : int64 -> int -> unit;  (* value, ready time *)
-  w_local : bool;
-}
-
-type item = Op of G.node * int | Cp of S.copy * int
-
-(* Where an in-flight load currently is, keyed by (node id, iteration):
-   feeds the stall-cause classification — a consumer blocked on a load
-   sitting in a bus queue stalls for a different reason (bus contention)
-   than one blocked on a module/MSHR in service. *)
-type load_phase = On_bus | At_module | In_mshr | Resp_bus
-
-let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
-    ?(warm = false) ?trace () =
-  let machine = schedule.S.machine in
-  let kernel = lowered.L.kernel in
-  let trip = Option.value trip ~default:kernel.Ir.Ast.k_trip in
-  if trip > kernel.Ir.Ast.k_trip then
-    invalid_arg "Sim.run: trip exceeds the trip count the kernel was compiled for";
-  if trip <= 0 then invalid_arg "Sim.run: non-positive trip";
-  let ii = schedule.S.ii in
-  let nclusters = machine.M.clusters in
-  let hit_lat = machine.M.cache.M.hit_latency in
-  let mem_buslat = machine.M.mem_buses.M.bus_latency in
-  let reg_buslat = machine.M.reg_buses.M.bus_latency in
-
-  (* ----- event calendar ----- *)
-  let events : (int, (unit -> unit) list ref) Hashtbl.t = Hashtbl.create 512 in
-  let max_event = ref (-1) in
-  let now = ref 0 in
-  let at t f =
-    let t = max t (!now + 1) in
-    max_event := max !max_event t;
-    match Hashtbl.find_opt events t with
-    | Some l -> l := f :: !l
-    | None -> Hashtbl.add events t (ref [ f ])
-  in
-
-  (* ----- event-trace recording (no sink: one dead branch per site) ----- *)
-  let tracing = trace <> None in
-  let emit ?(cluster = -1) p =
-    match trace with Some s -> Tr.emit s ~cycle:!now ~cluster p | None -> ()
-  in
-
-  (* ----- memory + coherence-order state ----- *)
-  let mem = Ir.Interp.init_memory layout kernel in
-  let msize = Bytes.length mem in
-  let last_store_seq = Array.make msize (-1) in
-  let last_any_seq = Array.make msize (-1) in
-  let violations = ref 0 in
-  let nsites = Array.length lowered.L.site_node in
-  let seq_of ~site ~iter = (iter * nsites) + site in
-  let oracle = match mode with Oracle r -> Some r | Execution -> None in
-  let oracle_value ~site ~iter =
-    Option.map
-      (fun (r : Ir.Interp.result) -> r.events.((iter * nsites) + site).ev_value)
-      oracle
-  in
-
-  (* Apply an access at its home module: coherence-order bookkeeping plus
-     the actual data effect, at the time the access takes effect. *)
-  let apply_access ~seq ~is_store ~addr ~size ~value ~site ~iter ~ty =
-    if tracing then
-      emit
-        ~cluster:(M.home_cluster machine ~addr)
-        (Tr.Apply { seq; addr; size; store = is_store });
-    let lastb = min (addr + size - 1) (msize - 1) in
-    let bad = ref false in
-    for b = addr to lastb do
-      if is_store then (if last_any_seq.(b) > seq then bad := true)
-      else if last_store_seq.(b) > seq then bad := true
-    done;
-    if !bad then incr violations;
-    if is_store && addr + size <= msize then
-      Ir.Sem.store_bytes mem addr ty (Ir.Sem.truncate ty value);
-    for b = addr to lastb do
-      if is_store then last_store_seq.(b) <- max last_store_seq.(b) seq;
-      last_any_seq.(b) <- max last_any_seq.(b) seq
-    done;
-    if is_store then 0L
-    else
-      match oracle_value ~site ~iter with
-      | Some v -> v
-      | None -> if addr + size <= msize then Ir.Sem.load_bytes mem addr ty else 0L
-  in
-
-  (* ----- memory buses: FIFO queue over all buses ----- *)
-  let bus_free = Array.make machine.M.mem_buses.M.bus_count 0 in
-  let busq : (int * int * int * (int -> unit)) Queue.t = Queue.create () in
-  let txn_counter = ref 0 in
-  let jit () =
-    match jitter with None -> 0 | Some (p, j) -> Vliw_util.Prng.int p (j + 1)
-  in
-  let send_bus ?(ready = !now) ~cluster action =
-    let txn = !txn_counter in
-    incr txn_counter;
-    if tracing then emit ~cluster (Tr.Bus_request { txn; cluster });
-    Queue.add (ready, !now, txn, action) busq
-  in
-  let dispatch_buses () =
-    Array.iteri
-      (fun b free ->
-        if free <= !now && not (Queue.is_empty busq) then (
-          let ready, requested, txn, action = Queue.peek busq in
-          if ready <= !now then (
-            ignore (Queue.pop busq);
-            let lat = mem_buslat + jit () in
-            bus_free.(b) <- !now + lat;
-            let arrival = !now + lat in
-            if tracing then
-              emit (Tr.Bus_grant { txn; bus = b; wait = !now - requested; lat });
-            at arrival (fun () ->
-                if tracing then emit (Tr.Bus_transfer { txn; bus = b });
-                action arrival))))
-      bus_free
-  in
-
-  (* ----- next memory level: ported, fixed total service ----- *)
-  let l2_free = Array.make machine.M.l2_ports 0 in
-  let l2_fetch t fill =
-    let port = ref 0 in
-    Array.iteri (fun p f -> if f < l2_free.(!port) then port := p) l2_free;
-    let start = max t l2_free.(!port) in
-    l2_free.(!port) <- start + 2;
-    at (start + machine.M.l2_latency) (fun () -> fill (start + machine.M.l2_latency))
-  in
-
-  (* ----- cache modules, MSHRs, attraction buffers ----- *)
-  let modules = Array.init nclusters (fun c -> Cachemod.create machine ~cluster:c) in
-  let abs =
-    match machine.M.attraction with
-    | None -> [||]
-    | Some _ -> Array.init nclusters (fun _ -> Attraction.create machine)
-  in
-  (* per-cluster, per-byte: the newest store sequence number this cluster
-     has *executed* (address resolved), applied at home or not. A store
-     instance freshens a buffered copy only if the copy exists when it
-     executes; a fill arriving later could otherwise install a home
-     snapshot that predates the store's apply, leaving a provably-stale
-     copy no update can ever repair. The cluster knows its own executed
-     writes, so it refuses such fills (see [ab_fill_fresh]). *)
-  let ab_exec_seq =
-    Array.init (Array.length abs) (fun _ -> Array.make msize (-1))
-  in
-  let ab_note_store ~own ~addr ~size ~seq =
-    if Array.length abs > 0 then
-      for b = addr to min (addr + size - 1) (msize - 1) do
-        if seq > ab_exec_seq.(own).(b) then ab_exec_seq.(own).(b) <- seq
-      done
-  in
-  (* accept a fill only when every byte's home-applied high-water covers
-     the stores this cluster already executed there *)
-  let ab_fill_fresh ~own ~subblock =
-    List.for_all
-      (fun a ->
-        let lastb = min (a + machine.M.interleave_bytes - 1) (msize - 1) in
-        let ok = ref true in
-        for b = a to lastb do
-          if ab_exec_seq.(own).(b) > last_store_seq.(b) then ok := false
-        done;
-        !ok)
-      (M.addrs_of_subblock machine ~subblock)
-  in
-  let mshr : (int, waiter list ref) Hashtbl.t = Hashtbl.create 32 in
-  let modq : (int * waiter) Queue.t array =
-    Array.init nclusters (fun _ -> Queue.create ())
-  in
-  let load_phase : (int * int, load_phase) Hashtbl.t = Hashtbl.create 64 in
-  let track_load (w : waiter) phase =
-    if not w.w_store then Hashtbl.replace load_phase (w.w_node, w.w_iter) phase
-  in
-  (* cache warm-up: replay the reference address trace into the modules *)
-  (if warm then
-     match oracle with
-     | None -> invalid_arg "Sim.run: warm requires Oracle mode"
-     | Some r ->
-       Array.iter
-         (fun (ev : Ir.Interp.event) ->
-           let sb = M.subblock_id machine ~addr:ev.ev_addr in
-           let home = M.home_cluster machine ~addr:ev.ev_addr in
-           ignore (Cachemod.install modules.(home) ~subblock:sb))
-         r.events);
-
-  let local_hits = ref 0 and remote_hits = ref 0 in
-  let local_misses = ref 0 and remote_misses = ref 0 in
-  let combined = ref 0 and ab_hits = ref 0 and nullified = ref 0 in
-
-  let service cluster (w : waiter) =
-    let sb = M.subblock_id machine ~addr:w.w_addr in
-    let ty =
-      (* the ty only matters for data width/extension; requester passes the
-         right extension through w_respond, so use a raw read of w_size *)
-      match (w.w_size, false) with
-      | 1, _ -> Ir.Ast.I8
-      | 2, _ -> Ir.Ast.I16
-      | 4, _ -> Ir.Ast.I32
-      | _ -> Ir.Ast.I64
-    in
-    match Hashtbl.find_opt mshr sb with
-    | Some waiters ->
-      incr combined;
-      if tracing then
-        emit ~cluster (Tr.Mshr_combine { cluster; subblock = sb; seq = w.w_seq });
-      track_load w In_mshr;
-      waiters := w :: !waiters
-    | None ->
-      if Cachemod.present modules.(cluster) ~subblock:sb then (
-        Cachemod.touch modules.(cluster) ~subblock:sb;
-        if w.w_local then incr local_hits else incr remote_hits;
-        if tracing then
-          emit ~cluster
-            (Tr.Mod_service
-               {
-                 cluster;
-                 seq = w.w_seq;
-                 addr = w.w_addr;
-                 size = w.w_size;
-                 store = w.w_store;
-                 local = w.w_local;
-                 hit = true;
-               });
-        let v =
-          apply_access ~seq:w.w_seq ~is_store:w.w_store ~addr:w.w_addr
-            ~size:w.w_size ~value:w.w_value ~site:w.w_site ~iter:w.w_iter ~ty
-        in
-        w.w_respond v (!now + hit_lat))
-      else (
-        if w.w_local then incr local_misses else incr remote_misses;
-        if tracing then (
-          emit ~cluster
-            (Tr.Mod_service
-               {
-                 cluster;
-                 seq = w.w_seq;
-                 addr = w.w_addr;
-                 size = w.w_size;
-                 store = w.w_store;
-                 local = w.w_local;
-                 hit = false;
-               });
-          emit ~cluster (Tr.Mshr_alloc { cluster; subblock = sb }));
-        track_load w In_mshr;
-        Hashtbl.replace mshr sb (ref [ w ]);
-        l2_fetch !now (fun tf ->
-            ignore (Cachemod.install modules.(cluster) ~subblock:sb);
-            let ws =
-              match Hashtbl.find_opt mshr sb with
-              | Some l -> List.rev !l
-              | None -> []
-            in
-            Hashtbl.remove mshr sb;
-            if tracing then
-              emit ~cluster
-                (Tr.Mshr_fill { cluster; subblock = sb; waiters = List.length ws });
-            List.iter
-              (fun w ->
-                let ty =
-                  match w.w_size with
-                  | 1 -> Ir.Ast.I8
-                  | 2 -> Ir.Ast.I16
-                  | 4 -> Ir.Ast.I32
-                  | _ -> Ir.Ast.I64
-                in
-                let v =
-                  apply_access ~seq:w.w_seq ~is_store:w.w_store ~addr:w.w_addr
-                    ~size:w.w_size ~value:w.w_value ~site:w.w_site
-                    ~iter:w.w_iter ~ty
-                in
-                w.w_respond v (tf + hit_lat))
-              ws))
-  in
-
-  (* ----- register values ----- *)
-  let regs : (int * int, int * int64) Hashtbl.t = Hashtbl.create 1024 in
-  let set_reg id iter ~ready ~value = Hashtbl.replace regs (id, iter) (ready, value) in
-  let reg_entry id iter = Hashtbl.find_opt regs (id, iter) in
-  let reg_ready id iter =
-    match reg_entry id iter with Some (r, _) -> r <= !now | None -> false
-  in
-  let reg_value id iter =
-    match reg_entry id iter with
-    | Some (_, v) -> v
-    | None -> 0L
-  in
-  let copy_ready : (int * int * int * int, int) Hashtbl.t = Hashtbl.create 256 in
-
-  let eval_operand kiter = function
-    | L.Imm v -> v
-    | L.Affine_idx (a, b) -> Int64.of_int ((a * kiter) + b)
-    | L.Reg { producer; dist; init } ->
-      if kiter < dist then init else reg_value producer (kiter - dist)
-  in
-
-  let cluster_of id = S.cluster_of schedule id in
-
-  (* ----- access initiation (at issue time) ----- *)
-  let sign_extend ty v = Ir.Sem.truncate ty v in
-  let initiate ~(node : G.node) ~(mr : G.mem_ref) ~iter ~is_store ~addr ~value =
-    let site = mr.mr_site in
-    let seq = seq_of ~site ~iter in
-    let size = mr.mr_bytes in
-    let ty = ty_of_mr mr in
-    let own = cluster_of node.n_id in
-    let home = M.home_cluster machine ~addr in
-    let local = home = own in
-    let key = (node.n_id, iter) in
-    (* stores keep any attraction-buffer copy in their own cluster fresh *)
-    if is_store && Array.length abs > 0 then (
-      ab_note_store ~own ~addr ~size ~seq;
-      let present =
-        Attraction.write_if_present abs.(own)
-          ~subblock:(M.subblock_id machine ~addr)
-          ~addr ~size (Ir.Sem.truncate ty value) ~sync:seq
-      in
-      if present && tracing then
-        emit ~cluster:own (Tr.Ab_update { cluster = own; addr; size; seq }));
-    let respond =
-      if is_store then fun _ _ -> ()
-      else if local then fun v t ->
-        Hashtbl.remove load_phase key;
-        set_reg node.n_id iter ~ready:t ~value:(sign_extend ty v)
-      else fun v t ->
-        (* response travels back over a memory bus; install the subblock
-           into the requester's attraction buffer on arrival *)
-        at t (fun () ->
-            Hashtbl.replace load_phase key Resp_bus;
-            send_bus ~cluster:own (fun arrival ->
-                Hashtbl.remove load_phase key;
-                (if Array.length abs > 0 && ab_fill_fresh ~own ~subblock:(M.subblock_id machine ~addr)
-                 then (
-                   let sb = M.subblock_id machine ~addr in
-                   let sync =
-                     List.fold_left
-                       (fun acc a ->
-                         let lastb = min (a + machine.M.interleave_bytes - 1) (msize - 1) in
-                         let s = ref acc in
-                         for b = a to lastb do
-                           s := max !s last_store_seq.(b)
-                         done;
-                         !s)
-                       (-1)
-                       (M.addrs_of_subblock machine
-                          ~subblock:sb)
-                   in
-                   Attraction.install abs.(own) ~machine ~subblock:sb ~mem ~sync;
-                   if tracing then
-                     emit ~cluster:own
-                       (Tr.Ab_install { cluster = own; subblock = sb; sync })));
-                set_reg node.n_id iter ~ready:arrival ~value:(sign_extend ty v)))
-    in
-    (* attraction buffer lookup for remote loads *)
-    let ab_satisfied =
-      (not is_store) && (not local) && Array.length abs > 0
-      &&
-      let sb = M.subblock_id machine ~addr in
-      match Attraction.read abs.(own) ~subblock:sb ~addr ~size with
-      | None -> false
-      | Some raw ->
-        incr local_hits;
-        incr ab_hits;
-        (* staleness: a store ordered before this load but newer than the
-           buffered copy makes the copy provably stale *)
-        (match Attraction.sync_seq abs.(own) ~subblock:sb with
-        | Some sync ->
-          let lastb = min (addr + size - 1) (msize - 1) in
-          let stale = ref false in
-          for b = addr to lastb do
-            if last_store_seq.(b) > sync && last_store_seq.(b) < seq then
-              stale := true
-          done;
-          if !stale then incr violations;
-          if tracing then
-            emit ~cluster:own (Tr.Ab_hit { cluster = own; seq; addr; size; sync })
-        | None ->
-          if tracing then
-            emit ~cluster:own
-              (Tr.Ab_hit { cluster = own; seq; addr; size; sync = max_int }));
-        let v =
-          match oracle_value ~site ~iter with
-          | Some ov -> ov
-          | None -> sign_extend ty raw
-        in
-        set_reg node.n_id iter ~ready:(!now + hit_lat) ~value:v;
-        true
-    in
-    if not ab_satisfied then (
-      let w =
-        {
-          w_seq = seq;
-          w_node = node.n_id;
-          w_store = is_store;
-          w_addr = addr;
-          w_size = size;
-          w_value = value;
-          w_site = site;
-          w_iter = iter;
-          w_respond = respond;
-          w_local = local;
-        }
-      in
-      if local then (
-        track_load w At_module;
-        Queue.add (!now, w) modq.(home))
-      else (
-        track_load w On_bus;
-        send_bus ~cluster:own (fun _arrival ->
-            track_load w At_module;
-            Queue.add (!now, w) modq.(home))))
-  in
-
-  (* ----- issue ----- *)
-  let node_latency (n : G.node) =
-    match n.n_op with
-    | G.Arith a -> a.latency
-    | G.Fake -> 1
-    | G.Load _ | G.Store _ -> assert false
-  in
-  let addr_of (n : G.node) (mr : G.mem_ref) iter =
-    match mr.mr_affine with
-    | Some (scale, off) ->
-      Ir.Layout.base layout mr.mr_array + (scale * iter) + off
-    | None ->
-      let idxop = Hashtbl.find lowered.L.mem_index n.n_orig in
-      let idx = Int64.to_int (eval_operand iter idxop) in
-      Ir.Layout.addr layout ~arr:mr.mr_array ~elt_bytes:mr.mr_bytes ~idx
-  in
-  let compute_arith (n : G.node) iter =
-    match n.n_op with
-    | G.Fake -> 0L
-    | _ -> (
-      let ops =
-        List.map (eval_operand iter)
-          (Option.value (Hashtbl.find_opt lowered.L.operands n.n_orig) ~default:[])
-      in
-      match Hashtbl.find_opt lowered.L.sems n.n_orig with
-      | None -> 0L
-      | Some (L.Sem_bin (ty, op)) -> (
-        match ops with
-        | [ a; b ] -> Ir.Sem.binop ty op a b
-        | _ -> 0L)
-      | Some (L.Sem_un (ty, op)) -> (
-        match ops with [ a ] -> Ir.Sem.unop ty op a | _ -> 0L)
-      | Some L.Sem_select -> (
-        match ops with [ c; a; b ] -> (if c <> 0L then a else b) | _ -> 0L)
-      | Some L.Sem_mov -> ( match ops with [ a ] -> a | _ -> 0L))
-  in
-
-  (* What blocks an item from issuing this cycle, if anything. [`Producer]
-     carries the (node, iteration) register being waited on — usually a
-     load in flight; [`Copy] is a cross-cluster copy still travelling. *)
-  let item_blocker = function
-    | Cp (c, kiter) ->
-      if reg_ready c.S.cp_src kiter then None else Some (`Producer (c.S.cp_src, kiter))
-    | Op (n, kiter) ->
-      List.find_map
-        (fun (e : G.edge) ->
-          if e.e_kind <> G.RF || kiter < e.e_dist then None
-          else
-            let p = e.e_src in
-            let src_iter = kiter - e.e_dist in
-            if cluster_of p = cluster_of n.n_id then
-              if reg_ready p src_iter then None else Some (`Producer (p, src_iter))
-            else
-              match
-                Hashtbl.find_opt copy_ready (e.e_src, e.e_dst, e.e_dist, src_iter)
-              with
-              | Some t -> if t <= !now then None else Some `Copy
-              | None -> Some `Copy)
-        (G.preds graph n.n_id)
-  in
-  let rec first_blocker = function
-    | [] -> None
-    | it :: rest -> (
-      match item_blocker it with Some b -> Some b | None -> first_blocker rest)
-  in
-  let cause_of_blocker = function
-    | `Copy -> Tr.Copy_in_flight
-    | `Producer key -> (
-      match Hashtbl.find_opt load_phase key with
-      | Some (On_bus | Resp_bus) -> Tr.Bus_queue
-      | Some (At_module | In_mshr) | None -> Tr.Load_in_flight)
-  in
-
-  let issue = function
-    | Cp (c, kiter) ->
-      Hashtbl.replace copy_ready
-        (c.S.cp_src, c.S.cp_dst, c.S.cp_dist, kiter)
-        (!now + reg_buslat)
-    | Op (n, kiter) -> (
-      match n.n_op with
-      | G.Arith _ | G.Fake ->
-        set_reg n.n_id kiter ~ready:(!now + node_latency n)
-          ~value:(compute_arith n kiter)
-      | G.Load mr ->
-        set_reg n.n_id kiter ~ready:max_int ~value:0L;
-        let addr = addr_of n mr kiter in
-        initiate ~node:n ~mr ~iter:kiter ~is_store:false ~addr ~value:0L
-      | G.Store mr ->
-        let value =
-          match Hashtbl.find_opt lowered.L.operands n.n_orig with
-          | Some [ vo ] -> eval_operand kiter vo
-          | Some (vo :: _) -> eval_operand kiter vo
-          | _ -> 0L
-        in
-        let addr = addr_of n mr kiter in
-        let executing =
-          match n.n_replica with
-          | None -> true
-          | Some _ -> M.home_cluster machine ~addr = cluster_of n.n_id
-        in
-        if executing then
-          initiate ~node:n ~mr ~iter:kiter ~is_store:true ~addr ~value
-        else (
-          incr nullified;
-          let own = cluster_of n.n_id in
-          if tracing then
-            emit ~cluster:own
-              (Tr.Nullify { cluster = own; site = mr.mr_site; iter = kiter });
-          (* a nullified instance still refreshes its cluster's attraction
-             buffer copy (Section 5.3) *)
-          if Array.length abs > 0 then (
-            let ty = ty_of_mr mr in
-            let seq = seq_of ~site:mr.mr_site ~iter:kiter in
-            ab_note_store ~own ~addr ~size:mr.mr_bytes ~seq;
-            let present =
-              Attraction.write_if_present
-                abs.(own)
-                ~subblock:(M.subblock_id machine ~addr)
-                ~addr ~size:mr.mr_bytes
-                (Ir.Sem.truncate ty value)
-                ~sync:seq
-            in
-            if present && tracing then
-              emit ~cluster:own
-                (Tr.Ab_update { cluster = own; addr; size = mr.mr_bytes; seq }))))
-  in
-
-  (* ----- issue buckets ----- *)
-  let items = ref [] in
-  List.iter
-    (fun (n : G.node) ->
-      let c = S.cycle_of schedule n.n_id in
-      for k = 0 to trip - 1 do
-        items := (c + (ii * k), Op (n, k)) :: !items
-      done)
-    (G.nodes graph);
-  List.iter
-    (fun (cp : S.copy) ->
-      for k = 0 to trip - 1 do
-        items := (cp.S.cp_cycle + (ii * k), Cp (cp, k)) :: !items
-      done)
-    schedule.S.copies;
-  let vspan = 1 + List.fold_left (fun acc (v, _) -> max acc v) 0 !items in
-  let buckets = Array.make vspan [] in
-  List.iter (fun (v, it) -> buckets.(v) <- it :: buckets.(v)) !items;
-  (* issue order within a bundle: by node id for determinism *)
-  Array.iteri
-    (fun i l ->
-      buckets.(i) <-
-        List.sort
-          (fun a b ->
-            let key = function
-              | Op (n, k) -> (0, n.G.n_id, k)
-              | Cp (c, k) -> (1, c.S.cp_src, k)
-            in
-            compare (key a) (key b))
-          l)
-    buckets;
-
-  if tracing then
-    emit
-      (Tr.Meta
-         {
-           clusters = nclusters;
-           mem_buses = machine.M.mem_buses.M.bus_count;
-           msize;
-           ii;
-           vspan;
-           trip;
-         });
-
-  (* ----- main loop ----- *)
-  let vnow = ref 0 in
-  let pending_work () =
-    !vnow < vspan
-    || !now <= !max_event
-    || (not (Queue.is_empty busq))
-    || Array.exists (fun q -> not (Queue.is_empty q)) modq
-  in
-  let stall_load = ref 0 and stall_copy = ref 0 and stall_bus = ref 0 in
-  let stall_open = ref None in
-  let hard_limit = 50_000_000 in
-  while pending_work () do
-    if !now > hard_limit then failwith "Sim.run: cycle limit exceeded (wedged)";
-    (match Hashtbl.find_opt events !now with
-    | Some l ->
-      Hashtbl.remove events !now;
-      List.iter (fun f -> f ()) (List.rev !l)
-    | None -> ());
-    dispatch_buses ();
-    Array.iter
-      (fun q ->
-        if not (Queue.is_empty q) then (
-          let enq, _ = Queue.peek q in
-          if enq <= !now then
-            let _, w = Queue.pop q in
-            service (M.home_cluster machine ~addr:w.w_addr) w))
-      modq;
-    (if !vnow < vspan then
-       let bundle = buckets.(!vnow) in
-       match first_blocker bundle with
-       | None ->
-         (match !stall_open with
-         | Some started ->
-           stall_open := None;
-           if tracing then
-             emit (Tr.Stall_end { vcycle = !vnow; cycles = !now - started })
-         | None -> ());
-         if tracing then (
-           let ops, copies =
-             List.fold_left
-               (fun (o, c) -> function Op _ -> (o + 1, c) | Cp _ -> (o, c + 1))
-               (0, 0) bundle
-           in
-           emit (Tr.Issue { vcycle = !vnow; ops; copies }));
-         List.iter issue bundle;
-         incr vnow
-       | Some b ->
-         let cause = cause_of_blocker b in
-         (match cause with
-         | Tr.Load_in_flight -> incr stall_load
-         | Tr.Copy_in_flight -> incr stall_copy
-         | Tr.Bus_queue -> incr stall_bus);
-         if !stall_open = None then (
-           stall_open := Some !now;
-           if tracing then emit (Tr.Stall_begin { vcycle = !vnow; cause })));
-    incr now
-  done;
-
-  let ab_flushed = ref 0 in
-  Array.iteri
-    (fun c ab ->
-      let n = Attraction.flush ab in
-      ab_flushed := !ab_flushed + n;
-      if tracing then emit ~cluster:c (Tr.Ab_flush { cluster = c; entries = n }))
-    abs;
-  let total = !now in
-  let compute = vspan in
-  let stall = max 0 (total - compute) in
-  {
-    total_cycles = total;
-    compute_cycles = compute;
-    stall_cycles = stall;
-    stall_load_cycles = !stall_load;
-    stall_copy_cycles = !stall_copy;
-    stall_bus_cycles = !stall_bus;
-    stall_drain_cycles = stall - !stall_load - !stall_copy - !stall_bus;
-    local_hits = !local_hits;
-    remote_hits = !remote_hits;
-    local_misses = !local_misses;
-    remote_misses = !remote_misses;
-    combined = !combined;
-    ab_hits = !ab_hits;
-    ab_flushed = !ab_flushed;
-    violations = !violations;
-    nullified = !nullified;
-    comm_ops = List.length schedule.S.copies * trip;
-    memory = mem;
-  }
+let run ~lowered ~graph ~schedule ~layout ?trip ?mode ?jitter ?warm ?trace
+    ?(engine = `Wheel) () =
+  match engine with
+  | `Wheel ->
+    Engine_wheel.run ~lowered ~graph ~schedule ~layout ?trip ?mode ?jitter
+      ?warm ?trace ()
+  | `Reference ->
+    Engine_reference.run ~lowered ~graph ~schedule ~layout ?trip ?mode ?jitter
+      ?warm ?trace ()

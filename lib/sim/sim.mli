@@ -73,6 +73,14 @@ type stats = {
 val accesses_total : stats -> int
 (** All classified memory accesses (the denominator of Figure 6). *)
 
+type engine = [ `Wheel | `Reference ]
+(** [`Wheel] (the default) is the event-wheel engine: an indexed calendar of
+    int-encoded events plus flat preallocated per-instance state arrays —
+    the fast path. [`Reference] is the pre-overhaul closure-calendar
+    engine, kept verbatim as the correctness oracle; the two produce
+    bit-identical stats, memory images, trace event streams and PRNG
+    consumption for identical inputs (pinned by test/test_engines.ml). *)
+
 val run :
   lowered:Vliw_lower.Lower.t ->
   graph:Vliw_ddg.Graph.t ->
@@ -83,6 +91,7 @@ val run :
   ?jitter:Vliw_util.Prng.t * int ->
   ?warm:bool ->
   ?trace:Vliw_trace.Trace.sink ->
+  ?engine:engine ->
   unit ->
   stats
 (** Simulate the scheduled loop for [trip] iterations (default: the

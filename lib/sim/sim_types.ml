@@ -1,0 +1,38 @@
+(* Types shared by the simulator engines (Engine_reference, Engine_wheel)
+   and re-exported by Sim. *)
+
+type mode = Oracle of Vliw_ir.Interp.result | Execution
+
+type stats = {
+  total_cycles : int;
+  compute_cycles : int;
+  stall_cycles : int;
+  stall_load_cycles : int;
+  stall_copy_cycles : int;
+  stall_bus_cycles : int;
+  stall_drain_cycles : int;
+  local_hits : int;
+  remote_hits : int;
+  local_misses : int;
+  remote_misses : int;
+  combined : int;
+  ab_hits : int;
+  ab_flushed : int;
+  violations : int;
+  nullified : int;
+  comm_ops : int;
+  memory : Bytes.t;
+}
+
+let accesses_total s =
+  s.local_hits + s.remote_hits + s.local_misses + s.remote_misses + s.combined
+
+let ty_of_mr (mr : Vliw_ddg.Graph.mem_ref) =
+  match (mr.mr_bytes, mr.mr_float) with
+  | 1, false -> Vliw_ir.Ast.I8
+  | 2, false -> Vliw_ir.Ast.I16
+  | 4, false -> Vliw_ir.Ast.I32
+  | 8, false -> Vliw_ir.Ast.I64
+  | 4, true -> Vliw_ir.Ast.F32
+  | 8, true -> Vliw_ir.Ast.F64
+  | _ -> invalid_arg "Sim: unsupported access width"

@@ -1,0 +1,218 @@
+(* Engine equivalence: the event-wheel simulator (`Wheel, the default) and
+   the pre-overhaul per-cycle engine (`Reference) must produce identical
+   stats, final memory images and trace event streams — over hundreds of
+   fuzzer-generated cases, at several jitter seeds, in both data modes,
+   warm and cold. Also pins the wheel engine's allocation behaviour: with
+   tracing disabled it must allocate far less than the reference. *)
+
+module Gen = Vliw_fuzz.Gen
+module Ir = Vliw_ir
+module M = Vliw_arch.Machine
+module G = Vliw_ddg.Graph
+module S = Vliw_sched.Schedule
+module Driver = Vliw_sched.Driver
+module Chains = Vliw_core.Chains
+module Ddgt = Vliw_core.Ddgt
+module Lower = Vliw_lower.Lower
+module Profile = Vliw_profile.Profile
+module Sim = Vliw_sim.Sim
+module Trace = Vliw_trace.Trace
+module Prng = Vliw_util.Prng
+module W = Vliw_workloads.Workloads
+
+(* one compiled (graph, schedule, lowered, layout, kernel) per case; the
+   technique rotates with the index so the sweep exercises plain, MDC and
+   DDGT (replicated/fake-node) graphs *)
+let compile (c : Gen.case) =
+  let k = c.Gen.g_kernel in
+  let machine = Gen.machine c.Gen.g_mconf in
+  let layout = Ir.Layout.make k in
+  let low = Lower.lower k in
+  let prof = Profile.run ~machine ~layout k in
+  let pref = Profile.node_pref prof low.Lower.graph in
+  let heuristic =
+    if c.Gen.g_index mod 2 = 0 then S.Pref_clus else S.Min_coms
+  in
+  let graph, constraints =
+    match c.Gen.g_index mod 3 with
+    | 0 -> (low.Lower.graph, Chains.no_constraints ())
+    | 1 ->
+      ( low.Lower.graph,
+        (match heuristic with
+        | S.Pref_clus -> Chains.prefclus low.Lower.graph ~pref
+        | S.Min_coms -> Chains.mincoms low.Lower.graph) )
+    | _ ->
+      let r = Ddgt.transform ~clusters:machine.M.clusters low.Lower.graph in
+      (r.Ddgt.graph, Chains.no_constraints ())
+  in
+  let pref_g =
+    if c.Gen.g_index mod 3 = 2 then Profile.node_pref prof graph else pref
+  in
+  match
+    Driver.run (Driver.request ~heuristic ~constraints ~pref:pref_g machine) graph
+  with
+  | Ok schedule -> Some (k, layout, low, graph, schedule)
+  | Error _ -> None
+
+let check_stats_equal tag (a : Sim.stats) (b : Sim.stats) =
+  let ck name f =
+    Alcotest.(check int) (Printf.sprintf "%s: %s" tag name) (f a) (f b)
+  in
+  ck "total_cycles" (fun s -> s.Sim.total_cycles);
+  ck "compute_cycles" (fun s -> s.Sim.compute_cycles);
+  ck "stall_cycles" (fun s -> s.Sim.stall_cycles);
+  ck "stall_load_cycles" (fun s -> s.Sim.stall_load_cycles);
+  ck "stall_copy_cycles" (fun s -> s.Sim.stall_copy_cycles);
+  ck "stall_bus_cycles" (fun s -> s.Sim.stall_bus_cycles);
+  ck "stall_drain_cycles" (fun s -> s.Sim.stall_drain_cycles);
+  ck "local_hits" (fun s -> s.Sim.local_hits);
+  ck "remote_hits" (fun s -> s.Sim.remote_hits);
+  ck "local_misses" (fun s -> s.Sim.local_misses);
+  ck "remote_misses" (fun s -> s.Sim.remote_misses);
+  ck "combined" (fun s -> s.Sim.combined);
+  ck "ab_hits" (fun s -> s.Sim.ab_hits);
+  ck "ab_flushed" (fun s -> s.Sim.ab_flushed);
+  ck "violations" (fun s -> s.Sim.violations);
+  ck "nullified" (fun s -> s.Sim.nullified);
+  ck "comm_ops" (fun s -> s.Sim.comm_ops);
+  Alcotest.(check bool)
+    (tag ^ ": memory images equal")
+    true
+    (Bytes.equal a.Sim.memory b.Sim.memory)
+
+let check_traces_equal tag wa wb =
+  let ea = Trace.events wa and eb = Trace.events wb in
+  Alcotest.(check int) (tag ^ ": trace length") (Array.length ea)
+    (Array.length eb);
+  Array.iteri
+    (fun i (a : Trace.event) ->
+      if a <> eb.(i) then
+        Alcotest.failf "%s: trace events diverge at %d" tag i)
+    ea
+
+(* run both engines under identical conditions and compare everything *)
+let diff_engines tag ?mode ?jseed ?warm (k, layout, low, graph, schedule) =
+  let jitter_of () =
+    match jseed with
+    | None -> None
+    | Some s -> Some (Prng.derive_named (Prng.create s) "engines", 3)
+  in
+  let mode =
+    match mode with
+    | Some m -> Some m
+    | None -> None
+  in
+  let run engine =
+    let sink = Trace.create () in
+    let stats =
+      Sim.run ~lowered:low ~graph ~schedule ~layout ?mode
+        ?jitter:(jitter_of ()) ?warm ~trace:sink ~engine ()
+    in
+    (stats, sink)
+  in
+  ignore k;
+  let sw, tw = run `Wheel in
+  let sr, tr = run `Reference in
+  check_stats_equal tag sw sr;
+  check_traces_equal tag tw tr
+
+let ncases =
+  try int_of_string (Sys.getenv "VLIW_ENGINE_CASES") with Not_found -> 300
+
+let test_fuzz_sweep () =
+  let compiled = ref 0 in
+  for i = 0 to ncases - 1 do
+    let c = Gen.generate ~seed:1 ~budget:24 i in
+    match compile c with
+    | None -> ()
+    | Some art ->
+      incr compiled;
+      let tag j = Printf.sprintf "case %d jitter %s" i j in
+      (* nominal and two jitter seeds *)
+      diff_engines (tag "none") art;
+      diff_engines (tag "7") ~jseed:7 art;
+      diff_engines (tag "23") ~jseed:23 art
+  done;
+  if !compiled < ncases / 2 then
+    Alcotest.failf "only %d/%d cases compiled — sweep too weak" !compiled ncases
+
+(* figure workloads under the harness's own modes: oracle, warm, jittered *)
+let test_workloads_oracle_warm () =
+  List.iter
+    (fun (b : W.benchmark) ->
+      List.iter
+        (fun (l : W.loop) ->
+          let k = W.parse_loop l ~seed:b.W.b_exec_seed in
+          let machine = M.table2 in
+          let layout = Ir.Layout.make k in
+          let low = Lower.lower k in
+          let prof = Profile.run ~machine ~layout k in
+          let pref = Profile.node_pref prof low.Lower.graph in
+          let constraints = Chains.prefclus low.Lower.graph ~pref in
+          match
+            Driver.run
+              (Driver.request ~heuristic:S.Pref_clus ~constraints ~pref machine)
+              low.Lower.graph
+          with
+          | Error e ->
+            Alcotest.failf "%s/%s does not schedule: %s" b.W.b_name l.W.l_name e
+          | Ok schedule ->
+            let oracle = Ir.Interp.run ~layout k in
+            diff_engines
+              (Printf.sprintf "%s/%s oracle+warm" b.W.b_name l.W.l_name)
+              ~mode:(Sim.Oracle oracle) ~warm:true ~jseed:11
+              (k, layout, low, low.Lower.graph, schedule))
+        b.W.b_loops)
+    [ List.hd W.figures ]
+
+(* the wheel engine's traced-off hot path must stay allocation-light:
+   compare minor-heap words against the reference engine on an identical
+   sim — the closure calendar and tuple-keyed maps cost the reference an
+   order of magnitude more *)
+let test_allocation_budget () =
+  let b = List.hd W.figures in
+  let l = List.hd b.W.b_loops in
+  let k = W.parse_loop l ~seed:b.W.b_exec_seed in
+  let machine = M.table2 in
+  let layout = Ir.Layout.make k in
+  let low = Lower.lower k in
+  let prof = Profile.run ~machine ~layout k in
+  let pref = Profile.node_pref prof low.Lower.graph in
+  let constraints = Chains.prefclus low.Lower.graph ~pref in
+  match
+    Driver.run
+      (Driver.request ~heuristic:S.Pref_clus ~constraints ~pref machine)
+      low.Lower.graph
+  with
+  | Error e -> Alcotest.failf "%s does not schedule: %s" l.W.l_name e
+  | Ok schedule ->
+    let words engine =
+      let run () =
+        ignore
+          (Sim.run ~lowered:low ~graph:low.Lower.graph ~schedule ~layout
+             ~engine ())
+      in
+      run () (* warm up so one-time lazies don't skew the measurement *);
+      let before = Gc.minor_words () in
+      run ();
+      Gc.minor_words () -. before
+    in
+    let wheel = words `Wheel and reference = words `Reference in
+    if wheel > reference /. 4.0 then
+      Alcotest.failf
+        "wheel engine allocates too much: %.0f minor words vs reference %.0f"
+        wheel reference
+
+let () =
+  Alcotest.run "engines"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "fuzz sweep, 300 cases x 3 jitters" `Slow
+            test_fuzz_sweep;
+          Alcotest.test_case "workloads oracle+warm+jitter" `Quick
+            test_workloads_oracle_warm;
+        ] );
+      ( "allocation",
+        [ Alcotest.test_case "traced-off wheel budget" `Quick test_allocation_budget ] );
+    ]

@@ -243,6 +243,92 @@ let test_profile_nonneg_padding_score () =
   Alcotest.(check bool) "pad aligned to interleave" true (pad mod 4 = 0);
   Alcotest.(check bool) "score in (0,1]" true (score > 0. && score <= 1.)
 
+(* --- counter-drift self-check --- *)
+
+module Selfcheck = Vliw_harness.Selfcheck
+module Json = Vliw_util.Json
+
+let contains s frag =
+  let n = String.length s and m = String.length frag in
+  let rec go i = i + m <= n && (String.sub s i m = frag || go (i + 1)) in
+  go 0
+
+(* a real run, encoded, wrapped as a baseline document like the ones
+   bench/main.exe --json writes *)
+let selfcheck_fixture () =
+  let br = E.run ~machine:M.table2 (R.Free, S.Pref_clus) g721 in
+  let current =
+    List.filter_map
+      (fun (fp, (r : R.bench_run)) ->
+        if r == br then Some (Selfcheck.run_json (fp, r)) else None)
+      (E.cached_runs ())
+  in
+  Alcotest.(check int) "fixture run found" 1 (List.length current);
+  (current, Json.Obj [ ("runs", Json.List current) ])
+
+let test_selfcheck_clean () =
+  let current, baseline = selfcheck_fixture () in
+  Alcotest.(check int)
+    "no drift against itself" 0
+    (List.length (Selfcheck.check ~baseline ~current));
+  (* round-tripping the baseline through its serialized form (Float ->
+     textual -> Int for whole numbers) must still compare clean — this is
+     exactly what happens against the committed file *)
+  let reparsed = Json.of_string (Json.to_string baseline) in
+  Alcotest.(check int)
+    "no drift after serialization round-trip" 0
+    (List.length (Selfcheck.check ~baseline:reparsed ~current))
+
+let test_selfcheck_detects_drift () =
+  let current, baseline = selfcheck_fixture () in
+  let corrupt = function
+    | Json.Obj kvs ->
+      Json.Obj
+        (List.map
+           (function
+             | "cycles", _ -> ("cycles", Json.Float 1.0)
+             | kv -> kv)
+           kvs)
+    | v -> v
+  in
+  let bad =
+    match baseline with
+    | Json.Obj [ ("runs", Json.List rs) ] ->
+      Json.Obj [ ("runs", Json.List (List.map corrupt rs)) ]
+    | v -> v
+  in
+  let drifts = Selfcheck.check ~baseline:bad ~current in
+  Alcotest.(check int) "exactly the corrupted field drifts" 1
+    (List.length drifts);
+  let d = List.hd drifts in
+  Alcotest.(check string) "field name" "cycles" d.Selfcheck.d_field;
+  Alcotest.(check bool) "render mentions the run" true
+    (contains (Selfcheck.render drifts) "g721dec")
+
+let test_selfcheck_missing_run () =
+  let current, _ = selfcheck_fixture () in
+  let drifts =
+    Selfcheck.check ~baseline:(Json.Obj [ ("runs", Json.List []) ]) ~current
+  in
+  Alcotest.(check int) "missing run is one drift" 1 (List.length drifts);
+  Alcotest.(check string) "flagged as missing" "(run)"
+    (List.hd drifts).Selfcheck.d_field
+
+let test_selfcheck_ignores_timing () =
+  let current, baseline = selfcheck_fixture () in
+  (* a timing field in the baseline with a wild value must not drift *)
+  let with_timing =
+    match (baseline, current) with
+    | Json.Obj [ ("runs", Json.List rs) ], [ Json.Obj kvs ] ->
+      ( Json.Obj [ ("runs", Json.List rs) ],
+        [ Json.Obj (("wall_s", Json.Float 1e9) :: kvs) ] )
+    | b, c -> (b, c)
+  in
+  let baseline, current = with_timing in
+  Alcotest.(check int)
+    "timing fields excluded" 0
+    (List.length (Selfcheck.check ~baseline ~current))
+
 let () =
   Alcotest.run "harness"
     [
@@ -271,6 +357,13 @@ let () =
           Alcotest.test_case "fig7 sanity" `Slow test_fig7_normalization_sane;
           Alcotest.test_case "fig6 headline" `Slow test_fig6_headline_shape;
           Alcotest.test_case "renderers" `Quick test_renderers_produce_output;
+        ] );
+      ( "selfcheck",
+        [
+          Alcotest.test_case "clean against itself" `Quick test_selfcheck_clean;
+          Alcotest.test_case "detects drift" `Quick test_selfcheck_detects_drift;
+          Alcotest.test_case "missing run" `Quick test_selfcheck_missing_run;
+          Alcotest.test_case "ignores timing" `Quick test_selfcheck_ignores_timing;
         ] );
       ( "pool+memo",
         [

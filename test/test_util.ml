@@ -301,6 +301,85 @@ let test_json_float_roundtrip () =
   | s ->
     check_float "float round-trips through its rendering" f (float_of_string s)
 
+let test_json_parse_values () =
+  let cases =
+    [
+      ("null", Json.Null);
+      ("true", Json.Bool true);
+      ("false", Json.Bool false);
+      ("42", Json.Int 42);
+      ("-7", Json.Int (-7));
+      ("0.5", Json.Float 0.5);
+      ("1e3", Json.Float 1000.0);
+      ("\"a\\\"b\\nc\"", Json.String "a\"b\nc");
+      ("\"\\u0041\"", Json.String "A");
+      ("[]", Json.List []);
+      ("{}", Json.Obj []);
+      ( " { \"k\" : [ 1 , 2.5 , null ] } ",
+        Json.Obj [ ("k", Json.List [ Json.Int 1; Json.Float 2.5; Json.Null ]) ]
+      );
+    ]
+  in
+  List.iter
+    (fun (src, expected) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "parse %S" src)
+        true
+        (Json.of_string src = expected))
+    cases
+
+let test_json_parse_rejects () =
+  List.iter
+    (fun src ->
+      Alcotest.(check bool)
+        (Printf.sprintf "reject %S" src)
+        true
+        (match Json.of_string src with
+        | exception Json.Parse_error _ -> true
+        | _ -> false))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+(* whatever the emitter writes, the parser reads back; integral floats come
+   back as Int, which is the numeric-equality contract the self-check
+   relies on *)
+let test_json_emit_parse_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\n\tc\\d");
+        ("i", Json.Int (-3));
+        ("f", Json.Float 0.25);
+        ("whole", Json.Float 123456.0);
+        ("l", Json.List [ Json.Bool true; Json.Null; Json.Obj [] ]);
+        ("nested", Json.Obj [ ("x", Json.List [ Json.Int 1 ]) ]);
+      ]
+  in
+  let reparsed indent = Json.of_string (Json.to_string ~indent v) in
+  let expected =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\n\tc\\d");
+        ("i", Json.Int (-3));
+        ("f", Json.Float 0.25);
+        ("whole", Json.Int 123456);
+        ("l", Json.List [ Json.Bool true; Json.Null; Json.Obj [] ]);
+        ("nested", Json.Obj [ ("x", Json.List [ Json.Int 1 ]) ]);
+      ]
+  in
+  Alcotest.(check bool) "compact round-trip" true (reparsed 0 = expected);
+  Alcotest.(check bool) "indented round-trip" true (reparsed 2 = expected)
+
+let test_json_accessors () =
+  let v = Json.Obj [ ("a", Json.Int 1); ("b", Json.List [ Json.Int 2 ]) ] in
+  Alcotest.(check (option int))
+    "member+to_int" (Some 1)
+    (Option.bind (Json.member "a" v) Json.to_int_opt);
+  Alcotest.(check bool)
+    "member list" true
+    (Json.member "b" v |> Option.map Json.to_list_opt = Some (Some [ Json.Int 2 ]));
+  Alcotest.(check (option int)) "missing member" None
+    (Option.bind (Json.member "zzz" v) Json.to_int_opt)
+
 (* --- QCheck properties --- *)
 
 let prop_bar_never_exceeds_width =
@@ -391,6 +470,11 @@ let () =
         [
           Alcotest.test_case "rendering" `Quick test_json_rendering;
           Alcotest.test_case "float round-trip" `Quick test_json_float_roundtrip;
+          Alcotest.test_case "parse values" `Quick test_json_parse_values;
+          Alcotest.test_case "parse rejects" `Quick test_json_parse_rejects;
+          Alcotest.test_case "emit/parse round-trip" `Quick
+            test_json_emit_parse_roundtrip;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
