@@ -6,12 +6,15 @@
      vliwc kernel.lk -t mdc -H prefclus      # MDC chains, PrefClus
      vliwc kernel.lk -t ddgt --dot out.dot   # DDGT, dump transformed DDG
      vliwc kernel.lk --machine nobal-reg --ab --interleave 2
-     vliwc --workload gsmdec                 # run a built-in benchmark *)
+     vliwc - < kernel.lk                     # read the kernel from stdin
+     vliwc --workload gsmdec                 # run a built-in benchmark
+
+   The per-kernel pipeline itself lives in Vliw_serve.Engine, shared byte
+   for byte with the vliwd compile service. *)
 
 open Cmdliner
 
 module M = Vliw_arch.Machine
-module G = Vliw_ddg.Graph
 module S = Vliw_sched.Schedule
 module Driver = Vliw_sched.Driver
 module Chains = Vliw_core.Chains
@@ -20,185 +23,20 @@ module Lower = Vliw_lower.Lower
 module Ir = Vliw_ir
 module Sim = Vliw_sim.Sim
 module W = Vliw_workloads.Workloads
-module V = Vliw_verify.Verify
-module Diag = Vliw_util.Diag
+module E = Vliw_serve.Engine
 
-type technique = Free | Mdc | Ddgt | Hybrid
-
-let verify_technique = function
-  | Free -> V.Free
-  | Mdc -> V.Mdc
-  | Ddgt -> V.Ddgt
-  | Hybrid -> V.Hybrid
-
-let run_kernel ~machine ~technique ~heuristic ~ordering ~pad ~unroll ~cse
-    ~lint ~lint_error ~verify ~dump_ddg ~dot ~dump_sched ~execution
-    ~trace_file kernel =
-  (match Ir.Typecheck.check kernel with
+(* Flush the engine's buffered report to stdout and translate its result
+   into vliwc's historical exit behaviour: the stderr line (if any) then
+   exit 1. *)
+let emit buf result =
+  print_string (Buffer.contents buf);
+  match result with
   | Ok _ -> ()
-  | Error e ->
-    Printf.eprintf "type error: %s\n" e;
-    exit 1);
-  (if lint || lint_error then (
-     let ds = Vliw_lower.Lint.check kernel in
-     let ds = if lint_error then Diag.promote_warnings ds else ds in
-     List.iter (fun d -> Format.printf "%a@." Vliw_lower.Lint.pp d) ds;
-     if Diag.has_errors ds then exit 1));
-  let kernel =
-    if cse then (
-      let kernel', removed = Ir.Cse.eliminate kernel in
-      if removed > 0 then Printf.printf "cse: %d redundant loads removed\n" removed;
-      kernel')
-    else kernel
-  in
-  let kernel =
-    match unroll with
-    | None -> kernel
-    | Some 0 ->
-      (* auto: the Section 2.2 objective *)
-      let nxi = machine.M.clusters * machine.M.interleave_bytes in
-      let f = Lower.best_unroll_factor ~nxi_bytes:nxi ~max_factor:8 kernel in
-      if f > 1 then Printf.printf "unrolling by %d (NxI = %d bytes)\n" f nxi;
-      Ir.Unroll.unroll ~factor:f kernel
-    | Some f -> Ir.Unroll.unroll ~factor:f kernel
-  in
-  let layout = Ir.Layout.make ~pad kernel in
-  let low = Lower.lower kernel in
-  let prof = Vliw_profile.Profile.run ~machine ~layout kernel in
-  let pref = Vliw_profile.Profile.node_pref prof low.Lower.graph in
-  let graph, constraints =
-    match technique with
-    | Free | Hybrid -> (low.Lower.graph, Chains.no_constraints ())
-    | Mdc ->
-      ( low.Lower.graph,
-        (match heuristic with
-        | S.Pref_clus -> Chains.prefclus low.Lower.graph ~pref
-        | S.Min_coms -> Chains.mincoms low.Lower.graph) )
-    | Ddgt ->
-      (Ddgt.transform ~clusters:machine.M.clusters low.Lower.graph).Ddgt.graph
-      |> fun g -> (g, Chains.no_constraints ())
-  in
-  (* the hybrid replaces graph/constraints wholesale with its choice *)
-  let hybrid_result =
-    match technique with
-    | Hybrid -> (
-      match
-        Vliw_sched.Hybrid.choose ~machine ~heuristic
-          ~pref_for:(Vliw_profile.Profile.node_pref prof)
-          ~trip:kernel.Ir.Ast.k_trip low.Lower.graph
-      with
-      | Ok h ->
-        Printf.printf
-          "hybrid choice: %s (estimates: MDC %d cycles, DDGT %d cycles)\n"
-          (Vliw_sched.Hybrid.choice_name h.Vliw_sched.Hybrid.choice)
-          h.Vliw_sched.Hybrid.mdc_estimate h.Vliw_sched.Hybrid.ddgt_estimate;
-        Some h
-      | Error e ->
-        Printf.eprintf "hybrid selection failed: %s\n" e;
-        exit 1)
-    | _ -> None
-  in
-  let graph =
-    match hybrid_result with Some h -> h.Vliw_sched.Hybrid.graph | None -> graph
-  in
-  if dump_ddg then Format.printf "%a@." G.pp graph;
-  (match dot with
-  | Some path ->
-    Vliw_ddg.Dot.write_file path graph;
-    Printf.printf "wrote %s\n" path
-  | None -> ());
-  let pref_g = Vliw_profile.Profile.node_pref prof graph in
-  let scheduled =
-    match hybrid_result with
-    | Some h -> Ok h.Vliw_sched.Hybrid.schedule
-    | None ->
-      Driver.run
-        (Driver.request ~heuristic ~constraints ~pref:pref_g ~ordering machine)
-        graph
-  in
-  match scheduled with
-  | Error e ->
-    Printf.eprintf "scheduling failed: %s\n" e;
+  | Error (Some msg) ->
+    flush stdout;
+    Printf.eprintf "%s\n" msg;
     exit 1
-  | Ok schedule ->
-    if dump_sched then Format.printf "%a@." S.pp schedule;
-    let chains = Chains.chains low.Lower.graph in
-    let biggest = List.length (Chains.biggest low.Lower.graph) in
-    Printf.printf "kernel %s: %d ops, %d memory ops, %d chains (biggest %d)\n"
-      kernel.Ir.Ast.k_name
-      (G.node_count low.Lower.graph)
-      (List.length (G.mem_refs low.Lower.graph))
-      (List.length chains) biggest;
-    Printf.printf "schedule: II=%d length=%d stages=%d copies/iter=%d\n"
-      schedule.S.ii schedule.S.length (S.stage_count schedule)
-      (S.comm_ops schedule);
-    let ml = Vliw_sched.Regpressure.max_live graph schedule in
-    Printf.printf "register pressure (MaxLive per cluster): %s\n"
-      (String.concat " " (Array.to_list (Array.map string_of_int ml)));
-    (if verify then (
-       let r =
-         V.check ~machine
-           ~technique:(verify_technique technique)
-           ~base:low.Lower.graph ~layout ~graph ~schedule ()
-       in
-       List.iter (fun d -> Format.printf "%a@." Diag.pp d) r.V.r_diags;
-       Format.printf "%a@." V.pp_report r;
-       if not r.V.r_verified then exit 1));
-    let oracle = Ir.Interp.run ~layout kernel in
-    let mode = if execution then Sim.Execution else Sim.Oracle oracle in
-    let warm = not execution in
-    let sink =
-      match trace_file with
-      | Some _ -> Some (Vliw_trace.Trace.create ())
-      | None -> None
-    in
-    let st =
-      Sim.run ~lowered:low ~graph ~schedule ~layout ~mode ~warm ?trace:sink ()
-    in
-    let total = max 1 (Sim.accesses_total st) in
-    let pct n = 100. *. float_of_int n /. float_of_int total in
-    Printf.printf "simulated %d iterations (%s, %s caches):\n"
-      kernel.Ir.Ast.k_trip
-      (if execution then "execution-driven" else "trace-driven")
-      (if warm then "warm" else "cold");
-    Printf.printf "  cycles %d = compute %d + stall %d\n" st.Sim.total_cycles
-      st.Sim.compute_cycles st.Sim.stall_cycles;
-    Printf.printf
-      "  accesses: %.1f%% local hit, %.1f%% remote hit, %.1f%% local miss, \
-       %.1f%% remote miss, %.1f%% combined\n"
-      (pct st.Sim.local_hits) (pct st.Sim.remote_hits) (pct st.Sim.local_misses)
-      (pct st.Sim.remote_misses) (pct st.Sim.combined);
-    if st.Sim.ab_hits > 0 || machine.M.attraction <> None then
-      Printf.printf "  attraction buffers: %d hits, %d entries flushed\n"
-        st.Sim.ab_hits st.Sim.ab_flushed;
-    if st.Sim.nullified > 0 then
-      Printf.printf "  nullified store instances: %d\n" st.Sim.nullified;
-    Printf.printf "  coherence violations: %d\n" st.Sim.violations;
-    if execution then
-      if Bytes.equal st.Sim.memory oracle.Ir.Interp.memory then
-        print_endline "  final memory matches the reference interpreter"
-      else print_endline "  final memory CORRUPTED (differs from the reference)";
-    match (trace_file, sink) with
-    | Some path, Some s ->
-      (* replay audit before exporting: the event stream must re-derive the
-         simulator's own coherence accounting *)
-      (match
-         Vliw_trace.Audit.check s ~violations:st.Sim.violations
-           ~nullified:st.Sim.nullified
-       with
-      | Ok r ->
-        Printf.printf
-          "  audit: %d applies replayed, %d violations, %d nullified (match)\n"
-          r.Vliw_trace.Audit.applies r.Vliw_trace.Audit.violations
-          r.Vliw_trace.Audit.nullified
-      | Error msg ->
-        Printf.eprintf "audit FAILED: %s\n" msg;
-        exit 1);
-      Vliw_trace.Chrome.write_file path s;
-      Printf.printf "wrote %s (%d events)\n" path (Vliw_trace.Trace.length s);
-      print_string (Vliw_harness.Render.trace_summary (Vliw_trace.Summary.of_sink s))
-    | _ -> ()
-
+  | Error None -> exit 1
 
 (* --compare: all four techniques side by side for one kernel *)
 let compare_kernel ~machine ~heuristic ~pad ~unroll kernel =
@@ -238,7 +76,7 @@ let compare_kernel ~machine ~heuristic ~pad ~unroll kernel =
       let pref = Vliw_profile.Profile.node_pref prof low.Lower.graph in
       let compiled =
         match technique with
-        | Hybrid -> (
+        | E.Hybrid -> (
           match
             Vliw_sched.Hybrid.choose ~machine ~heuristic
               ~pref_for:(Vliw_profile.Profile.node_pref prof)
@@ -249,13 +87,13 @@ let compare_kernel ~machine ~heuristic ~pad ~unroll kernel =
         | _ -> (
           let graph, constraints =
             match technique with
-            | Free | Hybrid -> (low.Lower.graph, Chains.no_constraints ())
-            | Mdc ->
+            | E.Free | E.Hybrid -> (low.Lower.graph, Chains.no_constraints ())
+            | E.Mdc ->
               ( low.Lower.graph,
                 (match heuristic with
                 | S.Pref_clus -> Chains.prefclus low.Lower.graph ~pref
                 | S.Min_coms -> Chains.mincoms low.Lower.graph) )
-            | Ddgt ->
+            | E.Ddgt ->
               ( (Ddgt.transform ~clusters:machine.M.clusters low.Lower.graph)
                   .Ddgt.graph,
                 Chains.no_constraints () )
@@ -288,10 +126,23 @@ let compare_kernel ~machine ~heuristic ~pad ~unroll kernel =
           string_of_int (S.comm_ops schedule);
           string_of_int (Array.fold_left max 0 ml);
         ])
-      [ ("free", Free); ("MDC", Mdc); ("DDGT", Ddgt); ("hybrid", Hybrid) ]
+      [ ("free", E.Free); ("MDC", E.Mdc); ("DDGT", E.Ddgt); ("hybrid", E.Hybrid) ]
   in
   List.iter (T.add_row t) rows;
   T.print t
+
+let read_source path =
+  if path = "-" then In_channel.input_all stdin
+  else begin
+    if not (Sys.file_exists path) then begin
+      Printf.eprintf "vliwc: no such file %s\n" path;
+      exit 2
+    end;
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  end
 
 let main file workload technique heuristic ordering machine_name interleave
     ab pad unroll cse lint lint_error verify dump_ddg dot dump_sched execution
@@ -302,49 +153,62 @@ let main file workload technique heuristic ordering machine_name interleave
     Printf.eprintf "--jobs expects a positive integer, got %d\n" n;
     exit 2
   | None -> ());
-  let base =
-    match machine_name with
-    | "bal" -> M.table2
-    | "nobal-mem" -> M.nobal_mem
-    | "nobal-reg" -> M.nobal_reg
-    | other ->
-      Printf.eprintf "unknown machine %S (bal, nobal-mem, nobal-reg)\n" other;
+  (* fail fast on a bad machine name, before the file/workload check *)
+  (match E.machine_of_spec ~name:machine_name ~interleave:4 ~ab:false with
+  | Ok _ -> ()
+  | Error e ->
+    Printf.eprintf "%s\n" e;
+    exit 2);
+  let machine_for interleave =
+    match E.machine_of_spec ~name:machine_name ~interleave ~ab with
+    | Ok m -> m
+    | Error e ->
+      Printf.eprintf "%s\n" e;
       exit 2
   in
-  let base = if ab then M.with_attraction base (Some M.default_attraction) else base in
+  let opts =
+    {
+      E.op_technique = technique;
+      op_heuristic = heuristic;
+      op_ordering = ordering;
+      op_pad = pad;
+      op_unroll = unroll;
+      op_cse = cse;
+      op_lint = lint;
+      op_lint_error = lint_error;
+      op_verify = verify;
+      op_dump_ddg = dump_ddg;
+      op_dot = dot;
+      op_dump_sched = dump_sched;
+      op_execution = execution;
+      op_trace_file = trace_file;
+    }
+  in
   match (file, workload) with
   | None, None | Some _, Some _ ->
     Printf.eprintf "pass exactly one of a .lk FILE or --workload NAME\n";
     exit 2
   | Some path, None ->
-    let src =
-      let ic = open_in path in
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
-    let machine = M.with_interleave base interleave in
-    (match M.validate machine with
-    | Ok () -> ()
-    | Error e ->
-      Printf.eprintf "invalid machine configuration: %s\n" e;
-      exit 2);
-    (try
-       List.iter
-         (fun kernel ->
-           if compare then compare_kernel ~machine ~heuristic ~pad ~unroll kernel
-           else
-             run_kernel ~machine ~technique ~heuristic ~ordering ~pad ~unroll
-               ~cse ~lint ~lint_error ~verify ~dump_ddg ~dot ~dump_sched
-               ~execution ~trace_file kernel)
-         (Ir.Parser.parse_kernels src)
-     with
-    | Ir.Parser.Error (msg, pos) ->
-      Printf.eprintf "%s:%d:%d: %s\n" path pos.Ir.Lexer.line pos.Ir.Lexer.col msg;
-      exit 1
-    | Ir.Lexer.Error (msg, pos) ->
-      Printf.eprintf "%s:%d:%d: %s\n" path pos.Ir.Lexer.line pos.Ir.Lexer.col msg;
-      exit 1)
+    let src = read_source path in
+    let machine = machine_for interleave in
+    if compare then (
+      try
+        List.iter
+          (fun kernel -> compare_kernel ~machine ~heuristic ~pad ~unroll kernel)
+          (Ir.Parser.parse_kernels src)
+      with
+      | Ir.Parser.Error (msg, pos) ->
+        Printf.eprintf "%s:%d:%d: %s\n" path pos.Ir.Lexer.line pos.Ir.Lexer.col
+          msg;
+        exit 1
+      | Ir.Lexer.Error (msg, pos) ->
+        Printf.eprintf "%s:%d:%d: %s\n" path pos.Ir.Lexer.line pos.Ir.Lexer.col
+          msg;
+        exit 1)
+    else begin
+      let buf = Buffer.create 4096 in
+      emit buf (E.run_source ~buf ~machine ~opts ~path src)
+    end
   | None, Some name ->
     let bench =
       try W.find name
@@ -353,22 +217,25 @@ let main file workload technique heuristic ordering machine_name interleave
           (String.concat " " (List.map (fun b -> b.W.b_name) W.all));
         exit 2
     in
-    let machine = M.with_interleave base bench.W.b_interleave in
+    let machine = machine_for bench.W.b_interleave in
     List.iter
       (fun (l : W.loop) ->
         Printf.printf "=== %s/%s ===\n" bench.W.b_name l.W.l_name;
         let kernel = W.parse_loop l ~seed:bench.W.b_exec_seed in
         if compare then compare_kernel ~machine ~heuristic ~pad ~unroll kernel
-        else
-          run_kernel ~machine ~technique ~heuristic ~ordering ~pad ~unroll
-            ~cse ~lint ~lint_error ~verify ~dump_ddg ~dot ~dump_sched
-            ~execution ~trace_file kernel)
+        else begin
+          let buf = Buffer.create 4096 in
+          emit buf (E.run_kernel ~buf ~machine ~opts kernel)
+        end)
       bench.W.b_loops
 
 (* --- cmdliner wiring --- *)
 
 let file =
-  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:".lk kernel file")
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:".lk kernel file ($(b,-) reads stdin)")
 
 let workload =
   Arg.(
@@ -378,10 +245,11 @@ let workload =
 
 let technique =
   let tconv =
-    Arg.enum [ ("free", Free); ("mdc", Mdc); ("ddgt", Ddgt); ("hybrid", Hybrid) ]
+    Arg.enum
+      [ ("free", E.Free); ("mdc", E.Mdc); ("ddgt", E.Ddgt); ("hybrid", E.Hybrid) ]
   in
   Arg.(
-    value & opt tconv Free
+    value & opt tconv E.Free
     & info [ "t"; "technique" ] ~docv:"TECH"
         ~doc:
           "Coherence technique: $(b,free) (unrestricted baseline), $(b,mdc), \

@@ -16,39 +16,76 @@ type stages = {
 let fingerprint (m : M.t) =
   Digest.to_hex (Digest.string (Marshal.to_string m []))
 
-let lock = Mutex.create ()
-let hits = Atomic.make 0
-let misses = Atomic.make 0
+(* The cache is split into independently-locked shards selected by key
+   hash: a service workload hammers it from every worker domain for the
+   whole process lifetime, and a single mutex was the measured point of
+   serialization in the PR-1 sweep. 16 shards is comfortably above any
+   realistic domain count on this machine class. *)
+let shard_count = 16
 
-let parse_cache : (string * string * int, Ir.Ast.kernel) Hashtbl.t =
-  Hashtbl.create 128
+type shard = {
+  lock : Mutex.t;
+  parse_tbl : (string * string * int, Ir.Ast.kernel) Hashtbl.t;
+  stage_tbl : (string * string * int * int * string, stages) Hashtbl.t;
+  (* all counters are mutated under [lock] *)
+  mutable parse_hits : int;
+  mutable parse_misses : int;
+  mutable stage_hits : int;
+  mutable stage_misses : int;
+  mutable contended : int;
+}
 
-let stage_cache : (string * string * int * int * string, stages) Hashtbl.t =
-  Hashtbl.create 128
+let shards =
+  Array.init shard_count (fun _ ->
+      {
+        lock = Mutex.create ();
+        parse_tbl = Hashtbl.create 16;
+        stage_tbl = Hashtbl.create 16;
+        parse_hits = 0;
+        parse_misses = 0;
+        stage_hits = 0;
+        stage_misses = 0;
+        contended = 0;
+      })
 
-let find_locked tbl key =
-  Mutex.protect lock (fun () -> Hashtbl.find_opt tbl key)
+let shard_of_hash h = shards.(h land (shard_count - 1))
 
-let store_locked tbl key v =
-  Mutex.protect lock (fun () -> Hashtbl.replace tbl key v)
+let with_shard sh f =
+  let waited = not (Mutex.try_lock sh.lock) in
+  if waited then Mutex.lock sh.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sh.lock)
+    (fun () ->
+      if waited then sh.contended <- sh.contended + 1;
+      f ())
 
-(* Cold keys are computed outside the lock: two pool workers racing on the
+(* Cold keys are computed outside the lock: two workers racing on the
    same key may duplicate (pure) work, but never block each other on a
    multi-second pipeline. Both count a miss; last insert wins. *)
-let memoize tbl key compute =
-  match find_locked tbl key with
-  | Some v ->
-    Atomic.incr hits;
-    v
+let memoize ~count_hit ~count_miss tbl key compute =
+  let sh = shard_of_hash (Hashtbl.hash key) in
+  match with_shard sh (fun () ->
+      match Hashtbl.find_opt (tbl sh) key with
+      | Some v ->
+        count_hit sh;
+        Some v
+      | None ->
+        count_miss sh;
+        None)
+  with
+  | Some v -> v
   | None ->
-    Atomic.incr misses;
     let v = compute () in
-    store_locked tbl key v;
+    with_shard sh (fun () -> Hashtbl.replace (tbl sh) key v);
     v
 
 let parse ~(bench : W.benchmark) ~seed (loop : W.loop) =
-  memoize parse_cache (bench.W.b_name, loop.W.l_name, seed) (fun () ->
-      W.parse_loop loop ~seed)
+  memoize
+    ~count_hit:(fun sh -> sh.parse_hits <- sh.parse_hits + 1)
+    ~count_miss:(fun sh -> sh.parse_misses <- sh.parse_misses + 1)
+    (fun sh -> sh.parse_tbl)
+    (bench.W.b_name, loop.W.l_name, seed)
+    (fun () -> W.parse_loop loop ~seed)
 
 let build ~machine ~kernel_prof ~kernel_exec =
   let layout = Ir.Layout.make kernel_exec in
@@ -70,22 +107,74 @@ let stages ~machine ~(bench : W.benchmark) (loop : W.loop) =
       bench.W.b_exec_seed,
       fingerprint machine )
   in
-  memoize stage_cache key (fun () ->
+  memoize
+    ~count_hit:(fun sh -> sh.stage_hits <- sh.stage_hits + 1)
+    ~count_miss:(fun sh -> sh.stage_misses <- sh.stage_misses + 1)
+    (fun sh -> sh.stage_tbl)
+    key
+    (fun () ->
       build ~machine
         ~kernel_prof:(parse ~bench ~seed:bench.W.b_profile_seed loop)
         ~kernel_exec:(parse ~bench ~seed:bench.W.b_exec_seed loop))
 
 type counters = { hits : int; misses : int }
 
-let counters () = { hits = Atomic.get hits; misses = Atomic.get misses }
+type stage_counters = {
+  parse_hits : int;
+  parse_misses : int;
+  stage_hits : int;
+  stage_misses : int;
+}
+
+type shard_stat = {
+  sh_hits : int;  (** parse + stage hits of this shard *)
+  sh_misses : int;
+  sh_contended : int;
+  sh_entries : int;  (** resident entries over both tables *)
+}
+
+let stage_counters () =
+  Array.fold_left
+    (fun acc sh ->
+      with_shard sh (fun () ->
+          {
+            parse_hits = acc.parse_hits + sh.parse_hits;
+            parse_misses = acc.parse_misses + sh.parse_misses;
+            stage_hits = acc.stage_hits + sh.stage_hits;
+            stage_misses = acc.stage_misses + sh.stage_misses;
+          }))
+    { parse_hits = 0; parse_misses = 0; stage_hits = 0; stage_misses = 0 }
+    shards
+
+let shard_stats () =
+  Array.map
+    (fun sh ->
+      with_shard sh (fun () ->
+          {
+            sh_hits = sh.parse_hits + sh.stage_hits;
+            sh_misses = sh.parse_misses + sh.stage_misses;
+            sh_contended = sh.contended;
+            sh_entries = Hashtbl.length sh.parse_tbl + Hashtbl.length sh.stage_tbl;
+          }))
+    shards
+
+let counters () =
+  let c = stage_counters () in
+  { hits = c.parse_hits + c.stage_hits; misses = c.parse_misses + c.stage_misses }
 
 let hit_rate () =
   let { hits = h; misses = m } = counters () in
   if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
 
 let clear () =
-  Mutex.protect lock (fun () ->
-      Hashtbl.reset parse_cache;
-      Hashtbl.reset stage_cache);
-  Atomic.set hits 0;
-  Atomic.set misses 0
+  Array.iter
+    (fun sh ->
+      with_shard sh (fun () ->
+          Hashtbl.reset sh.parse_tbl;
+          Hashtbl.reset sh.stage_tbl;
+          sh.parse_hits <- 0;
+          sh.parse_misses <- 0;
+          sh.stage_hits <- 0;
+          sh.stage_misses <- 0;
+          sh.contended <- 0))
+    shards

@@ -16,8 +16,13 @@
     cannot change results — pooled or sequential.
 
     The cache is synchronized and safe to use from {!Vliw_util.Pool}
-    workers. Hit/miss counters are exposed for observability
-    ([bench/main.exe --json] reports the hit rate). *)
+    workers — both batch [map] workers and the compile service's
+    persistent {!Vliw_util.Pool.Service} domains, which share it across
+    requests for the whole process lifetime. Storage is split into
+    {!shard_count} independently-locked shards selected by key hash, so
+    concurrent requests only contend when they hash to the same shard;
+    per-shard and per-stage hit/miss counters are exposed for
+    observability ([bench/main.exe --json] reports them). *)
 
 type stages = {
   kernel_prof : Vliw_ir.Ast.kernel;  (** parsed with the profile seed *)
@@ -61,12 +66,38 @@ val build :
     ablations pass source-rewritten kernels whose identity is not
     captured by the cache key). *)
 
+val shard_count : int
+(** Number of independently-locked shards (a power of two). *)
+
 type counters = { hits : int; misses : int }
+
+type stage_counters = {
+  parse_hits : int;
+  parse_misses : int;
+  stage_hits : int;
+  stage_misses : int;
+}
+
+type shard_stat = {
+  sh_hits : int;  (** parse + stage hits of this shard *)
+  sh_misses : int;
+  sh_contended : int;
+      (** lock acquisitions that found the shard lock already held *)
+  sh_entries : int;  (** resident entries over both tables *)
+}
 
 val counters : unit -> counters
 (** Process-wide totals over both the parse and stage caches. Under a
     pool, two workers racing on the same cold key may both count a miss;
     the counters are observability, not an invariant. *)
+
+val stage_counters : unit -> stage_counters
+(** The same totals split by pipeline stage: kernel parsing
+    ([parse_*]) vs the full stage bundle ([stage_*]).
+    [counters () = sums of the two]. *)
+
+val shard_stats : unit -> shard_stat array
+(** Per-shard totals, indexed by shard. *)
 
 val hit_rate : unit -> float
 (** [hits / (hits + misses)]; 0 before any lookup. *)

@@ -1,0 +1,131 @@
+(* Sharded response cache with in-flight request coalescing.
+
+   Values are keyed by the request fingerprint (Protocol.key). A lookup
+   either finds a completed value, joins an in-flight computation (its
+   waiter fires when the computing caller fills the entry), or claims the
+   key for computation. Claims can be aborted (backpressure rejected the
+   task), which hands any joined waiters back to the caller so they can
+   be told to retry. Each shard has its own lock; the shard index doubles
+   as the service's placement hint, so repeated kernels contend on the
+   same shard only with themselves — and land on the worker whose caches
+   are warm. *)
+
+type 'v entry =
+  | In_flight of ('v option -> unit) list
+      (* joined waiters, most recent first; [fill] delivers [Some v] in
+         arrival order, [abort] delivers [None] *)
+  | Ready of 'v
+
+type 'v shard = {
+  lock : Mutex.t;
+  tbl : (string, 'v entry) Hashtbl.t;
+  mutable hits : int;
+  mutable coalesced : int;
+  mutable misses : int;
+  mutable contended : int;
+}
+
+type 'v t = { shards : 'v shard array; mask : int }
+
+let create ?(shards = 16) () =
+  let n =
+    let rec pow2 p = if p >= shards then p else pow2 (p * 2) in
+    pow2 1
+  in
+  {
+    shards =
+      Array.init n (fun _ ->
+          {
+            lock = Mutex.create ();
+            tbl = Hashtbl.create 64;
+            hits = 0;
+            coalesced = 0;
+            misses = 0;
+            contended = 0;
+          });
+    mask = n - 1;
+  }
+
+let shard_count t = Array.length t.shards
+let shard_of_key t key = Hashtbl.hash key land t.mask
+
+let with_shard sh f =
+  let waited = not (Mutex.try_lock sh.lock) in
+  if waited then Mutex.lock sh.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sh.lock)
+    (fun () ->
+      if waited then sh.contended <- sh.contended + 1;
+      f ())
+
+let lookup t ~key ~waiter =
+  let sh = t.shards.(shard_of_key t key) in
+  with_shard sh (fun () ->
+      match Hashtbl.find_opt sh.tbl key with
+      | Some (Ready v) ->
+        sh.hits <- sh.hits + 1;
+        `Ready v
+      | Some (In_flight ws) ->
+        sh.coalesced <- sh.coalesced + 1;
+        Hashtbl.replace sh.tbl key (In_flight (waiter :: ws));
+        `Joined
+      | None ->
+        sh.misses <- sh.misses + 1;
+        Hashtbl.replace sh.tbl key (In_flight []);
+        `Must_compute)
+
+let take_in_flight sh key =
+  match Hashtbl.find_opt sh.tbl key with
+  | Some (In_flight ws) -> List.rev ws
+  | _ -> []
+
+let fill t ~key v =
+  let sh = t.shards.(shard_of_key t key) in
+  with_shard sh (fun () ->
+      let ws = take_in_flight sh key in
+      Hashtbl.replace sh.tbl key (Ready v);
+      ws)
+
+let abort t ~key =
+  let sh = t.shards.(shard_of_key t key) in
+  with_shard sh (fun () ->
+      let ws = take_in_flight sh key in
+      (match Hashtbl.find_opt sh.tbl key with
+      | Some (In_flight _) -> Hashtbl.remove sh.tbl key
+      | _ -> ());
+      ws)
+
+type stats = {
+  c_hits : int;
+  c_coalesced : int;
+  c_misses : int;
+  c_contended : int;
+  c_entries : int;
+}
+
+let stats t =
+  Array.fold_left
+    (fun acc sh ->
+      with_shard sh (fun () ->
+          {
+            c_hits = acc.c_hits + sh.hits;
+            c_coalesced = acc.c_coalesced + sh.coalesced;
+            c_misses = acc.c_misses + sh.misses;
+            c_contended = acc.c_contended + sh.contended;
+            c_entries = acc.c_entries + Hashtbl.length sh.tbl;
+          }))
+    { c_hits = 0; c_coalesced = 0; c_misses = 0; c_contended = 0; c_entries = 0 }
+    t.shards
+
+let shard_stats t =
+  Array.map
+    (fun sh ->
+      with_shard sh (fun () ->
+          {
+            c_hits = sh.hits;
+            c_coalesced = sh.coalesced;
+            c_misses = sh.misses;
+            c_contended = sh.contended;
+            c_entries = Hashtbl.length sh.tbl;
+          }))
+    t.shards

@@ -1,0 +1,54 @@
+(** Sharded response cache with in-flight request coalescing.
+
+    The server's request-level memoization: completed outcomes are kept
+    for the server's lifetime, and identical requests that arrive while
+    the first is still compiling {e join} it instead of compiling again.
+    Storage is split into independently-locked shards selected by key
+    hash; {!shard_of_key} is also the service's placement hint
+    (fingerprint affinity).
+
+    Waiters receive [Some v] (in arrival order) when the computing caller
+    {!fill}s the entry, or [None] if it {!abort}s the claim — e.g. because
+    backpressure rejected the compile task. All waiter invocation happens
+    in the caller, outside the shard lock. *)
+
+type 'v t
+
+val create : ?shards:int -> unit -> 'v t
+(** [shards] (default 16) is rounded up to a power of two. *)
+
+val shard_count : 'v t -> int
+
+val shard_of_key : 'v t -> string -> int
+(** Stable shard index of a key in [0, shard_count)]. *)
+
+val lookup :
+  'v t ->
+  key:string ->
+  waiter:('v option -> unit) ->
+  [ `Ready of 'v | `Joined | `Must_compute ]
+(** [`Ready v]: completed — counted as a hit; the waiter is {e not}
+    registered. [`Joined]: an identical request is in flight — the waiter
+    fires on its completion (or abort). [`Must_compute]: the key is now
+    claimed by this caller, which must eventually {!fill} or {!abort} it;
+    the waiter is not registered (the caller holds its own reply). *)
+
+val fill : 'v t -> key:string -> 'v -> ('v option -> unit) list
+(** Publish the computed value and return the joined waiters (arrival
+    order); invoke each with [Some v]. *)
+
+val abort : 'v t -> key:string -> ('v option -> unit) list
+(** Drop an in-flight claim and return the joined waiters; invoke each
+    with [None]. A later identical request will claim the key afresh. *)
+
+type stats = {
+  c_hits : int;
+  c_coalesced : int;  (** lookups that joined an in-flight computation *)
+  c_misses : int;  (** lookups that claimed the key for computation *)
+  c_contended : int;
+      (** shard-lock acquisitions that found the lock already held *)
+  c_entries : int;
+}
+
+val stats : 'v t -> stats
+val shard_stats : 'v t -> stats array

@@ -1,0 +1,324 @@
+module M = Vliw_arch.Machine
+module G = Vliw_ddg.Graph
+module S = Vliw_sched.Schedule
+module Driver = Vliw_sched.Driver
+module Chains = Vliw_core.Chains
+module Ddgt = Vliw_core.Ddgt
+module Lower = Vliw_lower.Lower
+module Ir = Vliw_ir
+module Sim = Vliw_sim.Sim
+module V = Vliw_verify.Verify
+module Diag = Vliw_util.Diag
+
+type technique = Free | Mdc | Ddgt | Hybrid
+
+let technique_name = function
+  | Free -> "free"
+  | Mdc -> "mdc"
+  | Ddgt -> "ddgt"
+  | Hybrid -> "hybrid"
+
+let technique_of_name = function
+  | "free" -> Some Free
+  | "mdc" -> Some Mdc
+  | "ddgt" -> Some Ddgt
+  | "hybrid" -> Some Hybrid
+  | _ -> None
+
+let verify_technique = function
+  | Free -> V.Free
+  | Mdc -> V.Mdc
+  | Ddgt -> V.Ddgt
+  | Hybrid -> V.Hybrid
+
+type opts = {
+  op_technique : technique;
+  op_heuristic : S.heuristic;
+  op_ordering : Vliw_sched.Ims.ordering;
+  op_pad : int;
+  op_unroll : int option;
+  op_cse : bool;
+  op_lint : bool;
+  op_lint_error : bool;
+  op_verify : bool;
+  op_dump_ddg : bool;
+  op_dot : string option;
+  op_dump_sched : bool;
+  op_execution : bool;
+  op_trace_file : string option;
+}
+
+let default_opts =
+  {
+    op_technique = Free;
+    op_heuristic = S.Min_coms;
+    op_ordering = Vliw_sched.Ims.Height;
+    op_pad = 0;
+    op_unroll = None;
+    op_cse = false;
+    op_lint = false;
+    op_lint_error = false;
+    op_verify = false;
+    op_dump_ddg = false;
+    op_dot = None;
+    op_dump_sched = false;
+    op_execution = false;
+    op_trace_file = None;
+  }
+
+let machine_of_spec ~name ~interleave ~ab =
+  let base =
+    match name with
+    | "bal" -> Ok M.table2
+    | "nobal-mem" -> Ok M.nobal_mem
+    | "nobal-reg" -> Ok M.nobal_reg
+    | other ->
+      Error (Printf.sprintf "unknown machine %S (bal, nobal-mem, nobal-reg)" other)
+  in
+  match base with
+  | Error _ as e -> e
+  | Ok base ->
+    let base =
+      if ab then M.with_attraction base (Some M.default_attraction) else base
+    in
+    let machine = M.with_interleave base interleave in
+    (match M.validate machine with
+    | Ok () -> Ok machine
+    | Error e -> Error (Printf.sprintf "invalid machine configuration: %s" e))
+
+type summary = {
+  s_name : string;
+  s_digest : string;
+  s_report : V.report option;
+  s_stats : Sim.stats;
+}
+
+let schedule_digest schedule =
+  Digest.to_hex (Digest.string (Format.asprintf "%a" S.pp schedule))
+
+(* The one-shot compile+verify+simulate pipeline, verbatim from vliwc.
+   Human-readable output goes to [buf] (exactly the bytes vliwc prints on
+   stdout); a failure returns the message vliwc would print on stderr
+   before exiting 1 ([None] when vliwc exits silently, e.g. a lint or
+   verification rejection whose diagnostics are already in [buf]). *)
+let run_kernel ~buf ~machine ~opts kernel =
+  let {
+    op_technique = technique;
+    op_heuristic = heuristic;
+    op_ordering = ordering;
+    op_pad = pad;
+    op_unroll = unroll;
+    op_cse = cse;
+    op_lint = lint;
+    op_lint_error = lint_error;
+    op_verify = verify;
+    op_dump_ddg = dump_ddg;
+    op_dot = dot;
+    op_dump_sched = dump_sched;
+    op_execution = execution;
+    op_trace_file = trace_file;
+  } =
+    opts
+  in
+  let ppf = Format.formatter_of_buffer buf in
+  let exception Fail of string option in
+  try
+    (match Ir.Typecheck.check kernel with
+    | Ok _ -> ()
+    | Error e -> raise (Fail (Some (Printf.sprintf "type error: %s" e))));
+    (if lint || lint_error then (
+       let ds = Vliw_lower.Lint.check kernel in
+       let ds = if lint_error then Diag.promote_warnings ds else ds in
+       List.iter (fun d -> Format.fprintf ppf "%a@." Vliw_lower.Lint.pp d) ds;
+       if Diag.has_errors ds then raise (Fail None)));
+    let kernel =
+      if cse then (
+        let kernel', removed = Ir.Cse.eliminate kernel in
+        if removed > 0 then
+          Printf.bprintf buf "cse: %d redundant loads removed\n" removed;
+        kernel')
+      else kernel
+    in
+    let kernel =
+      match unroll with
+      | None -> kernel
+      | Some 0 ->
+        (* auto: the Section 2.2 objective *)
+        let nxi = machine.M.clusters * machine.M.interleave_bytes in
+        let f = Lower.best_unroll_factor ~nxi_bytes:nxi ~max_factor:8 kernel in
+        if f > 1 then
+          Printf.bprintf buf "unrolling by %d (NxI = %d bytes)\n" f nxi;
+        Ir.Unroll.unroll ~factor:f kernel
+      | Some f -> Ir.Unroll.unroll ~factor:f kernel
+    in
+    let layout = Ir.Layout.make ~pad kernel in
+    let low = Lower.lower kernel in
+    let prof = Vliw_profile.Profile.run ~machine ~layout kernel in
+    let pref = Vliw_profile.Profile.node_pref prof low.Lower.graph in
+    let graph, constraints =
+      match technique with
+      | Free | Hybrid -> (low.Lower.graph, Chains.no_constraints ())
+      | Mdc ->
+        ( low.Lower.graph,
+          (match heuristic with
+          | S.Pref_clus -> Chains.prefclus low.Lower.graph ~pref
+          | S.Min_coms -> Chains.mincoms low.Lower.graph) )
+      | Ddgt ->
+        (Ddgt.transform ~clusters:machine.M.clusters low.Lower.graph).Ddgt.graph
+        |> fun g -> (g, Chains.no_constraints ())
+    in
+    (* the hybrid replaces graph/constraints wholesale with its choice *)
+    let hybrid_result =
+      match technique with
+      | Hybrid -> (
+        match
+          Vliw_sched.Hybrid.choose ~machine ~heuristic
+            ~pref_for:(Vliw_profile.Profile.node_pref prof)
+            ~trip:kernel.Ir.Ast.k_trip low.Lower.graph
+        with
+        | Ok h ->
+          Printf.bprintf buf
+            "hybrid choice: %s (estimates: MDC %d cycles, DDGT %d cycles)\n"
+            (Vliw_sched.Hybrid.choice_name h.Vliw_sched.Hybrid.choice)
+            h.Vliw_sched.Hybrid.mdc_estimate h.Vliw_sched.Hybrid.ddgt_estimate;
+          Some h
+        | Error e ->
+          raise (Fail (Some (Printf.sprintf "hybrid selection failed: %s" e))))
+      | _ -> None
+    in
+    let graph =
+      match hybrid_result with
+      | Some h -> h.Vliw_sched.Hybrid.graph
+      | None -> graph
+    in
+    if dump_ddg then Format.fprintf ppf "%a@." G.pp graph;
+    (match dot with
+    | Some path ->
+      Vliw_ddg.Dot.write_file path graph;
+      Printf.bprintf buf "wrote %s\n" path
+    | None -> ());
+    let pref_g = Vliw_profile.Profile.node_pref prof graph in
+    let scheduled =
+      match hybrid_result with
+      | Some h -> Ok h.Vliw_sched.Hybrid.schedule
+      | None ->
+        Driver.run
+          (Driver.request ~heuristic ~constraints ~pref:pref_g ~ordering machine)
+          graph
+    in
+    match scheduled with
+    | Error e -> raise (Fail (Some (Printf.sprintf "scheduling failed: %s" e)))
+    | Ok schedule ->
+      if dump_sched then Format.fprintf ppf "%a@." S.pp schedule;
+      let chains = Chains.chains low.Lower.graph in
+      let biggest = List.length (Chains.biggest low.Lower.graph) in
+      Printf.bprintf buf
+        "kernel %s: %d ops, %d memory ops, %d chains (biggest %d)\n"
+        kernel.Ir.Ast.k_name
+        (G.node_count low.Lower.graph)
+        (List.length (G.mem_refs low.Lower.graph))
+        (List.length chains) biggest;
+      Printf.bprintf buf "schedule: II=%d length=%d stages=%d copies/iter=%d\n"
+        schedule.S.ii schedule.S.length (S.stage_count schedule)
+        (S.comm_ops schedule);
+      let ml = Vliw_sched.Regpressure.max_live graph schedule in
+      Printf.bprintf buf "register pressure (MaxLive per cluster): %s\n"
+        (String.concat " " (Array.to_list (Array.map string_of_int ml)));
+      let report = ref None in
+      (if verify then (
+         let r =
+           V.check ~machine
+             ~technique:(verify_technique technique)
+             ~base:low.Lower.graph ~layout ~graph ~schedule ()
+         in
+         List.iter (fun d -> Format.fprintf ppf "%a@." Diag.pp d) r.V.r_diags;
+         Format.fprintf ppf "%a@." V.pp_report r;
+         report := Some r;
+         if not r.V.r_verified then raise (Fail None)));
+      let oracle = Ir.Interp.run ~layout kernel in
+      let mode = if execution then Sim.Execution else Sim.Oracle oracle in
+      let warm = not execution in
+      let sink =
+        match trace_file with
+        | Some _ -> Some (Vliw_trace.Trace.create ())
+        | None -> None
+      in
+      let st =
+        Sim.run ~lowered:low ~graph ~schedule ~layout ~mode ~warm ?trace:sink ()
+      in
+      let total = max 1 (Sim.accesses_total st) in
+      let pct n = 100. *. float_of_int n /. float_of_int total in
+      Printf.bprintf buf "simulated %d iterations (%s, %s caches):\n"
+        kernel.Ir.Ast.k_trip
+        (if execution then "execution-driven" else "trace-driven")
+        (if warm then "warm" else "cold");
+      Printf.bprintf buf "  cycles %d = compute %d + stall %d\n"
+        st.Sim.total_cycles st.Sim.compute_cycles st.Sim.stall_cycles;
+      Printf.bprintf buf
+        "  accesses: %.1f%% local hit, %.1f%% remote hit, %.1f%% local miss, \
+         %.1f%% remote miss, %.1f%% combined\n"
+        (pct st.Sim.local_hits) (pct st.Sim.remote_hits)
+        (pct st.Sim.local_misses) (pct st.Sim.remote_misses)
+        (pct st.Sim.combined);
+      if st.Sim.ab_hits > 0 || machine.M.attraction <> None then
+        Printf.bprintf buf "  attraction buffers: %d hits, %d entries flushed\n"
+          st.Sim.ab_hits st.Sim.ab_flushed;
+      if st.Sim.nullified > 0 then
+        Printf.bprintf buf "  nullified store instances: %d\n" st.Sim.nullified;
+      Printf.bprintf buf "  coherence violations: %d\n" st.Sim.violations;
+      if execution then
+        if Bytes.equal st.Sim.memory oracle.Ir.Interp.memory then
+          Buffer.add_string buf "  final memory matches the reference interpreter\n"
+        else
+          Buffer.add_string buf
+            "  final memory CORRUPTED (differs from the reference)\n";
+      (match (trace_file, sink) with
+      | Some path, Some s ->
+        (* replay audit before exporting: the event stream must re-derive
+           the simulator's own coherence accounting *)
+        (match
+           Vliw_trace.Audit.check s ~violations:st.Sim.violations
+             ~nullified:st.Sim.nullified
+         with
+        | Ok r ->
+          Printf.bprintf buf
+            "  audit: %d applies replayed, %d violations, %d nullified (match)\n"
+            r.Vliw_trace.Audit.applies r.Vliw_trace.Audit.violations
+            r.Vliw_trace.Audit.nullified
+        | Error msg -> raise (Fail (Some (Printf.sprintf "audit FAILED: %s" msg))));
+        Vliw_trace.Chrome.write_file path s;
+        Printf.bprintf buf "wrote %s (%d events)\n" path
+          (Vliw_trace.Trace.length s);
+        Buffer.add_string buf
+          (Vliw_harness.Render.trace_summary (Vliw_trace.Summary.of_sink s))
+      | _ -> ());
+      Ok
+        {
+          s_name = kernel.Ir.Ast.k_name;
+          s_digest = schedule_digest schedule;
+          s_report = !report;
+          s_stats = st;
+        }
+  with Fail e -> Error e
+
+let run_source ~buf ~machine ~opts ~path src =
+  match Ir.Parser.parse_kernels src with
+  | exception Ir.Parser.Error (msg, pos) ->
+    Error
+      (Some
+         (Printf.sprintf "%s:%d:%d: %s" path pos.Ir.Lexer.line pos.Ir.Lexer.col
+            msg))
+  | exception Ir.Lexer.Error (msg, pos) ->
+    Error
+      (Some
+         (Printf.sprintf "%s:%d:%d: %s" path pos.Ir.Lexer.line pos.Ir.Lexer.col
+            msg))
+  | kernels ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | k :: rest -> (
+        match run_kernel ~buf ~machine ~opts k with
+        | Ok s -> go (s :: acc) rest
+        | Error _ as e -> e)
+    in
+    go [] kernels

@@ -1,0 +1,74 @@
+(** The one-shot compile→verify→simulate pipeline as a library.
+
+    This is vliwc's kernel path factored out so the CLI and the
+    compilation service ({!Server}) share a single ingest: both render
+    their human-readable report into a caller-supplied [Buffer], and the
+    service's response bodies are byte-identical to what [vliwc] prints
+    on stdout for the same inputs — the property the CI smoke job
+    diffs. *)
+
+type technique = Free | Mdc | Ddgt | Hybrid
+
+val technique_name : technique -> string
+(** CLI spelling: ["free" | "mdc" | "ddgt" | "hybrid"]. *)
+
+val technique_of_name : string -> technique option
+
+type opts = {
+  op_technique : technique;
+  op_heuristic : Vliw_sched.Schedule.heuristic;
+  op_ordering : Vliw_sched.Ims.ordering;
+  op_pad : int;
+  op_unroll : int option;  (** [Some 0] = automatic factor (Section 2.2) *)
+  op_cse : bool;
+  op_lint : bool;
+  op_lint_error : bool;
+  op_verify : bool;
+  op_dump_ddg : bool;
+  op_dot : string option;
+  op_dump_sched : bool;
+  op_execution : bool;
+  op_trace_file : string option;
+}
+
+val default_opts : opts
+(** Mirrors vliwc's flag defaults exactly (free technique, MinComs,
+    height ordering, everything else off). *)
+
+val machine_of_spec :
+  name:string -> interleave:int -> ab:bool -> (Vliw_arch.Machine.t, string) result
+(** Build and validate a machine from its CLI spelling ([bal],
+    [nobal-mem], [nobal-reg]), an interleave factor and the AB flag. The
+    error string is the message vliwc prints before exiting 2. *)
+
+type summary = {
+  s_name : string;  (** kernel name *)
+  s_digest : string;  (** hex digest of the rendered schedule *)
+  s_report : Vliw_verify.Verify.report option;  (** when [op_verify] *)
+  s_stats : Vliw_sim.Sim.stats;
+}
+
+val schedule_digest : Vliw_sched.Schedule.t -> string
+
+val run_kernel :
+  buf:Buffer.t ->
+  machine:Vliw_arch.Machine.t ->
+  opts:opts ->
+  Vliw_ir.Ast.kernel ->
+  (summary, string option) result
+(** Compile, optionally verify, and simulate one kernel. Appends to
+    [buf] exactly the bytes vliwc prints on stdout. [Error msg] means
+    vliwc would exit 1, after printing [msg] on stderr ([None] when the
+    failure's diagnostics — lint, verification — are already in
+    [buf]). *)
+
+val run_source :
+  buf:Buffer.t ->
+  machine:Vliw_arch.Machine.t ->
+  opts:opts ->
+  path:string ->
+  string ->
+  (summary list, string option) result
+(** Parse a [.lk] source (possibly several kernels) and run each in
+    order, stopping at the first failure; [path] only prefixes parse
+    error positions. *)

@@ -1,0 +1,198 @@
+module Json = Vliw_util.Json
+
+(* ---- deterministic synthetic workload ----
+
+   A service workload is many small, mostly-independent kernels with some
+   repetition. The four shapes below mirror the example corpus (stream,
+   in-place chain, FIR, data-dependent scatter) with per-index parameter
+   variation so distinct indices compile to genuinely distinct work. Every
+   generated kernel compiles and simulates cleanly under all four
+   techniques (test_serve pins that). *)
+
+type named_kernel = { nk_name : string; nk_source : string }
+
+let synth_kernel i =
+  let variant = i mod 4 in
+  let v = i / 4 in
+  match variant with
+  | 0 ->
+    let trip = 48 + 16 * (v mod 4) in
+    let mul = 3 + (v mod 5) in
+    {
+      nk_name = Printf.sprintf "stream%d" i;
+      nk_source =
+        Printf.sprintf
+          "kernel stream%d {\n\
+          \  array a : i32[256] = ramp(1, %d)\n\
+          \  array b : i32[256] = zero\n\
+          \  trip %d\n\
+          \  body {\n\
+          \    b[i] = a[i] * %d\n\
+          \  }\n\
+           }\n"
+          i (1 + (v mod 3)) trip mul;
+    }
+  | 1 ->
+    let trip = 96 + 32 * (v mod 2) in
+    {
+      nk_name = Printf.sprintf "chain%d" i;
+      nk_source =
+        Printf.sprintf
+          "kernel chain%d {\n\
+          \  array a : i32[516] = random(%d)\n\
+          \  trip %d\n\
+          \  body {\n\
+          \    a[4*i] = a[4*i] + a[4*i + 1]\n\
+          \  }\n\
+           }\n"
+          i (7 + v) trip;
+    }
+  | 2 ->
+    let c1 = 5 + (v mod 4) and c2 = 3 + (v mod 3) in
+    {
+      nk_name = Printf.sprintf "fir%d" i;
+      nk_source =
+        Printf.sprintf
+          "kernel fir%d {\n\
+          \  array x : i16[520] = ramp(0, %d)\n\
+          \  array y : i16[520] = zero\n\
+          \  scalar acc : i64 = 0\n\
+          \  trip 128\n\
+          \  body {\n\
+          \    let t = x[4*i] * %d + x[4*i + 1] * %d\n\
+          \    y[4*i + 2] = t >> 3\n\
+          \    acc = acc + t\n\
+          \  }\n\
+           }\n"
+          i (2 + (v mod 3)) c1 c2;
+    }
+  | _ ->
+    {
+      nk_name = Printf.sprintf "scatter%d" i;
+      nk_source =
+        Printf.sprintf
+          "kernel scatter%d {\n\
+          \  array px : i8[256] = random(%d)\n\
+          \  array hist : i32[64] = zero\n\
+          \  trip 128\n\
+          \  body {\n\
+          \    let bin = px[2*i] & 63\n\
+          \    hist[bin] = hist[bin] + 1\n\
+          \  }\n\
+           }\n"
+          i (11 + v);
+    }
+
+let synth_kernels n = List.init n synth_kernel
+
+(* Request [i] serves spec [i mod (kernels × techniques)]: the first pass
+   over the workload is all cache misses, later passes all hits — the
+   shape that separates dedup/shard effects from raw compile throughput. *)
+let requests ~kernels ~techniques ?(verify = false) ~count () =
+  let ks = Array.of_list kernels in
+  let ts = Array.of_list techniques in
+  let nk = Array.length ks and nt = Array.length ts in
+  if nk = 0 || nt = 0 then invalid_arg "Loadgen.requests: empty workload";
+  List.init count (fun i ->
+      let spec = i mod (nk * nt) in
+      Protocol.request ~id:i
+        ~technique:ts.(spec / nk)
+        ~verify
+        ks.(spec mod nk).nk_source)
+
+(* ---- latency statistics ---- *)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+
+type result = {
+  g_clients : int;
+  g_requests : int;
+  g_ok : int;
+  g_errors : int;  (** compile errors (exit <> 0), still served *)
+  g_retries : int;  (** backpressure rejections that were resent *)
+  g_wall_s : float;
+  g_rps : float;
+  g_p50_ms : float;
+  g_p99_ms : float;
+}
+
+let result_json r =
+  Json.Obj
+    [
+      ("clients", Json.Int r.g_clients);
+      ("requests", Json.Int r.g_requests);
+      ("ok", Json.Int r.g_ok);
+      ("errors", Json.Int r.g_errors);
+      ("retries", Json.Int r.g_retries);
+      ("wall_s", Json.Float r.g_wall_s);
+      ("rps", Json.Float r.g_rps);
+      ("p50_ms", Json.Float r.g_p50_ms);
+      ("p99_ms", Json.Float r.g_p99_ms);
+    ]
+
+(* Closed-loop driver: [clients] logical clients, each with exactly one
+   outstanding request; a client fires its next request from the reply
+   callback of the previous one. [clients] must not exceed the server's
+   per-queue capacity, or backpressure could make a worker reject its own
+   queue's refill forever. *)
+let drive server ~clients reqs =
+  let arr = Array.of_list reqs in
+  let n = Array.length arr in
+  let clients = max 1 (min clients n) in
+  if clients > Server.queue_capacity server then
+    invalid_arg "Loadgen.drive: clients must be <= the server queue capacity";
+  let next = Atomic.make 0 in
+  let completed = Atomic.make 0 in
+  let errors = Atomic.make 0 in
+  let retries = Atomic.make 0 in
+  let latencies = Array.make (max 1 n) 0. in
+  let fin_lock = Mutex.create () in
+  let fin_cond = Condition.create () in
+  let t0 = Unix.gettimeofday () in
+  let rec launch () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < n then fire i (Unix.gettimeofday ())
+  and fire i t_start =
+    Server.submit server arr.(i) ~reply:(function
+      | Protocol.Retry _ ->
+        (* cannot happen under the capacity precondition; resend *)
+        Atomic.incr retries;
+        fire i t_start
+      | Protocol.Done o ->
+        latencies.(i) <- Unix.gettimeofday () -. t_start;
+        if o.Protocol.o_exit <> 0 then Atomic.incr errors;
+        let d = 1 + Atomic.fetch_and_add completed 1 in
+        if d = n then begin
+          Mutex.lock fin_lock;
+          Condition.broadcast fin_cond;
+          Mutex.unlock fin_lock
+        end
+        else launch ())
+  in
+  for _ = 1 to clients do
+    launch ()
+  done;
+  Mutex.lock fin_lock;
+  while Atomic.get completed < n do
+    Condition.wait fin_cond fin_lock
+  done;
+  Mutex.unlock fin_lock;
+  let wall = Unix.gettimeofday () -. t0 in
+  let sorted = Array.copy latencies in
+  Array.sort compare sorted;
+  {
+    g_clients = clients;
+    g_requests = n;
+    g_ok = n - Atomic.get errors;
+    g_errors = Atomic.get errors;
+    g_retries = Atomic.get retries;
+    g_wall_s = wall;
+    g_rps = (if wall > 0. then float_of_int n /. wall else 0.);
+    g_p50_ms = 1e3 *. percentile sorted 0.50;
+    g_p99_ms = 1e3 *. percentile sorted 0.99;
+  }

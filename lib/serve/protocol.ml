@@ -1,0 +1,252 @@
+module Json = Vliw_util.Json
+module S = Vliw_sched.Schedule
+module Sim = Vliw_sim.Sim
+module V = Vliw_verify.Verify
+
+type request = {
+  rq_id : int;
+  rq_kernel : string;
+  rq_technique : Engine.technique;
+  rq_heuristic : S.heuristic;
+  rq_ordering : Vliw_sched.Ims.ordering;
+  rq_machine : string;
+  rq_interleave : int;
+  rq_ab : bool;
+  rq_pad : int;
+  rq_unroll : int option;
+  rq_cse : bool;
+  rq_verify : bool;
+  rq_execution : bool;
+}
+
+let request ?(technique = Engine.Free) ?(heuristic = S.Min_coms)
+    ?(ordering = Vliw_sched.Ims.Height) ?(machine = "bal") ?(interleave = 4)
+    ?(ab = false) ?(pad = 0) ?unroll ?(cse = false) ?(verify = false)
+    ?(execution = false) ~id kernel =
+  {
+    rq_id = id;
+    rq_kernel = kernel;
+    rq_technique = technique;
+    rq_heuristic = heuristic;
+    rq_ordering = ordering;
+    rq_machine = machine;
+    rq_interleave = interleave;
+    rq_ab = ab;
+    rq_pad = pad;
+    rq_unroll = unroll;
+    rq_cse = cse;
+    rq_verify = verify;
+    rq_execution = execution;
+  }
+
+let heuristic_of_name = function
+  | "prefclus" -> Some S.Pref_clus
+  | "mincoms" -> Some S.Min_coms
+  | _ -> None
+
+let heuristic_cli_name = function
+  | S.Pref_clus -> "prefclus"
+  | S.Min_coms -> "mincoms"
+
+let ordering_of_name = function
+  | "height" -> Some Vliw_sched.Ims.Height
+  | "swing" -> Some Vliw_sched.Ims.Swing
+  | _ -> None
+
+let ordering_cli_name = function
+  | Vliw_sched.Ims.Height -> "height"
+  | Vliw_sched.Ims.Swing -> "swing"
+
+(* Canonical field order; [key] depends on it, so keep it stable. *)
+let spec_fields r =
+  [
+    ("kernel", Json.String r.rq_kernel);
+    ("technique", Json.String (Engine.technique_name r.rq_technique));
+    ("heuristic", Json.String (heuristic_cli_name r.rq_heuristic));
+    ("ordering", Json.String (ordering_cli_name r.rq_ordering));
+    ("machine", Json.String r.rq_machine);
+    ("interleave", Json.Int r.rq_interleave);
+    ("ab", Json.Bool r.rq_ab);
+    ("pad", Json.Int r.rq_pad);
+    ( "unroll",
+      match r.rq_unroll with None -> Json.Null | Some f -> Json.Int f );
+    ("cse", Json.Bool r.rq_cse);
+    ("verify", Json.Bool r.rq_verify);
+    ("execution", Json.Bool r.rq_execution);
+  ]
+
+let request_to_json r = Json.Obj (("id", Json.Int r.rq_id) :: spec_fields r)
+
+let key r =
+  Digest.to_hex
+    (Digest.string (Json.to_string ~indent:0 (Json.Obj (spec_fields r))))
+
+let request_of_json j =
+  let mem k = Json.member k j in
+  let str k = Option.bind (mem k) Json.to_string_opt in
+  let int_d k d =
+    match mem k with
+    | None | Some Json.Null -> Ok d
+    | Some v -> (
+      match Json.to_int_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "field %S must be an integer" k))
+  in
+  let bool_d k d =
+    match mem k with
+    | None | Some Json.Null -> Ok d
+    | Some v -> (
+      match Json.to_bool_opt v with
+      | Some b -> Ok b
+      | None -> Error (Printf.sprintf "field %S must be a boolean" k))
+  in
+  let enum k of_name d =
+    match str k with
+    | None -> (
+      match mem k with
+      | None | Some Json.Null -> Ok d
+      | Some _ -> Error (Printf.sprintf "field %S must be a string" k))
+    | Some s -> (
+      match of_name s with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "unknown %s %S" k s))
+  in
+  let ( let* ) = Result.bind in
+  match str "kernel" with
+  | None -> Error "request is missing the \"kernel\" field"
+  | Some kernel ->
+    let* id = int_d "id" 0 in
+    let* technique = enum "technique" Engine.technique_of_name Engine.Free in
+    let* heuristic = enum "heuristic" heuristic_of_name S.Min_coms in
+    let* ordering = enum "ordering" ordering_of_name Vliw_sched.Ims.Height in
+    let machine = Option.value (str "machine") ~default:"bal" in
+    let* interleave = int_d "interleave" 4 in
+    let* ab = bool_d "ab" false in
+    let* pad = int_d "pad" 0 in
+    let* unroll =
+      match mem "unroll" with
+      | None | Some Json.Null -> Ok None
+      | Some v -> (
+        match Json.to_int_opt v with
+        | Some f -> Ok (Some f)
+        | None -> Error "field \"unroll\" must be an integer")
+    in
+    let* cse = bool_d "cse" false in
+    let* verify = bool_d "verify" false in
+    let* execution = bool_d "execution" false in
+    Ok
+      {
+        rq_id = id;
+        rq_kernel = kernel;
+        rq_technique = technique;
+        rq_heuristic = heuristic;
+        rq_ordering = ordering;
+        rq_machine = machine;
+        rq_interleave = interleave;
+        rq_ab = ab;
+        rq_pad = pad;
+        rq_unroll = unroll;
+        rq_cse = cse;
+        rq_verify = verify;
+        rq_execution = execution;
+      }
+
+(* ---- responses ---- *)
+
+let stats_json (st : Sim.stats) =
+  Json.Obj
+    [
+      ("cycles", Json.Int st.Sim.total_cycles);
+      ("compute", Json.Int st.Sim.compute_cycles);
+      ("stall", Json.Int st.Sim.stall_cycles);
+      ("local_hits", Json.Int st.Sim.local_hits);
+      ("remote_hits", Json.Int st.Sim.remote_hits);
+      ("local_misses", Json.Int st.Sim.local_misses);
+      ("remote_misses", Json.Int st.Sim.remote_misses);
+      ("combined", Json.Int st.Sim.combined);
+      ("violations", Json.Int st.Sim.violations);
+      ("nullified", Json.Int st.Sim.nullified);
+      ("ab_hits", Json.Int st.Sim.ab_hits);
+      ("ab_flushed", Json.Int st.Sim.ab_flushed);
+    ]
+
+let summary_json (s : Engine.summary) =
+  Json.Obj
+    [
+      ("name", Json.String s.Engine.s_name);
+      ("digest", Json.String s.Engine.s_digest);
+      ( "verified",
+        match s.Engine.s_report with
+        | None -> Json.Null
+        | Some r -> Json.Bool r.V.r_verified );
+      ("stats", stats_json s.Engine.s_stats);
+    ]
+
+(* The id-independent result of serving one spec: a pure function of the
+   spec fields, so it is shareable across deduplicated requests and must
+   stay byte-stable at any pool width. *)
+type outcome = {
+  o_output : string;  (** vliwc's stdout, byte for byte *)
+  o_error : string option;  (** vliwc's stderr line, when it would exit nonzero *)
+  o_exit : int;  (** vliwc's exit code: 0, 1 (compile), 2 (bad machine) *)
+  o_kernels : Json.t list;  (** per-kernel {!summary_json} *)
+}
+
+type reply = Done of outcome | Retry of { after_ms : int; depth : int }
+
+let reply_to_json ~id = function
+  | Done o ->
+    Json.Obj
+      [
+        ("id", Json.Int id);
+        ("status", Json.String (if o.o_exit = 0 then "ok" else "error"));
+        ("exit", Json.Int o.o_exit);
+        ("output", Json.String o.o_output);
+        ( "message",
+          match o.o_error with None -> Json.Null | Some m -> Json.String m );
+        ("kernels", Json.List o.o_kernels);
+      ]
+  | Retry { after_ms; depth } ->
+    Json.Obj
+      [
+        ("id", Json.Int id);
+        ("status", Json.String "retry");
+        ("retry_after_ms", Json.Int after_ms);
+        ("queue_depth", Json.Int depth);
+      ]
+
+let reply_of_json j =
+  let mem k = Json.member k j in
+  let id = Option.value (Option.bind (mem "id") Json.to_int_opt) ~default:0 in
+  match Option.bind (mem "status") Json.to_string_opt with
+  | Some ("ok" | "error") ->
+    let outcome =
+      {
+        o_output =
+          Option.value
+            (Option.bind (mem "output") Json.to_string_opt)
+            ~default:"";
+        o_error = Option.bind (mem "message") Json.to_string_opt;
+        o_exit =
+          Option.value (Option.bind (mem "exit") Json.to_int_opt) ~default:0;
+        o_kernels =
+          Option.value
+            (Option.bind (mem "kernels") Json.to_list_opt)
+            ~default:[];
+      }
+    in
+    Ok (id, Done outcome)
+  | Some "retry" ->
+    let geti k d =
+      Option.value (Option.bind (mem k) Json.to_int_opt) ~default:d
+    in
+    Ok
+      ( id,
+        Retry
+          { after_ms = geti "retry_after_ms" 1; depth = geti "queue_depth" 0 }
+      )
+  | Some s -> Error (Printf.sprintf "unknown response status %S" s)
+  | None -> Error "response is missing the \"status\" field"
+
+(* One request/response per line: compact rendering, no interior newlines. *)
+let to_line j = Json.to_string ~indent:0 j

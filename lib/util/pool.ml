@@ -86,3 +86,150 @@ let map ?jobs:width f xs =
 
 let map_reduce ?jobs ~map:f ~reduce ~init xs =
   List.fold_left reduce init (map ?jobs f xs)
+
+module Service = struct
+  type queue = {
+    q_lock : Mutex.t;
+    q_cond : Condition.t;
+    q_tasks : (unit -> unit) Queue.t;
+    mutable q_max_depth : int;
+    mutable q_executed : int;
+    mutable q_failed : int;
+  }
+
+  type t = {
+    s_queues : queue array;
+    s_capacity : int;
+    s_stopping : bool Atomic.t;
+    s_minors : int array;  (* per-worker minor collections, monotonic *)
+    mutable s_domains : unit Domain.t array;
+  }
+
+  type queue_stats = {
+    qs_depth : int;
+    qs_max_depth : int;
+    qs_executed : int;
+    qs_failed : int;
+  }
+
+  let width t = Array.length t.s_queues
+  let capacity t = t.s_capacity
+
+  let worker t minor_heap_words w =
+    Domain.DLS.set in_worker true;
+    (* per-domain minor heaps: a bigger arena means fewer minor
+       collections, and in OCaml 5 every minor collection is a global
+       stop-the-world sync across all domains. Freshly spawned domains
+       do NOT inherit the spawner's sizing (observed on 5.1), so each
+       worker applies it to itself. *)
+    Option.iter
+      (fun words -> Gc.set { (Gc.get ()) with Gc.minor_heap_size = words })
+      minor_heap_words;
+    let q = t.s_queues.(w) in
+    let baseline = (Gc.quick_stat ()).Gc.minor_collections in
+    let note_gc () =
+      t.s_minors.(w) <- (Gc.quick_stat ()).Gc.minor_collections - baseline
+    in
+    let rec loop () =
+      Mutex.lock q.q_lock;
+      while Queue.is_empty q.q_tasks && not (Atomic.get t.s_stopping) do
+        Condition.wait q.q_cond q.q_lock
+      done;
+      match Queue.take_opt q.q_tasks with
+      | None ->
+        (* stopping and drained *)
+        Mutex.unlock q.q_lock;
+        note_gc ()
+      | Some task ->
+        q.q_executed <- q.q_executed + 1;
+        Mutex.unlock q.q_lock;
+        (try task ()
+         with _ ->
+           Mutex.lock q.q_lock;
+           q.q_failed <- q.q_failed + 1;
+           Mutex.unlock q.q_lock);
+        note_gc ();
+        loop ()
+    in
+    loop ()
+
+  let start ?jobs:width' ?(capacity = 64) ?minor_heap_words () =
+    let width = match width' with Some n -> max 1 n | None -> jobs () in
+    let width = min width max_helper_domains in
+    if capacity < 1 then invalid_arg "Pool.Service.start: capacity must be >= 1";
+    let t =
+      {
+        s_queues =
+          Array.init width (fun _ ->
+              {
+                q_lock = Mutex.create ();
+                q_cond = Condition.create ();
+                q_tasks = Queue.create ();
+                q_max_depth = 0;
+                q_executed = 0;
+                q_failed = 0;
+              });
+        s_capacity = capacity;
+        s_stopping = Atomic.make false;
+        s_minors = Array.make width 0;
+        s_domains = [||];
+      }
+    in
+    t.s_domains <-
+      Array.init width (fun w ->
+          Domain.spawn (fun () -> worker t minor_heap_words w));
+    t
+
+  let submit t ~queue task =
+    let q = t.s_queues.(((queue mod width t) + width t) mod width t) in
+    Mutex.lock q.q_lock;
+    if Atomic.get t.s_stopping || Queue.length q.q_tasks >= t.s_capacity then (
+      Mutex.unlock q.q_lock;
+      false)
+    else begin
+      Queue.push task q.q_tasks;
+      let d = Queue.length q.q_tasks in
+      if d > q.q_max_depth then q.q_max_depth <- d;
+      Condition.signal q.q_cond;
+      Mutex.unlock q.q_lock;
+      true
+    end
+
+  let depth t i =
+    let q = t.s_queues.(i) in
+    Mutex.lock q.q_lock;
+    let d = Queue.length q.q_tasks in
+    Mutex.unlock q.q_lock;
+    d
+
+  let queue_stats t =
+    Array.mapi
+      (fun i q ->
+        Mutex.lock q.q_lock;
+        let s =
+          {
+            qs_depth = Queue.length q.q_tasks;
+            qs_max_depth = q.q_max_depth;
+            qs_executed = q.q_executed;
+            qs_failed = q.q_failed;
+          }
+        in
+        Mutex.unlock q.q_lock;
+        ignore i;
+        s)
+      t.s_queues
+
+  let minor_collections t = Array.copy t.s_minors
+
+  let stop t =
+    if not (Atomic.exchange t.s_stopping true) then begin
+      Array.iter
+        (fun q ->
+          Mutex.lock q.q_lock;
+          Condition.broadcast q.q_cond;
+          Mutex.unlock q.q_lock)
+        t.s_queues;
+      Array.iter Domain.join t.s_domains;
+      t.s_domains <- [||]
+    end
+end

@@ -52,3 +52,57 @@ val map_reduce :
   'acc
 (** Parallel map, then a sequential in-order fold in the caller:
     [fold_left reduce init (map f xs)]. Deterministic for any [reduce]. *)
+
+(** Persistent worker pool for request-serving workloads.
+
+    Where {!map} fans a finite batch out and joins, [Service] keeps its
+    worker domains alive for the process's lifetime and feeds each one
+    through its own bounded FIFO queue. Callers pick the queue (the
+    compile service routes by request-fingerprint hash, so repeated
+    kernels land on the domain whose caches are warm) and get immediate
+    backpressure: {!submit} refuses instead of blocking when the target
+    queue is full.
+
+    Workers flag themselves like {!map} workers, so a task may call
+    {!map} freely (it degenerates to sequential execution in the worker).
+    A task that raises is counted in [qs_failed] and the worker moves on —
+    services should convert task failures into error replies themselves. *)
+module Service : sig
+  type t
+
+  type queue_stats = {
+    qs_depth : int;  (** tasks currently queued *)
+    qs_max_depth : int;  (** high-water mark since [start] *)
+    qs_executed : int;
+    qs_failed : int;  (** tasks that raised (caught and dropped) *)
+  }
+
+  val start : ?jobs:int -> ?capacity:int -> ?minor_heap_words:int -> unit -> t
+  (** Spawn [jobs] worker domains (default {!val-jobs}; clamped to the
+      runtime's domain budget), each with a queue bounded at [capacity]
+      tasks (default 64). [minor_heap_words] sets the per-domain minor
+      heap size before spawning — a larger arena cuts the number of
+      global minor-GC synchronizations independent requests force on each
+      other. Raises [Invalid_argument] if [capacity < 1]. *)
+
+  val width : t -> int
+  val capacity : t -> int
+
+  val submit : t -> queue:int -> (unit -> unit) -> bool
+  (** Enqueue a task on queue [queue mod width] and wake its worker.
+      Returns [false] — without enqueueing — when that queue is at
+      capacity or the service is stopping. *)
+
+  val depth : t -> int -> int
+  (** Current length of queue [i]. *)
+
+  val queue_stats : t -> queue_stats array
+  val minor_collections : t -> int array
+  (** Per-worker minor collections performed so far (sampled by each
+      worker after every task; observability, not a synchronized
+      invariant). *)
+
+  val stop : t -> unit
+  (** Drain every queue, join the workers. Idempotent; subsequent
+      {!submit}s return [false]. *)
+end

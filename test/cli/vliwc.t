@@ -249,3 +249,17 @@ The trace is byte-identical no matter how wide the domain pool is:
   $ vliwc ../../examples/kernels/fir.lk --interleave 2 -H prefclus -t mdc --jobs 4 --trace trace-j4.json > /dev/null
   $ cmp trace-j1.json trace-j4.json && echo identical
   identical
+
+Reading the kernel from stdin ("-") goes through the same serving path
+as a file and produces identical bytes:
+
+  $ vliwc ../../examples/kernels/inplace.lk -H prefclus -t mdc > from-file.out
+  $ vliwc - -H prefclus -t mdc < ../../examples/kernels/inplace.lk > from-stdin.out
+  $ cmp from-file.out from-stdin.out && echo identical
+  identical
+
+Parse errors on stdin are reported against the "-" pseudo-path:
+
+  $ echo 'kernel broken { body { let = 3 } }' | vliwc -
+  -:1:28: expected identifier but found '='
+  [1]

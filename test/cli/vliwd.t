@@ -1,0 +1,58 @@
+The persistent compile service over its stdio JSONL transport: vliwload
+req turns kernels + flags into request lines, vliwd serves them, and
+vliwload decode turns the reply stream back into vliwc-shaped output.
+
+  $ vliwd() { ../../bin/vliwd.exe "$@"; }
+  $ vliwload() { ../../bin/vliwload.exe "$@"; }
+  $ vliwc() { ../../bin/vliwc.exe "$@"; }
+
+The served output is byte-identical to the one-shot compiler:
+
+  $ vliwload req ../../examples/kernels/inplace.lk -t mdc -H prefclus \
+  >   | vliwd --jobs 1 | vliwload decode > served.out
+  $ vliwc ../../examples/kernels/inplace.lk -t mdc -H prefclus > oneshot.out
+  $ cmp served.out oneshot.out && echo identical
+  identical
+
+...for every technique, with static verification on, through a wider
+pool:
+
+  $ for t in free mdc ddgt hybrid; do
+  >   vliwload req ../../examples/kernels/inplace.lk -t $t -H prefclus --verify
+  > done | vliwd --jobs 2 | vliwload decode > served4.out
+  $ for t in free mdc ddgt hybrid; do
+  >   vliwc ../../examples/kernels/inplace.lk -t $t -H prefclus --verify
+  > done > oneshot4.out
+  $ cmp served4.out oneshot4.out && echo identical
+  identical
+
+Decode exits with the worst per-request exit code, so a kernel that fails
+to parse fails the pipeline the same way vliwc fails:
+
+  $ echo 'kernel broken { body { let = 3 } }' > broken.lk
+  $ vliwload req broken.lk | vliwd | vliwload decode
+  -:1:28: expected identifier but found '='
+  [1]
+
+Control ops share the line protocol:
+
+  $ echo '{"op":"ping"}' | vliwd
+  {"id":0,"status":"ok","op":"ping"}
+
+  $ echo 'not json' | vliwd
+  {"id":0,"status":"error","exit":2,"output":"","message":"parse error: invalid literal at offset 0","kernels":[]}
+
+Repeated identical requests hit the response cache — one compile, the
+rest served from the sharded store:
+
+  $ K=../../examples/kernels/inplace.lk
+  $ { vliwload req $K $K $K -t free -H prefclus;
+  >   echo '{"op":"stats"}'; echo '{"op":"shutdown"}'; } \
+  >   | vliwd --jobs 1 | tail -2 | head -1 \
+  >   | python3 -c 'import json,sys
+  > s = json.load(sys.stdin)["stats"]
+  > c = s["cache"]
+  > print("hits", c["hits"], "coalesced", c["coalesced"], "misses", c["misses"])
+  > print("submitted", s["submitted"], "completed", s["completed"], "rejected", s["rejected"])'
+  hits 2 coalesced 0 misses 1
+  submitted 3 completed 3 rejected 0
