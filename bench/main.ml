@@ -234,6 +234,9 @@ let experiments : (string * string * (Vliw_harness.Runner.obs -> string)) list =
     ( "hybrid",
       "Ablation (Section 6) - per-loop hybrid MDC/DDGT",
       fun obs -> Render.hybrid (Vliw_harness.Ablations.hybrid ~obs ()) );
+    ( "scale",
+      "N-cluster scaling - shared bus vs directory interconnect",
+      fun obs -> Render.scale (E.scale ~obs ()) );
     ( "verify",
       "Static coherence verification coverage",
       fun obs -> Render.verification (E.verification ~obs ()) );
@@ -285,7 +288,7 @@ let json_report ~jobs ~total_wall timings =
   in
   Json.Obj
     [
-      ("schema", Json.String "vliw-harness/5");
+      ("schema", Json.String "vliw-harness/6");
       ("jobs", Json.Int jobs);
       ("total_wall_s", Json.Float total_wall);
       ( "experiments",
@@ -365,7 +368,7 @@ let run_bechamel () =
    DIR/selfcheck-diff.txt and every simulation's Chrome trace in
    DIR/traces (the CI artifacts). *)
 
-let selfcheck_keys = [ "fig6"; "fig7"; "t3"; "t4"; "t5" ]
+let selfcheck_keys = [ "fig6"; "fig7"; "t3"; "t4"; "t5"; "scale" ]
 let default_baseline = "BENCH_harness.json"
 
 let run_selfcheck ~baseline_path ~out_dir =

@@ -144,9 +144,9 @@ let read_source path =
       (fun () -> really_input_string ic (in_channel_length ic))
   end
 
-let main file workload technique heuristic ordering machine_name interleave
-    ab pad unroll cse lint lint_error verify dump_ddg dot dump_sched execution
-    compare jobs trace_file =
+let main file workload technique heuristic ordering machine_name clusters icn
+    interleave ab pad unroll cse lint lint_error verify dump_ddg dot dump_sched
+    execution compare jobs trace_file =
   (match jobs with
   | Some n when n >= 1 -> Vliw_util.Pool.set_jobs n
   | Some n ->
@@ -154,13 +154,30 @@ let main file workload technique heuristic ordering machine_name interleave
     exit 2
   | None -> ());
   (* fail fast on a bad machine name, before the file/workload check *)
-  (match E.machine_of_spec ~name:machine_name ~interleave:4 ~ab:false with
+  (match E.machine_of_spec ~name:machine_name ~interleave:4 ~ab:false () with
   | Ok _ -> ()
   | Error e ->
     Printf.eprintf "%s\n" e;
     exit 2);
-  let machine_for interleave =
-    match E.machine_of_spec ~name:machine_name ~interleave ~ab with
+  (* explicit flags win; otherwise '#' header directives of the source
+     (the fuzzer repro convention), then the 4-cluster bus default *)
+  let machine_for ?(dirs = []) interleave =
+    let clusters =
+      match clusters with
+      | Some n -> n
+      | None ->
+        Option.value
+          (Option.bind (List.assoc_opt "clusters" dirs) int_of_string_opt)
+          ~default:4
+    in
+    let icn =
+      match icn with
+      | Some s -> s
+      | None -> Option.value (List.assoc_opt "interconnect" dirs) ~default:"bus"
+    in
+    match
+      E.machine_of_spec ~clusters ~icn ~name:machine_name ~interleave ~ab ()
+    with
     | Ok m -> m
     | Error e ->
       Printf.eprintf "%s\n" e;
@@ -190,7 +207,7 @@ let main file workload technique heuristic ordering machine_name interleave
     exit 2
   | Some path, None ->
     let src = read_source path in
-    let machine = machine_for interleave in
+    let machine = machine_for ~dirs:(E.source_directives src) interleave in
     if compare then (
       try
         List.iter
@@ -267,6 +284,27 @@ let machine_name =
     value & opt string "bal"
     & info [ "machine" ] ~docv:"CONF"
         ~doc:"Machine configuration: $(b,bal) (Table 2), $(b,nobal-mem) or $(b,nobal-reg).")
+
+let clusters =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "clusters" ] ~docv:"N"
+        ~doc:
+          "Scale the machine to $(docv) clusters (4, 8, 16 or 32), keeping \
+           per-cluster resources constant. Default: the kernel file's \
+           $(b,# clusters=N) header directive, else 4.")
+
+let icn =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "interconnect" ] ~docv:"ICN"
+        ~doc:
+          "Interconnect backend: $(b,bus) (shared memory buses, global FIFO) \
+           or $(b,directory) (packet-switched ring with a distributed \
+           directory). Default: the kernel file's $(b,# interconnect=ICN) \
+           header directive, else $(b,bus).")
 
 let interleave =
   Arg.(
@@ -386,8 +424,8 @@ let cmd =
     (Cmd.info "vliwc" ~version:"1.0.0" ~doc ~man)
     Term.(
       const main $ file $ workload $ technique $ heuristic $ ordering
-      $ machine_name $ interleave $ ab $ pad $ unroll $ cse_flag $ lint_flag
-      $ lint_error_flag $ verify_flag $ dump_ddg $ dot $ dump_sched
-      $ execution $ compare_flag $ jobs $ trace_file)
+      $ machine_name $ clusters $ icn $ interleave $ ab $ pad $ unroll
+      $ cse_flag $ lint_flag $ lint_error_flag $ verify_flag $ dump_ddg $ dot
+      $ dump_sched $ execution $ compare_flag $ jobs $ trace_file)
 
 let () = exit (Cmd.eval cmd)

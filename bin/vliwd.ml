@@ -156,9 +156,10 @@ let run_socket server path trace =
   Server.shutdown server;
   if Sys.file_exists path then try Sys.remove path with Sys_error _ -> ()
 
-let main socket jobs queue_capacity shards minor_heap_kw retry_after trace =
+let main socket jobs queue_capacity shards cache_max minor_heap_kw retry_after
+    trace =
   let server =
-    Server.create ?jobs ~queue_capacity ~shards
+    Server.create ?jobs ~queue_capacity ~shards ~cache_max
       ~minor_heap_words:(minor_heap_kw * 1024)
       ~retry_after_ms:retry_after ()
   in
@@ -198,6 +199,15 @@ let shards =
     & info [ "shards" ] ~docv:"N"
         ~doc:"Response-cache shards (rounded up to a power of two).")
 
+let cache_max =
+  Arg.(
+    value & opt int 0
+    & info [ "cache-max" ] ~docv:"N"
+        ~doc:
+          "Bound on completed response-cache entries (per-shard LRU \
+           eviction, least-recently-served spec dropped first); 0 keeps \
+           every completed spec for the server's lifetime.")
+
 let minor_heap_kw =
   Arg.(
     value
@@ -233,14 +243,15 @@ let cmd =
          vliwc flags, and each reply's $(b,output) field is byte-identical \
          to the stdout of the equivalent one-shot vliwc run. Identical \
          in-flight requests are coalesced onto one compile; completed specs \
-         are cached for the server's lifetime in a sharded response cache \
-         whose shard index doubles as the worker-affinity hint.";
+         are cached in a sharded response cache whose shard index doubles as \
+         the worker-affinity hint, unbounded by default or LRU-bounded with \
+         $(b,--cache-max).";
     ]
   in
   Cmd.v
     (Cmd.info "vliwd" ~version:"1.0.0" ~doc ~man)
     Term.(
-      const main $ socket $ jobs $ queue_capacity $ shards $ minor_heap_kw
-      $ retry_after $ trace)
+      const main $ socket $ jobs $ queue_capacity $ shards $ cache_max
+      $ minor_heap_kw $ retry_after $ trace)
 
 let () = exit (Cmd.eval cmd)

@@ -11,6 +11,8 @@ type cache = {
 
 type attraction = { ab_entries : int; ab_assoc : int }
 
+type interconnect = Shared_bus | Directory
+
 type t = {
   clusters : int;
   fus_per_cluster : (fu_kind * int) list;
@@ -22,7 +24,17 @@ type t = {
   l2_ports : int;
   l2_latency : int;
   attraction : attraction option;
+  interconnect : interconnect;
 }
+
+let interconnect_name = function Shared_bus -> "bus" | Directory -> "directory"
+
+let interconnect_of_string = function
+  | "bus" | "shared-bus" -> Some Shared_bus
+  | "directory" | "dir" -> Some Directory
+  | _ -> None
+
+let supported_clusters = [ 4; 8; 16; 32 ]
 
 let table2 =
   {
@@ -37,6 +49,7 @@ let table2 =
     l2_ports = 4;
     l2_latency = 10;
     attraction = None;
+    interconnect = Shared_bus;
   }
 
 let nobal_mem =
@@ -55,7 +68,31 @@ let nobal_reg =
 
 let with_interleave t i = { t with interleave_bytes = i }
 let with_attraction t a = { t with attraction = a }
+let with_interconnect t icn = { t with interconnect = icn }
 let default_attraction = { ab_entries = 16; ab_assoc = 2 }
+
+(* Grow a base configuration to [n] clusters, keeping per-cluster
+   resources constant: every cluster still owns a same-sized cache
+   module, the block grows so the interleave unit keeps dividing a
+   subblock, and shared resources (memory buses, next-level ports) scale
+   with the cluster count so per-cluster pressure is comparable across
+   scales. *)
+let scale_clusters t n =
+  if n = t.clusters then t
+  else
+    let module_bytes = t.cache.total_bytes / t.clusters in
+    let block_bytes = max t.cache.block_bytes (t.interleave_bytes * n) in
+    {
+      t with
+      clusters = n;
+      cache =
+        { t.cache with total_bytes = module_bytes * n; block_bytes };
+      mem_buses =
+        { t.mem_buses with bus_count = t.mem_buses.bus_count * n / t.clusters };
+      reg_buses =
+        { t.reg_buses with bus_count = t.reg_buses.bus_count * n / t.clusters };
+      l2_ports = t.l2_ports * n / t.clusters;
+    }
 
 let home_cluster t ~addr = addr / t.interleave_bytes mod t.clusters
 let block_number t ~addr = addr / t.cache.block_bytes
@@ -111,6 +148,10 @@ let validate t =
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
   if t.clusters <= 0 then err "clusters must be positive"
   else if not (is_pow2 t.clusters) then err "clusters must be a power of two"
+  else if not (List.mem t.clusters supported_clusters) then
+    err "clusters must be one of %s (got %d)"
+      (String.concat "/" (List.map string_of_int supported_clusters))
+      t.clusters
   else if t.cache.block_bytes mod t.clusters <> 0 then
     err "block size %d not divisible among %d clusters" t.cache.block_bytes
       t.clusters
@@ -147,6 +188,11 @@ let describe t =
   in
   [
     ("Number of clusters", string_of_int t.clusters);
+    ( "Interconnect",
+      match t.interconnect with
+      | Shared_bus -> "shared memory buses (snooping-style, global FIFO)"
+      | Directory ->
+        "packet-switched ring with distributed directory (per-link FIFO)" );
     ("Functional units", fus);
     ( "Cache parameters",
       Printf.sprintf "%dKB total (%d x %dB modules), %dB blocks, %d-way, %d cycle"

@@ -32,6 +32,21 @@ type attraction = {
   ab_assoc : int;  (** associativity (2) *)
 }
 
+(** How clusters reach remote cache modules. [Shared_bus] is the paper's
+    machine: all remote traffic shares a pool of snooping-style memory
+    buses draining one global FIFO queue. [Directory] replaces the buses
+    with a packet-switched ring and a distributed directory sharded by
+    home cluster (per-subblock present bits + dirty bit driving
+    invalidate/fetch/writeback flows); each link is FIFO but there is no
+    global arbitration order. *)
+type interconnect = Shared_bus | Directory
+
+val interconnect_name : interconnect -> string
+val interconnect_of_string : string -> interconnect option
+
+val supported_clusters : int list
+(** Cluster counts the machine model is validated for: 4, 8, 16, 32. *)
+
 type t = {
   clusters : int;
   fus_per_cluster : (fu_kind * int) list;
@@ -45,6 +60,7 @@ type t = {
   l2_ports : int;  (** ports of the next memory level (4) *)
   l2_latency : int;  (** total next-level latency, always a hit (10) *)
   attraction : attraction option;  (** [None] = no Attraction Buffers *)
+  interconnect : interconnect;  (** remote-access transport (default bus) *)
 }
 
 (** {1 Presets} *)
@@ -70,7 +86,15 @@ val with_interleave : t -> int -> t
 val with_attraction : t -> attraction option -> t
 (** Enable/disable Attraction Buffers (Section 5: 16-entry 2-way). *)
 
+val with_interconnect : t -> interconnect -> t
+
 val default_attraction : attraction
+
+val scale_clusters : t -> int -> t
+(** Grow a configuration to [n] clusters keeping per-cluster resources
+    constant: same-sized cache modules, a block large enough that the
+    interleave unit still divides a subblock, and shared resources
+    (memory/register buses, next-level ports) scaled proportionally. *)
 
 (** {1 Address geometry} *)
 

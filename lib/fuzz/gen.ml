@@ -4,6 +4,8 @@ module M = Vliw_arch.Machine
 
 type mconf = {
   mc_base : string;
+  mc_clusters : int;
+  mc_icn : string;
   mc_interleave : int;
   mc_membus : int;
   mc_ab : bool;
@@ -28,6 +30,12 @@ let machine mc =
     | "nobal-mem" -> M.nobal_mem
     | "nobal-reg" -> M.nobal_reg
     | _ -> M.table2
+  in
+  let base = M.scale_clusters base mc.mc_clusters in
+  let base =
+    match M.interconnect_of_string mc.mc_icn with
+    | Some icn -> M.with_interconnect base icn
+    | None -> failwith ("fuzz generator: unknown interconnect " ^ mc.mc_icn)
   in
   let m = M.with_interleave base mc.mc_interleave in
   let m =
@@ -310,6 +318,35 @@ let contend rng ~slot ~trip =
       ];
   }
 
+(* directory race: a hot address loaded (installing an Attraction-Buffer
+   replica) and stored close together every iteration, next to junk store
+   traffic keeping fills in flight — under the directory backend the
+   store's invalidate races the load's pending fill (the ab-fill-fresh
+   class); under the bus it degenerates to a tight MF/MA pair *)
+let dir_race rng ~slot ~trip =
+  let a = Printf.sprintf "a%d" slot
+  and j = Printf.sprintf "j%d" slot
+  and x = Printf.sprintf "x%d" slot
+  and s = Printf.sprintf "s%d" slot in
+  let ty = Prng.choice rng [| Ast.I32; Ast.I64 |] in
+  let c = Prng.int rng 4 in
+  {
+    mo_label = "dir-race";
+    mo_arrays =
+      [
+        arr a ty (trip + 2) (rand_init rng);
+        arr j Ast.I32 ((3 * trip) + 2) Ast.Zero;
+      ];
+    mo_scalars = [ sc s 0 ];
+    mo_stmts =
+      [
+        Ast.Let (x, Ast.Load (a, aff 0 c));
+        Ast.Store (a, aff 0 c, rand_val rng [| i_var; Ast.Var x |]);
+        Ast.Store (j, aff 3 0, i_var);
+        Ast.Assign (s, Ast.Binop (Ast.Add, Ast.Var s, Ast.Var x));
+      ];
+  }
+
 let motifs =
   [|
     mf_chain;
@@ -321,6 +358,7 @@ let motifs =
     split_access;
     carried;
     contend;
+    dir_race;
   |]
 
 let shape_names =
@@ -334,6 +372,7 @@ let shape_names =
     "split";
     "carried";
     "contend";
+    "dir-race";
   ]
 
 let generate ~seed ~budget index =
@@ -359,12 +398,15 @@ let generate ~seed ~budget index =
       (Printf.sprintf "fuzz generator built an ill-typed kernel (%d/%d): %s"
          seed index e));
   let mconf =
-    {
-      mc_base = Prng.choice rng [| "bal"; "bal"; "nobal-mem"; "nobal-reg" |];
-      mc_interleave = Prng.choice rng [| 2; 4 |];
-      mc_membus = Prng.int_in rng 1 4;
-      mc_ab = Prng.bool rng;
-    }
+    (* explicit draw order: OCaml does not fix record-field evaluation
+       order, and case identity must be stable across compilers *)
+    let mc_base = Prng.choice rng [| "bal"; "bal"; "nobal-mem"; "nobal-reg" |] in
+    let mc_clusters = Prng.choice rng [| 4; 4; 8; 16 |] in
+    let mc_icn = Prng.choice rng [| "bus"; "directory" |] in
+    let mc_interleave = Prng.choice rng [| 2; 4 |] in
+    let mc_membus = Prng.int_in rng 1 4 in
+    let mc_ab = Prng.bool rng in
+    { mc_base; mc_clusters; mc_icn; mc_interleave; mc_membus; mc_ab }
   in
   let jitter = if Prng.bool rng then 0 else Prng.int_in rng 1 6 in
   {
@@ -384,11 +426,12 @@ let to_file_string c =
   Printf.sprintf
     "# vliw-fuzz case\n\
      # seed=%d index=%d budget=%d\n\
-     # machine=%s interleave=%d membus=%d ab=%d jitter=%d\n\
+     # machine=%s clusters=%d interconnect=%s interleave=%d membus=%d ab=%d \
+     jitter=%d\n\
      # shapes=%s\n\
      %s"
-    c.g_seed c.g_index c.g_budget c.g_mconf.mc_base c.g_mconf.mc_interleave
-    c.g_mconf.mc_membus
+    c.g_seed c.g_index c.g_budget c.g_mconf.mc_base c.g_mconf.mc_clusters
+    c.g_mconf.mc_icn c.g_mconf.mc_interleave c.g_mconf.mc_membus
     (if c.g_mconf.mc_ab then 1 else 0)
     c.g_jitter
     (String.concat "," c.g_shapes)
@@ -432,6 +475,8 @@ let of_file_string src =
     g_mconf =
       {
         mc_base = str_of "machine" "bal";
+        mc_clusters = int_of "clusters" 4;
+        mc_icn = str_of "interconnect" "bus";
         mc_interleave = int_of "interleave" 4;
         mc_membus = int_of "membus" 4;
         mc_ab = int_of "ab" 0 <> 0;

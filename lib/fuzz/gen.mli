@@ -6,9 +6,12 @@
     may-alias strided accesses across [mayoverlap] arrays, indirect
     (register-addressed) accesses through an index table, split accesses
     (aliased arrays of different element widths), loop-carried scalar
-    recurrences, and a bus-contention motif (the Figure 2 scenario). A
-    case also carries a machine configuration — base preset, interleave
-    factor, memory-bus count, Attraction Buffers — and a bus-jitter bound.
+    recurrences, a bus-contention motif (the Figure 2 scenario), and a
+    directory-race motif (a hot address whose per-iteration store
+    invalidates race the load's in-flight Attraction-Buffer fill). A
+    case also carries a machine configuration — base preset, cluster
+    count, interconnect backend, interleave factor, memory-bus count,
+    Attraction Buffers — and a bus-jitter bound.
 
     Every case is a pure function of [(root seed, index)]: the generator
     draws from [Prng.derive (Prng.derive_named (Prng.create seed) "fuzz")
@@ -17,6 +20,9 @@
 
 type mconf = {
   mc_base : string;  (** ["bal"] (Table 2), ["nobal-mem"] or ["nobal-reg"] *)
+  mc_clusters : int;  (** cluster count the base preset is scaled to
+                          (4, 8 or 16; 4 is sampled twice as often) *)
+  mc_icn : string;  (** interconnect backend (["bus"] or ["directory"]) *)
   mc_interleave : int;  (** interleaving factor in bytes (2 or 4) *)
   mc_membus : int;  (** memory-bus count override (1..4) *)
   mc_ab : bool;  (** 16-entry 2-way Attraction Buffers enabled *)
@@ -49,8 +55,9 @@ val shape_names : string list
 (** {1 Repro files}
 
     A case serializes to a single [.lk] file whose header is a block of
-    [# key=value] directives (seed, index, budget, machine, interleave,
-    membus, ab, jitter, shapes) followed by the kernel in concrete syntax;
+    [# key=value] directives (seed, index, budget, machine, clusters,
+    interconnect, interleave, membus, ab, jitter, shapes) followed by the
+    kernel in concrete syntax;
     since [#] starts a comment, the whole file is also a valid kernel
     source. Loading a plain kernel file with no directives yields a case
     with default configuration, so hand-written kernels replay too. *)

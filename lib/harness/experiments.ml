@@ -43,11 +43,11 @@ let cached_runs () =
   let entries =
     Mutex.protect lock (fun () ->
         Hashtbl.fold
-          (fun (m, _, _, _) r acc -> (Memo.fingerprint m, r) :: acc)
+          (fun (m, _, _, _) r acc -> (Memo.fingerprint m, m, r) :: acc)
           cache [])
   in
   List.sort
-    (fun (fa, (a : R.bench_run)) (fb, b) ->
+    (fun (fa, _, (a : R.bench_run)) (fb, _, b) ->
       compare
         (fa, a.R.br_bench.W.b_name, R.technique_name a.R.br_technique,
          S.heuristic_name a.R.br_heuristic)
@@ -255,6 +255,70 @@ let table5 ?obs () =
         t5_removed = !removed;
       })
     [ "epicdec"; "pgpdec"; "rasta" ]
+
+(* --------- N-cluster scaling: bus vs directory (not in the paper) --------- *)
+
+type scale_row = {
+  sc_clusters : int;
+  sc_icn : M.interconnect;
+  sc_cycles : (R.technique * float) list;
+  sc_hops : int;
+  sc_lookups : int;
+  sc_invalidates : int;
+  sc_writebacks : int;
+  sc_violations : int;
+  sc_loops : int;
+  sc_verified : int;
+}
+
+(* a representative size mix rather than all figure benchmarks: the
+   32-cluster points cost real wall clock and the sweep's job is coverage
+   of the (clusters, interconnect) grid, not another full reproduction *)
+let scale_benches = [ "epicdec"; "g721dec"; "rasta" ]
+let scale_points = [ 4; 8; 16; 32 ]
+
+(* ABs on: without replicas the directory never forms sharers, so its
+   invalidate/writeback paths would go unexercised by the sweep *)
+let scale_machine n icn =
+  M.with_attraction
+    (M.with_interconnect (M.scale_clusters M.table2 n) icn)
+    (Some M.default_attraction)
+
+let scale ?obs () =
+  let benches = List.map W.find scale_benches in
+  let grid =
+    List.concat_map
+      (fun n -> [ (n, M.Shared_bus); (n, M.Directory) ])
+      scale_points
+  in
+  Pool.map
+    (fun (n, icn) ->
+      let machine = scale_machine n icn in
+      let by_tech =
+        List.map
+          (fun tech ->
+            (tech, List.map (fun b -> run ~machine ?obs (tech, S.Pref_clus) b) benches))
+          [ R.Mdc; R.Ddgt; R.Hybrid ]
+      in
+      let all = List.concat_map snd by_tech in
+      let isum f = List.fold_left (fun a r -> a + f r) 0 all in
+      {
+        sc_clusters = n;
+        sc_icn = icn;
+        sc_cycles =
+          List.map
+            (fun (t, rs) ->
+              (t, List.fold_left (fun a r -> a +. r.R.br_cycles) 0. rs))
+            by_tech;
+        sc_hops = isum (fun r -> r.R.br_packet_hops);
+        sc_lookups = isum (fun r -> r.R.br_dir_lookups);
+        sc_invalidates = isum (fun r -> r.R.br_dir_invalidates);
+        sc_writebacks = isum (fun r -> r.R.br_dir_writebacks);
+        sc_violations = isum (fun r -> r.R.br_violations);
+        sc_loops = isum (fun r -> List.length r.R.br_loops);
+        sc_verified = isum (fun r -> r.R.br_verified);
+      })
+    grid
 
 (* ------- static coherence verification coverage (not in the paper) ------- *)
 

@@ -25,9 +25,12 @@ val run :
     Pass one [obs] for the whole process (as [bench/main.exe] does) when
     every simulation must be audited. *)
 
-val cached_runs : unit -> (string * Runner.bench_run) list
-(** Every memoized run so far as [(machine fingerprint, run)], in a
-    deterministic order — the raw material of [bench/main.exe --json]. *)
+val cached_runs :
+  unit -> (string * Vliw_arch.Machine.t * Runner.bench_run) list
+(** Every memoized run so far as [(machine fingerprint, machine, run)], in
+    a deterministic order — the raw material of [bench/main.exe --json].
+    The machine is included so the report can name its cluster count and
+    interconnect next to the opaque fingerprint. *)
 
 (** {1 Figure 6 — classification of memory accesses (PrefClus)} *)
 
@@ -114,6 +117,33 @@ type t5_row = {
 val table5 : ?obs:Runner.obs -> unit -> t5_row list
 (** epicdec, pgpdec and rasta, like the paper (pgpenc is excluded there as
     "similar to pgpdec"). *)
+
+(** {1 N-cluster scaling sweep (beyond the paper)} *)
+
+type scale_row = {
+  sc_clusters : int;
+  sc_icn : Vliw_arch.Machine.interconnect;
+  sc_cycles : (Runner.technique * float) list;
+      (** per technique (MDC, DDGT, hybrid under PrefClus), total cycles
+          summed over the sweep benchmarks *)
+  sc_hops : int;  (** directory-packet hops (0 under the shared bus) *)
+  sc_lookups : int;
+  sc_invalidates : int;
+  sc_writebacks : int;
+  sc_violations : int;  (** must be 0: every scheme here is certified *)
+  sc_loops : int;
+  sc_verified : int;
+}
+
+val scale : ?obs:Runner.obs -> unit -> scale_row list
+(** One row per (cluster count, interconnect) over the grid
+    [{4,8,16,32} x {bus, directory}], each running MDC/DDGT/hybrid under
+    PrefClus on a representative benchmark subset (epicdec, g721dec,
+    rasta) with 16-entry ABs — ABs create the replicas whose coherence
+    the directory must track, so its invalidate and writeback paths are
+    exercised. All runs land in {!cached_runs}, so the machine-readable
+    report carries every point of the grid with per-run interconnect,
+    cluster-count and directory-traffic fields. *)
 
 (** {1 Static coherence verification coverage (beyond the paper)} *)
 

@@ -440,6 +440,44 @@ let trace_summary (s : Vliw_trace.Summary.t) =
   Buffer.add_string b (T.render st);
   Buffer.contents b
 
+let scale rows =
+  let t =
+    T.create
+      ~title:
+        "N-cluster scaling: shared bus vs directory (PrefClus, 16-entry \
+         ABs; cycles summed over epicdec/g721dec/rasta)"
+      [
+        ("clusters", T.Right); ("interconnect", T.Left); ("mdc", T.Right);
+        ("ddgt", T.Right); ("hybrid", T.Right); ("hops", T.Right);
+        ("lookups", T.Right); ("invalidates", T.Right);
+        ("writebacks", T.Right); ("violations", T.Right);
+        ("certified", T.Right);
+      ]
+  in
+  List.iter
+    (fun (r : E.scale_row) ->
+      let cyc tech =
+        match List.assoc_opt tech r.E.sc_cycles with
+        | Some c -> Printf.sprintf "%.0f" c
+        | None -> "-"
+      in
+      T.add_row t
+        [
+          string_of_int r.E.sc_clusters;
+          M.interconnect_name r.E.sc_icn;
+          cyc R.Mdc;
+          cyc R.Ddgt;
+          cyc R.Hybrid;
+          string_of_int r.E.sc_hops;
+          string_of_int r.E.sc_lookups;
+          string_of_int r.E.sc_invalidates;
+          string_of_int r.E.sc_writebacks;
+          string_of_int r.E.sc_violations;
+          Printf.sprintf "%d/%d" r.E.sc_verified r.E.sc_loops;
+        ])
+    rows;
+  T.render t
+
 let verification rows =
   let t =
     T.create

@@ -35,6 +35,12 @@ val trace_summary : Vliw_trace.Summary.t -> string
     stall-cause breakdown of one recorded simulation ([vliwc --trace]'s
     textual counterpart to the exported Chrome trace). *)
 
+(** {1 N-cluster scaling} *)
+
+val scale : Experiments.scale_row list -> string
+(** Per-(clusters, interconnect) cycle totals for MDC/DDGT/hybrid with the
+    directory-traffic counters beside them. *)
+
 (** {1 Static coherence verification} *)
 
 val verification : Experiments.verif_row list -> string

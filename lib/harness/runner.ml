@@ -58,6 +58,10 @@ type bench_run = {
   br_ab_hits : int;
   br_ab_flushed : int;
   br_verified : int;
+  br_dir_lookups : int;
+  br_dir_invalidates : int;
+  br_dir_writebacks : int;
+  br_packet_hops : int;
 }
 
 let machine_for base (b : W.benchmark) = M.with_interleave base b.b_interleave
@@ -259,6 +263,10 @@ let run_bench ~machine ?obs ?lat_policy ?ordering ?transform technique
       List.fold_left
         (fun acc lr -> if lr.lr_verify.V.r_verified then acc + 1 else acc)
         0 loops;
+    br_dir_lookups = isum (fun s -> s.Sim.dir_lookups);
+    br_dir_invalidates = isum (fun s -> s.Sim.dir_invalidates);
+    br_dir_writebacks = isum (fun s -> s.Sim.dir_writebacks);
+    br_packet_hops = isum (fun s -> s.Sim.packet_hops);
   }
 
 type access_mix = {

@@ -61,6 +61,11 @@ type bench_run = {
   br_ab_hits : int;
   br_ab_flushed : int;
   br_verified : int;  (** loops whose schedule the static verifier certified *)
+  br_dir_lookups : int;  (** directory-backend traffic totals over loops
+                             (all zero under the shared-bus backend) *)
+  br_dir_invalidates : int;
+  br_dir_writebacks : int;
+  br_packet_hops : int;
 }
 
 (** {1 Observability configuration}

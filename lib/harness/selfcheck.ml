@@ -1,13 +1,16 @@
 module Json = Vliw_util.Json
 module W = Vliw_workloads.Workloads
+module M = Vliw_arch.Machine
 
 (* One benchmark run as the machine-readable report records it. This is the
    single source of truth for bench/main.exe --json and for the drift
    check: both sides of the comparison go through this encoding. *)
-let run_json (fp, (r : Runner.bench_run)) =
+let run_json (fp, (m : M.t), (r : Runner.bench_run)) =
   Json.Obj
     [
       ("machine", Json.String fp);
+      ("clusters", Json.Int m.M.clusters);
+      ("interconnect", Json.String (M.interconnect_name m.M.interconnect));
       ("bench", Json.String r.Runner.br_bench.W.b_name);
       ("technique", Json.String (Runner.technique_name r.Runner.br_technique));
       ( "heuristic",
@@ -27,6 +30,10 @@ let run_json (fp, (r : Runner.bench_run)) =
       ("ab_flushed", Json.Int r.Runner.br_ab_flushed);
       ("loops", Json.Int (List.length r.Runner.br_loops));
       ("verified_loops", Json.Int r.Runner.br_verified);
+      ("dir_lookups", Json.Int r.Runner.br_dir_lookups);
+      ("dir_invalidates", Json.Int r.Runner.br_dir_invalidates);
+      ("dir_writebacks", Json.Int r.Runner.br_dir_writebacks);
+      ("packet_hops", Json.Int r.Runner.br_packet_hops);
     ]
 
 type drift = {

@@ -8,9 +8,13 @@
     bug), never noise. Timing fields ([*_s]) are host-dependent and
     excluded. The CI counter-drift job fails on any reported drift. *)
 
-val run_json : string * Runner.bench_run -> Vliw_util.Json.t
+val run_json :
+  string * Vliw_arch.Machine.t * Runner.bench_run -> Vliw_util.Json.t
 (** One memoized run ([Experiments.cached_runs] element) as the report's
-    run object — the shared encoding used by [--json] and {!check}. *)
+    run object — the shared encoding used by [--json] and {!check}. Besides
+    the opaque machine fingerprint it names the cluster count and
+    interconnect backend, and carries the directory-traffic totals
+    (all-zero under the shared bus). *)
 
 type drift = {
   d_run : string;  (** "machine / bench / technique / heuristic" *)

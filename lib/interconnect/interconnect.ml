@@ -1,0 +1,337 @@
+(* Interconnect engines shared by both simulator engines. All arbitration
+   decisions, PRNG draws and delivery orderings happen here, so the wheel
+   and reference engines agree bit-for-bit by construction. *)
+
+module M = Vliw_arch.Machine
+
+type source_order = Global_fifo | Per_link_fifo | Unordered
+
+type guarantees = {
+  g_interconnect : M.interconnect;
+  g_source_order : source_order;
+  g_order_under_jitter : bool;
+  g_min_remote_latency : int;
+}
+
+let guarantees (m : M.t) =
+  match m.M.interconnect with
+  | M.Shared_bus ->
+    {
+      g_interconnect = M.Shared_bus;
+      g_source_order = Global_fifo;
+      (* every grant draws its own transfer latency, so under jitter a
+         later grant can arrive before an earlier one *)
+      g_order_under_jitter = false;
+      g_min_remote_latency = m.M.mem_buses.M.bus_latency;
+    }
+  | M.Directory ->
+    {
+      g_interconnect = M.Directory;
+      g_source_order = Per_link_fifo;
+      (* links are non-overtaking channels: a delayed packet delays its
+         followers instead of being passed by them *)
+      g_order_under_jitter = true;
+      g_min_remote_latency = max 1 m.M.mem_buses.M.bus_latency;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Bus: pool of memory buses draining one global FIFO queue.          *)
+(*                                                                    *)
+(* Extracted verbatim from the engines' previous inline bus logic:    *)
+(* grants scan buses in index order, the queue head is popped when a  *)
+(* bus is free, and the jitter draw happens once per grant after the  *)
+(* pop. The queue is a growable ring over plain int arrays plus one   *)
+(* payload array, so the simulation hot path allocates nothing.       *)
+(* ------------------------------------------------------------------ *)
+
+module Bus = struct
+  type 'a t = {
+    latency : int;
+    bus_free : int array;
+    dummy : 'a;
+    mutable cap : int;
+    mutable head : int;
+    mutable len : int;
+    mutable q_ready : int array;
+    mutable q_req : int array;
+    mutable q_txn : int array;
+    mutable q_payload : 'a array;
+    mutable txn_counter : int;
+  }
+
+  let create ~buses ~latency ~dummy =
+    let cap = 256 in
+    {
+      latency;
+      bus_free = Array.make buses 0;
+      dummy;
+      cap;
+      head = 0;
+      len = 0;
+      q_ready = Array.make cap 0;
+      q_req = Array.make cap 0;
+      q_txn = Array.make cap 0;
+      q_payload = Array.make cap dummy;
+      txn_counter = 0;
+    }
+
+  let grow t =
+    let cap' = t.cap * 2 in
+    let regrow_int r =
+      let a = Array.make cap' 0 in
+      for i = 0 to t.len - 1 do
+        a.(i) <- r.((t.head + i) mod t.cap)
+      done;
+      a
+    in
+    let p = Array.make cap' t.dummy in
+    for i = 0 to t.len - 1 do
+      p.(i) <- t.q_payload.((t.head + i) mod t.cap)
+    done;
+    t.q_ready <- regrow_int t.q_ready;
+    t.q_req <- regrow_int t.q_req;
+    t.q_txn <- regrow_int t.q_txn;
+    t.q_payload <- p;
+    t.head <- 0;
+    t.cap <- cap'
+
+  let request t ~now payload =
+    let txn = t.txn_counter in
+    t.txn_counter <- txn + 1;
+    if t.len >= t.cap then grow t;
+    let i = (t.head + t.len) mod t.cap in
+    t.len <- t.len + 1;
+    t.q_ready.(i) <- now;
+    t.q_req.(i) <- now;
+    t.q_txn.(i) <- txn;
+    t.q_payload.(i) <- payload;
+    txn
+
+  let pending t = t.len > 0
+
+  let dispatch t ~now ~jit ~grant =
+    let nbuses = Array.length t.bus_free in
+    for b = 0 to nbuses - 1 do
+      if t.bus_free.(b) <= now && t.len > 0 then begin
+        let h = t.head in
+        if t.q_ready.(h) <= now then begin
+          t.head <- (h + 1) mod t.cap;
+          t.len <- t.len - 1;
+          let lat = t.latency + jit () in
+          t.bus_free.(b) <- now + lat;
+          let payload = t.q_payload.(h) in
+          t.q_payload.(h) <- t.dummy;
+          grant ~txn:t.q_txn.(h) ~bus:b
+            ~wait:(now - t.q_req.(h))
+            ~lat ~arrival:(now + lat) payload
+        end
+      end
+    done
+end
+
+(* ------------------------------------------------------------------ *)
+(* Directory: packet-switched bidirectional ring + distributed        *)
+(* directory sharded by home cluster.                                 *)
+(*                                                                    *)
+(* Routing: shortest path around the ring, ties broken clockwise; the *)
+(* direction is fixed at injection. Each directed link serializes     *)
+(* entry (one departure per cycle) and is a FIFO channel: a packet's  *)
+(* arrival is clamped to after its link predecessor's arrival, so     *)
+(* jitter cannot reorder same-link traffic.                           *)
+(*                                                                    *)
+(* The directory bank at each home cluster tracks, per subblock, the  *)
+(* present-bit mask of clusters holding an Attraction-Buffer replica  *)
+(* plus a dirty bit. A store at the home enqueues invalidates to      *)
+(* every other sharer; a sharer invalidating a locally-written        *)
+(* replica answers with a writeback acknowledgement.                  *)
+(* ------------------------------------------------------------------ *)
+
+module Directory = struct
+  type 'a delivery =
+    | Request of 'a
+    | Response of 'a
+    | Invalidate of { subblock : int; home : int }
+    | Writeback_ack of { subblock : int; from : int }
+
+  type stats = {
+    d_lookups : int;
+    d_invalidates : int;
+    d_writebacks : int;
+    d_hops : int;
+  }
+
+  type 'a packet = {
+    p_txn : int;
+    p_payload : 'a delivery;
+    p_dst : int;
+    p_dir : int; (* +1 clockwise / -1 counter-clockwise *)
+    mutable p_at : int; (* current node *)
+    mutable p_arrived : bool;
+        (* scheduled entry is the arrival at [p_at] (deliver) rather
+           than a departure attempt from [p_at] *)
+  }
+
+  type dir_entry = { mutable e_mask : int; mutable e_dirty : bool }
+
+  type 'a t = {
+    clusters : int;
+    hop_latency : int;
+    (* directed link u->u+1 has id 2u, link u->u-1 has id 2u+1 *)
+    link_free : int array; (* next cycle the link entry accepts a packet *)
+    link_last : int array; (* arrival time of the link's last traversal *)
+    buckets : (int, 'a packet list ref) Hashtbl.t; (* cycle -> rev list *)
+    entries : (int, dir_entry) Hashtbl.t; (* subblock -> sharers *)
+    mutable txn_counter : int;
+    mutable in_flight : int;
+    mutable lookups : int;
+    mutable invalidates : int;
+    mutable writebacks : int;
+    mutable hops : int;
+  }
+
+  let create ~clusters ~hop_latency ~dummy:_ =
+    {
+      clusters;
+      hop_latency;
+      link_free = Array.make (2 * clusters) 0;
+      link_last = Array.make (2 * clusters) 0;
+      buckets = Hashtbl.create 64;
+      entries = Hashtbl.create 512;
+      txn_counter = 0;
+      in_flight = 0;
+      lookups = 0;
+      invalidates = 0;
+      writebacks = 0;
+      hops = 0;
+    }
+
+  let pending t = t.in_flight > 0
+
+  let schedule t cycle p =
+    match Hashtbl.find_opt t.buckets cycle with
+    | Some l -> l := p :: !l
+    | None -> Hashtbl.add t.buckets cycle (ref [ p ])
+
+  (* Shortest way around the ring; ties go clockwise. *)
+  let direction t ~src ~dst =
+    let n = t.clusters in
+    let cw = (dst - src + n) mod n in
+    if cw <= n - cw then 1 else -1
+
+  (* Injection takes effect next cycle: [step] for the current cycle may
+     already have run when the engines inject (module service and issue
+     happen after the network phase), so a same-cycle bucket entry could
+     be silently skipped. *)
+  let inject t ~now ~src ~dst payload =
+    let txn = t.txn_counter in
+    t.txn_counter <- txn + 1;
+    let p =
+      {
+        p_txn = txn;
+        p_payload = payload;
+        p_dst = dst;
+        p_dir = direction t ~src ~dst;
+        p_at = src;
+        p_arrived = src = dst;
+      }
+    in
+    t.in_flight <- t.in_flight + 1;
+    schedule t (now + 1) p;
+    txn
+
+  let send_request t ~now ~src ~dst payload =
+    inject t ~now ~src ~dst (Request payload)
+
+  let send_response t ~now ~src ~dst payload =
+    inject t ~now ~src ~dst (Response payload)
+
+  let entry t subblock =
+    match Hashtbl.find_opt t.entries subblock with
+    | Some e -> e
+    | None ->
+      let e = { e_mask = 0; e_dirty = false } in
+      Hashtbl.add t.entries subblock e;
+      e
+
+  let lookup t ~home:_ ~subblock =
+    t.lookups <- t.lookups + 1;
+    match Hashtbl.find_opt t.entries subblock with
+    | Some e -> e.e_mask
+    | None -> 0
+
+  let store_apply t ~now ~home ~subblock ~requester =
+    let e = entry t subblock in
+    let keep = if requester >= 0 then 1 lsl requester else 0 in
+    let sharers = e.e_mask land lnot keep in
+    e.e_mask <- e.e_mask land keep;
+    e.e_dirty <- true;
+    let sent = ref 0 in
+    for c = 0 to t.clusters - 1 do
+      if sharers land (1 lsl c) <> 0 then begin
+        ignore (inject t ~now ~src:home ~dst:c (Invalidate { subblock; home }));
+        incr sent
+      end
+    done;
+    t.invalidates <- t.invalidates + !sent;
+    !sent
+
+  let confirm_install t ~cluster ~subblock =
+    let e = entry t subblock in
+    e.e_mask <- e.e_mask lor (1 lsl cluster);
+    e.e_dirty <- false
+
+  let drop_replica t ~cluster ~subblock =
+    match Hashtbl.find_opt t.entries subblock with
+    | Some e -> e.e_mask <- e.e_mask land lnot (1 lsl cluster)
+    | None -> ()
+
+  let writeback t ~now ~src ~home ~subblock =
+    ignore (inject t ~now ~src ~dst:home (Writeback_ack { subblock; from = src }))
+
+  let step t ~now ~jit ~emit_hop ~deliver =
+    match Hashtbl.find_opt t.buckets now with
+    | None -> ()
+    | Some l ->
+      Hashtbl.remove t.buckets now;
+      List.iter
+        (fun p ->
+          if p.p_arrived && p.p_at = p.p_dst then begin
+            t.in_flight <- t.in_flight - 1;
+            (match p.p_payload with
+            | Writeback_ack _ -> t.writebacks <- t.writebacks + 1
+            | _ -> ());
+            deliver ~dst:p.p_dst ~txn:p.p_txn p.p_payload
+          end
+          else begin
+            (* departure attempt from p_at in direction p_dir *)
+            let u = p.p_at in
+            let link = (2 * u) + if p.p_dir > 0 then 0 else 1 in
+            let free = t.link_free.(link) in
+            if free > now then (
+              (* link entry busy this cycle: retry when it opens *)
+              p.p_arrived <- false;
+              schedule t free p)
+            else begin
+              t.link_free.(link) <- now + 1;
+              let v = (u + p.p_dir + t.clusters) mod t.clusters in
+              let lat = t.hop_latency + jit () in
+              (* FIFO channel: never overtake the link predecessor *)
+              let arrival = max (now + lat) (t.link_last.(link) + 1) in
+              t.link_last.(link) <- arrival;
+              t.hops <- t.hops + 1;
+              emit_hop ~txn:p.p_txn ~src:u ~dst:v;
+              p.p_at <- v;
+              p.p_arrived <- v = p.p_dst;
+              schedule t arrival p
+            end
+          end)
+        (List.rev !l)
+
+  let stats t =
+    {
+      d_lookups = t.lookups;
+      d_invalidates = t.invalidates;
+      d_writebacks = t.writebacks;
+      d_hops = t.hops;
+    }
+end

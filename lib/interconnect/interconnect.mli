@@ -1,0 +1,162 @@
+(** The interconnect abstraction: how clusters reach remote cache
+    modules, as a signature with explicit ordering guarantees plus the
+    two engines implementing it.
+
+    Both simulator engines ([Engine_reference] and [Engine_wheel]) drive
+    these components through the same narrow interface — request, grant,
+    transfer — so the two engines stay bit-identical by construction:
+    every arbitration decision, PRNG draw and delivery order is made
+    inside this library, not in engine-specific code.
+
+    {b Bus} is the paper's machine: a pool of shared memory buses
+    draining one global FIFO request queue. Ordering guarantee: global
+    FIFO grant order with a fixed nominal transfer latency, so two
+    transactions injected in order arrive in order — {e unless}
+    per-transfer jitter is enabled, in which case independently drawn
+    latencies can invert arrivals.
+
+    {b Directory} is a packet-switched bidirectional ring with a
+    distributed directory sharded by home cluster. Each directed link is
+    a FIFO channel (packets cannot overtake on a link, even under
+    jitter), but there is no global arbitration order across sources.
+    The directory bank at each home cluster tracks, per subblock, a
+    present-bit mask of clusters holding an Attraction-Buffer replica
+    plus a dirty bit, and drives invalidate / fetch / writeback flows. *)
+
+module M = Vliw_arch.Machine
+
+(** {1 Declared ordering guarantees}
+
+    The static verifier consumes these instead of hardcoding bus-FIFO
+    reasoning: a proof rule that leans on an ordering the selected
+    backend does not declare must reject the schedule. *)
+
+(** Delivery order of two conflicting packets injected by the same
+    cluster (same source, meeting at the same home module):
+    - [Global_fifo]: a single arbitration queue over all sources; any
+      two in-order injections arrive in order (nominal latencies).
+    - [Per_link_fifo]: each link is a non-overtaking FIFO channel;
+      same-source packets to the same destination share a route and
+      arrive in order, but packets from different sources are unordered.
+    - [Unordered]: no delivery-order guarantee at all (no shipped
+      backend declares this; the verifier must reject any proof that
+      needs source ordering against such a backend). *)
+type source_order = Global_fifo | Per_link_fifo | Unordered
+
+type guarantees = {
+  g_interconnect : M.interconnect;
+  g_source_order : source_order;
+  g_order_under_jitter : bool;
+      (** does [g_source_order] survive per-transfer latency jitter?
+          True for FIFO channels (a delayed packet delays its
+          followers), false for the bus pool (independent draws per
+          grant can invert arrivals). *)
+  g_min_remote_latency : int;
+      (** lower bound, in cycles, of any remote leg; the local-first
+          proof rule needs this to be at least 1 *)
+}
+
+val guarantees : M.t -> guarantees
+(** The guarantees declared by [machine.interconnect]. *)
+
+(** {1 Bus: shared memory buses over one global FIFO queue} *)
+
+module Bus : sig
+  type 'a t
+  (** ['a] is the engine's payload: an int-encoded transaction for the
+      wheel engine, a continuation for the reference engine. *)
+
+  val create : buses:int -> latency:int -> dummy:'a -> 'a t
+  (** [dummy] initialises internal storage and is never delivered. *)
+
+  val request : 'a t -> now:int -> 'a -> int
+  (** Enqueue a transaction; returns its fresh transaction id. *)
+
+  val pending : 'a t -> bool
+  (** Requests queued but not yet granted. *)
+
+  val dispatch :
+    'a t ->
+    now:int ->
+    jit:(unit -> int) ->
+    grant:
+      (txn:int -> bus:int -> wait:int -> lat:int -> arrival:int -> 'a -> unit) ->
+    unit
+  (** One arbitration round: every free bus grants the queue head, in
+      bus-index order. [jit] is drawn exactly once per grant, after the
+      pop — the call site the engines' PRNG streams are pinned to.
+      [lat] is the full transfer latency ([latency + jit ()]) and
+      [arrival = now + lat]. *)
+end
+
+(** {1 Directory: packet-switched ring + distributed directory} *)
+
+module Directory : sig
+  type 'a t
+
+  (** What arrives at a cluster when a packet completes its last hop. *)
+  type 'a delivery =
+    | Request of 'a  (** a remote access reaching its home module *)
+    | Response of 'a  (** fill data reaching the requesting cluster *)
+    | Invalidate of { subblock : int; home : int }
+        (** directory orders this cluster to drop its replica *)
+    | Writeback_ack of { subblock : int; from : int }
+        (** a sharer acknowledged an invalidate of a locally-written
+            replica; arrives at the home bank *)
+
+  type stats = {
+    d_lookups : int;  (** directory-bank lookups at home clusters *)
+    d_invalidates : int;  (** invalidate packets sent *)
+    d_writebacks : int;  (** writeback acknowledgements received *)
+    d_hops : int;  (** total link traversals of all packets *)
+  }
+
+  val create : clusters:int -> hop_latency:int -> dummy:'a -> 'a t
+
+  val pending : 'a t -> bool
+  (** Packets still in flight (the engine main loops must keep running
+      until the network drains). *)
+
+  val send_request : 'a t -> now:int -> src:int -> dst:int -> 'a -> int
+  (** Inject a request packet; returns its transaction id. *)
+
+  val send_response : 'a t -> now:int -> src:int -> dst:int -> 'a -> int
+
+  val lookup : 'a t -> home:int -> subblock:int -> int
+  (** Record a directory-bank lookup at [home]; returns the current
+      sharer mask (for tracing). Called by the engines when a request is
+      first serviced at its home module (combined requests share the
+      original's lookup). *)
+
+  val store_apply : 'a t -> now:int -> home:int -> subblock:int -> requester:int -> int
+  (** A store took effect at [home]: enqueue an invalidate packet to
+      every sharer except [requester], clear their present bits, set the
+      dirty bit. Returns the number of invalidates sent. *)
+
+  val confirm_install : 'a t -> cluster:int -> subblock:int -> unit
+  (** The requester accepted a fill into its Attraction Buffer: set its
+      present bit and clear the dirty bit. *)
+
+  val drop_replica : 'a t -> cluster:int -> subblock:int -> unit
+  (** A replica was evicted (AB capacity victim): clear its present bit
+      so the directory stops tracking it. *)
+
+  val writeback : 'a t -> now:int -> src:int -> home:int -> subblock:int -> unit
+  (** A sharer invalidated a locally-written replica: send the
+      writeback acknowledgement packet back to the home bank. *)
+
+  val step :
+    'a t ->
+    now:int ->
+    jit:(unit -> int) ->
+    emit_hop:(txn:int -> src:int -> dst:int -> unit) ->
+    deliver:(dst:int -> txn:int -> 'a delivery -> unit) ->
+    unit
+  (** Advance every packet due this cycle by one hop, in deterministic
+      (scheduling) order. [jit] is drawn once per hop; a jittered hop
+      cannot overtake its link predecessor (links are FIFO channels).
+      [emit_hop] fires for every link traversal; [deliver] fires when a
+      packet completes its final hop. *)
+
+  val stats : 'a t -> stats
+end

@@ -83,24 +83,69 @@ let rec permutations = function
 let postpass req g (s : Schedule.t) =
   let n = req.machine.M.clusters in
   let mems = G.mem_refs g in
+  (* weight.(cl).(phys): profiled local-access score of mapping virtual
+     cluster [cl] onto physical cluster [phys]; any permutation's score is
+     the sum of its n picks, so the search only needs this matrix *)
+  let weight = Array.make_matrix n n 0 in
+  List.iter
+    (fun ((nd : G.node), _) ->
+      match (Hashtbl.find_opt s.place nd.n_id, req.pref nd.n_id) with
+      | Some (_, cl), Some h when Array.length h = n ->
+        for phys = 0 to n - 1 do
+          weight.(cl).(phys) <- weight.(cl).(phys) + h.(phys)
+        done
+      | _ -> ())
+    mems;
   let score perm =
-    List.fold_left
-      (fun acc ((nd : G.node), _) ->
-        match (Hashtbl.find_opt s.place nd.n_id, req.pref nd.n_id) with
-        | Some (_, cl), Some h when Array.length h = n -> acc + h.(perm.(cl))
-        | _ -> acc)
-      0 mems
+    let acc = ref 0 in
+    for cl = 0 to n - 1 do
+      acc := !acc + weight.(cl).(perm.(cl))
+    done;
+    !acc
   in
   let identity = Array.init n Fun.id in
   let best = ref identity and best_score = ref (score identity) in
-  List.iter
-    (fun p ->
-      let perm = Array.of_list p in
-      let sc = score perm in
-      if sc > !best_score then (
-        best := perm;
-        best_score := sc))
-    (permutations (List.init n Fun.id));
+  (if n <= 8 then
+     (* exhaustive n! search: exact, and cheap up to 8! = 40320 *)
+     List.iter
+       (fun p ->
+         let perm = Array.of_list p in
+         let sc = score perm in
+         if sc > !best_score then (
+           best := perm;
+           best_score := sc))
+       (permutations (List.init n Fun.id))
+   else begin
+     (* scaled machines: n! is unusable at 16+, so solve the linear
+        assignment greedily — highest-weight (cl, phys) pair first, ties
+        broken by index for determinism. Approximate where the small-n
+        search was exact, which only costs MinComs some locality, never
+        correctness: any permutation yields a valid schedule. *)
+     let pairs = ref [] in
+     for cl = 0 to n - 1 do
+       for ph = 0 to n - 1 do
+         pairs := (weight.(cl).(ph), cl, ph) :: !pairs
+       done
+     done;
+     let sorted =
+       List.sort
+         (fun (wa, ca, pa) (wb, cb, pb) -> compare (-wa, ca, pa) (-wb, cb, pb))
+         !pairs
+     in
+     let perm = Array.make n (-1) in
+     let taken = Array.make n false in
+     List.iter
+       (fun (_, cl, ph) ->
+         if perm.(cl) < 0 && not taken.(ph) then begin
+           perm.(cl) <- ph;
+           taken.(ph) <- true
+         end)
+       sorted;
+     let sc = score perm in
+     if sc > !best_score then (
+       best := perm;
+       best_score := sc)
+   end);
   let perm = !best in
   if perm = identity then s
   else (

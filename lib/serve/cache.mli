@@ -1,8 +1,13 @@
-(** Sharded response cache with in-flight request coalescing.
+(** Sharded response cache with in-flight request coalescing and bounded
+    per-shard LRU eviction.
 
     The server's request-level memoization: completed outcomes are kept
-    for the server's lifetime, and identical requests that arrive while
-    the first is still compiling {e join} it instead of compiling again.
+    up to a configurable capacity ({!create}'s [max_entries]; unbounded
+    by default), and identical requests that arrive while the first is
+    still compiling {e join} it instead of compiling again. Filling past
+    the capacity evicts the least-recently-used completed entry of the
+    key's shard — a hit refreshes recency, and in-flight claims are never
+    evicted (a running compile owns them) nor counted against the cap.
     Storage is split into independently-locked shards selected by key
     hash; {!shard_of_key} is also the service's placement hint
     (fingerprint affinity).
@@ -14,10 +19,18 @@
 
 type 'v t
 
-val create : ?shards:int -> unit -> 'v t
-(** [shards] (default 16) is rounded up to a power of two. *)
+val create : ?shards:int -> ?max_entries:int -> unit -> 'v t
+(** [shards] (default 16) is rounded up to a power of two. [max_entries]
+    bounds the completed entries kept across all shards — distributed
+    evenly (rounded up) as a per-shard cap; [0] (the default) means
+    unbounded. *)
 
 val shard_count : 'v t -> int
+
+val capacity : 'v t -> int
+(** Total completed-entry capacity actually enforced (the per-shard cap
+    times the shard count — at least [create]'s [max_entries]); [0] when
+    unbounded. *)
 
 val shard_of_key : 'v t -> string -> int
 (** Stable shard index of a key in [0, shard_count)]. *)
@@ -48,6 +61,7 @@ type stats = {
   c_contended : int;
       (** shard-lock acquisitions that found the lock already held *)
   c_entries : int;
+  c_evictions : int;  (** completed entries dropped by the LRU cap *)
 }
 
 val stats : 'v t -> stats

@@ -66,7 +66,7 @@ let default_opts =
     op_trace_file = None;
   }
 
-let machine_of_spec ~name ~interleave ~ab =
+let machine_of_spec ?(clusters = 4) ?(icn = "bus") ~name ~interleave ~ab () =
   let base =
     match name with
     | "bal" -> Ok M.table2
@@ -77,14 +77,39 @@ let machine_of_spec ~name ~interleave ~ab =
   in
   match base with
   | Error _ as e -> e
-  | Ok base ->
-    let base =
-      if ab then M.with_attraction base (Some M.default_attraction) else base
-    in
-    let machine = M.with_interleave base interleave in
-    (match M.validate machine with
-    | Ok () -> Ok machine
-    | Error e -> Error (Printf.sprintf "invalid machine configuration: %s" e))
+  | Ok base -> (
+    match M.interconnect_of_string icn with
+    | None -> Error (Printf.sprintf "unknown interconnect %S (bus, directory)" icn)
+    | Some interconnect ->
+      let base = M.scale_clusters base clusters in
+      let base = M.with_interconnect base interconnect in
+      let base =
+        if ab then M.with_attraction base (Some M.default_attraction) else base
+      in
+      let machine = M.with_interleave base interleave in
+      (match M.validate machine with
+      | Ok () -> Ok machine
+      | Error e -> Error (Printf.sprintf "invalid machine configuration: %s" e)))
+
+(* leading/interleaved '#' comment lines of a .lk source, as key=value
+   directives (the same convention the fuzzer's repro files use) *)
+let source_directives src =
+  let kv = ref [] in
+  String.split_on_char '\n' src
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if String.length line > 0 && line.[0] = '#' then
+           String.sub line 1 (String.length line - 1)
+           |> String.split_on_char ' '
+           |> List.iter (fun tok ->
+                  match String.index_opt tok '=' with
+                  | Some i ->
+                    kv :=
+                      ( String.sub tok 0 i,
+                        String.sub tok (i + 1) (String.length tok - i - 1) )
+                      :: !kv
+                  | None -> ()));
+  List.rev !kv
 
 type summary = {
   s_name : string;

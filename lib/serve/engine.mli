@@ -36,10 +36,24 @@ val default_opts : opts
     height ordering, everything else off). *)
 
 val machine_of_spec :
-  name:string -> interleave:int -> ab:bool -> (Vliw_arch.Machine.t, string) result
+  ?clusters:int ->
+  ?icn:string ->
+  name:string ->
+  interleave:int ->
+  ab:bool ->
+  unit ->
+  (Vliw_arch.Machine.t, string) result
 (** Build and validate a machine from its CLI spelling ([bal],
-    [nobal-mem], [nobal-reg]), an interleave factor and the AB flag. The
-    error string is the message vliwc prints before exiting 2. *)
+    [nobal-mem], [nobal-reg]), an interleave factor and the AB flag.
+    [clusters] (default 4) scales the preset keeping per-cluster
+    resources constant; [icn] (default ["bus"]) selects the interconnect
+    backend ([bus] or [directory]). The error string is the message vliwc
+    prints before exiting 2. *)
+
+val source_directives : string -> (string * string) list
+(** [key=value] pairs found on ['#'] comment lines of a [.lk] source, in
+    order — the header-directive convention shared with the fuzzer's
+    repro files (e.g. [# clusters=8 interconnect=directory]). *)
 
 type summary = {
   s_name : string;  (** kernel name *)

@@ -30,13 +30,13 @@ type t = {
    compiles from constantly dragging each other into them. *)
 let default_minor_heap_words = 8 * 1024 * 1024
 
-let create ?jobs ?(queue_capacity = 64) ?(shards = 16)
+let create ?jobs ?(queue_capacity = 64) ?(shards = 16) ?(cache_max = 0)
     ?(minor_heap_words = default_minor_heap_words) ?(retry_after_ms = 5)
     ?(max_spans = 20_000) () =
   {
     sv_service =
       Pool.Service.start ?jobs ~capacity:queue_capacity ~minor_heap_words ();
-    sv_cache = Cache.create ~shards ();
+    sv_cache = Cache.create ~shards ~max_entries:cache_max ();
     sv_retry_after_ms = retry_after_ms;
     sv_submitted = Atomic.make 0;
     sv_completed = Atomic.make 0;
@@ -56,7 +56,7 @@ let queue_capacity t = Pool.Service.capacity t.sv_service
 let compile (rq : Protocol.request) : Protocol.outcome =
   match
     Engine.machine_of_spec ~name:rq.Protocol.rq_machine
-      ~interleave:rq.Protocol.rq_interleave ~ab:rq.Protocol.rq_ab
+      ~interleave:rq.Protocol.rq_interleave ~ab:rq.Protocol.rq_ab ()
   with
   | Error e ->
     { Protocol.o_output = ""; o_error = Some e; o_exit = 2; o_kernels = [] }
@@ -201,6 +201,8 @@ let stats_json t =
             ("misses", Json.Int c.Cache.c_misses);
             ("contended", Json.Int c.Cache.c_contended);
             ("entries", Json.Int c.Cache.c_entries);
+            ("evictions", Json.Int c.Cache.c_evictions);
+            ("capacity", Json.Int (Cache.capacity t.sv_cache));
             ("shards", Json.Int (Cache.shard_count t.sv_cache));
           ] );
       ( "queues",

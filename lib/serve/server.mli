@@ -25,6 +25,7 @@ val create :
   ?jobs:int ->
   ?queue_capacity:int ->
   ?shards:int ->
+  ?cache_max:int ->
   ?minor_heap_words:int ->
   ?retry_after_ms:int ->
   ?max_spans:int ->
@@ -32,8 +33,10 @@ val create :
   t
 (** Start the worker pool ([jobs] domains, default {!Vliw_util.Pool.jobs});
     each worker queue holds at most [queue_capacity] requests (default
-    64). [shards] (default 16) sizes the response cache; [max_spans]
-    bounds the retained per-request timing spans. *)
+    64). [shards] (default 16) sizes the response cache and [cache_max]
+    bounds its completed entries with per-shard LRU eviction (default 0 =
+    unbounded); [max_spans] bounds the retained per-request timing
+    spans. *)
 
 val jobs : t -> int
 val queue_capacity : t -> int

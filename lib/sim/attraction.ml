@@ -6,6 +6,7 @@ type entry = {
   mutable base : int;  (** first byte address covered *)
   mutable valid : bool;
   mutable sync : int;
+  mutable written : bool;  (** a store freshened this copy since install *)
 }
 
 type t = {
@@ -40,7 +41,7 @@ let create machine =
         Array.init sets (fun _ ->
             Array.init a.M.ab_assoc (fun _ ->
                 { subblock = -1; data = Bytes.create sb; base = 0;
-                  valid = false; sync = -1 }));
+                  valid = false; sync = -1; written = false }));
       stamp;
       clock = 1;
     }
@@ -121,8 +122,20 @@ let write_if_present t ~subblock ~addr ~size value ~sync =
                 (Int64.logand (Int64.shift_right_logical value (8 * k)) 0xFFL)))
       done;
       e.sync <- max e.sync sync;
+      e.written <- true;
       true
     end
+  end
+
+let invalidate t ~subblock =
+  let w = find_way t subblock in
+  if w < 0 then `Absent
+  else begin
+    let e = t.entries.(set_of t subblock).(w) in
+    e.valid <- false;
+    let r = if e.written then `Written else `Clean in
+    e.written <- false;
+    r
   end
 
 let install_addrs t ~subblock ~(addrs : int array) ~mem ~sync =
@@ -152,15 +165,26 @@ let install_addrs t ~subblock ~(addrs : int array) ~mem ~sync =
     end
   in
   let e = row.(way) in
+  let evicted =
+    if e.valid && e.subblock <> subblock then Some (e.subblock, e.written)
+    else None
+  in
   e.subblock <- subblock;
   e.base <- base;
   e.valid <- true;
   e.sync <- sync;
+  e.written <- false;
   let i = t.machine.M.interleave_bytes in
+  (* a scaled machine's block can extend past the kernel's memory image;
+     bytes beyond it are unaddressable, so copying the in-image prefix of
+     each chunk covers every access the entry can legally serve *)
+  let mlen = Bytes.length mem in
   for chunk = 0 to Array.length addrs - 1 do
-    Bytes.blit mem addrs.(chunk) e.data (chunk * i) i
+    let len = min i (mlen - addrs.(chunk)) in
+    if len > 0 then Bytes.blit mem addrs.(chunk) e.data (chunk * i) len
   done;
-  bump t s way
+  bump t s way;
+  evicted
 
 let install t ~machine ~subblock ~mem ~sync =
   assert (machine == t.machine || machine = t.machine);

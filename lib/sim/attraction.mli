@@ -19,15 +19,28 @@ val read : t -> subblock:int -> addr:int -> size:int -> int64 option
 
 val write_if_present : t -> subblock:int -> addr:int -> size:int -> int64 -> sync:int -> bool
 (** Update the buffered copy (no allocation); [sync] is the coherence
-    sequence high-water mark for staleness accounting. Returns presence. *)
+    sequence high-water mark for staleness accounting. Marks the entry as
+    locally written (see {!invalidate}). Returns presence. *)
+
+val invalidate : t -> subblock:int -> [ `Absent | `Clean | `Written ]
+(** Drop the buffered copy on a directory invalidate. [`Written] means the
+    dropped replica had buffered a store since install, so the directory
+    backend owes the home bank a writeback acknowledgement. *)
 
 val install :
-  t -> machine:Vliw_arch.Machine.t -> subblock:int -> mem:Bytes.t -> sync:int -> unit
+  t ->
+  machine:Vliw_arch.Machine.t ->
+  subblock:int ->
+  mem:Bytes.t ->
+  sync:int ->
+  (int * bool) option
 (** Cache a remote subblock: copy its bytes out of [mem] (the state at
-    response time) and tag the entry with [sync]. Evicts LRU. *)
+    response time) and tag the entry with [sync]. Evicts LRU; returns the
+    evicted [(subblock, written)] if a valid different entry was displaced
+    (the directory backend must stop tracking that replica). *)
 
 val install_addrs :
-  t -> subblock:int -> addrs:int array -> mem:Bytes.t -> sync:int -> unit
+  t -> subblock:int -> addrs:int array -> mem:Bytes.t -> sync:int -> (int * bool) option
 (** [install] with the subblock's member addresses precomputed
     ({!Vliw_arch.Machine.addrs_of_subblock} in order): the allocation-free
     fast path used by the event-wheel simulator engine. *)

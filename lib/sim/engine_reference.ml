@@ -10,6 +10,7 @@ module S = Vliw_sched.Schedule
 module L = Vliw_lower.Lower
 module Ir = Vliw_ir
 module Tr = Vliw_trace.Trace
+module Icn = Vliw_interconnect.Interconnect
 open Sim_types
 
 let ty_of_mr = Sim_types.ty_of_mr
@@ -109,35 +110,30 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
       | None -> if addr + size <= msize then Ir.Sem.load_bytes mem addr ty else 0L
   in
 
-  (* ----- memory buses: FIFO queue over all buses ----- *)
-  let bus_free = Array.make machine.M.mem_buses.M.bus_count 0 in
-  let busq : (int * int * int * (int -> unit)) Queue.t = Queue.create () in
-  let txn_counter = ref 0 in
+  (* ----- interconnect: shared-bus pool or directory-tracked ring ----- *)
   let jit () =
     match jitter with None -> 0 | Some (p, j) -> Vliw_util.Prng.int p (j + 1)
   in
-  let send_bus ?(ready = !now) ~cluster action =
-    let txn = !txn_counter in
-    incr txn_counter;
-    if tracing then emit ~cluster (Tr.Bus_request { txn; cluster });
-    Queue.add (ready, !now, txn, action) busq
+  let dir_mode = machine.M.interconnect = M.Directory in
+  let bus : (int -> unit) Icn.Bus.t =
+    Icn.Bus.create ~buses:machine.M.mem_buses.M.bus_count ~latency:mem_buslat
+      ~dummy:(fun (_ : int) -> ())
   in
-  let dispatch_buses () =
-    Array.iteri
-      (fun b free ->
-        if free <= !now && not (Queue.is_empty busq) then (
-          let ready, requested, txn, action = Queue.peek busq in
-          if ready <= !now then (
-            ignore (Queue.pop busq);
-            let lat = mem_buslat + jit () in
-            bus_free.(b) <- !now + lat;
-            let arrival = !now + lat in
-            if tracing then
-              emit (Tr.Bus_grant { txn; bus = b; wait = !now - requested; lat });
-            at arrival (fun () ->
-                if tracing then emit (Tr.Bus_transfer { txn; bus = b });
-                action arrival))))
-      bus_free
+  let dir : (int -> unit) Icn.Directory.t =
+    Icn.Directory.create ~clusters:nclusters ~hop_latency:(max 1 mem_buslat)
+      ~dummy:(fun (_ : int) -> ())
+  in
+  let send_bus ~cluster action =
+    let txn = Icn.Bus.request bus ~now:!now action in
+    if tracing then emit ~cluster (Tr.Bus_request { txn; cluster })
+  in
+  let send_request ~src ~dst action =
+    let txn = Icn.Directory.send_request dir ~now:!now ~src ~dst action in
+    if tracing then emit ~cluster:src (Tr.Bus_request { txn; cluster = src })
+  in
+  let send_response ~src ~dst action =
+    let txn = Icn.Directory.send_response dir ~now:!now ~src ~dst action in
+    if tracing then emit ~cluster:src (Tr.Bus_request { txn; cluster = src })
   in
 
   (* ----- next memory level: ported, fixed total service ----- *)
@@ -210,6 +206,8 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
   let local_misses = ref 0 and remote_misses = ref 0 in
   let combined = ref 0 and ab_hits = ref 0 and nullified = ref 0 in
 
+  let cluster_of id = S.cluster_of schedule id in
+
   let service cluster (w : waiter) =
     let sb = M.subblock_id machine ~addr:w.w_addr in
     let ty =
@@ -229,6 +227,14 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
       track_load w In_mshr;
       waiters := w :: !waiters
     | None ->
+      (* the home directory bank is consulted once per non-combined
+         access (combined requests share the original's lookup) *)
+      if dir_mode then begin
+        let sharers = Icn.Directory.lookup dir ~home:cluster ~subblock:sb in
+        if tracing then
+          emit ~cluster
+            (Tr.Dir_lookup { cluster; subblock = sb; store = w.w_store; sharers })
+      end;
       if Cachemod.present modules.(cluster) ~subblock:sb then (
         Cachemod.touch modules.(cluster) ~subblock:sb;
         if w.w_local then incr local_hits else incr remote_hits;
@@ -248,6 +254,10 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
           apply_access ~seq:w.w_seq ~is_store:w.w_store ~addr:w.w_addr
             ~size:w.w_size ~value:w.w_value ~site:w.w_site ~iter:w.w_iter ~ty
         in
+        if dir_mode && w.w_store then
+          ignore
+            (Icn.Directory.store_apply dir ~now:!now ~home:cluster ~subblock:sb
+               ~requester:(cluster_of w.w_node));
         w.w_respond v (!now + hit_lat))
       else (
         if w.w_local then incr local_misses else incr remote_misses;
@@ -291,8 +301,49 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
                     ~size:w.w_size ~value:w.w_value ~site:w.w_site
                     ~iter:w.w_iter ~ty
                 in
+                if dir_mode && w.w_store then
+                  ignore
+                    (Icn.Directory.store_apply dir ~now:!now ~home:cluster
+                       ~subblock:sb ~requester:(cluster_of w.w_node));
                 w.w_respond v (tf + hit_lat))
               ws))
+  in
+
+  (* ----- network phase: bus arbitration or ring/directory stepping ----- *)
+  let deliver ~dst ~txn:_ payload =
+    match payload with
+    | Icn.Directory.Request f | Icn.Directory.Response f -> f !now
+    | Icn.Directory.Invalidate { subblock; home } ->
+      if Array.length abs > 0 then (
+        match Attraction.invalidate abs.(dst) ~subblock with
+        | `Absent -> ()
+        | `Clean ->
+          if tracing then
+            emit ~cluster:dst
+              (Tr.Dir_invalidate { cluster = dst; subblock; written = false })
+        | `Written ->
+          if tracing then
+            emit ~cluster:dst
+              (Tr.Dir_invalidate { cluster = dst; subblock; written = true });
+          Icn.Directory.writeback dir ~now:!now ~src:dst ~home ~subblock)
+    | Icn.Directory.Writeback_ack { subblock; from = _ } ->
+      if tracing then
+        emit ~cluster:dst (Tr.Dir_writeback { cluster = dst; subblock })
+  in
+  let dispatch_network () =
+    if dir_mode then
+      Icn.Directory.step dir ~now:!now ~jit
+        ~emit_hop:(fun ~txn ~src ~dst ->
+          if tracing then
+            emit (Tr.Packet_hop { txn; from_node = src; to_node = dst }))
+        ~deliver
+    else
+      Icn.Bus.dispatch bus ~now:!now ~jit
+        ~grant:(fun ~txn ~bus:b ~wait ~lat ~arrival action ->
+          if tracing then emit (Tr.Bus_grant { txn; bus = b; wait; lat });
+          at arrival (fun () ->
+              if tracing then emit (Tr.Bus_transfer { txn; bus = b });
+              action arrival))
   in
 
   (* ----- register values ----- *)
@@ -315,8 +366,6 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
     | L.Reg { producer; dist; init } ->
       if kiter < dist then init else reg_value producer (kiter - dist)
   in
-
-  let cluster_of id = S.cluster_of schedule id in
 
   (* ----- access initiation (at issue time) ----- *)
   let sign_extend ty v = Ir.Sem.truncate ty v in
@@ -345,33 +394,41 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
         Hashtbl.remove load_phase key;
         set_reg node.n_id iter ~ready:t ~value:(sign_extend ty v)
       else fun v t ->
-        (* response travels back over a memory bus; install the subblock
-           into the requester's attraction buffer on arrival *)
+        (* response travels back over the interconnect; install the
+           subblock into the requester's attraction buffer on arrival *)
         at t (fun () ->
             Hashtbl.replace load_phase key Resp_bus;
-            send_bus ~cluster:own (fun arrival ->
-                Hashtbl.remove load_phase key;
-                (if Array.length abs > 0 && ab_fill_fresh ~own ~subblock:(M.subblock_id machine ~addr)
-                 then (
-                   let sb = M.subblock_id machine ~addr in
-                   let sync =
-                     List.fold_left
-                       (fun acc a ->
-                         let lastb = min (a + machine.M.interleave_bytes - 1) (msize - 1) in
-                         let s = ref acc in
-                         for b = a to lastb do
-                           s := max !s last_store_seq.(b)
-                         done;
-                         !s)
-                       (-1)
-                       (M.addrs_of_subblock machine
-                          ~subblock:sb)
-                   in
-                   Attraction.install abs.(own) ~machine ~subblock:sb ~mem ~sync;
-                   if tracing then
-                     emit ~cluster:own
-                       (Tr.Ab_install { cluster = own; subblock = sb; sync })));
-                set_reg node.n_id iter ~ready:arrival ~value:(sign_extend ty v)))
+            let fill arrival =
+              Hashtbl.remove load_phase key;
+              (if Array.length abs > 0 && ab_fill_fresh ~own ~subblock:(M.subblock_id machine ~addr)
+               then (
+                 let sb = M.subblock_id machine ~addr in
+                 let sync =
+                   List.fold_left
+                     (fun acc a ->
+                       let lastb = min (a + machine.M.interleave_bytes - 1) (msize - 1) in
+                       let s = ref acc in
+                       for b = a to lastb do
+                         s := max !s last_store_seq.(b)
+                       done;
+                       !s)
+                     (-1)
+                     (M.addrs_of_subblock machine
+                        ~subblock:sb)
+                 in
+                 (match Attraction.install abs.(own) ~machine ~subblock:sb ~mem ~sync with
+                 | Some (evicted, _) when dir_mode ->
+                   Icn.Directory.drop_replica dir ~cluster:own ~subblock:evicted
+                 | _ -> ());
+                 if dir_mode then
+                   Icn.Directory.confirm_install dir ~cluster:own ~subblock:sb;
+                 if tracing then
+                   emit ~cluster:own
+                     (Tr.Ab_install { cluster = own; subblock = sb; sync })));
+              set_reg node.n_id iter ~ready:arrival ~value:(sign_extend ty v)
+            in
+            if dir_mode then send_response ~src:home ~dst:own fill
+            else send_bus ~cluster:own fill)
     in
     (* attraction buffer lookup for remote loads *)
     let ab_satisfied =
@@ -428,9 +485,12 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
         Queue.add (!now, w) modq.(home))
       else (
         track_load w On_bus;
-        send_bus ~cluster:own (fun _arrival ->
-            track_load w At_module;
-            Queue.add (!now, w) modq.(home))))
+        let to_module _arrival =
+          track_load w At_module;
+          Queue.add (!now, w) modq.(home)
+        in
+        if dir_mode then send_request ~src:own ~dst:home to_module
+        else send_bus ~cluster:own to_module))
   in
 
   (* ----- issue ----- *)
@@ -609,7 +669,8 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
   let pending_work () =
     !vnow < vspan
     || !now <= !max_event
-    || (not (Queue.is_empty busq))
+    || Icn.Bus.pending bus
+    || Icn.Directory.pending dir
     || Array.exists (fun q -> not (Queue.is_empty q)) modq
   in
   let stall_load = ref 0 and stall_copy = ref 0 and stall_bus = ref 0 in
@@ -622,7 +683,7 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
       Hashtbl.remove events !now;
       List.iter (fun f -> f ()) (List.rev !l)
     | None -> ());
-    dispatch_buses ();
+    dispatch_network ();
     Array.iter
       (fun q ->
         if not (Queue.is_empty q) then (
@@ -672,6 +733,7 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
   let total = !now in
   let compute = vspan in
   let stall = max 0 (total - compute) in
+  let dstats = Icn.Directory.stats dir in
   {
     total_cycles = total;
     compute_cycles = compute;
@@ -690,5 +752,9 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
     violations = !violations;
     nullified = !nullified;
     comm_ops = List.length schedule.S.copies * trip;
+    dir_lookups = dstats.Icn.Directory.d_lookups;
+    dir_invalidates = dstats.Icn.Directory.d_invalidates;
+    dir_writebacks = dstats.Icn.Directory.d_writebacks;
+    packet_hops = dstats.Icn.Directory.d_hops;
     memory = mem;
   }

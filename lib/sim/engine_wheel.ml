@@ -32,6 +32,7 @@ module S = Vliw_sched.Schedule
 module L = Vliw_lower.Lower
 module Ir = Vliw_ir
 module Tr = Vliw_trace.Trace
+module Icn = Vliw_interconnect.Interconnect
 open Sim_types
 
 (* ----- node kinds (kindv) ----- *)
@@ -370,70 +371,37 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
     incr pending_events
   in
 
-  (* ----- memory buses: one FIFO ring over all buses ----- *)
-  let bus_free = Array.make nbuses 0 in
-  let txn_counter = ref 0 in
+  (* ----- interconnect: shared-bus pool or directory-tracked ring -----
+     The payload threaded through [Icn.Bus] / [Icn.Directory] packs
+     (inst, leg) into one int: [(inst lsl 1) lor leg]. *)
   let jit () =
     match jitter with None -> 0 | Some (p, j) -> Vliw_util.Prng.int p (j + 1)
   in
-  let bq_cap = ref 256 in
-  let bq_head = ref 0 in
-  let bq_len = ref 0 in
-  let bq_ready = ref (Array.make !bq_cap 0) in
-  let bq_req = ref (Array.make !bq_cap 0) in
-  let bq_txn = ref (Array.make !bq_cap 0) in
-  let bq_leg = ref (Array.make !bq_cap 0) in
-  let bq_inst = ref (Array.make !bq_cap 0) in
-  let bq_push ~leg ~inst ~txn =
-    (if !bq_len >= !bq_cap then begin
-       let cap' = !bq_cap * 2 in
-       let regrow r =
-         let a = Array.make cap' 0 in
-         for i = 0 to !bq_len - 1 do
-           a.(i) <- !r.((!bq_head + i) mod !bq_cap)
-         done;
-         r := a
-       in
-       regrow bq_ready;
-       regrow bq_req;
-       regrow bq_txn;
-       regrow bq_leg;
-       regrow bq_inst;
-       bq_head := 0;
-       bq_cap := cap'
-     end);
-    let i = (!bq_head + !bq_len) mod !bq_cap in
-    incr bq_len;
-    !bq_ready.(i) <- !now;
-    !bq_req.(i) <- !now;
-    !bq_txn.(i) <- txn;
-    !bq_leg.(i) <- leg;
-    !bq_inst.(i) <- inst
+  let dir_mode = machine.M.interconnect = M.Directory in
+  let bus : int Icn.Bus.t =
+    Icn.Bus.create ~buses:nbuses ~latency:mem_buslat ~dummy:0
+  in
+  let dir : int Icn.Directory.t =
+    Icn.Directory.create ~clusters:nclusters ~hop_latency:(max 1 mem_buslat)
+      ~dummy:0
   in
   let send_bus ~cluster ~leg ~inst =
-    let txn = !txn_counter in
-    incr txn_counter;
-    if tracing then emit ~cluster (Tr.Bus_request { txn; cluster });
-    bq_push ~leg ~inst ~txn
+    let txn = Icn.Bus.request bus ~now:!now ((inst lsl 1) lor leg) in
+    if tracing then emit ~cluster (Tr.Bus_request { txn; cluster })
+  in
+  let send_dir_request ~src ~dst ~inst =
+    let txn = Icn.Directory.send_request dir ~now:!now ~src ~dst inst in
+    if tracing then emit ~cluster:src (Tr.Bus_request { txn; cluster = src })
+  in
+  let send_dir_response ~src ~dst ~inst =
+    let txn = Icn.Directory.send_response dir ~now:!now ~src ~dst inst in
+    if tracing then emit ~cluster:src (Tr.Bus_request { txn; cluster = src })
   in
   let dispatch_buses () =
-    for b = 0 to nbuses - 1 do
-      if bus_free.(b) <= !now && !bq_len > 0 then begin
-        let h = !bq_head in
-        if !bq_ready.(h) <= !now then begin
-          bq_head := (h + 1) mod !bq_cap;
-          decr bq_len;
-          let lat = mem_buslat + jit () in
-          bus_free.(b) <- !now + lat;
-          let arrival = !now + lat in
-          if tracing then
-            emit
-              (Tr.Bus_grant
-                 { txn = !bq_txn.(h); bus = b; wait = !now - !bq_req.(h); lat });
-          schedule_event arrival ev_arrive !bq_leg.(h) !bq_inst.(h) !bq_txn.(h) b
-        end
-      end
-    done
+    Icn.Bus.dispatch bus ~now:!now ~jit
+      ~grant:(fun ~txn ~bus:b ~wait ~lat ~arrival payload ->
+        if tracing then emit (Tr.Bus_grant { txn; bus = b; wait; lat });
+        schedule_event arrival ev_arrive (payload land 1) (payload lsr 1) txn b)
   in
 
   (* ----- next memory level: ported, fixed total service ----- *)
@@ -640,45 +608,60 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
       mshr_next.(!mshr_tail.(sb)) <- inst;
       !mshr_tail.(sb) <- inst
     end
-    else if Cachemod.present modules.(c) ~subblock:sb then begin
-      Cachemod.touch modules.(c) ~subblock:sb;
-      if local then incr local_hits else incr remote_hits;
-      if tracing then
-        emit ~cluster:c
-          (Tr.Mod_service
-             {
-               cluster = c;
-               seq = (k * nsites) + msite.(n);
-               addr;
-               size = mbytes.(n);
-               store = is_store;
-               local;
-               hit = true;
-             });
-      let v = apply_access inst in
-      respond inst v (!now + hit_lat)
-    end
     else begin
-      if local then incr local_misses else incr remote_misses;
-      if tracing then begin
-        emit ~cluster:c
-          (Tr.Mod_service
-             {
-               cluster = c;
-               seq = (k * nsites) + msite.(n);
-               addr;
-               size = mbytes.(n);
-               store = is_store;
-               local;
-               hit = false;
-             });
-        emit ~cluster:c (Tr.Mshr_alloc { cluster = c; subblock = sb })
+      (* the home directory bank is consulted once per non-combined
+         access (combined requests share the original's lookup) *)
+      if dir_mode then begin
+        let sharers = Icn.Directory.lookup dir ~home:c ~subblock:sb in
+        if tracing then
+          emit ~cluster:c
+            (Tr.Dir_lookup
+               { cluster = c; subblock = sb; store = is_store; sharers })
       end;
-      if not is_store then phase.(inst) <- ph_in_mshr;
-      mshr_next.(inst) <- -1;
-      !mshr_head.(sb) <- inst;
-      !mshr_tail.(sb) <- inst;
-      l2_fetch !now sb c
+      if Cachemod.present modules.(c) ~subblock:sb then begin
+        Cachemod.touch modules.(c) ~subblock:sb;
+        if local then incr local_hits else incr remote_hits;
+        if tracing then
+          emit ~cluster:c
+            (Tr.Mod_service
+               {
+                 cluster = c;
+                 seq = (k * nsites) + msite.(n);
+                 addr;
+                 size = mbytes.(n);
+                 store = is_store;
+                 local;
+                 hit = true;
+               });
+        let v = apply_access inst in
+        if dir_mode && is_store then
+          ignore
+            (Icn.Directory.store_apply dir ~now:!now ~home:c ~subblock:sb
+               ~requester:clusterv.(n));
+        respond inst v (!now + hit_lat)
+      end
+      else begin
+        if local then incr local_misses else incr remote_misses;
+        if tracing then begin
+          emit ~cluster:c
+            (Tr.Mod_service
+               {
+                 cluster = c;
+                 seq = (k * nsites) + msite.(n);
+                 addr;
+                 size = mbytes.(n);
+                 store = is_store;
+                 local;
+                 hit = false;
+               });
+          emit ~cluster:c (Tr.Mshr_alloc { cluster = c; subblock = sb })
+        end;
+        if not is_store then phase.(inst) <- ph_in_mshr;
+        mshr_next.(inst) <- -1;
+        !mshr_head.(sb) <- inst;
+        !mshr_tail.(sb) <- inst;
+        l2_fetch !now sb c
+      end
     end
   in
 
@@ -781,9 +764,77 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
       end
       else begin
         if not is_store then phase.(inst) <- ph_on_bus;
-        send_bus ~cluster:own ~leg:0 ~inst
+        if dir_mode then send_dir_request ~src:own ~dst:home ~inst
+        else send_bus ~cluster:own ~leg:0 ~inst
       end
     end
+  in
+
+  (* ----- arrival handlers, shared by bus events and directory
+     deliveries ----- *)
+  (* request leg lands at the home module *)
+  let request_arrive inst =
+    let n = inst / trip in
+    if kindv.(n) = k_load then phase.(inst) <- ph_at_module;
+    modq_push inst_home.(inst) inst
+  in
+  (* response leg arrives back at the requesting cluster *)
+  let response_arrive inst =
+    let n = inst / trip in
+    let own = clusterv.(n) in
+    phase.(inst) <- ph_none;
+    let addr = inst_addr.(inst) in
+    (if nabs > 0 then begin
+       let sb = sb_of addr in
+       ensure_sb sb;
+       if ab_fill_fresh ~own ~sb then begin
+         let sync = ab_sync_of sb in
+         (match
+            Attraction.install_addrs abs.(own) ~subblock:sb
+              ~addrs:(addrs_of_sb sb) ~mem ~sync
+          with
+         | Some (evicted, _) when dir_mode ->
+           Icn.Directory.drop_replica dir ~cluster:own ~subblock:evicted
+         | _ -> ());
+         if dir_mode then
+           Icn.Directory.confirm_install dir ~cluster:own ~subblock:sb;
+         if tracing then
+           emit ~cluster:own (Tr.Ab_install { cluster = own; subblock = sb; sync })
+       end
+     end);
+    reg_ready_at.(inst) <- !now;
+    reg_val.(inst) <- sign_extend mty.(n) inst_val.(inst)
+  in
+  (* ----- network phase: bus arbitration or ring/directory stepping ----- *)
+  let deliver ~dst ~txn:_ payload =
+    match payload with
+    | Icn.Directory.Request inst -> request_arrive inst
+    | Icn.Directory.Response inst -> response_arrive inst
+    | Icn.Directory.Invalidate { subblock; home } ->
+      if nabs > 0 then (
+        match Attraction.invalidate abs.(dst) ~subblock with
+        | `Absent -> ()
+        | `Clean ->
+          if tracing then
+            emit ~cluster:dst
+              (Tr.Dir_invalidate { cluster = dst; subblock; written = false })
+        | `Written ->
+          if tracing then
+            emit ~cluster:dst
+              (Tr.Dir_invalidate { cluster = dst; subblock; written = true });
+          Icn.Directory.writeback dir ~now:!now ~src:dst ~home ~subblock)
+    | Icn.Directory.Writeback_ack { subblock; from = _ } ->
+      if tracing then
+        emit ~cluster:dst (Tr.Dir_writeback { cluster = dst; subblock })
+  in
+  let dispatch_network () =
+    if dir_mode then
+      Icn.Directory.step dir ~now:!now ~jit
+        ~emit_hop:(fun ~txn ~src ~dst ->
+          if tracing then
+            emit (Tr.Packet_hop { txn; from_node = src; to_node = dst }))
+        ~deliver
+    else dispatch_buses ()
   in
 
   (* ----- event execution ----- *)
@@ -793,37 +844,15 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
       let leg = !ev_a.(e) and inst = !ev_b.(e) in
       if tracing then
         emit (Tr.Bus_transfer { txn = !ev_c.(e); bus = !ev_d.(e) });
-      if leg = 0 then begin
-        (* request leg lands at the home module *)
-        let n = inst / trip in
-        if kindv.(n) = k_load then phase.(inst) <- ph_at_module;
-        modq_push inst_home.(inst) inst
-      end
-      else begin
-        (* response leg arrives back at the requesting cluster *)
-        let n = inst / trip in
-        let own = clusterv.(n) in
-        phase.(inst) <- ph_none;
-        let addr = inst_addr.(inst) in
-        (if nabs > 0 then begin
-           let sb = sb_of addr in
-           ensure_sb sb;
-           if ab_fill_fresh ~own ~sb then begin
-             let sync = ab_sync_of sb in
-             Attraction.install_addrs abs.(own) ~subblock:sb
-               ~addrs:(addrs_of_sb sb) ~mem ~sync;
-             if tracing then
-               emit ~cluster:own (Tr.Ab_install { cluster = own; subblock = sb; sync })
-           end
-         end);
-        reg_ready_at.(inst) <- !now;
-        reg_val.(inst) <- sign_extend mty.(n) inst_val.(inst)
-      end
+      if leg = 0 then request_arrive inst
+      else response_arrive inst
     | k when k = ev_resp_send ->
       let inst = !ev_b.(e) in
       let n = inst / trip in
       phase.(inst) <- ph_resp_bus;
-      send_bus ~cluster:clusterv.(n) ~leg:1 ~inst
+      if dir_mode then
+        send_dir_response ~src:inst_home.(inst) ~dst:clusterv.(n) ~inst
+      else send_bus ~cluster:clusterv.(n) ~leg:1 ~inst
     | _ ->
       (* ev_mshr_fill *)
       let sb = !ev_b.(e) and c = !ev_c.(e) in
@@ -844,6 +873,10 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
       while !w >= 0 do
         let nxt = mshr_next.(!w) in
         let v = apply_access !w in
+        if dir_mode && kindv.(!w / trip) = k_store then
+          ignore
+            (Icn.Directory.store_apply dir ~now:!now ~home:c ~subblock:sb
+               ~requester:clusterv.(!w / trip));
         respond !w v (tf + hit_lat);
         w := nxt
       done
@@ -916,7 +949,8 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
   let stall_open = ref (-1) in
   let hard_limit = 50_000_000 in
   while
-    !vnow < vspan || !pending_events > 0 || !bq_len > 0 || !modq_total > 0
+    !vnow < vspan || !pending_events > 0 || Icn.Bus.pending bus
+    || Icn.Directory.pending dir || !modq_total > 0
   do
     if !now > hard_limit then failwith "Sim.run: cycle limit exceeded (wedged)";
     (* 1. events due this cycle, in insertion order *)
@@ -934,8 +968,8 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
          done
        end
      end);
-    (* 2. bus arbitration *)
-    dispatch_buses ();
+    (* 2. network: bus arbitration or ring/directory stepping *)
+    dispatch_network ();
     (* 3. cache modules: one service per cluster per cycle *)
     for c = 0 to nclusters - 1 do
       if mq_count.(c) > 0 then begin
@@ -1038,6 +1072,7 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
   let total = !now in
   let compute = vspan in
   let stall = max 0 (total - compute) in
+  let dstats = Icn.Directory.stats dir in
   {
     total_cycles = total;
     compute_cycles = compute;
@@ -1056,5 +1091,9 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
     violations = !violations;
     nullified = !nullified;
     comm_ops = ncopies * trip;
+    dir_lookups = dstats.Icn.Directory.d_lookups;
+    dir_invalidates = dstats.Icn.Directory.d_invalidates;
+    dir_writebacks = dstats.Icn.Directory.d_writebacks;
+    packet_hops = dstats.Icn.Directory.d_hops;
     memory = mem;
   }

@@ -67,6 +67,11 @@ type stats = {
   violations : int;  (** coherence order violations observed *)
   nullified : int;  (** replicated store instances that did not execute *)
   comm_ops : int;  (** dynamic copy operations (copies per iteration x trip) *)
+  dir_lookups : int;
+      (** directory-bank lookups at home clusters (0 under the bus backend) *)
+  dir_invalidates : int;  (** invalidate packets sent by home banks *)
+  dir_writebacks : int;  (** writeback acknowledgements received by home banks *)
+  packet_hops : int;  (** total ring-link traversals of all packets *)
   memory : Bytes.t;  (** final memory image (meaningful in [Execution]) *)
 }
 

@@ -21,6 +21,10 @@ type stats = {
   violations : int;
   nullified : int;
   comm_ops : int;
+  dir_lookups : int;
+  dir_invalidates : int;
+  dir_writebacks : int;
+  packet_hops : int;
   memory : Bytes.t;
 }
 

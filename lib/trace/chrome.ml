@@ -155,7 +155,30 @@ let to_json sink =
            | Trace.Nullify n ->
              Some
                (instant ~name:"nullify" ~ts ~tid:n.cluster
-                  [ ("site", Json.Int n.site); ("iter", Json.Int n.iter) ]))
+                  [ ("site", Json.Int n.site); ("iter", Json.Int n.iter) ])
+           | Trace.Packet_hop h ->
+             Some
+               (instant ~name:"packet hop" ~ts ~tid:h.to_node
+                  [ ("txn", Json.Int h.txn); ("from", Json.Int h.from_node) ])
+           | Trace.Dir_lookup d ->
+             Some
+               (instant ~name:"dir lookup" ~ts ~tid:d.cluster
+                  [
+                    ("subblock", Json.Int d.subblock);
+                    ("store", Json.Bool d.store);
+                    ("sharers", Json.Int d.sharers);
+                  ])
+           | Trace.Dir_invalidate d ->
+             Some
+               (instant ~name:"dir invalidate" ~ts ~tid:d.cluster
+                  [
+                    ("subblock", Json.Int d.subblock);
+                    ("written", Json.Bool d.written);
+                  ])
+           | Trace.Dir_writeback d ->
+             Some
+               (instant ~name:"dir writeback" ~ts ~tid:d.cluster
+                  [ ("subblock", Json.Int d.subblock) ]))
   in
   Json.Obj
     [

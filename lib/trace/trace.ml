@@ -38,6 +38,10 @@ type payload =
   | Ab_install of { cluster : int; subblock : int; sync : int }
   | Ab_flush of { cluster : int; entries : int }
   | Nullify of { cluster : int; site : int; iter : int }
+  | Packet_hop of { txn : int; from_node : int; to_node : int }
+  | Dir_lookup of { cluster : int; subblock : int; store : bool; sharers : int }
+  | Dir_invalidate of { cluster : int; subblock : int; written : bool }
+  | Dir_writeback of { cluster : int; subblock : int }
 
 type event = {
   ev_seq : int;

@@ -65,6 +65,16 @@ type payload =
   | Ab_install of { cluster : int; subblock : int; sync : int }
   | Ab_flush of { cluster : int; entries : int }
   | Nullify of { cluster : int; site : int; iter : int }
+  | Packet_hop of { txn : int; from_node : int; to_node : int }
+      (** a directory-backend packet traversed one ring link *)
+  | Dir_lookup of { cluster : int; subblock : int; store : bool; sharers : int }
+      (** the home directory bank consulted the sharer set for an access;
+          [sharers] is the present-bit mask at lookup time *)
+  | Dir_invalidate of { cluster : int; subblock : int; written : bool }
+      (** an invalidate packet reached a sharer; [written] if the dropped
+          replica had buffered a local store (triggers a writeback ack) *)
+  | Dir_writeback of { cluster : int; subblock : int }
+      (** a writeback acknowledgement reached the home bank *)
 
 type event = {
   ev_seq : int;  (** per-sink emission counter, the causal order *)

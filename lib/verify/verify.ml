@@ -4,6 +4,7 @@ module S = Vliw_sched.Schedule
 module D = Vliw_util.Diag
 module Json = Vliw_util.Json
 module L = Vliw_ir.Layout
+module Icn = Vliw_interconnect.Interconnect
 
 type technique = Free | Mdc | Ddgt | Hybrid
 
@@ -32,17 +33,25 @@ let op_desc (nd : G.node) (mr : G.mem_ref) =
     (if G.is_load nd then "load" else "store")
     mr.G.mr_array mr.G.mr_site
 
-let check ~machine ~technique ~base ?layout ~graph ~schedule () =
+let check ~machine ~technique ?guarantees ~base ?layout ~graph ~schedule () =
   let n = machine.M.clusters in
   let il = machine.M.interleave_bytes in
   let ii = schedule.S.ii in
+  (* proof rules are parameterized by the interconnect's declared ordering
+     guarantees, defaulting to what the machine's backend declares; a rule
+     leaning on an ordering the backend does not provide must reject *)
+  let gua =
+    match guarantees with Some g -> g | None -> Icn.guarantees machine
+  in
   let diags = ref [] in
   let add d = diags := d :: !diags in
-  (* a certificate is jitter-robust unless some obligation leans on the
-     bus's globally-FIFO arbitration (a co-located pair where either access
-     may be remote): local accesses enter their module's queue at issue,
-     bypassing the bus, so their order survives arbitrary per-transfer
-     jitter *)
+  (* a certificate is jitter-robust unless some obligation leans on a
+     source-order guarantee the interconnect loses under jitter (the bus
+     pool's globally-FIFO arbitration): a co-located pair where either
+     access may be remote needs that ordering; local accesses enter their
+     module's queue at issue, bypassing the interconnect, so their order
+     survives arbitrary per-transfer jitter. The directory ring's links
+     are non-overtaking even under jitter, so it keeps robustness. *)
   let robust = ref true in
   let counts = Hashtbl.create 8 in
   let count p =
@@ -207,13 +216,36 @@ let check ~machine ~technique ~base ?layout ~graph ~schedule () =
                       x_rep || match hx with Some h -> h = cx | None -> false
                     in
                     if cx = cy && delta >= 1 then (
-                      count "co-located";
                       let y_local =
                         y_rep || match hy with Some h -> h = cy | None -> false
                       in
-                      if not (x_local && y_local) then robust := false)
-                    else if x_local && cx <> cy && delta >= 0 then
-                      count "local-first"
+                      if x_local && y_local then count "co-located"
+                      else if gua.Icn.g_source_order = Icn.Unordered then
+                        (* the possibly-remote legs share one source
+                           cluster and one home, so per-link FIFO (or
+                           global FIFO) orders them — but an unordered
+                           interconnect provides nothing to lean on *)
+                        add
+                          (D.make D.Error ~code:"interconnect-unordered"
+                             ~context:
+                               [
+                                 ("src", string_of_int x.G.n_id);
+                                 ("dst", string_of_int y.G.n_id);
+                                 ("cluster", string_of_int cx);
+                               ]
+                             "%s (node %d) and %s (node %d) are co-located on \
+                              cluster %d but may travel the interconnect, \
+                              which declares no source-order guarantee"
+                             (op_desc xb mrx) x.G.n_id (op_desc yb mry)
+                             y.G.n_id cx)
+                      else (
+                        count "co-located";
+                        if not gua.Icn.g_order_under_jitter then
+                          robust := false))
+                    else if
+                      x_local && cx <> cy && delta >= 0
+                      && gua.Icn.g_min_remote_latency >= 1
+                    then count "local-first"
                     else if sync_covered x ~dist:e.G.e_dist ~cyc_y then
                       count "value-sync"
                     else

@@ -56,7 +56,21 @@
     safety depends on cache-state timing, queue occupancy or trip counts is
     rejected even if no violation can dynamically occur. Diagnostic codes:
     [split-access], [chain-split] (MDC), [missing-replication] (DDGT),
-    [replica-coverage], [unordered-pair]. *)
+    [replica-coverage], [unordered-pair], [interconnect-unordered].
+
+    {2 Interconnect parameterization}
+
+    The proof rules do not hardcode bus reasoning: they consume the
+    {!Vliw_interconnect.Interconnect.guarantees} declared by the machine's
+    backend (overridable via [?guarantees] for testing). A co-located pair
+    whose accesses may both travel the interconnect needs a source-order
+    guarantee — the two legs share one source cluster and (since routing
+    passed) one home module, so [Per_link_fifo] suffices just as
+    [Global_fifo] does; against an [Unordered] declaration the pair is
+    rejected ([interconnect-unordered]). The local-first rule needs the
+    declared minimum remote latency to be at least one cycle, and
+    [r_jitter_robust] degrades only when a needed source order does not
+    survive jitter (the bus pool loses it, the directory ring keeps it). *)
 
 (** Mirrors the harness's technique choice; only [Mdc] and [Ddgt] switch on
     technique-specific structural checks ([Free] and [Hybrid] run the
@@ -92,6 +106,7 @@ type report = {
 val check :
   machine:Vliw_arch.Machine.t ->
   technique:technique ->
+  ?guarantees:Vliw_interconnect.Interconnect.guarantees ->
   base:Vliw_ddg.Graph.t ->
   ?layout:Vliw_ir.Layout.t ->
   graph:Vliw_ddg.Graph.t ->
@@ -103,7 +118,9 @@ val check :
     DDGT/hybrid-DDGT. [layout] enables the statically-known-home reasoning
     (affine accesses whose stride is a multiple of [clusters *
     interleave_bytes]); without it the verifier is still sound, only less
-    complete. The schedule must place every node of [graph]. *)
+    complete. [guarantees] overrides the ordering guarantees the proof
+    rules assume (default: those declared by [machine]'s interconnect).
+    The schedule must place every node of [graph]. *)
 
 val gate :
   machine:Vliw_arch.Machine.t ->

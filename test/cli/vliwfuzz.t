@@ -9,8 +9,8 @@ A bounded sweep on the default verifier finds nothing (exit 0):
 
   $ vliwfuzz run --seed 1 --count 5 --jobs 1
   differential fuzz: seed=1 cases=5 budget=30
-  certified runs 9 | unschedulable 0 | uncertified violating runs 2
-  dep-shape coverage: mf-chain=1 ma-chain=1 mo-chain=1 self-output=0 may-alias=0 indirect=5 split=3 carried=2 contend=2
+  certified runs 3 | unschedulable 0 | uncertified violating runs 2
+  dep-shape coverage: mf-chain=2 ma-chain=1 mo-chain=1 self-output=2 may-alias=2 indirect=0 split=5 carried=0 contend=1 dir-race=1
   failures: none (all certified schedules agree with the oracle)
 
 Any single case regenerates from its (seed, index) identity and replays
@@ -20,50 +20,51 @@ to the same verdict the sweep saw:
   wrote case.lk
 
   $ vliwfuzz replay case.lk
-  case seed=1 index=3 nodes=17 shapes=indirect,indirect,mf-chain heuristic=PrefClus
-    free   verified=false jitter-robust=false violations=16 memory=ok
-    MDC    verified=true jitter-robust=false violations=0 memory=ok
-    DDGT   verified=true jitter-robust=false violations=0 memory=ok
-    hybrid verified=true jitter-robust=false violations=0 memory=ok
+  case seed=1 index=3 nodes=13 shapes=mf-chain,self-output,split heuristic=PrefClus
+    free   verified=false jitter-robust=false violations=1 memory=ok | jittered violations=1 memory=ok
+    MDC    verified=false jitter-robust=false violations=0 memory=ok | jittered violations=0 memory=ok
+    DDGT   verified=false jitter-robust=false violations=0 memory=ok | jittered violations=0 memory=ok
+    hybrid verified=false jitter-robust=false violations=0 memory=ok | jittered violations=0 memory=ok
   clean
 
-The free baseline really does violate coherence (16 times above) — only
-the verifier's refusal to certify it keeps the case clean. Weakening the
-verifier into certifying everything must therefore be caught (exit 1):
+The free baseline really does violate coherence (nominal and jittered
+above) — only the verifier's refusal to certify it keeps the case clean.
+Weakening the verifier into certifying everything must therefore be
+caught (exit 1):
 
   $ vliwfuzz replay case.lk --weaken-verifier
-  case seed=1 index=3 nodes=17 shapes=indirect,indirect,mf-chain heuristic=PrefClus
-    free   verified=true jitter-robust=true violations=16 memory=ok
-    MDC    verified=true jitter-robust=true violations=0 memory=ok
-    DDGT   verified=true jitter-robust=true violations=0 memory=ok
-    hybrid verified=true jitter-robust=true violations=0 memory=ok
-  FAILURE certified-violation (free): nominal: certified schedule ran with 16 coherence violations
+  case seed=1 index=3 nodes=13 shapes=mf-chain,self-output,split heuristic=PrefClus
+    free   verified=true jitter-robust=true violations=1 memory=ok | jittered violations=1 memory=ok
+    MDC    verified=true jitter-robust=true violations=0 memory=ok | jittered violations=0 memory=ok
+    DDGT   verified=true jitter-robust=true violations=0 memory=ok | jittered violations=0 memory=ok
+    hybrid verified=true jitter-robust=true violations=0 memory=ok | jittered violations=0 memory=ok
+  FAILURE certified-violation (free): nominal: certified schedule ran with 1 coherence violations
+  FAILURE certified-violation (free): jittered: certified schedule ran with 1 coherence violations
   [1]
 
 Shrinking cuts the witness down to a minimal kernel that still fails:
 
   $ vliwfuzz shrink case.lk --weaken-verifier --out case.min.lk
-  shrunk to 5 nodes (3 statements): case.min.lk
-  case seed=1 index=3 nodes=5 shapes=indirect,indirect,mf-chain heuristic=PrefClus
-    free   verified=true jitter-robust=true violations=1 memory=ok
-    MDC    verified=true jitter-robust=true violations=0 memory=ok
-    DDGT   verified=true jitter-robust=true violations=0 memory=ok
-    hybrid verified=true jitter-robust=true violations=0 memory=ok
-  FAILURE certified-violation (free): nominal: certified schedule ran with 1 coherence violations
+  shrunk to 2 nodes (2 statements): case.min.lk
+  case seed=1 index=3 nodes=2 shapes=mf-chain,self-output,split heuristic=PrefClus
+    free   verified=true jitter-robust=true violations=0 memory=ok | jittered violations=0 memory=ok
+    MDC    verified=true jitter-robust=true violations=0 memory=ok | jittered violations=0 memory=ok
+    DDGT   verified=true jitter-robust=true violations=0 memory=ok | jittered violations=0 memory=ok
+    hybrid verified=true jitter-robust=true violations=0 memory=ok | jittered violations=1 memory=ok
+  FAILURE certified-violation (hybrid): jittered: certified schedule ran with 1 coherence violations
 
   $ cat case.min.lk
   # vliw-fuzz case
   # seed=1 index=3 budget=30
-  # machine=bal interleave=4 membus=4 ab=0 jitter=0
-  # shapes=indirect,indirect,mf-chain
+  # machine=bal clusters=4 interconnect=bus interleave=4 membus=4 ab=0 jitter=2
+  # shapes=mf-chain,self-output,split
   kernel fuzz_1_3 {
-    array t2 : i16[20] = modpat(8)
-    array a2 : i32[10] = random(527085)
-    trip 2
+    array a0 : i64[22] = random(575266)
+    array a1 : i64[21] = ramp(-4, 3)
+    trip 5
     body {
-      let x2 = t2[i]
-      a2[x2] = -1 * x2 - x2
-      let y2 = a2[x2]
+      a0[i] = 1
+      a1[14] = 1
     }
   }
 
@@ -73,12 +74,12 @@ replay command line inline:
   $ vliwfuzz run --seed 1 --count 4 --jobs 1 --weaken-verifier --out repros
   differential fuzz: seed=1 cases=4 budget=30
   certified runs 16 | unschedulable 0 | uncertified violating runs 0
-  dep-shape coverage: mf-chain=1 ma-chain=1 mo-chain=1 self-output=0 may-alias=0 indirect=4 split=2 carried=1 contend=2
+  dep-shape coverage: mf-chain=2 ma-chain=1 mo-chain=1 self-output=2 may-alias=1 indirect=0 split=4 carried=0 contend=0 dir-race=1
   FAILURES: 2
-    case 0: certified-violation (free) [3 nodes] jittered: certified schedule ran with 1 coherence violations
+    case 0: certified-violation (free) [2 nodes] nominal: certified schedule ran with 1 coherence violations
       repro: repros/repro_1_0.lk
       replay: dune exec bin/vliwfuzz.exe -- replay repros/repro_1_0.lk
-    case 3: certified-violation (free) [5 nodes] nominal: certified schedule ran with 1 coherence violations
+    case 3: certified-violation (hybrid) [2 nodes] jittered: certified schedule ran with 1 coherence violations
       repro: repros/repro_1_3.lk
       replay: dune exec bin/vliwfuzz.exe -- replay repros/repro_1_3.lk
   [1]

@@ -28,6 +28,53 @@ let test_invalid_configs () =
       | Error _ -> ())
     [ bad1; bad2; bad3 ]
 
+let test_scale_clusters () =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun icn ->
+          let m = M.with_interconnect (M.scale_clusters t2 n) icn in
+          (match M.validate m with
+          | Ok () -> ()
+          | Error e ->
+            Alcotest.failf "%d clusters / %s: %s" n (M.interconnect_name icn) e);
+          Alcotest.(check int)
+            (Printf.sprintf "%d clusters" n)
+            n m.M.clusters;
+          (* per-cluster resources stay constant across scales *)
+          Alcotest.(check int)
+            (Printf.sprintf "%d: module bytes" n)
+            (t2.M.cache.M.total_bytes / t2.M.clusters)
+            (m.M.cache.M.total_bytes / m.M.clusters);
+          Alcotest.(check int)
+            (Printf.sprintf "%d: mem buses per cluster" n)
+            (t2.M.mem_buses.M.bus_count * n / t2.M.clusters)
+            m.M.mem_buses.M.bus_count;
+          (* the interleave unit still divides a subblock *)
+          Alcotest.(check int)
+            (Printf.sprintf "%d: subblock multiple of interleave" n)
+            0
+            (M.subblock_bytes m mod m.M.interleave_bytes))
+        [ M.Shared_bus; M.Directory ])
+    M.supported_clusters;
+  (* scaling to the current count is the identity *)
+  Alcotest.(check bool) "scale to 4 is identity" true (M.scale_clusters t2 4 = t2);
+  (* unsupported counts are rejected by validation *)
+  match M.validate (M.scale_clusters t2 12) with
+  | Ok () -> Alcotest.fail "12 clusters must be rejected"
+  | Error _ -> ()
+
+let test_interconnect_names () =
+  List.iter
+    (fun icn ->
+      Alcotest.(check bool)
+        (M.interconnect_name icn ^ " roundtrips")
+        true
+        (M.interconnect_of_string (M.interconnect_name icn) = Some icn))
+    [ M.Shared_bus; M.Directory ];
+  Alcotest.(check bool) "unknown name" true
+    (M.interconnect_of_string "mesh" = None)
+
 let test_home_cluster_interleaving () =
   (* 4B interleave, 4 clusters: addresses 0..3 -> cl0, 4..7 -> cl1, ... *)
   Alcotest.(check int) "addr 0" 0 (M.home_cluster t2 ~addr:0);
@@ -124,6 +171,10 @@ let () =
           Alcotest.test_case "table2" `Quick test_table2_valid;
           Alcotest.test_case "presets" `Quick test_presets_valid;
           Alcotest.test_case "invalid configs" `Quick test_invalid_configs;
+          Alcotest.test_case "scale clusters 4/8/16/32" `Quick
+            test_scale_clusters;
+          Alcotest.test_case "interconnect names" `Quick
+            test_interconnect_names;
         ] );
       ( "geometry",
         [

@@ -165,6 +165,71 @@ let test_workloads_oracle_warm () =
         b.W.b_loops)
     [ List.hd W.figures ]
 
+(* the shared-bus engine was extracted into lib/interconnect; these
+   constants were pinned from the pre-extraction tree (epicdec, Table 2,
+   PrefClus) and every non-timing counter must still match exactly *)
+let test_bus_extraction_regression () =
+  let module R = Vliw_harness.Runner in
+  let bench = W.find "epicdec" in
+  List.iter
+    (fun (tech, name, cycles, compute, stall, stall_bus, comm, viol, null, verified) ->
+      let r = R.run_bench ~machine:M.table2 tech S.Pref_clus bench in
+      let ckf field expected got =
+        Alcotest.(check (float 0.0))
+          (Printf.sprintf "%s %s" name field)
+          expected got
+      in
+      ckf "cycles" cycles r.R.br_cycles;
+      ckf "compute" compute r.R.br_compute;
+      ckf "stall" stall r.R.br_stall;
+      ckf "stall_bus" stall_bus r.R.br_stall_bus;
+      ckf "comm" comm r.R.br_comm;
+      Alcotest.(check int) (name ^ " violations") viol r.R.br_violations;
+      Alcotest.(check int) (name ^ " nullified") null r.R.br_nullified;
+      Alcotest.(check int) (name ^ " verified") verified r.R.br_verified;
+      (* the bus backend must not report directory traffic *)
+      Alcotest.(check int) (name ^ " hops") 0 r.R.br_packet_hops;
+      Alcotest.(check int) (name ^ " lookups") 0 r.R.br_dir_lookups)
+    [
+      (R.Mdc, "mdc", 22141., 9829., 12312., 9408., 7808., 0, 0, 3);
+      (R.Ddgt, "ddgt", 18056., 10868., 7188., 5312., 11008., 0, 1152, 3);
+      (R.Hybrid, "hybrid", 19235., 10127., 9108., 6848., 8320., 0, 384, 3);
+      (R.Free, "free", 18794., 9044., 9750., 6784., 8320., 0, 0, 2);
+    ]
+
+(* deterministic engine-parity spot checks on the directory backend at
+   scaled cluster counts (the fuzz sweep also samples these, but this one
+   fails with a named configuration rather than a case index) *)
+let test_directory_parity () =
+  List.iter
+    (fun n ->
+      let machine =
+        M.with_attraction
+          (M.with_interconnect (M.scale_clusters M.table2 n) M.Directory)
+          (Some M.default_attraction)
+      in
+      let b = List.hd W.figures in
+      let l = List.hd b.W.b_loops in
+      let k = W.parse_loop l ~seed:b.W.b_exec_seed in
+      let layout = Ir.Layout.make k in
+      let low = Lower.lower k in
+      let prof = Profile.run ~machine ~layout k in
+      let pref = Profile.node_pref prof low.Lower.graph in
+      let constraints = Chains.prefclus low.Lower.graph ~pref in
+      match
+        Driver.run
+          (Driver.request ~heuristic:S.Pref_clus ~constraints ~pref machine)
+          low.Lower.graph
+      with
+      | Error e -> Alcotest.failf "%d-cluster directory: no schedule: %s" n e
+      | Ok schedule ->
+        let oracle = Ir.Interp.run ~layout k in
+        diff_engines
+          (Printf.sprintf "directory %d clusters" n)
+          ~mode:(Sim.Oracle oracle) ~warm:true ~jseed:5
+          (k, layout, low, low.Lower.graph, schedule))
+    [ 4; 8; 16; 32 ]
+
 (* the wheel engine's traced-off hot path must stay allocation-light:
    compare minor-heap words against the reference engine on an identical
    sim — the closure calendar and tuple-keyed maps cost the reference an
@@ -212,6 +277,13 @@ let () =
             test_fuzz_sweep;
           Alcotest.test_case "workloads oracle+warm+jitter" `Quick
             test_workloads_oracle_warm;
+          Alcotest.test_case "directory backend at 4/8/16/32 clusters" `Quick
+            test_directory_parity;
+        ] );
+      ( "bus extraction",
+        [
+          Alcotest.test_case "pre-refactor counters byte-identical" `Quick
+            test_bus_extraction_regression;
         ] );
       ( "allocation",
         [ Alcotest.test_case "traced-off wheel budget" `Quick test_allocation_budget ] );

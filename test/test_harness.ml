@@ -259,8 +259,8 @@ let selfcheck_fixture () =
   let br = E.run ~machine:M.table2 (R.Free, S.Pref_clus) g721 in
   let current =
     List.filter_map
-      (fun (fp, (r : R.bench_run)) ->
-        if r == br then Some (Selfcheck.run_json (fp, r)) else None)
+      (fun (fp, m, (r : R.bench_run)) ->
+        if r == br then Some (Selfcheck.run_json (fp, m, r)) else None)
       (E.cached_runs ())
   in
   Alcotest.(check int) "fixture run found" 1 (List.length current);

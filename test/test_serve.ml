@@ -137,6 +137,51 @@ let test_cache_abort_releases_claim () =
   | `Must_compute -> ()
   | _ -> Alcotest.fail "aborted key must be claimable again"
 
+(* one shard, capacity 4: filling 8 keys must evict the 4 least recently
+   served, never grow past the cap, and count each eviction *)
+let test_cache_lru_eviction () =
+  let c = Cache.create ~shards:1 ~max_entries:4 () in
+  check_int "capacity" 4 (Cache.capacity c);
+  let fill key v =
+    (match Cache.lookup c ~key ~waiter:(fun _ -> ()) with
+    | `Must_compute -> ()
+    | _ -> Alcotest.failf "key %s should be cold" key);
+    ignore (Cache.fill c ~key v)
+  in
+  List.iter (fun i -> fill (string_of_int i) i) [ 0; 1; 2; 3 ];
+  (* touch 0 and 1 so 2 is the LRU victim when 4 arrives *)
+  (match Cache.lookup c ~key:"0" ~waiter:(fun _ -> ()) with
+  | `Ready 0 -> ()
+  | _ -> Alcotest.fail "0 must be ready");
+  (match Cache.lookup c ~key:"1" ~waiter:(fun _ -> ()) with
+  | `Ready 1 -> ()
+  | _ -> Alcotest.fail "1 must be ready");
+  fill "4" 4;
+  let s = Cache.stats c in
+  check_int "entries bounded" 4 s.Cache.c_entries;
+  check_int "one eviction" 1 s.Cache.c_evictions;
+  (match Cache.lookup c ~key:"2" ~waiter:(fun _ -> ()) with
+  | `Must_compute -> ignore (Cache.abort c ~key:"2")
+  | _ -> Alcotest.fail "LRU key 2 must have been evicted");
+  (match Cache.lookup c ~key:"0" ~waiter:(fun _ -> ()) with
+  | `Ready 0 -> ()
+  | _ -> Alcotest.fail "recently-served 0 must survive");
+  (* fill far past the cap: entries stay bounded, evictions account for
+     every drop *)
+  List.iter (fun i -> fill (string_of_int i) i) [ 10; 11; 12; 13; 14; 15 ];
+  let s = Cache.stats c in
+  check_int "entries still bounded" 4 s.Cache.c_entries;
+  check_int "evictions" 7 s.Cache.c_evictions;
+  (* in-flight claims are not evictable and don't count against the cap *)
+  (match Cache.lookup c ~key:"claimed" ~waiter:(fun _ -> ()) with
+  | `Must_compute -> ()
+  | _ -> Alcotest.fail "cold claim");
+  fill "20" 20;
+  (match Cache.lookup c ~key:"claimed" ~waiter:(fun _ -> ()) with
+  | `Joined -> ()
+  | _ -> Alcotest.fail "claim must survive eviction pressure");
+  check_int "unbounded default" 0 (Cache.capacity (Cache.create ()))
+
 (* ---- Pool.Service backpressure ---- *)
 
 let test_service_bounded_queue () =
@@ -326,6 +371,8 @@ let () =
       ( "cache",
         [
           Alcotest.test_case "claim/join/fill" `Quick test_cache_claim_join_fill;
+          Alcotest.test_case "LRU eviction under --cache-max" `Quick
+            test_cache_lru_eviction;
           Alcotest.test_case "abort releases claim" `Quick
             test_cache_abort_releases_claim;
         ] );

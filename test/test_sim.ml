@@ -96,7 +96,7 @@ let test_ab_install_read () =
   Bytes.set mem 16 'B';
   let sb = M.subblock_id ab_machine ~addr:0 in
   Alcotest.(check bool) "absent" false (Attraction.lookup ab ~subblock:sb);
-  Attraction.install ab ~machine:ab_machine ~subblock:sb ~mem ~sync:7;
+  ignore (Attraction.install ab ~machine:ab_machine ~subblock:sb ~mem ~sync:7);
   Alcotest.(check bool) "present" true (Attraction.lookup ab ~subblock:sb);
   Alcotest.(check (option int64)) "reads word 0" (Some 65L)
     (Attraction.read ab ~subblock:sb ~addr:0 ~size:1);
@@ -108,7 +108,7 @@ let test_ab_write_updates_copy () =
   let ab = Attraction.create ab_machine in
   let mem = Bytes.make 64 '\000' in
   let sb = M.subblock_id ab_machine ~addr:0 in
-  Attraction.install ab ~machine:ab_machine ~subblock:sb ~mem ~sync:1;
+  ignore (Attraction.install ab ~machine:ab_machine ~subblock:sb ~mem ~sync:1);
   Alcotest.(check bool) "write hits" true
     (Attraction.write_if_present ab ~subblock:sb ~addr:0 ~size:4 0xDEADL ~sync:9);
   Alcotest.(check (option int64)) "fresh value" (Some 0xDEADL)
@@ -122,7 +122,7 @@ let test_ab_straddling_access_bypasses () =
   let ab = Attraction.create m in
   let mem = Bytes.make 64 '\000' in
   let sb = M.subblock_id m ~addr:0 in
-  Attraction.install ab ~machine:m ~subblock:sb ~mem ~sync:0;
+  ignore (Attraction.install ab ~machine:m ~subblock:sb ~mem ~sync:0);
   Alcotest.(check (option int64)) "2-byte ok" (Some 0L)
     (Attraction.read ab ~subblock:sb ~addr:0 ~size:2);
   Alcotest.(check (option int64)) "4-byte bypasses" None
@@ -131,10 +131,12 @@ let test_ab_straddling_access_bypasses () =
 let test_ab_flush_counts () =
   let ab = Attraction.create ab_machine in
   let mem = Bytes.make 128 '\000' in
-  Attraction.install ab ~machine:ab_machine ~subblock:(M.subblock_id ab_machine ~addr:0)
-    ~mem ~sync:0;
-  Attraction.install ab ~machine:ab_machine ~subblock:(M.subblock_id ab_machine ~addr:32)
-    ~mem ~sync:0;
+  ignore
+    (Attraction.install ab ~machine:ab_machine
+       ~subblock:(M.subblock_id ab_machine ~addr:0) ~mem ~sync:0);
+  ignore
+    (Attraction.install ab ~machine:ab_machine
+       ~subblock:(M.subblock_id ab_machine ~addr:32) ~mem ~sync:0);
   Alcotest.(check int) "two entries flushed" 2 (Attraction.flush ab);
   Alcotest.(check int) "now empty" 0 (Attraction.flush ab)
 

@@ -288,6 +288,51 @@ let test_static_home_local_first () =
     (List.length (D.errors without.V.r_diags)
     >= List.length (D.errors with_layout.V.r_diags))
 
+(* the proof rules are parameterized on the interconnect's declared
+   guarantees: an Unordered transport must kill the co-located rule, a
+   FIFO-under-jitter one (the directory ring) must keep its certificates
+   jitter-robust, and the bus keeps its historical behaviour *)
+let test_interconnect_guarantees () =
+  let module Icn = Vliw_interconnect.Interconnect in
+  let k = Ir.Parser.parse_kernel contend_src in
+  let low = Lower.lower k in
+  let layout = Ir.Layout.make k in
+  let constraints = Chains.mincoms low.Lower.graph in
+  let s =
+    Driver.run_exn (Driver.request ~constraints M.table2) low.Lower.graph
+  in
+  let check ?guarantees machine =
+    V.check ~machine ~technique:V.Mdc ?guarantees ~base:low.Lower.graph
+      ~layout ~graph:low.Lower.graph ~schedule:s ()
+  in
+  (* bus (default guarantees): certified but not robust to bus jitter *)
+  let bus = check M.table2 in
+  Alcotest.(check bool) "bus certified" true bus.V.r_verified;
+  Alcotest.(check bool) "bus co-located proof not jitter-robust" false
+    bus.V.r_jitter_robust;
+  (* directory: same schedule, same proofs, but per-link FIFO holds under
+     jitter so the certificate is robust *)
+  let dir = check (M.with_interconnect M.table2 M.Directory) in
+  Alcotest.(check bool) "directory certified" true dir.V.r_verified;
+  Alcotest.(check bool) "directory certificate jitter-robust" true
+    dir.V.r_jitter_robust;
+  Alcotest.(check bool) "directory uses co-location too" true
+    (List.mem_assoc "co-located" dir.V.r_proofs);
+  (* synthetic transport declaring no source ordering: the co-located rule
+     may not fire for possibly-remote pairs, so the schedule is rejected
+     with the dedicated diagnostic *)
+  let unordered =
+    {
+      (Icn.guarantees M.table2) with
+      Icn.g_source_order = Icn.Unordered;
+      g_order_under_jitter = false;
+    }
+  in
+  let r = check ~guarantees:unordered M.table2 in
+  Alcotest.(check bool) "unordered transport rejected" false r.V.r_verified;
+  Alcotest.(check bool) "interconnect-unordered diagnostic" true
+    (List.mem "interconnect-unordered" (codes r))
+
 (* --- wiring --- *)
 
 let test_driver_check_gates () =
@@ -412,6 +457,8 @@ let () =
           Alcotest.test_case "split access" `Quick test_split_access;
           Alcotest.test_case "tampered schedule" `Quick
             test_tampered_schedule_rejected;
+          Alcotest.test_case "interconnect guarantees" `Quick
+            test_interconnect_guarantees;
           Alcotest.test_case "static home local-first" `Quick
             test_static_home_local_first;
         ] );
