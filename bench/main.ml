@@ -42,6 +42,131 @@ let fuzz_summary : Vliw_fuzz.Fuzz.summary option ref = ref None
 
 let serve_summary : Json.t option ref = ref None
 
+(* ---- small-scope model checking of the litmus suite (key "litmus") ----
+
+   Exhaustively explores every bus/ring grant order and jitter draw of
+   each committed test/litmus kernel at its declared configuration
+   (DESIGN.md section 13). The table reports the aggregate state-space
+   counters per kernel; any refutation or blown budget fails the
+   experiment loudly. Results land in the --json report under
+   "litmus". *)
+
+let litmus_summary : Json.t option ref = ref None
+
+let litmus_dir () =
+  List.find_opt Sys.file_exists
+    [
+      Filename.concat "test" "litmus";
+      Filename.concat ".." (Filename.concat "test" "litmus");
+    ]
+
+let litmus_bench () =
+  let module Check = Vliw_check.Check in
+  let module Gen = Vliw_fuzz.Gen in
+  let module Diff = Vliw_fuzz.Diff in
+  match litmus_dir () with
+  | None -> "litmus: test/litmus not found (run from the repository root)\n"
+  | Some dir ->
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".lk")
+      |> List.sort compare
+    in
+    let results =
+      Pool.map
+        (fun file ->
+          let case = Gen.load (Filename.concat dir file) in
+          (file, Check.run_case case))
+        files
+    in
+    let module T = Vliw_util.Table in
+    let t =
+      T.create
+        ~title:
+          (Printf.sprintf
+             "Small-scope model checking: %d litmus kernels, all grant \
+              orders and jitter draws"
+             (List.length files))
+        [ ("kernel", T.Left); ("config", T.Left); ("jitter", T.Right);
+          ("states", T.Right); ("pruned", T.Right); ("leaves", T.Right);
+          ("frontier", T.Right); ("violating", T.Right); ("result", T.Left) ]
+    in
+    let failures = ref 0 in
+    let kernel_json =
+      List.map
+        (fun (file, (r : Check.case_outcome)) ->
+          let outcomes =
+            List.filter_map
+              (fun (c : Check.checked) ->
+                match c.Check.t_status with
+                | Ok (_, o) -> Some (c.Check.t_technique, o)
+                | Error _ -> None)
+              r.Check.co_techniques
+          in
+          let sum f = List.fold_left (fun a (_, o) -> a + f o) 0 outcomes in
+          let high f = List.fold_left (fun a (_, o) -> max a (f o)) 0 outcomes in
+          let exhaustive =
+            List.for_all (fun (_, o) -> o.Check.k_exhaustive) outcomes
+          in
+          let result =
+            if r.Check.co_failures <> [] then "FAIL"
+            else if not exhaustive then "budget"
+            else "clean"
+          in
+          if result <> "clean" then incr failures;
+          T.add_row t
+            [
+              Filename.remove_extension file;
+              Printf.sprintf "%s x%d" r.Check.co_case.Gen.g_mconf.Gen.mc_icn
+                r.Check.co_case.Gen.g_mconf.Gen.mc_clusters;
+              string_of_int r.Check.co_jitter;
+              string_of_int (sum (fun o -> o.Check.k_states));
+              string_of_int (sum (fun o -> o.Check.k_pruned));
+              string_of_int (sum (fun o -> o.Check.k_leaves));
+              string_of_int (high (fun o -> o.Check.k_max_frontier));
+              string_of_int (sum (fun o -> o.Check.k_violating));
+              result;
+            ];
+          Json.Obj
+            [
+              ("kernel", Json.String (Filename.remove_extension file));
+              ( "config",
+                Json.String
+                  (Printf.sprintf "%s x%d"
+                     r.Check.co_case.Gen.g_mconf.Gen.mc_icn
+                     r.Check.co_case.Gen.g_mconf.Gen.mc_clusters) );
+              ("jitter", Json.Int r.Check.co_jitter);
+              ("states", Json.Int (sum (fun o -> o.Check.k_states)));
+              ("pruned", Json.Int (sum (fun o -> o.Check.k_pruned)));
+              ("leaves", Json.Int (sum (fun o -> o.Check.k_leaves)));
+              ("max_frontier", Json.Int (high (fun o -> o.Check.k_max_frontier)));
+              ("violating", Json.Int (sum (fun o -> o.Check.k_violating)));
+              ("exhaustive", Json.Bool exhaustive);
+              ("clean", Json.Bool (r.Check.co_failures = []));
+              ( "techniques",
+                Json.Obj
+                  (List.map
+                     (fun (tech, o) ->
+                       (Diff.technique_name tech, Check.outcome_json o))
+                     outcomes) );
+            ])
+        results
+    in
+    litmus_summary :=
+      Some
+        (Json.Obj
+           [
+             ("kernels", Json.Int (List.length files));
+             ("failures", Json.Int !failures);
+             ("cases", Json.List kernel_json);
+           ]);
+    let verdict =
+      if !failures = 0 then
+        "every kernel explored its complete bounded space: 0 refutations"
+      else Printf.sprintf "%d kernel(s) FAILED or blew the budget" !failures
+    in
+    String.concat "\n" [ T.render t; verdict; "" ]
+
 let serve_levels = [ (1, 1); (1, 2); (1, 4); (1, 8); (4, 1); (4, 2); (4, 4); (4, 8) ]
 
 let serve_bench () =
@@ -246,6 +371,9 @@ let experiments : (string * string * (Vliw_harness.Runner.obs -> string)) list =
         let s = Vliw_fuzz.Fuzz.run (Vliw_fuzz.Fuzz.config ()) in
         fuzz_summary := Some s;
         Render.fuzz s );
+    ( "litmus",
+      "Small-scope model checking over the committed litmus suite",
+      fun _ -> litmus_bench () );
     ( "serve",
       "Compile service - throughput/latency under the sharded cache \
        (opt-in: not part of the default sweep)",
@@ -288,7 +416,7 @@ let json_report ~jobs ~total_wall timings =
   in
   Json.Obj
     [
-      ("schema", Json.String "vliw-harness/6");
+      ("schema", Json.String "vliw-harness/7");
       ("jobs", Json.Int jobs);
       ("total_wall_s", Json.Float total_wall);
       ( "experiments",
@@ -322,6 +450,8 @@ let json_report ~jobs ~total_wall timings =
         match !fuzz_summary with
         | Some s -> Vliw_fuzz.Fuzz.summary_json s
         | None -> Json.Null );
+      ( "litmus",
+        match !litmus_summary with Some s -> s | None -> Json.Null );
     ]
 
 let run_bechamel () =

@@ -144,9 +144,55 @@ let read_source path =
       (fun () -> really_input_string ic (in_channel_length ic))
   end
 
+(* --check: exhaustively enumerate the schedule's bounded interleaving
+   space (see Vliw_check.Check) against the reference interpreter's
+   memory and the verifier's certificate. Returns true when the kernel
+   must fail the run (counterexample found or space not exhausted). *)
+let model_check ~jitter (a : E.artifacts) =
+  let module Check = Vliw_check.Check in
+  let oracle = Ir.Interp.run ~layout:a.E.a_layout a.E.a_kernel in
+  let certified =
+    match a.E.a_report with
+    | Some r ->
+      r.Vliw_verify.Verify.r_verified
+      && (jitter = 0 || r.Vliw_verify.Verify.r_jitter_robust)
+    | None -> false
+  in
+  let o =
+    Check.explore ~lowered:a.E.a_lowered ~graph:a.E.a_graph
+      ~schedule:a.E.a_schedule ~layout:a.E.a_layout ~jitter
+      ~expected:oracle.Ir.Interp.memory ~certified ()
+  in
+  Printf.printf "model check %s (jitter<=%d, %s): %s\n"
+    a.E.a_kernel.Ir.Ast.k_name jitter
+    (if certified then "certified" else "uncertified")
+    (Format.asprintf "%a" Check.pp_outcome o);
+  match o.Check.k_counterexample with
+  | Some x ->
+    let detail =
+      Printf.sprintf "draw script [%s] runs with %d violation%s, memory %s"
+        (String.concat "," (List.map string_of_int x.Check.x_script))
+        x.Check.x_violations
+        (if x.Check.x_violations = 1 then "" else "s")
+        (if x.Check.x_memory_ok then "intact" else "corrupted")
+    in
+    (match a.E.a_report with
+    | Some r ->
+      Format.printf "%a@." Vliw_util.Diag.pp
+        (Vliw_verify.Verify.refutation r ~detail)
+    | None -> Printf.printf "counterexample: %s\n" detail);
+    true
+  | None ->
+    if not o.Check.k_exhaustive then
+      Printf.printf
+        "model check %s: state budget exhausted before the space; rerun with \
+         a smaller kernel or jitter bound\n"
+        a.E.a_kernel.Ir.Ast.k_name;
+    not o.Check.k_exhaustive
+
 let main file workload technique heuristic ordering machine_name clusters icn
-    interleave ab pad unroll cse lint lint_error verify dump_ddg dot dump_sched
-    execution compare jobs trace_file =
+    interleave ab pad unroll cse lint lint_error verify check check_jitter
+    dump_ddg dot dump_sched execution compare jobs trace_file =
   (match jobs with
   | Some n when n >= 1 -> Vliw_util.Pool.set_jobs n
   | Some n ->
@@ -193,13 +239,30 @@ let main file workload technique heuristic ordering machine_name clusters icn
       op_cse = cse;
       op_lint = lint;
       op_lint_error = lint_error;
-      op_verify = verify;
+      (* --check holds leaves to the certificate, so it needs one *)
+      op_verify = verify || check;
       op_dump_ddg = dump_ddg;
       op_dot = dot;
       op_dump_sched = dump_sched;
       op_execution = execution;
       op_trace_file = trace_file;
     }
+  in
+  let collected = ref [] in
+  let artifacts =
+    if check then Some (fun a -> collected := a :: !collected) else None
+  in
+  let run_checks ~jitter_default () =
+    if check then begin
+      let jitter = Option.value check_jitter ~default:jitter_default in
+      let bad =
+        List.fold_left
+          (fun bad a -> model_check ~jitter a || bad)
+          false (List.rev !collected)
+      in
+      collected := [];
+      if bad then exit 1
+    end
   in
   match (file, workload) with
   | None, None | Some _, Some _ ->
@@ -224,7 +287,15 @@ let main file workload technique heuristic ordering machine_name clusters icn
         exit 1)
     else begin
       let buf = Buffer.create 4096 in
-      emit buf (E.run_source ~buf ~machine ~opts ~path src)
+      emit buf (E.run_source ?artifacts ~buf ~machine ~opts ~path src);
+      let jitter_default =
+        Option.value
+          (Option.bind
+             (List.assoc_opt "jitter" (E.source_directives src))
+             int_of_string_opt)
+          ~default:1
+      in
+      run_checks ~jitter_default ()
     end
   | None, Some name ->
     let bench =
@@ -242,7 +313,8 @@ let main file workload technique heuristic ordering machine_name clusters icn
         if compare then compare_kernel ~machine ~heuristic ~pad ~unroll kernel
         else begin
           let buf = Buffer.create 4096 in
-          emit buf (E.run_kernel ~buf ~machine ~opts kernel)
+          emit buf (E.run_kernel ?artifacts ~buf ~machine ~opts kernel);
+          run_checks ~jitter_default:1 ()
         end)
       bench.W.b_loops
 
@@ -371,6 +443,27 @@ let verify_flag =
            print the certificate or the diagnostics and exit nonzero on \
            rejection.")
 
+let check_flag =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Model-check the schedule: exhaustively enumerate every bounded \
+           interleaving of the compiled kernel (implies $(b,--verify)), hold \
+           certified schedules to zero violations and the reference \
+           interpreter's memory, and exit nonzero on a counterexample or a \
+           blown state budget. Practical for small kernels only.")
+
+let check_jitter =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "check-jitter" ] ~docv:"J"
+        ~doc:
+          "Per-transfer jitter bound for $(b,--check) (default: the kernel \
+           file's $(b,# jitter=J) header directive, else 1; 0 checks the \
+           single nominal execution).")
+
 let compare_flag =
   Arg.(
     value & flag
@@ -425,7 +518,8 @@ let cmd =
     Term.(
       const main $ file $ workload $ technique $ heuristic $ ordering
       $ machine_name $ clusters $ icn $ interleave $ ab $ pad $ unroll
-      $ cse_flag $ lint_flag $ lint_error_flag $ verify_flag $ dump_ddg $ dot
-      $ dump_sched $ execution $ compare_flag $ jobs $ trace_file)
+      $ cse_flag $ lint_flag $ lint_error_flag $ verify_flag $ check_flag
+      $ check_jitter $ dump_ddg $ dot $ dump_sched $ execution $ compare_flag
+      $ jobs $ trace_file)
 
 let () = exit (Cmd.eval cmd)

@@ -101,6 +101,142 @@ let shrink_cmd file out weaken =
     0
   end
 
+(* ---- check: bounded model checking of saved cases ---- *)
+
+module Check = Vliw_check.Check
+
+let mconf_with ~clusters ~icn (m : Gen.mconf) =
+  let m =
+    match clusters with Some c -> { m with Gen.mc_clusters = c } | None -> m
+  in
+  match icn with Some i -> { m with Gen.mc_icn = i } | None -> m
+
+let config_label (c : Gen.case) =
+  Printf.sprintf "%s x%d" c.Gen.g_mconf.Gen.mc_icn c.Gen.g_mconf.Gen.mc_clusters
+
+let render_case_outcome file (r : Check.case_outcome) =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "check %s [%s] jitter<=%d\n" file
+       (config_label r.Check.co_case)
+       r.Check.co_jitter);
+  List.iter
+    (fun (t : Check.checked) ->
+      match t.Check.t_status with
+      | Error e ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-6s unschedulable: %s\n"
+             (Diff.technique_name t.Check.t_technique)
+             e)
+      | Ok (report, o) ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-6s %s: %s\n"
+             (Diff.technique_name t.Check.t_technique)
+             (if o.Check.k_certified then "certified"
+              else if report.Vliw_verify.Verify.r_verified then
+                "certified-nominal-only"
+              else "uncertified")
+             (Format.asprintf "%a" Check.pp_outcome o)))
+    r.Check.co_techniques;
+  if r.Check.co_failures = [] then Buffer.add_string b "clean\n"
+  else
+    List.iter
+      (fun (kind, detail) ->
+        Buffer.add_string b (Printf.sprintf "FAILURE %s: %s\n" kind detail))
+      r.Check.co_failures;
+  Buffer.contents b
+
+let check_cmd files clusters icn jitter matrix max_states jobs out weaken =
+  Option.iter Vliw_util.Pool.set_jobs jobs;
+  let verifier = verifier_of weaken in
+  let config =
+    match max_states with
+    | None -> Check.default_config
+    | Some n ->
+      { Check.default_config with Check.c_max_states = n; c_max_leaves = n }
+  in
+  let configs =
+    if matrix then
+      [ (Some "bus", Some 4); (Some "bus", Some 8); (Some "directory", Some 4);
+        (Some "directory", Some 8) ]
+    else [ (icn, clusters) ]
+  in
+  let work =
+    List.concat_map
+      (fun file ->
+        let case = Gen.load file in
+        List.map
+          (fun (icn, clusters) ->
+            ( file,
+              {
+                case with
+                Gen.g_mconf = mconf_with ~clusters ~icn case.Gen.g_mconf;
+              } ))
+          configs)
+      files
+  in
+  let results =
+    Vliw_util.Pool.map
+      (fun (file, case) ->
+        (file, case, Check.run_case ?verifier ~config ?jitter case))
+      work
+  in
+  let bad = ref false in
+  let refuted = ref [] in
+  List.iter
+    (fun (file, _case, r) ->
+      print_string (render_case_outcome file r);
+      if r.Check.co_failures <> [] then bad := true;
+      if
+        List.exists
+          (fun (k, _) -> List.mem k Check.refuting_kinds)
+          r.Check.co_failures
+      then refuted := (file, r) :: !refuted)
+    results;
+  (* shrink the first refuted case into a committed-repro-sized witness
+     and dump its counterexample trace for offline inspection *)
+  (match (out, List.rev !refuted) with
+  | Some dir, (file, r) :: _ ->
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let case = r.Check.co_case in
+    let small =
+      Shrink.shrink ~pred:(Check.case_refuted ?verifier ~config ?jitter) case
+    in
+    let stem =
+      Filename.concat dir
+        (Filename.remove_extension (Filename.basename file) ^ ".refuted")
+    in
+    Gen.save (stem ^ ".lk") small;
+    Printf.printf "shrunk refuted case to %d nodes: %s\n"
+      (Shrink.node_count small) (stem ^ ".lk");
+    let sr = Check.run_case ?verifier ~config ?jitter small in
+    print_string (render_case_outcome (stem ^ ".lk") sr);
+    List.iter
+      (fun (t : Check.checked) ->
+        match t.Check.t_status with
+        | Ok (_, { Check.k_counterexample = Some x; _ }) ->
+          (match Diff.compile small t.Check.t_technique with
+          | Ok a ->
+            let sink = Vliw_trace.Trace.create () in
+            ignore
+              (Check.replay ~lowered:a.Diff.a_lowered ~graph:a.Diff.a_graph
+                 ~schedule:a.Diff.a_schedule ~layout:a.Diff.a_layout
+                 ~jitter:sr.Check.co_jitter ~script:x.Check.x_script
+                 ~trace:sink ());
+            let path =
+              Printf.sprintf "%s.%s.trace.json" stem
+                (Diff.technique_name t.Check.t_technique)
+            in
+            let oc = open_out path in
+            output_string oc (Vliw_trace.Chrome.to_string sink);
+            close_out oc;
+            Printf.printf "counterexample trace: %s\n" path
+          | Error _ -> ())
+        | _ -> ())
+      sr.Check.co_techniques
+  | _ -> ());
+  if !bad then 1 else 0
+
 let gen_cmd seed budget index out =
   let case = Gen.generate ~seed ~budget index in
   (match out with
@@ -153,6 +289,46 @@ let out_file =
 
 let index = Arg.(required & pos 0 (some int) None & info [] ~docv:"INDEX")
 
+let files =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE")
+
+let clusters_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "clusters" ] ~docv:"N"
+        ~doc:"Override the case's cluster count (4, 8 or 16).")
+
+let icn_opt =
+  Arg.(
+    value
+    & opt (some (enum [ ("bus", "bus"); ("directory", "directory") ])) None
+    & info [ "icn" ] ~docv:"ICN" ~doc:"Override the interconnect backend.")
+
+let jitter_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jitter" ] ~docv:"J"
+        ~doc:
+          "Per-transfer jitter bound to explore (default: the case's \
+           declared bound).")
+
+let matrix =
+  Arg.(
+    value & flag
+    & info [ "matrix" ]
+        ~doc:
+          "Check each case under {bus,directory} x {4,8} clusters instead \
+           of its declared configuration.")
+
+let max_states =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-states" ] ~docv:"N"
+        ~doc:"Exploration budget (states and leaves; default 200000/100000).")
+
 let gen_c =
   Cmd.v
     (Cmd.info "gen" ~doc:"Print (or save) one generated case by index.")
@@ -174,12 +350,23 @@ let shrink_c =
     (Cmd.info "shrink" ~doc:"Minimize a failing saved case.")
     Term.(const shrink_cmd $ file $ out_file $ weaken)
 
+let check_c =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Exhaustively model-check saved cases: enumerate every bounded \
+          interleaving, hold certified schedules to zero violations and \
+          oracle memory.")
+    Term.(
+      const check_cmd $ files $ clusters_opt $ icn_opt $ jitter_opt $ matrix
+      $ max_states $ jobs $ out $ weaken)
+
 let cmd =
   Cmd.group
     (Cmd.info "vliwfuzz" ~version:"1.0.0"
        ~doc:
          "Differential coherence fuzzer: seeded workloads, golden-memory \
           oracle, shrinking repro harness.")
-    [ run_c; replay_c; shrink_c; gen_c ]
+    [ run_c; replay_c; shrink_c; gen_c; check_c ]
 
 let () = exit (Cmd.eval' cmd)

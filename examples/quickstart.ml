@@ -105,6 +105,15 @@ let () =
   print_endline "  DDGT schedule (loads free, instances pinned, one per cluster):";
   show_schedule r.Ddgt.graph s_ddgt;
 
-  print_endline "\nDOT files: quickstart_fig3.dot / quickstart_fig5.dot";
-  Vliw_ddg.Dot.write_file "quickstart_fig3.dot" g;
-  Vliw_ddg.Dot.write_file "quickstart_fig5.dot" r.Ddgt.graph
+  (* keep generated artifacts out of the repo root: land them next to
+     this example when run from a checkout, in cwd otherwise *)
+  let out name =
+    if Sys.file_exists "examples" && Sys.is_directory "examples" then
+      Filename.concat "examples" name
+    else name
+  in
+  Printf.printf "\nDOT files: %s / %s\n"
+    (out "quickstart_fig3.dot")
+    (out "quickstart_fig5.dot");
+  Vliw_ddg.Dot.write_file (out "quickstart_fig3.dot") g;
+  Vliw_ddg.Dot.write_file (out "quickstart_fig5.dot") r.Ddgt.graph

@@ -93,6 +93,81 @@ let jitter_stream (c : Gen.case) tech =
        "jitter")
     (technique_name tech)
 
+(* One technique's scheduling pipeline over an already-lowered case; the
+   single compile path shared by the differential check below and the
+   model checker (Vliw_check.Check), so both judge the exact same
+   artifacts. Crucially the driver is NOT gated by the verifier: the
+   verdict is collected after the fact and differenced against the
+   dynamic outcome, so a verifier that wrongly certifies is caught
+   instead of obeyed. *)
+let compile_with ~machine ~heuristic ~prof ~pref ~low ~trip tech =
+  match tech with
+  | Hybrid -> (
+    match
+      Vliw_sched.Hybrid.choose ~machine ~heuristic
+        ~pref_for:(Profile.node_pref prof) ~trip low.Lower.graph
+    with
+    | Ok h -> Ok (h.Vliw_sched.Hybrid.graph, h.Vliw_sched.Hybrid.schedule)
+    | Error e -> Error e)
+  | _ ->
+    let graph, constraints =
+      match tech with
+      | Free | Hybrid -> (low.Lower.graph, Chains.no_constraints ())
+      | Mdc ->
+        ( low.Lower.graph,
+          (match heuristic with
+          | S.Pref_clus -> Chains.prefclus low.Lower.graph ~pref
+          | S.Min_coms -> Chains.mincoms low.Lower.graph) )
+      | Ddgt ->
+        let r = Ddgt.transform ~clusters:machine.M.clusters low.Lower.graph in
+        (r.Ddgt.graph, Chains.no_constraints ())
+    in
+    let pref_g =
+      match tech with
+      | Ddgt -> Profile.node_pref prof graph
+      | Free | Mdc | Hybrid -> pref
+    in
+    (match
+       Driver.run
+         (Driver.request ~heuristic ~constraints ~pref:pref_g machine)
+         graph
+     with
+    | Ok s -> Ok (graph, s)
+    | Error e -> Error e)
+
+type artifacts = {
+  a_machine : M.t;
+  a_layout : Layout.t;
+  a_heuristic : S.heuristic;
+  a_lowered : Lower.t;
+  a_graph : G.t;
+  a_schedule : S.t;
+}
+
+let compile (c : Gen.case) tech =
+  let k = c.Gen.g_kernel in
+  let machine = Gen.machine c.Gen.g_mconf in
+  let layout = Layout.make k in
+  let heuristic = heuristic_for c in
+  let low = Lower.lower k in
+  let prof = Profile.run ~machine ~layout k in
+  let pref = Profile.node_pref prof low.Lower.graph in
+  match
+    compile_with ~machine ~heuristic ~prof ~pref ~low ~trip:k.Vliw_ir.Ast.k_trip
+      tech
+  with
+  | Error e -> Error e
+  | Ok (graph, schedule) ->
+    Ok
+      {
+        a_machine = machine;
+        a_layout = layout;
+        a_heuristic = heuristic;
+        a_lowered = low;
+        a_graph = graph;
+        a_schedule = schedule;
+      }
+
 let check ?(verifier = default_verifier) (c : Gen.case) =
   let k = c.Gen.g_kernel in
   let machine = Gen.machine c.Gen.g_mconf in
@@ -113,45 +188,8 @@ let check ?(verifier = default_verifier) (c : Gen.case) =
   let prof = Profile.run ~machine ~layout k in
   let pref = Profile.node_pref prof low.Lower.graph in
   let compile tech =
-    match tech with
-    | Hybrid -> (
-      match
-        Vliw_sched.Hybrid.choose ~machine ~heuristic
-          ~pref_for:(Profile.node_pref prof)
-          ~trip:k.Vliw_ir.Ast.k_trip low.Lower.graph
-      with
-      | Ok h -> Ok (h.Vliw_sched.Hybrid.graph, h.Vliw_sched.Hybrid.schedule)
-      | Error e -> Error e)
-    | _ ->
-      let graph, constraints =
-        match tech with
-        | Free | Hybrid -> (low.Lower.graph, Chains.no_constraints ())
-        | Mdc ->
-          ( low.Lower.graph,
-            (match heuristic with
-            | S.Pref_clus -> Chains.prefclus low.Lower.graph ~pref
-            | S.Min_coms -> Chains.mincoms low.Lower.graph) )
-        | Ddgt ->
-          let r = Ddgt.transform ~clusters:machine.M.clusters low.Lower.graph in
-          (r.Ddgt.graph, Chains.no_constraints ())
-      in
-      let pref_g =
-        match tech with
-        | Ddgt -> Profile.node_pref prof graph
-        | Free | Mdc | Hybrid -> pref
-      in
-      (* crucially, the driver is NOT gated by the verifier here: the
-         verifier's verdict is collected after the fact and differenced
-         against the dynamic outcome, so a verifier that wrongly
-         certifies is caught instead of obeyed *)
-      (match
-         Driver.run
-           (Driver.request ~heuristic ~constraints:constraints ~pref:pref_g
-              machine)
-           graph
-       with
-      | Ok s -> Ok (graph, s)
-      | Error e -> Error e)
+    compile_with ~machine ~heuristic ~prof ~pref ~low
+      ~trip:k.Vliw_ir.Ast.k_trip tech
   in
   let simulate tech tag ?jitter graph schedule =
     let sink = Trace.create () in

@@ -33,6 +33,8 @@ val technique_name : technique -> string
 val techniques : technique list
 (** The four techniques every case is compiled under, in a fixed order. *)
 
+val verify_technique : technique -> Vliw_verify.Verify.technique
+
 type verifier =
   machine:Vliw_arch.Machine.t ->
   technique:Vliw_verify.Verify.technique ->
@@ -81,6 +83,23 @@ type verdict = {
 
 val failure_kinds : string list
 (** Every [f_kind] the driver can emit, in a fixed order. *)
+
+type artifacts = {
+  a_machine : Vliw_arch.Machine.t;
+  a_layout : Vliw_ir.Layout.t;
+  a_heuristic : Vliw_sched.Schedule.heuristic;
+  a_lowered : Vliw_lower.Lower.t;
+  a_graph : Vliw_ddg.Graph.t;  (** post-transform (MDC/DDGT) graph *)
+  a_schedule : Vliw_sched.Schedule.t;
+}
+(** Everything a simulator or verifier needs about one compiled case. *)
+
+val compile : Gen.case -> technique -> (artifacts, string) result
+(** Compile one case under one technique through the exact pipeline
+    [check] uses (same per-case heuristic, same ungated driver), so the
+    model checker ({!Vliw_check.Check}) explores the very artifacts the
+    differential driver judges. [Error] is the scheduler's reason
+    (an [Unschedulable] case). *)
 
 val check : ?verifier:verifier -> Gen.case -> verdict
 (** Run the whole differential pipeline on one case. Deterministic: equal

@@ -109,6 +109,27 @@ module Bus = struct
 
   let pending t = t.len > 0
 
+  (* Canonical serialization for model-checking state keys: per-bus busy
+     horizons relativized to [now] (all past values behave identically —
+     [dispatch] only compares them against [now]) plus the queued payloads
+     in FIFO order. Transaction ids and request stamps are excluded: they
+     only feed the [Bus_grant] trace fields, never arbitration, and
+     [q_ready] always equals its request cycle, which is [<= now] by the
+     time any dispatch can observe it. *)
+  let encode_state t ~now ~payload buf =
+    Buffer.add_char buf 'B';
+    Array.iter
+      (fun f ->
+        Buffer.add_string buf (string_of_int (max 0 (f - now)));
+        Buffer.add_char buf ',')
+      t.bus_free;
+    Buffer.add_char buf '|';
+    for i = 0 to t.len - 1 do
+      let j = (t.head + i) mod t.cap in
+      Buffer.add_string buf (string_of_int (payload t.q_payload.(j)));
+      Buffer.add_char buf ','
+    done
+
   let dispatch t ~now ~jit ~grant =
     let nbuses = Array.length t.bus_free in
     for b = 0 to nbuses - 1 do
@@ -287,6 +308,77 @@ module Directory = struct
 
   let writeback t ~now ~src ~home ~subblock =
     ignore (inject t ~now ~src ~dst:home (Writeback_ack { subblock; from = src }))
+
+  let due t ~now = Hashtbl.mem t.buckets now
+
+  (* Canonical serialization for model-checking state keys. Link horizons
+     are relativized to [now]: [link_free <= now] means "open" and
+     [link_last <= now] cannot clamp an arrival (hop latency is >= 1), so
+     both collapse to 0. Buckets are emitted in ascending-cycle order,
+     packets within a bucket in processing (injection) order; transaction
+     ids are trace-only and excluded. Directory entries are emitted in
+     subblock order, skipping entries indistinguishable from an absent
+     one (empty mask, clean). [in_flight] is derivable from the buckets.
+     The traffic counters are included because they surface in the final
+     run stats. *)
+  let encode_state t ~now ~payload buf =
+    Buffer.add_char buf 'D';
+    Array.iter
+      (fun f ->
+        Buffer.add_string buf (string_of_int (max 0 (f - now)));
+        Buffer.add_char buf ',')
+      t.link_free;
+    Buffer.add_char buf '|';
+    Array.iter
+      (fun f ->
+        Buffer.add_string buf (string_of_int (max 0 (f - now)));
+        Buffer.add_char buf ',')
+      t.link_last;
+    let add_delivery = function
+      | Request x ->
+        Buffer.add_char buf 'R';
+        Buffer.add_string buf (string_of_int (payload x))
+      | Response x ->
+        Buffer.add_char buf 'r';
+        Buffer.add_string buf (string_of_int (payload x))
+      | Invalidate { subblock; home } ->
+        Buffer.add_string buf (Printf.sprintf "I%d.%d" subblock home)
+      | Writeback_ack { subblock; from } ->
+        Buffer.add_string buf (Printf.sprintf "W%d.%d" subblock from)
+    in
+    let cycles =
+      Hashtbl.fold (fun c _ acc -> c :: acc) t.buckets []
+      |> List.sort compare
+    in
+    List.iter
+      (fun c ->
+        let l = Hashtbl.find t.buckets c in
+        Buffer.add_string buf (Printf.sprintf "|@%d:" (c - now));
+        List.iter
+          (fun p ->
+            Buffer.add_string buf
+              (Printf.sprintf "(%d,%d,%d,%b," p.p_dst p.p_dir p.p_at
+                 p.p_arrived);
+            add_delivery p.p_payload;
+            Buffer.add_char buf ')')
+          (List.rev !l))
+      cycles;
+    let entries =
+      Hashtbl.fold
+        (fun sb e acc ->
+          if e.e_mask = 0 && not e.e_dirty then acc else (sb, e) :: acc)
+        t.entries []
+      |> List.sort compare
+    in
+    Buffer.add_char buf '|';
+    List.iter
+      (fun (sb, e) ->
+        Buffer.add_string buf
+          (Printf.sprintf "e%d:%d,%b;" sb e.e_mask e.e_dirty))
+      entries;
+    Buffer.add_string buf
+      (Printf.sprintf "|%d,%d,%d,%d" t.lookups t.invalidates t.writebacks
+         t.hops)
 
   let step t ~now ~jit ~emit_hop ~deliver =
     match Hashtbl.find_opt t.buckets now with

@@ -73,7 +73,17 @@ module Bus : sig
   (** Enqueue a transaction; returns its fresh transaction id. *)
 
   val pending : 'a t -> bool
-  (** Requests queued but not yet granted. *)
+  (** Requests queued but not yet granted. A dispatch round can only
+      consume a jitter draw when this is true, so it doubles as the model
+      checker's "may the network branch this cycle" predicate. *)
+
+  val encode_state : 'a t -> now:int -> payload:('a -> int) -> Buffer.t -> unit
+  (** Append a canonical serialization of the bus state (busy horizons
+      relativized to [now], queue payloads in FIFO order) for
+      model-checking state keys. Transaction ids and request stamps are
+      trace-only and excluded: two buses with equal encodings grant the
+      same payloads at the same relative cycles under the same future
+      draws. *)
 
   val dispatch :
     'a t ->
@@ -116,6 +126,19 @@ module Directory : sig
   val pending : 'a t -> bool
   (** Packets still in flight (the engine main loops must keep running
       until the network drains). *)
+
+  val due : 'a t -> now:int -> bool
+  (** Packets scheduled for this cycle — a sound over-approximation of
+      "the coming [step] may consume a jitter draw" (only departures
+      draw; arrivals do not). *)
+
+  val encode_state : 'a t -> now:int -> payload:('a -> int) -> Buffer.t -> unit
+  (** Append a canonical serialization of the ring + directory state for
+      model-checking state keys: link horizons relativized to [now],
+      buckets in ascending-cycle order with packets in processing order,
+      directory entries in subblock order (skipping empty clean ones),
+      and the traffic counters (they surface in the final stats).
+      Transaction ids are trace-only and excluded. *)
 
   val send_request : 'a t -> now:int -> src:int -> dst:int -> 'a -> int
   (** Inject a request packet; returns its transaction id. *)

@@ -118,6 +118,15 @@ type summary = {
   s_stats : Sim.stats;
 }
 
+type artifacts = {
+  a_kernel : Ir.Ast.kernel;
+  a_layout : Ir.Layout.t;
+  a_lowered : Lower.t;
+  a_graph : G.t;
+  a_schedule : S.t;
+  a_report : V.report option;
+}
+
 let schedule_digest schedule =
   Digest.to_hex (Digest.string (Format.asprintf "%a" S.pp schedule))
 
@@ -126,7 +135,7 @@ let schedule_digest schedule =
    stdout); a failure returns the message vliwc would print on stderr
    before exiting 1 ([None] when vliwc exits silently, e.g. a lint or
    verification rejection whose diagnostics are already in [buf]). *)
-let run_kernel ~buf ~machine ~opts kernel =
+let run_kernel ?artifacts ~buf ~machine ~opts kernel =
   let {
     op_technique = technique;
     op_heuristic = heuristic;
@@ -317,6 +326,18 @@ let run_kernel ~buf ~machine ~opts kernel =
         Buffer.add_string buf
           (Vliw_harness.Render.trace_summary (Vliw_trace.Summary.of_sink s))
       | _ -> ());
+      (match artifacts with
+      | Some f ->
+        f
+          {
+            a_kernel = kernel;
+            a_layout = layout;
+            a_lowered = low;
+            a_graph = graph;
+            a_schedule = schedule;
+            a_report = !report;
+          }
+      | None -> ());
       Ok
         {
           s_name = kernel.Ir.Ast.k_name;
@@ -326,7 +347,7 @@ let run_kernel ~buf ~machine ~opts kernel =
         }
   with Fail e -> Error e
 
-let run_source ~buf ~machine ~opts ~path src =
+let run_source ?artifacts ~buf ~machine ~opts ~path src =
   match Ir.Parser.parse_kernels src with
   | exception Ir.Parser.Error (msg, pos) ->
     Error
@@ -342,7 +363,7 @@ let run_source ~buf ~machine ~opts ~path src =
     let rec go acc = function
       | [] -> Ok (List.rev acc)
       | k :: rest -> (
-        match run_kernel ~buf ~machine ~opts k with
+        match run_kernel ?artifacts ~buf ~machine ~opts k with
         | Ok s -> go (s :: acc) rest
         | Error _ as e -> e)
     in

@@ -64,7 +64,20 @@ type summary = {
 
 val schedule_digest : Vliw_sched.Schedule.t -> string
 
+type artifacts = {
+  a_kernel : Vliw_ir.Ast.kernel;  (** post-CSE/unroll, as scheduled *)
+  a_layout : Vliw_ir.Layout.t;
+  a_lowered : Vliw_lower.Lower.t;
+  a_graph : Vliw_ddg.Graph.t;  (** post-transform graph the schedule covers *)
+  a_schedule : Vliw_sched.Schedule.t;
+  a_report : Vliw_verify.Verify.report option;  (** when [op_verify] *)
+}
+(** The compiled pipeline state of one kernel, observable via the
+    [?artifacts] callback — what [vliwc --check] hands to the model
+    checker without re-deriving the pipeline. *)
+
 val run_kernel :
+  ?artifacts:(artifacts -> unit) ->
   buf:Buffer.t ->
   machine:Vliw_arch.Machine.t ->
   opts:opts ->
@@ -74,9 +87,12 @@ val run_kernel :
     [buf] exactly the bytes vliwc prints on stdout. [Error msg] means
     vliwc would exit 1, after printing [msg] on stderr ([None] when the
     failure's diagnostics — lint, verification — are already in
-    [buf]). *)
+    [buf]). [artifacts] fires once per successful kernel, after
+    verification and simulation, with the exact pipeline state the run
+    used; no callback, no behavior change. *)
 
 val run_source :
+  ?artifacts:(artifacts -> unit) ->
   buf:Buffer.t ->
   machine:Vliw_arch.Machine.t ->
   opts:opts ->
@@ -85,4 +101,5 @@ val run_source :
   (summary list, string option) result
 (** Parse a [.lk] source (possibly several kernels) and run each in
     order, stopping at the first failure; [path] only prefixes parse
-    error positions. *)
+    error positions. [artifacts] is passed through to each kernel's
+    {!run_kernel}. *)

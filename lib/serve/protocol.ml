@@ -134,6 +134,19 @@ let request_of_json j =
     let* cse = bool_d "cse" false in
     let* verify = bool_d "verify" false in
     let* execution = bool_d "execution" false in
+    (* model checking enumerates interleavings for minutes at a time —
+       refuse it here rather than wedge a shared service worker on one
+       request; vliwc --check is the supported path *)
+    let* check = bool_d "check" false in
+    let* () =
+      if check then
+        Error
+          (Format.asprintf "%a" Vliw_util.Diag.pp
+             (Vliw_util.Diag.make Vliw_util.Diag.Error ~code:"check-unsupported"
+                "model checking is not served: run vliwc --check on the kernel \
+                 instead"))
+      else Ok ()
+    in
     Ok
       {
         rq_id = id;

@@ -195,6 +195,35 @@ let sync_seq t ~subblock =
   let w = find_way t subblock in
   if w < 0 then None else Some t.entries.(set_of t subblock).(w).sync
 
+(* Canonical serialization for model-checking state keys. Entries are
+   encoded in way-index order (install prefers the first invalid way by
+   index, so positions are observable), with each way's LRU stamp reduced
+   to its rank within the set (absolute stamp/clock values are not).
+   Entry data is included even for invalid ways: [install] reuses the
+   buffer and only blits the in-image prefix of each chunk, so stale bytes
+   of a previous occupant can survive into a live entry and — because
+   {!read} does not bounds-check against the image — be served to a load.
+   Including them over-distinguishes harmlessly; excluding them could
+   merge states with different observable futures. *)
+let encode_state t buf =
+  let order = Array.init t.assoc (fun w -> w) in
+  for s = 0 to t.sets - 1 do
+    let base = s * t.assoc in
+    let rank = Array.make t.assoc 0 in
+    let a = Array.copy order in
+    Array.sort (fun w1 w2 -> compare t.stamp.(base + w2) t.stamp.(base + w1)) a;
+    Array.iteri (fun r w -> rank.(w) <- r) a;
+    Buffer.add_char buf 'S';
+    for w = 0 to t.assoc - 1 do
+      let e = t.entries.(s).(w) in
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%b,%b,%d|" e.subblock e.base e.sync
+           e.written e.valid rank.(w));
+      Buffer.add_bytes buf e.data;
+      Buffer.add_char buf ';'
+    done
+  done
+
 let flush t =
   let n = ref 0 in
   Array.iter

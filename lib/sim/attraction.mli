@@ -52,3 +52,8 @@ val sync_seq : t -> subblock:int -> int option
 val flush : t -> int
 (** Invalidate everything; returns the number of valid entries dropped
     (the flush work between loops). *)
+
+val encode_state : t -> Buffer.t -> unit
+(** Append a canonical serialization of the buffer's complete state
+    (entries in way order, LRU stamps reduced to ranks, data bytes
+    included) for model-checking state keys. *)

@@ -90,6 +90,36 @@ let install t ~subblock =
     evicted
   end
 
+(* Canonical serialization for model-checking state keys: per set, the
+   valid subblocks in most-recently-used-first order plus the count of
+   invalid ways. Absolute stamp/clock values are erased — only the LRU
+   order affects future behavior (install fills any invalid way first,
+   otherwise evicts the minimum stamp, and a filled way's stamp is always
+   refreshed), so two modules with equal encodings are behaviorally
+   identical. Stamps within a set are pairwise distinct (seeded
+   descending, bumped from a monotonic clock), so the order is unique. *)
+let encode_state t buf =
+  let order = Array.init t.assoc (fun w -> w) in
+  for s = 0 to t.sets - 1 do
+    let base = s * t.assoc in
+    let a = Array.copy order in
+    Array.sort (fun w1 w2 -> compare t.stamp.(base + w2) t.stamp.(base + w1)) a;
+    Buffer.add_char buf 's';
+    let invalid = ref 0 in
+    Array.iter
+      (fun w ->
+        let sb = t.ways.(base + w) in
+        if sb = -1 then incr invalid
+        else begin
+          Buffer.add_string buf (string_of_int sb);
+          Buffer.add_char buf ','
+        end)
+      a;
+    Buffer.add_char buf '/';
+    Buffer.add_string buf (string_of_int !invalid);
+    Buffer.add_char buf ';'
+  done
+
 let invalidate_all t = Array.fill t.ways 0 (Array.length t.ways) (-1)
 
 let valid_lines t =

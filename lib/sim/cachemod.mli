@@ -21,3 +21,10 @@ val install : t -> subblock:int -> int option
 
 val invalidate_all : t -> unit
 val valid_lines : t -> int
+
+val encode_state : t -> Buffer.t -> unit
+(** Append a canonical serialization of the module's replacement state for
+    model-checking state keys: per set, the valid subblocks in
+    most-recently-used-first order plus the invalid-way count. Absolute
+    LRU stamp values are erased — only their order is observable — so two
+    modules with equal encodings are behaviorally identical. *)

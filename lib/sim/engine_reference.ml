@@ -37,7 +37,7 @@ type item = Op of G.node * int | Cp of S.copy * int
 type load_phase = On_bus | At_module | In_mshr | Resp_bus
 
 let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
-    ?(warm = false) ?trace () =
+    ?choices ?(warm = false) ?trace () =
   let machine = schedule.S.machine in
   let kernel = lowered.L.kernel in
   let trip = Option.value trip ~default:kernel.Ir.Ast.k_trip in
@@ -111,8 +111,29 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
   in
 
   (* ----- interconnect: shared-bus pool or directory-tracked ring ----- *)
-  let jit () =
-    match jitter with None -> 0 | Some (p, j) -> Vliw_util.Prng.int p (j + 1)
+  let jit =
+    (* [ch_note_state] is intentionally ignored here: the closure calendar
+       has no canonical serialization, so exploration runs on the wheel
+       engine and this engine only replays recorded draw scripts. The
+       Choice trace emission matches the wheel engine site for site, so
+       trace streams stay bit-identical under a shared script. *)
+    match (choices : Sim_types.chooser option) with
+    | None ->
+      fun () ->
+        (match jitter with
+        | None -> 0
+        | Some (p, j) -> Vliw_util.Prng.int p (j + 1))
+    | Some c ->
+      let bound = c.Sim_types.ch_jitter + 1 in
+      let draw_ix = ref 0 in
+      fun () ->
+        let v = c.Sim_types.ch_draw ~bound in
+        if v < 0 || v >= bound then
+          invalid_arg "Sim.run: chooser draw out of bounds";
+        if tracing then
+          emit (Tr.Choice { index = !draw_ix; bound; chosen = v });
+        incr draw_ix;
+        v
   in
   let dir_mode = machine.M.interconnect = M.Directory in
   let bus : (int -> unit) Icn.Bus.t =

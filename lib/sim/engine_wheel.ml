@@ -69,7 +69,7 @@ let ilog2 v =
 let is_pow2 v = v > 0 && v land (v - 1) = 0
 
 let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
-    ?(warm = false) ?trace () =
+    ?choices ?(warm = false) ?trace () =
   let machine = schedule.S.machine in
   let kernel = lowered.L.kernel in
   let trip = Option.value trip ~default:kernel.Ir.Ast.k_trip in
@@ -374,8 +374,24 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
   (* ----- interconnect: shared-bus pool or directory-tracked ring -----
      The payload threaded through [Icn.Bus] / [Icn.Directory] packs
      (inst, leg) into one int: [(inst lsl 1) lor leg]. *)
-  let jit () =
-    match jitter with None -> 0 | Some (p, j) -> Vliw_util.Prng.int p (j + 1)
+  let jit =
+    match (choices : Sim_types.chooser option) with
+    | None ->
+      fun () ->
+        (match jitter with
+        | None -> 0
+        | Some (p, j) -> Vliw_util.Prng.int p (j + 1))
+    | Some c ->
+      let bound = c.Sim_types.ch_jitter + 1 in
+      let draw_ix = ref 0 in
+      fun () ->
+        let v = c.Sim_types.ch_draw ~bound in
+        if v < 0 || v >= bound then
+          invalid_arg "Sim.run: chooser draw out of bounds";
+        if tracing then
+          emit (Tr.Choice { index = !draw_ix; bound; chosen = v });
+        incr draw_ix;
+        v
   in
   let dir_mode = machine.M.interconnect = M.Directory in
   let bus : int Icn.Bus.t =
@@ -947,6 +963,151 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
   let vnow = ref 0 in
   let stall_load = ref 0 and stall_copy = ref 0 and stall_bus = ref 0 in
   let stall_open = ref (-1) in
+
+  (* ----- canonical state serialization (model checking) -----
+     A complete, canonical dump of everything that can influence the rest
+     of the run, taken at the start of the network phase of any cycle
+     whose network may consume a jitter draw. Canonical means: two runs
+     noting equal strings are in behaviorally identical states — every
+     extension by the same future draws produces byte-identical final
+     stats (the key includes [now] and every counter that surfaces in
+     them). Time-valued fields are relativized against [now] with stale
+     horizons clamped to 0 (they are only ever compared against [now] or
+     later), LRU stamps are reduced to ranks inside the component
+     encoders, and trace-only fields (transaction ids, bus indices on
+     in-flight arrivals, module-queue enqueue stamps, queue wait stamps)
+     are excluded — see DESIGN §13 for the field-by-field argument. *)
+  let canonical_state () =
+    let buf = Buffer.create 1024 in
+    let int v =
+      Buffer.add_string buf (string_of_int v);
+      Buffer.add_char buf ','
+    in
+    let i64 v =
+      Buffer.add_string buf (Int64.to_string v);
+      Buffer.add_char buf ','
+    in
+    let rel v = int (if v > !now then v - !now else 0) in
+    let rel_max v = if v = max_int then Buffer.add_string buf "M," else rel v in
+    let sep c = Buffer.add_char buf c in
+    int !now;
+    int !vnow;
+    int !local_hits;
+    int !remote_hits;
+    int !local_misses;
+    int !remote_misses;
+    int !combined;
+    int !ab_hits;
+    int !nullified;
+    int !violations;
+    int !stall_load;
+    int !stall_copy;
+    int !stall_bus;
+    int (if !stall_open >= 0 then !now - !stall_open else -1);
+    sep '#';
+    Buffer.add_bytes buf mem;
+    sep '#';
+    Array.iter int last_store_seq;
+    sep '#';
+    Array.iter int last_any_seq;
+    sep '#';
+    Array.iter
+      (fun a ->
+        Array.iter int a;
+        sep ';')
+      ab_exec_seq;
+    sep '#';
+    Array.iter rel_max reg_ready_at;
+    sep '#';
+    Array.iter i64 reg_val;
+    sep '#';
+    Array.iter rel_max copy_ready_at;
+    sep '#';
+    Array.iter int phase;
+    sep '#';
+    Array.iter int inst_addr;
+    sep '#';
+    Array.iter int inst_home;
+    sep '#';
+    Array.iter i64 inst_val;
+    sep '#';
+    (* MSHR waiter chains, per allocated subblock *)
+    for sb = 0 to !nsb - 1 do
+      let h = !mshr_head.(sb) in
+      if h >= 0 then begin
+        int sb;
+        sep ':';
+        let w = ref h in
+        while !w >= 0 do
+          int !w;
+          w := mshr_next.(!w)
+        done;
+        sep ';'
+      end
+    done;
+    sep '#';
+    (* module queues: pending instances in FIFO order. Enqueue stamps are
+       always <= now and the service gate only compares them against now,
+       so they carry no information. *)
+    for c = 0 to nclusters - 1 do
+      for i = 0 to mq_count.(c) - 1 do
+        int mq_inst.(c).((mq_head.(c) + i) mod mq_cap.(c))
+      done;
+      sep ';'
+    done;
+    sep '#';
+    (* L2 ports: busy horizons as a sorted multiset — the port pick is an
+       argmin, so port identity is interchangeable *)
+    let l2 = Array.map (fun v -> if v > !now then v - !now else 0) l2_free in
+    Array.sort compare l2;
+    Array.iter int l2;
+    sep '#';
+    (* pending wheel events: slots ascending, insertion order within a
+       slot (execution order); all pending slots are > now here. Arrival
+       events carry their transaction id and bus index only for tracing —
+       both excluded. *)
+    (let remaining = ref !pending_events in
+     let t = ref (!now + 1) in
+     while !remaining > 0 && !t < !wheel_len do
+       let e = ref !wh_head.(!t) in
+       if !e >= 0 then begin
+         int (!t - !now);
+         sep ':';
+         while !e >= 0 do
+           decr remaining;
+           let k = !ev_kind.(!e) in
+           int k;
+           if k = ev_arrive then begin
+             int !ev_a.(!e);
+             int !ev_b.(!e)
+           end
+           else if k = ev_resp_send then int !ev_b.(!e)
+           else begin
+             int !ev_b.(!e);
+             int !ev_c.(!e)
+           end;
+           sep ';';
+           e := !ev_next.(!e)
+         done
+       end;
+       incr t
+     done);
+    sep '#';
+    Array.iter (fun m -> Cachemod.encode_state m buf) modules;
+    sep '#';
+    Array.iter (fun a -> Attraction.encode_state a buf) abs;
+    sep '#';
+    if dir_mode then
+      Icn.Directory.encode_state dir ~now:!now ~payload:(fun x -> x) buf
+    else Icn.Bus.encode_state bus ~now:!now ~payload:(fun x -> x) buf;
+    Buffer.contents buf
+  in
+  let note_state =
+    match (choices : Sim_types.chooser option) with
+    | Some { Sim_types.ch_note_state = Some f; _ } -> Some f
+    | _ -> None
+  in
+
   let hard_limit = 50_000_000 in
   while
     !vnow < vspan || !pending_events > 0 || Icn.Bus.pending bus
@@ -968,7 +1129,22 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
          done
        end
      end);
-    (* 2. network: bus arbitration or ring/directory stepping *)
+    (* 2. network: bus arbitration or ring/directory stepping. When an
+       external chooser is observing, serialize the canonical state first
+       — eagerly, before the network mutates anything — in every cycle
+       whose network phase may consume a draw (a sound
+       over-approximation: queued-but-ungranted cycles note too). Within
+       one cycle the *set* of draws is independent of the values drawn
+       (bus grants are bounded by free buses, ring departures by
+       link-entry serialization fixed before the draw), so this one note
+       plus the count of draws since it identifies every branch point of
+       the cycle. *)
+    (match note_state with
+    | Some note
+      when if dir_mode then Icn.Directory.due dir ~now:!now
+           else Icn.Bus.pending bus ->
+      note (canonical_state ())
+    | _ -> ());
     dispatch_network ();
     (* 3. cache modules: one service per cluster per cycle *)
     for c = 0 to nclusters - 1 do

@@ -27,14 +27,24 @@ type stats = Sim_types.stats = {
 
 type engine = [ `Wheel | `Reference ]
 
+type chooser = Sim_types.chooser = {
+  ch_jitter : int;
+  ch_draw : bound:int -> int;
+  ch_note_state : (string -> unit) option;
+}
+
 let accesses_total = Sim_types.accesses_total
 
-let run ~lowered ~graph ~schedule ~layout ?trip ?mode ?jitter ?warm ?trace
-    ?(engine = `Wheel) () =
+let run ~lowered ~graph ~schedule ~layout ?trip ?mode ?jitter ?choices ?warm
+    ?trace ?(engine = `Wheel) () =
+  (match (jitter, choices) with
+  | Some _, Some _ ->
+    invalid_arg "Sim.run: ?jitter and ?choices are mutually exclusive"
+  | _ -> ());
   match engine with
   | `Wheel ->
     Engine_wheel.run ~lowered ~graph ~schedule ~layout ?trip ?mode ?jitter
-      ?warm ?trace ()
+      ?choices ?warm ?trace ()
   | `Reference ->
     Engine_reference.run ~lowered ~graph ~schedule ~layout ?trip ?mode ?jitter
-      ?warm ?trace ()
+      ?choices ?warm ?trace ()

@@ -86,6 +86,28 @@ type engine = [ `Wheel | `Reference ]
     bit-identical stats, memory images, trace event streams and PRNG
     consumption for identical inputs (pinned by test/test_engines.ml). *)
 
+type chooser = Sim_types.chooser = {
+  ch_jitter : int;
+      (** declared jitter bound: every draw is a value in [0, ch_jitter] *)
+  ch_draw : bound:int -> int;
+      (** resolves the next nondeterministic draw; [bound] = [ch_jitter + 1]
+          alternatives, the returned value must lie in [0, bound). Called at
+          exactly the sites where a PRNG-driven run would call
+          [Prng.int]: once per bus grant, once per ring-packet hop. *)
+  ch_note_state : (string -> unit) option;
+      (** wheel engine only: receives a canonical serialization of the
+          complete simulator state at the start of every cycle whose network
+          phase may consume a draw (the queue/bucket occupancy check is a
+          sound over-approximation). Two runs noting equal strings are in
+          behaviorally identical states: every extension by the same future
+          draws yields byte-identical final stats. The reference engine
+          never calls it. *)
+}
+(** Externalized nondeterminism for bounded model checking: the engine asks
+    the chooser for every jitter draw instead of a PRNG, so a driver
+    ({!Vliw_check.Check}) can enumerate the full bounded interleaving
+    space. Mutually exclusive with [?jitter]. *)
+
 val run :
   lowered:Vliw_lower.Lower.t ->
   graph:Vliw_ddg.Graph.t ->
@@ -94,6 +116,7 @@ val run :
   ?trip:int ->
   ?mode:mode ->
   ?jitter:Vliw_util.Prng.t * int ->
+  ?choices:chooser ->
   ?warm:bool ->
   ?trace:Vliw_trace.Trace.sink ->
   ?engine:engine ->

@@ -3,6 +3,22 @@
 
 type mode = Oracle of Vliw_ir.Interp.result | Execution
 
+(* Externalized nondeterminism: instead of drawing bus/ring jitter from a
+   PRNG, an engine can be handed a [chooser] that resolves every draw and
+   (on the wheel engine) observes a canonical serialization of the
+   simulator state at the start of each cycle whose network phase may
+   draw. This is the transition-point API the bounded model checker
+   ({!Vliw_check.Check}) explores. *)
+type chooser = {
+  ch_jitter : int;
+      (* declared jitter bound: every draw returns a value in [0, ch_jitter] *)
+  ch_draw : bound:int -> int;
+      (* resolve the next draw; [bound] = ch_jitter + 1 alternatives *)
+  ch_note_state : (string -> unit) option;
+      (* wheel engine only: canonical pre-network state, once per cycle in
+         which the network phase may consume a draw *)
+}
+
 type stats = {
   total_cycles : int;
   compute_cycles : int;

@@ -178,7 +178,15 @@ let to_json sink =
            | Trace.Dir_writeback d ->
              Some
                (instant ~name:"dir writeback" ~ts ~tid:d.cluster
-                  [ ("subblock", Json.Int d.subblock) ]))
+                  [ ("subblock", Json.Int d.subblock) ])
+           | Trace.Choice c ->
+             Some
+               (instant ~name:"choice" ~ts ~tid:machine_track
+                  [
+                    ("index", Json.Int c.index);
+                    ("bound", Json.Int c.bound);
+                    ("chosen", Json.Int c.chosen);
+                  ]))
   in
   Json.Obj
     [

@@ -42,6 +42,7 @@ type payload =
   | Dir_lookup of { cluster : int; subblock : int; store : bool; sharers : int }
   | Dir_invalidate of { cluster : int; subblock : int; written : bool }
   | Dir_writeback of { cluster : int; subblock : int }
+  | Choice of { index : int; bound : int; chosen : int }
 
 type event = {
   ev_seq : int;

@@ -75,6 +75,12 @@ type payload =
           replica had buffered a local store (triggers a writeback ack) *)
   | Dir_writeback of { cluster : int; subblock : int }
       (** a writeback acknowledgement reached the home bank *)
+  | Choice of { index : int; bound : int; chosen : int }
+      (** a nondeterministic branch point resolved by an external chooser
+          ({!Vliw_sim.Sim.chooser}): the [index]-th draw of the run picked
+          [chosen] out of [bound] alternatives. Emitted only when the run
+          is driven by a chooser (model-checking exploration), never by
+          PRNG-jittered or jitter-free runs. *)
 
 type event = {
   ev_seq : int;  (** per-sink emission counter, the causal order *)

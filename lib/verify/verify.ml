@@ -307,6 +307,34 @@ let gate ~machine ~technique ~base ?layout () g s =
             (fun d -> Format.asprintf "%a" D.pp d)
             (D.errors r.r_diags)))
 
+(* A dynamic counterexample against a certificate this module issued: the
+   model checker found a reachable execution of a certified schedule that
+   violates coherence or corrupts memory. The diagnostic names the proof
+   rules the certificate leaned on — exactly one of them (or the prose
+   soundness argument gluing them together) is wrong for this trace. *)
+let refutation r ~detail =
+  let leaned =
+    match r.r_proofs with
+    | [] when r.r_obligations = 0 ->
+      "no proof obligations at all (a vacuous certificate)"
+    | [] -> "no surviving proof rule"
+    | ps ->
+      String.concat ", " (List.map (fun (p, c) -> Printf.sprintf "%s x%d" p c) ps)
+  in
+  D.make
+    ~context:
+      (("technique", technique_name r.r_technique)
+      :: ("pairs", string_of_int r.r_pairs)
+      :: ("obligations", string_of_int r.r_obligations)
+      :: List.map (fun (p, c) -> ("proof:" ^ p, string_of_int c)) r.r_proofs)
+    D.Error ~code:"verify-refuted"
+    "model checker refuted a %s certificate: %s; the certificate discharged %d \
+     obligation%s via %s"
+    (technique_name r.r_technique)
+    detail r.r_obligations
+    (if r.r_obligations = 1 then "" else "s")
+    leaned
+
 let pp_report ppf r =
   if r.r_verified then
     Format.fprintf ppf "coherence verification (%s): certified (%d aliased \

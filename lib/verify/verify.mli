@@ -134,6 +134,14 @@ val gate :
 (** {!check} packaged for {!Vliw_sched.Driver.request}'s [check] hook:
     [Ok ()] when verified, otherwise the error diagnostics on one line. *)
 
+val refutation : report -> detail:string -> Vliw_util.Diag.t
+(** Build the [verify-refuted] diagnostic for a dynamic counterexample
+    against a certificate this report represents: the model checker found
+    a reachable execution of the certified schedule that violates
+    coherence or corrupts memory. The diagnostic cross-references the
+    proof rules the certificate discharged obligations with — the trace
+    defeats (at least) one of them. *)
+
 val pp_report : Format.formatter -> report -> unit
 (** One summary line (no trailing newline): certified with pair/obligation
     counts and the proof histogram, or rejected with the error count.

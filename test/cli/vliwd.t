@@ -42,6 +42,12 @@ Control ops share the line protocol:
   $ echo 'not json' | vliwd
   {"id":0,"status":"error","exit":2,"output":"","message":"parse error: invalid literal at offset 0","kernels":[]}
 
+Model checking is refused with a diagnostic, not served — a check
+explores interleavings for minutes and would wedge a shared worker:
+
+  $ printf '{"id":7,"kernel":"kernel k { trip 1\\n body { } }","check":true}\n' | vliwd
+  {"id":7,"status":"error","exit":2,"output":"","message":"error[check-unsupported]: model checking is not served: run vliwc --check on the kernel instead","kernels":[]}
+
 Repeated identical requests hit the response cache — one compile, the
 rest served from the sharded store:
 

@@ -87,3 +87,62 @@ replay command line inline:
   $ ls repros
   repro_1_0.lk
   repro_1_3.lk
+
+The model checker exhaustively enumerates every bus/ring grant order and
+jitter draw for a committed litmus kernel. A sound verifier survives the
+full space (exit 0):
+
+  $ vliwfuzz check ../litmus/mf_dist1.lk --jobs 1
+  check ../litmus/mf_dist1.lk [bus x4] jitter<=1
+    free   uncertified: 32 states (19 pruned), 14 leaves, depth<=6, frontier<=6, exhaustive; 0 violating, 0 diverging; engine agreement 1/1
+    MDC    certified-nominal-only: 43 states (12 pruned), 32 leaves, depth<=6, frontier<=6, exhaustive; 0 violating, 0 diverging; engine agreement 1/1
+    DDGT   certified-nominal-only: 6 states (3 pruned), 4 leaves, depth<=4, frontier<=4, exhaustive; 0 violating, 0 diverging; engine agreement 1/1
+    hybrid certified-nominal-only: 43 states (12 pruned), 32 leaves, depth<=6, frontier<=6, exhaustive; 0 violating, 0 diverging; engine agreement 1/1
+  clean
+
+The exploration is a pure function of the kernel and config: a wider
+pool must produce byte-identical output, counters included:
+
+  $ vliwfuzz check ../litmus/mf_dist1.lk ../litmus/ma_anti.lk --matrix --jobs 1 > mat1.out
+  $ vliwfuzz check ../litmus/mf_dist1.lk ../litmus/ma_anti.lk --matrix --jobs 4 > mat4.out
+  $ cmp mat1.out mat4.out && echo identical
+  identical
+
+A weakened verifier certifies schedules whose bounded space contains
+violating executions; the checker finds them, names the defeated proof
+rule, shrinks the witness, and dumps a replayable trace (exit 1):
+
+  $ vliwfuzz check ../litmus/mf_same_iter.lk --weaken-verifier --out ckrepro --jobs 1
+  check ../litmus/mf_same_iter.lk [bus x4] jitter<=1
+    free   certified: 29 states (12 pruned), 18 leaves, depth<=6, frontier<=6, exhaustive; 4 violating, 0 diverging; engine agreement 1/1
+    MDC    certified: 29 states (12 pruned), 18 leaves, depth<=6, frontier<=6, exhaustive; 4 violating, 0 diverging; engine agreement 1/1
+    DDGT   certified: 6 states (3 pruned), 4 leaves, depth<=4, frontier<=4, exhaustive; 0 violating, 0 diverging; engine agreement 1/1
+    hybrid certified: 29 states (12 pruned), 18 leaves, depth<=6, frontier<=6, exhaustive; 4 violating, 0 diverging; engine agreement 1/1
+  FAILURE check-certified-violation: free: script [1,0,1,0,0,0] (1 violations, memory ok); error[verify-refuted]: model checker refuted a free certificate: draw script [1,0,1,0,0,0] runs with 1 violation, memory intact (4 of 18 reachable executions violate); the certificate discharged 1 obligation via co-located x1
+  FAILURE check-certified-violation: MDC: script [1,0,1,0,0,0] (1 violations, memory ok); error[verify-refuted]: model checker refuted a MDC certificate: draw script [1,0,1,0,0,0] runs with 1 violation, memory intact (4 of 18 reachable executions violate); the certificate discharged 1 obligation via co-located x1
+  FAILURE check-certified-violation: hybrid: script [1,0,1,0,0,0] (1 violations, memory ok); error[verify-refuted]: model checker refuted a hybrid certificate: draw script [1,0,1,0,0,0] runs with 1 violation, memory intact (4 of 18 reachable executions violate); the certificate discharged 1 obligation via co-located x1
+  shrunk refuted case to 2 nodes: ckrepro/mf_same_iter.refuted.lk
+  check ckrepro/mf_same_iter.refuted.lk [bus x4] jitter<=0
+    free   certified: 5 states (0 pruned), 1 leaves, depth<=5, frontier<=1, exhaustive; 1 violating, 0 diverging; engine agreement 1/1
+    MDC    certified: 3 states (0 pruned), 1 leaves, depth<=3, frontier<=1, exhaustive; 0 violating, 0 diverging; engine agreement 1/1
+    DDGT   certified: 2 states (0 pruned), 1 leaves, depth<=2, frontier<=1, exhaustive; 0 violating, 0 diverging; engine agreement 1/1
+    hybrid certified: 3 states (0 pruned), 1 leaves, depth<=3, frontier<=1, exhaustive; 0 violating, 0 diverging; engine agreement 1/1
+  FAILURE check-certified-violation: free: script [0,0,0,0,0] (1 violations, memory ok); error[verify-refuted]: model checker refuted a free certificate: draw script [0,0,0,0,0] runs with 1 violation, memory intact (1 of 1 reachable executions violate); the certificate discharged 1 obligation via no surviving proof rule
+  counterexample trace: ckrepro/mf_same_iter.refuted.free.trace.json
+  [1]
+
+The shrunk witness is a two-statement kernel any future run replays:
+
+  $ cat ckrepro/mf_same_iter.refuted.lk
+  # vliw-fuzz case
+  # seed=0 index=0 budget=0
+  # machine=bal clusters=4 interconnect=bus interleave=4 membus=4 ab=0 jitter=0
+  # shapes=
+  kernel mf_same_iter {
+    array a : i16[8] = ramp(1, 1)
+    trip 3
+    body {
+      a[i] = 1
+      let x = a[i]
+    }
+  }

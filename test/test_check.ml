@@ -1,0 +1,323 @@
+(* Tests for the small-scope model checker (lib/check): the committed
+   litmus suite explores exhaustively and clean, cross-branch pruning is
+   sound (merged states really do lead to byte-identical stats), the
+   exploration is deterministic across pool widths, and a weakened
+   verifier is refuted with a shrunk counterexample. *)
+
+module Check = Vliw_check.Check
+module Diff = Vliw_fuzz.Diff
+module Gen = Vliw_fuzz.Gen
+module Shrink = Vliw_fuzz.Shrink
+module Sim = Vliw_sim.Sim
+module V = Vliw_verify.Verify
+module Diag = Vliw_util.Diag
+module Pool = Vliw_util.Pool
+
+(* dune runtest's cwd is _build/default/test (the kernels are declared
+   as (deps (glob_files litmus/*.lk))); a bare `dune exec` runs from the
+   project root *)
+let litmus_dir =
+  if Sys.file_exists "litmus" then "litmus"
+  else Filename.concat "test" "litmus"
+
+let litmus_files () =
+  Sys.readdir litmus_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".lk")
+  |> List.sort compare
+  |> List.map (Filename.concat litmus_dir)
+
+let load = Gen.load
+
+(* the same certify-everything wrapper vliwfuzz --weaken-verifier uses *)
+let weakened ~machine ~technique ~base ~layout ~graph ~schedule =
+  let r =
+    Diff.default_verifier ~machine ~technique ~base ~layout ~graph ~schedule
+  in
+  { r with V.r_verified = true; r_jitter_robust = true; r_diags = [] }
+
+let outcomes r =
+  List.filter_map
+    (fun (t : Check.checked) ->
+      match t.Check.t_status with Ok (_, o) -> Some o | Error _ -> None)
+    r.Check.co_techniques
+
+(* --- the committed suite: every kernel, full bounded space, clean --- *)
+
+let test_litmus_exhaustive_and_clean () =
+  let files = litmus_files () in
+  Alcotest.(check bool) "suite is committed" true (List.length files >= 15);
+  List.iter
+    (fun file ->
+      let r = Check.run_case (load file) in
+      Alcotest.(check (list (pair string string)))
+        (file ^ " clean") [] r.Check.co_failures;
+      List.iter
+        (fun o ->
+          Alcotest.(check bool)
+            (file ^ " exhaustive") true o.Check.k_exhaustive;
+          Alcotest.(check int)
+            (file ^ " engine agreement") 0 o.Check.k_agreement_failures)
+        (outcomes r))
+    files
+
+(* the suite is not vacuous: some kernel actually branches, some kernel
+   actually prunes, and some kernel reaches violating (uncertified)
+   leaves — the checker distinguishes reachable-violation from
+   certificate-breaking *)
+let test_litmus_space_is_nontrivial () =
+  let os = List.concat_map (fun f -> outcomes (Check.run_case (load f))) (litmus_files ()) in
+  let total field = List.fold_left (fun a o -> a + field o) 0 os in
+  Alcotest.(check bool) "states explored" true (total (fun o -> o.Check.k_states) > 100);
+  Alcotest.(check bool) "branches pruned" true (total (fun o -> o.Check.k_pruned) > 20);
+  Alcotest.(check bool)
+    "violating leaves reached" true
+    (total (fun o -> o.Check.k_violating) > 0);
+  Alcotest.(check bool)
+    "reference engine sampled" true
+    (total (fun o -> o.Check.k_agreement_checked) > 0)
+
+(* --- canonicalization soundness: a pruned branch point and the first
+   visit of its state must lead to byte-identical final stats when both
+   are replayed with the same (all-zero) continuation --- *)
+
+let merge_pair_stats file =
+  let case = load file in
+  let jitter = case.Gen.g_jitter in
+  List.concat_map
+    (fun tech ->
+      match Diff.compile case tech with
+      | Error _ -> []
+      | Ok a ->
+        let o =
+          Check.explore ~lowered:a.Diff.a_lowered ~graph:a.Diff.a_graph
+            ~schedule:a.Diff.a_schedule ~layout:a.Diff.a_layout ~jitter
+            ~expected:Bytes.empty ~certified:false ()
+        in
+        List.map
+          (fun (first, pruned) ->
+            let run script =
+              Check.replay ~lowered:a.Diff.a_lowered ~graph:a.Diff.a_graph
+                ~schedule:a.Diff.a_schedule ~layout:a.Diff.a_layout ~jitter
+                ~script ()
+            in
+            (run first, run pruned))
+          o.Check.k_merge_samples)
+    Diff.techniques
+
+let test_merge_samples_stats_identical () =
+  let pairs =
+    List.concat_map merge_pair_stats
+      [
+        Filename.concat litmus_dir "mf_dist1.lk";
+        Filename.concat litmus_dir "mf_dist1_dir.lk";
+        Filename.concat litmus_dir "ma_anti.lk";
+      ]
+  in
+  Alcotest.(check bool) "some states merged" true (pairs <> []);
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool) "merged states agree byte-for-byte" true
+        (Check.stats_equal a b))
+    pairs
+
+(* --- wheel/reference agreement under a forced draw script --- *)
+
+let test_replay_engines_agree () =
+  let case = load (Filename.concat litmus_dir "mf_dist1.lk") in
+  match Diff.compile case Diff.Free with
+  | Error e -> Alcotest.failf "free unschedulable: %s" e
+  | Ok a ->
+    List.iter
+      (fun script ->
+        let run engine =
+          Check.replay ~lowered:a.Diff.a_lowered ~graph:a.Diff.a_graph
+            ~schedule:a.Diff.a_schedule ~layout:a.Diff.a_layout ~jitter:1
+            ~script ~engine ()
+        in
+        Alcotest.(check bool)
+          "wheel and reference agree" true
+          (Check.stats_equal (run `Wheel) (run `Reference)))
+      [ []; [ 1 ]; [ 0; 1; 1 ]; [ 1; 1; 1; 1; 1; 1 ] ]
+
+(* --- determinism: the same exploration at pool width 1 and 4 --- *)
+
+let projection r =
+  ( r.Check.co_jitter,
+    r.Check.co_failures,
+    List.map
+      (fun (t : Check.checked) ->
+        match t.Check.t_status with
+        | Error e -> Error e
+        | Ok (_, o) ->
+          Ok
+            ( o.Check.k_states,
+              o.Check.k_pruned,
+              o.Check.k_leaves,
+              o.Check.k_max_depth,
+              o.Check.k_exhaustive,
+              o.Check.k_violating,
+              o.Check.k_diverging,
+              o.Check.k_merge_samples ))
+      r.Check.co_techniques )
+
+let test_jobs_invariant () =
+  let files =
+    [
+      Filename.concat litmus_dir "mf_same_iter.lk";
+      Filename.concat litmus_dir "dir_race.lk";
+      Filename.concat litmus_dir "may_alias.lk";
+    ]
+  in
+  let sweep () = Pool.map (fun f -> projection (Check.run_case (load f))) files in
+  Pool.set_jobs 1;
+  let one = sweep () in
+  Pool.set_jobs 4;
+  let four = sweep () in
+  Pool.set_jobs 1;
+  Alcotest.(check bool) "jobs 1 = jobs 4" true (one = four)
+
+(* --- soundness theorem, negative side: weaken the verifier and the
+   checker must refute the forged certificate with a counterexample,
+   and the shrinker must carry the refutation to a tiny witness --- *)
+
+let test_weakened_verifier_refuted () =
+  let file = Filename.concat litmus_dir "mf_same_iter.lk" in
+  let case = load file in
+  (* honest verifier: the certificate degrades to nominal-only, so the
+     violating jittered leaves refute nothing *)
+  let honest = Check.run_case case in
+  Alcotest.(check (list (pair string string))) "honest is clean" []
+    honest.Check.co_failures;
+  (* forged jitter-robustness: the same leaves are now counterexamples *)
+  let forged = Check.run_case ~verifier:weakened case in
+  Alcotest.(check bool) "forged is refuted" true
+    (Check.case_refuted ~verifier:weakened case);
+  let kinds = List.map fst forged.Check.co_failures in
+  Alcotest.(check bool) "kind is certified-violation" true
+    (List.mem "check-certified-violation" kinds);
+  List.iter
+    (fun (t : Check.checked) ->
+      match (t.Check.t_status, t.Check.t_refutation) with
+      | Ok (_, { Check.k_counterexample = Some _; _ }), Some d ->
+        Alcotest.(check string) "refutation diag code" "verify-refuted"
+          d.Diag.d_code
+      | Ok (_, { Check.k_counterexample = Some _; _ }), None ->
+        Alcotest.fail "counterexample without a refutation diagnostic"
+      | _ -> ())
+    forged.Check.co_techniques;
+  (* the counterexample's script really reaches a violating execution *)
+  (match
+     List.find_map
+       (fun (t : Check.checked) ->
+         match (t.Check.t_technique, t.Check.t_status) with
+         | Diff.Free, Ok (_, { Check.k_counterexample = Some x; _ }) ->
+           Some x
+         | _ -> None)
+       forged.Check.co_techniques
+   with
+  | None -> Alcotest.fail "free has no counterexample"
+  | Some x ->
+    (match Diff.compile case Diff.Free with
+    | Error e -> Alcotest.failf "free unschedulable: %s" e
+    | Ok a ->
+      let st =
+        Check.replay ~lowered:a.Diff.a_lowered ~graph:a.Diff.a_graph
+          ~schedule:a.Diff.a_schedule ~layout:a.Diff.a_layout
+          ~jitter:forged.Check.co_jitter ~script:x.Check.x_script ()
+      in
+      Alcotest.(check int) "script reproduces the violation"
+        x.Check.x_violations st.Sim.violations));
+  (* the shrunk witness keeps refuting and is small enough to read *)
+  let small =
+    Shrink.shrink ~pred:(Check.case_refuted ~verifier:weakened) case
+  in
+  Alcotest.(check bool) "shrunk still refuted" true
+    (Check.case_refuted ~verifier:weakened small);
+  Alcotest.(check bool) "shrunk to <= 6 nodes" true
+    (Shrink.node_count small <= 6)
+
+(* --- exploration budget: a cap is reported as check-state-limit, which
+   is not a refutation --- *)
+
+let test_state_limit_not_refuting () =
+  let case = load (Filename.concat litmus_dir "mf_same_iter.lk") in
+  let config =
+    { Check.default_config with Check.c_max_states = 2; c_max_leaves = 2 }
+  in
+  let r = Check.run_case ~config case in
+  let kinds = List.map fst r.Check.co_failures in
+  Alcotest.(check bool) "capped" true (List.mem "check-state-limit" kinds);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) ("refuting kind " ^ k) false
+        (List.mem k Check.refuting_kinds))
+    kinds;
+  Alcotest.(check bool) "cap is not a refutation" false
+    (Check.case_refuted ~config case)
+
+(* --- jitter 0: the space is the single nominal execution --- *)
+
+let test_jitter_zero_single_leaf () =
+  let case = load (Filename.concat litmus_dir "mf_dist1.lk") in
+  let r = Check.run_case ~jitter:0 case in
+  Alcotest.(check (list (pair string string))) "clean" [] r.Check.co_failures;
+  List.iter
+    (fun o ->
+      Alcotest.(check int) "one leaf" 1 o.Check.k_leaves;
+      Alcotest.(check bool) "exhaustive" true o.Check.k_exhaustive)
+    (outcomes r)
+
+(* --- chooser API: mutually exclusive with ?jitter, bounds checked --- *)
+
+let test_chooser_exclusive_with_jitter () =
+  let case = load (Filename.concat litmus_dir "mf_dist1.lk") in
+  match Diff.compile case Diff.Free with
+  | Error e -> Alcotest.failf "free unschedulable: %s" e
+  | Ok a ->
+    let choices =
+      { Sim.ch_jitter = 1; ch_draw = (fun ~bound:_ -> 0); ch_note_state = None }
+    in
+    Alcotest.check_raises "jitter and choices"
+      (Invalid_argument "Sim.run: ?jitter and ?choices are mutually exclusive")
+      (fun () ->
+        ignore
+          (Sim.run ~lowered:a.Diff.a_lowered ~graph:a.Diff.a_graph
+             ~schedule:a.Diff.a_schedule ~layout:a.Diff.a_layout
+             ~mode:Sim.Execution
+             ~jitter:(Vliw_util.Prng.create 7, 1)
+             ~choices ()))
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "litmus",
+        [
+          Alcotest.test_case "suite explores exhaustively, clean" `Slow
+            test_litmus_exhaustive_and_clean;
+          Alcotest.test_case "suite is nontrivial" `Slow
+            test_litmus_space_is_nontrivial;
+        ] );
+      ( "canonicalization",
+        [
+          Alcotest.test_case "merged states give identical stats" `Quick
+            test_merge_samples_stats_identical;
+          Alcotest.test_case "replay agrees across engines" `Quick
+            test_replay_engines_agree;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "jobs 1 = jobs 4" `Quick test_jobs_invariant ] );
+      ( "soundness",
+        [
+          Alcotest.test_case "weakened verifier refuted + shrunk" `Slow
+            test_weakened_verifier_refuted;
+          Alcotest.test_case "state limit is not a refutation" `Quick
+            test_state_limit_not_refuting;
+          Alcotest.test_case "jitter 0 is the nominal execution" `Quick
+            test_jitter_zero_single_leaf;
+        ] );
+      ( "chooser",
+        [
+          Alcotest.test_case "jitter and choices are exclusive" `Quick
+            test_chooser_exclusive_with_jitter;
+        ] );
+    ]
