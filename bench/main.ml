@@ -362,6 +362,9 @@ let experiments : (string * string * (Vliw_harness.Runner.obs -> string)) list =
     ( "scale",
       "N-cluster scaling - shared bus vs directory interconnect",
       fun obs -> Render.scale (E.scale ~obs ()) );
+    ( "protocol",
+      "Coherence protocols - install/flush vs MSI (bus) vs MESI (directory)",
+      fun obs -> Render.protocol (E.protocol ~obs ()) );
     ( "verify",
       "Static coherence verification coverage",
       fun obs -> Render.verification (E.verification ~obs ()) );
@@ -416,7 +419,7 @@ let json_report ~jobs ~total_wall timings =
   in
   Json.Obj
     [
-      ("schema", Json.String "vliw-harness/7");
+      ("schema", Json.String "vliw-harness/8");
       ("jobs", Json.Int jobs);
       ("total_wall_s", Json.Float total_wall);
       ( "experiments",
@@ -498,7 +501,7 @@ let run_bechamel () =
    DIR/selfcheck-diff.txt and every simulation's Chrome trace in
    DIR/traces (the CI artifacts). *)
 
-let selfcheck_keys = [ "fig6"; "fig7"; "t3"; "t4"; "t5"; "scale" ]
+let selfcheck_keys = [ "fig6"; "fig7"; "t3"; "t4"; "t5"; "scale"; "protocol" ]
 let default_baseline = "BENCH_harness.json"
 
 let run_selfcheck ~baseline_path ~out_dir =

@@ -191,8 +191,8 @@ let model_check ~jitter (a : E.artifacts) =
     not o.Check.k_exhaustive
 
 let main file workload technique heuristic ordering machine_name clusters icn
-    interleave ab pad unroll cse lint lint_error verify check check_jitter
-    dump_ddg dot dump_sched execution compare jobs trace_file =
+    protocol interleave ab pad unroll cse lint lint_error verify check
+    check_jitter dump_ddg dot dump_sched execution compare jobs trace_file =
   (match jobs with
   | Some n when n >= 1 -> Vliw_util.Pool.set_jobs n
   | Some n ->
@@ -221,8 +221,15 @@ let main file workload technique heuristic ordering machine_name clusters icn
       | Some s -> s
       | None -> Option.value (List.assoc_opt "interconnect" dirs) ~default:"bus"
     in
+    let protocol =
+      match protocol with
+      | Some s -> s
+      | None ->
+        Option.value (List.assoc_opt "protocol" dirs) ~default:"install-flush"
+    in
     match
-      E.machine_of_spec ~clusters ~icn ~name:machine_name ~interleave ~ab ()
+      E.machine_of_spec ~clusters ~icn ~protocol ~name:machine_name ~interleave
+        ~ab ()
     with
     | Ok m -> m
     | Error e ->
@@ -378,6 +385,18 @@ let icn =
            directory). Default: the kernel file's $(b,# interconnect=ICN) \
            header directive, else $(b,bus).")
 
+let protocol =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "protocol" ] ~docv:"PROT"
+        ~doc:
+          "Attraction-Buffer coherence protocol: $(b,install-flush) (the \
+           paper's scheduler-enforced default), $(b,msi) (snooping; requires \
+           $(b,--interconnect bus)) or $(b,mesi) (Exclusive state; requires \
+           $(b,--interconnect directory)). Default: the kernel file's \
+           $(b,# protocol=PROT) header directive, else $(b,install-flush).")
+
 let interleave =
   Arg.(
     value & opt int 4
@@ -517,7 +536,8 @@ let cmd =
     (Cmd.info "vliwc" ~version:"1.0.0" ~doc ~man)
     Term.(
       const main $ file $ workload $ technique $ heuristic $ ordering
-      $ machine_name $ clusters $ icn $ interleave $ ab $ pad $ unroll
+      $ machine_name $ clusters $ icn $ protocol $ interleave $ ab $ pad
+      $ unroll
       $ cse_flag $ lint_flag $ lint_error_flag $ verify_flag $ check_flag
       $ check_jitter $ dump_ddg $ dot $ dump_sched $ execution $ compare_flag
       $ jobs $ trace_file)

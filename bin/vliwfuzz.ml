@@ -109,10 +109,25 @@ let mconf_with ~clusters ~icn (m : Gen.mconf) =
   let m =
     match clusters with Some c -> { m with Gen.mc_clusters = c } | None -> m
   in
-  match icn with Some i -> { m with Gen.mc_icn = i } | None -> m
+  match icn with
+  | None -> m
+  | Some i ->
+    (* keep the protocol/backend pairing valid when the backend is
+       overridden: a protocol case stays a protocol case, under the
+       protocol that snoops the new backend *)
+    let protocol =
+      if m.Gen.mc_protocol = "install-flush" then m.Gen.mc_protocol
+      else if i = "bus" then "msi"
+      else "mesi"
+    in
+    { m with Gen.mc_icn = i; Gen.mc_protocol = protocol }
 
 let config_label (c : Gen.case) =
-  Printf.sprintf "%s x%d" c.Gen.g_mconf.Gen.mc_icn c.Gen.g_mconf.Gen.mc_clusters
+  Printf.sprintf "%s x%d%s" c.Gen.g_mconf.Gen.mc_icn
+    c.Gen.g_mconf.Gen.mc_clusters
+    (match c.Gen.g_mconf.Gen.mc_protocol with
+    | "install-flush" -> ""
+    | p -> " " ^ p)
 
 let render_case_outcome file (r : Check.case_outcome) =
   let b = Buffer.create 512 in

@@ -29,7 +29,7 @@ let read_source path =
   end
 
 let req_main files technique heuristic ordering machine interleave ab pad
-    unroll cse verify execution repeat =
+    unroll cse verify execution protocol repeat =
   if files = [] then begin
     Printf.eprintf "vliwload req: pass at least one .lk FILE (- for stdin)\n";
     exit 2
@@ -41,7 +41,7 @@ let req_main files technique heuristic ordering machine interleave ab pad
       (fun src ->
         let rq =
           Protocol.request ~technique ~heuristic ~ordering ~machine ~interleave
-            ~ab ~pad ?unroll ~cse ~verify ~execution ~id:!id src
+            ~ab ~pad ?unroll ~cse ~verify ~execution ~protocol ~id:!id src
         in
         incr id;
         print_endline (Protocol.to_line (Protocol.request_to_json rq)))
@@ -248,6 +248,11 @@ let req_cmd =
   let execution =
     Arg.(value & flag & info [ "execution" ] ~doc:"Execution-driven simulation.")
   in
+  let protocol =
+    Arg.(value & opt string "install-flush"
+         & info [ "protocol" ] ~docv:"PROT"
+             ~doc:"Coherence protocol (install-flush, msi or mesi).")
+  in
   let repeat =
     Arg.(value & opt int 1
          & info [ "repeat" ] ~docv:"N"
@@ -258,7 +263,8 @@ let req_cmd =
     (Cmd.info "req" ~doc:"Emit compile requests as JSONL on stdout.")
     Term.(
       const req_main $ files $ technique $ heuristic $ ordering $ machine
-      $ interleave $ ab $ pad $ unroll $ cse $ verify $ execution $ repeat)
+      $ interleave $ ab $ pad $ unroll $ cse $ verify $ execution $ protocol
+      $ repeat)
 
 let decode_cmd =
   Cmd.v

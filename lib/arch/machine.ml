@@ -13,6 +13,8 @@ type attraction = { ab_entries : int; ab_assoc : int }
 
 type interconnect = Shared_bus | Directory
 
+type protocol = Install_flush | Msi | Mesi
+
 type t = {
   clusters : int;
   fus_per_cluster : (fu_kind * int) list;
@@ -25,6 +27,7 @@ type t = {
   l2_latency : int;
   attraction : attraction option;
   interconnect : interconnect;
+  protocol : protocol;
 }
 
 let interconnect_name = function Shared_bus -> "bus" | Directory -> "directory"
@@ -32,6 +35,17 @@ let interconnect_name = function Shared_bus -> "bus" | Directory -> "directory"
 let interconnect_of_string = function
   | "bus" | "shared-bus" -> Some Shared_bus
   | "directory" | "dir" -> Some Directory
+  | _ -> None
+
+let protocol_name = function
+  | Install_flush -> "install-flush"
+  | Msi -> "msi"
+  | Mesi -> "mesi"
+
+let protocol_of_string = function
+  | "install-flush" | "installflush" | "none" -> Some Install_flush
+  | "msi" -> Some Msi
+  | "mesi" -> Some Mesi
   | _ -> None
 
 let supported_clusters = [ 4; 8; 16; 32 ]
@@ -50,6 +64,7 @@ let table2 =
     l2_latency = 10;
     attraction = None;
     interconnect = Shared_bus;
+    protocol = Install_flush;
   }
 
 let nobal_mem =
@@ -69,6 +84,7 @@ let nobal_reg =
 let with_interleave t i = { t with interleave_bytes = i }
 let with_attraction t a = { t with attraction = a }
 let with_interconnect t icn = { t with interconnect = icn }
+let with_protocol t p = { t with protocol = p }
 let default_attraction = { ab_entries = 16; ab_assoc = 2 }
 
 (* Grow a base configuration to [n] clusters, keeping per-cluster
@@ -169,6 +185,12 @@ let validate t =
   else if List.exists (fun (_, n) -> n <= 0) t.fus_per_cluster then
     err "functional unit counts must be positive"
   else if t.l2_ports <= 0 then err "l2 ports must be positive"
+  else if t.protocol = Msi && t.interconnect <> Shared_bus then
+    err "protocol msi snoops the shared bus; it requires interconnect bus"
+  else if t.protocol = Mesi && t.interconnect <> Directory then
+    err
+      "protocol mesi generalizes the directory's present/dirty state; it \
+       requires interconnect directory"
   else
     match t.attraction with
     | Some a when a.ab_entries <= 0 || a.ab_assoc <= 0 ->
@@ -216,6 +238,15 @@ let describe t =
         Printf.sprintf "%d entries, %d-way set-associative" a.ab_entries
           a.ab_assoc );
   ]
+  @
+  (* only surfaced off the default so install-flush output stays
+     byte-identical to the pre-protocol tool *)
+  match t.protocol with
+  | Install_flush -> []
+  | Msi ->
+    [ ("Coherence protocol", "MSI snooping on the shared memory buses") ]
+  | Mesi ->
+    [ ("Coherence protocol", "MESI with Exclusive state over the directory") ]
 
 let pp ppf t =
   List.iter (fun (k, v) -> Format.fprintf ppf "%-22s %s@." k v) (describe t)

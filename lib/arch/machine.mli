@@ -44,6 +44,22 @@ type interconnect = Shared_bus | Directory
 val interconnect_name : interconnect -> string
 val interconnect_of_string : string -> interconnect option
 
+(** Coherence protocol governing Attraction-Buffer replicas.
+    [Install_flush] is the paper's model: replicas are installed on fill
+    and only flushed when the scheduler's guarantees make staleness
+    impossible — coherence is a scheduler-proved property. [Msi] layers
+    MSI snooping on the shared-bus backend: a store's bus upgrade
+    invalidates every remote replica of the subblock at execute time, so
+    ordered store→load / store→store pairs become protocol-guaranteed.
+    [Mesi] adds an Exclusive ownership state over the directory backend
+    (present-mask generalized to I/S/E/M; silent E→M upgrades, ownership
+    handoff on remote read). [validate] enforces the pairing: [Msi]
+    requires [Shared_bus], [Mesi] requires [Directory]. *)
+type protocol = Install_flush | Msi | Mesi
+
+val protocol_name : protocol -> string
+val protocol_of_string : string -> protocol option
+
 val supported_clusters : int list
 (** Cluster counts the machine model is validated for: 4, 8, 16, 32. *)
 
@@ -61,6 +77,7 @@ type t = {
   l2_latency : int;  (** total next-level latency, always a hit (10) *)
   attraction : attraction option;  (** [None] = no Attraction Buffers *)
   interconnect : interconnect;  (** remote-access transport (default bus) *)
+  protocol : protocol;  (** AB coherence protocol (default install/flush) *)
 }
 
 (** {1 Presets} *)
@@ -87,6 +104,7 @@ val with_attraction : t -> attraction option -> t
 (** Enable/disable Attraction Buffers (Section 5: 16-entry 2-way). *)
 
 val with_interconnect : t -> interconnect -> t
+val with_protocol : t -> protocol -> t
 
 val default_attraction : attraction
 

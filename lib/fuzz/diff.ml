@@ -200,8 +200,9 @@ let check ?(verifier = default_verifier) (c : Gen.case) =
     (* the event stream must independently re-derive the simulator's own
        coherence accounting, on every run, jittered or not *)
     (match
-       Audit.check sink ~violations:stats.Sim.violations
-         ~nullified:stats.Sim.nullified
+       Audit.check sink ~protocol:machine.M.protocol
+         ~prot_invalidations:stats.Sim.prot_invalidations
+         ~violations:stats.Sim.violations ~nullified:stats.Sim.nullified
      with
     | Ok _ -> ()
     | Error msg ->

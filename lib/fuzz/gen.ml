@@ -9,6 +9,7 @@ type mconf = {
   mc_interleave : int;
   mc_membus : int;
   mc_ab : bool;
+  mc_protocol : string;
 }
 
 type case = {
@@ -44,6 +45,11 @@ let machine mc =
   let m =
     M.with_attraction m
       (if mc.mc_ab then Some M.default_attraction else None)
+  in
+  let m =
+    match M.protocol_of_string mc.mc_protocol with
+    | Some p -> M.with_protocol m p
+    | None -> failwith ("fuzz generator: unknown protocol " ^ mc.mc_protocol)
   in
   (match M.validate m with
   | Ok () -> ()
@@ -347,6 +353,63 @@ let dir_race rng ~slot ~trip =
       ];
   }
 
+(* protocol race: two hot addresses each loaded (installing a replica)
+   then stored every iteration — under MSI/MESI the stores' execute-time
+   upgrades bounce the lines between clusters (S->M upgrade vs snooped
+   invalidation; under MESI also E->M silent upgrades and E/M->S
+   downgrades when a remote fill takes the line back) *)
+let prot_race rng ~slot ~trip =
+  let a = Printf.sprintf "a%d" slot
+  and x = Printf.sprintf "x%d" slot
+  and y = Printf.sprintf "y%d" slot
+  and s = Printf.sprintf "s%d" slot in
+  let ty = Prng.choice rng [| Ast.I32; Ast.I64 |] in
+  let c1 = Prng.int rng 3 in
+  let c2 = c1 + Prng.int_in rng 1 4 in
+  {
+    mo_label = "prot-race";
+    mo_arrays = [ arr a ty (c2 + trip + 2) (rand_init rng) ];
+    mo_scalars = [ sc s 0 ];
+    mo_stmts =
+      [
+        Ast.Let (x, Ast.Load (a, aff 0 c1));
+        Ast.Store (a, aff 0 c1, rand_val rng [| i_var; Ast.Var x |]);
+        Ast.Let (y, Ast.Load (a, aff 0 c2));
+        Ast.Store (a, aff 0 c2, rand_val rng [| i_var; Ast.Var y |]);
+        Ast.Assign (s, Ast.Binop (Ast.Add, Ast.Var s, Ast.Binop (Ast.Xor, Ast.Var x, Ast.Var y)));
+      ];
+  }
+
+(* fill race: a wide-striding load sweeps many subblocks (forcing
+   Attraction-Buffer fills and capacity evictions to stay in flight)
+   while a hot line is loaded and stored every iteration — the store's
+   execute-time invalidation races the sweep's pending fills and the hot
+   line's own eviction/reinstall *)
+let fill_race rng ~slot ~trip =
+  let a = Printf.sprintf "a%d" slot
+  and b = Printf.sprintf "b%d" slot
+  and x = Printf.sprintf "x%d" slot
+  and y = Printf.sprintf "y%d" slot
+  and s = Printf.sprintf "s%d" slot in
+  let stride = Prng.choice rng [| 3; 4; 5 |] in
+  let c = Prng.int rng 4 in
+  {
+    mo_label = "fill-race";
+    mo_arrays =
+      [
+        arr a Ast.I32 ((stride * trip) + 2) (rand_init rng);
+        arr b Ast.I32 (c + trip + 2) (rand_init rng);
+      ];
+    mo_scalars = [ sc s 0 ];
+    mo_stmts =
+      [
+        Ast.Let (x, Ast.Load (a, aff stride 0));
+        Ast.Let (y, Ast.Load (b, aff 0 c));
+        Ast.Store (b, aff 0 c, rand_val rng [| i_var; Ast.Var y |]);
+        Ast.Assign (s, Ast.Binop (Ast.Add, Ast.Var s, Ast.Binop (Ast.Add, Ast.Var x, Ast.Var y)));
+      ];
+  }
+
 let motifs =
   [|
     mf_chain;
@@ -359,6 +422,8 @@ let motifs =
     carried;
     contend;
     dir_race;
+    prot_race;
+    fill_race;
   |]
 
 let shape_names =
@@ -373,6 +438,8 @@ let shape_names =
     "carried";
     "contend";
     "dir-race";
+    "prot-race";
+    "fill-race";
   ]
 
 let generate ~seed ~budget index =
@@ -406,7 +473,15 @@ let generate ~seed ~budget index =
     let mc_interleave = Prng.choice rng [| 2; 4 |] in
     let mc_membus = Prng.int_in rng 1 4 in
     let mc_ab = Prng.bool rng in
-    { mc_base; mc_clusters; mc_icn; mc_interleave; mc_membus; mc_ab }
+    (* the protocol draw is always consumed (stream stability), and the
+       sampled protocol is always valid for the sampled backend *)
+    let mc_protocol =
+      if Prng.int rng 2 = 0 then "install-flush"
+      else if mc_icn = "bus" then "msi"
+      else "mesi"
+    in
+    { mc_base; mc_clusters; mc_icn; mc_interleave; mc_membus; mc_ab;
+      mc_protocol }
   in
   let jitter = if Prng.bool rng then 0 else Prng.int_in rng 1 6 in
   {
@@ -427,13 +502,13 @@ let to_file_string c =
     "# vliw-fuzz case\n\
      # seed=%d index=%d budget=%d\n\
      # machine=%s clusters=%d interconnect=%s interleave=%d membus=%d ab=%d \
-     jitter=%d\n\
+     jitter=%d protocol=%s\n\
      # shapes=%s\n\
      %s"
     c.g_seed c.g_index c.g_budget c.g_mconf.mc_base c.g_mconf.mc_clusters
     c.g_mconf.mc_icn c.g_mconf.mc_interleave c.g_mconf.mc_membus
     (if c.g_mconf.mc_ab then 1 else 0)
-    c.g_jitter
+    c.g_jitter c.g_mconf.mc_protocol
     (String.concat "," c.g_shapes)
     (Vliw_ir.Pp.kernel_to_string c.g_kernel)
 
@@ -480,6 +555,7 @@ let of_file_string src =
         mc_interleave = int_of "interleave" 4;
         mc_membus = int_of "membus" 4;
         mc_ab = int_of "ab" 0 <> 0;
+        mc_protocol = str_of "protocol" "install-flush";
       };
     g_shapes =
       (match str_of "shapes" "" with

@@ -6,12 +6,16 @@
     may-alias strided accesses across [mayoverlap] arrays, indirect
     (register-addressed) accesses through an index table, split accesses
     (aliased arrays of different element widths), loop-carried scalar
-    recurrences, a bus-contention motif (the Figure 2 scenario), and a
+    recurrences, a bus-contention motif (the Figure 2 scenario), a
     directory-race motif (a hot address whose per-iteration store
-    invalidates race the load's in-flight Attraction-Buffer fill). A
-    case also carries a machine configuration — base preset, cluster
-    count, interconnect backend, interleave factor, memory-bus count,
-    Attraction Buffers — and a bus-jitter bound.
+    invalidates race the load's in-flight Attraction-Buffer fill), a
+    protocol-race motif (two hot lines bouncing between upgrade and
+    invalidation/downgrade under MSI/MESI), and a fill-race motif (a
+    subblock sweep keeping fills and capacity evictions in flight while
+    a hot line is stored). A case also carries a machine configuration —
+    base preset, cluster count, interconnect backend, interleave factor,
+    memory-bus count, Attraction Buffers, coherence protocol — and a
+    bus-jitter bound.
 
     Every case is a pure function of [(root seed, index)]: the generator
     draws from [Prng.derive (Prng.derive_named (Prng.create seed) "fuzz")
@@ -26,6 +30,10 @@ type mconf = {
   mc_interleave : int;  (** interleaving factor in bytes (2 or 4) *)
   mc_membus : int;  (** memory-bus count override (1..4) *)
   mc_ab : bool;  (** 16-entry 2-way Attraction Buffers enabled *)
+  mc_protocol : string;
+      (** coherence protocol: ["install-flush"] (half the cases), else
+          the one matching the backend (["msi"] on bus, ["mesi"] on
+          directory) *)
 }
 
 type case = {
@@ -56,7 +64,8 @@ val shape_names : string list
 
     A case serializes to a single [.lk] file whose header is a block of
     [# key=value] directives (seed, index, budget, machine, clusters,
-    interconnect, interleave, membus, ab, jitter, shapes) followed by the
+    interconnect, interleave, membus, ab, jitter, protocol, shapes)
+    followed by the
     kernel in concrete syntax;
     since [#] starts a comment, the whole file is also a valid kernel
     source. Loading a plain kernel file with no directives yields a case

@@ -320,6 +320,67 @@ let scale ?obs () =
       })
     grid
 
+(* ------- coherence protocols: install/flush vs MSI vs MESI ------- *)
+
+type prot_row = {
+  p_clusters : int;
+  p_icn : M.interconnect;
+  p_protocol : M.protocol;
+  p_cycles : (R.technique * float) list;
+  p_invalidations : int;
+  p_upgrades : int;
+  p_exclusive_hits : int;
+  p_violations : int;
+  p_loops : int;
+  p_verified : int;
+}
+
+(* the protocol/backend pairings Machine.validate accepts: MSI snoops the
+   shared buses, MESI generalizes the directory's state *)
+let protocol_grid =
+  List.concat_map
+    (fun n ->
+      [
+        (n, M.Shared_bus, M.Install_flush);
+        (n, M.Shared_bus, M.Msi);
+        (n, M.Directory, M.Install_flush);
+        (n, M.Directory, M.Mesi);
+      ])
+    [ 4; 8 ]
+
+let protocol ?obs () =
+  let benches = List.map W.find scale_benches in
+  Pool.map
+    (fun (n, icn, prot) ->
+      let machine = M.with_protocol (scale_machine n icn) prot in
+      let by_tech =
+        List.map
+          (fun tech ->
+            ( tech,
+              List.map (fun b -> run ~machine ?obs (tech, S.Pref_clus) b) benches
+            ))
+          [ R.Mdc; R.Ddgt; R.Hybrid ]
+      in
+      let all = List.concat_map snd by_tech in
+      let isum f = List.fold_left (fun a r -> a + f r) 0 all in
+      {
+        p_clusters = n;
+        p_icn = icn;
+        p_protocol = prot;
+        p_cycles =
+          List.map
+            (fun (t, rs) ->
+              (t, List.fold_left (fun a r -> a +. r.R.br_cycles) 0. rs))
+            by_tech;
+        p_invalidations = isum (fun r -> r.R.br_prot_invalidations);
+        p_upgrades = isum (fun r -> r.R.br_prot_upgrades);
+        p_exclusive_hits = isum (fun r -> r.R.br_prot_exclusive_hits);
+        p_violations = isum (fun r -> r.R.br_violations);
+        p_loops = isum (fun r -> List.length r.R.br_loops);
+        p_verified = isum (fun r -> r.R.br_verified);
+      })
+    protocol_grid
+
 (* ------- static coherence verification coverage (not in the paper) ------- *)
 
 type verif_row = {

@@ -145,6 +145,33 @@ val scale : ?obs:Runner.obs -> unit -> scale_row list
     report carries every point of the grid with per-run interconnect,
     cluster-count and directory-traffic fields. *)
 
+(** {1 Coherence protocols: install/flush vs MSI vs MESI (beyond the paper)} *)
+
+type prot_row = {
+  p_clusters : int;
+  p_icn : Vliw_arch.Machine.interconnect;
+  p_protocol : Vliw_arch.Machine.protocol;
+  p_cycles : (Runner.technique * float) list;
+      (** per technique (MDC, DDGT, hybrid under PrefClus), total cycles
+          summed over the sweep benchmarks *)
+  p_invalidations : int;  (** replicas snooped/directed to Invalid *)
+  p_upgrades : int;  (** S -> M store upgrades *)
+  p_exclusive_hits : int;  (** silent E -> M upgrades (MESI rows only) *)
+  p_violations : int;  (** must be 0: every scheme here is certified *)
+  p_loops : int;
+  p_verified : int;
+}
+
+val protocol : ?obs:Runner.obs -> unit -> prot_row list
+(** One row per (cluster count, backend, protocol) over
+    [{4,8} x {(bus, install-flush), (bus, MSI), (directory,
+    install-flush), (directory, MESI)}] — the pairings
+    {!Vliw_arch.Machine.validate} accepts — each running MDC/DDGT/hybrid
+    under PrefClus on the {!scale} benchmark subset with 16-entry ABs
+    (the replicas are what the protocols keep coherent). The
+    install-flush rows are the controls: identical cycles to the same
+    backend's {!scale} point, zero protocol traffic. *)
+
 (** {1 Static coherence verification coverage (beyond the paper)} *)
 
 type verif_row = {

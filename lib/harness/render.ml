@@ -478,6 +478,47 @@ let scale rows =
     rows;
   T.render t
 
+let protocol rows =
+  let t =
+    T.create
+      ~title:
+        "Coherence protocols: install/flush vs MSI (bus) vs MESI \
+         (directory) (PrefClus, 16-entry ABs; cycles summed over \
+         epicdec/g721dec/rasta)"
+      [
+        ("clusters", T.Right); ("backend", T.Left); ("protocol", T.Left);
+        ("mdc", T.Right); ("ddgt", T.Right); ("hybrid", T.Right);
+        ("invalidations", T.Right); ("upgrades", T.Right);
+        ("excl. hits", T.Right); ("violations", T.Right);
+        ("certified", T.Right);
+      ]
+  in
+  List.iter
+    (fun (r : E.prot_row) ->
+      let cyc tech =
+        match List.assoc_opt tech r.E.p_cycles with
+        | Some c -> Printf.sprintf "%.0f" c
+        | None -> "-"
+      in
+      T.add_row t
+        [
+          string_of_int r.E.p_clusters;
+          M.interconnect_name r.E.p_icn;
+          M.protocol_name r.E.p_protocol;
+          cyc R.Mdc;
+          cyc R.Ddgt;
+          cyc R.Hybrid;
+          string_of_int r.E.p_invalidations;
+          string_of_int r.E.p_upgrades;
+          string_of_int r.E.p_exclusive_hits;
+          string_of_int r.E.p_violations;
+          Printf.sprintf "%d/%d" r.E.p_verified r.E.p_loops;
+        ])
+    rows;
+  T.render t
+  ^ "(install-flush rows are controls: same cycles as the matching scale \
+     point, zero protocol traffic)\n"
+
 let verification rows =
   let t =
     T.create

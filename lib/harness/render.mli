@@ -41,6 +41,13 @@ val scale : Experiments.scale_row list -> string
 (** Per-(clusters, interconnect) cycle totals for MDC/DDGT/hybrid with the
     directory-traffic counters beside them. *)
 
+(** {1 Coherence protocols} *)
+
+val protocol : Experiments.prot_row list -> string
+(** Per-(clusters, backend, protocol) cycle totals for MDC/DDGT/hybrid with
+    the protocol-traffic counters (invalidations, upgrades, exclusive
+    hits) beside them; install-flush rows are the zero-traffic controls. *)
+
 (** {1 Static coherence verification} *)
 
 val verification : Experiments.verif_row list -> string

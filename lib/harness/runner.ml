@@ -62,6 +62,9 @@ type bench_run = {
   br_dir_invalidates : int;
   br_dir_writebacks : int;
   br_packet_hops : int;
+  br_prot_invalidations : int;
+  br_prot_upgrades : int;
+  br_prot_exclusive_hits : int;
 }
 
 let machine_for base (b : W.benchmark) = M.with_interleave base b.b_interleave
@@ -194,8 +197,9 @@ let run_loop ~machine ?(obs = obs_none) ?(lat_policy = Driver.Cache_sensitive)
     (* replay coherence audit: the event stream must independently agree
        with the simulator's own violation/nullification accounting *)
     (match
-       Audit.check s ~violations:stats.Sim.violations
-         ~nullified:stats.Sim.nullified
+       Audit.check s ~protocol:machine.M.protocol
+         ~prot_invalidations:stats.Sim.prot_invalidations
+         ~violations:stats.Sim.violations ~nullified:stats.Sim.nullified
      with
     | Ok _ -> ()
     | Error msg ->
@@ -267,6 +271,9 @@ let run_bench ~machine ?obs ?lat_policy ?ordering ?transform technique
     br_dir_invalidates = isum (fun s -> s.Sim.dir_invalidates);
     br_dir_writebacks = isum (fun s -> s.Sim.dir_writebacks);
     br_packet_hops = isum (fun s -> s.Sim.packet_hops);
+    br_prot_invalidations = isum (fun s -> s.Sim.prot_invalidations);
+    br_prot_upgrades = isum (fun s -> s.Sim.prot_upgrades);
+    br_prot_exclusive_hits = isum (fun s -> s.Sim.prot_exclusive_hits);
   }
 
 type access_mix = {

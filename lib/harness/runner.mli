@@ -66,6 +66,11 @@ type bench_run = {
   br_dir_invalidates : int;
   br_dir_writebacks : int;
   br_packet_hops : int;
+  br_prot_invalidations : int;
+      (** coherence-protocol traffic totals over loops (all zero under
+          the default install/flush machine) *)
+  br_prot_upgrades : int;
+  br_prot_exclusive_hits : int;
 }
 
 (** {1 Observability configuration}

@@ -11,6 +11,7 @@ let run_json (fp, (m : M.t), (r : Runner.bench_run)) =
       ("machine", Json.String fp);
       ("clusters", Json.Int m.M.clusters);
       ("interconnect", Json.String (M.interconnect_name m.M.interconnect));
+      ("protocol", Json.String (M.protocol_name m.M.protocol));
       ("bench", Json.String r.Runner.br_bench.W.b_name);
       ("technique", Json.String (Runner.technique_name r.Runner.br_technique));
       ( "heuristic",
@@ -34,6 +35,9 @@ let run_json (fp, (m : M.t), (r : Runner.bench_run)) =
       ("dir_invalidates", Json.Int r.Runner.br_dir_invalidates);
       ("dir_writebacks", Json.Int r.Runner.br_dir_writebacks);
       ("packet_hops", Json.Int r.Runner.br_packet_hops);
+      ("prot_invalidations", Json.Int r.Runner.br_prot_invalidations);
+      ("prot_upgrades", Json.Int r.Runner.br_prot_upgrades);
+      ("prot_exclusive_hits", Json.Int r.Runner.br_prot_exclusive_hits);
     ]
 
 type drift = {

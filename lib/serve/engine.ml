@@ -66,7 +66,8 @@ let default_opts =
     op_trace_file = None;
   }
 
-let machine_of_spec ?(clusters = 4) ?(icn = "bus") ~name ~interleave ~ab () =
+let machine_of_spec ?(clusters = 4) ?(icn = "bus") ?(protocol = "install-flush")
+    ~name ~interleave ~ab () =
   let base =
     match name with
     | "bal" -> Ok M.table2
@@ -80,16 +81,23 @@ let machine_of_spec ?(clusters = 4) ?(icn = "bus") ~name ~interleave ~ab () =
   | Ok base -> (
     match M.interconnect_of_string icn with
     | None -> Error (Printf.sprintf "unknown interconnect %S (bus, directory)" icn)
-    | Some interconnect ->
-      let base = M.scale_clusters base clusters in
-      let base = M.with_interconnect base interconnect in
-      let base =
-        if ab then M.with_attraction base (Some M.default_attraction) else base
-      in
-      let machine = M.with_interleave base interleave in
-      (match M.validate machine with
-      | Ok () -> Ok machine
-      | Error e -> Error (Printf.sprintf "invalid machine configuration: %s" e)))
+    | Some interconnect -> (
+      match M.protocol_of_string protocol with
+      | None ->
+        Error
+          (Printf.sprintf "unknown protocol %S (install-flush, msi, mesi)"
+             protocol)
+      | Some prot ->
+        let base = M.scale_clusters base clusters in
+        let base = M.with_interconnect base interconnect in
+        let base =
+          if ab then M.with_attraction base (Some M.default_attraction) else base
+        in
+        let base = M.with_interleave base interleave in
+        let machine = M.with_protocol base prot in
+        (match M.validate machine with
+        | Ok () -> Ok machine
+        | Error e -> Error (Printf.sprintf "invalid machine configuration: %s" e))))
 
 (* leading/interleaved '#' comment lines of a .lk source, as key=value
    directives (the same convention the fuzzer's repro files use) *)
@@ -311,8 +319,9 @@ let run_kernel ?artifacts ~buf ~machine ~opts kernel =
         (* replay audit before exporting: the event stream must re-derive
            the simulator's own coherence accounting *)
         (match
-           Vliw_trace.Audit.check s ~violations:st.Sim.violations
-             ~nullified:st.Sim.nullified
+           Vliw_trace.Audit.check s ~protocol:machine.M.protocol
+             ~prot_invalidations:st.Sim.prot_invalidations
+             ~violations:st.Sim.violations ~nullified:st.Sim.nullified
          with
         | Ok r ->
           Printf.bprintf buf

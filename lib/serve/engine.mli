@@ -38,6 +38,7 @@ val default_opts : opts
 val machine_of_spec :
   ?clusters:int ->
   ?icn:string ->
+  ?protocol:string ->
   name:string ->
   interleave:int ->
   ab:bool ->
@@ -47,8 +48,10 @@ val machine_of_spec :
     [nobal-mem], [nobal-reg]), an interleave factor and the AB flag.
     [clusters] (default 4) scales the preset keeping per-cluster
     resources constant; [icn] (default ["bus"]) selects the interconnect
-    backend ([bus] or [directory]). The error string is the message vliwc
-    prints before exiting 2. *)
+    backend ([bus] or [directory]); [protocol] (default
+    ["install-flush"]) selects the AB coherence protocol ([msi] requires
+    the bus backend, [mesi] the directory). The error string is the
+    message vliwc prints before exiting 2. *)
 
 val source_directives : string -> (string * string) list
 (** [key=value] pairs found on ['#'] comment lines of a [.lk] source, in

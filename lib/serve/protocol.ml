@@ -17,12 +17,13 @@ type request = {
   rq_cse : bool;
   rq_verify : bool;
   rq_execution : bool;
+  rq_protocol : string;
 }
 
 let request ?(technique = Engine.Free) ?(heuristic = S.Min_coms)
     ?(ordering = Vliw_sched.Ims.Height) ?(machine = "bal") ?(interleave = 4)
     ?(ab = false) ?(pad = 0) ?unroll ?(cse = false) ?(verify = false)
-    ?(execution = false) ~id kernel =
+    ?(execution = false) ?(protocol = "install-flush") ~id kernel =
   {
     rq_id = id;
     rq_kernel = kernel;
@@ -37,6 +38,7 @@ let request ?(technique = Engine.Free) ?(heuristic = S.Min_coms)
     rq_cse = cse;
     rq_verify = verify;
     rq_execution = execution;
+    rq_protocol = protocol;
   }
 
 let heuristic_of_name = function
@@ -73,6 +75,7 @@ let spec_fields r =
     ("cse", Json.Bool r.rq_cse);
     ("verify", Json.Bool r.rq_verify);
     ("execution", Json.Bool r.rq_execution);
+    ("protocol", Json.String r.rq_protocol);
   ]
 
 let request_to_json r = Json.Obj (("id", Json.Int r.rq_id) :: spec_fields r)
@@ -134,6 +137,7 @@ let request_of_json j =
     let* cse = bool_d "cse" false in
     let* verify = bool_d "verify" false in
     let* execution = bool_d "execution" false in
+    let protocol = Option.value (str "protocol") ~default:"install-flush" in
     (* model checking enumerates interleavings for minutes at a time —
        refuse it here rather than wedge a shared service worker on one
        request; vliwc --check is the supported path *)
@@ -162,6 +166,7 @@ let request_of_json j =
         rq_cse = cse;
         rq_verify = verify;
         rq_execution = execution;
+        rq_protocol = protocol;
       }
 
 (* ---- responses ---- *)
@@ -181,6 +186,9 @@ let stats_json (st : Sim.stats) =
       ("nullified", Json.Int st.Sim.nullified);
       ("ab_hits", Json.Int st.Sim.ab_hits);
       ("ab_flushed", Json.Int st.Sim.ab_flushed);
+      ("prot_invalidations", Json.Int st.Sim.prot_invalidations);
+      ("prot_upgrades", Json.Int st.Sim.prot_upgrades);
+      ("prot_exclusive_hits", Json.Int st.Sim.prot_exclusive_hits);
     ]
 
 let summary_json (s : Engine.summary) =

@@ -23,6 +23,7 @@ type request = {
   rq_cse : bool;
   rq_verify : bool;
   rq_execution : bool;
+  rq_protocol : string;  (** [install-flush | msi | mesi] *)
 }
 
 val request :
@@ -37,6 +38,7 @@ val request :
   ?cse:bool ->
   ?verify:bool ->
   ?execution:bool ->
+  ?protocol:string ->
   id:int ->
   string ->
   request

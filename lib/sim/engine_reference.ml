@@ -11,6 +11,7 @@ module L = Vliw_lower.Lower
 module Ir = Vliw_ir
 module Tr = Vliw_trace.Trace
 module Icn = Vliw_interconnect.Interconnect
+module C = Vliw_coherence.Coherence
 open Sim_types
 
 let ty_of_mr = Sim_types.ty_of_mr
@@ -110,6 +111,53 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
       | None -> if addr + size <= msize then Ir.Sem.load_bytes mem addr ty else 0L
   in
 
+  (* Under MSI/MESI a store's memory effect lands at execute time, so an
+     older load whose service is still in flight would otherwise read the
+     younger store's value. At each store's execute, every pending older
+     load overlapping its bytes latches its value right now — the
+     coherence point orders the outstanding read before the upgrade —
+     and service later returns the latched value. *)
+  let prot_pending : waiter list ref = ref [] in
+  let prot_done : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let prot_lval : (int, int64) Hashtbl.t = Hashtbl.create 64 in
+  let waiter_ty (w : waiter) =
+    match w.w_size with
+    | 1 -> Ir.Ast.I8
+    | 2 -> Ir.Ast.I16
+    | 4 -> Ir.Ast.I32
+    | _ -> Ir.Ast.I64
+  in
+  let prot_latch_older ~seq ~addr ~size =
+    let last = addr + size - 1 in
+    let hit, rest =
+      List.partition
+        (fun (w : waiter) ->
+          (not (Hashtbl.mem prot_done w.w_seq))
+          && w.w_seq < seq
+          && w.w_addr <= last
+          && w.w_addr + w.w_size - 1 >= addr)
+        !prot_pending
+    in
+    prot_pending :=
+      List.filter (fun (w : waiter) -> not (Hashtbl.mem prot_done w.w_seq)) rest;
+    List.iter
+      (fun (w : waiter) ->
+        Hashtbl.replace prot_lval w.w_seq
+          (apply_access ~seq:w.w_seq ~is_store:false ~addr:w.w_addr
+             ~size:w.w_size ~value:w.w_value ~site:w.w_site ~iter:w.w_iter
+             ~ty:(waiter_ty w));
+        Hashtbl.replace prot_done w.w_seq ())
+      (List.sort (fun (a : waiter) b -> compare a.w_seq b.w_seq) hit)
+  in
+  let prot_load_value (w : waiter) ~ty =
+    match Hashtbl.find_opt prot_lval w.w_seq with
+    | Some v -> v
+    | None ->
+      Hashtbl.replace prot_done w.w_seq ();
+      apply_access ~seq:w.w_seq ~is_store:false ~addr:w.w_addr ~size:w.w_size
+        ~value:w.w_value ~site:w.w_site ~iter:w.w_iter ~ty
+  in
+
   (* ----- interconnect: shared-bus pool or directory-tracked ring ----- *)
   let jit =
     (* [ch_note_state] is intentionally ignored here: the closure calendar
@@ -203,6 +251,67 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
         !ok)
       (M.addrs_of_subblock machine ~subblock)
   in
+  (* ----- coherence protocol (MSI/MESI) tracker + hooks, mirrored
+     site-for-site against the wheel engine ----- *)
+  let prot_on = machine.M.protocol <> M.Install_flush in
+  let coh = C.create ~protocol:machine.M.protocol ~clusters:nclusters in
+  let emit_transitions trs =
+    List.iter
+      (fun (tr : C.transition) ->
+        if tracing then
+          emit ~cluster:tr.C.t_cluster
+            (Tr.Prot_transition
+               {
+                 cluster = tr.C.t_cluster;
+                 subblock = tr.C.t_subblock;
+                 from_state = tr.C.t_from;
+                 to_state = tr.C.t_to;
+                 cause = tr.C.t_cause;
+               });
+        match tr with
+        | { C.t_from = C.M_; t_to = C.S; t_cause = C.Remote_read; _ }
+          when dir_mode ->
+          Icn.Directory.writeback dir ~now:!now ~src:tr.C.t_cluster
+            ~home:(tr.C.t_subblock mod nclusters) ~subblock:tr.C.t_subblock
+        | _ -> ())
+      trs
+  in
+  let prot_store_execute ~replicated ~own ~addr ~size ~present =
+    let il = machine.M.interleave_bytes in
+    let last = addr + size - 1 in
+    let b = ref addr in
+    while !b <= last do
+      let sb = M.subblock_id machine ~addr:!b in
+      let own_present =
+        Array.length abs > 0
+        && Attraction.sync_seq abs.(own) ~subblock:sb <> None
+      in
+      let own_upgraded = own_present && !b = addr && present in
+      if own_present && not own_upgraded then begin
+        ignore (Attraction.invalidate abs.(own) ~subblock:sb);
+        if dir_mode then
+          Icn.Directory.drop_replica dir ~cluster:own ~subblock:sb;
+        emit_transitions (C.note_evict coh ~cluster:own ~subblock:sb)
+      end;
+      if not replicated then
+        for c = 0 to nclusters - 1 do
+          if c <> own && Array.length abs > 0 then
+            match Attraction.invalidate abs.(c) ~subblock:sb with
+            | `Absent -> ()
+            | (`Clean | `Written) as r ->
+              if dir_mode then begin
+                Icn.Directory.drop_replica dir ~cluster:c ~subblock:sb;
+                if r = `Written then
+                  Icn.Directory.writeback dir ~now:!now ~src:c
+                    ~home:(sb mod nclusters) ~subblock:sb
+              end
+        done;
+      emit_transitions
+        (C.note_store coh ~writer:own ~subblock:sb ~present:own_upgraded
+           ~replicated);
+      b := ((!b / il) + 1) * il
+    done
+  in
   let mshr : (int, waiter list ref) Hashtbl.t = Hashtbl.create 32 in
   let modq : (int * waiter) Queue.t array =
     Array.init nclusters (fun _ -> Queue.create ())
@@ -271,9 +380,14 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
                  local = w.w_local;
                  hit = true;
                });
+        (* protocol stores already applied their memory effect at
+           execute (see [initiate]); re-applying here would clobber
+           younger protocol stores *)
         let v =
-          apply_access ~seq:w.w_seq ~is_store:w.w_store ~addr:w.w_addr
-            ~size:w.w_size ~value:w.w_value ~site:w.w_site ~iter:w.w_iter ~ty
+          if prot_on then (if w.w_store then 0L else prot_load_value w ~ty)
+          else
+            apply_access ~seq:w.w_seq ~is_store:w.w_store ~addr:w.w_addr
+              ~size:w.w_size ~value:w.w_value ~site:w.w_site ~iter:w.w_iter ~ty
         in
         if dir_mode && w.w_store then
           ignore
@@ -318,9 +432,12 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
                   | _ -> Ir.Ast.I64
                 in
                 let v =
-                  apply_access ~seq:w.w_seq ~is_store:w.w_store ~addr:w.w_addr
-                    ~size:w.w_size ~value:w.w_value ~site:w.w_site
-                    ~iter:w.w_iter ~ty
+                  if prot_on then
+                    if w.w_store then 0L else prot_load_value w ~ty
+                  else
+                    apply_access ~seq:w.w_seq ~is_store:w.w_store ~addr:w.w_addr
+                      ~size:w.w_size ~value:w.w_value ~site:w.w_site
+                      ~iter:w.w_iter ~ty
                 in
                 if dir_mode && w.w_store then
                   ignore
@@ -341,11 +458,15 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
         | `Clean ->
           if tracing then
             emit ~cluster:dst
-              (Tr.Dir_invalidate { cluster = dst; subblock; written = false })
+              (Tr.Dir_invalidate { cluster = dst; subblock; written = false });
+          if prot_on then
+            emit_transitions (C.note_remote_invalidate coh ~cluster:dst ~subblock)
         | `Written ->
           if tracing then
             emit ~cluster:dst
               (Tr.Dir_invalidate { cluster = dst; subblock; written = true });
+          if prot_on then
+            emit_transitions (C.note_remote_invalidate coh ~cluster:dst ~subblock);
           Icn.Directory.writeback dir ~now:!now ~src:dst ~home ~subblock)
     | Icn.Directory.Writeback_ack { subblock; from = _ } ->
       if tracing then
@@ -400,15 +521,32 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
     let local = home = own in
     let key = (node.n_id, iter) in
     (* stores keep any attraction-buffer copy in their own cluster fresh *)
-    if is_store && Array.length abs > 0 then (
-      ab_note_store ~own ~addr ~size ~seq;
-      let present =
-        Attraction.write_if_present abs.(own)
-          ~subblock:(M.subblock_id machine ~addr)
-          ~addr ~size (Ir.Sem.truncate ty value) ~sync:seq
-      in
-      if present && tracing then
-        emit ~cluster:own (Tr.Ab_update { cluster = own; addr; size; seq }));
+    let ab_written =
+      if is_store && Array.length abs > 0 then (
+        ab_note_store ~own ~addr ~size ~seq;
+        let present =
+          Attraction.write_if_present abs.(own)
+            ~subblock:(M.subblock_id machine ~addr)
+            ~addr ~size (Ir.Sem.truncate ty value) ~sync:seq
+        in
+        if present && tracing then
+          emit ~cluster:own (Tr.Ab_update { cluster = own; addr; size; seq });
+        present)
+      else false
+    in
+    (* MSI/MESI: the store's memory effect and its invalidation of remote
+       replicas happen at execute time — the upgrade wins the
+       interconnect before any data moves. The transaction below still
+       travels to the home module for timing and bandwidth, but its
+       arrival no longer applies anything. *)
+    if is_store && prot_on then begin
+      prot_latch_older ~seq ~addr ~size;
+      prot_store_execute
+        ~replicated:(node.G.n_replica <> None)
+        ~own ~addr ~size ~present:ab_written;
+      ignore
+        (apply_access ~seq ~is_store:true ~addr ~size ~value ~site ~iter ~ty)
+    end;
     let respond =
       if is_store then fun _ _ -> ()
       else if local then fun v t ->
@@ -438,11 +576,18 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
                         ~subblock:sb)
                  in
                  (match Attraction.install abs.(own) ~machine ~subblock:sb ~mem ~sync with
-                 | Some (evicted, _) when dir_mode ->
-                   Icn.Directory.drop_replica dir ~cluster:own ~subblock:evicted
-                 | _ -> ());
+                 | Some (evicted, _) ->
+                   if dir_mode then
+                     Icn.Directory.drop_replica dir ~cluster:own
+                       ~subblock:evicted;
+                   if prot_on then
+                     emit_transitions
+                       (C.note_evict coh ~cluster:own ~subblock:evicted)
+                 | None -> ());
                  if dir_mode then
                    Icn.Directory.confirm_install dir ~cluster:own ~subblock:sb;
+                 if prot_on then
+                   emit_transitions (C.note_fill coh ~cluster:own ~subblock:sb);
                  if tracing then
                    emit ~cluster:own
                      (Tr.Ab_install { cluster = own; subblock = sb; sync })));
@@ -501,6 +646,7 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
           w_local = local;
         }
       in
+      if prot_on && not is_store then prot_pending := w :: !prot_pending;
       if local then (
         track_load w At_module;
         Queue.add (!now, w) modq.(home))
@@ -624,21 +770,30 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
               (Tr.Nullify { cluster = own; site = mr.mr_site; iter = kiter });
           (* a nullified instance still refreshes its cluster's attraction
              buffer copy (Section 5.3) *)
-          if Array.length abs > 0 then (
-            let ty = ty_of_mr mr in
-            let seq = seq_of ~site:mr.mr_site ~iter:kiter in
-            ab_note_store ~own ~addr ~size:mr.mr_bytes ~seq;
-            let present =
-              Attraction.write_if_present
-                abs.(own)
-                ~subblock:(M.subblock_id machine ~addr)
-                ~addr ~size:mr.mr_bytes
-                (Ir.Sem.truncate ty value)
-                ~sync:seq
-            in
-            if present && tracing then
-              emit ~cluster:own
-                (Tr.Ab_update { cluster = own; addr; size = mr.mr_bytes; seq }))))
+          let present =
+            if Array.length abs > 0 then (
+              let ty = ty_of_mr mr in
+              let seq = seq_of ~site:mr.mr_site ~iter:kiter in
+              ab_note_store ~own ~addr ~size:mr.mr_bytes ~seq;
+              let present =
+                Attraction.write_if_present
+                  abs.(own)
+                  ~subblock:(M.subblock_id machine ~addr)
+                  ~addr ~size:mr.mr_bytes
+                  (Ir.Sem.truncate ty value)
+                  ~sync:seq
+              in
+              if present && tracing then
+                emit ~cluster:own
+                  (Tr.Ab_update { cluster = own; addr; size = mr.mr_bytes; seq });
+              present)
+            else false
+          in
+          (* a nullified replica broadcasts into its own copy only; the
+             executing replica owns the upgrade and the memory effect *)
+          if prot_on then
+            prot_store_execute ~replicated:true ~own ~addr ~size:mr.mr_bytes
+              ~present))
   in
 
   (* ----- issue buckets ----- *)
@@ -777,5 +932,8 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
     dir_invalidates = dstats.Icn.Directory.d_invalidates;
     dir_writebacks = dstats.Icn.Directory.d_writebacks;
     packet_hops = dstats.Icn.Directory.d_hops;
+    prot_invalidations = (C.counters coh).C.invalidations;
+    prot_upgrades = (C.counters coh).C.upgrades;
+    prot_exclusive_hits = (C.counters coh).C.exclusive_hits;
     memory = mem;
   }

@@ -33,6 +33,7 @@ module L = Vliw_lower.Lower
 module Ir = Vliw_ir
 module Tr = Vliw_trace.Trace
 module Icn = Vliw_interconnect.Interconnect
+module C = Vliw_coherence.Coherence
 open Sim_types
 
 (* ----- node kinds (kindv) ----- *)
@@ -394,6 +395,11 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
         v
   in
   let dir_mode = machine.M.interconnect = M.Directory in
+  (* coherence protocol (MSI/MESI): tracker mirroring the AB replica
+     population. Under the default install/flush every hook is a no-op,
+     keeping that path byte-identical to the pre-protocol engine. *)
+  let prot_on = machine.M.protocol <> M.Install_flush in
+  let coh = C.create ~protocol:machine.M.protocol ~clusters:nclusters in
   let bus : int Icn.Bus.t =
     Icn.Bus.create ~buses:nbuses ~latency:mem_buslat ~dummy:0
   in
@@ -503,6 +509,79 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
   in
   let mshr_next = Array.make ninst (-1) in
 
+  (* ----- protocol transition plumbing ----- *)
+  (* Emit one trace event per tracker transition; a Modified owner
+     downgraded by a remote read (MESI ownership handoff) additionally
+     pays a writeback to the line's home bank. *)
+  let emit_transitions trs =
+    List.iter
+      (fun (tr : C.transition) ->
+        if tracing then
+          emit ~cluster:tr.C.t_cluster
+            (Tr.Prot_transition
+               {
+                 cluster = tr.C.t_cluster;
+                 subblock = tr.C.t_subblock;
+                 from_state = tr.C.t_from;
+                 to_state = tr.C.t_to;
+                 cause = tr.C.t_cause;
+               });
+        match tr with
+        | { C.t_from = C.M_; t_to = C.S; t_cause = C.Remote_read; _ }
+          when dir_mode ->
+          Icn.Directory.writeback dir ~now:!now ~src:tr.C.t_cluster
+            ~home:(tr.C.t_subblock mod nclusters) ~subblock:tr.C.t_subblock
+        | _ -> ())
+      trs
+  in
+  (* A store executed under MSI/MESI: its upgrade wins the interconnect
+     atomically with execution, so every remote AB replica of each
+     touched subblock drops to Invalid here and now. The writer's own
+     replica upgrades to M when the write landed in it ([present]); a
+     copy the write could not be packed into (an access straddling its
+     interleave chunk) is dropped instead of left stale. Replicated
+     (DDGT) stores broadcast the write into sibling replicas, so they
+     invalidate nothing. On the directory backend the dropped replicas
+     leave the present-mask immediately — the store's later apply-time
+     [store_apply] then finds no residual sharers to invalidate — and a
+     dropped Modified copy pays a writeback. *)
+  let prot_store_execute ~n ~own ~addr ~present =
+    let size = mbytes.(n) in
+    let last = addr + size - 1 in
+    let replicated = m_replica.(n) in
+    let b = ref addr in
+    while !b <= last do
+      let sb = sb_of !b in
+      let own_present =
+        nabs > 0 && Attraction.sync_seq abs.(own) ~subblock:sb <> None
+      in
+      let own_upgraded = own_present && !b = addr && present in
+      if own_present && not own_upgraded then begin
+        ignore (Attraction.invalidate abs.(own) ~subblock:sb);
+        if dir_mode then
+          Icn.Directory.drop_replica dir ~cluster:own ~subblock:sb;
+        emit_transitions (C.note_evict coh ~cluster:own ~subblock:sb)
+      end;
+      if not replicated then
+        for c = 0 to nclusters - 1 do
+          if c <> own && nabs > 0 then
+            match Attraction.invalidate abs.(c) ~subblock:sb with
+            | `Absent -> ()
+            | (`Clean | `Written) as r ->
+              if dir_mode then begin
+                Icn.Directory.drop_replica dir ~cluster:c ~subblock:sb;
+                if r = `Written then
+                  Icn.Directory.writeback dir ~now:!now ~src:c
+                    ~home:(sb mod nclusters) ~subblock:sb
+              end
+        done;
+      emit_transitions
+        (C.note_store coh ~writer:own ~subblock:sb ~present:own_upgraded
+           ~replicated);
+      b := ((!b / il) + 1) * il
+    done
+  in
+
   (* ----- per-cluster module queues: int rings ----- *)
   let modq_total = ref 0 in
   let mq_cap = Array.make nclusters 64 in
@@ -540,6 +619,13 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
   let inst_addr = Array.make ninst 0 in
   let inst_home = Array.make ninst 0 in
   let inst_val = Array.make ninst 0L in
+  (* MSI/MESI anti-dependence ordering: loads still in the memory system
+     when a younger store to the same bytes executes (protocol stores
+     apply at execute time) *)
+  let prot_pending = ref [] in
+  let prot_done = Array.make ninst false in
+  let prot_latched = Array.make ninst false in
+  let prot_lval = Array.make ninst 0L in
 
   (* cache warm-up: replay the reference address trace into the modules *)
   (if warm then
@@ -587,6 +673,42 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
       match oracle with
       | Some r -> r.events.(seq).ev_value
       | None -> if addr + size <= msize then Ir.Sem.load_bytes mem addr ty else 0L
+  in
+  (* Under MSI/MESI a store's memory effect lands at execute time, so an
+     older load whose service is still in flight would otherwise read the
+     younger store's value. At each store's execute, every pending older
+     load overlapping its bytes latches its value right now — the
+     coherence point orders the outstanding read before the upgrade —
+     and service later returns the latched value. *)
+  let seq_of inst =
+    let n = inst / trip in
+    ((inst - (n * trip)) * nsites) + msite.(n)
+  in
+  let prot_latch_older ~seq ~addr ~size =
+    let last = addr + size - 1 in
+    let hit, rest =
+      List.partition
+        (fun i ->
+          (not prot_done.(i))
+          && seq_of i < seq
+          && inst_addr.(i) <= last
+          && inst_addr.(i) + mbytes.(i / trip) - 1 >= addr)
+        !prot_pending
+    in
+    prot_pending := List.filter (fun i -> not prot_done.(i)) rest;
+    List.iter
+      (fun i ->
+        prot_lval.(i) <- apply_access i;
+        prot_latched.(i) <- true;
+        prot_done.(i) <- true)
+      (List.sort (fun a b -> compare (seq_of a) (seq_of b)) hit)
+  in
+  let prot_load_value inst =
+    if prot_latched.(inst) then prot_lval.(inst)
+    else begin
+      prot_done.(inst) <- true;
+      apply_access inst
+    end
   in
   (* deliver a serviced value: stores are done; local loads retire at [t];
      remote loads ride a response bus leg back and install into the AB *)
@@ -649,7 +771,12 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
                  local;
                  hit = true;
                });
-        let v = apply_access inst in
+        (* protocol stores applied (and invalidated) at execute; their
+           home arrival is timing/bandwidth only *)
+        let v =
+          if prot_on then (if is_store then 0L else prot_load_value inst)
+          else apply_access inst
+        in
         if dir_mode && is_store then
           ignore
             (Icn.Directory.store_apply dir ~now:!now ~home:c ~subblock:sb
@@ -728,14 +855,33 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
     let home = home_of addr in
     let local = home = own in
     let inst = (n * trip) + k in
-    if is_store && nabs > 0 then begin
-      ab_note_store ~own ~addr ~size ~seq;
-      let present =
-        Attraction.write_if_present abs.(own) ~subblock:(sb_of addr) ~addr ~size
-          (Ir.Sem.truncate ty value) ~sync:seq
-      in
-      if present && tracing then
-        emit ~cluster:own (Tr.Ab_update { cluster = own; addr; size; seq })
+    let ab_written =
+      if is_store && nabs > 0 then begin
+        ab_note_store ~own ~addr ~size ~seq;
+        let present =
+          Attraction.write_if_present abs.(own) ~subblock:(sb_of addr) ~addr
+            ~size
+            (Ir.Sem.truncate ty value)
+            ~sync:seq
+        in
+        if present && tracing then
+          emit ~cluster:own (Tr.Ab_update { cluster = own; addr; size; seq });
+        present
+      end
+      else false
+    in
+    (* MSI/MESI: the store's memory effect and its invalidation of remote
+       replicas happen at execute time — the upgrade wins the
+       interconnect before any data moves. The transaction below still
+       travels to the home module for timing and bandwidth, but its
+       arrival no longer applies anything. *)
+    if is_store && prot_on then begin
+      inst_addr.(inst) <- addr;
+      inst_home.(inst) <- home;
+      inst_val.(inst) <- value;
+      prot_latch_older ~seq ~addr ~size;
+      prot_store_execute ~n ~own ~addr ~present:ab_written;
+      ignore (apply_access inst)
     end;
     let ab_satisfied =
       (not is_store) && (not local) && nabs > 0
@@ -774,6 +920,8 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
       inst_addr.(inst) <- addr;
       inst_home.(inst) <- home;
       inst_val.(inst) <- value;
+      if prot_on && not is_store then
+        prot_pending := inst :: !prot_pending;
       if local then begin
         if not is_store then phase.(inst) <- ph_at_module;
         modq_push home inst
@@ -809,11 +957,16 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
             Attraction.install_addrs abs.(own) ~subblock:sb
               ~addrs:(addrs_of_sb sb) ~mem ~sync
           with
-         | Some (evicted, _) when dir_mode ->
-           Icn.Directory.drop_replica dir ~cluster:own ~subblock:evicted
-         | _ -> ());
+         | Some (evicted, _) ->
+           if dir_mode then
+             Icn.Directory.drop_replica dir ~cluster:own ~subblock:evicted;
+           if prot_on then
+             emit_transitions (C.note_evict coh ~cluster:own ~subblock:evicted)
+         | None -> ());
          if dir_mode then
            Icn.Directory.confirm_install dir ~cluster:own ~subblock:sb;
+         if prot_on then
+           emit_transitions (C.note_fill coh ~cluster:own ~subblock:sb);
          if tracing then
            emit ~cluster:own (Tr.Ab_install { cluster = own; subblock = sb; sync })
        end
@@ -833,11 +986,17 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
         | `Clean ->
           if tracing then
             emit ~cluster:dst
-              (Tr.Dir_invalidate { cluster = dst; subblock; written = false })
+              (Tr.Dir_invalidate { cluster = dst; subblock; written = false });
+          if prot_on then
+            emit_transitions
+              (C.note_remote_invalidate coh ~cluster:dst ~subblock)
         | `Written ->
           if tracing then
             emit ~cluster:dst
               (Tr.Dir_invalidate { cluster = dst; subblock; written = true });
+          if prot_on then
+            emit_transitions
+              (C.note_remote_invalidate coh ~cluster:dst ~subblock);
           Icn.Directory.writeback dir ~now:!now ~src:dst ~home ~subblock)
     | Icn.Directory.Writeback_ack { subblock; from = _ } ->
       if tracing then
@@ -888,8 +1047,12 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
       let w = ref head in
       while !w >= 0 do
         let nxt = mshr_next.(!w) in
-        let v = apply_access !w in
-        if dir_mode && kindv.(!w / trip) = k_store then
+        let w_store = kindv.(!w / trip) = k_store in
+        let v =
+          if prot_on then (if w_store then 0L else prot_load_value !w)
+          else apply_access !w
+        in
+        if dir_mode && w_store then
           ignore
             (Icn.Directory.store_apply dir ~now:!now ~home:c ~subblock:sb
                ~requester:clusterv.(!w / trip));
@@ -929,20 +1092,27 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
           if tracing then
             emit ~cluster:own
               (Tr.Nullify { cluster = own; site = msite.(n); iter = k });
-          if nabs > 0 then begin
-            let ty = mty.(n) in
-            let seq = (k * nsites) + msite.(n) in
-            ab_note_store ~own ~addr ~size:mbytes.(n) ~seq;
-            let present =
-              Attraction.write_if_present abs.(own) ~subblock:(sb_of addr)
-                ~addr ~size:mbytes.(n)
-                (Ir.Sem.truncate ty value)
-                ~sync:seq
-            in
-            if present && tracing then
-              emit ~cluster:own
-                (Tr.Ab_update { cluster = own; addr; size = mbytes.(n); seq })
-          end
+          let present =
+            if nabs > 0 then begin
+              let ty = mty.(n) in
+              let seq = (k * nsites) + msite.(n) in
+              ab_note_store ~own ~addr ~size:mbytes.(n) ~seq;
+              let present =
+                Attraction.write_if_present abs.(own) ~subblock:(sb_of addr)
+                  ~addr ~size:mbytes.(n)
+                  (Ir.Sem.truncate ty value)
+                  ~sync:seq
+              in
+              if present && tracing then
+                emit ~cluster:own
+                  (Tr.Ab_update { cluster = own; addr; size = mbytes.(n); seq });
+              present
+            end
+            else false
+          in
+          (* a nullified replica broadcasts into its own copy only; the
+             executing replica owns the upgrade and the memory effect *)
+          if prot_on then prot_store_execute ~n ~own ~addr ~present
         end
     end
   in
@@ -1100,6 +1270,10 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
     if dir_mode then
       Icn.Directory.encode_state dir ~now:!now ~payload:(fun x -> x) buf
     else Icn.Bus.encode_state bus ~now:!now ~payload:(fun x -> x) buf;
+    if prot_on then begin
+      sep '#';
+      C.encode_state coh buf
+    end;
     Buffer.contents buf
   in
   let note_state =
@@ -1271,5 +1445,8 @@ let run ~lowered ~graph ~schedule ~layout ?trip ?(mode = Execution) ?jitter
     dir_invalidates = dstats.Icn.Directory.d_invalidates;
     dir_writebacks = dstats.Icn.Directory.d_writebacks;
     packet_hops = dstats.Icn.Directory.d_hops;
+    prot_invalidations = (C.counters coh).C.invalidations;
+    prot_upgrades = (C.counters coh).C.upgrades;
+    prot_exclusive_hits = (C.counters coh).C.exclusive_hits;
     memory = mem;
   }

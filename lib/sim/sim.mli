@@ -72,6 +72,12 @@ type stats = {
   dir_invalidates : int;  (** invalidate packets sent by home banks *)
   dir_writebacks : int;  (** writeback acknowledgements received by home banks *)
   packet_hops : int;  (** total ring-link traversals of all packets *)
+  prot_invalidations : int;
+      (** replicas dropped to Invalid by a remote store's upgrade
+          (MSI/MESI only, 0 under install/flush) *)
+  prot_upgrades : int;  (** Shared -> Modified store upgrades (MSI/MESI) *)
+  prot_exclusive_hits : int;
+      (** silent Exclusive -> Modified upgrades (MESI only) *)
   memory : Bytes.t;  (** final memory image (meaningful in [Execution]) *)
 }
 

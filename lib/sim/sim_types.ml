@@ -41,6 +41,9 @@ type stats = {
   dir_invalidates : int;
   dir_writebacks : int;
   packet_hops : int;
+  prot_invalidations : int;
+  prot_upgrades : int;
+  prot_exclusive_hits : int;
   memory : Bytes.t;
 }
 

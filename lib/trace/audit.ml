@@ -1,3 +1,5 @@
+module C = Vliw_coherence.Coherence
+
 type report = {
   violations : int;
   nullified : int;
@@ -5,9 +7,12 @@ type report = {
   ab_hits : int;
   stall_cycles : int;
   issues : int;
+  prot_transitions : int;
+  prot_illegal : int;
+  prot_invalidations : int;
 }
 
-let run sink =
+let run ?(protocol = Vliw_arch.Machine.Install_flush) sink =
   let msize =
     match Trace.meta sink with
     | Some (Trace.Meta m) -> m.msize
@@ -21,6 +26,11 @@ let run sink =
   let ab_hits = ref 0 in
   let stall_cycles = ref 0 in
   let issues = ref 0 in
+  let prot_transitions = ref 0 in
+  let prot_illegal = ref 0 in
+  let prot_invalidations = ref 0 in
+  (* per-(cluster, subblock) protocol line state, as traced so far *)
+  let prot_lines : (int * int, C.state) Hashtbl.t = Hashtbl.create 16 in
   (* emission order is the order the simulator applied accesses in; replay
      must follow it, not the (cycle, cluster, seq) export order *)
   Trace.iter sink (fun ev ->
@@ -49,6 +59,37 @@ let run sink =
       | Trace.Nullify _ -> incr nullified
       | Trace.Stall_end { cycles; _ } -> stall_cycles := !stall_cycles + cycles
       | Trace.Issue _ -> incr issues
+      | Trace.Prot_transition { cluster; subblock; from_state; to_state; cause }
+        ->
+        incr prot_transitions;
+        let key = (cluster, subblock) in
+        let tracked =
+          match Hashtbl.find_opt prot_lines key with
+          | Some s -> s
+          | None -> C.I
+        in
+        (* the traced edge must chain from the line's replayed state and
+           be legal under the machine's transition table. A MESI fill
+           from I is checked against the replayed sharer population: it
+           must land in E exactly when no other cluster holds the line
+           (every state change is traced, so the replayed map is the
+           ground truth for exclusivity). *)
+        let legal =
+          match (protocol, from_state, cause, to_state) with
+          | Vliw_arch.Machine.Mesi, C.I, C.Fill, (C.S | C.E) ->
+            let sole =
+              Hashtbl.fold
+                (fun (c, sb) s acc ->
+                  acc && not (sb = subblock && c <> cluster && s <> C.I))
+                prot_lines true
+            in
+            to_state = if sole then C.E else C.S
+          | _ -> C.next protocol from_state cause = Some to_state
+        in
+        if tracked <> from_state || not legal then incr prot_illegal;
+        Hashtbl.replace prot_lines key to_state;
+        if cause = C.Remote_store && to_state = C.I then
+          incr prot_invalidations
       | _ -> ());
   {
     violations = !violations;
@@ -57,11 +98,30 @@ let run sink =
     ab_hits = !ab_hits;
     stall_cycles = !stall_cycles;
     issues = !issues;
+    prot_transitions = !prot_transitions;
+    prot_illegal = !prot_illegal;
+    prot_invalidations = !prot_invalidations;
   }
 
-let check sink ~violations ~nullified =
-  let r = run sink in
-  if r.violations <> violations then
+let check ?protocol ?prot_invalidations sink ~violations ~nullified =
+  let r = run ?protocol sink in
+  if r.prot_illegal > 0 then
+    Error
+      (Printf.sprintf
+         "coherence audit mismatch: %d of %d protocol transitions are \
+          illegal or do not chain from the line's traced state"
+         r.prot_illegal r.prot_transitions)
+  else if
+    match prot_invalidations with
+    | Some n -> r.prot_invalidations <> n
+    | None -> false
+  then
+    Error
+      (Printf.sprintf
+         "coherence audit mismatch: simulator reported %d protocol \
+          invalidations, replay of the event stream finds %d"
+         (Option.get prot_invalidations) r.prot_invalidations)
+  else if r.violations <> violations then
     Error
       (Printf.sprintf
          "coherence audit mismatch: simulator reported %d violations, replay \

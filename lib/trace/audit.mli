@@ -24,15 +24,34 @@ type report = {
   ab_hits : int;  (** Attraction Buffer hits replayed *)
   stall_cycles : int;  (** re-summed from [Stall_end] episodes *)
   issues : int;  (** bundles issued *)
+  prot_transitions : int;  (** protocol state transitions replayed *)
+  prot_illegal : int;
+      (** transitions rejected by the protocol's transition table, or
+          whose [from] state does not chain from the line's previously
+          traced state *)
+  prot_invalidations : int;
+      (** re-derived remote-store invalidations (transitions to I caused
+          by a remote writer's upgrade) *)
 }
 
-val run : Trace.sink -> report
-(** Replay the trace.
+val run : ?protocol:Vliw_arch.Machine.protocol -> Trace.sink -> report
+(** Replay the trace. [protocol] (default [Install_flush]) selects the
+    transition table [Prot_transition] events are checked against: each
+    traced transition must be legal under it and must chain from the
+    line's previously traced state (lines start Invalid). Under the
+    default any protocol event in the stream is itself illegal.
     @raise Invalid_argument if the trace has no [Meta] header. *)
 
 val check :
-  Trace.sink -> violations:int -> nullified:int -> (report, string) result
+  ?protocol:Vliw_arch.Machine.protocol ->
+  ?prot_invalidations:int ->
+  Trace.sink ->
+  violations:int ->
+  nullified:int ->
+  (report, string) result
 (** [run] the auditor and compare its independent counts against the
     simulator's. [Error] carries a human-readable mismatch description —
     treat it as a hard error: either the simulator or the trace
-    instrumentation is lying about coherence. *)
+    instrumentation is lying about coherence. When [prot_invalidations]
+    is given the replayed invalidation count must match it, and any
+    illegal protocol transition is an error. *)

@@ -179,6 +179,16 @@ let to_json sink =
              Some
                (instant ~name:"dir writeback" ~ts ~tid:d.cluster
                   [ ("subblock", Json.Int d.subblock) ])
+           | Trace.Prot_transition p ->
+             let module C = Vliw_coherence.Coherence in
+             Some
+               (instant ~name:"prot transition" ~ts ~tid:p.cluster
+                  [
+                    ("subblock", Json.Int p.subblock);
+                    ("from", Json.String (C.state_name p.from_state));
+                    ("to", Json.String (C.state_name p.to_state));
+                    ("cause", Json.String (C.cause_name p.cause));
+                  ])
            | Trace.Choice c ->
              Some
                (instant ~name:"choice" ~ts ~tid:machine_track

@@ -42,6 +42,13 @@ type payload =
   | Dir_lookup of { cluster : int; subblock : int; store : bool; sharers : int }
   | Dir_invalidate of { cluster : int; subblock : int; written : bool }
   | Dir_writeback of { cluster : int; subblock : int }
+  | Prot_transition of {
+      cluster : int;
+      subblock : int;
+      from_state : Vliw_coherence.Coherence.state;
+      to_state : Vliw_coherence.Coherence.state;
+      cause : Vliw_coherence.Coherence.cause;
+    }
   | Choice of { index : int; bound : int; chosen : int }
 
 type event = {

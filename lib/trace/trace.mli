@@ -75,6 +75,17 @@ type payload =
           replica had buffered a local store (triggers a writeback ack) *)
   | Dir_writeback of { cluster : int; subblock : int }
       (** a writeback acknowledgement reached the home bank *)
+  | Prot_transition of {
+      cluster : int;
+      subblock : int;
+      from_state : Vliw_coherence.Coherence.state;
+      to_state : Vliw_coherence.Coherence.state;
+      cause : Vliw_coherence.Coherence.cause;
+    }
+      (** a coherence-protocol line state changed (MSI/MESI machines only;
+          never emitted under install/flush). {!Audit} replays the stream
+          against {!Vliw_coherence.Coherence.next}: every transition must
+          be legal and chain from the line's previously traced state. *)
   | Choice of { index : int; bound : int; chosen : int }
       (** a nondeterministic branch point resolved by an external chooser
           ({!Vliw_sim.Sim.chooser}): the [index]-th draw of the run picked

@@ -26,7 +26,14 @@ type report = {
 
 (* fixed rendering order of the proof/vacuity histogram *)
 let proof_names =
-  [ "co-located"; "local-first"; "value-sync"; "replica-disjoint"; "disjoint-homes" ]
+  [
+    "co-located";
+    "local-first";
+    "value-sync";
+    "protocol-invalidate";
+    "replica-disjoint";
+    "disjoint-homes";
+  ]
 
 let op_desc (nd : G.node) (mr : G.mem_ref) =
   Printf.sprintf "%s %s[site %d]"
@@ -43,6 +50,20 @@ let check ~machine ~technique ?guarantees ~base ?layout ~graph ~schedule () =
   let gua =
     match guarantees with Some g -> g | None -> Icn.guarantees machine
   in
+  (* Under MSI/MESI a store's memory effect and its invalidation of every
+     remote replica land atomically at its (globally lock-stepped) issue
+     cycle, so any access issued >= 1 virtual cycle later observes it —
+     under every jitter assignment. That discharges flow (MF) and output
+     (MO) obligations whose source is a non-replicated store. Replicated
+     (DDGT) stores broadcast into sibling replicas instead of
+     invalidating, leaving non-sibling copies stale, so they get no
+     protocol guarantee as sources. Anti (MA) edges — a load ordered
+     before a younger store — are discharged too: at each store's
+     execute the engines latch the value of every pending older
+     overlapping load (the coherence point orders the outstanding read
+     before the upgrade), so a load issued >= 1 cycle earlier always
+     reads the pre-store value, replicated or not. *)
+  let prot_on = machine.M.protocol <> M.Install_flush in
   let diags = ref [] in
   let add d = diags := d :: !diags in
   (* a certificate is jitter-robust unless some obligation leans on a
@@ -215,7 +236,12 @@ let check ~machine ~technique ?guarantees ~base ?layout ~graph ~schedule () =
                     let x_local =
                       x_rep || match hx with Some h -> h = cx | None -> false
                     in
-                    if cx = cy && delta >= 1 then (
+                    if
+                      prot_on && delta >= 1
+                      && ((G.is_store xb && not x_rep)
+                         || ((not (G.is_store xb)) && G.is_store yb))
+                    then count "protocol-invalidate"
+                    else if cx = cy && delta >= 1 then (
                       let y_local =
                         y_rep || match hy with Some h -> h = cy | None -> false
                       in

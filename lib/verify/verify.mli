@@ -33,7 +33,20 @@
       (virtually) no later than [Y]: stall-on-use is global, so when [C]
       issues, [X] has completed everywhere, and [Y] issues at or after [C]
       (rule (b), the load-store synchronization guarantee — this is how
-      DDGT's killed MA edges discharge).
+      DDGT's killed MA edges discharge);
+    - {b protocol-invalidate} — the machine runs an invalidation protocol
+      ([Msi]/[Mesi]) and either [X] is a non-replicated store issued
+      >= 1 virtual cycle before [Y] (flow MF / output MO: the store's
+      memory effect and its invalidation of every remote replica land
+      atomically at its globally lock-stepped issue cycle, so [Y]
+      observes it under every jitter assignment), or [X] is a load and
+      [Y] a store issued >= 1 cycle later (anti MA: at each store's
+      execute the engines latch the value of every pending older
+      overlapping load — the coherence point orders the outstanding
+      read before the upgrade — so [X] always reads the pre-store
+      value). Replicated (DDGT) stores broadcast into sibling replicas
+      instead of invalidating, so as MF/MO sources they get no protocol
+      guarantee.
 
     Instance pairs that cannot co-execute are skipped as vacuous: two
     replication instances on different clusters, or accesses with distinct
@@ -90,8 +103,9 @@ type report = {
       (** instance-pair ordering obligations (vacuous pairs excluded) *)
   r_proofs : (string * int) list;
       (** histogram over proof rules ([co-located], [local-first],
-          [value-sync]) and vacuity arguments ([replica-disjoint],
-          [disjoint-homes]); only nonzero entries, fixed order *)
+          [value-sync], [protocol-invalidate]) and vacuity arguments
+          ([replica-disjoint], [disjoint-homes]); only nonzero entries,
+          fixed order *)
   r_diags : Vliw_util.Diag.t list;
   r_verified : bool;  (** no [Error]-severity diagnostic *)
   r_jitter_robust : bool;

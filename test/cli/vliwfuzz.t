@@ -9,8 +9,8 @@ A bounded sweep on the default verifier finds nothing (exit 0):
 
   $ vliwfuzz run --seed 1 --count 5 --jobs 1
   differential fuzz: seed=1 cases=5 budget=30
-  certified runs 3 | unschedulable 0 | uncertified violating runs 2
-  dep-shape coverage: mf-chain=2 ma-chain=1 mo-chain=1 self-output=2 may-alias=2 indirect=0 split=5 carried=0 contend=1 dir-race=1
+  certified runs 18 | unschedulable 0 | uncertified violating runs 1
+  dep-shape coverage: mf-chain=1 ma-chain=1 mo-chain=3 self-output=1 may-alias=1 indirect=3 split=1 carried=1 contend=2 dir-race=1 prot-race=0 fill-race=0
   failures: none (all certified schedules agree with the oracle)
 
 Any single case regenerates from its (seed, index) identity and replays
@@ -20,11 +20,11 @@ to the same verdict the sweep saw:
   wrote case.lk
 
   $ vliwfuzz replay case.lk
-  case seed=1 index=3 nodes=13 shapes=mf-chain,self-output,split heuristic=PrefClus
-    free   verified=false jitter-robust=false violations=1 memory=ok | jittered violations=1 memory=ok
-    MDC    verified=false jitter-robust=false violations=0 memory=ok | jittered violations=0 memory=ok
-    DDGT   verified=false jitter-robust=false violations=0 memory=ok | jittered violations=0 memory=ok
-    hybrid verified=false jitter-robust=false violations=0 memory=ok | jittered violations=0 memory=ok
+  case seed=1 index=3 nodes=15 shapes=contend,indirect,mo-chain heuristic=PrefClus
+    free   verified=false jitter-robust=false violations=11 memory=DIFFERS | jittered violations=14 memory=DIFFERS
+    MDC    verified=true jitter-robust=true violations=0 memory=ok | jittered violations=0 memory=ok
+    DDGT   verified=true jitter-robust=true violations=0 memory=ok | jittered violations=0 memory=ok
+    hybrid verified=true jitter-robust=true violations=0 memory=ok | jittered violations=0 memory=ok
   clean
 
 The free baseline really does violate coherence (nominal and jittered
@@ -33,38 +33,37 @@ Weakening the verifier into certifying everything must therefore be
 caught (exit 1):
 
   $ vliwfuzz replay case.lk --weaken-verifier
-  case seed=1 index=3 nodes=13 shapes=mf-chain,self-output,split heuristic=PrefClus
-    free   verified=true jitter-robust=true violations=1 memory=ok | jittered violations=1 memory=ok
+  case seed=1 index=3 nodes=15 shapes=contend,indirect,mo-chain heuristic=PrefClus
+    free   verified=true jitter-robust=true violations=11 memory=DIFFERS | jittered violations=14 memory=DIFFERS
     MDC    verified=true jitter-robust=true violations=0 memory=ok | jittered violations=0 memory=ok
     DDGT   verified=true jitter-robust=true violations=0 memory=ok | jittered violations=0 memory=ok
     hybrid verified=true jitter-robust=true violations=0 memory=ok | jittered violations=0 memory=ok
-  FAILURE certified-violation (free): nominal: certified schedule ran with 1 coherence violations
-  FAILURE certified-violation (free): jittered: certified schedule ran with 1 coherence violations
+  FAILURE certified-violation (free): nominal: certified schedule ran with 11 coherence violations
+  FAILURE certified-violation (free): jittered: certified schedule ran with 14 coherence violations
   [1]
 
 Shrinking cuts the witness down to a minimal kernel that still fails:
 
   $ vliwfuzz shrink case.lk --weaken-verifier --out case.min.lk
   shrunk to 2 nodes (2 statements): case.min.lk
-  case seed=1 index=3 nodes=2 shapes=mf-chain,self-output,split heuristic=PrefClus
-    free   verified=true jitter-robust=true violations=0 memory=ok | jittered violations=0 memory=ok
-    MDC    verified=true jitter-robust=true violations=0 memory=ok | jittered violations=0 memory=ok
-    DDGT   verified=true jitter-robust=true violations=0 memory=ok | jittered violations=0 memory=ok
-    hybrid verified=true jitter-robust=true violations=0 memory=ok | jittered violations=1 memory=ok
-  FAILURE certified-violation (hybrid): jittered: certified schedule ran with 1 coherence violations
+  case seed=1 index=3 nodes=2 shapes=contend,indirect,mo-chain heuristic=PrefClus
+    free   verified=true jitter-robust=true violations=1 memory=ok
+    MDC    verified=true jitter-robust=true violations=0 memory=ok
+    DDGT   verified=true jitter-robust=true violations=0 memory=ok
+    hybrid verified=true jitter-robust=true violations=0 memory=ok
+  FAILURE certified-violation (free): nominal: certified schedule ran with 1 coherence violations
 
   $ cat case.min.lk
   # vliw-fuzz case
   # seed=1 index=3 budget=30
-  # machine=bal clusters=4 interconnect=bus interleave=4 membus=4 ab=0 jitter=2
-  # shapes=mf-chain,self-output,split
+  # machine=nobal-reg clusters=8 interconnect=directory interleave=2 membus=4 ab=0 jitter=0 protocol=install-flush
+  # shapes=contend,indirect,mo-chain
   kernel fuzz_1_3 {
-    array a0 : i64[22] = random(575266)
-    array a1 : i64[21] = ramp(-4, 3)
+    array a1 : i8[48] = zero
     trip 5
     body {
-      a0[i] = 1
-      a1[14] = 1
+      a1[2 * i + 8] = 1
+      a1[2 * i + 2] = 1
     }
   }
 
@@ -74,18 +73,14 @@ replay command line inline:
   $ vliwfuzz run --seed 1 --count 4 --jobs 1 --weaken-verifier --out repros
   differential fuzz: seed=1 cases=4 budget=30
   certified runs 16 | unschedulable 0 | uncertified violating runs 0
-  dep-shape coverage: mf-chain=2 ma-chain=1 mo-chain=1 self-output=2 may-alias=1 indirect=0 split=4 carried=0 contend=0 dir-race=1
-  FAILURES: 2
-    case 0: certified-violation (free) [2 nodes] nominal: certified schedule ran with 1 coherence violations
-      repro: repros/repro_1_0.lk
-      replay: dune exec bin/vliwfuzz.exe -- replay repros/repro_1_0.lk
-    case 3: certified-violation (hybrid) [2 nodes] jittered: certified schedule ran with 1 coherence violations
+  dep-shape coverage: mf-chain=1 ma-chain=1 mo-chain=3 self-output=1 may-alias=0 indirect=2 split=0 carried=1 contend=2 dir-race=1 prot-race=0 fill-race=0
+  FAILURES: 1
+    case 3: certified-violation (free) [2 nodes] nominal: certified schedule ran with 1 coherence violations
       repro: repros/repro_1_3.lk
       replay: dune exec bin/vliwfuzz.exe -- replay repros/repro_1_3.lk
   [1]
 
   $ ls repros
-  repro_1_0.lk
   repro_1_3.lk
 
 The model checker exhaustively enumerates every bus/ring grant order and
@@ -136,7 +131,7 @@ The shrunk witness is a two-statement kernel any future run replays:
   $ cat ckrepro/mf_same_iter.refuted.lk
   # vliw-fuzz case
   # seed=0 index=0 budget=0
-  # machine=bal clusters=4 interconnect=bus interleave=4 membus=4 ab=0 jitter=0
+  # machine=bal clusters=4 interconnect=bus interleave=4 membus=4 ab=0 jitter=0 protocol=install-flush
   # shapes=
   kernel mf_same_iter {
     array a : i16[8] = ramp(1, 1)

@@ -1,0 +1,141 @@
+(* The protocol tracker's transition discipline: every emitted edge must
+   be a real state change that chains under the table, because
+   Trace.Audit replays exactly those edges and rejects anything else.
+   The refill cases are regressions for a bug the 200-case fuzz sweep
+   caught: a fill arriving for a line its cluster already holds (two
+   MSHRs over one subblock) was traced as E->E / M->E by the sole-fill
+   promotion, which the audit rightly refused to chain. *)
+
+module C = Vliw_coherence.Coherence
+module M = Vliw_arch.Machine
+module Trace = Vliw_trace.Trace
+module Audit = Vliw_trace.Audit
+
+let edge =
+  Alcotest.testable
+    (fun fmt (tr : C.transition) ->
+      Format.fprintf fmt "c%d sb%d %s->%s %s" tr.C.t_cluster tr.C.t_subblock
+        (C.state_name tr.C.t_from) (C.state_name tr.C.t_to)
+        (C.cause_name tr.C.t_cause))
+    ( = )
+
+let test_install_flush_inert () =
+  let t = C.create ~protocol:M.Install_flush ~clusters:4 in
+  Alcotest.(check bool) "disabled" false (C.enabled t);
+  Alcotest.(check (list edge)) "fill no-op" [] (C.note_fill t ~cluster:0 ~subblock:1);
+  Alcotest.(check (list edge)) "store no-op" []
+    (C.note_store t ~writer:0 ~subblock:1 ~present:true ~replicated:false);
+  let b = Buffer.create 8 in
+  C.encode_state t b;
+  Alcotest.(check int) "encodes nothing" 0 (Buffer.length b)
+
+let test_mesi_sole_fill_lands_e () =
+  let t = C.create ~protocol:M.Mesi ~clusters:4 in
+  Alcotest.(check (list edge)) "I->E"
+    [ { C.t_cluster = 0; t_subblock = 3; t_from = C.I; t_to = C.E; t_cause = C.Fill } ]
+    (C.note_fill t ~cluster:0 ~subblock:3);
+  (* a second sharer downgrades the owner and lands Shared *)
+  Alcotest.(check (list edge)) "E->S handoff + I->S"
+    [
+      { C.t_cluster = 0; t_subblock = 3; t_from = C.E; t_to = C.S; t_cause = C.Remote_read };
+      { C.t_cluster = 1; t_subblock = 3; t_from = C.I; t_to = C.S; t_cause = C.Fill };
+    ]
+    (C.note_fill t ~cluster:1 ~subblock:3)
+
+let test_mesi_owner_refill_absorbed () =
+  let t = C.create ~protocol:M.Mesi ~clusters:4 in
+  ignore (C.note_fill t ~cluster:0 ~subblock:3);
+  (* refill by the Exclusive owner: no edge, state kept *)
+  Alcotest.(check (list edge)) "E refill silent" []
+    (C.note_fill t ~cluster:0 ~subblock:3);
+  Alcotest.(check string) "still E" "E"
+    (C.state_name (C.state t ~cluster:0 ~subblock:3));
+  (* silent E->M upgrade, then a refill by the Modified owner *)
+  ignore (C.note_store t ~writer:0 ~subblock:3 ~present:true ~replicated:false);
+  Alcotest.(check int) "one exclusive hit" 1 (C.counters t).C.exclusive_hits;
+  Alcotest.(check (list edge)) "M refill silent" []
+    (C.note_fill t ~cluster:0 ~subblock:3);
+  Alcotest.(check string) "still M" "M"
+    (C.state_name (C.state t ~cluster:0 ~subblock:3))
+
+let test_msi_owner_refill_demotes () =
+  (* MSI has no Exclusive state to preserve: the table's documented
+     choice is that a refill overwrites with fresh home data, S *)
+  let t = C.create ~protocol:M.Msi ~clusters:4 in
+  ignore (C.note_fill t ~cluster:0 ~subblock:3);
+  ignore (C.note_store t ~writer:0 ~subblock:3 ~present:true ~replicated:false);
+  Alcotest.(check (list edge)) "M->S refill"
+    [ { C.t_cluster = 0; t_subblock = 3; t_from = C.M_; t_to = C.S; t_cause = C.Fill } ]
+    (C.note_fill t ~cluster:0 ~subblock:3)
+
+let meta =
+  Trace.Meta { clusters = 4; mem_buses = 4; msize = 32; ii = 1; vspan = 4; trip = 4 }
+
+let replay_transitions protocol trs =
+  let s = Trace.create () in
+  Trace.emit s ~cycle:0 ~cluster:(-1) meta;
+  List.iteri
+    (fun i (tr : C.transition) ->
+      Trace.emit s ~cycle:(i + 1) ~cluster:tr.C.t_cluster
+        (Trace.Prot_transition
+           {
+             cluster = tr.C.t_cluster;
+             subblock = tr.C.t_subblock;
+             from_state = tr.C.t_from;
+             to_state = tr.C.t_to;
+             cause = tr.C.t_cause;
+           }))
+    trs;
+  Audit.run ~protocol s
+
+let test_audit_chains_tracker_stream () =
+  (* everything the tracker emits across a fill/share/store/invalidate
+     life cycle must replay with zero illegal edges *)
+  let t = C.create ~protocol:M.Mesi ~clusters:4 in
+  (* list literals evaluate right-to-left; the tracker calls must run in
+     life-cycle order, so bind each step explicitly *)
+  let a = C.note_fill t ~cluster:0 ~subblock:3 in
+  let b = C.note_fill t ~cluster:0 ~subblock:3 (* absorbed: none *) in
+  let c = C.note_fill t ~cluster:1 ~subblock:3 in
+  let d = C.note_store t ~writer:1 ~subblock:3 ~present:true ~replicated:false in
+  let e = C.note_evict t ~cluster:1 ~subblock:3 in
+  let trs = List.concat [ a; b; c; d; e ] in
+  let r = replay_transitions M.Mesi trs in
+  Alcotest.(check int) "all edges legal" 0 r.Audit.prot_illegal;
+  Alcotest.(check int) "edges replayed" (List.length trs) r.Audit.prot_transitions
+
+let test_audit_rejects_non_edges () =
+  (* the bug's shape, handcrafted: an E->E "fill" neither chains as a
+     state change nor appears in the table *)
+  let bogus =
+    [
+      { C.t_cluster = 0; t_subblock = 3; t_from = C.I; t_to = C.E; t_cause = C.Fill };
+      { C.t_cluster = 0; t_subblock = 3; t_from = C.E; t_to = C.E; t_cause = C.Fill };
+    ]
+  in
+  let r = replay_transitions M.Mesi bogus in
+  Alcotest.(check int) "E->E flagged" 1 r.Audit.prot_illegal;
+  (* under install/flush any protocol edge at all is illegal *)
+  let r = replay_transitions M.Install_flush [ List.hd bogus ] in
+  Alcotest.(check int) "install-flush: no edges allowed" 1 r.Audit.prot_illegal
+
+let () =
+  Alcotest.run "coherence"
+    [
+      ( "tracker",
+        [
+          Alcotest.test_case "install-flush inert" `Quick test_install_flush_inert;
+          Alcotest.test_case "sole MESI fill lands E" `Quick
+            test_mesi_sole_fill_lands_e;
+          Alcotest.test_case "owner refill absorbed (MESI)" `Quick
+            test_mesi_owner_refill_absorbed;
+          Alcotest.test_case "owner refill demotes (MSI)" `Quick
+            test_msi_owner_refill_demotes;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "tracker stream chains" `Quick
+            test_audit_chains_tracker_stream;
+          Alcotest.test_case "non-edges rejected" `Quick test_audit_rejects_non_edges;
+        ] );
+    ]
